@@ -1,0 +1,143 @@
+// Engineering ablation (DESIGN.md §4): the same RWR estimation task solved by
+// every diffusion backend in the library —
+//   * queue push        — traversal-based local push [15], the memory-access
+//                         pattern Section IV-A argues against;
+//   * GreedyDiffuse     — Algo. 1 (batched matrix-operation pushes);
+//   * NonGreedy         — Eq. 17 power-style rounds;
+//   * AdaptiveDiffuse   — Algo. 2 (the paper's contribution);
+//   * Monte-Carlo       — plain walk sampling [36-style];
+//   * FORA hybrid       — push + walk refinement [36].
+// For each backend we report wall time and the worst degree-normalized error
+// max_t (pi_t - q_t) / d(t) against the exact (power-iteration) RWR, i.e. the
+// quantity Eq. 14 bounds by eps.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/timer.hpp"
+#include "diffusion/diffusion.hpp"
+#include "diffusion/exact.hpp"
+#include "diffusion/montecarlo.hpp"
+#include "diffusion/push.hpp"
+#include "eval/datasets.hpp"
+
+namespace laca {
+namespace {
+
+struct BackendResult {
+  double seconds = 0.0;
+  double max_err = 0.0;  // max_t (pi_t - q_t) / d(t)
+  size_t support = 0;
+};
+
+BackendResult Measure(const Graph& graph, const std::vector<double>& exact,
+                      const SparseVector& estimate, double seconds) {
+  BackendResult r;
+  r.seconds = seconds;
+  r.support = estimate.Size();
+  std::vector<double> dense = estimate.ToDense(graph.num_nodes());
+  for (NodeId t = 0; t < graph.num_nodes(); ++t) {
+    r.max_err =
+        std::max(r.max_err, std::abs(exact[t] - dense[t]) / graph.Degree(t));
+  }
+  return r;
+}
+
+void RunDataset(const std::string& name, double epsilon, size_t num_seeds) {
+  const Dataset& ds = GetDataset(name);
+  const Graph& g = ds.data.graph;
+  std::vector<NodeId> seeds = SampleSeeds(ds, num_seeds);
+
+  const double alpha = 0.8;
+  DiffusionEngine engine(g);
+  std::vector<std::string> backends = {"queue push", "GreedyDiffuse",
+                                       "NonGreedy",  "AdaptiveDiffuse",
+                                       "Monte-Carlo", "FORA hybrid"};
+  std::vector<BackendResult> totals(backends.size());
+
+  for (NodeId seed : seeds) {
+    std::vector<double> exact = ExactRwr(g, seed, alpha);
+    SparseVector unit = SparseVector::Unit(seed);
+
+    for (size_t b = 0; b < backends.size(); ++b) {
+      Timer timer;
+      SparseVector estimate;
+      switch (b) {
+        case 0: {
+          QueuePushOptions opts;
+          opts.alpha = alpha;
+          opts.epsilon = epsilon;
+          estimate = QueuePush(g, unit, opts).reserve;
+          break;
+        }
+        case 1:
+        case 2:
+        case 3: {
+          DiffusionOptions opts;
+          opts.alpha = alpha;
+          opts.epsilon = epsilon;
+          if (b == 1) estimate = engine.Greedy(unit, opts);
+          if (b == 2) estimate = engine.NonGreedy(unit, opts);
+          if (b == 3) estimate = engine.Adaptive(unit, opts);
+          break;
+        }
+        case 4: {
+          MonteCarloOptions opts;
+          opts.alpha = alpha;
+          // Spend 1/eps walks: the same asymptotic budget the deterministic
+          // backends get, so accuracy-per-work is comparable.
+          opts.num_walks = static_cast<uint64_t>(1.0 / epsilon);
+          opts.seed = seed + 1;
+          estimate = MonteCarloRwr(g, seed, opts);
+          break;
+        }
+        case 5: {
+          ForaOptions opts;
+          opts.alpha = alpha;
+          opts.push_epsilon = std::sqrt(epsilon);  // FORA's balanced split
+          opts.walks_per_residual_unit = 1.0 / epsilon;
+          opts.seed = seed + 1;
+          estimate = ForaDiffuse(g, seed, opts);
+          break;
+        }
+      }
+      BackendResult r = Measure(g, exact, estimate, timer.ElapsedSeconds());
+      totals[b].seconds += r.seconds;
+      totals[b].max_err = std::max(totals[b].max_err, r.max_err);
+      totals[b].support += r.support;
+    }
+  }
+
+  bench::PrintHeader("Diffusion backends on " + name + " (eps=" +
+                     bench::Fmt(epsilon, "%.0e") + ", alpha=0.8, " +
+                     std::to_string(seeds.size()) + " seeds)");
+  bench::PrintRow("backend", {"mean time", "worst err/d(t)", "mean |supp|"},
+                  18, 15);
+  for (size_t b = 0; b < backends.size(); ++b) {
+    const double inv = 1.0 / static_cast<double>(seeds.size());
+    bench::PrintRow(backends[b],
+                    {bench::FmtSeconds(totals[b].seconds * inv),
+                     bench::Fmt(totals[b].max_err, "%.2e"),
+                     bench::Fmt(static_cast<double>(totals[b].support) * inv,
+                                "%.0f")},
+                    18, 15);
+  }
+}
+
+}  // namespace
+}  // namespace laca
+
+int main() {
+  const size_t seeds = laca::BenchSeedCount(5);
+  laca::RunDataset("pubmed-sim", 1e-5, seeds);
+  laca::RunDataset("blogcl-sim", 1e-5, seeds);
+  std::printf(
+      "\nExpected shape: all deterministic backends respect the Eq. 14 bound\n"
+      "(err/d(t) <= eps); AdaptiveDiffuse and NonGreedy are the fastest on\n"
+      "dense graphs, queue push trails on high-degree graphs, and the\n"
+      "sampling backends trade accuracy for graph-size independence.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Extension study (paper Section VIII future work / Section VI-B1 noted
+// limitation): local clustering on graphs sliding from homophilic to
+// heterophilic structure. As intra-community edge probability falls below
+// the random baseline, edges mostly connect *different* communities:
+// topology-only diffusion actively misleads, and the paper predicts LACA
+// degrades toward (but stays above) topology-only methods while pure
+// attribute ranking becomes the strongest signal — the Yelp row of Table V
+// taken to its extreme.
+#include <cstdio>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "attr/tnam.hpp"
+#include "baselines/attrsim.hpp"
+#include "baselines/lgc.hpp"
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/cluster.hpp"
+#include "core/laca.hpp"
+#include "eval/datasets.hpp"
+#include "eval/metrics.hpp"
+#include "graph/generators.hpp"
+
+namespace laca {
+namespace {
+
+AttributedGraph MakeGraph(double intra_fraction) {
+  AttributedSbmOptions o;
+  o.num_nodes = 5000;
+  o.num_communities = 10;
+  o.avg_degree = 16.0;
+  o.intra_fraction = intra_fraction;
+  o.attr_dim = 256;
+  o.attr_nnz = 12;
+  o.attr_noise = 0.1;  // high-quality attributes throughout
+  o.topic_dims = 30;
+  o.seed = 4242;
+  return GenerateAttributedSbm(o);
+}
+
+double Evaluate(const AttributedGraph& g, const std::string& method,
+                std::span<const NodeId> seeds) {
+  std::optional<Tnam> tnam;
+  std::optional<Laca> laca;
+  if (method == "LACA (C)" || method == "LACA (w/o SNAS)") {
+    if (method == "LACA (C)") {
+      tnam.emplace(Tnam::Build(g.attributes, TnamOptions{}));
+    }
+    laca.emplace(g.graph, tnam ? &*tnam : nullptr);
+  }
+  double precision = 0.0;
+  for (NodeId seed : seeds) {
+    std::vector<NodeId> truth = g.communities.GroundTruthCluster(seed);
+    std::vector<NodeId> cluster;
+    if (laca) {
+      LacaOptions opts;
+      opts.epsilon = 1e-6;
+      cluster = laca->Cluster(seed, truth.size(), opts);
+    } else {
+      SparseVector scores;
+      if (method == "SimAttr (C)") {
+        scores = SimAttrScores(g.attributes, seed, SnasMetric::kCosine);
+      } else {  // PR-Nibble
+        PrNibbleOptions opts;
+        opts.epsilon = 1e-6;
+        scores = PrNibble(g.graph, seed, opts);
+      }
+      cluster = PadWithBfs(g.graph,
+                           TopKCluster(scores, seed, truth.size()),
+                           truth.size(), seed);
+    }
+    precision += Precision(cluster, truth);
+  }
+  return precision / static_cast<double>(seeds.size());
+}
+
+}  // namespace
+}  // namespace laca
+
+int main() {
+  using namespace laca;
+  const size_t num_seeds = BenchSeedCount(5);
+  // 0.10 == uniformly random endpoints for 10 communities; below that the
+  // structure is heterophilic (edges prefer *other* communities).
+  const std::vector<double> intra = {0.8, 0.6, 0.4, 0.2, 0.1, 0.05, 0.0};
+  const std::vector<std::string> methods = {"LACA (C)", "LACA (w/o SNAS)",
+                                            "SimAttr (C)", "PR-Nibble"};
+
+  bench::PrintHeader(
+      "Extension: homophily -> heterophily sweep (precision, " +
+      std::to_string(num_seeds) + " seeds; intra = 0.1 is structureless, "
+      "below is heterophilic)");
+  std::vector<std::string> header;
+  for (double f : intra) header.push_back(bench::Fmt(f, "%.2f"));
+  bench::PrintRow("Method", header, 18, 8);
+  std::vector<std::vector<std::string>> rows(methods.size());
+  for (double f : intra) {
+    AttributedGraph g = MakeGraph(f);
+    Rng rng(99);
+    std::vector<NodeId> seeds;
+    for (size_t i = 0; i < num_seeds; ++i) {
+      seeds.push_back(static_cast<NodeId>(rng.UniformInt(g.graph.num_nodes())));
+    }
+    for (size_t m = 0; m < methods.size(); ++m) {
+      rows[m].push_back(bench::Fmt(Evaluate(g, methods[m], seeds)));
+    }
+  }
+  for (size_t m = 0; m < methods.size(); ++m) {
+    bench::PrintRow(methods[m], rows[m], 18, 8);
+  }
+  std::printf(
+      "\nExpected shape: attribute-free methods collapse first; LACA (C)\n"
+      "degrades gracefully but is eventually overtaken by pure attribute\n"
+      "ranking — the limitation the paper flags for heterophilic graphs.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Engineering ablation: cluster extraction modes on LACA's BDD scores.
+//
+// The paper's protocol fixes |C_s| = |Y_s| (top-K). A deployment rarely
+// knows the target size, so the classic alternative is the conductance
+// sweep cut. This bench compares the two (plus a 2|Y|-capped sweep) on
+// precision/recall/F1 and conductance, quantifying what is lost when the
+// size oracle is removed.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "attr/tnam.hpp"
+#include "bench_util.hpp"
+#include "core/cluster.hpp"
+#include "core/laca.hpp"
+#include "eval/datasets.hpp"
+#include "eval/metrics.hpp"
+
+namespace laca {
+namespace {
+
+struct Row {
+  double precision = 0.0, recall = 0.0, f1 = 0.0, conductance = 0.0;
+  double size = 0.0;
+
+  void Accumulate(const Graph& g, const std::vector<NodeId>& cluster,
+                  const std::vector<NodeId>& truth) {
+    precision += Precision(cluster, truth);
+    recall += Recall(cluster, truth);
+    f1 += F1Score(cluster, truth);
+    conductance += Conductance(g, cluster);
+    size += static_cast<double>(cluster.size());
+  }
+
+  std::vector<std::string> Cells(double inv) const {
+    return {bench::Fmt(precision * inv), bench::Fmt(recall * inv),
+            bench::Fmt(f1 * inv), bench::Fmt(conductance * inv),
+            bench::Fmt(size * inv, "%.0f")};
+  }
+};
+
+void RunDataset(const std::string& name, size_t num_seeds) {
+  const Dataset& ds = GetDataset(name);
+  TnamOptions topts;
+  Tnam tnam = Tnam::Build(ds.data.attributes, topts);
+  Laca laca(ds.data.graph, &tnam);
+  LacaOptions opts;
+  opts.epsilon = 1e-6;
+
+  std::vector<NodeId> seeds = SampleSeeds(ds, num_seeds);
+  Row topk, sweep, capped;
+  for (NodeId seed : seeds) {
+    std::vector<NodeId> truth = ds.data.communities.GroundTruthCluster(seed);
+    LacaResult result = laca.ComputeBdd(seed, opts);
+
+    std::vector<NodeId> k_cluster = PadWithBfs(
+        ds.data.graph, TopKCluster(result.bdd, seed, truth.size()),
+        truth.size(), seed);
+    topk.Accumulate(ds.data.graph, k_cluster, truth);
+
+    sweep.Accumulate(ds.data.graph,
+                     SweepCut(ds.data.graph, result.bdd).cluster, truth);
+    capped.Accumulate(
+        ds.data.graph,
+        SweepCut(ds.data.graph, result.bdd, 2 * truth.size()).cluster, truth);
+  }
+
+  const double inv = 1.0 / static_cast<double>(seeds.size());
+  bench::PrintHeader("Extraction modes on " + name + " (" +
+                     std::to_string(seeds.size()) + " seeds)");
+  bench::PrintRow("mode", {"precision", "recall", "F1", "cond.", "|C|"}, 18,
+                  10);
+  bench::PrintRow("top-K (|C|=|Y|)", topk.Cells(inv), 18, 10);
+  bench::PrintRow("sweep (unbounded)", sweep.Cells(inv), 18, 10);
+  bench::PrintRow("sweep (<= 2|Y|)", capped.Cells(inv), 18, 10);
+}
+
+}  // namespace
+}  // namespace laca
+
+int main() {
+  const size_t seeds = laca::BenchSeedCount(20);
+  for (const std::string& name : laca::SmallAttributedDatasetNames()) {
+    laca::RunDataset(name, seeds);
+  }
+  std::printf(
+      "\nExpected shape: top-K wins on precision (it gets the size oracle);\n"
+      "sweeps find lower conductance; the capped sweep recovers most of the\n"
+      "F1 gap without any oracle.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Fig. 10: scalability of LACA's online stage on the four large stand-ins —
+// mean per-seed running time as (a, b) the diffusion threshold eps decreases
+// and (c, d) the TNAM dimension k grows. Expectation: time scales ~1/eps
+// (panel a/b) and is flat in k while 1/eps dominates (panel c/d).
+#include <cstdio>
+
+#include "attr/tnam.hpp"
+#include "bench_util.hpp"
+#include "common/timer.hpp"
+#include "core/laca.hpp"
+#include "eval/datasets.hpp"
+
+namespace laca {
+namespace {
+
+double OnlineSeconds(const Dataset& ds, const Tnam& tnam,
+                     const LacaOptions& opts, std::span<const NodeId> seeds) {
+  Laca laca(ds.data.graph, &tnam);
+  Timer timer;
+  for (NodeId seed : seeds) laca.ComputeBdd(seed, opts);
+  return timer.ElapsedSeconds() / static_cast<double>(seeds.size());
+}
+
+}  // namespace
+}  // namespace laca
+
+int main() {
+  using namespace laca;
+  const size_t num_seeds = BenchSeedCount(2);
+  const std::vector<std::string> datasets = {"arxiv-sim", "yelp-sim",
+                                             "reddit-sim", "amazon2m-sim"};
+
+  for (SnasMetric metric : {SnasMetric::kCosine, SnasMetric::kExpCosine}) {
+    const char* tag = metric == SnasMetric::kCosine ? "LACA (C)" : "LACA (E)";
+
+    bench::PrintHeader(std::string("Fig. 10 (a/b) ") + tag +
+                       ": online seconds vs. eps (" +
+                       std::to_string(num_seeds) + " seeds)");
+    // Stops at 1e-7: the O(1/eps) trend is established well before the
+  // volume-capped regime, and the 1e-8 points cost minutes each on one core.
+  const std::vector<double> epsilons = {1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7};
+    {
+      std::vector<std::string> header;
+      for (double e : epsilons) header.push_back(bench::Fmt(e, "%.0e"));
+      bench::PrintRow("Dataset", header, 14, 9);
+      for (const auto& name : datasets) {
+        const Dataset& ds = GetDataset(name);
+        std::vector<NodeId> seeds = SampleSeeds(ds, num_seeds);
+        TnamOptions topts;
+        topts.metric = metric;
+        Tnam tnam = Tnam::Build(ds.data.attributes, topts);
+        std::vector<std::string> row;
+        for (double eps : epsilons) {
+          LacaOptions opts;
+          opts.epsilon = eps;
+          row.push_back(
+              bench::FmtSeconds(OnlineSeconds(ds, tnam, opts, seeds)));
+        }
+        bench::PrintRow(name, row, 14, 9);
+      }
+    }
+
+    bench::PrintHeader(std::string("Fig. 10 (c/d) ") + tag +
+                       ": online seconds vs. k ('d' = no k-SVD)");
+    const std::vector<int> ks = {8, 16, 32, 64, 128};
+    {
+      std::vector<std::string> header;
+      for (int k : ks) header.push_back(std::to_string(k));
+      header.push_back("d");
+      bench::PrintRow("Dataset", header, 14, 9);
+      for (const auto& name : datasets) {
+        const Dataset& ds = GetDataset(name);
+        std::vector<NodeId> seeds = SampleSeeds(ds, num_seeds);
+        std::vector<std::string> row;
+        LacaOptions opts;
+        opts.epsilon = 1e-6;
+        for (int k : ks) {
+          TnamOptions topts;
+          topts.metric = metric;
+          topts.k = k;
+          Tnam tnam = Tnam::Build(ds.data.attributes, topts);
+          row.push_back(bench::FmtSeconds(OnlineSeconds(ds, tnam, opts, seeds)));
+        }
+        {
+          TnamOptions topts;
+          topts.metric = metric;
+          topts.use_ksvd = false;
+          topts.k = 128;
+          Tnam tnam = Tnam::Build(ds.data.attributes, topts);
+          row.push_back(bench::FmtSeconds(OnlineSeconds(ds, tnam, opts, seeds)));
+        }
+        bench::PrintRow(name, row, 14, 9);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fig. 7: preprocessing-stage and online-stage (per-seed) running times of
+// LACA (C), LACA (E) and the strongest competitors on each dataset (the
+// paper plots the top-4 baselines by precision per dataset).
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hpp"
+#include "eval/runner.hpp"
+
+int main() {
+  using namespace laca;
+  const size_t num_seeds = BenchSeedCount(5);
+  // Per-dataset competitor panels, mirroring the paper's Fig. 7 selections.
+  const std::map<std::string, std::vector<std::string>> panels = {
+      {"cora-sim", {"CFANE", "HK-Relax", "PANE", "SimRank"}},
+      {"pubmed-sim", {"CFANE", "SimRank", "PANE", "PR-Nibble"}},
+      {"blogcl-sim", {"CFANE", "PANE", "SimAttr (C)", "HK-Relax"}},
+      {"flickr-sim", {"PANE", "HK-Relax", "Jaccard", "CFANE"}},
+      {"arxiv-sim", {"HK-Relax", "PR-Nibble", "APR-Nibble", "WFD"}},
+      {"yelp-sim", {"SimAttr (C)", "PANE", "AttriRank", "Node2Vec"}},
+      {"reddit-sim", {"p-Norm FD", "HK-Relax", "PR-Nibble", "CRD"}},
+      {"amazon2m-sim", {"WFD", "p-Norm FD", "PR-Nibble", "PANE"}},
+  };
+
+  for (const auto& name : AttributedDatasetNames()) {
+    const Dataset& ds = GetDataset(name);
+    std::vector<NodeId> seeds = SampleSeeds(ds, num_seeds);
+    std::vector<std::string> methods = {"LACA (C)", "LACA (E)"};
+    for (const auto& m : panels.at(name)) methods.push_back(m);
+
+    bench::PrintHeader("Fig. 7 (" + name + "): running times (" +
+                       std::to_string(num_seeds) + " seeds; online = mean "
+                       "per-seed wall clock)");
+    bench::PrintRow("Method", {"preprocessing", "online", "precision"}, 18, 14);
+    for (const auto& method : methods) {
+      MethodEvaluation eval = EvaluateByName(ds, method, seeds);
+      if (!eval.supported) {
+        bench::PrintRow(method, {"-", "-", "-"}, 18, 14);
+        continue;
+      }
+      bench::PrintRow(method,
+                      {bench::FmtSeconds(eval.prepare_seconds),
+                       bench::FmtSeconds(eval.online_seconds),
+                       bench::Fmt(eval.precision)},
+                      18, 14);
+    }
+  }
+  return 0;
+}

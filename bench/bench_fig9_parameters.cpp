@@ -1,0 +1,132 @@
+// Fig. 9: precision of LACA (C) and LACA (E) when varying the restart factor
+// alpha, the adaptive balance parameter sigma, and the TNAM dimension k
+// (with the other parameters fixed), on the five smaller stand-ins.
+//
+// The sweeps fix eps = 1e-5 (the paper grid-searches eps per dataset; the
+// parameter *trends* are eps-independent and 1e-5 keeps the 22-point sweep
+// affordable on one core).
+#include <cstdio>
+#include <optional>
+
+#include "attr/tnam.hpp"
+#include "bench_util.hpp"
+#include "core/laca.hpp"
+#include "eval/datasets.hpp"
+#include "eval/metrics.hpp"
+
+namespace laca {
+namespace {
+
+double PrecisionFor(const Dataset& ds, const Tnam& tnam,
+                    const LacaOptions& opts, std::span<const NodeId> seeds) {
+  Laca laca(ds.data.graph, &tnam);
+  double precision = 0.0;
+  for (NodeId seed : seeds) {
+    std::vector<NodeId> truth = ds.data.communities.GroundTruthCluster(seed);
+    precision += Precision(laca.Cluster(seed, truth.size(), opts), truth);
+  }
+  return precision / static_cast<double>(seeds.size());
+}
+
+}  // namespace
+}  // namespace laca
+
+int main() {
+  using namespace laca;
+  const size_t num_seeds = BenchSeedCount(3);
+  const std::vector<std::string> datasets = {
+      "cora-sim", "pubmed-sim", "blogcl-sim", "flickr-sim", "arxiv-sim"};
+
+  for (SnasMetric metric : {SnasMetric::kCosine, SnasMetric::kExpCosine}) {
+    const char* tag = metric == SnasMetric::kCosine ? "LACA (C)" : "LACA (E)";
+
+    // --- Varying alpha (panels a, b) -------------------------------------
+    bench::PrintHeader(std::string("Fig. 9 (a/b) ") + tag +
+                       ": precision vs. alpha (" + std::to_string(num_seeds) +
+                       " seeds)");
+    const std::vector<double> alphas = {0.05, 0.1, 0.2, 0.3, 0.4,
+                                        0.5,  0.6, 0.7, 0.8, 0.9};
+    {
+      std::vector<std::string> header;
+      for (double a : alphas) header.push_back(bench::Fmt(a, "%.2f"));
+      bench::PrintRow("Dataset", header, 14, 8);
+      for (const auto& name : datasets) {
+        const Dataset& ds = GetDataset(name);
+        std::vector<NodeId> seeds = SampleSeeds(ds, num_seeds);
+        TnamOptions topts;
+        topts.metric = metric;
+        Tnam tnam = Tnam::Build(ds.data.attributes, topts);
+        std::vector<std::string> row;
+        for (double a : alphas) {
+          LacaOptions opts;
+          opts.alpha = a;
+          opts.epsilon = 1e-5;
+          row.push_back(bench::Fmt(PrecisionFor(ds, tnam, opts, seeds)));
+        }
+        bench::PrintRow(name, row, 14, 8);
+      }
+    }
+
+    // --- Varying sigma (panels c, d) -------------------------------------
+    bench::PrintHeader(std::string("Fig. 9 (c/d) ") + tag +
+                       ": precision vs. sigma");
+    const std::vector<double> sigmas = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+    {
+      std::vector<std::string> header;
+      for (double s : sigmas) header.push_back(bench::Fmt(s, "%.1f"));
+      bench::PrintRow("Dataset", header, 14, 8);
+      for (const auto& name : datasets) {
+        const Dataset& ds = GetDataset(name);
+        std::vector<NodeId> seeds = SampleSeeds(ds, num_seeds);
+        TnamOptions topts;
+        topts.metric = metric;
+        Tnam tnam = Tnam::Build(ds.data.attributes, topts);
+        std::vector<std::string> row;
+        for (double s : sigmas) {
+          LacaOptions opts;
+          opts.sigma = s;
+          opts.epsilon = 1e-5;
+          row.push_back(bench::Fmt(PrecisionFor(ds, tnam, opts, seeds)));
+        }
+        bench::PrintRow(name, row, 14, 8);
+      }
+    }
+
+    // --- Varying k (panels e, f) ------------------------------------------
+    bench::PrintHeader(std::string("Fig. 9 (e/f) ") + tag +
+                       ": precision vs. TNAM dimension k ('d' = no k-SVD)");
+    const std::vector<int> ks = {8, 16, 32, 64, 128};
+    {
+      std::vector<std::string> header;
+      for (int k : ks) header.push_back(std::to_string(k));
+      header.push_back("d");
+      bench::PrintRow("Dataset", header, 14, 8);
+      for (const auto& name : datasets) {
+        const Dataset& ds = GetDataset(name);
+        std::vector<NodeId> seeds = SampleSeeds(ds, num_seeds);
+        std::vector<std::string> row;
+        for (int k : ks) {
+          TnamOptions topts;
+          topts.metric = metric;
+          topts.k = k;
+          Tnam tnam = Tnam::Build(ds.data.attributes, topts);
+          LacaOptions opts;
+          opts.epsilon = 1e-5;
+          row.push_back(bench::Fmt(PrecisionFor(ds, tnam, opts, seeds)));
+        }
+        {
+          TnamOptions topts;
+          topts.metric = metric;
+          topts.use_ksvd = false;  // the "k = d" point
+          topts.k = 128;           // ORF feature count for the exp metric
+          Tnam tnam = Tnam::Build(ds.data.attributes, topts);
+          LacaOptions opts;
+          opts.epsilon = 1e-5;
+          row.push_back(bench::Fmt(PrecisionFor(ds, tnam, opts, seeds)));
+        }
+        bench::PrintRow(name, row, 14, 8);
+      }
+    }
+  }
+  return 0;
+}

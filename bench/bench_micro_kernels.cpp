@@ -1,0 +1,100 @@
+// Engineering micro-benchmarks (google-benchmark) for the hot kernels:
+// the three diffusion strategies, TNAM construction, and SNAS evaluation.
+// Not tied to a paper table; used to track kernel-level regressions.
+#include <benchmark/benchmark.h>
+
+#include "attr/tnam.hpp"
+#include "core/laca.hpp"
+#include "diffusion/diffusion.hpp"
+#include "eval/datasets.hpp"
+
+namespace laca {
+namespace {
+
+void BM_GreedyDiffuse(benchmark::State& state) {
+  const Dataset& ds = GetDataset("pubmed-sim");
+  DiffusionEngine engine(ds.data.graph);
+  DiffusionOptions opts;
+  opts.epsilon = 1.0 / static_cast<double>(state.range(0));
+  NodeId seed = SampleSeeds(ds, 1)[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Greedy(SparseVector::Unit(seed), opts));
+  }
+}
+BENCHMARK(BM_GreedyDiffuse)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+
+void BM_AdaptiveDiffuse(benchmark::State& state) {
+  const Dataset& ds = GetDataset("pubmed-sim");
+  DiffusionEngine engine(ds.data.graph);
+  DiffusionOptions opts;
+  opts.epsilon = 1.0 / static_cast<double>(state.range(0));
+  NodeId seed = SampleSeeds(ds, 1)[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Adaptive(SparseVector::Unit(seed), opts));
+  }
+}
+BENCHMARK(BM_AdaptiveDiffuse)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+
+void BM_NonGreedyDiffuse(benchmark::State& state) {
+  const Dataset& ds = GetDataset("pubmed-sim");
+  DiffusionEngine engine(ds.data.graph);
+  DiffusionOptions opts;
+  opts.epsilon = 1.0 / static_cast<double>(state.range(0));
+  NodeId seed = SampleSeeds(ds, 1)[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.NonGreedy(SparseVector::Unit(seed), opts));
+  }
+}
+BENCHMARK(BM_NonGreedyDiffuse)->Arg(100'000)->Arg(1'000'000);
+
+void BM_TnamBuildCosine(benchmark::State& state) {
+  const Dataset& ds = GetDataset("cora-sim");
+  TnamOptions opts;
+  opts.k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Tnam::Build(ds.data.attributes, opts));
+  }
+}
+BENCHMARK(BM_TnamBuildCosine)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_TnamBuildExpCosine(benchmark::State& state) {
+  const Dataset& ds = GetDataset("cora-sim");
+  TnamOptions opts;
+  opts.k = static_cast<int>(state.range(0));
+  opts.metric = SnasMetric::kExpCosine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Tnam::Build(ds.data.attributes, opts));
+  }
+}
+BENCHMARK(BM_TnamBuildExpCosine)->Arg(32);
+
+void BM_LacaOnline(benchmark::State& state) {
+  const Dataset& ds = GetDataset("pubmed-sim");
+  TnamOptions topts;
+  static Tnam tnam = Tnam::Build(ds.data.attributes, topts);
+  Laca laca(ds.data.graph, &tnam);
+  LacaOptions opts;
+  opts.epsilon = 1.0 / static_cast<double>(state.range(0));
+  NodeId seed = SampleSeeds(ds, 1)[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(laca.ComputeBdd(seed, opts));
+  }
+}
+BENCHMARK(BM_LacaOnline)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+
+void BM_SnasDot(benchmark::State& state) {
+  const Dataset& ds = GetDataset("cora-sim");
+  TnamOptions topts;
+  static Tnam tnam = Tnam::Build(ds.data.attributes, topts);
+  NodeId i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tnam.Snas(i, (i * 31 + 7) % tnam.num_rows()));
+    i = (i + 1) % tnam.num_rows();
+  }
+}
+BENCHMARK(BM_SnasDot);
+
+}  // namespace
+}  // namespace laca
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Table VI: ablation study. For LACA (C) and LACA (E), disable in turn the
+// k-SVD reduction, the AdaptiveDiffuse strategy (falling back to
+// GreedyDiffuse), and the SNAS (topology-only BDD), and report precision.
+#include <cstdio>
+#include <optional>
+
+#include "attr/tnam.hpp"
+#include "bench_util.hpp"
+#include "core/cluster.hpp"
+#include "core/laca.hpp"
+#include "eval/datasets.hpp"
+#include "eval/metrics.hpp"
+
+namespace laca {
+namespace {
+
+struct Variant {
+  const char* label;
+  bool use_snas;
+  bool use_ksvd;
+  bool use_adaptive;
+};
+
+double EvaluateVariant(const Dataset& ds, SnasMetric metric, const Variant& v,
+                       std::span<const NodeId> seeds) {
+  std::optional<Tnam> tnam;
+  if (v.use_snas) {
+    TnamOptions topts;
+    topts.metric = metric;
+    topts.use_ksvd = v.use_ksvd;
+    tnam.emplace(Tnam::Build(ds.data.attributes, topts));
+  }
+  Laca laca(ds.data.graph, v.use_snas ? &*tnam : nullptr);
+  LacaOptions opts;
+  opts.epsilon = 1e-6;
+  opts.use_adaptive = v.use_adaptive;
+  double precision = 0.0;
+  for (NodeId seed : seeds) {
+    std::vector<NodeId> truth = ds.data.communities.GroundTruthCluster(seed);
+    std::vector<NodeId> cluster = laca.Cluster(seed, truth.size(), opts);
+    precision += Precision(cluster, truth);
+  }
+  return precision / static_cast<double>(seeds.size());
+}
+
+}  // namespace
+}  // namespace laca
+
+int main() {
+  using namespace laca;
+  const size_t num_seeds = BenchSeedCount(10);
+  const Variant variants[] = {
+      {"full", true, true, true},
+      {"w/o k-SVD", true, false, true},
+      {"w/o AdaptiveDiffuse", true, true, false},
+      {"w/o SNAS", false, true, true},
+  };
+  std::vector<std::string> datasets = AttributedDatasetNames();
+
+  for (SnasMetric metric : {SnasMetric::kCosine, SnasMetric::kExpCosine}) {
+    const char* tag = metric == SnasMetric::kCosine ? "LACA (C)" : "LACA (E)";
+    bench::PrintHeader(std::string("Table VI: ablation study for ") + tag +
+                       " (" + std::to_string(num_seeds) + " seeds)");
+    std::vector<std::string> header(datasets.begin(), datasets.end());
+    bench::PrintRow("Variant", header, 22);
+    for (const Variant& v : variants) {
+      std::vector<std::string> row;
+      for (const auto& name : datasets) {
+        const Dataset& ds = GetDataset(name);
+        std::vector<NodeId> seeds = SampleSeeds(ds, num_seeds);
+        row.push_back(bench::Fmt(EvaluateVariant(ds, metric, v, seeds)));
+      }
+      bench::PrintRow(v.label, row, 22);
+    }
+  }
+  return 0;
+}

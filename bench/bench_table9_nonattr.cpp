@@ -1,0 +1,31 @@
+// Table IX: average precision on graphs WITHOUT node attributes —
+// LACA (w/o SNAS) against the strong LGC baselines. The BDD's bidirectional
+// formulation should still lead on topology alone.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "eval/runner.hpp"
+
+int main() {
+  using namespace laca;
+  const size_t num_seeds = BenchSeedCount(10);
+  std::vector<std::string> methods = {"PR-Nibble", "HK-Relax", "CRD",
+                                      "p-Norm FD", "LACA (w/o SNAS)"};
+  std::vector<std::string> datasets = NonAttributedDatasetNames();
+
+  bench::PrintHeader("Table IX: precision on non-attributed graphs (" +
+                     std::to_string(num_seeds) + " seeds per dataset)");
+  std::vector<std::string> header(datasets.begin(), datasets.end());
+  bench::PrintRow("Method", header);
+  for (const auto& method : methods) {
+    std::vector<std::string> row;
+    for (const auto& name : datasets) {
+      const Dataset& ds = GetDataset(name);
+      std::vector<NodeId> seeds = SampleSeeds(ds, num_seeds);
+      MethodEvaluation eval = EvaluateByName(ds, method, seeds);
+      row.push_back(FormatCell(eval, eval.precision));
+    }
+    bench::PrintRow(method, row);
+  }
+  return 0;
+}

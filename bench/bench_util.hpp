@@ -1,0 +1,49 @@
+// Shared table-printing helpers for the experiment harnesses.
+//
+// Every bench binary regenerates one table or figure of the paper's
+// evaluation section (see DESIGN.md §4 for the index). Output is plain text:
+// a header naming the experiment, then rows matching the paper's layout.
+#ifndef LACA_BENCH_BENCH_UTIL_HPP_
+#define LACA_BENCH_BENCH_UTIL_HPP_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace laca::bench {
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void PrintRow(const std::string& label,
+                     const std::vector<std::string>& cells, int label_width = 18,
+                     int cell_width = 12) {
+  std::printf("%-*s", label_width, label.c_str());
+  for (const std::string& c : cells) std::printf(" %*s", cell_width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string Fmt(double v, const char* fmt = "%.3f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+inline std::string FmtSeconds(double v) {
+  char buf[64];
+  if (v < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", v * 1e3);
+  } else if (v < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.0fms", v * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", v);
+  }
+  return buf;
+}
+
+}  // namespace laca::bench
+
+#endif  // LACA_BENCH_BENCH_UTIL_HPP_

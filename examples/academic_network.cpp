@@ -1,0 +1,118 @@
+// Academic collaboration network — the paper's Fig. 8 case study. On the
+// AMiner co-authorship graph the authors show that LACA recommends
+// collaborators with BOTH strong co-authorship ties and aligned research
+// interests, while PR-Nibble surfaces structurally-close scholars with 0%
+// interest overlap.
+//
+// We reproduce the scenario on a synthetic scholars network: named research
+// areas act as keyword attributes; "prolific bridge" scholars co-author
+// across areas, creating exactly the structural shortcuts that mislead
+// topology-only methods.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "attr/tnam.hpp"
+#include "baselines/lgc.hpp"
+#include "core/cluster.hpp"
+#include "core/laca.hpp"
+#include "graph/builder.hpp"
+
+namespace {
+
+using namespace laca;
+
+struct Scholar {
+  std::string name;
+  int area;  // 0 = data mining, 1 = systems, 2 = theory
+};
+
+const char* kAreaNames[] = {"data mining", "systems", "theory"};
+
+}  // namespace
+
+int main() {
+  // A small hand-crafted faculty: 5 data-mining scholars, 5 systems
+  // scholars, 5 theorists. Scholar 0 ("the seed") is a data-mining
+  // researcher who once co-authored a systems paper with scholar 5 — a
+  // strong tie with mismatched expertise.
+  std::vector<Scholar> scholars = {
+      {"Seed (DM)", 0},      {"DM collab A", 0},   {"DM collab B", 0},
+      {"DM collab C", 0},    {"DM collab D", 0},   {"Sys bridge", 1},
+      {"Sys collab A", 1},   {"Sys collab B", 1},  {"Sys collab C", 1},
+      {"Sys collab D", 1},   {"Theory A", 2},      {"Theory B", 2},
+      {"Theory C", 2},       {"Theory D", 2},      {"Theory E", 2},
+  };
+  const NodeId n = static_cast<NodeId>(scholars.size());
+
+  GraphBuilder builder(n);
+  // Dense co-authorship inside each area.
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      if (scholars[a].area == scholars[b].area) builder.AddEdge(a, b);
+    }
+  }
+  // The misleading cross-area ties: the seed co-authored repeatedly with the
+  // systems bridge, and the bridge works with a theorist.
+  builder.AddEdge(0, 5);
+  builder.AddEdge(0, 6);
+  builder.AddEdge(5, 10);
+  Graph graph = builder.Build();
+
+  // Keyword attributes: 4 keywords per area, scholars weight their own
+  // area's keywords heavily with a little spillover.
+  AttributeMatrix attrs(n, 12);
+  for (NodeId v = 0; v < n; ++v) {
+    int base = scholars[v].area * 4;
+    attrs.SetRow(v, {{static_cast<uint32_t>(base), 1.0},
+                     {static_cast<uint32_t>(base + 1), 0.8},
+                     {static_cast<uint32_t>(base + 2), 0.6},
+                     {static_cast<uint32_t>((base + 5) % 12), 0.15}});
+  }
+  attrs.Normalize();
+
+  TnamOptions topts;
+  topts.k = 8;
+  Tnam tnam = Tnam::Build(attrs, topts);
+
+  auto interest_similarity = [&](NodeId v) {
+    return attrs.Dot(0, v);  // cosine similarity to the seed's keywords
+  };
+
+  const size_t kClusterSize = 6;
+  std::printf("Collaborator recommendation for \"%s\"\n\n",
+              scholars[0].name.c_str());
+
+  // LACA: structure + interests.
+  Laca laca(graph, &tnam);
+  LacaOptions opts;
+  opts.epsilon = 1e-8;
+  std::vector<NodeId> ours = laca.Cluster(0, kClusterSize, opts);
+  std::printf("LACA (attributes + topology):\n");
+  for (NodeId v : ours) {
+    std::printf("  %-14s area=%-12s interest similarity=%.0f%%\n",
+                scholars[v].name.c_str(), kAreaNames[scholars[v].area],
+                100.0 * interest_similarity(v));
+  }
+
+  // PR-Nibble: topology only.
+  PrNibbleOptions popts;
+  popts.epsilon = 1e-8;
+  std::vector<NodeId> theirs =
+      TopKCluster(PrNibble(graph, 0, popts), 0, kClusterSize);
+  std::printf("\nPR-Nibble (topology only):\n");
+  int zero_similarity = 0;
+  for (NodeId v : theirs) {
+    double sim = interest_similarity(v);
+    zero_similarity += (v != 0 && sim < 0.05);
+    std::printf("  %-14s area=%-12s interest similarity=%.0f%%\n",
+                scholars[v].name.c_str(), kAreaNames[scholars[v].area],
+                100.0 * sim);
+  }
+  std::printf(
+      "\nPR-Nibble recommended %d scholars with ~0%% interest overlap;\n"
+      "LACA keeps the recommendations inside the seed's research area\n"
+      "(the Fig. 8 phenomenon).\n",
+      zero_similarity);
+  return 0;
+}

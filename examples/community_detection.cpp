@@ -1,0 +1,81 @@
+// Community detection on a noisy social network — the scenario motivating
+// the paper's introduction: real graphs carry missing and noisy links, so
+// topology-only local clustering (PR-Nibble) degrades while LACA leans on
+// attribute homophily to keep precision up.
+//
+// We synthesize a 4,000-user network with interest-group ground truth, then
+// progressively corrupt the structure (rewiring edges) and report precision
+// of LACA (C) vs. PR-Nibble at each corruption level.
+#include <cstdio>
+
+#include "attr/tnam.hpp"
+#include "baselines/lgc.hpp"
+#include "core/cluster.hpp"
+#include "core/laca.hpp"
+#include "eval/metrics.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace laca;
+
+double EvaluateLaca(const AttributedGraph& g, const Tnam& tnam,
+                    std::span<const NodeId> seeds) {
+  Laca laca(g.graph, &tnam);
+  LacaOptions opts;
+  opts.epsilon = 1e-6;
+  double precision = 0.0;
+  for (NodeId s : seeds) {
+    std::vector<NodeId> truth = g.communities.GroundTruthCluster(s);
+    precision += Precision(laca.Cluster(s, truth.size(), opts), truth);
+  }
+  return precision / static_cast<double>(seeds.size());
+}
+
+double EvaluateNibble(const AttributedGraph& g, std::span<const NodeId> seeds) {
+  PrNibbleOptions opts;
+  opts.epsilon = 1e-6;
+  double precision = 0.0;
+  for (NodeId s : seeds) {
+    std::vector<NodeId> truth = g.communities.GroundTruthCluster(s);
+    std::vector<NodeId> cluster =
+        TopKCluster(PrNibble(g.graph, s, opts), s, truth.size());
+    cluster = PadWithBfs(g.graph, std::move(cluster), truth.size(), s);
+    precision += Precision(cluster, truth);
+  }
+  return precision / static_cast<double>(seeds.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Community detection under structural noise\n");
+  std::printf("%-14s %-12s %-12s\n", "edge noise", "LACA (C)", "PR-Nibble");
+
+  for (double noise : {0.0, 0.2, 0.4, 0.6}) {
+    AttributedSbmOptions o;
+    o.num_nodes = 4000;
+    o.num_communities = 10;
+    o.avg_degree = 16.0;
+    o.intra_fraction = 0.8;
+    o.edge_noise = noise;  // rewired (noisy) links
+    o.attr_dim = 256;
+    o.attr_nnz = 12;
+    o.attr_noise = 0.15;
+    o.topic_dims = 30;
+    o.seed = 1001;
+    AttributedGraph g = GenerateAttributedSbm(o);
+
+    TnamOptions topts;
+    Tnam tnam = Tnam::Build(g.attributes, topts);
+    std::vector<NodeId> seeds;
+    for (NodeId s = 0; s < 4000; s += 400) seeds.push_back(s);
+
+    std::printf("%-14.1f %-12.3f %-12.3f\n", noise,
+                EvaluateLaca(g, tnam, seeds), EvaluateNibble(g, seeds));
+  }
+  std::printf(
+      "\nAs structure degrades, the attribute-aware BDD holds up while the\n"
+      "topology-only diffusion collapses — the paper's motivating claim.\n");
+  return 0;
+}

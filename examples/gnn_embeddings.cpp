@@ -1,0 +1,91 @@
+// The GNN view of LACA (Section V-C), made runnable.
+//
+// Lemma V.6: smoothing the TNAM over the graph, H = sum_l (1-a) a^l P^l Z,
+// yields GNN-style node embeddings, and the BDD factorizes as
+// rho_t = h(s) . h(t). So LACA's local cluster equals the K-NN of the seed
+// among n global embeddings — except LACA never materializes H and touches
+// only vol(C_s) of the graph. This example materializes H anyway and shows:
+//   1. the two routes agree on the extracted cluster;
+//   2. how their costs diverge: the global route pays O(L m k) once plus
+//      Theta(n k) per seed, LACA pays O(k / ((1-a) eps)) per seed, full stop.
+//
+// Build & run:  ./build/examples/gnn_embeddings
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "attr/tnam.hpp"
+#include "common/timer.hpp"
+#include "core/cluster.hpp"
+#include "core/gnn.hpp"
+#include "core/laca.hpp"
+#include "eval/datasets.hpp"
+#include "eval/metrics.hpp"
+
+int main() {
+  using namespace laca;
+  const Dataset& ds = GetDataset("cora-sim");
+  TnamOptions topts;
+  Tnam tnam = Tnam::Build(ds.data.attributes, topts);
+
+  // Global route: materialize the smoothed embeddings once.
+  Timer global_prep;
+  GnnSmoothingOptions gopts;
+  gopts.alpha = 0.8;
+  GnnBddScorer scorer(ds.data.graph, tnam, gopts);
+  const double global_prep_s = global_prep.ElapsedSeconds();
+
+  // Local route: LACA with a tight threshold.
+  Laca laca(ds.data.graph, &tnam);
+  LacaOptions lopts;
+  lopts.alpha = 0.8;
+  lopts.epsilon = 1e-8;
+
+  std::vector<NodeId> seeds = SampleSeeds(ds, 10);
+  double agreement = 0.0, global_online = 0.0, local_online = 0.0;
+  for (NodeId seed : seeds) {
+    const size_t size =
+        ds.data.communities.GroundTruthCluster(seed).size();
+
+    Timer g_timer;
+    std::vector<double> rho = scorer.Score(seed);
+    SparseVector scores;
+    for (NodeId t = 0; t < rho.size(); ++t) {
+      if (rho[t] > 0.0) scores.Add(t, rho[t]);
+    }
+    std::vector<NodeId> knn_cluster = TopKCluster(scores, seed, size);
+    global_online += g_timer.ElapsedSeconds();
+
+    Timer l_timer;
+    std::vector<NodeId> laca_cluster = laca.Cluster(seed, size, lopts);
+    local_online += l_timer.ElapsedSeconds();
+
+    // Overlap of the two clusters (they estimate the same top-K set).
+    std::sort(knn_cluster.begin(), knn_cluster.end());
+    std::sort(laca_cluster.begin(), laca_cluster.end());
+    std::vector<NodeId> common;
+    std::set_intersection(knn_cluster.begin(), knn_cluster.end(),
+                          laca_cluster.begin(), laca_cluster.end(),
+                          std::back_inserter(common));
+    agreement += static_cast<double>(common.size()) /
+                 static_cast<double>(laca_cluster.size());
+  }
+  const double inv = 1.0 / static_cast<double>(seeds.size());
+
+  std::printf("Section V-C equivalence on %s (n=%u, k=%zu):\n",
+              ds.name.c_str(), ds.num_nodes(), tnam.dim());
+  std::printf("  global GNN route: %.3fs one-time smoothing, %.2fms per "
+              "seed (Theta(nk) K-NN)\n",
+              global_prep_s, global_online * inv * 1e3);
+  std::printf("  LACA local route: no global pass,          %.2fms per seed "
+              "(O(k/((1-a)eps)))\n",
+              local_online * inv * 1e3);
+  std::printf("  cluster agreement: %.1f%% over %zu seeds\n",
+              100.0 * agreement * inv, seeds.size());
+  std::printf("\nLACA extracts (approximately) the same K-NN cluster without "
+              "ever building H.\n"
+              "(On a graph this small the global pass is cheap and eps=1e-8\n"
+              "explores most of it; LACA's advantage is that its cost never\n"
+              "grows with n — see bench_fig10_scalability.)\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Product grouping on a co-purchasing network (the Amazon2M scenario):
+// given a seed product, find the products that belong to the same category
+// using co-purchase structure plus product-description attributes.
+//
+// Co-purchase graphs are noisy — gifts, bundles, and popular staples create
+// edges across unrelated categories. This example measures how much of the
+// seed's true category each method recovers, and showcases the streaming
+// use of one preprocessing pass across many seed queries.
+#include <cstdio>
+
+#include "attr/tnam.hpp"
+#include "baselines/attrsim.hpp"
+#include "baselines/lgc.hpp"
+#include "common/timer.hpp"
+#include "core/cluster.hpp"
+#include "core/laca.hpp"
+#include "eval/metrics.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace laca;
+
+  // A 20,000-product co-purchase network with 25 skewed categories and
+  // heavy cross-category noise (staple products bought with everything).
+  AttributedSbmOptions o;
+  o.num_nodes = 20000;
+  o.num_communities = 25;
+  o.avg_degree = 24.0;
+  o.intra_fraction = 0.6;
+  o.edge_noise = 0.15;
+  o.attr_dim = 100;
+  o.attr_nnz = 10;
+  o.attr_noise = 0.15;
+  o.topic_dims = 12;
+  o.community_size_skew = 0.6;
+  o.seed = 2024;
+  AttributedGraph g = GenerateAttributedSbm(o);
+  std::printf("co-purchase network: %u products, %llu edges, %zu categories\n",
+              g.graph.num_nodes(),
+              static_cast<unsigned long long>(g.graph.num_edges()),
+              g.communities.num_communities());
+
+  // One preprocessing pass (Algo. 3), then many per-product queries.
+  Timer prep;
+  TnamOptions topts;
+  topts.metric = SnasMetric::kExpCosine;  // the paper's pick for Amazon2M
+  Tnam tnam = Tnam::Build(g.attributes, topts);
+  std::printf("TNAM preprocessing: %.2fs (reused by every query)\n\n",
+              prep.ElapsedSeconds());
+
+  Laca laca(g.graph, &tnam);
+  LacaOptions opts;
+  opts.epsilon = 1e-6;
+
+  std::printf("%-10s %-10s %-14s %-14s %-14s\n", "seed", "|category|",
+              "LACA prec.", "PR-Nibble", "SimAttr");
+  double laca_total = 0, nibble_total = 0, attr_total = 0;
+  Timer online;
+  const NodeId seeds[] = {17, 1234, 5678, 9999, 15000};
+  for (NodeId seed : seeds) {
+    std::vector<NodeId> truth = g.communities.GroundTruthCluster(seed);
+    std::vector<NodeId> ours = laca.Cluster(seed, truth.size(), opts);
+
+    PrNibbleOptions popts;
+    popts.epsilon = 1e-6;
+    std::vector<NodeId> nibble =
+        PadWithBfs(g.graph, TopKCluster(PrNibble(g.graph, seed, popts), seed,
+                                        truth.size()),
+                   truth.size(), seed);
+    std::vector<NodeId> attr = PadWithBfs(
+        g.graph,
+        TopKCluster(SimAttrScores(g.attributes, seed, SnasMetric::kExpCosine),
+                    seed, truth.size()),
+        truth.size(), seed);
+
+    double lp = Precision(ours, truth);
+    double np = Precision(nibble, truth);
+    double ap = Precision(attr, truth);
+    laca_total += lp;
+    nibble_total += np;
+    attr_total += ap;
+    std::printf("%-10u %-10zu %-14.3f %-14.3f %-14.3f\n", seed, truth.size(),
+                lp, np, ap);
+  }
+  std::printf("%-10s %-10s %-14.3f %-14.3f %-14.3f\n", "mean", "",
+              laca_total / 5, nibble_total / 5, attr_total / 5);
+  std::printf("\n5 queries in %.2fs online (after one-time preprocessing)\n",
+              online.ElapsedSeconds());
+  return 0;
+}

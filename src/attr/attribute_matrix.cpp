@@ -1,0 +1,82 @@
+#include "attr/attribute_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace laca {
+
+AttributeMatrix::AttributeMatrix(NodeId n, uint32_t d)
+    : num_cols_(d), rows_(n) {}
+
+void AttributeMatrix::SetRow(NodeId i, std::vector<Entry> entries) {
+  LACA_CHECK(i < rows_.size(), "row index out of range");
+  std::sort(entries.begin(), entries.end());
+  size_t out = 0;
+  for (size_t j = 0; j < entries.size();) {
+    uint32_t col = entries[j].first;
+    LACA_CHECK(col < num_cols_, "attribute column out of range");
+    double sum = 0.0;
+    while (j < entries.size() && entries[j].first == col) {
+      sum += entries[j].second;
+      ++j;
+    }
+    if (sum != 0.0) entries[out++] = {col, sum};
+  }
+  entries.resize(out);
+  rows_[i] = std::move(entries);
+}
+
+void AttributeMatrix::Normalize() {
+  for (auto& row : rows_) {
+    double norm_sq = 0.0;
+    for (const Entry& e : row) norm_sq += e.second * e.second;
+    if (norm_sq <= 0.0) continue;
+    double inv = 1.0 / std::sqrt(norm_sq);
+    for (Entry& e : row) e.second *= inv;
+  }
+}
+
+uint64_t AttributeMatrix::num_nonzeros() const {
+  uint64_t nnz = 0;
+  for (const auto& row : rows_) nnz += row.size();
+  return nnz;
+}
+
+double AttributeMatrix::Dot(NodeId i, NodeId j) const {
+  const auto& a = rows_[i];
+  const auto& b = rows_[j];
+  double s = 0.0;
+  size_t p = 0, q = 0;
+  while (p < a.size() && q < b.size()) {
+    if (a[p].first < b[q].first) {
+      ++p;
+    } else if (a[p].first > b[q].first) {
+      ++q;
+    } else {
+      s += a[p].second * b[q].second;
+      ++p;
+      ++q;
+    }
+  }
+  return s;
+}
+
+double AttributeMatrix::RowNormSq(NodeId i) const {
+  double s = 0.0;
+  for (const Entry& e : rows_[i]) s += e.second * e.second;
+  return s;
+}
+
+std::vector<double> AttributeMatrix::DenseRow(NodeId i) const {
+  std::vector<double> dense(num_cols_, 0.0);
+  for (const Entry& e : rows_[i]) dense[e.first] = e.second;
+  return dense;
+}
+
+double AttributeMatrix::DistanceSq(NodeId i, NodeId j) const {
+  return RowNormSq(i) + RowNormSq(j) - 2.0 * Dot(i, j);
+}
+
+}  // namespace laca

@@ -1,0 +1,67 @@
+// Sparse node-attribute matrix X (n rows, d columns).
+#ifndef LACA_ATTR_ATTRIBUTE_MATRIX_HPP_
+#define LACA_ATTR_ATTRIBUTE_MATRIX_HPP_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace laca {
+
+/// Row-sparse attribute matrix with L2-normalized rows.
+///
+/// Row i is node v_i's attribute vector x^(i). The paper assumes
+/// ||x^(i)||_2 = 1 throughout (Section II-A); `Normalize()` enforces this and
+/// is called by all factory paths in this library. Column indices within a
+/// row are sorted, enabling O(nnz_i + nnz_j) sparse dot products.
+class AttributeMatrix {
+ public:
+  /// A single (column, value) attribute entry.
+  using Entry = std::pair<uint32_t, double>;
+
+  AttributeMatrix() = default;
+
+  /// Creates an all-zero matrix with `n` rows and `d` columns.
+  AttributeMatrix(NodeId n, uint32_t d);
+
+  /// Replaces row `i` with the given (column, value) pairs. Columns must be
+  /// < num_cols(); duplicates are merged and the row is sorted by column.
+  /// Throws std::invalid_argument on out-of-range input.
+  void SetRow(NodeId i, std::vector<Entry> entries);
+
+  /// L2-normalizes every non-empty row in place.
+  void Normalize();
+
+  NodeId num_rows() const { return static_cast<NodeId>(rows_.size()); }
+  uint32_t num_cols() const { return num_cols_; }
+  uint64_t num_nonzeros() const;
+
+  /// Sorted (column, value) entries of row i.
+  std::span<const Entry> Row(NodeId i) const {
+    return {rows_[i].data(), rows_[i].size()};
+  }
+
+  /// Sparse dot product x^(i) . x^(j).
+  double Dot(NodeId i, NodeId j) const;
+
+  /// Squared L2 norm of row i.
+  double RowNormSq(NodeId i) const;
+
+  /// Materializes row i as a dense length-d vector.
+  std::vector<double> DenseRow(NodeId i) const;
+
+  /// Squared Euclidean distance ||x^(i) - x^(j)||^2 (= 2 - 2 Dot for
+  /// normalized rows, but computed directly so it also works pre-Normalize).
+  double DistanceSq(NodeId i, NodeId j) const;
+
+ private:
+  uint32_t num_cols_ = 0;
+  std::vector<std::vector<Entry>> rows_;
+};
+
+}  // namespace laca
+
+#endif  // LACA_ATTR_ATTRIBUTE_MATRIX_HPP_

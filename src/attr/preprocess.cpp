@@ -1,0 +1,102 @@
+#include "attr/preprocess.hpp"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace laca {
+
+std::vector<uint32_t> DocumentFrequencies(const AttributeMatrix& x) {
+  std::vector<uint32_t> df(x.num_cols(), 0);
+  for (NodeId i = 0; i < x.num_rows(); ++i) {
+    for (const auto& [col, val] : x.Row(i)) {
+      if (val != 0.0) ++df[col];
+    }
+  }
+  return df;
+}
+
+AttributeMatrix Binarize(const AttributeMatrix& x) {
+  AttributeMatrix out(x.num_rows(), x.num_cols());
+  for (NodeId i = 0; i < x.num_rows(); ++i) {
+    std::vector<AttributeMatrix::Entry> row;
+    auto src = x.Row(i);
+    row.reserve(src.size());
+    for (const auto& [col, val] : src) {
+      if (val != 0.0) row.emplace_back(col, 1.0);
+    }
+    out.SetRow(i, std::move(row));
+  }
+  return out;
+}
+
+AttributeMatrix TfIdf(const AttributeMatrix& x, const TfIdfOptions& opts) {
+  LACA_CHECK(x.num_rows() > 0 && x.num_cols() > 0,
+             "TF-IDF input must be non-empty");
+  const double n = static_cast<double>(x.num_rows());
+  std::vector<uint32_t> df = DocumentFrequencies(x);
+  std::vector<double> idf(x.num_cols(), 0.0);
+  for (uint32_t j = 0; j < x.num_cols(); ++j) {
+    if (df[j] == 0) continue;
+    if (opts.smooth_idf) {
+      idf[j] = std::log((1.0 + n) / (1.0 + static_cast<double>(df[j]))) + 1.0;
+    } else {
+      idf[j] = std::log(n / static_cast<double>(df[j]));
+    }
+  }
+
+  AttributeMatrix out(x.num_rows(), x.num_cols());
+  for (NodeId i = 0; i < x.num_rows(); ++i) {
+    std::vector<AttributeMatrix::Entry> row;
+    auto src = x.Row(i);
+    row.reserve(src.size());
+    for (const auto& [col, val] : src) {
+      if (val == 0.0) continue;
+      // Sublinear scaling assumes count-like values; sub-1 weights (already
+      // scaled inputs) pass through untouched to keep tf positive.
+      const double magnitude = std::abs(val);
+      double tf = (opts.sublinear_tf && magnitude >= 1.0)
+                      ? 1.0 + std::log(magnitude)
+                      : magnitude;
+      const double weighted = tf * idf[col];
+      if (weighted != 0.0) row.emplace_back(col, weighted);
+    }
+    out.SetRow(i, std::move(row));
+  }
+  return out;
+}
+
+PrunedColumns PruneColumnsByFrequency(const AttributeMatrix& x,
+                                      const PruneColumnsOptions& opts) {
+  LACA_CHECK(opts.max_document_fraction > 0.0 &&
+                 opts.max_document_fraction <= 1.0,
+             "max_document_fraction must be in (0, 1]");
+  const double n = static_cast<double>(x.num_rows());
+  std::vector<uint32_t> df = DocumentFrequencies(x);
+
+  PrunedColumns out;
+  std::vector<uint32_t> new_index(x.num_cols(), static_cast<uint32_t>(-1));
+  for (uint32_t j = 0; j < x.num_cols(); ++j) {
+    if (df[j] < opts.min_document_frequency) continue;
+    if (static_cast<double>(df[j]) > opts.max_document_fraction * n) continue;
+    new_index[j] = static_cast<uint32_t>(out.kept.size());
+    out.kept.push_back(j);
+  }
+
+  out.matrix = AttributeMatrix(x.num_rows(),
+                               static_cast<uint32_t>(out.kept.size()));
+  if (out.kept.empty()) return out;
+  for (NodeId i = 0; i < x.num_rows(); ++i) {
+    std::vector<AttributeMatrix::Entry> row;
+    for (const auto& [col, val] : x.Row(i)) {
+      if (new_index[col] == static_cast<uint32_t>(-1) || val == 0.0) continue;
+      row.emplace_back(new_index[col], val);
+    }
+    out.matrix.SetRow(i, std::move(row));
+  }
+  return out;
+}
+
+}  // namespace laca

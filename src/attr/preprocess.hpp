@@ -1,0 +1,67 @@
+// Attribute preprocessing for raw bag-of-words / feature matrices.
+//
+// The paper's datasets ship attributes in very different conditions: Cora has
+// binary word flags, PubMed TF-IDF weights, BlogCL/Flickr huge noisy
+// vocabularies (d > 8000), OGB graphs dense float features. These transforms
+// bring raw matrices into the shape the SNAS machinery expects — informative,
+// bounded-dimension, L2-normalizable rows — and are what a user applies
+// between graph/formats.hpp loaders and Tnam::Build.
+//
+// All transforms return a new matrix; inputs are never modified. None of them
+// L2-normalizes — call Normalize() (or rely on Tnam::Build's requirement)
+// after the pipeline.
+#ifndef LACA_ATTR_PREPROCESS_HPP_
+#define LACA_ATTR_PREPROCESS_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "attr/attribute_matrix.hpp"
+
+namespace laca {
+
+/// Replaces every non-zero entry with 1 (bag-of-words presence flags).
+AttributeMatrix Binarize(const AttributeMatrix& x);
+
+/// Options for TF-IDF weighting.
+struct TfIdfOptions {
+  /// Use 1 + log(tf) instead of raw term frequency (sublinear scaling).
+  bool sublinear_tf = false;
+  /// Add-one smoothing of document frequencies (the scikit-learn convention:
+  /// idf = log((1 + n) / (1 + df)) + 1); without smoothing idf = log(n / df).
+  bool smooth_idf = true;
+};
+
+/// Applies TF-IDF weighting: entry (i, j) becomes tf(i, j) * idf(j), where
+/// df(j) counts rows with a non-zero in column j. Columns with df = 0 keep
+/// weight 0. Throws std::invalid_argument on an empty matrix.
+AttributeMatrix TfIdf(const AttributeMatrix& x, const TfIdfOptions& opts = {});
+
+/// Options for document-frequency column pruning.
+struct PruneColumnsOptions {
+  /// Drop columns appearing in fewer than this many rows (rare/noise terms).
+  uint32_t min_document_frequency = 1;
+  /// Drop columns appearing in more than this fraction of rows (stop words).
+  /// 1.0 keeps everything.
+  double max_document_fraction = 1.0;
+};
+
+/// Result of a column-pruning pass.
+struct PrunedColumns {
+  AttributeMatrix matrix;
+  /// Surviving columns: new column j held old column `kept[j]`.
+  std::vector<uint32_t> kept;
+};
+
+/// Drops under- and over-represented columns and compacts the indices.
+/// Rows losing all entries become empty rows (callers on attributed LGC
+/// typically want to keep such nodes but expect zero attribute affinity).
+PrunedColumns PruneColumnsByFrequency(const AttributeMatrix& x,
+                                      const PruneColumnsOptions& opts);
+
+/// Per-column document frequencies (rows with a non-zero in that column).
+std::vector<uint32_t> DocumentFrequencies(const AttributeMatrix& x);
+
+}  // namespace laca
+
+#endif  // LACA_ATTR_PREPROCESS_HPP_

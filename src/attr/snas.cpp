@@ -1,0 +1,144 @@
+#include "attr/snas.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "graph/builder.hpp"
+
+namespace laca {
+namespace {
+
+// Positive floor keeping the normalizers well-defined; SNAS is only
+// meaningful when sum_l f(x_i, x_l) > 0 (guaranteed for non-negative
+// attributes; clamped otherwise).
+constexpr double kNormFloor = 1e-12;
+
+std::vector<double> InvertSqrt(std::vector<double> sums) {
+  for (double& s : sums) s = 1.0 / std::sqrt(std::max(s, kNormFloor));
+  return sums;
+}
+
+}  // namespace
+
+ExactCosineSnas::ExactCosineSnas(const AttributeMatrix& x) : x_(x) {
+  // sum_l x_i . x_l = x_i . (sum_l x_l): one pass to build the column sums.
+  std::vector<double> colsum(x.num_cols(), 0.0);
+  for (NodeId i = 0; i < x.num_rows(); ++i) {
+    for (const auto& [col, val] : x.Row(i)) colsum[col] += val;
+  }
+  std::vector<double> sums(x.num_rows(), 0.0);
+  for (NodeId i = 0; i < x.num_rows(); ++i) {
+    double s = 0.0;
+    for (const auto& [col, val] : x.Row(i)) s += val * colsum[col];
+    sums[i] = s;
+  }
+  inv_norm_ = InvertSqrt(std::move(sums));
+}
+
+double ExactCosineSnas::Snas(NodeId i, NodeId j) const {
+  return x_.Dot(i, j) * inv_norm_[i] * inv_norm_[j];
+}
+
+ExactExpCosineSnas::ExactExpCosineSnas(const AttributeMatrix& x, double delta)
+    : x_(x), delta_(delta) {
+  LACA_CHECK(delta > 0.0, "delta must be positive");
+  const NodeId n = x.num_rows();
+  std::vector<double> sums(n, 0.0);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId l = 0; l < n; ++l) sums[i] += std::exp(x.Dot(i, l) / delta_);
+  }
+  inv_norm_ = InvertSqrt(std::move(sums));
+}
+
+double ExactExpCosineSnas::Snas(NodeId i, NodeId j) const {
+  return std::exp(x_.Dot(i, j) / delta_) * inv_norm_[i] * inv_norm_[j];
+}
+
+JaccardSnas::JaccardSnas(const AttributeMatrix& x) : x_(x) {
+  const NodeId n = x.num_rows();
+  std::vector<double> sums(n, 0.0);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId l = 0; l < n; ++l) sums[i] += Jaccard(i, l);
+  }
+  inv_norm_ = InvertSqrt(std::move(sums));
+}
+
+double JaccardSnas::Jaccard(NodeId i, NodeId j) const {
+  auto a = x_.Row(i);
+  auto b = x_.Row(j);
+  size_t p = 0, q = 0, common = 0;
+  while (p < a.size() && q < b.size()) {
+    if (a[p].first < b[q].first) {
+      ++p;
+    } else if (a[p].first > b[q].first) {
+      ++q;
+    } else {
+      ++common;
+      ++p;
+      ++q;
+    }
+  }
+  size_t uni = a.size() + b.size() - common;
+  return uni == 0 ? 0.0 : static_cast<double>(common) / static_cast<double>(uni);
+}
+
+double JaccardSnas::Snas(NodeId i, NodeId j) const {
+  return Jaccard(i, j) * inv_norm_[i] * inv_norm_[j];
+}
+
+PearsonSnas::PearsonSnas(const AttributeMatrix& x) : x_(x) {
+  const NodeId n = x.num_rows();
+  const uint32_t d = x.num_cols();
+  LACA_CHECK(d >= 2, "Pearson needs at least 2 attribute dimensions");
+  mean_.resize(n);
+  inv_std_.resize(n);
+  for (NodeId i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (const auto& [col, val] : x.Row(i)) sum += val;
+    mean_[i] = sum / d;
+    double var = 0.0;
+    // E[v^2] - mean^2 over all d entries (zeros included).
+    for (const auto& [col, val] : x.Row(i)) var += val * val;
+    var = var / d - mean_[i] * mean_[i];
+    inv_std_[i] = var > 0.0 ? 1.0 / std::sqrt(var) : 0.0;
+  }
+  std::vector<double> sums(n, 0.0);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId l = 0; l < n; ++l) sums[i] += ShiftedPearson(i, l);
+  }
+  inv_norm_ = InvertSqrt(std::move(sums));
+}
+
+double PearsonSnas::ShiftedPearson(NodeId i, NodeId j) const {
+  // cov(x_i, x_j) = E[x_i x_j] - mean_i mean_j over d dimensions.
+  const uint32_t d = x_.num_cols();
+  double exy = x_.Dot(i, j) / d;
+  double cov = exy - mean_[i] * mean_[j];
+  double corr = cov * inv_std_[i] * inv_std_[j];
+  corr = std::clamp(corr, -1.0, 1.0);
+  return corr + 1.0;  // shift to [0, 2] so SNAS normalizers stay positive
+}
+
+double PearsonSnas::Snas(NodeId i, NodeId j) const {
+  return ShiftedPearson(i, j) * inv_norm_[i] * inv_norm_[j];
+}
+
+Graph GaussianReweight(const Graph& graph, const AttributeMatrix& x,
+                       double bandwidth) {
+  LACA_CHECK(bandwidth > 0.0, "bandwidth must be positive");
+  LACA_CHECK(x.num_rows() == graph.num_nodes(),
+             "attribute rows must match node count");
+  const double inv = 1.0 / (2.0 * bandwidth * bandwidth);
+  GraphBuilder builder(graph.num_nodes());
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.Neighbors(u)) {
+      if (v <= u) continue;
+      double w = std::exp(-x.DistanceSq(u, v) * inv);
+      builder.AddEdge(u, v, std::max(w, kNormFloor));
+    }
+  }
+  return builder.Build(/*weighted=*/true);
+}
+
+}  // namespace laca

@@ -1,0 +1,155 @@
+#include "attr/tnam.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "la/qr.hpp"
+#include "la/randomized_svd.hpp"
+
+namespace laca {
+namespace {
+
+// y(i) . y* can dip below zero through low-rank / random-feature noise even
+// though the exact quantity sum_l f(x_i, x_l) is positive; clamp before the
+// square root in Eq. 18.
+constexpr double kNormFloor = 1e-12;
+
+// Builds Y for the cosine metric: Y = U Lambda (Lines 3-4 of Algo. 3), or the
+// raw attribute rows when the k-SVD is ablated.
+DenseMatrix BuildCosineY(const AttributeMatrix& x, const TnamOptions& opts) {
+  if (!opts.use_ksvd) {
+    DenseMatrix y(x.num_rows(), x.num_cols());
+    for (NodeId i = 0; i < x.num_rows(); ++i) {
+      auto row = y.Row(i);
+      for (const auto& [col, val] : x.Row(i)) row[col] = val;
+    }
+    return y;
+  }
+  KSvdOptions ks;
+  ks.rank = opts.k;
+  ks.power_iterations = opts.power_iterations;
+  ks.oversample = opts.oversample;
+  ks.seed = opts.seed;
+  KSvdResult svd = RandomizedKSvd(x, ks);
+  DenseMatrix y = std::move(svd.u);
+  for (size_t i = 0; i < y.rows(); ++i) {
+    auto row = y.Row(i);
+    for (size_t j = 0; j < y.cols(); ++j) row[j] *= svd.sigma[j];
+  }
+  return y;
+}
+
+// Orthogonal random features (Lines 6-9 of Algo. 3): given reduced features
+// F (n x r), samples an orthogonal matrix with chi-scaled rows and maps
+// Y = sqrt(2 exp(1/delta) / r) [sin(F S / delta) || cos(F S / delta)].
+DenseMatrix ApplyOrf(const DenseMatrix& f, double delta, uint64_t seed) {
+  const size_t r = f.cols();
+  Rng rng(seed);
+  // Random orthogonal Q (r x r) via QR of a Gaussian (Line 7).
+  DenseMatrix g(r, r);
+  for (double& v : g.data()) v = rng.Normal();
+  DenseMatrix q = QrOrthonormal(g);
+  // Chi-scaled rows so ||row_i(S Q)|| is distributed like a Gaussian row
+  // (Line 8): S = diag(chi(r)).
+  std::vector<double> chi(r);
+  for (double& c : chi) c = rng.Chi(static_cast<int>(r));
+  // Yhat = (1/delta) F (Sigma Q): projection matrix rows scaled by chi.
+  DenseMatrix proj(r, r);
+  for (size_t i = 0; i < r; ++i) {
+    for (size_t j = 0; j < r; ++j) proj(i, j) = chi[i] * q(i, j) / delta;
+  }
+  DenseMatrix yhat = f.Multiply(proj);
+  const double scale = std::sqrt(2.0 * std::exp(1.0 / delta) / r);
+  DenseMatrix y(f.rows(), 2 * r);
+  for (size_t i = 0; i < f.rows(); ++i) {
+    auto in = yhat.Row(i);
+    auto out = y.Row(i);
+    for (size_t j = 0; j < r; ++j) {
+      out[j] = scale * std::sin(in[j]);
+      out[r + j] = scale * std::cos(in[j]);
+    }
+  }
+  return y;
+}
+
+// w/o k-SVD exponential path: ORF directly on the d-dimensional attributes
+// with k orthonormal directions in R^d (rows of Q^T from a d x k Gaussian QR),
+// chi(d)-scaled so row norms match d-dimensional Gaussian vectors.
+DenseMatrix ApplyOrfRaw(const AttributeMatrix& x, int k, double delta,
+                        uint64_t seed) {
+  const uint32_t d = x.num_cols();
+  const size_t r = std::min<size_t>(k, d);
+  Rng rng(seed);
+  DenseMatrix g(d, r);
+  for (double& v : g.data()) v = rng.Normal();
+  DenseMatrix q = QrOrthonormal(g);  // d x r, orthonormal columns
+  std::vector<double> chi(r);
+  for (double& c : chi) c = rng.Chi(static_cast<int>(d));
+  // Yhat = (1/delta) X Q diag(chi): exploit X's sparsity.
+  DenseMatrix yhat = SparseTimesDense(x, q);
+  for (size_t i = 0; i < yhat.rows(); ++i) {
+    auto row = yhat.Row(i);
+    for (size_t j = 0; j < r; ++j) row[j] *= chi[j] / delta;
+  }
+  const double scale = std::sqrt(2.0 * std::exp(1.0 / delta) / r);
+  DenseMatrix y(yhat.rows(), 2 * r);
+  for (size_t i = 0; i < yhat.rows(); ++i) {
+    auto in = yhat.Row(i);
+    auto out = y.Row(i);
+    for (size_t j = 0; j < r; ++j) {
+      out[j] = scale * std::sin(in[j]);
+      out[r + j] = scale * std::cos(in[j]);
+    }
+  }
+  return y;
+}
+
+}  // namespace
+
+Tnam Tnam::FromMatrix(DenseMatrix z) {
+  LACA_CHECK(z.rows() > 0 && z.cols() > 0, "TNAM matrix must be non-empty");
+  return Tnam(std::move(z));
+}
+
+Tnam Tnam::Build(const AttributeMatrix& x, const TnamOptions& opts) {
+  LACA_CHECK(x.num_rows() > 0, "attribute matrix has no rows");
+  LACA_CHECK(x.num_cols() > 0, "attribute matrix has no columns");
+  LACA_CHECK(opts.k >= 1, "k must be >= 1");
+  LACA_CHECK(opts.delta > 0.0, "delta must be positive");
+
+  DenseMatrix y;
+  switch (opts.metric) {
+    case SnasMetric::kCosine:
+      y = BuildCosineY(x, opts);
+      break;
+    case SnasMetric::kExpCosine:
+      if (opts.use_ksvd) {
+        y = ApplyOrf(BuildCosineY(x, opts), opts.delta, opts.seed + 1);
+      } else {
+        y = ApplyOrfRaw(x, opts.k, opts.delta, opts.seed + 1);
+      }
+      break;
+  }
+
+  // Eq. 18: y* = sum_l y(l); z(i) = y(i) / sqrt(y(i) . y*).
+  const size_t n = y.rows(), dim = y.cols();
+  std::vector<double> ystar(dim, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    auto row = y.Row(i);
+    for (size_t j = 0; j < dim; ++j) ystar[j] += row[j];
+  }
+  for (size_t i = 0; i < n; ++i) {
+    auto row = y.Row(i);
+    double dot = 0.0;
+    for (size_t j = 0; j < dim; ++j) dot += row[j] * ystar[j];
+    double inv = 1.0 / std::sqrt(std::max(dot, kNormFloor));
+    for (size_t j = 0; j < dim; ++j) row[j] *= inv;
+  }
+  return Tnam(std::move(y));
+}
+
+}  // namespace laca

@@ -1,0 +1,68 @@
+// TNAM — transformed node attribute matrix Z (Algo. 3).
+//
+// Z factorizes the SNAS: s(v_i, v_j) ~= z(i) . z(j) (Eq. 10), which lets
+// LACA decouple the BDD into two graph diffusions plus O(k) work per node.
+#ifndef LACA_ATTR_TNAM_HPP_
+#define LACA_ATTR_TNAM_HPP_
+
+#include <cstdint>
+#include <span>
+
+#include "attr/attribute_matrix.hpp"
+#include "attr/snas.hpp"
+#include "la/matrix.hpp"
+
+namespace laca {
+
+/// Options for TNAM construction.
+struct TnamOptions {
+  /// Target dimension k of the k-SVD reduction (paper default: 32). The
+  /// exponential-cosine path emits 2k-dimensional rows (sin || cos).
+  int k = 32;
+  SnasMetric metric = SnasMetric::kCosine;
+  /// Sensitivity factor delta of the exponential cosine metric (Eq. 3);
+  /// the paper uses 1 or 2.
+  double delta = 1.0;
+  /// Subspace iterations of the randomized k-SVD (paper: 7).
+  int power_iterations = 7;
+  int oversample = 8;
+  uint64_t seed = 7;
+  /// Ablation switch (Table VI, "w/o k-SVD"): skip the rank-k reduction and
+  /// operate on the raw attribute matrix instead.
+  bool use_ksvd = true;
+};
+
+/// The constructed TNAM: dense rows z(i) with s(i, j) ~= z(i) . z(j).
+class Tnam : public SnasProvider {
+ public:
+  /// Runs Algo. 3 on the (L2-normalized) attribute matrix.
+  /// Throws std::invalid_argument on empty input or bad options.
+  static Tnam Build(const AttributeMatrix& x, const TnamOptions& opts);
+
+  /// Wraps an already-built Z matrix (deserialization and tests). Rows are
+  /// the z(i) vectors; no validation beyond non-emptiness is performed.
+  static Tnam FromMatrix(DenseMatrix z);
+
+  /// Number of nodes.
+  NodeId num_rows() const { return static_cast<NodeId>(z_.rows()); }
+
+  /// Row dimension: k for cosine, 2k for exponential cosine (sin || cos),
+  /// d when built with use_ksvd = false and the cosine metric.
+  size_t dim() const { return z_.cols(); }
+
+  /// The vector z(i).
+  std::span<const double> Row(NodeId i) const { return z_.Row(i); }
+
+  /// Approximate SNAS z(i) . z(j) (SnasProvider interface).
+  double Snas(NodeId i, NodeId j) const override { return z_.RowDot(i, j); }
+
+  const DenseMatrix& z() const { return z_; }
+
+ private:
+  explicit Tnam(DenseMatrix z) : z_(std::move(z)) {}
+  DenseMatrix z_;
+};
+
+}  // namespace laca
+
+#endif  // LACA_ATTR_TNAM_HPP_

@@ -1,0 +1,35 @@
+#include "attr/tnam_io.hpp"
+
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+
+namespace laca {
+
+void SaveTnamBinary(const Tnam& tnam, const std::string& path) {
+  BinaryWriter writer;
+  writer.WriteU64(tnam.z().rows());
+  writer.WriteU64(tnam.z().cols());
+  writer.WriteDoubleArray(tnam.z().data());
+  writer.Save(path, BinaryKind::kTnam);
+}
+
+Tnam LoadTnamBinary(const std::string& path) {
+  BinaryReader reader(path, BinaryKind::kTnam);
+  const uint64_t rows = reader.ReadU64();
+  const uint64_t cols = reader.ReadU64();
+  LACA_CHECK(rows == 0 ||
+                 cols <= std::numeric_limits<uint64_t>::max() / rows,
+             "TNAM dimensions overflow in " + path);
+  // ReadDoubleArray bounds the count against the payload size, so the
+  // allocation below is limited by the actual file size.
+  std::vector<double> data = reader.ReadDoubleArray(rows * cols);
+  reader.ExpectEnd();
+  DenseMatrix z(rows, cols);
+  z.data() = std::move(data);
+  return Tnam::FromMatrix(std::move(z));
+}
+
+}  // namespace laca

@@ -1,0 +1,25 @@
+// Binary persistence for the TNAM.
+//
+// Algo. 3 runs once per dataset and its output Z is reused by the LGC task
+// of every seed node (Section III-B), so a deployment saves the TNAM next to
+// the graph and reloads it instead of re-running the k-SVD. Files use the
+// checksummed container of common/serialize.hpp.
+#ifndef LACA_ATTR_TNAM_IO_HPP_
+#define LACA_ATTR_TNAM_IO_HPP_
+
+#include <string>
+
+#include "attr/tnam.hpp"
+
+namespace laca {
+
+/// Writes `tnam` to `path`. Throws std::invalid_argument on I/O failure.
+void SaveTnamBinary(const Tnam& tnam, const std::string& path);
+
+/// Reads a TNAM written by SaveTnamBinary. Throws std::invalid_argument on
+/// missing, corrupt, or truncated files.
+Tnam LoadTnamBinary(const std::string& path);
+
+}  // namespace laca
+
+#endif  // LACA_ATTR_TNAM_IO_HPP_

@@ -1,0 +1,60 @@
+#include "baselines/attrsim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "diffusion/diffusion.hpp"
+
+namespace laca {
+
+SparseVector SimAttrScores(const AttributeMatrix& attrs, NodeId seed,
+                           SnasMetric metric, double delta) {
+  LACA_CHECK(seed < attrs.num_rows(), "seed out of range");
+  LACA_CHECK(delta > 0.0, "delta must be positive");
+  SparseVector out;
+  for (NodeId v = 0; v < attrs.num_rows(); ++v) {
+    if (v == seed) continue;
+    double dot = attrs.Dot(seed, v);
+    double score =
+        metric == SnasMetric::kCosine ? dot : std::exp(dot / delta);
+    if (score > 0.0) out.Add(v, score);
+  }
+  out.Compact();
+  return out;
+}
+
+SparseVector AttriRankScores(const Graph& graph, const AttributeMatrix& attrs,
+                             NodeId seed, const AttriRankOptions& opts) {
+  LACA_CHECK(seed < graph.num_nodes(), "seed out of range");
+  LACA_CHECK(attrs.num_rows() == graph.num_nodes(),
+             "attribute rows must match node count");
+
+  // Restart distribution: exp-cosine similarity of the top attribute peers.
+  SparseVector sims =
+      SimAttrScores(attrs, seed, SnasMetric::kExpCosine, opts.delta);
+  sims.Add(seed, std::exp(1.0 / opts.delta));  // the seed itself
+  sims.SortByValueDesc();
+  SparseVector restart;
+  double total = 0.0;
+  size_t count = 0;
+  for (const auto& e : sims.entries()) {
+    if (count >= opts.restart_pool) break;
+    restart.Add(e.index, e.value);
+    total += e.value;
+    ++count;
+  }
+  if (total <= 0.0) {
+    restart = SparseVector::Unit(seed);
+    total = 1.0;
+  }
+  for (auto& e : restart.mutable_entries()) e.value /= total;
+
+  DiffusionEngine engine(graph);
+  DiffusionOptions dopts;
+  dopts.alpha = opts.alpha;
+  dopts.epsilon = opts.epsilon;
+  return engine.Adaptive(restart, dopts);
+}
+
+}  // namespace laca

@@ -1,0 +1,42 @@
+// Attribute-similarity baselines (Table IV, group 3): SimAttr (C) [56],
+// SimAttr (E) [57], and AttriRank [58].
+#ifndef LACA_BASELINES_ATTRSIM_HPP_
+#define LACA_BASELINES_ATTRSIM_HPP_
+
+#include "attr/attribute_matrix.hpp"
+#include "attr/snas.hpp"
+#include "common/sparse_vector.hpp"
+#include "graph/graph.hpp"
+
+namespace laca {
+
+/// Scores every node by its attribute similarity to the seed: cosine
+/// (kCosine) or exp(cosine / delta) (kExpCosine). The two variants induce the
+/// same ranking (exp is monotone), which is why the paper's Table V reports
+/// identical precisions for SimAttr (C) and SimAttr (E).
+SparseVector SimAttrScores(const AttributeMatrix& attrs, NodeId seed,
+                           SnasMetric metric, double delta = 1.0);
+
+/// Options for the AttriRank-style baseline.
+struct AttriRankOptions {
+  /// RWR walk probability.
+  double alpha = 0.8;
+  /// Diffusion threshold.
+  double epsilon = 1e-6;
+  /// Restart-mass pool: the top-`restart_pool` nodes by attribute similarity
+  /// to the seed receive similarity-proportional restart mass.
+  size_t restart_pool = 256;
+  double delta = 1.0;
+};
+
+/// AttriRank-lite: an unsupervised attribute-augmented ranking. The restart
+/// distribution is proportional to exp-cosine attribute similarity between
+/// the seed and its most attribute-similar nodes; scores are the resulting
+/// RWR diffusion (a simplification of [58] preserving its
+/// structure-plus-attribute ranking character; see DESIGN.md).
+SparseVector AttriRankScores(const Graph& graph, const AttributeMatrix& attrs,
+                             NodeId seed, const AttriRankOptions& opts);
+
+}  // namespace laca
+
+#endif  // LACA_BASELINES_ATTRSIM_HPP_

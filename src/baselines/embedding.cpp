@@ -1,0 +1,197 @@
+#include "baselines/embedding.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "la/randomized_svd.hpp"
+
+namespace laca {
+namespace {
+
+void NormalizeRows(DenseMatrix& m) {
+  for (size_t i = 0; i < m.rows(); ++i) {
+    auto row = m.Row(i);
+    double norm_sq = 0.0;
+    for (double v : row) norm_sq += v * v;
+    if (norm_sq <= 0.0) continue;
+    double inv = 1.0 / std::sqrt(norm_sq);
+    for (double& v : row) v *= inv;
+  }
+}
+
+// Reduces the sparse attributes to a dense n x dim panel U * Lambda.
+DenseMatrix ReduceAttributes(const AttributeMatrix& attrs, int dim,
+                             uint64_t seed) {
+  KSvdOptions opts;
+  opts.rank = dim;
+  opts.seed = seed;
+  opts.power_iterations = 4;  // embeddings need less spectral accuracy
+  KSvdResult svd = RandomizedKSvd(attrs, opts);
+  DenseMatrix out = std::move(svd.u);
+  for (size_t i = 0; i < out.rows(); ++i) {
+    auto row = out.Row(i);
+    for (size_t j = 0; j < out.cols(); ++j) row[j] *= svd.sigma[j];
+  }
+  return out;
+}
+
+// One round of Y = P * X for dense X (row-major), unweighted or weighted.
+DenseMatrix PropagateOnce(const Graph& graph, const DenseMatrix& x) {
+  const size_t dim = x.cols();
+  DenseMatrix y(x.rows(), dim);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    auto out = y.Row(v);
+    auto nbrs = graph.Neighbors(v);
+    if (nbrs.empty()) continue;
+    if (graph.is_weighted()) {
+      auto wts = graph.NeighborWeights(v);
+      double inv = 1.0 / graph.Degree(v);
+      for (size_t e = 0; e < nbrs.size(); ++e) {
+        auto in = x.Row(nbrs[e]);
+        double w = wts[e] * inv;
+        for (size_t j = 0; j < dim; ++j) out[j] += w * in[j];
+      }
+    } else {
+      double inv = 1.0 / static_cast<double>(nbrs.size());
+      for (NodeId u : nbrs) {
+        auto in = x.Row(u);
+        for (size_t j = 0; j < dim; ++j) out[j] += inv * in[j];
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace
+
+Embedding Node2VecLite(const Graph& graph, const Node2VecOptions& opts) {
+  LACA_CHECK(opts.dim >= 1 && opts.walks_per_node >= 1 && opts.walk_length >= 2 &&
+                 opts.window >= 1,
+             "bad Node2Vec options");
+  const NodeId n = graph.num_nodes();
+  Rng rng(opts.seed);
+
+  // Windowed co-occurrence counts from uniform random walks.
+  std::unordered_map<uint64_t, uint32_t> pair_count;
+  std::vector<double> node_count(n, 0.0);
+  double total = 0.0;
+  std::vector<NodeId> walk(opts.walk_length);
+  for (NodeId start = 0; start < n; ++start) {
+    for (int w = 0; w < opts.walks_per_node; ++w) {
+      walk[0] = start;
+      for (int t = 1; t < opts.walk_length; ++t) {
+        auto nbrs = graph.Neighbors(walk[t - 1]);
+        walk[t] = nbrs[rng.UniformInt(nbrs.size())];
+      }
+      for (int t = 0; t < opts.walk_length; ++t) {
+        for (int o = 1; o <= opts.window && t + o < opts.walk_length; ++o) {
+          NodeId a = walk[t], b = walk[t + o];
+          if (a == b) continue;
+          uint64_t key = (static_cast<uint64_t>(std::min(a, b)) << 32) |
+                         std::max(a, b);
+          ++pair_count[key];
+          node_count[a] += 1.0;
+          node_count[b] += 1.0;
+          total += 2.0;
+        }
+      }
+    }
+  }
+
+  // Positive PMI matrix (symmetric, stored as sparse rows), then k-SVD.
+  std::vector<std::vector<AttributeMatrix::Entry>> rows(n);
+  for (const auto& [key, cnt] : pair_count) {
+    NodeId a = static_cast<NodeId>(key >> 32);
+    NodeId b = static_cast<NodeId>(key & 0xffffffffu);
+    double pmi = std::log(static_cast<double>(cnt) * total /
+                          (node_count[a] * node_count[b]));
+    if (pmi <= 0.0) continue;
+    rows[a].emplace_back(b, pmi);
+    rows[b].emplace_back(a, pmi);
+  }
+  AttributeMatrix ppmi(n, n);
+  for (NodeId v = 0; v < n; ++v) ppmi.SetRow(v, std::move(rows[v]));
+
+  KSvdOptions kopts;
+  kopts.rank = opts.dim;
+  kopts.seed = opts.seed + 1;
+  kopts.power_iterations = 3;
+  KSvdResult svd = RandomizedKSvd(ppmi, kopts);
+  Embedding emb{std::move(svd.u)};
+  // Scale by sqrt(sigma) (the NetMF convention), then normalize.
+  for (size_t i = 0; i < emb.vectors.rows(); ++i) {
+    auto row = emb.vectors.Row(i);
+    for (size_t j = 0; j < emb.vectors.cols(); ++j) {
+      row[j] *= std::sqrt(std::max(svd.sigma[j], 0.0));
+    }
+  }
+  NormalizeRows(emb.vectors);
+  return emb;
+}
+
+Embedding SageLite(const Graph& graph, const AttributeMatrix& attrs,
+                   const SageOptions& opts) {
+  LACA_CHECK(attrs.num_rows() == graph.num_nodes(),
+             "attribute rows must match node count");
+  LACA_CHECK(opts.dim >= 1 && opts.hops >= 1, "bad SAGE options");
+  DenseMatrix h = ReduceAttributes(attrs, opts.dim, opts.seed);
+  for (int hop = 0; hop < opts.hops; ++hop) {
+    DenseMatrix agg = PropagateOnce(graph, h);
+    // Mean of self and neighborhood representation.
+    for (size_t i = 0; i < h.rows(); ++i) {
+      auto self = h.Row(i);
+      auto nbr = agg.Row(i);
+      for (size_t j = 0; j < h.cols(); ++j) self[j] = 0.5 * (self[j] + nbr[j]);
+    }
+  }
+  NormalizeRows(h);
+  return Embedding{std::move(h)};
+}
+
+Embedding PaneLite(const Graph& graph, const AttributeMatrix& attrs,
+                   const PaneOptions& opts) {
+  LACA_CHECK(attrs.num_rows() == graph.num_nodes(),
+             "attribute rows must match node count");
+  LACA_CHECK(opts.alpha > 0.0 && opts.alpha < 1.0, "alpha must be in (0,1)");
+  DenseMatrix x = ReduceAttributes(attrs, opts.dim, opts.seed);
+  DenseMatrix f(x.rows(), x.cols());
+  DenseMatrix cur = x;
+  double coeff = 1.0 - opts.alpha;
+  for (int l = 0; l <= opts.iterations; ++l) {
+    for (size_t i = 0; i < f.data().size(); ++i) {
+      f.data()[i] += coeff * cur.data()[i];
+    }
+    if (l == opts.iterations) break;
+    cur = PropagateOnce(graph, cur);
+    coeff *= opts.alpha;
+  }
+  NormalizeRows(f);
+  return Embedding{std::move(f)};
+}
+
+Embedding CfaneLite(const Graph& graph, const AttributeMatrix& attrs,
+                    const CfaneOptions& opts) {
+  Embedding topo = Node2VecLite(graph, opts.node2vec);
+  Embedding attr = PaneLite(graph, attrs, opts.pane);
+  Embedding fused{topo.vectors.ConcatColumns(attr.vectors)};
+  NormalizeRows(fused.vectors);
+  return fused;
+}
+
+SparseVector KnnScores(const Embedding& embedding, NodeId seed) {
+  LACA_CHECK(seed < embedding.vectors.rows(), "seed out of range");
+  SparseVector out;
+  for (size_t v = 0; v < embedding.vectors.rows(); ++v) {
+    if (v == seed) continue;
+    double dot = embedding.vectors.RowDot(seed, v);
+    if (dot > 0.0) out.Add(static_cast<NodeId>(v), dot);
+  }
+  out.Compact();
+  return out;
+}
+
+}  // namespace laca

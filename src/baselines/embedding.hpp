@@ -1,0 +1,87 @@
+// Network-embedding baselines (Table IV, group 4).
+//
+// The originals are full research systems with training loops; these are
+// "lite" equivalents built on known closed forms so that the comparison
+// exercises the same code path — a global preprocessing stage producing
+// per-node vectors, followed by K-NN extraction around the seed:
+//   * Node2Vec-lite: NetMF-style factorization of the positive PMI of
+//     windowed random-walk co-occurrences (Qiu et al. show DeepWalk/node2vec
+//     are equivalent to this factorization);
+//   * SAGE-lite:  untrained GraphSAGE-mean == SGC-style feature propagation;
+//   * PANE-lite:  forward-affinity (RWR-propagated attribute) factorization;
+//   * CFANE-lite: fusion of the topology and attribute embeddings.
+// See DESIGN.md §3 for the substitution rationale.
+#ifndef LACA_BASELINES_EMBEDDING_HPP_
+#define LACA_BASELINES_EMBEDDING_HPP_
+
+#include <cstdint>
+
+#include "attr/attribute_matrix.hpp"
+#include "common/sparse_vector.hpp"
+#include "graph/graph.hpp"
+#include "la/matrix.hpp"
+
+namespace laca {
+
+/// A per-node embedding (rows are L2-normalized).
+struct Embedding {
+  DenseMatrix vectors;  // n x dim
+};
+
+/// Options for Node2Vec-lite (random-walk co-occurrence factorization).
+struct Node2VecOptions {
+  int dim = 64;
+  int walks_per_node = 4;
+  int walk_length = 12;
+  int window = 3;
+  uint64_t seed = 17;
+};
+
+/// DeepWalk/node2vec equivalent: sample walks, build the windowed
+/// co-occurrence PPMI matrix, and factorize it with the randomized k-SVD.
+/// Preprocessing cost O(n * walks * length * window + nnz * dim).
+Embedding Node2VecLite(const Graph& graph, const Node2VecOptions& opts);
+
+/// Options for SAGE-lite (untrained mean-aggregation).
+struct SageOptions {
+  int dim = 64;
+  int hops = 2;
+  uint64_t seed = 18;
+};
+
+/// Untrained GraphSAGE-mean: reduce attributes to `dim` via k-SVD, then
+/// apply `hops` rounds of (self + neighbor-mean) aggregation.
+Embedding SageLite(const Graph& graph, const AttributeMatrix& attrs,
+                   const SageOptions& opts);
+
+/// Options for PANE-lite (forward-affinity propagation).
+struct PaneOptions {
+  int dim = 64;
+  double alpha = 0.5;
+  int iterations = 10;
+  uint64_t seed = 19;
+};
+
+/// Forward affinity: F = sum_l (1-alpha) alpha^l P^l X_k over k-SVD-reduced
+/// attributes — the random-walk attribute affinity PANE factorizes.
+Embedding PaneLite(const Graph& graph, const AttributeMatrix& attrs,
+                   const PaneOptions& opts);
+
+/// Options for CFANE-lite (cross-fusion of topology and attribute channels).
+struct CfaneOptions {
+  Node2VecOptions node2vec;
+  PaneOptions pane;
+};
+
+/// Concatenates the Node2Vec-lite (topology) and PANE-lite (attribute)
+/// channels and re-normalizes — the fusion idea of CFANE.
+Embedding CfaneLite(const Graph& graph, const AttributeMatrix& attrs,
+                    const CfaneOptions& opts);
+
+/// K-NN extraction: cosine similarity of every node's embedding to the
+/// seed's (the paper's best-performing extraction for these baselines).
+SparseVector KnnScores(const Embedding& embedding, NodeId seed);
+
+}  // namespace laca
+
+#endif  // LACA_BASELINES_EMBEDDING_HPP_

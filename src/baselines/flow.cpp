@@ -1,0 +1,173 @@
+#include "baselines/flow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace laca {
+
+SparseVector FlowDiffusion(const Graph& graph, NodeId seed,
+                           const FlowDiffusionOptions& opts) {
+  LACA_CHECK(seed < graph.num_nodes(), "seed out of range");
+  LACA_CHECK(opts.source_mass_factor > 0.0, "source_mass_factor must be > 0");
+
+  double target_volume = opts.target_volume;
+  if (target_volume <= 0.0) {
+    double avg_degree = graph.TotalVolume() / graph.num_nodes();
+    target_volume = static_cast<double>(opts.size_hint) * avg_degree;
+  }
+  const double source_mass = opts.source_mass_factor * target_volume;
+
+  // Sparse state: potentials x and incoming mass m, both seed-local.
+  std::unordered_map<NodeId, double> x, m;
+  m[seed] = source_mass;
+  std::deque<NodeId> active;
+  std::unordered_map<NodeId, bool> queued;
+  active.push_back(seed);
+  queued[seed] = true;
+
+  uint64_t updates = 0;
+  while (!active.empty() && updates < opts.max_updates) {
+    NodeId v = active.front();
+    active.pop_front();
+    queued[v] = false;
+    double capacity = graph.Degree(v);
+    double excess = m[v] - capacity;
+    if (excess <= opts.tol * capacity) continue;
+    // Raise x_v so that the excess is routed out: flow on edge (v,u) is
+    // w_vu (x_v - x_u); raising x_v by delta sends w_vu * delta more to each
+    // neighbor, d(v) * delta in total.
+    double delta = excess / capacity;
+    x[v] += delta;
+    m[v] = capacity;
+    auto nbrs = graph.Neighbors(v);
+    auto wts = graph.NeighborWeights(v);
+    for (size_t e = 0; e < nbrs.size(); ++e) {
+      NodeId u = nbrs[e];
+      double w = graph.is_weighted() ? wts[e] : 1.0;
+      m[u] += w * delta;
+      if (m[u] > graph.Degree(u) * (1.0 + opts.tol) && !queued[u]) {
+        active.push_back(u);
+        queued[u] = true;
+      }
+    }
+    ++updates;
+    // v may still be above capacity due to neighbors pushing back later; it
+    // re-enters the queue through the neighbor loop when that happens.
+  }
+
+  SparseVector out;
+  for (const auto& [v, val] : x) {
+    if (val > 0.0) out.Add(v, val);
+  }
+  out.Compact();
+  return out;
+}
+
+SparseVector Crd(const Graph& graph, NodeId seed, const CrdOptions& opts) {
+  LACA_CHECK(seed < graph.num_nodes(), "seed out of range");
+  LACA_CHECK(opts.height >= 1, "height must be >= 1");
+
+  // Sparse push-relabel state local to the explored region.
+  std::unordered_map<NodeId, double> mass;    // current mass at node
+  std::unordered_map<NodeId, uint32_t> label; // push-relabel height
+  // Flow already routed along each arc this round, keyed by (lo, hi) with a
+  // sign convention: positive means lo -> hi.
+  std::unordered_map<uint64_t, double> flow;
+  auto arc_key = [&](NodeId a, NodeId b) {
+    NodeId lo = std::min(a, b), hi = std::max(a, b);
+    return (static_cast<uint64_t>(lo) << 32) | hi;
+  };
+  auto arc_flow = [&](NodeId from, NodeId to) {
+    double f = flow[arc_key(from, to)];
+    return from < to ? f : -f;
+  };
+  auto add_arc_flow = [&](NodeId from, NodeId to, double df) {
+    flow[arc_key(from, to)] += (from < to) ? df : -df;
+  };
+
+  double source = 2.0 * graph.Degree(seed);
+  mass[seed] = source;
+  uint64_t operations = 0;
+
+  for (uint32_t round = 0; round < opts.outer_iterations; ++round) {
+    const double edge_capacity = std::pow(2.0, round + 1);
+    flow.clear();
+    // Unit-Flow: settle mass so every node holds at most d(v) (sink capacity),
+    // pushing along admissible arcs (label(v) == label(u) + 1).
+    std::deque<NodeId> active;
+    std::unordered_map<NodeId, bool> queued;
+    for (const auto& [v, mv] : mass) {
+      if (mv > graph.Degree(v)) {
+        active.push_back(v);
+        queued[v] = true;
+      }
+    }
+    while (!active.empty() && operations < opts.max_operations) {
+      NodeId v = active.front();
+      active.pop_front();
+      queued[v] = false;
+      double excess = mass[v] - graph.Degree(v);
+      if (excess <= 1e-12) continue;
+      uint32_t lv = label[v];
+      if (lv >= opts.height) continue;  // stuck at the cap; keep its excess
+      bool pushed = false;
+      for (NodeId u : graph.Neighbors(v)) {
+        if (excess <= 1e-12) break;
+        // Admissible arcs only: label(v) == label(u) + 1.
+        if (label[u] + 1 != lv) continue;
+        double residual = edge_capacity - arc_flow(v, u);
+        if (residual <= 1e-12) continue;
+        // Push up to the receiver's remaining sink+buffer capacity.
+        double room = 2.0 * graph.Degree(u) - mass[u];
+        double df = std::min({excess, residual, std::max(room, 0.0)});
+        if (df <= 1e-12) continue;
+        add_arc_flow(v, u, df);
+        mass[v] -= df;
+        mass[u] += df;
+        excess -= df;
+        pushed = true;
+        ++operations;
+        if (mass[u] > graph.Degree(u) && !queued[u]) {
+          active.push_back(u);
+          queued[u] = true;
+        }
+      }
+      if (excess > 1e-12) {
+        if (!pushed) {
+          ++label[v];
+          ++operations;
+        }
+        if (label[v] < opts.height && !queued[v]) {
+          active.push_back(v);
+          queued[v] = true;
+        }
+      }
+    }
+    // Measure how much mass could not be settled below sink capacity.
+    double overflow = 0.0, total = 0.0;
+    for (const auto& [v, mv] : mass) {
+      total += mv;
+      overflow += std::max(mv - graph.Degree(v), 0.0);
+    }
+    if (overflow > opts.overflow_fraction * total) break;
+    if (round + 1 < opts.outer_iterations) {
+      // Capacity release: double all mass for the next round.
+      for (auto& [v, mv] : mass) mv *= 2.0;
+      for (auto& [v, lv] : label) lv = 0;
+    }
+  }
+
+  SparseVector out;
+  for (const auto& [v, mv] : mass) {
+    if (mv > 0.0) out.Add(v, mv / graph.Degree(v));
+  }
+  out.Compact();
+  return out;
+}
+
+}  // namespace laca

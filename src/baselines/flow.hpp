@@ -1,0 +1,59 @@
+// Flow-based local clustering baselines (Table IV, group 1):
+// CRD [20], p-Norm Flow Diffusion (p=2) [21], and WFD [33].
+#ifndef LACA_BASELINES_FLOW_HPP_
+#define LACA_BASELINES_FLOW_HPP_
+
+#include <cstdint>
+
+#include "common/sparse_vector.hpp"
+#include "graph/graph.hpp"
+
+namespace laca {
+
+/// Options for p-norm flow diffusion with p = 2.
+struct FlowDiffusionOptions {
+  /// Source mass placed on the seed, as a multiple of the target cluster
+  /// volume estimate (the original paper seeds vol(C)-proportional mass).
+  double source_mass_factor = 3.0;
+  /// Estimated target cluster volume; 0 derives it from `size_hint`.
+  double target_volume = 0.0;
+  /// Target cluster size used when target_volume == 0 (multiplied by the
+  /// graph's average degree).
+  size_t size_hint = 100;
+  /// Convergence: stop when no node's excess exceeds (1 + tol) * capacity.
+  double tol = 1e-3;
+  /// Safety cap on coordinate updates.
+  uint64_t max_updates = 50'000'000;
+};
+
+/// Solves the p = 2 flow diffusion dual by Gauss–Southwell coordinate ascent
+/// on node potentials x >= 0 (Fountoulakis et al., ICML'20): repeatedly pick
+/// a node whose incoming mass exceeds its sink capacity d(v) and raise its
+/// potential until the excess is routed to its neighbors. Returns the final
+/// potentials, whose support is the candidate cluster (rank by value).
+/// Works on weighted graphs; WFD [33] is this routine on the Gaussian-kernel
+/// attribute-reweighted graph (see GaussianReweight()).
+SparseVector FlowDiffusion(const Graph& graph, NodeId seed,
+                           const FlowDiffusionOptions& opts);
+
+/// Options for Capacity Releasing Diffusion.
+struct CrdOptions {
+  /// Height cap h of the Unit-Flow push-relabel subroutine.
+  uint32_t height = 20;
+  /// Outer iterations; source mass doubles each round (capacity releasing).
+  uint32_t outer_iterations = 6;
+  /// Stop doubling once at least this fraction of mass cannot be settled.
+  double overflow_fraction = 0.1;
+  /// Safety cap on push/relabel operations.
+  uint64_t max_operations = 50'000'000;
+};
+
+/// Capacity Releasing Diffusion (Wang et al., ICML'17), simplified: rounds of
+/// Unit-Flow (push-relabel with per-node sink capacity d(v), edge capacities
+/// doubling each round) starting from 2 d(s) units at the seed. Returns the
+/// settled mass per node divided by degree (rank by value).
+SparseVector Crd(const Graph& graph, NodeId seed, const CrdOptions& opts);
+
+}  // namespace laca
+
+#endif  // LACA_BASELINES_FLOW_HPP_

@@ -1,0 +1,100 @@
+#include "baselines/lgc.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "diffusion/diffusion.hpp"
+
+namespace laca {
+
+SparseVector PrNibble(const Graph& graph, NodeId seed,
+                      const PrNibbleOptions& opts) {
+  LACA_CHECK(seed < graph.num_nodes(), "seed out of range");
+  DiffusionEngine engine(graph);
+  DiffusionOptions dopts;
+  dopts.alpha = opts.alpha;
+  dopts.epsilon = opts.epsilon;
+  SparseVector q = engine.Greedy(SparseVector::Unit(seed), dopts);
+  for (auto& e : q.mutable_entries()) e.value /= graph.Degree(e.index);
+  return q;
+}
+
+SparseVector AprNibble(const Graph& reweighted_graph, NodeId seed,
+                       const PrNibbleOptions& opts) {
+  return PrNibble(reweighted_graph, seed, opts);
+}
+
+SparseVector HkRelax(const Graph& graph, NodeId seed,
+                     const HkRelaxOptions& opts) {
+  LACA_CHECK(seed < graph.num_nodes(), "seed out of range");
+  LACA_CHECK(opts.t > 0.0, "t must be positive");
+  LACA_CHECK(opts.epsilon > 0.0, "epsilon must be positive");
+
+  // Taylor order N: smallest N with remaining tail mass < epsilon / 2.
+  int order = 1;
+  {
+    double term = std::exp(-opts.t);  // c_0
+    double acc = term;
+    while (order < opts.max_order && 1.0 - acc > opts.epsilon / 2.0) {
+      term *= opts.t / order;
+      acc += term;
+      ++order;
+    }
+  }
+  const int n_stages = order;
+  const double drop_threshold = opts.epsilon / static_cast<double>(n_stages + 1);
+
+  const NodeId n = graph.num_nodes();
+  std::vector<double> cur(n, 0.0), next(n, 0.0), x(n, 0.0);
+  std::vector<NodeId> cur_support, next_support, x_support;
+  cur[seed] = 1.0;
+  cur_support.push_back(seed);
+  x[seed] = 0.0;
+
+  double coeff = std::exp(-opts.t);  // c_k = e^{-t} t^k / k!
+  for (int k = 0; k <= n_stages; ++k) {
+    // Accumulate this stage's contribution into the solution.
+    for (NodeId v : cur_support) {
+      if (cur[v] == 0.0) continue;
+      if (x[v] == 0.0) x_support.push_back(v);
+      x[v] += coeff * cur[v];
+    }
+    if (k == n_stages) break;
+    // Push to the next stage, dropping sub-threshold residues.
+    for (NodeId v : cur_support) {
+      double mass = cur[v];
+      cur[v] = 0.0;
+      if (mass < drop_threshold * graph.Degree(v)) continue;
+      auto nbrs = graph.Neighbors(v);
+      if (graph.is_weighted()) {
+        auto wts = graph.NeighborWeights(v);
+        double scale = mass / graph.Degree(v);
+        for (size_t e = 0; e < nbrs.size(); ++e) {
+          NodeId u = nbrs[e];
+          if (next[u] == 0.0) next_support.push_back(u);
+          next[u] += scale * wts[e];
+        }
+      } else {
+        double inc = mass / static_cast<double>(nbrs.size());
+        for (NodeId u : nbrs) {
+          if (next[u] == 0.0) next_support.push_back(u);
+          next[u] += inc;
+        }
+      }
+    }
+    cur_support.clear();
+    std::swap(cur, next);
+    std::swap(cur_support, next_support);
+    coeff *= opts.t / static_cast<double>(k + 1);
+  }
+
+  SparseVector out;
+  for (NodeId v : x_support) {
+    if (x[v] > 0.0) out.Add(v, x[v] / graph.Degree(v));
+  }
+  out.Compact();
+  return out;
+}
+
+}  // namespace laca

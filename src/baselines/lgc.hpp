@@ -1,0 +1,53 @@
+// Diffusion-based local graph clustering baselines (Table IV, group 1):
+// PR-Nibble [15], APR-Nibble, and HK-Relax [16].
+#ifndef LACA_BASELINES_LGC_HPP_
+#define LACA_BASELINES_LGC_HPP_
+
+#include "attr/attribute_matrix.hpp"
+#include "common/sparse_vector.hpp"
+#include "graph/graph.hpp"
+
+namespace laca {
+
+/// Options for PR-Nibble (approximate personalized PageRank push).
+struct PrNibbleOptions {
+  /// Walk probability (same convention as DiffusionOptions::alpha).
+  double alpha = 0.8;
+  /// Push threshold; support and cost are O(1/((1-alpha) epsilon)).
+  double epsilon = 1e-6;
+};
+
+/// Runs the Andersen–Chung–Lang push from `seed` and returns the
+/// degree-normalized scores q_u / d(u) used for ranking / sweeping.
+/// Works on weighted graphs too (APR-Nibble passes a reweighted graph).
+SparseVector PrNibble(const Graph& graph, NodeId seed,
+                      const PrNibbleOptions& opts);
+
+/// APR-Nibble: PR-Nibble on the Gaussian-kernel attribute-reweighted graph.
+/// Build the weighted graph once per dataset with GaussianReweight() and pass
+/// it here; provided as a convenience wrapper.
+SparseVector AprNibble(const Graph& reweighted_graph, NodeId seed,
+                       const PrNibbleOptions& opts);
+
+/// Options for HK-Relax (heat-kernel PageRank push).
+struct HkRelaxOptions {
+  /// Heat kernel temperature t (the paper's baselines use small constants).
+  double t = 5.0;
+  /// Accuracy threshold; the stage-wise push drops per-node residues below
+  /// epsilon * d(v) / (N+1) at each Taylor stage.
+  double epsilon = 1e-4;
+  /// Hard cap on the Taylor order (chosen automatically from t and epsilon).
+  int max_order = 64;
+};
+
+/// Deterministic stage-wise approximation of the heat kernel diffusion
+/// h = sum_k e^{-t} t^k/k! (e_s P^k): at each Taylor stage, nodes holding at
+/// least (epsilon/(N+1)) d(v) stage mass push to their neighbors; smaller
+/// residues are dropped, bounding the total error per node by epsilon d(v).
+/// Returns degree-normalized scores h_u / d(u).
+SparseVector HkRelax(const Graph& graph, NodeId seed,
+                     const HkRelaxOptions& opts);
+
+}  // namespace laca
+
+#endif  // LACA_BASELINES_LGC_HPP_

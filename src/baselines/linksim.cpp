@@ -1,0 +1,119 @@
+#include "baselines/linksim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace laca {
+namespace {
+
+// Nodes within two hops of the seed (excluding the seed itself).
+std::vector<NodeId> TwoHopCandidates(const Graph& graph, NodeId seed,
+                                     size_t cap = 0) {
+  std::unordered_set<NodeId> seen{seed};
+  std::vector<NodeId> out;
+  for (NodeId u : graph.Neighbors(seed)) {
+    if (seen.insert(u).second) out.push_back(u);
+  }
+  size_t one_hop = out.size();
+  for (size_t i = 0; i < one_hop; ++i) {
+    for (NodeId w : graph.Neighbors(out[i])) {
+      if (seen.insert(w).second) {
+        out.push_back(w);
+        if (cap > 0 && out.size() >= cap) return out;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SparseVector LinkSimilarityScores(const Graph& graph, NodeId seed,
+                                  LinkSimilarity kind) {
+  LACA_CHECK(seed < graph.num_nodes(), "seed out of range");
+  auto ns = graph.Neighbors(seed);
+  std::unordered_set<NodeId> seed_nbrs(ns.begin(), ns.end());
+
+  SparseVector out;
+  for (NodeId v : TwoHopCandidates(graph, seed)) {
+    double common = 0.0, score = 0.0;
+    size_t cn = 0;
+    for (NodeId w : graph.Neighbors(v)) {
+      if (!seed_nbrs.count(w)) continue;
+      ++cn;
+      switch (kind) {
+        case LinkSimilarity::kCommonNeighbors:
+        case LinkSimilarity::kJaccard:
+          common += 1.0;
+          break;
+        case LinkSimilarity::kAdamicAdar: {
+          double d = graph.DegreeCount(w);
+          if (d > 1.0) common += 1.0 / std::log(d);
+          break;
+        }
+      }
+    }
+    if (cn == 0) continue;
+    switch (kind) {
+      case LinkSimilarity::kCommonNeighbors:
+      case LinkSimilarity::kAdamicAdar:
+        score = common;
+        break;
+      case LinkSimilarity::kJaccard: {
+        double uni = static_cast<double>(ns.size()) +
+                     static_cast<double>(graph.DegreeCount(v)) - common;
+        score = uni > 0.0 ? common / uni : 0.0;
+        break;
+      }
+    }
+    if (score > 0.0) out.Add(v, score);
+  }
+  out.Compact();
+  return out;
+}
+
+SparseVector SimRankScores(const Graph& graph, NodeId seed_node,
+                           const SimRankOptions& opts) {
+  LACA_CHECK(seed_node < graph.num_nodes(), "seed out of range");
+  LACA_CHECK(opts.c > 0.0 && opts.c < 1.0, "C must be in (0,1)");
+  LACA_CHECK(opts.num_walks > 0 && opts.walk_length > 0, "bad walk budget");
+  Rng rng(opts.seed);
+
+  // Pre-sample the seed-side walks once; candidates couple against them.
+  std::vector<std::vector<NodeId>> seed_walks(opts.num_walks);
+  for (auto& walk : seed_walks) {
+    walk.resize(opts.walk_length + 1);
+    walk[0] = seed_node;
+    for (int t = 1; t <= opts.walk_length; ++t) {
+      auto nbrs = graph.Neighbors(walk[t - 1]);
+      walk[t] = nbrs[rng.UniformInt(nbrs.size())];
+    }
+  }
+
+  SparseVector out;
+  for (NodeId v : TwoHopCandidates(graph, seed_node, opts.max_candidates)) {
+    double acc = 0.0;
+    for (int w = 0; w < opts.num_walks; ++w) {
+      NodeId cur = v;
+      for (int t = 1; t <= opts.walk_length; ++t) {
+        auto nbrs = graph.Neighbors(cur);
+        cur = nbrs[rng.UniformInt(nbrs.size())];
+        if (cur == seed_walks[w][t]) {  // first meeting at time t
+          acc += std::pow(opts.c, t);
+          break;
+        }
+      }
+    }
+    double score = acc / opts.num_walks;
+    if (score > 0.0) out.Add(v, score);
+  }
+  out.Compact();
+  return out;
+}
+
+}  // namespace laca

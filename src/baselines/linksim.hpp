@@ -1,0 +1,47 @@
+// Link-similarity baselines (Table IV, group 2): Jaccard, Adamic-Adar,
+// Common-Neighbours [54], and single-source SimRank [55].
+#ifndef LACA_BASELINES_LINKSIM_HPP_
+#define LACA_BASELINES_LINKSIM_HPP_
+
+#include <cstdint>
+
+#include "common/sparse_vector.hpp"
+#include "graph/graph.hpp"
+
+namespace laca {
+
+/// Which link-similarity index to score candidates with.
+enum class LinkSimilarity {
+  kCommonNeighbors,
+  kJaccard,
+  kAdamicAdar,
+};
+
+/// Scores the seed's 2-hop neighborhood with the chosen index. Nodes outside
+/// the 2-hop ball necessarily score 0 under all three indices.
+SparseVector LinkSimilarityScores(const Graph& graph, NodeId seed,
+                                  LinkSimilarity kind);
+
+/// Options for Monte-Carlo single-source SimRank.
+struct SimRankOptions {
+  /// Decay factor C of SimRank.
+  double c = 0.6;
+  /// Coupled walk pairs sampled per candidate.
+  int num_walks = 64;
+  /// Maximum walk length (SimRank series truncation).
+  int walk_length = 8;
+  /// Candidate pool cap (2-hop neighborhood truncated to this many nodes).
+  size_t max_candidates = 20'000;
+  uint64_t seed = 99;
+};
+
+/// Estimates s(seed, v) for candidates in the seed's 2-hop neighborhood via
+/// the first-meeting-time formulation: s(a,b) = E[C^tau] over coupled
+/// uniform reverse walks. Exact SimRank is O(n^2) memory; the paper likewise
+/// evaluates SimRank only on small datasets.
+SparseVector SimRankScores(const Graph& graph, NodeId seed_node,
+                           const SimRankOptions& opts);
+
+}  // namespace laca
+
+#endif  // LACA_BASELINES_LINKSIM_HPP_

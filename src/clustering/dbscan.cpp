@@ -1,0 +1,115 @@
+#include "clustering/dbscan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <span>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace laca {
+namespace {
+
+double DistanceSq(std::span<const double> a, std::span<const double> b) {
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+std::vector<uint32_t> RegionQuery(const DenseMatrix& points, size_t center,
+                                  double eps_sq) {
+  std::vector<uint32_t> hits;
+  auto row = points.Row(center);
+  for (size_t i = 0; i < points.rows(); ++i) {
+    if (DistanceSq(row, points.Row(i)) <= eps_sq) {
+      hits.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return hits;
+}
+
+}  // namespace
+
+DbscanResult Dbscan(const DenseMatrix& points, const DbscanOptions& opts) {
+  const size_t n = points.rows();
+  LACA_CHECK(n > 0 && points.cols() > 0, "DBSCAN input must be non-empty");
+  LACA_CHECK(opts.eps > 0.0, "eps must be positive");
+  LACA_CHECK(opts.min_pts >= 1, "min_pts must be >= 1");
+
+  constexpr uint32_t kUnvisited = static_cast<uint32_t>(-2);
+  DbscanResult result;
+  result.assignment.assign(n, kUnvisited);
+  const double eps_sq = opts.eps * opts.eps;
+
+  for (size_t p = 0; p < n; ++p) {
+    if (result.assignment[p] != kUnvisited) continue;
+    std::vector<uint32_t> neighborhood = RegionQuery(points, p, eps_sq);
+    if (neighborhood.size() < opts.min_pts) {
+      result.assignment[p] = kDbscanNoise;  // may be claimed by a core later
+      continue;
+    }
+    const uint32_t cluster = result.num_clusters++;
+    result.assignment[p] = cluster;
+    std::deque<uint32_t> frontier(neighborhood.begin(), neighborhood.end());
+    while (!frontier.empty()) {
+      const uint32_t q = frontier.front();
+      frontier.pop_front();
+      if (result.assignment[q] == kDbscanNoise) {
+        result.assignment[q] = cluster;  // border point, not expanded
+        continue;
+      }
+      if (result.assignment[q] != kUnvisited) continue;
+      result.assignment[q] = cluster;
+      std::vector<uint32_t> q_hood = RegionQuery(points, q, eps_sq);
+      if (q_hood.size() >= opts.min_pts) {
+        frontier.insert(frontier.end(), q_hood.begin(), q_hood.end());
+      }
+    }
+  }
+
+  for (uint32_t a : result.assignment) {
+    if (a == kDbscanNoise) ++result.num_noise;
+  }
+  return result;
+}
+
+double EstimateDbscanEps(const DenseMatrix& points, uint32_t min_pts,
+                         size_t sample_size, uint64_t seed) {
+  const size_t n = points.rows();
+  LACA_CHECK(n > 0 && points.cols() > 0, "input must be non-empty");
+  LACA_CHECK(min_pts >= 1, "min_pts must be >= 1");
+  min_pts = static_cast<uint32_t>(
+      std::min<size_t>(min_pts, n > 1 ? n - 1 : 1));
+
+  Rng rng(seed);
+  sample_size = std::min(sample_size, n);
+  std::vector<double> kth_dist;
+  kth_dist.reserve(sample_size);
+  std::vector<double> dists(n);
+  for (size_t s = 0; s < sample_size; ++s) {
+    const size_t p = (sample_size == n) ? s : rng.UniformInt(n);
+    auto row = points.Row(p);
+    size_t count = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (i == p) continue;
+      dists[count++] = DistanceSq(row, points.Row(i));
+    }
+    if (count == 0) {  // single-point input
+      kth_dist.push_back(0.0);
+      continue;
+    }
+    std::nth_element(dists.begin(), dists.begin() + (min_pts - 1),
+                     dists.begin() + static_cast<ptrdiff_t>(count));
+    kth_dist.push_back(std::sqrt(dists[min_pts - 1]));
+  }
+  // Upper quartile of the k-dist curve: inside the "knee" for clustered data
+  // but above the typical intra-cluster spacing.
+  std::sort(kth_dist.begin(), kth_dist.end());
+  return kth_dist[(kth_dist.size() * 3) / 4];
+}
+
+}  // namespace laca

@@ -1,0 +1,49 @@
+// DBSCAN (density-based clustering) over dense point rows.
+//
+// The "(DBSCAN)" extraction mode of the Table V embedding baselines: cluster
+// all embedding vectors globally, then read off the cluster containing the
+// seed. Region queries are brute force (O(n^2 dim) total), which is why the
+// experiment runner gates this extraction to the smaller datasets — exactly
+// the "-" pattern of the paper's Table V.
+#ifndef LACA_CLUSTERING_DBSCAN_HPP_
+#define LACA_CLUSTERING_DBSCAN_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace laca {
+
+/// Cluster id assigned to noise points.
+inline constexpr uint32_t kDbscanNoise = static_cast<uint32_t>(-1);
+
+/// Options for Dbscan.
+struct DbscanOptions {
+  /// Neighborhood radius (Euclidean).
+  double eps = 0.5;
+  /// Minimum neighborhood size (including the point itself) for a core point.
+  uint32_t min_pts = 8;
+};
+
+/// Outcome of a DBSCAN run.
+struct DbscanResult {
+  /// Cluster id per row, or kDbscanNoise.
+  std::vector<uint32_t> assignment;
+  uint32_t num_clusters = 0;
+  size_t num_noise = 0;
+};
+
+/// Classic DBSCAN: BFS over core points' eps-neighborhoods. Deterministic.
+/// Throws std::invalid_argument on bad options or empty input.
+DbscanResult Dbscan(const DenseMatrix& points, const DbscanOptions& opts);
+
+/// The standard k-dist heuristic for picking eps: the `min_pts`-th smallest
+/// distance from each of `sample_size` sampled points, upper-quartiled.
+/// Returns 0 for degenerate inputs (all points identical).
+double EstimateDbscanEps(const DenseMatrix& points, uint32_t min_pts,
+                         size_t sample_size = 256, uint64_t seed = 1);
+
+}  // namespace laca
+
+#endif  // LACA_CLUSTERING_DBSCAN_HPP_

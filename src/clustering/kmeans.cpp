@@ -1,0 +1,138 @@
+#include "clustering/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace laca {
+namespace {
+
+double DistanceSq(std::span<const double> a, std::span<const double> b) {
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+/// k-means++: each next center is sampled proportionally to the squared
+/// distance from the nearest center chosen so far.
+DenseMatrix PlusPlusInit(const DenseMatrix& points, uint32_t k, Rng* rng) {
+  const size_t n = points.rows(), dim = points.cols();
+  DenseMatrix centers(k, dim);
+  std::vector<double> dist_sq(n, std::numeric_limits<double>::max());
+
+  size_t first = rng->UniformInt(n);
+  std::copy_n(points.Row(first).data(), dim, centers.Row(0).data());
+
+  for (uint32_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      dist_sq[i] =
+          std::min(dist_sq[i], DistanceSq(points.Row(i), centers.Row(c - 1)));
+      total += dist_sq[i];
+    }
+    size_t chosen = n - 1;
+    if (total > 0.0) {
+      double target = rng->Uniform() * total;
+      double acc = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        acc += dist_sq[i];
+        if (target < acc) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng->UniformInt(n);  // all points coincide with centers
+    }
+    std::copy_n(points.Row(chosen).data(), dim, centers.Row(c).data());
+  }
+  return centers;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const DenseMatrix& points, const KMeansOptions& opts) {
+  const size_t n = points.rows(), dim = points.cols();
+  LACA_CHECK(n > 0 && dim > 0, "k-means input must be non-empty");
+  LACA_CHECK(opts.k >= 1 && opts.k <= n,
+             "k must be in [1, number of points]");
+  LACA_CHECK(opts.max_iterations >= 1, "max_iterations must be >= 1");
+
+  Rng rng(opts.seed);
+  KMeansResult result;
+  result.centers = PlusPlusInit(points, opts.k, &rng);
+  result.assignment.assign(n, 0);
+
+  std::vector<uint32_t> counts(opts.k, 0);
+  double prev_inertia = std::numeric_limits<double>::max();
+
+  for (int iter = 1; iter <= opts.max_iterations; ++iter) {
+    result.iterations = iter;
+    // Assignment step.
+    result.inertia = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      uint32_t best_c = 0;
+      for (uint32_t c = 0; c < opts.k; ++c) {
+        double d = DistanceSq(points.Row(i), result.centers.Row(c));
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      result.assignment[i] = best_c;
+      result.inertia += best;
+    }
+
+    // Update step.
+    std::fill(counts.begin(), counts.end(), 0u);
+    std::fill(result.centers.data().begin(), result.centers.data().end(), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t c = result.assignment[i];
+      ++counts[c];
+      auto center = result.centers.Row(c);
+      auto row = points.Row(i);
+      for (size_t j = 0; j < dim; ++j) center[j] += row[j];
+    }
+    for (uint32_t c = 0; c < opts.k; ++c) {
+      if (counts[c] == 0) continue;  // handled below, after averaging
+      auto center = result.centers.Row(c);
+      const double inv = 1.0 / static_cast<double>(counts[c]);
+      for (size_t j = 0; j < dim; ++j) center[j] *= inv;
+    }
+    for (uint32_t c = 0; c < opts.k; ++c) {
+      if (counts[c] > 0) continue;
+      // Re-seed an empty cluster with the point farthest from its (already
+      // averaged, necessarily non-empty) assigned center.
+      size_t farthest = 0;
+      double worst = -1.0;
+      for (size_t i = 0; i < n; ++i) {
+        double d = DistanceSq(points.Row(i),
+                              result.centers.Row(result.assignment[i]));
+        if (d > worst) {
+          worst = d;
+          farthest = i;
+        }
+      }
+      std::copy_n(points.Row(farthest).data(), dim,
+                  result.centers.Row(c).data());
+    }
+
+    if (prev_inertia - result.inertia <=
+        opts.tolerance * std::max(prev_inertia, 1e-300)) {
+      break;
+    }
+    prev_inertia = result.inertia;
+  }
+  return result;
+}
+
+}  // namespace laca

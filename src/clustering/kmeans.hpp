@@ -1,0 +1,47 @@
+// Lloyd's k-means with k-means++ seeding.
+//
+// Substrate for the embedding-baseline extraction modes of Table V: the
+// "(SC)" variants run k-means on spectral embeddings (clustering/spectral.hpp)
+// and k-means is also a natural consumer of the GNN-style embeddings of
+// core/gnn.hpp. Kept general: clusters the rows of any DenseMatrix.
+#ifndef LACA_CLUSTERING_KMEANS_HPP_
+#define LACA_CLUSTERING_KMEANS_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace laca {
+
+/// Options for KMeans.
+struct KMeansOptions {
+  /// Number of clusters; must be >= 1 and <= the number of points.
+  uint32_t k = 8;
+  /// Lloyd iteration cap.
+  int max_iterations = 50;
+  /// Stop when the relative inertia improvement falls below this.
+  double tolerance = 1e-6;
+  uint64_t seed = 1;
+};
+
+/// Outcome of a k-means run.
+struct KMeansResult {
+  /// Cluster id per input row, in [0, k).
+  std::vector<uint32_t> assignment;
+  /// k x dim cluster centers.
+  DenseMatrix centers;
+  /// Sum of squared distances to assigned centers.
+  double inertia = 0.0;
+  /// Lloyd iterations executed.
+  int iterations = 0;
+};
+
+/// Clusters the rows of `points` into `k` groups. Deterministic given the
+/// seed. Empty clusters are re-seeded with the point farthest from its
+/// center. Throws std::invalid_argument on bad options or empty input.
+KMeansResult KMeans(const DenseMatrix& points, const KMeansOptions& opts);
+
+}  // namespace laca
+
+#endif  // LACA_CLUSTERING_KMEANS_HPP_

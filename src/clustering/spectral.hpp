@@ -1,0 +1,56 @@
+// Spectral clustering (normalized-cut flavour) over dense point rows.
+//
+// The "(SC)" extraction mode of the Table V embedding baselines. Pipeline:
+//   1. build a symmetrized k-NN similarity graph over the points with
+//      Gaussian weights (bandwidth = mean k-NN distance);
+//   2. compute the top eigenvectors of the normalized affinity
+//      S = D^{-1/2} W D^{-1/2} by subspace (orthogonal) iteration, reusing
+//      the library's Householder QR;
+//   3. row-normalize the spectral embedding and run k-means on it
+//      (Ng–Jordan–Weiss).
+// Neighbor search is brute force (O(n^2 dim)), so the experiment runner
+// gates this extraction to the smaller datasets, mirroring the "-" entries
+// of the paper's Table V.
+#ifndef LACA_CLUSTERING_SPECTRAL_HPP_
+#define LACA_CLUSTERING_SPECTRAL_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "clustering/kmeans.hpp"
+#include "la/matrix.hpp"
+
+namespace laca {
+
+/// Options for SpectralClustering.
+struct SpectralOptions {
+  /// Number of output clusters (and of spectral embedding dimensions).
+  uint32_t num_clusters = 8;
+  /// Neighbors per point in the similarity graph.
+  uint32_t knn = 10;
+  /// Block subspace-iteration rounds. The Rayleigh-Ritz extraction over a
+  /// buffered block makes a few hundred rounds sufficient even on the long
+  /// near-degenerate spectra of neighborhood graphs.
+  int power_iterations = 200;
+  /// k-means settings for the final step (its k is overridden by
+  /// num_clusters).
+  KMeansOptions kmeans;
+  uint64_t seed = 1;
+};
+
+/// Outcome of a spectral clustering run.
+struct SpectralResult {
+  /// Cluster id per row, in [0, num_clusters).
+  std::vector<uint32_t> assignment;
+  /// Row-normalized n x num_clusters spectral embedding.
+  DenseMatrix embedding;
+};
+
+/// Clusters the rows of `points`. Deterministic given the seeds. Throws
+/// std::invalid_argument on bad options or empty input.
+SpectralResult SpectralClustering(const DenseMatrix& points,
+                                  const SpectralOptions& opts);
+
+}  // namespace laca
+
+#endif  // LACA_CLUSTERING_SPECTRAL_HPP_

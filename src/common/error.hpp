@@ -1,0 +1,35 @@
+// Validation macros for public entry points.
+//
+// Constructors and other cold paths validate their inputs and throw
+// std::invalid_argument; hot inner loops rely on assertions only.
+#ifndef LACA_COMMON_ERROR_HPP_
+#define LACA_COMMON_ERROR_HPP_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace laca {
+namespace internal {
+
+[[noreturn]] inline void ThrowInvalidArgument(const char* expr, const char* file,
+                                              int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "laca: check failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << ": " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace internal
+}  // namespace laca
+
+/// Throws std::invalid_argument with a formatted message if `cond` is false.
+/// Used on cold validation paths (constructors, option parsing, file I/O).
+#define LACA_CHECK(cond, msg)                                                     \
+  do {                                                                            \
+    if (!(cond)) {                                                                \
+      ::laca::internal::ThrowInvalidArgument(#cond, __FILE__, __LINE__, (msg));   \
+    }                                                                             \
+  } while (0)
+
+#endif  // LACA_COMMON_ERROR_HPP_

@@ -1,0 +1,211 @@
+#include "common/serialize.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace laca {
+namespace {
+
+constexpr std::array<uint8_t, 8> kMagic = {'L', 'A', 'C', 'A',
+                                           'B', 'I', 'N', '\0'};
+constexpr uint32_t kVersion = 1;
+// magic + version + kind + payload size.
+constexpr size_t kHeaderSize = kMagic.size() + 4 + 1 + 8;
+constexpr size_t kCrcSize = 4;
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::span<const uint8_t> data, uint32_t crc) {
+  static const std::array<uint32_t, 256> kTable = MakeCrcTable();
+  crc = ~crc;
+  for (uint8_t byte : data) {
+    crc = kTable[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+// ---------------------------------------------------------------------------
+// BinaryWriter.
+
+void BinaryWriter::Append(const void* data, size_t size) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  payload_.insert(payload_.end(), bytes, bytes + size);
+}
+
+void BinaryWriter::WriteU8(uint8_t v) { Append(&v, sizeof v); }
+void BinaryWriter::WriteU32(uint32_t v) { Append(&v, sizeof v); }
+void BinaryWriter::WriteU64(uint64_t v) { Append(&v, sizeof v); }
+void BinaryWriter::WriteDouble(double v) { Append(&v, sizeof v); }
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  Append(s.data(), s.size());
+}
+
+void BinaryWriter::WriteU32Array(std::span<const uint32_t> values) {
+  Append(values.data(), values.size_bytes());
+}
+
+void BinaryWriter::WriteU64Array(std::span<const uint64_t> values) {
+  Append(values.data(), values.size_bytes());
+}
+
+void BinaryWriter::WriteDoubleArray(std::span<const double> values) {
+  Append(values.data(), values.size_bytes());
+}
+
+void BinaryWriter::Save(const std::string& path, BinaryKind kind) const {
+  std::vector<uint8_t> header;
+  header.reserve(kHeaderSize);
+  header.insert(header.end(), kMagic.begin(), kMagic.end());
+  auto append = [&header](const void* data, size_t size) {
+    const uint8_t* bytes = static_cast<const uint8_t*>(data);
+    header.insert(header.end(), bytes, bytes + size);
+  };
+  uint32_t version = kVersion;
+  append(&version, sizeof version);
+  uint8_t kind_byte = static_cast<uint8_t>(kind);
+  append(&kind_byte, sizeof kind_byte);
+  uint64_t size = payload_.size();
+  append(&size, sizeof size);
+
+  uint32_t crc = Crc32(header);
+  crc = Crc32(payload_, crc);
+
+  std::ofstream out(path, std::ios::binary);
+  LACA_CHECK(out.good(), "cannot open file for writing: " + path);
+  out.write(reinterpret_cast<const char*>(header.data()),
+            static_cast<std::streamsize>(header.size()));
+  out.write(reinterpret_cast<const char*>(payload_.data()),
+            static_cast<std::streamsize>(payload_.size()));
+  out.write(reinterpret_cast<const char*>(&crc), sizeof crc);
+  LACA_CHECK(out.good(), "write failure: " + path);
+}
+
+// ---------------------------------------------------------------------------
+// BinaryReader.
+
+BinaryReader::BinaryReader(const std::string& path, BinaryKind expected_kind)
+    : path_(path) {
+  std::ifstream in(path, std::ios::binary);
+  LACA_CHECK(in.good(), "cannot open file for reading: " + path);
+  std::vector<uint8_t> file((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+  LACA_CHECK(file.size() >= kHeaderSize + kCrcSize,
+             "file too small to be a laca container: " + path);
+
+  LACA_CHECK(std::memcmp(file.data(), kMagic.data(), kMagic.size()) == 0,
+             "bad magic (not a laca binary file): " + path);
+  size_t pos = kMagic.size();
+  uint32_t version;
+  std::memcpy(&version, file.data() + pos, sizeof version);
+  pos += sizeof version;
+  LACA_CHECK(version == kVersion,
+             "unsupported container version " + std::to_string(version) +
+                 " in " + path);
+  uint8_t kind = file[pos];
+  pos += 1;
+  LACA_CHECK(kind == static_cast<uint8_t>(expected_kind),
+             "wrong payload kind " + std::to_string(kind) + " in " + path);
+  uint64_t declared;
+  std::memcpy(&declared, file.data() + pos, sizeof declared);
+  pos += sizeof declared;
+  LACA_CHECK(file.size() == kHeaderSize + declared + kCrcSize,
+             "truncated or oversized container: " + path);
+
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, file.data() + file.size() - kCrcSize,
+              sizeof stored_crc);
+  uint32_t actual_crc =
+      Crc32({file.data(), file.size() - kCrcSize});
+  LACA_CHECK(stored_crc == actual_crc, "checksum mismatch (corrupt file): " +
+                                           path);
+
+  payload_.assign(file.begin() + static_cast<ptrdiff_t>(pos),
+                  file.end() - static_cast<ptrdiff_t>(kCrcSize));
+}
+
+const uint8_t* BinaryReader::Take(size_t size) {
+  // Overflow-safe: pos_ <= payload_.size() always holds.
+  LACA_CHECK(size <= payload_.size() - pos_,
+             "read past payload end in " + path_);
+  const uint8_t* p = payload_.data() + pos_;
+  pos_ += size;
+  return p;
+}
+
+uint8_t BinaryReader::ReadU8() { return *Take(1); }
+
+uint32_t BinaryReader::ReadU32() {
+  uint32_t v;
+  std::memcpy(&v, Take(sizeof v), sizeof v);
+  return v;
+}
+
+uint64_t BinaryReader::ReadU64() {
+  uint64_t v;
+  std::memcpy(&v, Take(sizeof v), sizeof v);
+  return v;
+}
+
+double BinaryReader::ReadDouble() {
+  double v;
+  std::memcpy(&v, Take(sizeof v), sizeof v);
+  return v;
+}
+
+std::string BinaryReader::ReadString() {
+  uint64_t size = ReadU64();
+  const uint8_t* p = Take(size);
+  return std::string(reinterpret_cast<const char*>(p), size);
+}
+
+std::vector<uint32_t> BinaryReader::ReadU32Array(size_t count) {
+  LACA_CHECK(count <= payload_.size() / sizeof(uint32_t),
+             "array count exceeds payload in " + path_);
+  std::vector<uint32_t> out(count);
+  std::memcpy(out.data(), Take(count * sizeof(uint32_t)),
+              count * sizeof(uint32_t));
+  return out;
+}
+
+std::vector<uint64_t> BinaryReader::ReadU64Array(size_t count) {
+  LACA_CHECK(count <= payload_.size() / sizeof(uint64_t),
+             "array count exceeds payload in " + path_);
+  std::vector<uint64_t> out(count);
+  std::memcpy(out.data(), Take(count * sizeof(uint64_t)),
+              count * sizeof(uint64_t));
+  return out;
+}
+
+std::vector<double> BinaryReader::ReadDoubleArray(size_t count) {
+  LACA_CHECK(count <= payload_.size() / sizeof(double),
+             "array count exceeds payload in " + path_);
+  std::vector<double> out(count);
+  std::memcpy(out.data(), Take(count * sizeof(double)),
+              count * sizeof(double));
+  return out;
+}
+
+void BinaryReader::ExpectEnd() const {
+  LACA_CHECK(pos_ == payload_.size(),
+             "payload has " + std::to_string(payload_.size() - pos_) +
+                 " unread trailing bytes in " + path_);
+}
+
+}  // namespace laca

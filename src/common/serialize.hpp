@@ -1,0 +1,100 @@
+// Checksummed binary container format shared by all binary persistence.
+//
+// Layout of every file written through BinaryWriter:
+//
+//   magic   "LACABIN\0"                          (8 bytes)
+//   version u32                                  (currently 1)
+//   kind    u8    — payload type tag (see BinaryKind)
+//   size    u64   — payload byte count
+//   payload size bytes
+//   crc     u32   — CRC-32 (IEEE) over everything above
+//
+// Readers validate magic, version, kind, declared size, and checksum before
+// any payload field is interpreted, so corrupted or truncated files fail
+// loudly with std::invalid_argument instead of yielding garbage structures.
+// Multi-byte values are little-endian (asserted at compile time).
+#ifndef LACA_COMMON_SERIALIZE_HPP_
+#define LACA_COMMON_SERIALIZE_HPP_
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace laca {
+
+static_assert(std::endian::native == std::endian::little,
+              "binary persistence assumes a little-endian host");
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). `Crc32` of "123456789" is
+/// 0xCBF43926. `crc` chains incremental updates; start from 0.
+uint32_t Crc32(std::span<const uint8_t> data, uint32_t crc = 0);
+
+/// Payload type tags for the container header.
+enum class BinaryKind : uint8_t {
+  kGraph = 1,
+  kAttributes = 2,
+  kCommunities = 3,
+  kDataset = 4,
+  kTnam = 5,
+};
+
+/// Accumulates a payload in memory, then writes the checksummed container.
+class BinaryWriter {
+ public:
+  void WriteU8(uint8_t v);
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteDouble(double v);
+  /// u64 length prefix + raw bytes.
+  void WriteString(const std::string& s);
+  /// Raw arrays (no length prefix; callers write counts explicitly).
+  void WriteU32Array(std::span<const uint32_t> values);
+  void WriteU64Array(std::span<const uint64_t> values);
+  void WriteDoubleArray(std::span<const double> values);
+
+  size_t payload_size() const { return payload_.size(); }
+
+  /// Writes header + payload + CRC to `path`. Throws std::invalid_argument
+  /// on I/O failure. The writer may be reused afterwards (payload persists).
+  void Save(const std::string& path, BinaryKind kind) const;
+
+ private:
+  void Append(const void* data, size_t size);
+  std::vector<uint8_t> payload_;
+};
+
+/// Loads and validates a container, then reads the payload sequentially.
+/// Reads past the payload end throw std::invalid_argument.
+class BinaryReader {
+ public:
+  /// Reads the whole file, validating magic, version, kind, size, and CRC.
+  BinaryReader(const std::string& path, BinaryKind expected_kind);
+
+  uint8_t ReadU8();
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  double ReadDouble();
+  std::string ReadString();
+  std::vector<uint32_t> ReadU32Array(size_t count);
+  std::vector<uint64_t> ReadU64Array(size_t count);
+  std::vector<double> ReadDoubleArray(size_t count);
+
+  /// True once the full payload has been consumed.
+  bool AtEnd() const { return pos_ == payload_.size(); }
+
+  /// Throws unless the payload was consumed exactly (call after the last
+  /// field to catch format drift).
+  void ExpectEnd() const;
+
+ private:
+  const uint8_t* Take(size_t size);
+  std::vector<uint8_t> payload_;
+  size_t pos_ = 0;
+  std::string path_;
+};
+
+}  // namespace laca
+
+#endif  // LACA_COMMON_SERIALIZE_HPP_

@@ -1,0 +1,83 @@
+#include "common/sparse_vector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace laca {
+
+SparseVector SparseVector::Unit(NodeId index) {
+  SparseVector v;
+  v.Add(index, 1.0);
+  return v;
+}
+
+void SparseVector::Add(NodeId index, double value) {
+  entries_.push_back(Entry{index, value});
+}
+
+void SparseVector::Compact() {
+  if (entries_.empty()) return;
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) { return a.index < b.index; });
+  size_t out = 0;
+  for (size_t i = 0; i < entries_.size();) {
+    NodeId idx = entries_[i].index;
+    double sum = 0.0;
+    while (i < entries_.size() && entries_[i].index == idx) {
+      sum += entries_[i].value;
+      ++i;
+    }
+    if (sum != 0.0) entries_[out++] = Entry{idx, sum};
+  }
+  entries_.resize(out);
+}
+
+void SparseVector::SortByIndex() { Compact(); }
+
+void SparseVector::SortByValueDesc() {
+  Compact();
+  std::sort(entries_.begin(), entries_.end(), [](const Entry& a, const Entry& b) {
+    if (a.value != b.value) return a.value > b.value;
+    return a.index < b.index;
+  });
+}
+
+double SparseVector::L1Norm() const {
+  double s = 0.0;
+  for (const Entry& e : entries_) s += std::abs(e.value);
+  return s;
+}
+
+double SparseVector::Sum() const {
+  double s = 0.0;
+  for (const Entry& e : entries_) s += e.value;
+  return s;
+}
+
+double SparseVector::ValueAt(NodeId index) const {
+  double s = 0.0;
+  for (const Entry& e : entries_) {
+    if (e.index == index) s += e.value;
+  }
+  return s;
+}
+
+std::vector<double> SparseVector::ToDense(size_t n) const {
+  std::vector<double> dense(n, 0.0);
+  for (const Entry& e : entries_) dense[e.index] += e.value;
+  return dense;
+}
+
+SparseVector SparseVector::FromDense(const std::vector<double>& dense,
+                                     double threshold) {
+  SparseVector v;
+  for (size_t i = 0; i < dense.size(); ++i) {
+    if (std::abs(dense[i]) > threshold) {
+      v.Add(static_cast<NodeId>(i), dense[i]);
+    }
+  }
+  return v;
+}
+
+}  // namespace laca

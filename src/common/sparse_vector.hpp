@@ -1,0 +1,76 @@
+// Sparse vector of (node, value) entries — the currency of local algorithms.
+//
+// Local diffusion algorithms take and return vectors whose support is much
+// smaller than the graph; SparseVector stores only the non-zero entries.
+// Internally the diffusion engine works on dense scratch arrays and converts
+// to/from this type at the API boundary.
+#ifndef LACA_COMMON_SPARSE_VECTOR_HPP_
+#define LACA_COMMON_SPARSE_VECTOR_HPP_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace laca {
+
+/// A sparse real-valued vector indexed by NodeId.
+///
+/// Entries are unique by index after `Compact()`; construction via `Add` may
+/// temporarily hold duplicates which are merged (summed) on compaction.
+class SparseVector {
+ public:
+  struct Entry {
+    NodeId index;
+    double value;
+  };
+
+  SparseVector() = default;
+
+  /// Creates a unit vector 1^(s): value 1 at `index`, zero elsewhere.
+  static SparseVector Unit(NodeId index);
+
+  /// Appends `value` at `index`. Duplicate indices are allowed until
+  /// `Compact()` merges them.
+  void Add(NodeId index, double value);
+
+  /// Merges duplicate indices (summing values) and drops exact zeros.
+  void Compact();
+
+  /// Sorts entries by index (ascending). Implies `Compact()`.
+  void SortByIndex();
+
+  /// Sorts entries by value (descending), ties broken by index.
+  void SortByValueDesc();
+
+  /// Sum of |value| over all entries.
+  double L1Norm() const;
+
+  /// Sum of values over all entries.
+  double Sum() const;
+
+  /// Number of stored entries (support size once compacted).
+  size_t Size() const { return entries_.size(); }
+  bool Empty() const { return entries_.empty(); }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::vector<Entry>& mutable_entries() { return entries_; }
+
+  /// Returns the value at `index` (linear scan; for tests and small vectors).
+  double ValueAt(NodeId index) const;
+
+  /// Materializes as a dense vector of length `n`.
+  std::vector<double> ToDense(size_t n) const;
+
+  /// Builds from a dense vector, keeping entries with |value| > threshold.
+  static SparseVector FromDense(const std::vector<double>& dense,
+                                double threshold = 0.0);
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace laca
+
+#endif  // LACA_COMMON_SPARSE_VECTOR_HPP_

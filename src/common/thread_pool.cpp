@@ -1,0 +1,97 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace laca {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Drain before shutdown so destruction has Wait() semantics (minus the
+    // rethrow, which a destructor must not do).
+    all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+    shutting_down_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& fn) {
+  if (begin >= end) return;
+  const size_t total = end - begin;
+  // More blocks than threads so uneven task costs still balance.
+  const size_t blocks = std::min(total, num_threads() * 4);
+  const size_t block_size = (total + blocks - 1) / blocks;
+  for (size_t b = begin; b < end; b += block_size) {
+    const size_t lo = b;
+    const size_t hi = std::min(end, b + block_size);
+    Submit([&fn, lo, hi] {
+      for (size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock,
+                       [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(size_t begin, size_t end, size_t num_threads,
+                 const std::function<void(size_t)>& fn) {
+  ThreadPool pool(num_threads);
+  pool.ParallelFor(begin, end, fn);
+}
+
+}  // namespace laca

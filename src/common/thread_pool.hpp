@@ -1,0 +1,73 @@
+// Fixed-size thread pool and blocked parallel-for.
+//
+// Batch experiment drivers evaluate hundreds of seeds per dataset; the seeds
+// are independent, so the eval harness and the heavier benches fan them out
+// over a pool. The pool is deliberately simple — a mutex-guarded queue, no
+// work stealing — because tasks here are coarse (milliseconds to seconds).
+#ifndef LACA_COMMON_THREAD_POOL_HPP_
+#define LACA_COMMON_THREAD_POOL_HPP_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace laca {
+
+/// A fixed pool of worker threads executing submitted tasks FIFO.
+///
+/// Exceptions thrown by tasks are captured; the first one is rethrown from
+/// `Wait()` (and the remaining tasks still run). Destruction waits for all
+/// submitted tasks to finish.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 uses the hardware concurrency (at least
+  /// one). Throws std::invalid_argument never; clamps instead.
+  explicit ThreadPool(size_t num_threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Blocks until all tasks finish, then joins the workers.
+  ~ThreadPool();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. If any task threw, the
+  /// first captured exception is rethrown here (once).
+  void Wait();
+
+  /// Runs fn(i) for i in [begin, end) across the pool in contiguous blocks,
+  /// then waits. `fn` must be safe to call concurrently for distinct i.
+  /// Exceptions propagate as in Wait().
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Runs fn(i) for i in [begin, end) on a transient pool of `num_threads`
+/// workers (0 = hardware concurrency). Convenience for one-shot fan-outs.
+void ParallelFor(size_t begin, size_t end, size_t num_threads,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace laca
+
+#endif  // LACA_COMMON_THREAD_POOL_HPP_

@@ -1,0 +1,32 @@
+// Wall-clock timer for benchmark harnesses.
+#ifndef LACA_COMMON_TIMER_HPP_
+#define LACA_COMMON_TIMER_HPP_
+
+#include <chrono>
+
+namespace laca {
+
+/// Simple monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace laca
+
+#endif  // LACA_COMMON_TIMER_HPP_

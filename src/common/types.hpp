@@ -1,0 +1,20 @@
+// Core type aliases shared across all laca modules.
+#ifndef LACA_COMMON_TYPES_HPP_
+#define LACA_COMMON_TYPES_HPP_
+
+#include <cstdint>
+
+namespace laca {
+
+/// Node identifier. Graphs in this library are bounded by 2^32 nodes.
+using NodeId = uint32_t;
+
+/// Index into the CSR edge arrays (2 * |E| entries for undirected graphs).
+using EdgeIndex = uint64_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+}  // namespace laca
+
+#endif  // LACA_COMMON_TYPES_HPP_

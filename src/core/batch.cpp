@@ -1,0 +1,39 @@
+#include "core/batch.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/thread_pool.hpp"
+
+namespace laca {
+
+std::vector<std::vector<NodeId>> BatchCluster(
+    const Graph& graph, const Tnam* tnam, std::span<const BatchQuery> queries,
+    const BatchClusterOptions& opts) {
+  std::vector<std::vector<NodeId>> results(queries.size());
+  if (queries.empty()) return results;
+
+  size_t workers = opts.num_threads;
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers = std::min(workers, queries.size());
+
+  // One contiguous chunk per worker; each worker owns a private Laca so the
+  // dense diffusion scratch is never shared.
+  const size_t chunk = (queries.size() + workers - 1) / workers;
+  ThreadPool pool(workers);
+  for (size_t lo = 0; lo < queries.size(); lo += chunk) {
+    const size_t hi = std::min(lo + chunk, queries.size());
+    pool.Submit([&, lo, hi] {
+      Laca laca(graph, tnam);
+      for (size_t i = lo; i < hi; ++i) {
+        results[i] = laca.Cluster(queries[i].seed, queries[i].size, opts.laca);
+      }
+    });
+  }
+  pool.Wait();
+  return results;
+}
+
+}  // namespace laca

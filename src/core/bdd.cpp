@@ -1,0 +1,174 @@
+#include "core/bdd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "diffusion/exact.hpp"
+
+namespace laca {
+
+std::vector<double> ExactPhi(const Graph& graph, const SnasProvider& snas,
+                             NodeId seed, double alpha, double tol) {
+  const NodeId n = graph.num_nodes();
+  std::vector<double> pi = ExactRwr(graph, seed, alpha, tol);
+  std::vector<double> phi(n, 0.0);
+  for (NodeId i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (NodeId j = 0; j < n; ++j) {
+      if (pi[j] == 0.0) continue;
+      acc += pi[j] * snas.Snas(j, i);
+    }
+    phi[i] = acc * graph.Degree(i);
+  }
+  return phi;
+}
+
+std::vector<double> ExactBdd(const Graph& graph, const SnasProvider& snas,
+                             NodeId seed, double alpha, double tol) {
+  std::vector<double> phi = ExactPhi(graph, snas, seed, alpha, tol);
+  // Eq. 8: rho_t = (1/d(t)) sum_i phi_i pi(i, t) — one more exact diffusion.
+  std::vector<double> rho =
+      ExactDiffuse(graph, SparseVector::FromDense(phi), alpha, tol);
+  for (NodeId t = 0; t < graph.num_nodes(); ++t) rho[t] /= graph.Degree(t);
+  return rho;
+}
+
+namespace {
+
+// 2-step truncated edge-level RWR score pi(a,b) for adjacent (a,b):
+//   (1-alpha) * (alpha / d(a)) * (1 + alpha * S_ab),
+// where S_ab = sum over common neighbors l of 1/d(l) (dropped when the
+// 1-step kernel is requested). Unweighted graphs only.
+double EdgeRwr(const Graph& g, NodeId a, NodeId b, double alpha,
+               bool two_step) {
+  double base = (1.0 - alpha) * alpha / g.Degree(a);
+  if (!two_step) return base;
+  double s_ab = 0.0;
+  auto na = g.Neighbors(a);
+  auto nb = g.Neighbors(b);
+  size_t p = 0, q = 0;
+  while (p < na.size() && q < nb.size()) {
+    if (na[p] < nb[q]) {
+      ++p;
+    } else if (na[p] > nb[q]) {
+      ++q;
+    } else {
+      s_ab += 1.0 / g.Degree(na[p]);
+      ++p;
+      ++q;
+    }
+  }
+  return base * (1.0 + alpha * s_ab);
+}
+
+// Applies an RS leg: out_b += sum_a in_a * RS(a, b), where the kernel is the
+// edge-restricted pi_hat(a,b) * s(a,b) plus the identity diagonal. When
+// `from_second_arg` is set the kernel is evaluated as RS(b, a) — used by the
+// third leg, whose kernel is indexed by the *output* node (Z(t, j)).
+SparseVector ApplyRsLeg(const Graph& g, const SnasProvider& snas,
+                        const SparseVector& in, double alpha, bool two_step,
+                        bool from_second_arg) {
+  SparseVector out;
+  for (const auto& e : in.entries()) {
+    out.Add(e.index, e.value);  // diagonal: RS(a, a) = 1
+    for (NodeId b : g.Neighbors(e.index)) {
+      double pi_hat = from_second_arg ? EdgeRwr(g, b, e.index, alpha, two_step)
+                                      : EdgeRwr(g, e.index, b, alpha, two_step);
+      // Low-rank SNAS estimates can dip below zero; clamp so downstream
+      // diffusion legs receive a non-negative vector.
+      double s = std::max(snas.Snas(e.index, b), 0.0);
+      out.Add(b, e.value * pi_hat * s);
+    }
+  }
+  out.Compact();
+  return out;
+}
+
+}  // namespace
+
+SparseVector AlternativeBdd(const Graph& graph, const SnasProvider& snas,
+                            NodeId seed, const AltBddOptions& opts) {
+  LACA_CHECK(!graph.is_weighted(),
+             "AlternativeBdd supports unweighted graphs only");
+  LACA_CHECK(seed < graph.num_nodes(), "seed out of range");
+  DiffusionEngine engine(graph);
+  const double alpha = opts.diffusion.alpha;
+
+  // Leg 1: X(s, .) applied to the unit seed vector.
+  SparseVector cur;
+  if (opts.legs[0] == BddLeg::kRwr) {
+    cur = engine.Adaptive(SparseVector::Unit(seed), opts.diffusion);
+  } else {
+    cur = ApplyRsLeg(graph, snas, SparseVector::Unit(seed), alpha,
+                     opts.two_step_edge_kernel, /*from_second_arg=*/false);
+  }
+
+  // Leg 2: v_j = sum_i cur_i Y(i, j). For R this is exactly an RWR diffusion.
+  if (opts.legs[1] == BddLeg::kRwr) {
+    DiffusionOptions d = opts.diffusion;
+    d.epsilon *= std::max(cur.L1Norm(), 1e-300);  // scale-invariant threshold
+    cur = engine.Adaptive(cur, d);
+  } else {
+    cur = ApplyRsLeg(graph, snas, cur, alpha, opts.two_step_edge_kernel,
+                     /*from_second_arg=*/false);
+  }
+
+  // Leg 3: out_t = sum_j v_j Z(t, j).
+  if (opts.legs[2] == BddLeg::kRwr) {
+    // sum_j v_j pi(t, j) = (1/d(t)) sum_j (v_j d(j)) pi(j, t): the same
+    // degree-symmetry trick LACA's Step 3 uses (Eq. 8).
+    SparseVector scaled;
+    for (const auto& e : cur.entries()) {
+      scaled.Add(e.index, e.value * graph.Degree(e.index));
+    }
+    DiffusionOptions d = opts.diffusion;
+    d.epsilon *= std::max(scaled.L1Norm(), 1e-300);
+    SparseVector diffused = engine.Adaptive(scaled, d);
+    SparseVector out;
+    for (const auto& e : diffused.entries()) {
+      out.Add(e.index, e.value / graph.Degree(e.index));
+    }
+    return out;
+  }
+  return ApplyRsLeg(graph, snas, cur, alpha, opts.two_step_edge_kernel,
+                    /*from_second_arg=*/true);
+}
+
+std::vector<double> ExactAlternativeBdd(const Graph& graph,
+                                        const SnasProvider& snas, NodeId seed,
+                                        const AltBddOptions& opts, double tol) {
+  LACA_CHECK(!graph.is_weighted(),
+             "ExactAlternativeBdd supports unweighted graphs only");
+  const NodeId n = graph.num_nodes();
+  const double alpha = opts.diffusion.alpha;
+  // Full RWR matrix, one exact diffusion per row (tiny graphs only).
+  std::vector<std::vector<double>> pi(n);
+  for (NodeId v = 0; v < n; ++v) pi[v] = ExactRwr(graph, v, alpha, tol);
+
+  auto kernel = [&](BddLeg leg, NodeId a, NodeId b) -> double {
+    if (leg == BddLeg::kRwr) return pi[a][b];
+    if (a == b) return 1.0;
+    if (!graph.HasEdge(a, b)) return 0.0;
+    return EdgeRwr(graph, a, b, alpha, opts.two_step_edge_kernel) *
+           snas.Snas(a, b);
+  };
+
+  std::vector<double> leg1(n), mid(n, 0.0), out(n, 0.0);
+  for (NodeId i = 0; i < n; ++i) leg1[i] = kernel(opts.legs[0], seed, i);
+  for (NodeId i = 0; i < n; ++i) {
+    if (leg1[i] == 0.0) continue;
+    for (NodeId j = 0; j < n; ++j) mid[j] += leg1[i] * kernel(opts.legs[1], i, j);
+  }
+  for (NodeId t = 0; t < n; ++t) {
+    double acc = 0.0;
+    for (NodeId j = 0; j < n; ++j) {
+      if (mid[j] == 0.0) continue;
+      acc += mid[j] * kernel(opts.legs[2], t, j);
+    }
+    out[t] = acc;
+  }
+  return out;
+}
+
+}  // namespace laca

@@ -1,0 +1,74 @@
+// Bidirectional diffusion distribution (BDD, Section II-C) — exact reference
+// and the alternative formulations of Appendix C.
+#ifndef LACA_CORE_BDD_HPP_
+#define LACA_CORE_BDD_HPP_
+
+#include <array>
+#include <vector>
+
+#include "attr/snas.hpp"
+#include "common/sparse_vector.hpp"
+#include "diffusion/diffusion.hpp"
+#include "graph/graph.hpp"
+
+namespace laca {
+
+/// Exact BDD vector rho for a seed (Eq. 5):
+///   rho_t = sum_{i,j} pi(s,i) s(i,j) pi(t,j).
+/// O(n^2) SNAS evaluations plus one exact diffusion — reference for tests on
+/// small graphs (verifies Theorem V.4 and the LACA pipeline end to end).
+std::vector<double> ExactBdd(const Graph& graph, const SnasProvider& snas,
+                             NodeId seed, double alpha, double tol = 1e-12);
+
+/// Exact RWR-SNAS vector phi (Eq. 9): phi_i = sum_j pi(s,j) s(j,i) d(i).
+std::vector<double> ExactPhi(const Graph& graph, const SnasProvider& snas,
+                             NodeId seed, double alpha, double tol = 1e-12);
+
+// ---------------------------------------------------------------------------
+// Alternative BDD formulations (Appendix C, Table X).
+//
+// Each of the three "legs" of the affinity
+//     sum_{i,j} X(s,i) * Y(i,j) * Z(t,j)
+// is either the plain RWR kernel R(a,b) = pi(a,b), or the edge-restricted
+// attribute-weighted kernel
+//     RS(a,b) = pi(a,b) * s(a,b)   if {a,b} in E,   1 if a == b,   0 otherwise.
+// RS legs overweight attribute transitions; Table X shows every such variant
+// degrades sharply versus the BDD — reproduced by bench_table10_alt_bdd.
+//
+// Edge-level RWR scores pi(a,b) inside RS legs are approximated by their
+// 2-step truncation pi(a,b) ~= (1-alpha)(alpha P_ab + alpha^2 (P^2)_ab),
+// which keeps the computation local (see DESIGN.md); R legs use the full
+// diffusion machinery. Exactness is covered by tests on small graphs.
+// ---------------------------------------------------------------------------
+
+/// Which kernel each of the three legs uses.
+enum class BddLeg {
+  kRwr,      // "R":  pi(a, b)
+  kRwrSnas,  // "RS": edge-restricted pi(a, b) * s(a, b)
+};
+
+/// Options for AlternativeBdd.
+struct AltBddOptions {
+  DiffusionOptions diffusion;
+  std::array<BddLeg, 3> legs = {BddLeg::kRwrSnas, BddLeg::kRwrSnas,
+                                BddLeg::kRwrSnas};
+  /// Use the exact 2-step edge kernel (common-neighbor intersection) instead
+  /// of the 1-step-only truncation.
+  bool two_step_edge_kernel = true;
+};
+
+/// Computes the alternative affinity vector for `seed` under `opts`.
+/// Cost is local: O(vol of the explored region) per leg.
+SparseVector AlternativeBdd(const Graph& graph, const SnasProvider& snas,
+                            NodeId seed, const AltBddOptions& opts);
+
+/// Exact (dense) alternative affinity for tiny graphs — test reference.
+/// Computes full RWR rows by power iteration; O(n m) time, O(n^2) memory.
+std::vector<double> ExactAlternativeBdd(const Graph& graph,
+                                        const SnasProvider& snas, NodeId seed,
+                                        const AltBddOptions& opts,
+                                        double tol = 1e-12);
+
+}  // namespace laca
+
+#endif  // LACA_CORE_BDD_HPP_

@@ -1,0 +1,98 @@
+#include "core/cluster.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace laca {
+
+std::vector<NodeId> TopKCluster(const SparseVector& scores, NodeId seed,
+                                size_t size) {
+  LACA_CHECK(size >= 1, "cluster size must be >= 1");
+  SparseVector sorted = scores;
+  sorted.SortByValueDesc();
+  std::vector<NodeId> cluster;
+  cluster.reserve(size);
+  cluster.push_back(seed);
+  for (const auto& e : sorted.entries()) {
+    if (cluster.size() >= size) break;
+    if (e.index == seed) continue;
+    cluster.push_back(e.index);
+  }
+  return cluster;
+}
+
+std::vector<NodeId> PadWithBfs(const Graph& graph, std::vector<NodeId> cluster,
+                               size_t size, NodeId seed) {
+  if (cluster.size() >= size) return cluster;
+  std::unordered_set<NodeId> in(cluster.begin(), cluster.end());
+  std::deque<NodeId> queue;
+  // Start the BFS frontier from the existing cluster (seed first).
+  queue.push_back(seed);
+  for (NodeId v : cluster) {
+    if (v != seed) queue.push_back(v);
+  }
+  std::unordered_set<NodeId> visited(cluster.begin(), cluster.end());
+  visited.insert(seed);
+  while (!queue.empty() && cluster.size() < size) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : graph.Neighbors(u)) {
+      if (visited.insert(v).second) {
+        queue.push_back(v);
+        if (in.insert(v).second) {
+          cluster.push_back(v);
+          if (cluster.size() >= size) break;
+        }
+      }
+    }
+  }
+  return cluster;
+}
+
+SweepResult SweepCut(const Graph& graph, const SparseVector& scores,
+                     size_t max_size) {
+  SparseVector sorted = scores;
+  sorted.SortByValueDesc();
+  const double total_volume = graph.TotalVolume();
+
+  std::unordered_set<NodeId> in_set;
+  double volume = 0.0, cut = 0.0;
+  SweepResult best;
+  best.conductance = 2.0;  // above any real conductance
+  size_t best_prefix = 0;
+
+  size_t limit = sorted.Size();
+  if (max_size > 0) limit = std::min(limit, max_size);
+  std::vector<NodeId> prefix;
+  prefix.reserve(limit);
+  for (size_t i = 0; i < limit; ++i) {
+    NodeId u = sorted.entries()[i].index;
+    double internal = 0.0;
+    auto nbrs = graph.Neighbors(u);
+    auto wts = graph.NeighborWeights(u);
+    for (size_t e = 0; e < nbrs.size(); ++e) {
+      if (in_set.count(nbrs[e])) {
+        internal += graph.is_weighted() ? wts[e] : 1.0;
+      }
+    }
+    in_set.insert(u);
+    prefix.push_back(u);
+    volume += graph.Degree(u);
+    cut += graph.Degree(u) - 2.0 * internal;
+    double denom = std::min(volume, total_volume - volume);
+    if (denom <= 0.0) break;  // prefix swallowed more than half the graph
+    double phi = cut / denom;
+    if (phi < best.conductance) {
+      best.conductance = phi;
+      best_prefix = i + 1;
+    }
+  }
+  best.cluster.assign(prefix.begin(), prefix.begin() + best_prefix);
+  if (best_prefix == 0) best.conductance = 1.0;  // nothing sweepable
+  return best;
+}
+
+}  // namespace laca

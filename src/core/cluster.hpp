@@ -1,0 +1,38 @@
+// Cluster extraction from score vectors: top-K selection and sweep cuts.
+#ifndef LACA_CORE_CLUSTER_HPP_
+#define LACA_CORE_CLUSTER_HPP_
+
+#include <vector>
+
+#include "common/sparse_vector.hpp"
+#include "graph/graph.hpp"
+
+namespace laca {
+
+/// Extracts the `size` highest-scoring nodes (seed always included, ties by
+/// node id). This is the paper's evaluation protocol: |C_s| = |Y_s| (Section
+/// VI-B1). Returns fewer nodes if the score support is smaller than `size`.
+std::vector<NodeId> TopKCluster(const SparseVector& scores, NodeId seed,
+                                size_t size);
+
+/// Pads `cluster` to `size` nodes with a BFS from the seed over nodes not
+/// yet in the cluster (used when a method's support is too small, so every
+/// method returns exactly |Y_s| nodes and precisions are comparable).
+std::vector<NodeId> PadWithBfs(const Graph& graph, std::vector<NodeId> cluster,
+                               size_t size, NodeId seed);
+
+/// Result of a conductance sweep.
+struct SweepResult {
+  std::vector<NodeId> cluster;
+  double conductance = 1.0;
+};
+
+/// Classic sweep cut: orders nodes by score (descending), scans prefixes, and
+/// returns the prefix minimizing conductance. `max_size` of 0 means no cap;
+/// prefixes with volume beyond half the graph are not considered.
+SweepResult SweepCut(const Graph& graph, const SparseVector& scores,
+                     size_t max_size = 0);
+
+}  // namespace laca
+
+#endif  // LACA_CORE_CLUSTER_HPP_

@@ -1,0 +1,97 @@
+#include "core/gnn.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace laca {
+namespace {
+
+/// One transition step: out = P * in, i.e. out(u) = mean over u's neighbors
+/// (weight-proportional on weighted graphs) of in(v), column-blocked over k.
+void PropagateOnce(const Graph& graph, const DenseMatrix& in,
+                   DenseMatrix* out) {
+  const size_t k = in.cols();
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    auto row = out->Row(u);
+    for (size_t c = 0; c < k; ++c) row[c] = 0.0;
+    auto nbrs = graph.Neighbors(u);
+    auto wts = graph.NeighborWeights(u);
+    const double du = graph.Degree(u);
+    if (du == 0.0) continue;  // isolated node keeps a zero embedding
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      const double w = (graph.is_weighted() ? wts[i] : 1.0) / du;
+      auto src = in.Row(nbrs[i]);
+      for (size_t c = 0; c < k; ++c) row[c] += w * src[c];
+    }
+  }
+}
+
+}  // namespace
+
+DenseMatrix SmoothEmbeddings(const Graph& graph, const DenseMatrix& h0,
+                             const GnnSmoothingOptions& opts) {
+  LACA_CHECK(h0.rows() == graph.num_nodes(),
+             "H0 must have one row per node");
+  LACA_CHECK(h0.cols() > 0, "H0 must have at least one column");
+  LACA_CHECK(opts.alpha > 0.0 && opts.alpha < 1.0, "alpha must be in (0, 1)");
+  LACA_CHECK(opts.tolerance > 0.0 && opts.tolerance < 1.0,
+             "tolerance must be in (0, 1)");
+  LACA_CHECK(opts.max_hops >= 1, "max_hops must be >= 1");
+
+  // Propagate until the dropped tail sum_{l > L} (1-a) a^l = a^(L+1) is
+  // below tolerance.
+  const int hops = std::min<int>(
+      opts.max_hops,
+      static_cast<int>(
+          std::ceil(std::log(opts.tolerance) / std::log(opts.alpha))));
+
+  const size_t n = h0.rows(), k = h0.cols();
+  DenseMatrix acc(n, k);
+  DenseMatrix cur = h0;
+  DenseMatrix next(n, k);
+  double coeff = 1.0 - opts.alpha;  // (1-a) a^l, starting at l = 0
+  for (int l = 0;; ++l) {
+    for (size_t i = 0; i < n * k; ++i) {
+      acc.data()[i] += coeff * cur.data()[i];
+    }
+    if (l >= hops) break;
+    PropagateOnce(graph, cur, &next);
+    std::swap(cur, next);
+    coeff *= opts.alpha;
+  }
+  return acc;
+}
+
+std::vector<double> BddViaEmbeddings(const Graph& graph, const Tnam& tnam,
+                                     NodeId seed,
+                                     const GnnSmoothingOptions& opts) {
+  LACA_CHECK(seed < graph.num_nodes(), "seed node out of range");
+  LACA_CHECK(tnam.num_rows() == graph.num_nodes(),
+             "TNAM must cover all graph nodes");
+  DenseMatrix h = SmoothEmbeddings(graph, tnam.z(), opts);
+  std::vector<double> rho(graph.num_nodes());
+  for (NodeId t = 0; t < graph.num_nodes(); ++t) {
+    rho[t] = h.RowDot(seed, t);
+  }
+  return rho;
+}
+
+GnnBddScorer::GnnBddScorer(const Graph& graph, const Tnam& tnam,
+                           const GnnSmoothingOptions& opts) {
+  LACA_CHECK(tnam.num_rows() == graph.num_nodes(),
+             "TNAM must cover all graph nodes");
+  h_ = SmoothEmbeddings(graph, tnam.z(), opts);
+}
+
+std::vector<double> GnnBddScorer::Score(NodeId seed) const {
+  LACA_CHECK(seed < h_.rows(), "seed node out of range");
+  std::vector<double> rho(h_.rows());
+  for (size_t t = 0; t < h_.rows(); ++t) {
+    rho[t] = h_.RowDot(seed, t);
+  }
+  return rho;
+}
+
+}  // namespace laca

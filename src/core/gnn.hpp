@@ -1,0 +1,69 @@
+// Section V-C: the GNN view of LACA.
+//
+// Lemma V.6 shows the graph-signal-denoising problem (Definition V.5) is
+// solved by the smoothed representations H = sum_l (1-alpha) alpha^l P^l H0.
+// With H0 = Z (the TNAM) and Eq. 10 in force, the BDD factorizes as
+//   rho_t = h(s) . h(t),
+// i.e. LACA's local cluster is the K-NN of the seed among GNN-style
+// embeddings — found without materializing H (Section V-C). This module
+// materializes H anyway: it is the executable form of that equivalence
+// (cross-checked against ExactBdd in tests) and a whole-graph embedding
+// utility in its own right (examples/).
+#ifndef LACA_CORE_GNN_HPP_
+#define LACA_CORE_GNN_HPP_
+
+#include <vector>
+
+#include "attr/tnam.hpp"
+#include "graph/graph.hpp"
+#include "la/matrix.hpp"
+
+namespace laca {
+
+/// Options for the smoothing propagation.
+struct GnnSmoothingOptions {
+  /// Smoothness hyperparameter alpha of Eq. 20 (equals the RWR restart
+  /// factor in the Lemma V.6 closed form).
+  double alpha = 0.8;
+  /// Series truncation: propagate until the dropped tail alpha^(L+1) falls
+  /// below this tolerance. 0 < tolerance < 1.
+  double tolerance = 1e-12;
+  /// Hard cap on propagation rounds (safety for alpha close to 1).
+  int max_hops = 4096;
+};
+
+/// Materializes H = sum_l (1-alpha) alpha^l P^l H0 by forward propagation.
+/// `h0` must have one row per node. O(L (m + n) k) time and O(nk) memory —
+/// the global cost LACA's local exploration avoids. Throws
+/// std::invalid_argument on shape mismatches or bad options.
+DenseMatrix SmoothEmbeddings(const Graph& graph, const DenseMatrix& h0,
+                             const GnnSmoothingOptions& opts);
+
+/// The Section V-C identity made executable: smooths the TNAM and returns
+///   rho_t = h(seed) . h(t)  for all t,
+/// the exact BDD under Eq. 10. O(nk) per call after the O(L m k) smoothing;
+/// use GnnBddScorer below to amortize the smoothing across seeds.
+std::vector<double> BddViaEmbeddings(const Graph& graph, const Tnam& tnam,
+                                     NodeId seed,
+                                     const GnnSmoothingOptions& opts);
+
+/// Amortized variant: smooths once, then answers rho(seed, .) queries as
+/// embedding dot products — the "global GNN + K-NN" strawman of Section V-C
+/// whose per-seed cost is Theta(n k) regardless of cluster size.
+class GnnBddScorer {
+ public:
+  GnnBddScorer(const Graph& graph, const Tnam& tnam,
+               const GnnSmoothingOptions& opts);
+
+  /// rho(seed, t) for all t (length n).
+  std::vector<double> Score(NodeId seed) const;
+
+  const DenseMatrix& embeddings() const { return h_; }
+
+ private:
+  DenseMatrix h_;
+};
+
+}  // namespace laca
+
+#endif  // LACA_CORE_GNN_HPP_

@@ -1,0 +1,140 @@
+#include "core/laca.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/cluster.hpp"
+
+namespace laca {
+
+Laca::Laca(const Graph& graph, const Tnam* tnam)
+    : graph_(graph), tnam_(tnam), engine_(graph) {
+  if (tnam_ != nullptr) {
+    LACA_CHECK(tnam_->num_rows() == graph.num_nodes(),
+               "TNAM row count must match graph node count");
+    psi_.resize(tnam_->dim());
+  }
+}
+
+LacaResult Laca::ComputeBdd(NodeId seed, const LacaOptions& opts) {
+  LACA_CHECK(seed < graph_.num_nodes(), "seed out of range");
+  LacaResult result;
+
+  // Step 1: estimate the RWR vector pi' by diffusing the unit vector 1^(s).
+  DiffusionOptions dopts = opts.ToDiffusionOptions();
+  SparseVector pi = opts.use_adaptive
+                        ? engine_.Adaptive(SparseVector::Unit(seed), dopts,
+                                           &result.rwr_stats)
+                        : engine_.Greedy(SparseVector::Unit(seed), dopts,
+                                         &result.rwr_stats);
+  result.rwr_support = pi.Size();
+
+  // Step 2: aggregate TNAM rows into psi (Eq. 12), then build the RWR-SNAS
+  // vector phi'_i = (psi . z(i)) d(i) over supp(pi') (Eq. 13). Without a
+  // TNAM the SNAS is the identity and phi'_i = pi'_i d(i).
+  SparseVector phi;
+  if (tnam_ != nullptr) {
+    const size_t dim = tnam_->dim();
+    std::fill(psi_.begin(), psi_.end(), 0.0);
+    for (const auto& e : pi.entries()) {
+      auto z = tnam_->Row(e.index);
+      for (size_t j = 0; j < dim; ++j) psi_[j] += e.value * z[j];
+    }
+    for (const auto& e : pi.entries()) {
+      auto z = tnam_->Row(e.index);
+      double dot = 0.0;
+      for (size_t j = 0; j < dim; ++j) dot += psi_[j] * z[j];
+      // The low-rank SNAS can dip below zero; the diffusion requires a
+      // non-negative input, so clamp (documented in DESIGN.md).
+      if (dot > 0.0) phi.Add(e.index, dot * graph_.Degree(e.index));
+    }
+  } else {
+    for (const auto& e : pi.entries()) {
+      phi.Add(e.index, e.value * graph_.Degree(e.index));
+    }
+  }
+  result.phi_l1 = phi.L1Norm();
+  if (phi.Empty()) {
+    // Degenerate attributes (e.g. all-zero rows near the seed): fall back to
+    // the topology-only BDD so a cluster is still produced.
+    for (const auto& e : pi.entries()) {
+      phi.Add(e.index, e.value * graph_.Degree(e.index));
+    }
+    result.phi_l1 = phi.L1Norm();
+  }
+  if (phi.Empty()) {
+    // pi' itself is empty: with a huge eps the all-zero vector already
+    // satisfies Eq. 14 (pi(t) <= eps d(t) everywhere), so the approximate
+    // BDD is legitimately zero. Cluster() pads from the seed by BFS.
+    return result;
+  }
+
+  // Step 3: diffuse phi' with threshold eps * ||phi'||_1 (Line 5), then
+  // normalize each entry by its degree (Line 6).
+  DiffusionOptions bdd_opts = dopts;
+  bdd_opts.epsilon = opts.epsilon * result.phi_l1;
+  SparseVector rho = opts.use_adaptive
+                         ? engine_.Adaptive(phi, bdd_opts, &result.bdd_stats)
+                         : engine_.Greedy(phi, bdd_opts, &result.bdd_stats);
+  for (auto& e : rho.mutable_entries()) {
+    e.value /= graph_.Degree(e.index);
+  }
+  result.bdd = std::move(rho);
+  return result;
+}
+
+LacaResult Laca::ComputeBddWithProvider(NodeId seed, const SnasProvider& snas,
+                                        const LacaOptions& opts) {
+  LACA_CHECK(seed < graph_.num_nodes(), "seed out of range");
+  LacaResult result;
+  DiffusionOptions dopts = opts.ToDiffusionOptions();
+  SparseVector pi = opts.use_adaptive
+                        ? engine_.Adaptive(SparseVector::Unit(seed), dopts,
+                                           &result.rwr_stats)
+                        : engine_.Greedy(SparseVector::Unit(seed), dopts,
+                                         &result.rwr_stats);
+  result.rwr_support = pi.Size();
+
+  SparseVector phi;
+  for (const auto& ei : pi.entries()) {
+    double acc = 0.0;
+    for (const auto& ej : pi.entries()) {
+      acc += ej.value * snas.Snas(ej.index, ei.index);
+    }
+    if (acc > 0.0) phi.Add(ei.index, acc * graph_.Degree(ei.index));
+  }
+  result.phi_l1 = phi.L1Norm();
+  if (phi.Empty()) {
+    for (const auto& e : pi.entries()) {
+      phi.Add(e.index, e.value * graph_.Degree(e.index));
+    }
+    result.phi_l1 = phi.L1Norm();
+  }
+  if (phi.Empty()) {
+    return result;  // empty pi': the zero vector satisfies Eq. 14 (see above)
+  }
+
+  DiffusionOptions bdd_opts = dopts;
+  bdd_opts.epsilon = opts.epsilon * result.phi_l1;
+  SparseVector rho = opts.use_adaptive
+                         ? engine_.Adaptive(phi, bdd_opts, &result.bdd_stats)
+                         : engine_.Greedy(phi, bdd_opts, &result.bdd_stats);
+  for (auto& e : rho.mutable_entries()) {
+    e.value /= graph_.Degree(e.index);
+  }
+  result.bdd = std::move(rho);
+  return result;
+}
+
+std::vector<NodeId> Laca::Cluster(NodeId seed, size_t size,
+                                  const LacaOptions& opts) {
+  LacaResult r = ComputeBdd(seed, opts);
+  std::vector<NodeId> cluster = TopKCluster(r.bdd, seed, size);
+  if (cluster.size() < size) {
+    cluster = PadWithBfs(graph_, std::move(cluster), size, seed);
+  }
+  return cluster;
+}
+
+}  // namespace laca

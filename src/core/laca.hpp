@@ -1,0 +1,82 @@
+// LACA (Algo. 4): local BDD approximation over attributed graphs.
+#ifndef LACA_CORE_LACA_HPP_
+#define LACA_CORE_LACA_HPP_
+
+#include <vector>
+
+#include "attr/tnam.hpp"
+#include "common/sparse_vector.hpp"
+#include "diffusion/diffusion.hpp"
+#include "graph/graph.hpp"
+
+namespace laca {
+
+/// Online-stage options of LACA.
+struct LacaOptions {
+  /// Restart factor alpha of the underlying RWR (paper sweeps 0..0.9).
+  double alpha = 0.8;
+  /// Diffusion threshold eps; output volume and cost are O(1/((1-alpha) eps)).
+  double epsilon = 1e-6;
+  /// AdaptiveDiffuse balance parameter sigma.
+  double sigma = 0.0;
+  /// Ablation switch (Table VI, "w/o AdaptiveDiffuse"): use GreedyDiffuse.
+  bool use_adaptive = true;
+
+  DiffusionOptions ToDiffusionOptions() const {
+    return DiffusionOptions{alpha, epsilon, sigma};
+  }
+};
+
+/// Outcome of one LACA invocation.
+struct LacaResult {
+  /// The approximate BDD vector rho' (degree-normalized, Line 6 of Algo. 4).
+  SparseVector bdd;
+  /// Statistics of the two diffusion calls (Steps 1 and 3).
+  DiffusionStats rwr_stats, bdd_stats;
+  /// |supp(pi')| after Step 1.
+  size_t rwr_support = 0;
+  /// ||phi'||_1 after Step 2.
+  double phi_l1 = 0.0;
+};
+
+/// The LACA solver. Construct once per (graph, TNAM) pair; each ComputeBdd /
+/// Cluster call is a local operation whose cost is O(k / ((1-alpha) eps)),
+/// independent of the graph size (Section V-B).
+///
+/// Passing a null TNAM selects the LACA (w/o SNAS) ablation: the SNAS
+/// degenerates to the identity and the BDD to the CoSimRank-style
+/// topology-only measure (Remark, Section II-C).
+class Laca {
+ public:
+  /// `tnam` may be null (w/o SNAS mode); when non-null it must cover all
+  /// graph nodes. The referenced graph and TNAM must outlive this object.
+  Laca(const Graph& graph, const Tnam* tnam);
+
+  /// Runs Algo. 4 and returns the approximate BDD vector.
+  LacaResult ComputeBdd(NodeId seed, const LacaOptions& opts);
+
+  /// Runs Algo. 4 and extracts the `size` nodes with the largest BDD values
+  /// (seed included, BFS-padded if the explored region is too small).
+  std::vector<NodeId> Cluster(NodeId seed, size_t size, const LacaOptions& opts);
+
+  /// Algo. 4 with an arbitrary (non-factorized) SNAS provider: Step 2's
+  /// phi'_i = sum_j pi'_j s(j, i) d(i) is computed by the O(|supp(pi')|^2)
+  /// double loop restricted to supp(pi'). Used by the alternative-similarity
+  /// experiments (Table XI), where the metric admits no low-rank form; pick a
+  /// coarser epsilon to keep the quadratic step affordable.
+  LacaResult ComputeBddWithProvider(NodeId seed, const SnasProvider& snas,
+                                    const LacaOptions& opts);
+
+  const Graph& graph() const { return graph_; }
+  bool has_snas() const { return tnam_ != nullptr; }
+
+ private:
+  const Graph& graph_;
+  const Tnam* tnam_;
+  DiffusionEngine engine_;
+  std::vector<double> psi_;  // scratch for Step 2
+};
+
+}  // namespace laca
+
+#endif  // LACA_CORE_LACA_HPP_

@@ -1,0 +1,168 @@
+#include "diffusion/diffusion.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace laca {
+
+DiffusionEngine::DiffusionEngine(const Graph& graph)
+    : graph_(graph),
+      r_(graph.num_nodes(), 0.0),
+      q_(graph.num_nodes(), 0.0) {}
+
+void DiffusionEngine::AddResidual(NodeId v, double value) {
+  if (value == 0.0) return;
+  if (r_[v] == 0.0) {
+    r_support_.push_back(v);
+    r_volume_ += graph_.Degree(v);
+  }
+  r_[v] += value;
+}
+
+SparseVector DiffusionEngine::Greedy(const SparseVector& f,
+                                     const DiffusionOptions& opts,
+                                     DiffusionStats* stats) {
+  return Run(Mode::kGreedy, f, opts, stats);
+}
+
+SparseVector DiffusionEngine::NonGreedy(const SparseVector& f,
+                                        const DiffusionOptions& opts,
+                                        DiffusionStats* stats) {
+  return Run(Mode::kNonGreedy, f, opts, stats);
+}
+
+SparseVector DiffusionEngine::Adaptive(const SparseVector& f,
+                                       const DiffusionOptions& opts,
+                                       DiffusionStats* stats) {
+  return Run(Mode::kAdaptive, f, opts, stats);
+}
+
+SparseVector DiffusionEngine::Run(Mode mode, const SparseVector& f,
+                                  const DiffusionOptions& opts,
+                                  DiffusionStats* stats) {
+  LACA_CHECK(opts.alpha > 0.0 && opts.alpha < 1.0, "alpha must be in (0,1)");
+  LACA_CHECK(opts.epsilon > 0.0, "epsilon must be positive");
+  LACA_CHECK(opts.sigma >= 0.0, "sigma must be non-negative");
+
+  // Reset scratch state from any previous call.
+  for (NodeId v : r_support_) r_[v] = 0.0;
+  for (NodeId v : q_support_) q_[v] = 0.0;
+  r_support_.clear();
+  q_support_.clear();
+  r_volume_ = 0.0;
+
+  // Line 1: r <- f, q <- 0.
+  double f_l1 = 0.0;
+  for (const auto& e : f.entries()) {
+    LACA_CHECK(e.index < graph_.num_nodes(), "input index out of range");
+    LACA_CHECK(e.value >= 0.0, "diffusion input must be non-negative");
+    AddResidual(e.index, e.value);
+    f_l1 += e.value;
+  }
+
+  const double alpha = opts.alpha;
+  const double eps = opts.epsilon;
+  // Cost budget of Algo. 2, Line 4: ||f||_1 / ((1 - alpha) eps).
+  const double budget = f_l1 / ((1.0 - alpha) * eps);
+  double nongreedy_cost = 0.0;
+
+  std::vector<NodeId> compacted;
+  uint64_t iterations = 0, greedy_rounds = 0, nongreedy_rounds = 0;
+  uint64_t push_work = 0;
+
+  while (!r_support_.empty()) {
+    // Scan the support: compact stale zero entries and find the nodes whose
+    // residue meets the threshold of Eq. 15 (gamma candidates).
+    compacted.clear();
+    gamma_nodes_.clear();
+    size_t above_threshold = 0;
+    for (NodeId v : r_support_) {
+      double rv = r_[v];
+      if (rv == 0.0) continue;  // stale entry from a previous extraction
+      compacted.push_back(v);
+      if (rv >= eps * graph_.Degree(v)) {
+        gamma_nodes_.push_back(v);
+        ++above_threshold;
+      }
+    }
+    std::swap(r_support_, compacted);
+    if (above_threshold == 0) break;  // Algo. 1, Line 4: gamma == 0
+
+    // Adaptive rule (Algo. 2, Line 4): run a non-greedy round when the
+    // active fraction exceeds sigma and the cost budget allows it.
+    bool nongreedy = false;
+    if (mode == Mode::kNonGreedy) {
+      nongreedy = true;
+    } else if (mode == Mode::kAdaptive) {
+      double frac = static_cast<double>(above_threshold) /
+                    static_cast<double>(r_support_.size());
+      nongreedy = frac > opts.sigma && nongreedy_cost + r_volume_ < budget;
+    }
+    if (nongreedy) {
+      nongreedy_cost += r_volume_;  // Algo. 2, Line 5
+      gamma_nodes_ = r_support_;    // Eq. 17 converts the entire residual
+      ++nongreedy_rounds;
+    } else {
+      ++greedy_rounds;
+    }
+
+    // Snapshot gamma values and remove them from r (batch semantics of
+    // Eq. 16: this round's pushes land in next round's residual).
+    gamma_values_.resize(gamma_nodes_.size());
+    for (size_t i = 0; i < gamma_nodes_.size(); ++i) {
+      NodeId v = gamma_nodes_[i];
+      gamma_values_[i] = r_[v];
+      r_[v] = 0.0;
+      r_volume_ -= graph_.Degree(v);
+    }
+    if (nongreedy) {
+      r_support_.clear();
+      r_volume_ = 0.0;  // kill accumulated rounding error
+    }
+
+    // Convert (1 - alpha) into reserves; scatter alpha to the neighbors.
+    for (size_t i = 0; i < gamma_nodes_.size(); ++i) {
+      NodeId v = gamma_nodes_[i];
+      double g = gamma_values_[i];
+      if (q_[v] == 0.0) q_support_.push_back(v);
+      q_[v] += (1.0 - alpha) * g;
+      auto nbrs = graph_.Neighbors(v);
+      push_work += nbrs.size();
+      if (graph_.is_weighted()) {
+        auto wts = graph_.NeighborWeights(v);
+        double scale = alpha * g / graph_.Degree(v);
+        for (size_t e = 0; e < nbrs.size(); ++e) {
+          AddResidual(nbrs[e], scale * wts[e]);
+        }
+      } else {
+        double inc = alpha * g / static_cast<double>(nbrs.size());
+        for (NodeId u : nbrs) AddResidual(u, inc);
+      }
+    }
+
+    ++iterations;
+    if (stats != nullptr && stats->record_trace) {
+      double r_l1 = 0.0;
+      for (NodeId v : r_support_) r_l1 += r_[v];
+      stats->residual_trace.push_back(r_l1);
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->iterations = iterations;
+    stats->greedy_rounds = greedy_rounds;
+    stats->nongreedy_rounds = nongreedy_rounds;
+    stats->push_work = push_work;
+    stats->nongreedy_cost = nongreedy_cost;
+  }
+
+  SparseVector out;
+  std::sort(q_support_.begin(), q_support_.end());
+  for (NodeId v : q_support_) {
+    if (q_[v] != 0.0) out.Add(v, q_[v]);
+  }
+  return out;
+}
+
+}  // namespace laca

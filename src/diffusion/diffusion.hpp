@@ -1,0 +1,92 @@
+// RWR-based graph diffusion (Section IV): GreedyDiffuse, the non-greedy
+// power-style variant, and AdaptiveDiffuse.
+//
+// All three approximate q with 0 <= sum_i f_i pi(v_i, v_t) - q_t <= eps d(v_t)
+// (Eq. 14) for a non-negative input vector f, where pi is the RWR score with
+// restart factor alpha. Runtime is O(max{|supp(f)|, ||f||_1 / ((1-alpha) eps)}),
+// independent of the graph size (Theorems IV.1 / IV.2).
+#ifndef LACA_DIFFUSION_DIFFUSION_HPP_
+#define LACA_DIFFUSION_DIFFUSION_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sparse_vector.hpp"
+#include "graph/graph.hpp"
+
+namespace laca {
+
+/// Parameters shared by the diffusion algorithms.
+struct DiffusionOptions {
+  /// Walk probability alpha in (0, 1): the RWR stops with prob 1 - alpha at
+  /// each step (Eq. 6).
+  double alpha = 0.8;
+  /// Diffusion threshold eps > 0: residues with r_i / d(v_i) >= eps are
+  /// converted and pushed (Eq. 15).
+  double epsilon = 1e-6;
+  /// Adaptive balancing parameter sigma in [0, 1] (Algo. 2). 0 prefers
+  /// non-greedy rounds; >= 1 degenerates to GreedyDiffuse.
+  double sigma = 0.0;
+};
+
+/// Per-call statistics (iteration counts feed Fig. 5 / Table II).
+struct DiffusionStats {
+  uint64_t iterations = 0;
+  uint64_t greedy_rounds = 0;
+  uint64_t nongreedy_rounds = 0;
+  /// Total edge traversals performed by push operations.
+  uint64_t push_work = 0;
+  /// Budget consumed by non-greedy rounds (the C_tot of Algo. 2).
+  double nongreedy_cost = 0.0;
+  /// ||r||_1 recorded at the end of every iteration when tracing is enabled.
+  std::vector<double> residual_trace;
+  bool record_trace = false;
+};
+
+/// Reusable diffusion engine over a fixed graph.
+///
+/// Holds dense scratch arrays sized to the graph so repeated calls (the two
+/// diffusions inside LACA, or many seeds in an experiment) do not reallocate.
+/// Weighted graphs are supported: pushes distribute proportionally to edge
+/// weights and thresholds use weighted degrees. Not thread-safe.
+class DiffusionEngine {
+ public:
+  explicit DiffusionEngine(const Graph& graph);
+
+  /// Algo. 1: greedy residue conversion only. `f` must be non-negative.
+  SparseVector Greedy(const SparseVector& f, const DiffusionOptions& opts,
+                      DiffusionStats* stats = nullptr);
+
+  /// The non-greedy variant (Eq. 17 in every round): converts and pushes the
+  /// entire residual each iteration until all residues fall under eps.
+  SparseVector NonGreedy(const SparseVector& f, const DiffusionOptions& opts,
+                         DiffusionStats* stats = nullptr);
+
+  /// Algo. 2: adaptively interleaves non-greedy rounds (while the cost budget
+  /// ||f||_1 / ((1-alpha) eps) allows and the active fraction exceeds sigma)
+  /// with greedy rounds.
+  SparseVector Adaptive(const SparseVector& f, const DiffusionOptions& opts,
+                        DiffusionStats* stats = nullptr);
+
+  const Graph& graph() const { return graph_; }
+
+ private:
+  enum class Mode { kGreedy, kNonGreedy, kAdaptive };
+  SparseVector Run(Mode mode, const SparseVector& f,
+                   const DiffusionOptions& opts, DiffusionStats* stats);
+
+  // Adds `value` to r_[v], maintaining the support list and vol(r).
+  void AddResidual(NodeId v, double value);
+
+  const Graph& graph_;
+  std::vector<double> r_, q_;
+  std::vector<NodeId> r_support_, q_support_;
+  // Scratch for the per-iteration gamma batch.
+  std::vector<NodeId> gamma_nodes_;
+  std::vector<double> gamma_values_;
+  double r_volume_ = 0.0;
+};
+
+}  // namespace laca
+
+#endif  // LACA_DIFFUSION_DIFFUSION_HPP_

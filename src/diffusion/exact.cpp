@@ -1,0 +1,46 @@
+#include "diffusion/exact.hpp"
+
+#include "common/error.hpp"
+
+namespace laca {
+
+std::vector<double> ExactDiffuse(const Graph& graph, const SparseVector& f,
+                                 double alpha, double tol) {
+  LACA_CHECK(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+  LACA_CHECK(tol > 0.0, "tol must be positive");
+  const NodeId n = graph.num_nodes();
+  std::vector<double> out(n, 0.0), cur(n, 0.0), next(n, 0.0);
+  double cur_l1 = 0.0;
+  for (const auto& e : f.entries()) {
+    LACA_CHECK(e.index < n, "input index out of range");
+    cur[e.index] += e.value;
+    cur_l1 += e.value;
+  }
+  // ||cur||_1 shrinks by alpha each step; stop once the tail is negligible.
+  while (cur_l1 > tol) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (cur[v] == 0.0) continue;
+      out[v] += (1.0 - alpha) * cur[v];
+      double scale = alpha * cur[v] / graph.Degree(v);
+      auto nbrs = graph.Neighbors(v);
+      if (graph.is_weighted()) {
+        auto wts = graph.NeighborWeights(v);
+        for (size_t e = 0; e < nbrs.size(); ++e) next[nbrs[e]] += scale * wts[e];
+      } else {
+        for (NodeId u : nbrs) next[u] += scale;
+      }
+    }
+    std::swap(cur, next);
+    std::fill(next.begin(), next.end(), 0.0);
+    cur_l1 *= alpha;
+  }
+  return out;
+}
+
+std::vector<double> ExactRwr(const Graph& graph, NodeId seed, double alpha,
+                             double tol) {
+  LACA_CHECK(seed < graph.num_nodes(), "seed out of range");
+  return ExactDiffuse(graph, SparseVector::Unit(seed), alpha, tol);
+}
+
+}  // namespace laca

@@ -1,0 +1,25 @@
+// Exact (power-iteration) RWR diffusion — the O(m/(1-alpha) log(1/tol))
+// reference the local algorithms are tested against.
+#ifndef LACA_DIFFUSION_EXACT_HPP_
+#define LACA_DIFFUSION_EXACT_HPP_
+
+#include <vector>
+
+#include "common/sparse_vector.hpp"
+#include "graph/graph.hpp"
+
+namespace laca {
+
+/// Computes q_t = sum_i f_i pi(v_i, v_t) exactly (up to `tol` in L1), i.e.
+/// the RWR-based graph diffusion of Eq. 7, by truncated Neumann summation
+/// q = sum_l (1-alpha) alpha^l f P^l.
+std::vector<double> ExactDiffuse(const Graph& graph, const SparseVector& f,
+                                 double alpha, double tol = 1e-14);
+
+/// Exact RWR vector pi(v_s, .) (Eq. 6).
+std::vector<double> ExactRwr(const Graph& graph, NodeId seed, double alpha,
+                             double tol = 1e-14);
+
+}  // namespace laca
+
+#endif  // LACA_DIFFUSION_EXACT_HPP_

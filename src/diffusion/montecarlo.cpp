@@ -1,0 +1,105 @@
+#include "diffusion/montecarlo.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "diffusion/push.hpp"
+
+namespace laca {
+namespace {
+
+/// Walks from `start` with continuation probability alpha and returns the
+/// terminal node. Weighted graphs choose neighbors weight-proportionally.
+NodeId SampleWalkEnd(const Graph& graph, NodeId start, double alpha,
+                     uint32_t max_length, Rng* rng) {
+  NodeId cur = start;
+  for (uint32_t step = 0; step < max_length; ++step) {
+    if (!rng->Bernoulli(alpha)) break;
+    auto nbrs = graph.Neighbors(cur);
+    if (nbrs.empty()) break;  // dangling node: the walk is stuck
+    if (!graph.is_weighted()) {
+      cur = nbrs[rng->UniformInt(nbrs.size())];
+      continue;
+    }
+    auto wts = graph.NeighborWeights(cur);
+    double target = rng->Uniform() * graph.Degree(cur);
+    double acc = 0.0;
+    NodeId chosen = nbrs.back();
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      acc += wts[i];
+      if (target < acc) {
+        chosen = nbrs[i];
+        break;
+      }
+    }
+    cur = chosen;
+  }
+  return cur;
+}
+
+}  // namespace
+
+SparseVector MonteCarloRwr(const Graph& graph, NodeId seed,
+                           const MonteCarloOptions& opts) {
+  LACA_CHECK(seed < graph.num_nodes(), "seed node out of range");
+  LACA_CHECK(opts.alpha > 0.0 && opts.alpha < 1.0, "alpha must be in (0, 1)");
+  LACA_CHECK(opts.num_walks > 0, "num_walks must be positive");
+
+  std::vector<double> counts(graph.num_nodes(), 0.0);
+  std::vector<NodeId> touched;
+  Rng rng(opts.seed);
+  for (uint64_t w = 0; w < opts.num_walks; ++w) {
+    NodeId end = SampleWalkEnd(graph, seed, opts.alpha, opts.max_length, &rng);
+    if (counts[end] == 0.0) touched.push_back(end);
+    counts[end] += 1.0;
+  }
+
+  SparseVector pi;
+  const double inv = 1.0 / static_cast<double>(opts.num_walks);
+  for (NodeId v : touched) pi.Add(v, counts[v] * inv);
+  pi.SortByIndex();
+  return pi;
+}
+
+SparseVector ForaDiffuse(const Graph& graph, NodeId seed,
+                         const ForaOptions& opts) {
+  LACA_CHECK(seed < graph.num_nodes(), "seed node out of range");
+  LACA_CHECK(opts.walks_per_residual_unit > 0.0,
+             "walks_per_residual_unit must be positive");
+
+  QueuePushOptions push_opts;
+  push_opts.alpha = opts.alpha;
+  push_opts.epsilon = opts.push_epsilon;
+  QueuePushResult pushed = QueuePush(graph, SparseVector::Unit(seed), push_opts);
+
+  // Refinement: pi(s, t) = q(t) + sum_i r_i pi(i, t); estimate each pi(i, .)
+  // with ceil(r_i * walks_per_residual_unit) sampled walks. Accumulate into a
+  // dense scratch because walk ends scatter widely.
+  std::vector<double> estimate(graph.num_nodes(), 0.0);
+  std::vector<NodeId> touched;
+  auto add = [&](NodeId v, double value) {
+    if (estimate[v] == 0.0) touched.push_back(v);
+    estimate[v] += value;
+  };
+  for (const auto& e : pushed.reserve.entries()) add(e.index, e.value);
+
+  Rng rng(opts.seed);
+  for (const auto& e : pushed.residual.entries()) {
+    const uint64_t walks = static_cast<uint64_t>(
+        std::ceil(e.value * opts.walks_per_residual_unit));
+    const double weight = e.value / static_cast<double>(walks);
+    for (uint64_t w = 0; w < walks; ++w) {
+      add(SampleWalkEnd(graph, e.index, opts.alpha, opts.max_length, &rng),
+          weight);
+    }
+  }
+
+  SparseVector pi;
+  for (NodeId v : touched) pi.Add(v, estimate[v]);
+  pi.SortByIndex();
+  return pi;
+}
+
+}  // namespace laca

@@ -1,0 +1,67 @@
+// Monte-Carlo RWR estimation — the sampling-based diffusion family [36, 37]
+// the paper contrasts AdaptiveDiffuse with (Section IV).
+//
+// Two estimators are provided:
+//   * MonteCarloRwr: plain walk sampling — W independent alpha-decay walks
+//     from the seed; pi'(t) = (walks ending at t) / W. Unbiased, but needs
+//     W = O(log(n)/eps^2) samples for an additive eps guarantee and exhibits
+//     the scattered memory access pattern the paper's matrix-operation design
+//     avoids.
+//   * ForaDiffuse: FORA-style hybrid — a push phase (GreedyDiffuse) with a
+//     coarse threshold, then walk sampling to refine the leftover residuals:
+//     pi'(t) = q(t) + sum_i r_i * (walks from i ending at t) / W_i. The push
+//     invariant pi = q + sum_i r_i pi(i, .) makes this unbiased too.
+//
+// Both power bench_ext_diffusion_backends, the engineering ablation that
+// justifies the deterministic adaptive design (DESIGN.md §4).
+#ifndef LACA_DIFFUSION_MONTECARLO_HPP_
+#define LACA_DIFFUSION_MONTECARLO_HPP_
+
+#include <cstdint>
+
+#include "common/sparse_vector.hpp"
+#include "graph/graph.hpp"
+
+namespace laca {
+
+/// Options for plain Monte-Carlo RWR.
+struct MonteCarloOptions {
+  /// Restart factor alpha (walk continuation probability, as in Eq. 6).
+  double alpha = 0.8;
+  /// Number of sampled walks.
+  uint64_t num_walks = 100'000;
+  /// Hard cap on a single walk's length (the alpha-decay makes longer walks
+  /// astronomically unlikely; the cap bounds the worst case).
+  uint32_t max_length = 512;
+  uint64_t seed = 1;
+};
+
+/// Estimates the RWR vector pi(seed, .) by sampling `num_walks` alpha-decay
+/// random walks. The estimate at node t is unbiased with variance
+/// pi_t (1 - pi_t) / num_walks. Throws std::invalid_argument on bad options
+/// or an out-of-range seed node.
+SparseVector MonteCarloRwr(const Graph& graph, NodeId seed,
+                           const MonteCarloOptions& opts);
+
+/// Options for the FORA-style hybrid estimator.
+struct ForaOptions {
+  double alpha = 0.8;
+  /// Push-phase threshold; larger values shift work from the (deterministic)
+  /// push phase to the (randomized) refinement phase.
+  double push_epsilon = 1e-4;
+  /// Walks sampled per unit of leftover residual mass. The refinement phase
+  /// samples ceil(r_i * walks_per_residual_unit) walks from each residual
+  /// node v_i.
+  double walks_per_residual_unit = 100'000.0;
+  uint32_t max_length = 512;
+  uint64_t seed = 1;
+};
+
+/// FORA-style estimate of pi(seed, .): push with a coarse threshold, then
+/// Monte-Carlo refinement of the residual vector.
+SparseVector ForaDiffuse(const Graph& graph, NodeId seed,
+                         const ForaOptions& opts);
+
+}  // namespace laca
+
+#endif  // LACA_DIFFUSION_MONTECARLO_HPP_

@@ -1,0 +1,66 @@
+#include "diffusion/push.hpp"
+
+#include <deque>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace laca {
+
+QueuePushResult QueuePush(const Graph& graph, const SparseVector& f,
+                          const QueuePushOptions& opts) {
+  LACA_CHECK(opts.alpha > 0.0 && opts.alpha < 1.0, "alpha must be in (0, 1)");
+  LACA_CHECK(opts.epsilon > 0.0, "epsilon must be positive");
+
+  const NodeId n = graph.num_nodes();
+  std::vector<double> r(n, 0.0), q(n, 0.0);
+  std::vector<uint8_t> queued(n, 0);
+  std::deque<NodeId> queue;
+  std::vector<NodeId> touched;
+
+  auto add_residual = [&](NodeId v, double value) {
+    if (r[v] == 0.0 && q[v] == 0.0) touched.push_back(v);
+    r[v] += value;
+    if (!queued[v] && r[v] >= opts.epsilon * graph.Degree(v)) {
+      queued[v] = 1;
+      queue.push_back(v);
+    }
+  };
+
+  for (const auto& e : f.entries()) {
+    LACA_CHECK(e.index < n, "input vector index out of range");
+    LACA_CHECK(e.value >= 0.0, "input vector must be non-negative");
+    if (e.value > 0.0) add_residual(e.index, e.value);
+  }
+
+  QueuePushResult result;
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    queued[u] = 0;
+    const double ru = r[u];
+    const double du = graph.Degree(u);
+    if (ru < opts.epsilon * du) continue;  // decayed below threshold meanwhile
+    r[u] = 0.0;
+    q[u] += (1.0 - opts.alpha) * ru;
+    ++result.pushes;
+
+    auto nbrs = graph.Neighbors(u);
+    auto wts = graph.NeighborWeights(u);
+    result.edge_work += nbrs.size();
+    const double spread = opts.alpha * ru / du;
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      add_residual(nbrs[i], spread * (graph.is_weighted() ? wts[i] : 1.0));
+    }
+  }
+
+  for (NodeId v : touched) {
+    if (q[v] != 0.0) result.reserve.Add(v, q[v]);
+    if (r[v] != 0.0) result.residual.Add(v, r[v]);
+  }
+  result.reserve.SortByIndex();
+  result.residual.SortByIndex();
+  return result;
+}
+
+}  // namespace laca

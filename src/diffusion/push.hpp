@@ -1,0 +1,48 @@
+// Classic queue-driven local push (Andersen–Chung–Lang style) — the
+// traversal-based diffusion the paper's matrix-operation design replaces
+// (Section IV-A's discussion of memory access patterns).
+//
+// Kept as a first-class backend so the engineering ablation
+// (bench_ext_diffusion_backends) can compare it against GreedyDiffuse /
+// AdaptiveDiffuse on identical inputs, and as the push phase of the
+// FORA-style hybrid estimator (diffusion/montecarlo.hpp).
+#ifndef LACA_DIFFUSION_PUSH_HPP_
+#define LACA_DIFFUSION_PUSH_HPP_
+
+#include <cstdint>
+
+#include "common/sparse_vector.hpp"
+#include "graph/graph.hpp"
+
+namespace laca {
+
+/// Options for the queue-driven push.
+struct QueuePushOptions {
+  /// Restart factor alpha (same convention as DiffusionOptions).
+  double alpha = 0.8;
+  /// Push threshold: nodes with r_u / d(u) >= epsilon are pushed.
+  double epsilon = 1e-6;
+};
+
+/// Outcome of a queue push: the reserve vector plus the final residuals
+/// (every residual satisfies r_u / d(u) < epsilon, giving the Eq. 14
+/// sandwich 0 <= (f pi)(t) - q_t <= eps * d(t)).
+struct QueuePushResult {
+  SparseVector reserve;
+  SparseVector residual;
+  /// Number of single-node push operations performed.
+  uint64_t pushes = 0;
+  /// Total edge traversals (the classic O(||f||_1/((1-alpha) eps)) quantity).
+  uint64_t edge_work = 0;
+};
+
+/// Runs the per-node push loop: while some node u holds r_u >= eps * d(u),
+/// convert (1-alpha) r_u into reserve and scatter alpha r_u across u's
+/// neighbors (weight-proportionally on weighted graphs). `f` must be
+/// non-negative. Throws std::invalid_argument on bad options.
+QueuePushResult QueuePush(const Graph& graph, const SparseVector& f,
+                          const QueuePushOptions& opts);
+
+}  // namespace laca
+
+#endif  // LACA_DIFFUSION_PUSH_HPP_

@@ -1,0 +1,55 @@
+// Registry of simulated stand-ins for the paper's evaluation datasets.
+//
+// Table III datasets (Cora .. Amazon2M) and the Table VIII non-attributed
+// graphs are not available offline; each entry here is an attributed SBM
+// configured to match the original's shape statistics (n, average degree,
+// attribute dimensionality, ground-truth overlap and noisiness), with the
+// largest graphs scaled down to laptop size. See DESIGN.md §3 for the
+// mapping and rationale.
+#ifndef LACA_EVAL_DATASETS_HPP_
+#define LACA_EVAL_DATASETS_HPP_
+
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+
+namespace laca {
+
+/// A generated benchmark dataset.
+struct Dataset {
+  std::string name;
+  AttributedGraph data;
+  /// Cached mean ground-truth cluster size (the |Ys| column of Table III).
+  double avg_cluster_size = 0.0;
+
+  bool attributed() const { return data.attributes.num_cols() > 0; }
+  NodeId num_nodes() const { return data.graph.num_nodes(); }
+  uint64_t num_edges() const { return data.graph.num_edges(); }
+};
+
+/// Returns the named dataset, generating and caching it on first use.
+/// Throws std::invalid_argument for unknown names.
+const Dataset& GetDataset(const std::string& name);
+
+/// The 8 attributed stand-ins, smallest first (Table III order).
+std::vector<std::string> AttributedDatasetNames();
+
+/// The 4 small attributed stand-ins (where every baseline runs).
+std::vector<std::string> SmallAttributedDatasetNames();
+
+/// The 3 non-attributed stand-ins (Table VIII).
+std::vector<std::string> NonAttributedDatasetNames();
+
+/// Samples `count` seed nodes whose ground-truth cluster has >= 2 members.
+std::vector<NodeId> SampleSeeds(const Dataset& dataset, size_t count,
+                                uint64_t rng_seed = 1234);
+
+/// Number of evaluation seeds for benches: the LACA_BENCH_SEEDS environment
+/// variable when set, otherwise `default_count`. (The paper uses 500 seeds;
+/// benches default lower so the full suite completes quickly.)
+size_t BenchSeedCount(size_t default_count);
+
+}  // namespace laca
+
+#endif  // LACA_EVAL_DATASETS_HPP_

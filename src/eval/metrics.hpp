@@ -1,0 +1,36 @@
+// Clustering quality metrics (Section VI-B and Appendix B-3).
+#ifndef LACA_EVAL_METRICS_HPP_
+#define LACA_EVAL_METRICS_HPP_
+
+#include <span>
+#include <vector>
+
+#include "attr/attribute_matrix.hpp"
+#include "graph/graph.hpp"
+
+namespace laca {
+
+/// |C ∩ Y| / |C| — the paper's primary quality metric (Table V).
+double Precision(std::span<const NodeId> cluster,
+                 std::span<const NodeId> ground_truth);
+
+/// |C ∩ Y| / |Y| — used by the recall-vs-epsilon study (Fig. 6).
+double Recall(std::span<const NodeId> cluster,
+              std::span<const NodeId> ground_truth);
+
+/// Harmonic mean of precision and recall.
+double F1Score(std::span<const NodeId> cluster,
+               std::span<const NodeId> ground_truth);
+
+/// Conductance cut(C) / min(vol(C), vol(V \ C)) (Table VII). Returns 1 for
+/// empty or whole-graph clusters.
+double Conductance(const Graph& graph, std::span<const NodeId> cluster);
+
+/// Within-cluster sum of squares of attribute vectors, normalized per node:
+/// (1/|C|) sum_{i in C} ||x_i - mu_C||^2 (Table VII). Lower is more
+/// attribute-homogeneous.
+double Wcss(const AttributeMatrix& attrs, std::span<const NodeId> cluster);
+
+}  // namespace laca
+
+#endif  // LACA_EVAL_METRICS_HPP_

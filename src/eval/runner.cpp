@@ -1,0 +1,491 @@
+#include "eval/runner.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "attr/snas.hpp"
+#include "attr/tnam.hpp"
+#include "clustering/dbscan.hpp"
+#include "clustering/spectral.hpp"
+#include "common/thread_pool.hpp"
+#include "baselines/attrsim.hpp"
+#include "baselines/embedding.hpp"
+#include "baselines/flow.hpp"
+#include "baselines/lgc.hpp"
+#include "baselines/linksim.hpp"
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "core/cluster.hpp"
+#include "core/laca.hpp"
+#include "eval/metrics.hpp"
+
+namespace laca {
+
+bool ClusterMethod::Supports(const Dataset& dataset) const {
+  (void)dataset;
+  return true;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// LACA and its ablation.
+
+class LacaMethod : public ClusterMethod {
+ public:
+  LacaMethod(std::string name, std::optional<SnasMetric> metric)
+      : name_(std::move(name)), metric_(metric) {}
+
+  std::string name() const override { return name_; }
+
+  bool Supports(const Dataset& dataset) const override {
+    return !metric_.has_value() || dataset.attributed();
+  }
+
+  void Prepare(const Dataset& dataset) override {
+    if (metric_.has_value()) {
+      TnamOptions topts;
+      topts.metric = *metric_;
+      tnam_.emplace(Tnam::Build(dataset.data.attributes, topts));
+    }
+    laca_ = std::make_unique<Laca>(dataset.data.graph,
+                                   metric_ ? &*tnam_ : nullptr);
+  }
+
+  SparseVector Score(const Dataset& dataset, NodeId seed) override {
+    (void)dataset;
+    LacaOptions opts;
+    opts.epsilon = 1e-6;
+    return laca_->ComputeBdd(seed, opts).bdd;
+  }
+
+ private:
+  std::string name_;
+  std::optional<SnasMetric> metric_;
+  std::optional<Tnam> tnam_;
+  std::unique_ptr<Laca> laca_;
+};
+
+// ---------------------------------------------------------------------------
+// LGC baselines.
+
+class PrNibbleMethod : public ClusterMethod {
+ public:
+  std::string name() const override { return "PR-Nibble"; }
+  SparseVector Score(const Dataset& dataset, NodeId seed) override {
+    PrNibbleOptions opts;
+    opts.epsilon = 1e-6;
+    return PrNibble(dataset.data.graph, seed, opts);
+  }
+};
+
+class AprNibbleMethod : public ClusterMethod {
+ public:
+  std::string name() const override { return "APR-Nibble"; }
+  bool Supports(const Dataset& dataset) const override {
+    return dataset.attributed();
+  }
+  void Prepare(const Dataset& dataset) override {
+    reweighted_ =
+        GaussianReweight(dataset.data.graph, dataset.data.attributes, 1.0);
+  }
+  SparseVector Score(const Dataset& dataset, NodeId seed) override {
+    (void)dataset;
+    PrNibbleOptions opts;
+    opts.epsilon = 1e-6;
+    return AprNibble(reweighted_, seed, opts);
+  }
+
+ private:
+  Graph reweighted_;
+};
+
+class HkRelaxMethod : public ClusterMethod {
+ public:
+  std::string name() const override { return "HK-Relax"; }
+  SparseVector Score(const Dataset& dataset, NodeId seed) override {
+    HkRelaxOptions opts;
+    opts.t = 5.0;
+    opts.epsilon = 1e-5;
+    return HkRelax(dataset.data.graph, seed, opts);
+  }
+};
+
+class CrdMethod : public ClusterMethod {
+ public:
+  std::string name() const override { return "CRD"; }
+  SparseVector Score(const Dataset& dataset, NodeId seed) override {
+    CrdOptions opts;
+    return Crd(dataset.data.graph, seed, opts);
+  }
+};
+
+class FlowDiffusionMethod : public ClusterMethod {
+ public:
+  explicit FlowDiffusionMethod(bool weighted)
+      : weighted_(weighted) {}
+  std::string name() const override { return weighted_ ? "WFD" : "p-Norm FD"; }
+  bool Supports(const Dataset& dataset) const override {
+    return !weighted_ || dataset.attributed();
+  }
+  void Prepare(const Dataset& dataset) override {
+    if (weighted_) {
+      reweighted_ =
+          GaussianReweight(dataset.data.graph, dataset.data.attributes, 1.0);
+    }
+  }
+  SparseVector Score(const Dataset& dataset, NodeId seed) override {
+    FlowDiffusionOptions opts;
+    opts.size_hint = static_cast<size_t>(
+        std::max(dataset.avg_cluster_size, 16.0));
+    const Graph& g = weighted_ ? reweighted_ : dataset.data.graph;
+    return FlowDiffusion(g, seed, opts);
+  }
+
+ private:
+  bool weighted_;
+  Graph reweighted_;
+};
+
+// ---------------------------------------------------------------------------
+// Link-similarity baselines.
+
+class LinkSimMethod : public ClusterMethod {
+ public:
+  LinkSimMethod(std::string name, LinkSimilarity kind)
+      : name_(std::move(name)), kind_(kind) {}
+  std::string name() const override { return name_; }
+  SparseVector Score(const Dataset& dataset, NodeId seed) override {
+    return LinkSimilarityScores(dataset.data.graph, seed, kind_);
+  }
+
+ private:
+  std::string name_;
+  LinkSimilarity kind_;
+};
+
+class SimRankMethod : public ClusterMethod {
+ public:
+  std::string name() const override { return "SimRank"; }
+  bool Supports(const Dataset& dataset) const override {
+    // The paper reports SimRank only on the four small datasets.
+    return dataset.num_nodes() <= 20'000;
+  }
+  SparseVector Score(const Dataset& dataset, NodeId seed) override {
+    SimRankOptions opts;
+    return SimRankScores(dataset.data.graph, seed, opts);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Attribute-similarity baselines.
+
+class SimAttrMethod : public ClusterMethod {
+ public:
+  SimAttrMethod(std::string name, SnasMetric metric)
+      : name_(std::move(name)), metric_(metric) {}
+  std::string name() const override { return name_; }
+  bool Supports(const Dataset& dataset) const override {
+    return dataset.attributed();
+  }
+  SparseVector Score(const Dataset& dataset, NodeId seed) override {
+    return SimAttrScores(dataset.data.attributes, seed, metric_);
+  }
+
+ private:
+  std::string name_;
+  SnasMetric metric_;
+};
+
+class AttriRankMethod : public ClusterMethod {
+ public:
+  std::string name() const override { return "AttriRank"; }
+  bool Supports(const Dataset& dataset) const override {
+    return dataset.attributed();
+  }
+  SparseVector Score(const Dataset& dataset, NodeId seed) override {
+    AttriRankOptions opts;
+    return AttriRankScores(dataset.data.graph, dataset.data.attributes, seed,
+                           opts);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Embedding baselines (K-NN / spectral-clustering / DBSCAN extraction, the
+// three per-embedding rows of Table V).
+
+class EmbeddingMethod : public ClusterMethod {
+ public:
+  enum class Kind { kNode2Vec, kSage, kPane, kCfane };
+  enum class Extraction { kKnn, kSpectral, kDbscan };
+  EmbeddingMethod(std::string name, Kind kind,
+                  Extraction extraction = Extraction::kKnn)
+      : name_(std::move(name)), kind_(kind), extraction_(extraction) {}
+  std::string name() const override { return name_; }
+
+  bool Supports(const Dataset& dataset) const override {
+    // The global clustering extractions need all-pairs work over the
+    // embedding rows; gate them to the small datasets, mirroring the "-"
+    // entries of Table V.
+    if (extraction_ != Extraction::kKnn && dataset.num_nodes() > 8'000) {
+      return false;
+    }
+    // Size gates mirror the "-" entries of Table V (preprocessing beyond the
+    // paper's 3-day limit on larger graphs).
+    switch (kind_) {
+      case Kind::kNode2Vec:
+        return dataset.num_nodes() <= 60'000;
+      case Kind::kSage:
+        return dataset.attributed() && dataset.num_nodes() <= 20'000;
+      case Kind::kPane:
+        return dataset.attributed();
+      case Kind::kCfane:
+        return dataset.attributed() && dataset.num_nodes() <= 10'000;
+    }
+    return false;
+  }
+
+  void Prepare(const Dataset& dataset) override {
+    switch (kind_) {
+      case Kind::kNode2Vec: {
+        Node2VecOptions opts;
+        if (dataset.num_nodes() > 20'000) {
+          opts.dim = 32;  // keep large-graph preprocessing tractable
+          opts.walks_per_node = 3;
+        }
+        embedding_ = Node2VecLite(dataset.data.graph, opts);
+        break;
+      }
+      case Kind::kSage: {
+        SageOptions opts;
+        embedding_ = SageLite(dataset.data.graph, dataset.data.attributes, opts);
+        break;
+      }
+      case Kind::kPane: {
+        PaneOptions opts;
+        if (dataset.num_nodes() > 20'000) {
+          opts.dim = 32;
+          opts.iterations = 5;
+        }
+        embedding_ = PaneLite(dataset.data.graph, dataset.data.attributes, opts);
+        break;
+      }
+      case Kind::kCfane: {
+        CfaneOptions opts;
+        embedding_ =
+            CfaneLite(dataset.data.graph, dataset.data.attributes, opts);
+        break;
+      }
+    }
+    switch (extraction_) {
+      case Extraction::kKnn:
+        break;
+      case Extraction::kSpectral: {
+        SpectralOptions opts;
+        opts.num_clusters = static_cast<uint32_t>(std::clamp<size_t>(
+            dataset.data.communities.num_communities(), 2,
+            embedding_.vectors.rows()));
+        assignment_ = SpectralClustering(embedding_.vectors, opts).assignment;
+        break;
+      }
+      case Extraction::kDbscan: {
+        DbscanOptions opts;
+        opts.min_pts = 8;
+        opts.eps = EstimateDbscanEps(embedding_.vectors, opts.min_pts);
+        if (opts.eps <= 0.0) opts.eps = 0.5;  // degenerate embedding
+        assignment_ = Dbscan(embedding_.vectors, opts).assignment;
+        break;
+      }
+    }
+  }
+
+  SparseVector Score(const Dataset& dataset, NodeId seed) override {
+    (void)dataset;
+    if (extraction_ == Extraction::kKnn ||
+        assignment_[seed] == kDbscanNoise) {
+      // DBSCAN noise seeds have no cluster; fall back to K-NN ordering.
+      return KnnScores(embedding_, seed);
+    }
+    // Members of the seed's global cluster, ranked by embedding similarity
+    // to the seed (a positive shift keeps all member scores above zero).
+    SparseVector scores;
+    const uint32_t cluster = assignment_[seed];
+    for (NodeId v = 0; v < assignment_.size(); ++v) {
+      if (assignment_[v] != cluster) continue;
+      scores.Add(v, 2.0 + embedding_.vectors.RowDot(seed, v));
+    }
+    return scores;
+  }
+
+ private:
+  std::string name_;
+  Kind kind_;
+  Extraction extraction_;
+  Embedding embedding_;
+  std::vector<uint32_t> assignment_;
+};
+
+}  // namespace
+
+std::unique_ptr<ClusterMethod> MakeMethod(const std::string& name) {
+  if (name == "LACA (C)") {
+    return std::make_unique<LacaMethod>(name, SnasMetric::kCosine);
+  }
+  if (name == "LACA (E)") {
+    return std::make_unique<LacaMethod>(name, SnasMetric::kExpCosine);
+  }
+  if (name == "LACA (w/o SNAS)") {
+    return std::make_unique<LacaMethod>(name, std::nullopt);
+  }
+  if (name == "PR-Nibble") return std::make_unique<PrNibbleMethod>();
+  if (name == "APR-Nibble") return std::make_unique<AprNibbleMethod>();
+  if (name == "HK-Relax") return std::make_unique<HkRelaxMethod>();
+  if (name == "CRD") return std::make_unique<CrdMethod>();
+  if (name == "p-Norm FD") return std::make_unique<FlowDiffusionMethod>(false);
+  if (name == "WFD") return std::make_unique<FlowDiffusionMethod>(true);
+  if (name == "Jaccard") {
+    return std::make_unique<LinkSimMethod>(name, LinkSimilarity::kJaccard);
+  }
+  if (name == "Adamic-Adar") {
+    return std::make_unique<LinkSimMethod>(name, LinkSimilarity::kAdamicAdar);
+  }
+  if (name == "Common-Nbrs") {
+    return std::make_unique<LinkSimMethod>(name,
+                                           LinkSimilarity::kCommonNeighbors);
+  }
+  if (name == "SimRank") return std::make_unique<SimRankMethod>();
+  if (name == "SimAttr (C)") {
+    return std::make_unique<SimAttrMethod>(name, SnasMetric::kCosine);
+  }
+  if (name == "SimAttr (E)") {
+    return std::make_unique<SimAttrMethod>(name, SnasMetric::kExpCosine);
+  }
+  if (name == "AttriRank") return std::make_unique<AttriRankMethod>();
+  // Embedding methods: base name = K-NN extraction; " (SC)" / " (DBSCAN)"
+  // suffixes select the global-clustering extractions of Table V.
+  std::string base = name;
+  EmbeddingMethod::Extraction extraction = EmbeddingMethod::Extraction::kKnn;
+  auto strip_suffix = [&base](const std::string& suffix) {
+    if (base.size() > suffix.size() &&
+        base.compare(base.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      base.resize(base.size() - suffix.size());
+      return true;
+    }
+    return false;
+  };
+  if (strip_suffix(" (SC)")) {
+    extraction = EmbeddingMethod::Extraction::kSpectral;
+  } else if (strip_suffix(" (DBSCAN)")) {
+    extraction = EmbeddingMethod::Extraction::kDbscan;
+  }
+  static const std::map<std::string, EmbeddingMethod::Kind> kEmbeddings = {
+      {"Node2Vec", EmbeddingMethod::Kind::kNode2Vec},
+      {"SAGE", EmbeddingMethod::Kind::kSage},
+      {"PANE", EmbeddingMethod::Kind::kPane},
+      {"CFANE", EmbeddingMethod::Kind::kCfane},
+  };
+  auto it = kEmbeddings.find(base);
+  if (it != kEmbeddings.end()) {
+    return std::make_unique<EmbeddingMethod>(name, it->second, extraction);
+  }
+  LACA_CHECK(false, "unknown method: " + name);
+  return nullptr;
+}
+
+std::vector<std::string> AllMethodNames() {
+  return {"PR-Nibble",         "APR-Nibble",
+          "HK-Relax",          "CRD",
+          "p-Norm FD",         "WFD",
+          "Jaccard",           "Adamic-Adar",
+          "Common-Nbrs",       "SimRank",
+          "SimAttr (C)",       "SimAttr (E)",
+          "AttriRank",         "Node2Vec",
+          "Node2Vec (SC)",     "Node2Vec (DBSCAN)",
+          "SAGE",              "SAGE (SC)",
+          "SAGE (DBSCAN)",     "PANE",
+          "PANE (SC)",         "PANE (DBSCAN)",
+          "CFANE",             "CFANE (SC)",
+          "CFANE (DBSCAN)",    "LACA (C)",
+          "LACA (E)",          "LACA (w/o SNAS)"};
+}
+
+std::vector<std::string> DiffusionMethodNames() {
+  return {"PR-Nibble", "APR-Nibble", "HK-Relax"};
+}
+
+MethodEvaluation EvaluateMethod(const Dataset& dataset, ClusterMethod& method,
+                                std::span<const NodeId> seeds) {
+  MethodEvaluation out;
+  out.method = method.name();
+  if (!method.Supports(dataset) || seeds.empty()) {
+    out.supported = method.Supports(dataset);
+    return out;
+  }
+
+  Timer prep_timer;
+  method.Prepare(dataset);
+  out.prepare_seconds = prep_timer.ElapsedSeconds();
+
+  double online_total = 0.0;
+  for (NodeId seed : seeds) {
+    std::vector<NodeId> truth =
+        dataset.data.communities.GroundTruthCluster(seed);
+    size_t size = std::max<size_t>(truth.size(), 1);
+
+    Timer online_timer;
+    SparseVector scores = method.Score(dataset, seed);
+    std::vector<NodeId> cluster = TopKCluster(scores, seed, size);
+    if (cluster.size() < size) {
+      cluster = PadWithBfs(dataset.data.graph, std::move(cluster), size, seed);
+    }
+    online_total += online_timer.ElapsedSeconds();
+
+    out.precision += Precision(cluster, truth);
+    out.recall += Recall(cluster, truth);
+    out.f1 += F1Score(cluster, truth);
+    out.conductance += Conductance(dataset.data.graph, cluster);
+    if (dataset.attributed()) {
+      out.wcss += Wcss(dataset.data.attributes, cluster);
+    }
+    ++out.seeds_evaluated;
+  }
+  const double inv = 1.0 / static_cast<double>(out.seeds_evaluated);
+  out.precision *= inv;
+  out.recall *= inv;
+  out.f1 *= inv;
+  out.conductance *= inv;
+  out.wcss *= inv;
+  out.online_seconds = online_total * inv;
+  return out;
+}
+
+MethodEvaluation EvaluateByName(const Dataset& dataset,
+                                const std::string& method,
+                                std::span<const NodeId> seeds) {
+  std::unique_ptr<ClusterMethod> m = MakeMethod(method);
+  return EvaluateMethod(dataset, *m, seeds);
+}
+
+std::vector<MethodEvaluation> EvaluateMethodsParallel(
+    const Dataset& dataset, std::span<const std::string> methods,
+    std::span<const NodeId> seeds, size_t num_threads) {
+  std::vector<MethodEvaluation> results(methods.size());
+  ThreadPool pool(num_threads);
+  for (size_t i = 0; i < methods.size(); ++i) {
+    pool.Submit([&dataset, &methods, seeds, &results, i] {
+      results[i] = EvaluateByName(dataset, methods[i], seeds);
+    });
+  }
+  pool.Wait();
+  return results;
+}
+
+std::string FormatCell(const MethodEvaluation& eval, double value) {
+  if (!eval.supported || eval.seeds_evaluated == 0) return "-";
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%.3f", value);
+  return buf;
+}
+
+}  // namespace laca

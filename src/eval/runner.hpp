@@ -1,0 +1,86 @@
+// Experiment runner: a uniform interface over LACA and the 17 baselines,
+// with per-dataset preparation (preprocessing stage) and per-seed scoring
+// (online stage) timed separately, mirroring Fig. 7's cost split.
+#ifndef LACA_EVAL_RUNNER_HPP_
+#define LACA_EVAL_RUNNER_HPP_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/sparse_vector.hpp"
+#include "eval/datasets.hpp"
+
+namespace laca {
+
+/// A local-clustering method under evaluation.
+class ClusterMethod {
+ public:
+  virtual ~ClusterMethod() = default;
+  virtual std::string name() const = 0;
+
+  /// Whether the method runs on this dataset. Mirrors the "-" entries of
+  /// Table V: attribute methods need attributes; methods whose preprocessing
+  /// exceeds the paper's time limits on large graphs are gated by size.
+  virtual bool Supports(const Dataset& dataset) const;
+
+  /// Per-dataset preprocessing (timed as the preprocessing stage).
+  virtual void Prepare(const Dataset& dataset) { (void)dataset; }
+
+  /// Scores nodes for one seed (timed as the online stage). Higher is
+  /// better; the evaluator extracts the top |Y_s| nodes.
+  virtual SparseVector Score(const Dataset& dataset, NodeId seed) = 0;
+};
+
+/// Instantiates a method by its Table V name, e.g. "LACA (C)", "PR-Nibble",
+/// "SimAttr (E)". Throws std::invalid_argument for unknown names.
+std::unique_ptr<ClusterMethod> MakeMethod(const std::string& name);
+
+/// All 20 method names in Table V order (17 baselines + LACA variants).
+std::vector<std::string> AllMethodNames();
+
+/// The diffusion / LGC subset compared in Fig. 6.
+std::vector<std::string> DiffusionMethodNames();
+
+/// Aggregate outcome of evaluating one method on one dataset.
+struct MethodEvaluation {
+  std::string method;
+  bool supported = true;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double conductance = 0.0;
+  double wcss = 0.0;
+  double prepare_seconds = 0.0;
+  double online_seconds = 0.0;  // mean per seed
+  size_t seeds_evaluated = 0;
+};
+
+/// Runs Prepare once, then Score for every seed, extracting |Y_s|-sized
+/// clusters and averaging all quality metrics.
+MethodEvaluation EvaluateMethod(const Dataset& dataset, ClusterMethod& method,
+                                std::span<const NodeId> seeds);
+
+/// Convenience: MakeMethod + EvaluateMethod, returning an unsupported row
+/// (printed as "-") when the method is gated on this dataset.
+MethodEvaluation EvaluateByName(const Dataset& dataset,
+                                const std::string& method,
+                                std::span<const NodeId> seeds);
+
+/// Evaluates several methods on one dataset concurrently (one pool task per
+/// method, each with its own ClusterMethod instance; methods never share
+/// state). Returns results in `methods` order. Scoring is deterministic, so
+/// quality metrics equal the serial EvaluateByName outputs; per-seed timings
+/// are subject to scheduling noise and should come from the serial path
+/// (Fig. 7) instead. `num_threads` of 0 uses the hardware concurrency.
+std::vector<MethodEvaluation> EvaluateMethodsParallel(
+    const Dataset& dataset, std::span<const std::string> methods,
+    std::span<const NodeId> seeds, size_t num_threads = 0);
+
+/// Formats a metric cell: fixed 3 decimals, or "-" when unsupported.
+std::string FormatCell(const MethodEvaluation& eval, double value);
+
+}  // namespace laca
+
+#endif  // LACA_EVAL_RUNNER_HPP_

@@ -1,0 +1,49 @@
+// Binary persistence for graphs, attributes, communities, and whole datasets.
+//
+// The text formats in graph/io.hpp are for interchange; these binary files
+// are for caching — loading a large generated or converted dataset from the
+// binary cache is orders of magnitude faster than re-parsing text or
+// re-running the generator. Files use the checksummed container of
+// common/serialize.hpp, so corruption and truncation are detected up front.
+#ifndef LACA_GRAPH_BINARY_IO_HPP_
+#define LACA_GRAPH_BINARY_IO_HPP_
+
+#include <string>
+
+#include "attr/attribute_matrix.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace laca {
+
+/// Writes `graph` (topology and, when present, edge weights) to `path`.
+void SaveGraphBinary(const Graph& graph, const std::string& path);
+
+/// Reads a graph written by SaveGraphBinary. Throws std::invalid_argument on
+/// missing, corrupt, truncated, or wrong-kind files.
+Graph LoadGraphBinary(const std::string& path);
+
+/// Writes the sparse attribute matrix to `path`. Values are stored exactly
+/// (no re-normalization on load).
+void SaveAttributesBinary(const AttributeMatrix& attrs,
+                          const std::string& path);
+
+/// Reads an attribute matrix written by SaveAttributesBinary.
+AttributeMatrix LoadAttributesBinary(const std::string& path);
+
+/// Writes ground-truth communities (possibly overlapping) to `path`.
+void SaveCommunitiesBinary(const Communities& comms, NodeId num_nodes,
+                           const std::string& path);
+
+/// Reads communities written by SaveCommunitiesBinary.
+Communities LoadCommunitiesBinary(const std::string& path);
+
+/// Writes a whole dataset (graph + attributes + communities) as one file.
+void SaveDatasetBinary(const AttributedGraph& data, const std::string& path);
+
+/// Reads a dataset written by SaveDatasetBinary.
+AttributedGraph LoadDatasetBinary(const std::string& path);
+
+}  // namespace laca
+
+#endif  // LACA_GRAPH_BINARY_IO_HPP_

@@ -1,0 +1,80 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace laca {
+
+void GraphBuilder::AddEdge(NodeId u, NodeId v, double w) {
+  LACA_CHECK(w > 0.0, "edge weight must be positive");
+  if (u == v) return;
+  if (u > v) std::swap(u, v);
+  edges_.push_back(RawEdge{u, v, w});
+  if (v >= num_nodes_) num_nodes_ = v + 1;
+}
+
+Graph GraphBuilder::Build(bool weighted) {
+  // Sort canonical (u < v) edges, merge duplicates.
+  std::sort(edges_.begin(), edges_.end(), [](const RawEdge& a, const RawEdge& b) {
+    if (a.u != b.u) return a.u < b.u;
+    return a.v < b.v;
+  });
+  size_t out = 0;
+  for (size_t i = 0; i < edges_.size();) {
+    RawEdge merged = edges_[i];
+    ++i;
+    while (i < edges_.size() && edges_[i].u == merged.u && edges_[i].v == merged.v) {
+      merged.w += edges_[i].w;
+      ++i;
+    }
+    if (!weighted) merged.w = 1.0;
+    edges_[out++] = merged;
+  }
+  edges_.resize(out);
+
+  const size_t n = num_nodes_;
+  std::vector<EdgeIndex> offsets(n + 1, 0);
+  for (const RawEdge& e : edges_) {
+    ++offsets[e.u + 1];
+    ++offsets[e.v + 1];
+  }
+  for (size_t i = 0; i < n; ++i) offsets[i + 1] += offsets[i];
+
+  std::vector<NodeId> adjacency(edges_.size() * 2);
+  std::vector<double> weights;
+  if (weighted) weights.resize(edges_.size() * 2);
+  std::vector<EdgeIndex> cursor(offsets.begin(), offsets.end() - 1);
+  for (const RawEdge& e : edges_) {
+    adjacency[cursor[e.u]] = e.v;
+    adjacency[cursor[e.v]] = e.u;
+    if (weighted) {
+      weights[cursor[e.u]] = e.w;
+      weights[cursor[e.v]] = e.w;
+    }
+    ++cursor[e.u];
+    ++cursor[e.v];
+  }
+  // Canonical edges were sorted by (u, v), so each adjacency list received its
+  // lower-id endpoints in order; but upper-id endpoints may interleave. Sort
+  // each list (with parallel weights when present).
+  for (size_t v = 0; v < n; ++v) {
+    EdgeIndex b = offsets[v], e = offsets[v + 1];
+    if (weighted) {
+      std::vector<std::pair<NodeId, double>> tmp;
+      tmp.reserve(e - b);
+      for (EdgeIndex i = b; i < e; ++i) tmp.emplace_back(adjacency[i], weights[i]);
+      std::sort(tmp.begin(), tmp.end());
+      for (EdgeIndex i = b; i < e; ++i) {
+        adjacency[i] = tmp[i - b].first;
+        weights[i] = tmp[i - b].second;
+      }
+    } else {
+      std::sort(adjacency.begin() + b, adjacency.begin() + e);
+    }
+  }
+  edges_.clear();
+  return Graph(std::move(offsets), std::move(adjacency), std::move(weights));
+}
+
+}  // namespace laca

@@ -1,0 +1,49 @@
+// Incremental construction of CSR graphs from edge streams.
+#ifndef LACA_GRAPH_BUILDER_HPP_
+#define LACA_GRAPH_BUILDER_HPP_
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace laca {
+
+/// Accumulates undirected edges and produces a validated Graph.
+///
+/// Duplicate edges are merged (weights summed); self loops are dropped.
+/// The builder is single-use: Build() consumes the accumulated state.
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Pre-declares `n` nodes (ids 0..n-1). Nodes referenced by AddEdge are
+  /// also created implicitly.
+  explicit GraphBuilder(NodeId n) : num_nodes_(n) {}
+
+  /// Adds undirected edge {u, v} with weight `w` (> 0). Self loops (u == v)
+  /// are silently ignored.
+  void AddEdge(NodeId u, NodeId v, double w = 1.0);
+
+  /// Number of nodes declared or referenced so far.
+  NodeId num_nodes() const { return num_nodes_; }
+
+  /// Number of AddEdge calls that were retained (pre-dedup).
+  size_t num_raw_edges() const { return edges_.size(); }
+
+  /// Builds the graph. If `weighted` is false, merged edges get weight 1
+  /// regardless of accumulated weights; otherwise duplicate weights are
+  /// summed. Throws std::invalid_argument on inconsistencies.
+  Graph Build(bool weighted = false);
+
+ private:
+  struct RawEdge {
+    NodeId u, v;
+    double w;
+  };
+  std::vector<RawEdge> edges_;
+  NodeId num_nodes_ = 0;
+};
+
+}  // namespace laca
+
+#endif  // LACA_GRAPH_BUILDER_HPP_

@@ -1,0 +1,485 @@
+#include "graph/formats.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "graph/builder.hpp"
+#include "graph/io_internal.hpp"
+
+namespace laca {
+
+using io_internal::At;
+using io_internal::IsCommentOrBlank;
+using io_internal::OpenForRead;
+using io_internal::OpenForWrite;
+
+namespace {
+
+/// Splits `line` on `sep` (',' for CSV) or any whitespace when sep == ' '.
+std::vector<std::string> SplitFields(const std::string& line, char sep) {
+  std::vector<std::string> fields;
+  if (sep == ' ') {
+    std::istringstream ls(line);
+    std::string tok;
+    while (ls >> tok) fields.push_back(std::move(tok));
+    return fields;
+  }
+  std::string field;
+  for (char c : line) {
+    if (c == sep) {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field.push_back(c);
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+double ParseDouble(const std::string& tok, const std::string& where) {
+  char* end = nullptr;
+  double v = std::strtod(tok.c_str(), &end);
+  LACA_CHECK(end != tok.c_str() && *end == '\0',
+             "expected a number, got '" + tok + "' at " + where);
+  return v;
+}
+
+uint64_t ParseUint(const std::string& tok, const std::string& where) {
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+  LACA_CHECK(end != tok.c_str() && *end == '\0' && tok[0] != '-',
+             "expected a non-negative integer, got '" + tok + "' at " + where);
+  return v;
+}
+
+}  // namespace
+
+Communities CommunitiesFromLabels(const std::vector<uint32_t>& labels,
+                                  uint32_t num_labels) {
+  if (num_labels == 0) {
+    for (uint32_t l : labels) num_labels = std::max(num_labels, l + 1);
+  }
+  std::vector<std::vector<NodeId>> by_label(num_labels);
+  for (NodeId v = 0; v < labels.size(); ++v) {
+    LACA_CHECK(labels[v] < num_labels,
+               "label " + std::to_string(labels[v]) + " out of range");
+    by_label[labels[v]].push_back(v);
+  }
+  Communities comms;
+  comms.node_comms.assign(labels.size(), {});
+  for (auto& members : by_label) {
+    if (members.empty()) continue;  // compaction: empty classes get no id
+    uint32_t c = static_cast<uint32_t>(comms.members.size());
+    for (NodeId m : members) comms.node_comms[m].push_back(c);
+    comms.members.push_back(std::move(members));
+  }
+  return comms;
+}
+
+// ---------------------------------------------------------------------------
+// Planetoid.
+
+PlanetoidDataset LoadPlanetoid(const std::string& content_path,
+                               const std::string& cites_path) {
+  PlanetoidDataset out;
+  std::unordered_map<std::string, NodeId> id_of;
+  std::unordered_map<std::string, uint32_t> label_of;
+  std::vector<uint32_t> labels;
+  std::vector<std::vector<AttributeMatrix::Entry>> rows;
+  size_t dim = 0;
+
+  std::ifstream content = OpenForRead(content_path);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(content, line)) {
+    ++line_no;
+    if (IsCommentOrBlank(line)) continue;
+    std::vector<std::string> tok = SplitFields(line, ' ');
+    LACA_CHECK(tok.size() >= 3,
+               "content row needs id, >=1 attribute, and label at " +
+                   At(content_path, line_no));
+    if (dim == 0) {
+      dim = tok.size() - 2;
+    } else {
+      LACA_CHECK(tok.size() - 2 == dim,
+                 "inconsistent attribute count at " + At(content_path, line_no));
+    }
+    NodeId v = static_cast<NodeId>(out.node_names.size());
+    LACA_CHECK(id_of.emplace(tok.front(), v).second,
+               "duplicate node id '" + tok.front() + "' at " +
+                   At(content_path, line_no));
+    out.node_names.push_back(tok.front());
+
+    std::vector<AttributeMatrix::Entry> row;
+    for (size_t j = 0; j < dim; ++j) {
+      double val = ParseDouble(tok[j + 1], At(content_path, line_no));
+      if (val != 0.0) row.emplace_back(static_cast<uint32_t>(j), val);
+    }
+    rows.push_back(std::move(row));
+
+    const std::string& label = tok.back();
+    auto [it, inserted] =
+        label_of.emplace(label, static_cast<uint32_t>(out.label_names.size()));
+    if (inserted) out.label_names.push_back(label);
+    labels.push_back(it->second);
+  }
+  const NodeId n = static_cast<NodeId>(out.node_names.size());
+  LACA_CHECK(n > 0, "no content rows in " + content_path);
+
+  AttributeMatrix attrs(n, static_cast<uint32_t>(dim));
+  for (NodeId v = 0; v < n; ++v) attrs.SetRow(v, std::move(rows[v]));
+  attrs.Normalize();
+
+  GraphBuilder builder(n);
+  std::ifstream cites = OpenForRead(cites_path);
+  line_no = 0;
+  while (std::getline(cites, line)) {
+    ++line_no;
+    if (IsCommentOrBlank(line)) continue;
+    std::vector<std::string> tok = SplitFields(line, ' ');
+    LACA_CHECK(tok.size() == 2,
+               "expected '<cited> <citing>' at " + At(cites_path, line_no));
+    auto a = id_of.find(tok[0]);
+    auto b = id_of.find(tok[1]);
+    if (a == id_of.end() || b == id_of.end()) {
+      ++out.dangling_citations;  // the real Cora has a few of these
+      continue;
+    }
+    if (a->second != b->second) builder.AddEdge(a->second, b->second);
+  }
+
+  out.data.graph = builder.Build();
+  out.data.attributes = std::move(attrs);
+  out.data.communities =
+      CommunitiesFromLabels(labels, static_cast<uint32_t>(out.label_names.size()));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SNAP community graphs.
+
+SnapCommunityDataset LoadSnapCommunityGraph(const std::string& edge_path,
+                                            const std::string& cmty_path) {
+  SnapCommunityDataset out;
+  std::unordered_map<uint64_t, NodeId> id_of;
+  auto intern = [&](uint64_t snap_id) {
+    auto [it, inserted] =
+        id_of.emplace(snap_id, static_cast<NodeId>(out.original_ids.size()));
+    if (inserted) out.original_ids.push_back(snap_id);
+    return it->second;
+  };
+
+  GraphBuilder builder;
+  std::ifstream edges = OpenForRead(edge_path);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(edges, line)) {
+    ++line_no;
+    if (IsCommentOrBlank(line)) continue;
+    std::vector<std::string> tok = SplitFields(line, ' ');
+    LACA_CHECK(tok.size() == 2, "expected 'u v' at " + At(edge_path, line_no));
+    NodeId u = intern(ParseUint(tok[0], At(edge_path, line_no)));
+    NodeId v = intern(ParseUint(tok[1], At(edge_path, line_no)));
+    if (u != v) builder.AddEdge(u, v);
+  }
+  out.data.graph = builder.Build();
+  const NodeId n = out.data.graph.num_nodes();
+
+  Communities comms;
+  comms.node_comms.assign(n, {});
+  if (!cmty_path.empty()) {
+    std::ifstream cmty = OpenForRead(cmty_path);
+    line_no = 0;
+    while (std::getline(cmty, line)) {
+      ++line_no;
+      if (IsCommentOrBlank(line)) continue;
+      std::vector<NodeId> members;
+      for (const std::string& tok : SplitFields(line, ' ')) {
+        auto it = id_of.find(ParseUint(tok, At(cmty_path, line_no)));
+        if (it == id_of.end()) {
+          ++out.skipped_members;  // member never appears in the edge file
+          continue;
+        }
+        members.push_back(it->second);
+      }
+      if (members.empty()) continue;
+      uint32_t c = static_cast<uint32_t>(comms.members.size());
+      for (NodeId m : members) comms.node_comms[m].push_back(c);
+      comms.members.push_back(std::move(members));
+    }
+  }
+  out.data.communities = std::move(comms);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// OGB-style CSV.
+
+CsvDataset LoadCsvDataset(const std::string& edge_path,
+                          const std::string& feat_path,
+                          const std::string& label_path) {
+  CsvDataset out;
+  struct RawEdge {
+    NodeId u, v;
+  };
+  std::vector<RawEdge> edges;
+  uint64_t max_id = 0;
+  bool any_node = false;
+
+  std::ifstream in = OpenForRead(edge_path);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsCommentOrBlank(line)) continue;
+    std::vector<std::string> tok = SplitFields(line, ',');
+    LACA_CHECK(tok.size() == 2, "expected 'u,v' at " + At(edge_path, line_no));
+    uint64_t u = ParseUint(tok[0], At(edge_path, line_no));
+    uint64_t v = ParseUint(tok[1], At(edge_path, line_no));
+    max_id = std::max({max_id, u, v});
+    any_node = true;
+    edges.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v)});
+  }
+
+  std::vector<std::vector<AttributeMatrix::Entry>> feat_rows;
+  size_t dim = 0;
+  if (!feat_path.empty()) {
+    std::ifstream feats = OpenForRead(feat_path);
+    line_no = 0;
+    while (std::getline(feats, line)) {
+      ++line_no;
+      if (IsCommentOrBlank(line)) continue;
+      std::vector<std::string> tok = SplitFields(line, ',');
+      if (dim == 0) {
+        dim = tok.size();
+      } else {
+        LACA_CHECK(tok.size() == dim,
+                   "inconsistent feature count at " + At(feat_path, line_no));
+      }
+      std::vector<AttributeMatrix::Entry> row;
+      for (size_t j = 0; j < tok.size(); ++j) {
+        double val = ParseDouble(tok[j], At(feat_path, line_no));
+        if (val != 0.0) row.emplace_back(static_cast<uint32_t>(j), val);
+      }
+      feat_rows.push_back(std::move(row));
+    }
+    if (!feat_rows.empty()) {
+      any_node = true;
+      max_id = std::max<uint64_t>(max_id, feat_rows.size() - 1);
+    }
+  }
+
+  if (!label_path.empty()) {
+    std::ifstream lab = OpenForRead(label_path);
+    line_no = 0;
+    while (std::getline(lab, line)) {
+      ++line_no;
+      if (IsCommentOrBlank(line)) continue;
+      out.labels.push_back(static_cast<uint32_t>(
+          ParseUint(SplitFields(line, ',')[0], At(label_path, line_no))));
+    }
+    if (!out.labels.empty()) {
+      any_node = true;
+      max_id = std::max<uint64_t>(max_id, out.labels.size() - 1);
+    }
+  }
+
+  LACA_CHECK(any_node, "dataset is empty: " + edge_path);
+  LACA_CHECK(max_id < kInvalidNode, "node id overflow in " + edge_path);
+  const NodeId n = static_cast<NodeId>(max_id + 1);
+
+  GraphBuilder builder(n);
+  for (const RawEdge& e : edges) {
+    if (e.u != e.v) builder.AddEdge(e.u, e.v);
+  }
+  out.data.graph = builder.Build();
+
+  AttributeMatrix attrs(n, static_cast<uint32_t>(dim));
+  for (NodeId v = 0; v < feat_rows.size(); ++v) {
+    attrs.SetRow(v, std::move(feat_rows[v]));
+  }
+  attrs.Normalize();
+  out.data.attributes = std::move(attrs);
+
+  if (!out.labels.empty()) {
+    std::vector<uint32_t> padded = out.labels;
+    LACA_CHECK(padded.size() <= n, "more labels than nodes in " + label_path);
+    // Unlabeled trailing nodes join a synthetic "unlabeled" class that is
+    // dropped if empty.
+    uint32_t num_labels = 0;
+    for (uint32_t l : padded) num_labels = std::max(num_labels, l + 1);
+    padded.resize(n, num_labels);
+    out.data.communities = CommunitiesFromLabels(padded, num_labels + 1);
+  } else {
+    out.data.communities.node_comms.assign(n, {});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// METIS.
+
+Graph LoadMetis(const std::string& path) {
+  std::ifstream in = OpenForRead(path);
+  std::string line;
+  size_t line_no = 0;
+
+  auto next_data_line = [&](std::string* dst) {
+    while (std::getline(in, *dst)) {
+      ++line_no;
+      if (!IsCommentOrBlank(*dst, '%')) return true;
+    }
+    return false;
+  };
+
+  LACA_CHECK(next_data_line(&line), "missing METIS header in " + path);
+  std::vector<std::string> head = SplitFields(line, ' ');
+  LACA_CHECK(head.size() >= 2 && head.size() <= 4,
+             "METIS header needs 'n m [fmt [ncon]]' at " + At(path, line_no));
+  const uint64_t n = ParseUint(head[0], At(path, line_no));
+  const uint64_t m = ParseUint(head[1], At(path, line_no));
+  LACA_CHECK(n <= kInvalidNode, "too many nodes in " + path);
+  bool edge_weights = false, node_weights = false, node_sizes = false;
+  if (head.size() >= 3) {
+    const std::string& fmt = head[2];
+    LACA_CHECK(fmt.size() <= 3 &&
+                   fmt.find_first_not_of("01") == std::string::npos,
+               "bad METIS fmt '" + fmt + "' at " + At(path, line_no));
+    std::string padded = std::string(3 - fmt.size(), '0') + fmt;
+    node_sizes = padded[0] == '1';
+    node_weights = padded[1] == '1';
+    edge_weights = padded[2] == '1';
+  }
+  uint64_t ncon = node_weights ? 1 : 0;
+  if (head.size() == 4) ncon = ParseUint(head[3], At(path, line_no));
+
+  GraphBuilder builder(static_cast<NodeId>(n));
+  for (uint64_t u = 0; u < n; ++u) {
+    LACA_CHECK(next_data_line(&line),
+               "METIS file ends before node " + std::to_string(u + 1));
+    std::vector<std::string> tok = SplitFields(line, ' ');
+    size_t pos = 0;
+    if (node_sizes) ++pos;   // vertex size, unused here
+    pos += ncon;             // vertex weights, unused here
+    LACA_CHECK(pos <= tok.size(),
+               "truncated vertex prefix at " + At(path, line_no));
+    const size_t stride = edge_weights ? 2 : 1;
+    LACA_CHECK((tok.size() - pos) % stride == 0,
+               "dangling edge weight at " + At(path, line_no));
+    for (; pos < tok.size(); pos += stride) {
+      uint64_t nbr = ParseUint(tok[pos], At(path, line_no));
+      LACA_CHECK(nbr >= 1 && nbr <= n,
+                 "neighbor out of range at " + At(path, line_no));
+      double w = 1.0;
+      if (edge_weights) w = ParseDouble(tok[pos + 1], At(path, line_no));
+      // Each undirected edge appears in both endpoint lists; add it once.
+      if (nbr - 1 > u) {
+        builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(nbr - 1), w);
+      }
+    }
+  }
+  Graph graph = builder.Build(edge_weights);
+  LACA_CHECK(graph.num_edges() == m,
+             "METIS header declares " + std::to_string(m) + " edges, found " +
+                 std::to_string(graph.num_edges()) + " in " + path);
+  return graph;
+}
+
+void SaveMetis(const Graph& graph, const std::string& path) {
+  std::ofstream out = OpenForWrite(path);
+  out << "% METIS graph written by laca\n";
+  out << graph.num_nodes() << ' ' << graph.num_edges();
+  if (graph.is_weighted()) out << " 001";
+  out << '\n';
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    auto nbrs = graph.Neighbors(u);
+    auto wts = graph.NeighborWeights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (i) out << ' ';
+      out << (nbrs[i] + 1);
+      if (graph.is_weighted()) out << ' ' << wts[i];
+    }
+    out << '\n';
+  }
+  LACA_CHECK(out.good(), "write failure: " + path);
+}
+
+// ---------------------------------------------------------------------------
+// Matrix Market.
+
+Graph LoadMatrixMarket(const std::string& path) {
+  std::ifstream in = OpenForRead(path);
+  std::string line;
+  size_t line_no = 1;
+  LACA_CHECK(static_cast<bool>(std::getline(in, line)),
+             "empty Matrix Market file: " + path);
+  std::vector<std::string> banner = SplitFields(line, ' ');
+  LACA_CHECK(banner.size() == 5 && banner[0] == "%%MatrixMarket" &&
+                 banner[1] == "matrix" && banner[2] == "coordinate",
+             "not a coordinate MatrixMarket banner at " + At(path, 1));
+  const std::string& field = banner[3];
+  const std::string& symmetry = banner[4];
+  LACA_CHECK(field == "pattern" || field == "real" || field == "integer",
+             "unsupported field '" + field + "' in " + path);
+  LACA_CHECK(symmetry == "general" || symmetry == "symmetric",
+             "unsupported symmetry '" + symmetry + "' in " + path);
+
+  auto next_data_line = [&](std::string* dst) {
+    while (std::getline(in, *dst)) {
+      ++line_no;
+      if (!IsCommentOrBlank(*dst, '%')) return true;
+    }
+    return false;
+  };
+
+  LACA_CHECK(next_data_line(&line), "missing size line in " + path);
+  std::vector<std::string> size_tok = SplitFields(line, ' ');
+  LACA_CHECK(size_tok.size() == 3,
+             "expected 'rows cols nnz' at " + At(path, line_no));
+  const uint64_t rows = ParseUint(size_tok[0], At(path, line_no));
+  const uint64_t cols = ParseUint(size_tok[1], At(path, line_no));
+  const uint64_t nnz = ParseUint(size_tok[2], At(path, line_no));
+  LACA_CHECK(rows == cols, "adjacency matrix must be square: " + path);
+  LACA_CHECK(rows <= kInvalidNode, "too many nodes in " + path);
+
+  const bool has_value = field != "pattern";
+  // Canonical {min,max} keys so a general file listing both (i,j) and (j,i)
+  // yields one edge; conflicting duplicate weights are rejected.
+  std::unordered_map<uint64_t, double> edge_weight;
+  edge_weight.reserve(nnz);
+  for (uint64_t e = 0; e < nnz; ++e) {
+    LACA_CHECK(next_data_line(&line),
+               "file ends after " + std::to_string(e) + " of " +
+                   std::to_string(nnz) + " entries: " + path);
+    std::vector<std::string> tok = SplitFields(line, ' ');
+    LACA_CHECK(tok.size() == (has_value ? 3u : 2u),
+               "bad entry at " + At(path, line_no));
+    uint64_t i = ParseUint(tok[0], At(path, line_no));
+    uint64_t j = ParseUint(tok[1], At(path, line_no));
+    LACA_CHECK(i >= 1 && i <= rows && j >= 1 && j <= cols,
+               "index out of range at " + At(path, line_no));
+    if (i == j) continue;  // drop self-loops
+    double w = has_value ? ParseDouble(tok[2], At(path, line_no)) : 1.0;
+    LACA_CHECK(w > 0.0, "edge weight must be positive at " + At(path, line_no));
+    uint64_t key = (std::min(i, j) << 32) | std::max(i, j);
+    auto [it, inserted] = edge_weight.emplace(key, w);
+    LACA_CHECK(inserted || it->second == w,
+               "conflicting duplicate entry at " + At(path, line_no));
+  }
+
+  GraphBuilder builder(static_cast<NodeId>(rows));
+  for (const auto& [key, w] : edge_weight) {
+    builder.AddEdge(static_cast<NodeId>((key >> 32) - 1),
+                    static_cast<NodeId>((key & 0xffffffffu) - 1), w);
+  }
+  return builder.Build(has_value);
+}
+
+}  // namespace laca

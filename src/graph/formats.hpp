@@ -1,0 +1,126 @@
+// Loaders for the on-disk formats the paper's public datasets ship in.
+//
+// The evaluation graphs (Table III / VIII) are distributed in a handful of
+// format families. This module parses each family into the library's
+// in-memory types so the experiment harness runs on the real data whenever it
+// is available; the offline benches fall back to the simulated stand-ins
+// (see eval/datasets.hpp and DESIGN.md §3):
+//   * Planetoid (Cora, PubMed): `<id> <word flags> <label>` rows in
+//     `.content` plus `<cited> <citing>` pairs in `.cites`;
+//   * SNAP community graphs (com-DBLP, com-Amazon, com-Orkut):
+//     `*-ungraph.txt` edge list plus `*-cmty.txt` member lists;
+//   * OGB-style CSV directories (ArXiv and friends): `edge.csv`,
+//     `node-feat.csv`, `node-label.csv`;
+//   * METIS adjacency files (the common graph-partitioning exchange format);
+//   * Matrix Market coordinate files (adjacency matrices).
+//
+// All loaders validate eagerly and throw std::invalid_argument with a
+// path:line location on malformed input.
+#ifndef LACA_GRAPH_FORMATS_HPP_
+#define LACA_GRAPH_FORMATS_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace laca {
+
+/// Builds disjoint communities from per-node class labels: nodes sharing a
+/// label form one community. Labels must be < `num_labels`; `num_labels` of 0
+/// infers the count from the data. Empty classes yield no community.
+Communities CommunitiesFromLabels(const std::vector<uint32_t>& labels,
+                                  uint32_t num_labels = 0);
+
+// ---------------------------------------------------------------------------
+// Planetoid (Cora / PubMed / CiteSeer raw distribution).
+
+/// A parsed Planetoid dataset. Node ids are assigned in `.content` row order;
+/// the original string identifiers and label names are preserved for
+/// reporting (e.g. the Fig. 8-style case study).
+struct PlanetoidDataset {
+  AttributedGraph data;
+  /// Original paper ids, indexed by NodeId.
+  std::vector<std::string> node_names;
+  /// Label strings, indexed by community id.
+  std::vector<std::string> label_names;
+  /// `.cites` lines referencing papers absent from `.content` (the real Cora
+  /// has a few); they are skipped and counted here.
+  size_t dangling_citations = 0;
+};
+
+/// Parses the two-file Planetoid distribution. `.content` rows are
+/// whitespace-separated: a string id, a fixed number of attribute values
+/// (binary word flags in Cora, TF-IDF reals in PubMed), and a class label.
+/// The attribute dimension is inferred from the first row; all rows must
+/// agree. `.cites` rows are `<cited> <citing>` id pairs.
+PlanetoidDataset LoadPlanetoid(const std::string& content_path,
+                               const std::string& cites_path);
+
+// ---------------------------------------------------------------------------
+// SNAP community-graph distribution (com-DBLP / com-Amazon / com-Orkut).
+
+/// A parsed SNAP dataset. SNAP node ids are arbitrary and non-contiguous;
+/// they are remapped to dense NodeIds in first-appearance order.
+struct SnapCommunityDataset {
+  /// Topology and ground truth; `data.attributes` is empty (these graphs are
+  /// the paper's non-attributed Table VIII datasets).
+  AttributedGraph data;
+  /// Original SNAP ids, indexed by NodeId.
+  std::vector<uint64_t> original_ids;
+  /// Community members absent from the edge file (skipped, counted).
+  size_t skipped_members = 0;
+};
+
+/// Parses `*-ungraph.txt` ("u<TAB>v" lines, '#' comments) and, when
+/// `cmty_path` is non-empty, `*-cmty.txt` (one tab-separated member list per
+/// line, in original ids).
+SnapCommunityDataset LoadSnapCommunityGraph(const std::string& edge_path,
+                                            const std::string& cmty_path = "");
+
+// ---------------------------------------------------------------------------
+// OGB-style CSV directory (ogbn-arxiv raw download and similar).
+
+/// A parsed CSV dataset (edge list + optional dense features and labels).
+struct CsvDataset {
+  AttributedGraph data;
+  /// Per-node class labels (empty when no label file was given).
+  std::vector<uint32_t> labels;
+};
+
+/// Parses `edge_path` ("u,v" per line), an optional `feat_path` (one
+/// comma-separated row of doubles per node, row order = node id), and an
+/// optional `label_path` (one integer per line). Feature rows are stored
+/// sparsely (zeros dropped) and L2-normalized; labels become disjoint
+/// ground-truth communities.
+CsvDataset LoadCsvDataset(const std::string& edge_path,
+                          const std::string& feat_path = "",
+                          const std::string& label_path = "");
+
+// ---------------------------------------------------------------------------
+// METIS adjacency format.
+
+/// Parses a METIS graph file: header "n m [fmt]" then one 1-based adjacency
+/// line per node. fmt's last digit enables edge weights ("1"); node weights
+/// ("10"/"11" with an optional ncon) are parsed and discarded. '%' comments
+/// are allowed anywhere.
+Graph LoadMetis(const std::string& path);
+
+/// Writes `graph` in METIS format (fmt "001" when weighted).
+void SaveMetis(const Graph& graph, const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Matrix Market coordinate format.
+
+/// Parses a Matrix Market file as an undirected adjacency matrix. Supports
+/// the `matrix coordinate` form with `pattern`, `real`, or `integer` fields
+/// and `general` or `symmetric` symmetry; the matrix must be square.
+/// Self-loops are dropped and duplicate entries merged, mirroring
+/// GraphBuilder semantics. Non-positive weights are rejected.
+Graph LoadMatrixMarket(const std::string& path);
+
+}  // namespace laca
+
+#endif  // LACA_GRAPH_FORMATS_HPP_

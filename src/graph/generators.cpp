@@ -1,0 +1,275 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "graph/builder.hpp"
+
+namespace laca {
+
+std::vector<NodeId> Communities::GroundTruthCluster(NodeId seed) const {
+  std::vector<NodeId> cluster;
+  for (uint32_t c : node_comms[seed]) {
+    cluster.insert(cluster.end(), members[c].begin(), members[c].end());
+  }
+  std::sort(cluster.begin(), cluster.end());
+  cluster.erase(std::unique(cluster.begin(), cluster.end()), cluster.end());
+  return cluster;
+}
+
+double Communities::AverageClusterSize() const {
+  if (node_comms.empty()) return 0.0;
+  double total = 0.0;
+  for (NodeId v = 0; v < node_comms.size(); ++v) {
+    if (node_comms[v].size() == 1) {
+      total += static_cast<double>(members[node_comms[v][0]].size());
+    } else {
+      total += static_cast<double>(GroundTruthCluster(v).size());
+    }
+  }
+  return total / static_cast<double>(node_comms.size());
+}
+
+namespace {
+
+// Assigns nodes to communities. Returns per-community member lists and fills
+// node_comms; every node belongs to >= 1 community.
+void AssignCommunities(const AttributedSbmOptions& opts, Rng& rng,
+                       Communities& comms) {
+  const NodeId n = opts.num_nodes;
+  const uint32_t k = opts.num_communities;
+  comms.members.assign(k, {});
+  comms.node_comms.assign(n, {});
+
+  // Community target sizes: equal, or power-law skewed.
+  std::vector<double> weight(k);
+  for (uint32_t c = 0; c < k; ++c) {
+    weight[c] = opts.community_size_skew > 0.0
+                    ? std::pow(static_cast<double>(c + 1),
+                               -opts.community_size_skew)
+                    : 1.0;
+  }
+  double wsum = std::accumulate(weight.begin(), weight.end(), 0.0);
+  std::vector<double> cum(k);
+  double acc = 0.0;
+  for (uint32_t c = 0; c < k; ++c) {
+    acc += weight[c] / wsum;
+    cum[c] = acc;
+  }
+
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  rng.Shuffle(order);
+
+  // Primary membership: proportional slicing of the shuffled order.
+  NodeId cursor = 0;
+  for (uint32_t c = 0; c < k; ++c) {
+    NodeId end = (c + 1 == k) ? n : static_cast<NodeId>(std::lround(cum[c] * n));
+    end = std::min<NodeId>(std::max(end, cursor), n);
+    if (end == cursor && cursor < n) end = cursor + 1;  // non-empty communities
+    for (NodeId i = cursor; i < end; ++i) {
+      comms.members[c].push_back(order[i]);
+      comms.node_comms[order[i]].push_back(c);
+    }
+    cursor = end;
+  }
+  // Any tail nodes (rounding) join the last community.
+  for (NodeId i = cursor; i < n; ++i) {
+    comms.members[k - 1].push_back(order[i]);
+    comms.node_comms[order[i]].push_back(k - 1);
+  }
+
+  // Overlapping memberships.
+  if (opts.comms_per_node_max > 1) {
+    for (NodeId v = 0; v < n; ++v) {
+      uint32_t extra = static_cast<uint32_t>(rng.UniformInt(opts.comms_per_node_max));
+      for (uint32_t t = 0; t < extra; ++t) {
+        uint32_t c = static_cast<uint32_t>(rng.UniformInt(k));
+        if (std::find(comms.node_comms[v].begin(), comms.node_comms[v].end(), c) ==
+            comms.node_comms[v].end()) {
+          comms.node_comms[v].push_back(c);
+          comms.members[c].push_back(v);
+        }
+      }
+    }
+    for (auto& m : comms.members) std::sort(m.begin(), m.end());
+  }
+}
+
+AttributeMatrix GenerateAttributes(const AttributedSbmOptions& opts, Rng& rng,
+                                   const Communities& comms) {
+  const NodeId n = opts.num_nodes;
+  AttributeMatrix attrs(n, opts.attr_dim);
+  if (opts.attr_dim == 0) return attrs;
+
+  const uint32_t k = opts.num_communities;
+  const uint32_t window = std::min(opts.topic_dims, opts.attr_dim);
+  // Community topic windows spread across [0, attr_dim - window], overlapping
+  // when k * window > attr_dim (mimics shared vocabulary between subjects).
+  std::vector<uint32_t> window_start(k);
+  for (uint32_t c = 0; c < k; ++c) {
+    window_start[c] =
+        (k <= 1) ? 0
+                 : static_cast<uint32_t>(static_cast<uint64_t>(c) *
+                                         (opts.attr_dim - window) / (k - 1));
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    std::vector<AttributeMatrix::Entry> row;
+    row.reserve(opts.attr_nnz);
+    const auto& cs = comms.node_comms[v];
+    for (uint32_t t = 0; t < opts.attr_nnz; ++t) {
+      uint32_t dim;
+      if (rng.Bernoulli(opts.attr_noise) || cs.empty()) {
+        dim = static_cast<uint32_t>(rng.UniformInt(opts.attr_dim));
+      } else {
+        uint32_t c = cs[rng.UniformInt(cs.size())];
+        // Quadratic skew toward the head of the topic window ~ Zipf-ish.
+        double u = rng.Uniform();
+        uint32_t off = static_cast<uint32_t>(window * u * u);
+        dim = window_start[c] + std::min(off, window - 1);
+      }
+      row.emplace_back(dim, 1.0 + 0.5 * rng.Uniform());
+    }
+    attrs.SetRow(v, std::move(row));
+  }
+  attrs.Normalize();
+  return attrs;
+}
+
+}  // namespace
+
+AttributedGraph GenerateAttributedSbm(const AttributedSbmOptions& opts) {
+  LACA_CHECK(opts.num_nodes >= 2, "need at least 2 nodes");
+  LACA_CHECK(opts.num_communities >= 1, "need at least 1 community");
+  LACA_CHECK(opts.num_communities <= opts.num_nodes,
+             "more communities than nodes");
+  LACA_CHECK(opts.avg_degree > 0.0, "avg_degree must be positive");
+  LACA_CHECK(opts.intra_fraction >= 0.0 && opts.intra_fraction <= 1.0,
+             "intra_fraction must be in [0,1]");
+  LACA_CHECK(opts.edge_noise >= 0.0 && opts.edge_noise <= 1.0,
+             "edge_noise must be in [0,1]");
+  LACA_CHECK(opts.attr_dim == 0 || opts.attr_nnz > 0,
+             "attributed graphs need attr_nnz > 0");
+
+  Rng rng(opts.seed);
+  AttributedGraph out;
+  AssignCommunities(opts, rng, out.communities);
+  const Communities& comms = out.communities;
+  const NodeId n = opts.num_nodes;
+
+  GraphBuilder builder(n);
+  std::vector<uint32_t> degree(n, 0);
+  auto add_edge = [&](NodeId u, NodeId v) {
+    if (u == v) return;
+    builder.AddEdge(u, v);
+    ++degree[u];
+    ++degree[v];
+  };
+
+  const uint64_t target_edges =
+      static_cast<uint64_t>(opts.num_nodes * opts.avg_degree / 2.0);
+  for (uint64_t e = 0; e < target_edges; ++e) {
+    NodeId u = static_cast<NodeId>(rng.UniformInt(n));
+    NodeId v;
+    if (rng.Bernoulli(opts.edge_noise)) {
+      // Noisy link: both endpoints uniform.
+      u = static_cast<NodeId>(rng.UniformInt(n));
+      v = static_cast<NodeId>(rng.UniformInt(n));
+    } else if (rng.Bernoulli(opts.intra_fraction)) {
+      const auto& cs = comms.node_comms[u];
+      const auto& m = comms.members[cs[rng.UniformInt(cs.size())]];
+      v = m[rng.UniformInt(m.size())];
+    } else {
+      v = static_cast<NodeId>(rng.UniformInt(n));
+    }
+    add_edge(u, v);
+  }
+  // Attach isolated nodes to a random member of one of their communities so
+  // diffusion from any seed is well-defined.
+  for (NodeId v = 0; v < n; ++v) {
+    if (degree[v] > 0) continue;
+    const auto& m = comms.members[comms.node_comms[v][0]];
+    NodeId u = m[rng.UniformInt(m.size())];
+    if (u == v) u = (v + 1) % n;
+    add_edge(v, u);
+  }
+  out.graph = builder.Build();
+  out.attributes = GenerateAttributes(opts, rng, comms);
+  return out;
+}
+
+Graph GenerateErdosRenyi(NodeId n, double avg_degree, uint64_t seed) {
+  LACA_CHECK(n >= 2, "need at least 2 nodes");
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  const uint64_t target_edges = static_cast<uint64_t>(n * avg_degree / 2.0);
+  for (uint64_t e = 0; e < target_edges; ++e) {
+    NodeId u = static_cast<NodeId>(rng.UniformInt(n));
+    NodeId v = static_cast<NodeId>(rng.UniformInt(n));
+    if (u != v) builder.AddEdge(u, v);
+  }
+  // Connect isolated nodes in a ring step.
+  Graph g = builder.Build();
+  GraphBuilder fix(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId u : g.Neighbors(v)) {
+      if (u > v) fix.AddEdge(v, u);
+    }
+    if (g.DegreeCount(v) == 0) fix.AddEdge(v, (v + 1) % n);
+  }
+  return fix.Build();
+}
+
+Graph GenerateBarabasiAlbert(NodeId n, uint32_t m, uint64_t seed) {
+  LACA_CHECK(n > m && m >= 1, "need n > m >= 1");
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  // Endpoint pool: each node id appears once per incident edge, so uniform
+  // sampling from the pool is degree-proportional (preferential attachment).
+  std::vector<NodeId> pool;
+  pool.reserve(2 * static_cast<size_t>(n) * m);
+  // Seed clique over the first m+1 nodes.
+  for (NodeId u = 0; u <= m; ++u) {
+    for (NodeId v = u + 1; v <= m; ++v) {
+      builder.AddEdge(u, v);
+      pool.push_back(u);
+      pool.push_back(v);
+    }
+  }
+  for (NodeId v = m + 1; v < n; ++v) {
+    for (uint32_t e = 0; e < m; ++e) {
+      NodeId u = pool[rng.UniformInt(pool.size())];
+      if (u == v) u = pool[rng.UniformInt(pool.size())];
+      if (u == v) continue;
+      builder.AddEdge(v, u);
+      pool.push_back(v);
+      pool.push_back(u);
+    }
+  }
+  return builder.Build();
+}
+
+Graph Fig4ExampleGraph() {
+  // Paper Fig. 4 (v1..v10 -> 0..9): v1-{v2,v3,v4,v5}, v2-{v3,v4},
+  // v5-{v6,v7,v8,v9}, v6-v10. Degrees: d(v1)=4, d(v2)=3, d(v3)=d(v4)=2,
+  // d(v5)=5, matching the running example in Section IV-A.
+  GraphBuilder b(10);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(0, 3);
+  b.AddEdge(0, 4);
+  b.AddEdge(1, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(4, 5);
+  b.AddEdge(4, 6);
+  b.AddEdge(4, 7);
+  b.AddEdge(4, 8);
+  b.AddEdge(5, 9);
+  return b.Build();
+}
+
+}  // namespace laca

@@ -1,0 +1,92 @@
+// Synthetic attributed graph generators.
+//
+// The paper evaluates on public datasets (Cora, PubMed, ..., Amazon2M) that
+// are not available in this offline environment. These generators produce
+// simulated stand-ins: attributed stochastic block models whose knobs map to
+// the dataset properties that drive the paper's results — structural noise
+// (missing / rewired links), attribute informativeness, degree density, and
+// overlapping vs. disjoint ground truth. See DESIGN.md §3.
+#ifndef LACA_GRAPH_GENERATORS_HPP_
+#define LACA_GRAPH_GENERATORS_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "attr/attribute_matrix.hpp"
+#include "graph/graph.hpp"
+
+namespace laca {
+
+/// Ground-truth community structure, possibly overlapping.
+struct Communities {
+  /// members[c] lists the nodes of community c.
+  std::vector<std::vector<NodeId>> members;
+  /// node_comms[v] lists the communities containing node v.
+  std::vector<std::vector<uint32_t>> node_comms;
+
+  size_t num_communities() const { return members.size(); }
+
+  /// The paper's ground-truth local cluster Y_s for a seed: the union of all
+  /// communities containing the seed (single community for disjoint models).
+  std::vector<NodeId> GroundTruthCluster(NodeId seed) const;
+
+  /// Mean |Y_s| over all nodes (the |Ys| column of Table III).
+  double AverageClusterSize() const;
+};
+
+/// A generated dataset: topology + attributes + ground truth.
+struct AttributedGraph {
+  Graph graph;
+  AttributeMatrix attributes;  // zero columns for non-attributed datasets
+  Communities communities;
+};
+
+/// Parameters of the attributed stochastic block model.
+struct AttributedSbmOptions {
+  NodeId num_nodes = 1000;
+  uint32_t num_communities = 10;
+  /// Target mean degree (m/n * 2).
+  double avg_degree = 10.0;
+  /// Probability an edge endpoint is drawn from the source's own community
+  /// (vs. uniformly at random). Lower values -> higher ground-truth
+  /// conductance, emulating the paper's noisy datasets (Flickr: 0.765).
+  double intra_fraction = 0.8;
+  /// Fraction of generated edges rewired to two uniform endpoints (noisy
+  /// links on top of the background inter-community mass).
+  double edge_noise = 0.0;
+  /// Number of attribute dimensions (0 -> non-attributed dataset).
+  uint32_t attr_dim = 100;
+  /// Non-zeros per node attribute row (bag-of-words sparsity).
+  uint32_t attr_nnz = 10;
+  /// Probability that a non-zero is drawn uniformly from all dimensions
+  /// instead of the community's topic distribution (attribute noise).
+  double attr_noise = 0.2;
+  /// Topic dimensions per community (size of the community's preferred
+  /// vocabulary). Communities draw from overlapping vocabulary windows.
+  uint32_t topic_dims = 30;
+  /// Maximum communities per node; > 1 yields overlapping ground truth
+  /// (BlogCL / Flickr style). Each node joins 1..max communities uniformly.
+  uint32_t comms_per_node_max = 1;
+  /// Power-law exponent for community sizes (0 = equal sizes).
+  double community_size_skew = 0.0;
+  uint64_t seed = 1;
+};
+
+/// Generates an attributed (or plain, if attr_dim == 0) SBM graph.
+/// Guarantees min degree >= 1 by attaching isolated nodes to a random
+/// community member. Throws std::invalid_argument on nonsensical options.
+AttributedGraph GenerateAttributedSbm(const AttributedSbmOptions& opts);
+
+/// Erdős–Rényi G(n, m) with m ≈ n * avg_degree / 2 distinct edges.
+Graph GenerateErdosRenyi(NodeId n, double avg_degree, uint64_t seed);
+
+/// Barabási–Albert preferential attachment; each new node attaches `m` edges.
+Graph GenerateBarabasiAlbert(NodeId n, uint32_t m, uint64_t seed);
+
+/// A fixed 10-node graph matching Fig. 4 of the paper (running example for
+/// GreedyDiffuse): v1..v10 mapped to ids 0..9.
+Graph Fig4ExampleGraph();
+
+}  // namespace laca
+
+#endif  // LACA_GRAPH_GENERATORS_HPP_

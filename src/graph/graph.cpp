@@ -1,0 +1,77 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace laca {
+
+Graph::Graph(std::vector<EdgeIndex> offsets, std::vector<NodeId> adjacency,
+             std::vector<double> weights)
+    : offsets_(std::move(offsets)),
+      adjacency_(std::move(adjacency)),
+      weights_(std::move(weights)) {
+  LACA_CHECK(!offsets_.empty(), "offsets must contain at least one entry");
+  LACA_CHECK(offsets_.front() == 0, "offsets must start at 0");
+  LACA_CHECK(offsets_.back() == adjacency_.size(),
+             "offsets must end at adjacency size");
+  LACA_CHECK(adjacency_.size() % 2 == 0,
+             "undirected graph must store each edge twice");
+  LACA_CHECK(weights_.empty() || weights_.size() == adjacency_.size(),
+             "weights must be empty or parallel to adjacency");
+  const size_t n = offsets_.size() - 1;
+  for (size_t v = 0; v < n; ++v) {
+    LACA_CHECK(offsets_[v] <= offsets_[v + 1], "offsets must be non-decreasing");
+    for (EdgeIndex e = offsets_[v]; e + 1 < offsets_[v + 1]; ++e) {
+      LACA_CHECK(adjacency_[e] < adjacency_[e + 1],
+                 "adjacency lists must be sorted and duplicate-free");
+    }
+  }
+  for (NodeId u : adjacency_) {
+    LACA_CHECK(u < n, "adjacency entry out of range");
+  }
+  for (double w : weights_) {
+    LACA_CHECK(w > 0.0, "edge weights must be strictly positive");
+  }
+
+  degree_.resize(n);
+  degree_count_.resize(n);
+  for (size_t v = 0; v < n; ++v) {
+    degree_count_[v] = static_cast<NodeId>(offsets_[v + 1] - offsets_[v]);
+    if (weights_.empty()) {
+      degree_[v] = static_cast<double>(degree_count_[v]);
+    } else {
+      double d = 0.0;
+      for (EdgeIndex e = offsets_[v]; e < offsets_[v + 1]; ++e) d += weights_[e];
+      degree_[v] = d;
+    }
+    total_volume_ += degree_[v];
+  }
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+double Graph::EdgeWeight(NodeId u, NodeId v) const {
+  auto nbrs = Neighbors(u);
+  auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return 0.0;
+  if (weights_.empty()) return 1.0;
+  return weights_[offsets_[u] + (it - nbrs.begin())];
+}
+
+double Graph::Volume(std::span<const NodeId> nodes) const {
+  double vol = 0.0;
+  for (NodeId v : nodes) vol += degree_[v];
+  return vol;
+}
+
+NodeId Graph::MaxDegree() const {
+  NodeId best = 0;
+  for (NodeId c : degree_count_) best = std::max(best, c);
+  return best;
+}
+
+}  // namespace laca

@@ -1,0 +1,87 @@
+// Compressed-sparse-row graph: the topology substrate for all algorithms.
+#ifndef LACA_GRAPH_GRAPH_HPP_
+#define LACA_GRAPH_GRAPH_HPP_
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace laca {
+
+/// An undirected graph in CSR form, optionally edge-weighted.
+///
+/// Each undirected edge {u, v} is stored twice (u->v and v->u). Adjacency
+/// lists are sorted by neighbor id, which enables O(log d) edge lookups.
+/// Instances are immutable after construction; build them with GraphBuilder.
+///
+/// For weighted graphs, `Degree(v)` is the weighted degree (sum of incident
+/// edge weights) — the quantity every diffusion algorithm in this library
+/// normalizes by — while `DegreeCount(v)` is the number of neighbors.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Constructs from raw CSR arrays. `offsets` has n+1 entries; `adjacency`
+  /// holds 2|E| sorted neighbor lists; `weights` is either empty (unweighted)
+  /// or parallel to `adjacency` with strictly positive values.
+  /// Throws std::invalid_argument on malformed input.
+  Graph(std::vector<EdgeIndex> offsets, std::vector<NodeId> adjacency,
+        std::vector<double> weights);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(degree_count_.size()); }
+
+  /// Number of undirected edges |E|.
+  uint64_t num_edges() const { return adjacency_.size() / 2; }
+
+  bool is_weighted() const { return !weights_.empty(); }
+
+  /// Neighbors of `v`, sorted ascending.
+  std::span<const NodeId> Neighbors(NodeId v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// Weights parallel to Neighbors(v); empty span if unweighted.
+  std::span<const double> NeighborWeights(NodeId v) const {
+    if (weights_.empty()) return {};
+    return {weights_.data() + offsets_[v], weights_.data() + offsets_[v + 1]};
+  }
+
+  /// Weighted degree of `v` (neighbor count when unweighted).
+  double Degree(NodeId v) const { return degree_[v]; }
+
+  /// Number of neighbors of `v`.
+  NodeId DegreeCount(NodeId v) const { return degree_count_[v]; }
+
+  /// Sum of Degree(v) over all nodes (2|E| for unweighted graphs).
+  double TotalVolume() const { return total_volume_; }
+
+  /// True if {u, v} is an edge (binary search over sorted adjacency).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Weight of edge {u, v}; 0 if absent, 1 for edges of unweighted graphs.
+  double EdgeWeight(NodeId u, NodeId v) const;
+
+  /// Sum of Degree(v) over `nodes`.
+  double Volume(std::span<const NodeId> nodes) const;
+
+  /// Maximum DegreeCount over all nodes (0 for the empty graph).
+  NodeId MaxDegree() const;
+
+  const std::vector<EdgeIndex>& offsets() const { return offsets_; }
+  const std::vector<NodeId>& adjacency() const { return adjacency_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  std::vector<EdgeIndex> offsets_;   // n+1
+  std::vector<NodeId> adjacency_;    // 2|E|
+  std::vector<double> weights_;      // empty or 2|E|
+  std::vector<double> degree_;       // weighted degree cache
+  std::vector<NodeId> degree_count_; // neighbor counts
+  double total_volume_ = 0.0;
+};
+
+}  // namespace laca
+
+#endif  // LACA_GRAPH_GRAPH_HPP_

@@ -1,0 +1,138 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "graph/builder.hpp"
+#include "graph/io_internal.hpp"
+
+namespace laca {
+
+using io_internal::IsCommentOrBlank;
+using io_internal::OpenForRead;
+using io_internal::OpenForWrite;
+
+Graph LoadEdgeList(const std::string& path, NodeId num_nodes, bool weighted) {
+  std::ifstream in = OpenForRead(path);
+  GraphBuilder builder(num_nodes);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsCommentOrBlank(line)) continue;
+    std::istringstream ls(line);
+    uint64_t u, v;
+    double w = 1.0;
+    LACA_CHECK(static_cast<bool>(ls >> u >> v),
+               "bad edge at " + path + ":" + std::to_string(line_no));
+    if (weighted) ls >> w;
+    builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v), w);
+  }
+  return builder.Build(weighted);
+}
+
+void SaveEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream out = OpenForWrite(path);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    auto nbrs = graph.Neighbors(u);
+    auto wts = graph.NeighborWeights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] <= u) continue;  // emit each undirected edge once
+      out << u << ' ' << nbrs[i];
+      if (graph.is_weighted()) out << ' ' << wts[i];
+      out << '\n';
+    }
+  }
+  LACA_CHECK(out.good(), "write failure: " + path);
+}
+
+AttributeMatrix LoadAttributes(const std::string& path) {
+  std::ifstream in = OpenForRead(path);
+  std::string line;
+  size_t line_no = 0;
+  uint64_t n = 0, d = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsCommentOrBlank(line)) continue;
+    std::istringstream ls(line);
+    LACA_CHECK(static_cast<bool>(ls >> n >> d),
+               "bad header at " + path + ":" + std::to_string(line_no));
+    break;
+  }
+  LACA_CHECK(n > 0 && d > 0, "attribute header missing in " + path);
+  AttributeMatrix attrs(static_cast<NodeId>(n), static_cast<uint32_t>(d));
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsCommentOrBlank(line)) continue;
+    std::istringstream ls(line);
+    uint64_t node;
+    LACA_CHECK(static_cast<bool>(ls >> node) && node < n,
+               "bad attribute row at " + path + ":" + std::to_string(line_no));
+    std::vector<AttributeMatrix::Entry> row;
+    std::string tok;
+    while (ls >> tok) {
+      size_t colon = tok.find(':');
+      LACA_CHECK(colon != std::string::npos,
+                 "expected col:val at " + path + ":" + std::to_string(line_no));
+      uint32_t col = static_cast<uint32_t>(std::stoul(tok.substr(0, colon)));
+      double val = std::stod(tok.substr(colon + 1));
+      row.emplace_back(col, val);
+    }
+    attrs.SetRow(static_cast<NodeId>(node), std::move(row));
+  }
+  attrs.Normalize();
+  return attrs;
+}
+
+void SaveAttributes(const AttributeMatrix& attrs, const std::string& path) {
+  std::ofstream out = OpenForWrite(path);
+  out << attrs.num_rows() << ' ' << attrs.num_cols() << '\n';
+  for (NodeId i = 0; i < attrs.num_rows(); ++i) {
+    auto row = attrs.Row(i);
+    if (row.empty()) continue;
+    out << i;
+    for (const auto& [col, val] : row) out << ' ' << col << ':' << val;
+    out << '\n';
+  }
+  LACA_CHECK(out.good(), "write failure: " + path);
+}
+
+Communities LoadCommunities(const std::string& path, NodeId num_nodes) {
+  std::ifstream in = OpenForRead(path);
+  Communities comms;
+  comms.node_comms.assign(num_nodes, {});
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsCommentOrBlank(line)) continue;
+    std::istringstream ls(line);
+    std::vector<NodeId> members;
+    uint64_t v;
+    while (ls >> v) {
+      LACA_CHECK(v < num_nodes,
+                 "node out of range at " + path + ":" + std::to_string(line_no));
+      members.push_back(static_cast<NodeId>(v));
+    }
+    if (members.empty()) continue;
+    uint32_t c = static_cast<uint32_t>(comms.members.size());
+    for (NodeId m : members) comms.node_comms[m].push_back(c);
+    comms.members.push_back(std::move(members));
+  }
+  return comms;
+}
+
+void SaveCommunities(const Communities& comms, const std::string& path) {
+  std::ofstream out = OpenForWrite(path);
+  for (const auto& members : comms.members) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (i) out << ' ';
+      out << members[i];
+    }
+    out << '\n';
+  }
+  LACA_CHECK(out.good(), "write failure: " + path);
+}
+
+}  // namespace laca

@@ -1,0 +1,42 @@
+// Text serialization for graphs, attributes, and ground-truth communities.
+//
+// Formats are line-oriented so that the public datasets the paper uses
+// (SNAP-style edge lists, bag-of-words attribute files) can be converted and
+// plugged in without code changes:
+//   * edge list:   "u v [w]" per line, '#' comments ignored;
+//   * attributes:  first line "n d", then "node col:val col:val ..." lines;
+//   * communities: one line per community listing its member node ids.
+#ifndef LACA_GRAPH_IO_HPP_
+#define LACA_GRAPH_IO_HPP_
+
+#include <string>
+
+#include "attr/attribute_matrix.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace laca {
+
+/// Loads an undirected edge list. `num_nodes` = 0 infers n from the max id.
+/// Throws std::invalid_argument on parse errors or unreadable files.
+Graph LoadEdgeList(const std::string& path, NodeId num_nodes = 0,
+                   bool weighted = false);
+
+/// Writes the graph as "u v" (or "u v w") lines, one per undirected edge.
+void SaveEdgeList(const Graph& graph, const std::string& path);
+
+/// Loads a sparse attribute matrix; rows are L2-normalized after loading.
+AttributeMatrix LoadAttributes(const std::string& path);
+
+/// Writes the attribute matrix in the format accepted by LoadAttributes.
+void SaveAttributes(const AttributeMatrix& attrs, const std::string& path);
+
+/// Loads ground-truth communities (one line per community).
+Communities LoadCommunities(const std::string& path, NodeId num_nodes);
+
+/// Writes communities in the format accepted by LoadCommunities.
+void SaveCommunities(const Communities& comms, const std::string& path);
+
+}  // namespace laca
+
+#endif  // LACA_GRAPH_IO_HPP_

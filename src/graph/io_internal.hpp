@@ -1,0 +1,44 @@
+// Shared line-oriented parsing helpers for the text I/O translation units.
+// Internal to src/graph — not installed with the public headers.
+#ifndef LACA_GRAPH_IO_INTERNAL_HPP_
+#define LACA_GRAPH_IO_INTERNAL_HPP_
+
+#include <cctype>
+#include <fstream>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace laca {
+namespace io_internal {
+
+inline std::ifstream OpenForRead(const std::string& path) {
+  std::ifstream in(path);
+  LACA_CHECK(in.good(), "cannot open file for reading: " + path);
+  return in;
+}
+
+inline std::ofstream OpenForWrite(const std::string& path) {
+  std::ofstream out(path);
+  LACA_CHECK(out.good(), "cannot open file for writing: " + path);
+  return out;
+}
+
+/// True for lines that are blank or start (after whitespace) with `marker`.
+inline bool IsCommentOrBlank(const std::string& line, char marker = '#') {
+  for (char c : line) {
+    if (c == marker) return true;
+    if (!isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+/// "path:line" for error messages.
+inline std::string At(const std::string& path, size_t line_no) {
+  return path + ":" + std::to_string(line_no);
+}
+
+}  // namespace io_internal
+}  // namespace laca
+
+#endif  // LACA_GRAPH_IO_INTERNAL_HPP_

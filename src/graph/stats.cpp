@@ -1,0 +1,158 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace laca {
+
+DegreeStats ComputeDegreeStats(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  LACA_CHECK(n > 0, "graph has no nodes");
+  std::vector<NodeId> degrees(n);
+  double total = 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    degrees[v] = graph.DegreeCount(v);
+    total += degrees[v];
+  }
+  std::sort(degrees.begin(), degrees.end());
+
+  DegreeStats stats;
+  stats.min = degrees.front();
+  stats.max = degrees.back();
+  stats.mean = total / static_cast<double>(n);
+  stats.median = (n % 2 == 1)
+                     ? degrees[n / 2]
+                     : 0.5 * (degrees[n / 2 - 1] + degrees[n / 2]);
+  const size_t top = std::max<size_t>(1, n / 100);
+  double top_volume = 0.0;
+  for (size_t i = n - top; i < n; ++i) top_volume += degrees[i];
+  stats.top1pct_volume_share = total > 0.0 ? top_volume / total : 0.0;
+  return stats;
+}
+
+std::vector<uint32_t> ConnectedComponents(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  std::vector<uint32_t> component(n, static_cast<uint32_t>(-1));
+  uint32_t next = 0;
+  std::deque<NodeId> queue;
+  for (NodeId start = 0; start < n; ++start) {
+    if (component[start] != static_cast<uint32_t>(-1)) continue;
+    const uint32_t id = next++;
+    component[start] = id;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      NodeId u = queue.front();
+      queue.pop_front();
+      for (NodeId v : graph.Neighbors(u)) {
+        if (component[v] == static_cast<uint32_t>(-1)) {
+          component[v] = id;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return component;
+}
+
+uint32_t CountConnectedComponents(const Graph& graph) {
+  if (graph.num_nodes() == 0) return 0;
+  std::vector<uint32_t> component = ConnectedComponents(graph);
+  return *std::max_element(component.begin(), component.end()) + 1;
+}
+
+double SampledClusteringCoefficient(const Graph& graph, size_t sample_size,
+                                    uint64_t seed) {
+  const NodeId n = graph.num_nodes();
+  LACA_CHECK(n > 0, "graph has no nodes");
+  Rng rng(seed);
+  const bool exhaustive = sample_size >= n;
+  const size_t count = exhaustive ? n : sample_size;
+
+  double total = 0.0;
+  for (size_t s = 0; s < count; ++s) {
+    const NodeId v =
+        exhaustive ? static_cast<NodeId>(s)
+                   : static_cast<NodeId>(rng.UniformInt(n));
+    auto nbrs = graph.Neighbors(v);
+    if (nbrs.size() < 2) continue;
+    uint64_t closed = 0;
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      for (size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (graph.HasEdge(nbrs[i], nbrs[j])) ++closed;
+      }
+    }
+    total += 2.0 * static_cast<double>(closed) /
+             (static_cast<double>(nbrs.size()) *
+              static_cast<double>(nbrs.size() - 1));
+  }
+  return total / static_cast<double>(count);
+}
+
+double EdgeHomophily(const Graph& graph, const Communities& communities) {
+  LACA_CHECK(communities.node_comms.size() == graph.num_nodes(),
+             "communities must cover all nodes");
+  if (graph.num_edges() == 0) return 0.0;
+  uint64_t same = 0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const auto& cu = communities.node_comms[u];
+    for (NodeId v : graph.Neighbors(u)) {
+      if (v <= u) continue;  // each undirected edge once
+      const auto& cv = communities.node_comms[v];
+      bool shared = false;
+      for (uint32_t c : cu) {
+        if (std::find(cv.begin(), cv.end(), c) != cv.end()) {
+          shared = true;
+          break;
+        }
+      }
+      if (shared) ++same;
+    }
+  }
+  return static_cast<double>(same) / static_cast<double>(graph.num_edges());
+}
+
+double AttributeAssortativity(const Graph& graph, const AttributeMatrix& x,
+                              size_t sample_size, uint64_t seed) {
+  LACA_CHECK(x.num_rows() == graph.num_nodes(),
+             "attributes must cover all nodes");
+  LACA_CHECK(graph.num_edges() > 0, "graph has no edges");
+  Rng rng(seed);
+  const NodeId n = graph.num_nodes();
+
+  // Mean similarity across sampled edges.
+  double edge_sim = 0.0;
+  const size_t edge_samples = std::min<size_t>(sample_size, graph.num_edges());
+  for (size_t s = 0; s < edge_samples; ++s) {
+    // Sample an edge endpoint-uniformly via the CSR arrays.
+    const uint64_t e = rng.UniformInt(graph.adjacency().size());
+    const NodeId v = graph.adjacency()[e];
+    // Binary-search the owning node u of slot e.
+    const auto& offsets = graph.offsets();
+    const NodeId u = static_cast<NodeId>(
+        std::upper_bound(offsets.begin(), offsets.end(), e) -
+        offsets.begin() - 1);
+    edge_sim += x.Dot(u, v);
+  }
+  edge_sim /= static_cast<double>(edge_samples);
+
+  // Mean similarity across sampled random pairs (the non-edge baseline;
+  // collisions with actual edges are negligible on sparse graphs and
+  // re-sampled anyway).
+  double pair_sim = 0.0;
+  size_t pairs = 0;
+  for (size_t s = 0; s < sample_size && pairs < sample_size; ++s) {
+    const NodeId u = static_cast<NodeId>(rng.UniformInt(n));
+    const NodeId v = static_cast<NodeId>(rng.UniformInt(n));
+    if (u == v || graph.HasEdge(u, v)) continue;
+    pair_sim += x.Dot(u, v);
+    ++pairs;
+  }
+  if (pairs > 0) pair_sim /= static_cast<double>(pairs);
+  return edge_sim - pair_sim;
+}
+
+}  // namespace laca

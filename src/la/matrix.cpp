@@ -1,0 +1,77 @@
+#include "la/matrix.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace laca {
+
+DenseMatrix DenseMatrix::Transposed() const {
+  DenseMatrix t(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  }
+  return t;
+}
+
+DenseMatrix DenseMatrix::Multiply(const DenseMatrix& other) const {
+  LACA_CHECK(cols_ == other.rows_, "Multiply: dimension mismatch");
+  DenseMatrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a = data_.data() + i * cols_;
+    double* o = out.data_.data() + i * other.cols_;
+    for (size_t l = 0; l < cols_; ++l) {
+      const double av = a[l];
+      if (av == 0.0) continue;
+      const double* b = other.data_.data() + l * other.cols_;
+      for (size_t j = 0; j < other.cols_; ++j) o[j] += av * b[j];
+    }
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::TransposedMultiply(const DenseMatrix& other) const {
+  LACA_CHECK(rows_ == other.rows_, "TransposedMultiply: dimension mismatch");
+  DenseMatrix out(cols_, other.cols_);
+  for (size_t l = 0; l < rows_; ++l) {
+    const double* a = data_.data() + l * cols_;
+    const double* b = other.data_.data() + l * other.cols_;
+    for (size_t i = 0; i < cols_; ++i) {
+      const double av = a[i];
+      if (av == 0.0) continue;
+      double* o = out.data_.data() + i * other.cols_;
+      for (size_t j = 0; j < other.cols_; ++j) o[j] += av * b[j];
+    }
+  }
+  return out;
+}
+
+double DenseMatrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double DenseMatrix::RowDot(size_t i, size_t j) const {
+  const double* a = data_.data() + i * cols_;
+  const double* b = data_.data() + j * cols_;
+  double s = 0.0;
+  for (size_t t = 0; t < cols_; ++t) s += a[t] * b[t];
+  return s;
+}
+
+void DenseMatrix::Scale(double s) {
+  for (double& v : data_) v *= s;
+}
+
+DenseMatrix DenseMatrix::ConcatColumns(const DenseMatrix& other) const {
+  LACA_CHECK(rows_ == other.rows_, "ConcatColumns: row count mismatch");
+  DenseMatrix out(rows_, cols_ + other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) out(i, j) = (*this)(i, j);
+    for (size_t j = 0; j < other.cols_; ++j) out(i, cols_ + j) = other(i, j);
+  }
+  return out;
+}
+
+}  // namespace laca

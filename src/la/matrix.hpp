@@ -1,0 +1,65 @@
+// Dense row-major matrix used by the low-rank attribute machinery.
+#ifndef LACA_LA_MATRIX_HPP_
+#define LACA_LA_MATRIX_HPP_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace laca {
+
+/// A dense row-major matrix of doubles.
+///
+/// Sized for the "thin" factors of the paper's preprocessing stage
+/// (n x k with k <= a few hundred); not a general BLAS replacement.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  /// Creates a zero-filled rows x cols matrix.
+  DenseMatrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t i, size_t j) { return data_[i * cols_ + j]; }
+  double operator()(size_t i, size_t j) const { return data_[i * cols_ + j]; }
+
+  std::span<double> Row(size_t i) { return {data_.data() + i * cols_, cols_}; }
+  std::span<const double> Row(size_t i) const {
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Returns this^T as a new matrix.
+  DenseMatrix Transposed() const;
+
+  /// this * other. Requires cols() == other.rows().
+  DenseMatrix Multiply(const DenseMatrix& other) const;
+
+  /// this^T * other. Requires rows() == other.rows().
+  DenseMatrix TransposedMultiply(const DenseMatrix& other) const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Dot product of rows i and j.
+  double RowDot(size_t i, size_t j) const;
+
+  /// Scales all entries by s.
+  void Scale(double s);
+
+  /// Horizontal concatenation [this | other]. Requires equal row counts.
+  DenseMatrix ConcatColumns(const DenseMatrix& other) const;
+
+ private:
+  size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace laca
+
+#endif  // LACA_LA_MATRIX_HPP_

@@ -1,0 +1,88 @@
+#include "la/qr.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace laca {
+namespace {
+
+// In-place Householder factorization; returns the reflector scalars. After
+// the call `a` holds R in its upper triangle and the reflector vectors below.
+std::vector<double> Factorize(DenseMatrix& a) {
+  const size_t m = a.rows(), n = a.cols();
+  std::vector<double> tau(n, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    // Build the Householder vector for column j.
+    double norm_sq = 0.0;
+    for (size_t i = j; i < m; ++i) norm_sq += a(i, j) * a(i, j);
+    double norm = std::sqrt(norm_sq);
+    if (norm == 0.0) continue;
+    double alpha = a(j, j) >= 0.0 ? -norm : norm;
+    double v0 = a(j, j) - alpha;
+    // v = (v0, a(j+1..m, j)); H = I - tau v v^T with tau = 2 / (v^T v).
+    double vtv = v0 * v0;
+    for (size_t i = j + 1; i < m; ++i) vtv += a(i, j) * a(i, j);
+    if (vtv == 0.0) continue;
+    tau[j] = 2.0 / vtv;
+    // Apply H to the remaining columns.
+    for (size_t c = j + 1; c < n; ++c) {
+      double dot = v0 * a(j, c);
+      for (size_t i = j + 1; i < m; ++i) dot += a(i, j) * a(i, c);
+      double f = tau[j] * dot;
+      a(j, c) -= f * v0;
+      for (size_t i = j + 1; i < m; ++i) a(i, c) -= f * a(i, j);
+    }
+    a(j, j) = alpha;
+    // Store the (unnormalized) reflector below the diagonal; remember v0.
+    if (v0 != 0.0) {
+      for (size_t i = j + 1; i < m; ++i) a(i, j) /= v0;
+      tau[j] *= v0 * v0;
+    }
+  }
+  return tau;
+}
+
+// Accumulates thin Q (m x n) from the stored reflectors.
+DenseMatrix AccumulateQ(const DenseMatrix& h, const std::vector<double>& tau) {
+  const size_t m = h.rows(), n = h.cols();
+  DenseMatrix q(m, n);
+  for (size_t j = 0; j < n; ++j) q(j, j) = 1.0;
+  // Apply H_j from the left, last reflector first: Q = H_0 H_1 ... H_{n-1} I.
+  for (size_t j = n; j-- > 0;) {
+    if (tau[j] == 0.0) continue;
+    for (size_t c = 0; c < n; ++c) {
+      double dot = q(j, c);  // v0 normalized to 1
+      for (size_t i = j + 1; i < m; ++i) dot += h(i, j) * q(i, c);
+      double f = tau[j] * dot;
+      q(j, c) -= f;
+      for (size_t i = j + 1; i < m; ++i) q(i, c) -= f * h(i, j);
+    }
+  }
+  return q;
+}
+
+}  // namespace
+
+QrResult HouseholderQr(const DenseMatrix& a) {
+  LACA_CHECK(a.rows() >= a.cols(), "HouseholderQr requires rows >= cols");
+  DenseMatrix h = a;
+  std::vector<double> tau = Factorize(h);
+  QrResult out;
+  out.r = DenseMatrix(a.cols(), a.cols());
+  for (size_t i = 0; i < a.cols(); ++i) {
+    for (size_t j = i; j < a.cols(); ++j) out.r(i, j) = h(i, j);
+  }
+  out.q = AccumulateQ(h, tau);
+  return out;
+}
+
+DenseMatrix QrOrthonormal(const DenseMatrix& a) {
+  LACA_CHECK(a.rows() >= a.cols(), "QrOrthonormal requires rows >= cols");
+  DenseMatrix h = a;
+  std::vector<double> tau = Factorize(h);
+  return AccumulateQ(h, tau);
+}
+
+}  // namespace laca

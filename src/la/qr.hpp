@@ -1,0 +1,27 @@
+// Householder QR decomposition.
+#ifndef LACA_LA_QR_HPP_
+#define LACA_LA_QR_HPP_
+
+#include "la/matrix.hpp"
+
+namespace laca {
+
+/// Thin QR factorization A = Q R of an m x n matrix with m >= n.
+struct QrResult {
+  DenseMatrix q;  // m x n, orthonormal columns
+  DenseMatrix r;  // n x n, upper triangular
+};
+
+/// Computes the thin Householder QR of `a`. Throws on m < n.
+///
+/// Used by the randomized k-SVD range finder (Algo. 3 relies on Halko et
+/// al.'s subspace iteration) and by the orthogonal random feature sampler
+/// (Algo. 3, Line 7), which needs Q from a square Gaussian.
+QrResult HouseholderQr(const DenseMatrix& a);
+
+/// Returns only the orthonormal factor Q (saves the R back-substitution).
+DenseMatrix QrOrthonormal(const DenseMatrix& a);
+
+}  // namespace laca
+
+#endif  // LACA_LA_QR_HPP_

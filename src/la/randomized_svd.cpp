@@ -1,0 +1,89 @@
+#include "la/randomized_svd.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "la/qr.hpp"
+#include "la/svd.hpp"
+
+namespace laca {
+
+DenseMatrix SparseTimesDense(const AttributeMatrix& x, const DenseMatrix& b) {
+  LACA_CHECK(x.num_cols() == b.rows(), "SparseTimesDense: dimension mismatch");
+  const size_t s = b.cols();
+  DenseMatrix y(x.num_rows(), s);
+  for (NodeId i = 0; i < x.num_rows(); ++i) {
+    auto out = y.Row(i);
+    for (const auto& [col, val] : x.Row(i)) {
+      auto brow = b.Row(col);
+      for (size_t j = 0; j < s; ++j) out[j] += val * brow[j];
+    }
+  }
+  return y;
+}
+
+DenseMatrix SparseTransposeTimesDense(const AttributeMatrix& x,
+                                      const DenseMatrix& q) {
+  LACA_CHECK(x.num_rows() == q.rows(),
+             "SparseTransposeTimesDense: dimension mismatch");
+  const size_t s = q.cols();
+  DenseMatrix w(x.num_cols(), s);
+  for (NodeId i = 0; i < x.num_rows(); ++i) {
+    auto qrow = q.Row(i);
+    for (const auto& [col, val] : x.Row(i)) {
+      auto out = w.Row(col);
+      for (size_t j = 0; j < s; ++j) out[j] += val * qrow[j];
+    }
+  }
+  return w;
+}
+
+KSvdResult RandomizedKSvd(const AttributeMatrix& x, const KSvdOptions& opts) {
+  LACA_CHECK(opts.rank >= 1, "rank must be >= 1");
+  LACA_CHECK(opts.oversample >= 0, "oversample must be >= 0");
+  LACA_CHECK(x.num_rows() > 0 && x.num_cols() > 0, "empty matrix");
+
+  const size_t n = x.num_rows();
+  const size_t d = x.num_cols();
+  const size_t max_rank = std::min(n, d);
+  const size_t k = std::min<size_t>(opts.rank, max_rank);
+  const size_t s = std::min<size_t>(k + opts.oversample, max_rank);
+
+  // Range finder: Y = X * Omega with Gaussian Omega (d x s), then Q = qr(Y).
+  Rng rng(opts.seed);
+  DenseMatrix omega(d, s);
+  for (double& v : omega.data()) v = rng.Normal();
+  DenseMatrix q = QrOrthonormal(SparseTimesDense(x, omega));
+
+  // Subspace (power) iteration with re-orthonormalization for stability.
+  for (int t = 0; t < opts.power_iterations; ++t) {
+    DenseMatrix w = QrOrthonormal(SparseTransposeTimesDense(x, q));
+    q = QrOrthonormal(SparseTimesDense(x, w));
+  }
+
+  // Project: B = Q^T X (s x d); factor B^T = U_b Sigma V_b^T (d x s panel),
+  // so B = V_b Sigma U_b^T and X ~= (Q V_b) Sigma U_b^T.
+  DenseMatrix bt = SparseTransposeTimesDense(x, q);  // d x s == B^T
+  SvdResult small = JacobiSvd(bt);
+
+  KSvdResult out;
+  out.u = DenseMatrix(n, k);
+  out.v = DenseMatrix(d, k);
+  out.sigma.assign(small.sigma.begin(), small.sigma.begin() + k);
+  // out.u = Q * V_b[:, :k]
+  for (size_t i = 0; i < n; ++i) {
+    auto qrow = q.Row(i);
+    for (size_t j = 0; j < k; ++j) {
+      double acc = 0.0;
+      for (size_t l = 0; l < s; ++l) acc += qrow[l] * small.v(l, j);
+      out.u(i, j) = acc;
+    }
+  }
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < k; ++j) out.v(i, j) = small.u(i, j);
+  }
+  return out;
+}
+
+}  // namespace laca

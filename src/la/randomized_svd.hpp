@@ -1,0 +1,47 @@
+// Randomized truncated SVD of sparse attribute matrices (Halko et al.).
+#ifndef LACA_LA_RANDOMIZED_SVD_HPP_
+#define LACA_LA_RANDOMIZED_SVD_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "attr/attribute_matrix.hpp"
+#include "la/matrix.hpp"
+
+namespace laca {
+
+/// Options for the randomized k-SVD used by TNAM construction (Algo. 3,
+/// Line 1). The paper runs a constant number of subspace iterations (7).
+struct KSvdOptions {
+  int rank = 32;
+  int oversample = 8;
+  int power_iterations = 7;
+  uint64_t seed = 42;
+};
+
+/// Truncated factorization X ~= U diag(sigma) V^T.
+struct KSvdResult {
+  DenseMatrix u;              // n x k
+  std::vector<double> sigma;  // k values, descending
+  DenseMatrix v;              // d x k
+};
+
+/// Computes a rank-k randomized SVD of the sparse n x d matrix `x`.
+///
+/// Gaussian range finder with oversampling, `power_iterations` rounds of
+/// subspace iteration with QR re-orthonormalization, then an exact Jacobi
+/// SVD of the projected (k+p) x d panel. Runtime O(nnz(X)(k+p) + (n+d)(k+p)^2)
+/// per iteration — linear in the input size, matching Lemma V.3.
+/// The effective rank is capped at min(n, d).
+KSvdResult RandomizedKSvd(const AttributeMatrix& x, const KSvdOptions& opts);
+
+/// Dense product Y = X * B for sparse X (n x d) and dense B (d x s).
+DenseMatrix SparseTimesDense(const AttributeMatrix& x, const DenseMatrix& b);
+
+/// Dense product W = X^T * Q for sparse X (n x d) and dense Q (n x s).
+DenseMatrix SparseTransposeTimesDense(const AttributeMatrix& x,
+                                      const DenseMatrix& q);
+
+}  // namespace laca
+
+#endif  // LACA_LA_RANDOMIZED_SVD_HPP_

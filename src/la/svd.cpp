@@ -1,0 +1,83 @@
+#include "la/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace laca {
+
+SvdResult JacobiSvd(const DenseMatrix& a) {
+  const size_t m = a.rows(), n = a.cols();
+  LACA_CHECK(m >= n, "JacobiSvd requires rows >= cols");
+
+  // Work on W = A; rotate column pairs until all are mutually orthogonal:
+  // A V = W  =>  A = W V^T = U diag(sigma) V^T with sigma_j = ||w_j||.
+  DenseMatrix w = a;
+  DenseMatrix v(n, n);
+  for (size_t i = 0; i < n; ++i) v(i, i) = 1.0;
+
+  const int kMaxSweeps = 60;
+  const double kTol = 1e-14;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double max_off = 0.0;
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (size_t i = 0; i < m; ++i) {
+          app += w(i, p) * w(i, p);
+          aqq += w(i, q) * w(i, q);
+          apq += w(i, p) * w(i, q);
+        }
+        double denom = std::sqrt(app * aqq);
+        if (denom > 0.0) max_off = std::max(max_off, std::abs(apq) / denom);
+        if (denom == 0.0 || std::abs(apq) <= kTol * denom) continue;
+        // Jacobi rotation zeroing the (p,q) Gram entry.
+        double zeta = (aqq - app) / (2.0 * apq);
+        double t = std::copysign(1.0, zeta) /
+                   (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        double c = 1.0 / std::sqrt(1.0 + t * t);
+        double s = c * t;
+        for (size_t i = 0; i < m; ++i) {
+          double wp = w(i, p), wq = w(i, q);
+          w(i, p) = c * wp - s * wq;
+          w(i, q) = s * wp + c * wq;
+        }
+        for (size_t i = 0; i < n; ++i) {
+          double vp = v(i, p), vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (max_off <= kTol) break;
+  }
+
+  // Extract singular values and sort descending.
+  std::vector<double> sigma(n);
+  for (size_t j = 0; j < n; ++j) {
+    double norm_sq = 0.0;
+    for (size_t i = 0; i < m; ++i) norm_sq += w(i, j) * w(i, j);
+    sigma[j] = std::sqrt(norm_sq);
+  }
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return sigma[x] > sigma[y]; });
+
+  SvdResult out;
+  out.u = DenseMatrix(m, n);
+  out.v = DenseMatrix(n, n);
+  out.sigma.resize(n);
+  for (size_t j = 0; j < n; ++j) {
+    size_t src = order[j];
+    out.sigma[j] = sigma[src];
+    double inv = sigma[src] > 0.0 ? 1.0 / sigma[src] : 0.0;
+    for (size_t i = 0; i < m; ++i) out.u(i, j) = w(i, src) * inv;
+    for (size_t i = 0; i < n; ++i) out.v(i, j) = v(i, src);
+  }
+  return out;
+}
+
+}  // namespace laca

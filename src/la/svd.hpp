@@ -1,0 +1,27 @@
+// One-sided Jacobi singular value decomposition.
+#ifndef LACA_LA_SVD_HPP_
+#define LACA_LA_SVD_HPP_
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace laca {
+
+/// Thin SVD A = U diag(sigma) V^T of an m x n matrix with m >= n.
+struct SvdResult {
+  DenseMatrix u;              // m x n, orthonormal columns
+  std::vector<double> sigma;  // n singular values, descending
+  DenseMatrix v;              // n x n, orthonormal
+};
+
+/// Computes the thin SVD via one-sided Jacobi rotations.
+///
+/// Quadratically convergent and numerically robust for the small projected
+/// matrices produced by the randomized range finder (n is the sketch size,
+/// a few dozen). Throws on m < n. Cost O(m n^2) per sweep.
+SvdResult JacobiSvd(const DenseMatrix& a);
+
+}  // namespace laca
+
+#endif  // LACA_LA_SVD_HPP_

@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attr/snas.hpp"
+#include "baselines/attrsim.hpp"
+#include "baselines/embedding.hpp"
+#include "baselines/flow.hpp"
+#include "baselines/lgc.hpp"
+#include "baselines/linksim.hpp"
+#include "core/cluster.hpp"
+#include "diffusion/exact.hpp"
+#include "eval/metrics.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace laca {
+namespace {
+
+AttributedGraph Planted(uint64_t seed) {
+  AttributedSbmOptions o;
+  o.num_nodes = 300;
+  o.num_communities = 5;
+  o.avg_degree = 12.0;
+  o.intra_fraction = 0.85;
+  o.attr_dim = 64;
+  o.attr_nnz = 8;
+  o.attr_noise = 0.1;
+  o.topic_dims = 14;
+  o.seed = seed;
+  return GenerateAttributedSbm(o);
+}
+
+double PlantedPrecision(const AttributedGraph& g, const SparseVector& scores,
+                        NodeId seed) {
+  std::vector<NodeId> truth = g.communities.GroundTruthCluster(seed);
+  std::vector<NodeId> cluster = TopKCluster(scores, seed, truth.size());
+  cluster = PadWithBfs(g.graph, std::move(cluster), truth.size(), seed);
+  return Precision(cluster, truth);
+}
+
+// ---------------------------------------------------------------------------
+// PR-Nibble / APR-Nibble.
+
+TEST(PrNibbleTest, ScoresAreDegreeNormalizedRwr) {
+  AttributedGraph g = Planted(61);
+  PrNibbleOptions opts;
+  opts.epsilon = 1e-7;
+  SparseVector scores = PrNibble(g.graph, 5, opts);
+  std::vector<double> pi = ExactRwr(g.graph, 5, opts.alpha);
+  for (const auto& e : scores.entries()) {
+    double exact_norm = pi[e.index] / g.graph.Degree(e.index);
+    EXPECT_LE(e.value, exact_norm + 1e-9);
+    EXPECT_GE(e.value, exact_norm - opts.epsilon - 1e-9);
+  }
+}
+
+TEST(PrNibbleTest, RecoversPlantedCluster) {
+  AttributedGraph g = Planted(62);
+  PrNibbleOptions opts;
+  opts.epsilon = 1e-6;
+  EXPECT_GT(PlantedPrecision(g, PrNibble(g.graph, 10, opts), 10), 0.5);
+}
+
+TEST(AprNibbleTest, RunsOnReweightedGraph) {
+  AttributedGraph g = Planted(63);
+  Graph w = GaussianReweight(g.graph, g.attributes, 1.0);
+  PrNibbleOptions opts;
+  opts.epsilon = 1e-6;
+  SparseVector scores = AprNibble(w, 17, opts);
+  EXPECT_GT(scores.Size(), 0u);
+  EXPECT_GT(PlantedPrecision(g, scores, 17), 0.4);
+}
+
+// ---------------------------------------------------------------------------
+// HK-Relax.
+
+TEST(HkRelaxTest, ApproximatesTruncatedHeatKernel) {
+  AttributedGraph g = Planted(64);
+  HkRelaxOptions opts;
+  opts.t = 3.0;
+  opts.epsilon = 1e-9;  // tight: output should match the Taylor series
+  SparseVector scores = HkRelax(g.graph, 2, opts);
+
+  // Direct dense Taylor computation of e^{-t} sum t^k/k! (e_s P^k).
+  const NodeId n = g.graph.num_nodes();
+  std::vector<double> cur(n, 0.0), next(n, 0.0), h(n, 0.0);
+  cur[2] = 1.0;
+  double coeff = std::exp(-opts.t);
+  for (int k = 0; k <= 64; ++k) {
+    for (NodeId v = 0; v < n; ++v) h[v] += coeff * cur[v];
+    std::fill(next.begin(), next.end(), 0.0);
+    for (NodeId v = 0; v < n; ++v) {
+      if (cur[v] == 0.0) continue;
+      double inc = cur[v] / g.graph.Degree(v);
+      for (NodeId u : g.graph.Neighbors(v)) next[u] += inc;
+    }
+    std::swap(cur, next);
+    coeff *= opts.t / (k + 1);
+  }
+  for (const auto& e : scores.entries()) {
+    EXPECT_NEAR(e.value, h[e.index] / g.graph.Degree(e.index), 1e-5);
+  }
+}
+
+TEST(HkRelaxTest, DroppingBoundsError) {
+  AttributedGraph g = Planted(65);
+  HkRelaxOptions loose;
+  loose.epsilon = 1e-3;
+  HkRelaxOptions tight;
+  tight.epsilon = 1e-9;
+  SparseVector approx = HkRelax(g.graph, 4, loose);
+  SparseVector exact = HkRelax(g.graph, 4, tight);
+  for (const auto& e : exact.entries()) {
+    double got = approx.ValueAt(e.index);
+    EXPECT_LE(got, e.value + 1e-9);            // never overshoots
+    EXPECT_GE(got, e.value - loose.epsilon);   // bounded undershoot (per deg)
+  }
+}
+
+TEST(HkRelaxTest, RecoversPlantedCluster) {
+  AttributedGraph g = Planted(66);
+  HkRelaxOptions opts;
+  opts.epsilon = 1e-6;
+  EXPECT_GT(PlantedPrecision(g, HkRelax(g.graph, 21, opts), 21), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Flow-based methods.
+
+TEST(FlowDiffusionTest, PotentialsAreNonNegativeAndLocal) {
+  AttributedGraph g = Planted(67);
+  FlowDiffusionOptions opts;
+  opts.size_hint = 60;
+  SparseVector x = FlowDiffusion(g.graph, 3, opts);
+  EXPECT_GT(x.Size(), 0u);
+  EXPECT_LT(x.Size(), g.graph.num_nodes());  // locality
+  for (const auto& e : x.entries()) EXPECT_GT(e.value, 0.0);
+  // The seed holds the largest potential.
+  SparseVector sorted = x;
+  sorted.SortByValueDesc();
+  EXPECT_EQ(sorted.entries()[0].index, 3u);
+}
+
+TEST(FlowDiffusionTest, ExcessIsSettledAtConvergence) {
+  AttributedGraph g = Planted(68);
+  FlowDiffusionOptions opts;
+  opts.size_hint = 40;
+  opts.tol = 1e-6;
+  SparseVector x = FlowDiffusion(g.graph, 9, opts);
+  // Recompute final mass from potentials: m = Delta + L x (signs as routed).
+  std::vector<double> xd = x.ToDense(g.graph.num_nodes());
+  double avg_degree = g.graph.TotalVolume() / g.graph.num_nodes();
+  double source = opts.source_mass_factor * opts.size_hint * avg_degree;
+  for (const auto& e : x.entries()) {
+    NodeId v = e.index;
+    double m = (v == 9) ? source : 0.0;
+    for (NodeId u : g.graph.Neighbors(v)) m += xd[u] - xd[v];
+    EXPECT_LE(m, g.graph.Degree(v) * (1.0 + opts.tol) + 1e-6);
+  }
+}
+
+TEST(FlowDiffusionTest, RecoversPlantedCluster) {
+  AttributedGraph g = Planted(69);
+  FlowDiffusionOptions opts;
+  std::vector<NodeId> truth = g.communities.GroundTruthCluster(30);
+  opts.size_hint = truth.size();
+  EXPECT_GT(PlantedPrecision(g, FlowDiffusion(g.graph, 30, opts), 30), 0.4);
+}
+
+TEST(CrdTest, SettlesMassLocally) {
+  AttributedGraph g = Planted(70);
+  CrdOptions opts;
+  SparseVector mass = Crd(g.graph, 12, opts);
+  EXPECT_GT(mass.Size(), 0u);
+  EXPECT_LT(mass.Size(), g.graph.num_nodes());
+  EXPECT_GT(mass.ValueAt(12), 0.0);
+}
+
+TEST(CrdTest, RecoversPlantedCluster) {
+  AttributedGraph g = Planted(71);
+  CrdOptions opts;
+  EXPECT_GT(PlantedPrecision(g, Crd(g.graph, 40, opts), 40), 0.3);
+}
+
+// ---------------------------------------------------------------------------
+// Link similarity.
+
+TEST(LinkSimTest, CommonNeighborsHandComputed) {
+  //   0-1, 0-2, 1-3, 2-3: nodes 0 and 3 share neighbors {1, 2}.
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  Graph g = b.Build();
+  SparseVector cn =
+      LinkSimilarityScores(g, 0, LinkSimilarity::kCommonNeighbors);
+  EXPECT_DOUBLE_EQ(cn.ValueAt(3), 2.0);
+  SparseVector jac = LinkSimilarityScores(g, 0, LinkSimilarity::kJaccard);
+  EXPECT_DOUBLE_EQ(jac.ValueAt(3), 1.0);  // |{1,2}| / |{1,2}|
+  SparseVector aa = LinkSimilarityScores(g, 0, LinkSimilarity::kAdamicAdar);
+  EXPECT_NEAR(aa.ValueAt(3), 2.0 / std::log(2.0), 1e-12);
+}
+
+TEST(LinkSimTest, ScoresConfinedToTwoHops) {
+  // Path graph 0-1-2-3-4: node 4 is 4 hops from 0 and must score 0.
+  GraphBuilder b(5);
+  for (NodeId v = 0; v + 1 < 5; ++v) b.AddEdge(v, v + 1);
+  Graph g = b.Build();
+  SparseVector cn =
+      LinkSimilarityScores(g, 0, LinkSimilarity::kCommonNeighbors);
+  EXPECT_DOUBLE_EQ(cn.ValueAt(4), 0.0);
+  EXPECT_DOUBLE_EQ(cn.ValueAt(2), 1.0);  // shares neighbor 1
+}
+
+TEST(SimRankTest, CloserNodesScoreHigher) {
+  AttributedGraph g = Planted(72);
+  SimRankOptions opts;
+  opts.num_walks = 200;
+  SparseVector s = SimRankScores(g.graph, 8, opts);
+  // A direct neighbor sharing community should outscore the average 2-hop.
+  double best_neighbor = 0.0;
+  for (NodeId u : g.graph.Neighbors(8)) {
+    best_neighbor = std::max(best_neighbor, s.ValueAt(u));
+  }
+  EXPECT_GT(best_neighbor, 0.0);
+  double mean = s.Sum() / std::max<size_t>(s.Size(), 1);
+  EXPECT_GT(best_neighbor, mean);
+}
+
+TEST(SimRankTest, DeterministicForSeed) {
+  AttributedGraph g = Planted(73);
+  SimRankOptions opts;
+  SparseVector a = SimRankScores(g.graph, 5, opts);
+  SparseVector b = SimRankScores(g.graph, 5, opts);
+  EXPECT_EQ(a.Size(), b.Size());
+  for (size_t i = 0; i < a.Size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.entries()[i].value, b.entries()[i].value);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Attribute similarity.
+
+TEST(SimAttrTest, CosineAndExpInduceTheSameRanking) {
+  AttributedGraph g = Planted(74);
+  SparseVector c = SimAttrScores(g.attributes, 6, SnasMetric::kCosine);
+  SparseVector e = SimAttrScores(g.attributes, 6, SnasMetric::kExpCosine);
+  c.SortByValueDesc();
+  e.SortByValueDesc();
+  // Top-20 should coincide (exp is a monotone transform of cosine).
+  for (size_t i = 0; i < 20 && i < c.Size(); ++i) {
+    EXPECT_EQ(c.entries()[i].index, e.entries()[i].index);
+  }
+}
+
+TEST(SimAttrTest, RecoversAttributeCommunity) {
+  AttributedGraph g = Planted(75);
+  SparseVector s = SimAttrScores(g.attributes, 14, SnasMetric::kCosine);
+  EXPECT_GT(PlantedPrecision(g, s, 14), 0.4);
+}
+
+TEST(AttriRankTest, BlendsStructureAndAttributes) {
+  AttributedGraph g = Planted(76);
+  AttriRankOptions opts;
+  SparseVector s = AttriRankScores(g.graph, g.attributes, 22, opts);
+  EXPECT_GT(s.Size(), 0u);
+  EXPECT_GT(PlantedPrecision(g, s, 22), 0.3);
+}
+
+// ---------------------------------------------------------------------------
+// Embeddings.
+
+TEST(EmbeddingTest, ShapesAndNormalization) {
+  AttributedGraph g = Planted(77);
+  Node2VecOptions nopts;
+  nopts.dim = 16;
+  Embedding n2v = Node2VecLite(g.graph, nopts);
+  EXPECT_EQ(n2v.vectors.rows(), g.graph.num_nodes());
+  EXPECT_EQ(n2v.vectors.cols(), 16u);
+  for (size_t i = 0; i < n2v.vectors.rows(); i += 37) {
+    double norm = n2v.vectors.RowDot(i, i);
+    EXPECT_TRUE(norm == 0.0 || std::abs(norm - 1.0) < 1e-9);
+  }
+
+  SageOptions sopts;
+  sopts.dim = 16;
+  Embedding sage = SageLite(g.graph, g.attributes, sopts);
+  EXPECT_EQ(sage.vectors.cols(), 16u);
+
+  PaneOptions popts;
+  popts.dim = 16;
+  Embedding pane = PaneLite(g.graph, g.attributes, popts);
+  EXPECT_EQ(pane.vectors.cols(), 16u);
+
+  CfaneOptions copts;
+  copts.node2vec.dim = 8;
+  copts.pane.dim = 8;
+  Embedding cfane = CfaneLite(g.graph, g.attributes, copts);
+  EXPECT_EQ(cfane.vectors.cols(), 16u);
+}
+
+TEST(EmbeddingTest, KnnRecoversPlantedCluster) {
+  AttributedGraph g = Planted(78);
+  PaneOptions popts;
+  popts.dim = 32;
+  Embedding pane = PaneLite(g.graph, g.attributes, popts);
+  EXPECT_GT(PlantedPrecision(g, KnnScores(pane, 25), 25), 0.5);
+
+  Node2VecOptions nopts;
+  nopts.dim = 32;
+  Embedding n2v = Node2VecLite(g.graph, nopts);
+  EXPECT_GT(PlantedPrecision(g, KnnScores(n2v, 25), 25), 0.3);
+}
+
+TEST(EmbeddingTest, SageAggregationSmoothsNeighbors) {
+  AttributedGraph g = Planted(79);
+  SageOptions opts;
+  opts.dim = 16;
+  Embedding sage = SageLite(g.graph, g.attributes, opts);
+  // After aggregation, adjacent nodes should be more similar on average
+  // than random pairs.
+  double adjacent = 0.0, random_pairs = 0.0;
+  int count = 0;
+  for (NodeId v = 0; v < 100; v += 5) {
+    auto nbrs = g.graph.Neighbors(v);
+    if (nbrs.empty()) continue;
+    adjacent += sage.vectors.RowDot(v, nbrs[0]);
+    random_pairs += sage.vectors.RowDot(v, (v + 137) % 300);
+    ++count;
+  }
+  EXPECT_GT(adjacent / count, random_pairs / count);
+}
+
+}  // namespace
+}  // namespace laca

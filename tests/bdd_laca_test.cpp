@@ -1,0 +1,426 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "attr/snas.hpp"
+#include "attr/tnam.hpp"
+#include "common/rng.hpp"
+#include "core/bdd.hpp"
+#include "core/cluster.hpp"
+#include "core/laca.hpp"
+#include "diffusion/exact.hpp"
+#include "eval/metrics.hpp"
+#include "graph/generators.hpp"
+
+namespace laca {
+namespace {
+
+AttributedGraph SmallPlanted(uint64_t seed, double intra = 0.85,
+                             double attr_noise = 0.1) {
+  AttributedSbmOptions o;
+  o.num_nodes = 240;
+  o.num_communities = 4;
+  o.avg_degree = 12.0;
+  o.intra_fraction = intra;
+  o.attr_dim = 64;
+  o.attr_nnz = 8;
+  o.attr_noise = attr_noise;
+  o.topic_dims = 14;
+  o.seed = seed;
+  return GenerateAttributedSbm(o);
+}
+
+// ---------------------------------------------------------------------------
+// Exact BDD properties.
+
+TEST(ExactBddTest, IdentitySnasReducesToCoSimRankStyleDiffusion) {
+  // With s(i,j) = [i == j], rho_t = sum_i pi(s,i) pi(t,i): the meeting
+  // probability of two RWRs (Remark, Section II-C). Verify against a direct
+  // computation from exact RWR vectors.
+  AttributedGraph g = SmallPlanted(41);
+  IdentitySnas id;
+  const NodeId seed = 7;
+  std::vector<double> rho = ExactBdd(g.graph, id, seed, 0.8);
+  std::vector<double> pi_s = ExactRwr(g.graph, seed, 0.8);
+  for (NodeId t = 0; t < g.graph.num_nodes(); t += 17) {
+    std::vector<double> pi_t = ExactRwr(g.graph, t, 0.8);
+    double expected = 0.0;
+    for (NodeId i = 0; i < g.graph.num_nodes(); ++i) {
+      expected += pi_s[i] * pi_t[i];
+    }
+    EXPECT_NEAR(rho[t], expected, 1e-8);
+  }
+}
+
+TEST(ExactBddTest, SeedRegionScoresHigh) {
+  AttributedGraph g = SmallPlanted(42);
+  ExactCosineSnas snas(g.attributes);
+  const NodeId seed = 0;
+  std::vector<double> rho = ExactBdd(g.graph, snas, seed, 0.8);
+  // The seed's community should dominate the top of the ranking.
+  std::vector<NodeId> truth = g.communities.GroundTruthCluster(seed);
+  SparseVector scores = SparseVector::FromDense(rho);
+  std::vector<NodeId> top = TopKCluster(scores, seed, truth.size());
+  EXPECT_GT(Precision(top, truth), 0.6);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem V.4: LACA's output underestimates the exact BDD by at most the
+// stated epsilon-scaled bound when the TNAM satisfies Eq. 10.
+
+TEST(LacaTest, TheoremV4ErrorBound) {
+  AttributedGraph g = SmallPlanted(43);
+  // Full-rank TNAM so that s(i,j) = z(i).z(j) holds (up to numerics).
+  TnamOptions topts;
+  topts.k = 64;
+  Tnam tnam = Tnam::Build(g.attributes, topts);
+  const NodeId seed = 11;
+  const double alpha = 0.8, eps = 1e-5;
+
+  std::vector<double> rho_exact = ExactBdd(g.graph, tnam, seed, alpha);
+  Laca laca(g.graph, &tnam);
+  LacaOptions opts;
+  opts.alpha = alpha;
+  opts.epsilon = eps;
+  LacaResult result = laca.ComputeBdd(seed, opts);
+  std::vector<double> rho_approx = result.bdd.ToDense(g.graph.num_nodes());
+
+  // Bound coefficient: 1 + sum_i d(i) max_j s(i,j).
+  double coeff = 1.0;
+  for (NodeId i = 0; i < g.graph.num_nodes(); ++i) {
+    double best = 0.0;
+    for (NodeId j = 0; j < g.graph.num_nodes(); ++j) {
+      best = std::max(best, tnam.Snas(i, j));
+    }
+    coeff += g.graph.Degree(i) * best;
+  }
+  for (NodeId t = 0; t < g.graph.num_nodes(); ++t) {
+    double gap = rho_exact[t] - rho_approx[t];
+    EXPECT_GE(gap, -1e-6) << "rho' must underestimate rho (node " << t << ")";
+    EXPECT_LE(gap, coeff * eps + 1e-6) << "Theorem V.4 violated at " << t;
+  }
+}
+
+TEST(LacaTest, WithoutSnasMatchesIdentityExactBdd) {
+  AttributedGraph g = SmallPlanted(44);
+  const NodeId seed = 3;
+  const double alpha = 0.8, eps = 1e-7;
+  IdentitySnas id;
+  std::vector<double> rho_exact = ExactBdd(g.graph, id, seed, alpha);
+
+  Laca laca(g.graph, nullptr);
+  LacaOptions opts;
+  opts.alpha = alpha;
+  opts.epsilon = eps;
+  std::vector<double> rho_approx =
+      laca.ComputeBdd(seed, opts).bdd.ToDense(g.graph.num_nodes());
+  for (NodeId t = 0; t < g.graph.num_nodes(); ++t) {
+    EXPECT_GE(rho_exact[t] - rho_approx[t], -1e-8);
+    EXPECT_LE(rho_exact[t] - rho_approx[t], 1e-3);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LACA end-to-end behaviour.
+
+TEST(LacaTest, RecoversPlantedCluster) {
+  AttributedGraph g = SmallPlanted(45);
+  TnamOptions topts;
+  topts.k = 16;
+  Tnam tnam = Tnam::Build(g.attributes, topts);
+  Laca laca(g.graph, &tnam);
+  LacaOptions opts;
+  opts.epsilon = 1e-6;
+  const NodeId seed = 100;
+  std::vector<NodeId> truth = g.communities.GroundTruthCluster(seed);
+  std::vector<NodeId> cluster = laca.Cluster(seed, truth.size(), opts);
+  EXPECT_EQ(cluster.size(), truth.size());
+  EXPECT_GT(Precision(cluster, truth), 0.7);
+  // Seed is always a member.
+  EXPECT_NE(std::find(cluster.begin(), cluster.end(), seed), cluster.end());
+}
+
+TEST(LacaTest, AttributesHelpOnNoisyGraphs) {
+  // With weak structure but clean attributes, LACA (C) must beat the
+  // topology-only ablation — the core claim of the paper.
+  AttributedGraph g = SmallPlanted(46, /*intra=*/0.35, /*attr_noise=*/0.05);
+  TnamOptions topts;
+  topts.k = 16;
+  Tnam tnam = Tnam::Build(g.attributes, topts);
+  Laca with_attrs(g.graph, &tnam);
+  Laca without_attrs(g.graph, nullptr);
+  LacaOptions opts;
+  opts.epsilon = 1e-6;
+
+  double p_with = 0.0, p_without = 0.0;
+  int seeds = 0;
+  for (NodeId seed = 0; seed < 240; seed += 24) {
+    std::vector<NodeId> truth = g.communities.GroundTruthCluster(seed);
+    p_with += Precision(with_attrs.Cluster(seed, truth.size(), opts), truth);
+    p_without +=
+        Precision(without_attrs.Cluster(seed, truth.size(), opts), truth);
+    ++seeds;
+  }
+  EXPECT_GT(p_with / seeds, p_without / seeds + 0.05);
+}
+
+TEST(LacaTest, OutputVolumeIsBoundedByTheory) {
+  AttributedGraph g = SmallPlanted(47);
+  TnamOptions topts;
+  Tnam tnam = Tnam::Build(g.attributes, topts);
+  Laca laca(g.graph, &tnam);
+  LacaOptions opts;
+  opts.epsilon = 1e-4;
+  LacaResult r = laca.ComputeBdd(5, opts);
+  // Section V-B: vol(rho') = O(1/((1-alpha) eps)); beta <= 2 from Lemma IV.3.
+  double vol = 0.0;
+  for (const auto& e : r.bdd.entries()) vol += g.graph.Degree(e.index);
+  EXPECT_LE(vol, 2.0 / ((1.0 - opts.alpha) * opts.epsilon));
+}
+
+TEST(LacaTest, GreedyAblationStillSatisfiesBounds) {
+  AttributedGraph g = SmallPlanted(48);
+  TnamOptions topts;
+  Tnam tnam = Tnam::Build(g.attributes, topts);
+  Laca laca(g.graph, &tnam);
+  LacaOptions opts;
+  opts.epsilon = 1e-5;
+  opts.use_adaptive = false;  // Table VI "w/o AdaptiveDiffuse"
+  LacaResult r = laca.ComputeBdd(9, opts);
+  EXPECT_GT(r.bdd.Size(), 0u);
+  EXPECT_EQ(r.rwr_stats.nongreedy_rounds, 0u);
+}
+
+TEST(LacaTest, ValidatesSeed) {
+  AttributedGraph g = SmallPlanted(49);
+  Laca laca(g.graph, nullptr);
+  EXPECT_THROW(laca.ComputeBdd(10'000, LacaOptions{}), std::invalid_argument);
+}
+
+TEST(LacaTest, MismatchedTnamRejected) {
+  AttributedGraph g = SmallPlanted(50);
+  AttributeMatrix other(10, 8);
+  for (NodeId i = 0; i < 10; ++i) other.SetRow(i, {{i % 8u, 1.0}});
+  other.Normalize();
+  Tnam tnam = Tnam::Build(other, TnamOptions{});
+  EXPECT_THROW(Laca(g.graph, &tnam), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Alternative BDD formulations (Appendix C).
+
+TEST(AlternativeBddTest, LocalMatchesExactReference) {
+  AttributedGraph g = SmallPlanted(51);
+  ExactCosineSnas snas(g.attributes);
+  const NodeId seed = 13;
+  for (auto legs : {std::array<BddLeg, 3>{BddLeg::kRwrSnas, BddLeg::kRwrSnas,
+                                          BddLeg::kRwrSnas},
+                    std::array<BddLeg, 3>{BddLeg::kRwr, BddLeg::kRwrSnas,
+                                          BddLeg::kRwrSnas},
+                    std::array<BddLeg, 3>{BddLeg::kRwrSnas, BddLeg::kRwr,
+                                          BddLeg::kRwrSnas},
+                    std::array<BddLeg, 3>{BddLeg::kRwrSnas, BddLeg::kRwrSnas,
+                                          BddLeg::kRwr}}) {
+    AltBddOptions opts;
+    opts.legs = legs;
+    opts.diffusion.epsilon = 1e-8;
+    SparseVector local = AlternativeBdd(g.graph, snas, seed, opts);
+    std::vector<double> exact =
+        ExactAlternativeBdd(g.graph, snas, seed, opts);
+    for (NodeId t = 0; t < g.graph.num_nodes(); t += 11) {
+      // Diffusion legs underestimate by O(eps d); RS legs are exact.
+      EXPECT_NEAR(local.ValueAt(t), exact[t], 1e-4 + 0.01 * std::abs(exact[t]))
+          << "legs mismatch at node " << t;
+    }
+  }
+}
+
+TEST(AlternativeBddTest, VariantsUnderperformBdd) {
+  // Table X's qualitative claim: the BDD beats the edge-restricted
+  // alternatives on planted clusters.
+  AttributedGraph g = SmallPlanted(52, /*intra=*/0.6, /*attr_noise=*/0.15);
+  TnamOptions topts;
+  topts.k = 32;
+  Tnam tnam = Tnam::Build(g.attributes, topts);
+  Laca laca(g.graph, &tnam);
+  LacaOptions lopts;
+  lopts.epsilon = 1e-6;
+
+  AltBddOptions aopts;
+  aopts.diffusion.epsilon = 1e-6;
+
+  double p_bdd = 0.0, p_alt = 0.0;
+  int count = 0;
+  for (NodeId seed = 2; seed < 240; seed += 40) {
+    std::vector<NodeId> truth = g.communities.GroundTruthCluster(seed);
+    std::vector<NodeId> bdd_cluster = laca.Cluster(seed, truth.size(), lopts);
+    SparseVector alt = AlternativeBdd(g.graph, tnam, seed, aopts);
+    std::vector<NodeId> alt_cluster = TopKCluster(alt, seed, truth.size());
+    alt_cluster =
+        PadWithBfs(g.graph, std::move(alt_cluster), truth.size(), seed);
+    p_bdd += Precision(bdd_cluster, truth);
+    p_alt += Precision(alt_cluster, truth);
+    ++count;
+  }
+  EXPECT_GT(p_bdd / count, p_alt / count);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster extraction utilities.
+
+TEST(ClusterTest, TopKIncludesSeedFirst) {
+  SparseVector scores;
+  scores.Add(4, 0.9);
+  scores.Add(2, 0.8);
+  scores.Add(6, 0.7);
+  std::vector<NodeId> c = TopKCluster(scores, 1, 3);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[0], 1u);
+  EXPECT_EQ(c[1], 4u);
+  EXPECT_EQ(c[2], 2u);
+}
+
+TEST(ClusterTest, TopKDeduplicatesSeed) {
+  SparseVector scores;
+  scores.Add(1, 0.9);
+  scores.Add(2, 0.8);
+  std::vector<NodeId> c = TopKCluster(scores, 1, 2);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[0], 1u);
+  EXPECT_EQ(c[1], 2u);
+}
+
+TEST(ClusterTest, PadWithBfsFillsFromNeighborhood) {
+  Graph g = Fig4ExampleGraph();
+  std::vector<NodeId> c = {0};
+  c = PadWithBfs(g, std::move(c), 5, 0);
+  EXPECT_EQ(c.size(), 5u);
+  // All of v1's neighbors precede anything two hops out.
+  for (size_t i = 1; i < 5; ++i) EXPECT_LE(c[i], 4u);
+}
+
+TEST(ClusterTest, SweepCutFindsPlantedCommunity) {
+  AttributedGraph g = SmallPlanted(53);
+  const NodeId seed = 20;
+  std::vector<double> pi = ExactRwr(g.graph, seed, 0.8);
+  // Degree-normalize as PR-Nibble would.
+  for (NodeId v = 0; v < g.graph.num_nodes(); ++v) pi[v] /= g.graph.Degree(v);
+  SweepResult sweep = SweepCut(g.graph, SparseVector::FromDense(pi));
+  EXPECT_GT(sweep.cluster.size(), 5u);
+  EXPECT_LT(sweep.conductance, 0.5);
+  EXPECT_NEAR(sweep.conductance, Conductance(g.graph, sweep.cluster), 1e-9);
+}
+
+}  // namespace
+}  // namespace laca
+
+namespace laca {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Section V-C: with H = sum_l (1-alpha) alpha^l P^l Z, the BDD satisfies
+// rho_t = h(s) . h(t) — LACA approximates GNN-style smoothed embedding
+// similarity without materializing the embeddings (Lemma V.6).
+
+TEST(GnnEquivalenceTest, BddEqualsPropagatedEmbeddingDot) {
+  AttributedGraph g = SmallPlanted(54);
+  TnamOptions topts;
+  topts.k = 16;
+  Tnam tnam = Tnam::Build(g.attributes, topts);
+  const double alpha = 0.8;
+  const NodeId n = g.graph.num_nodes();
+  const size_t dim = tnam.dim();
+
+  // H = sum_{l=0}^{L} (1-alpha) alpha^l P^l Z via dense propagation.
+  std::vector<std::vector<double>> cur(n, std::vector<double>(dim));
+  for (NodeId v = 0; v < n; ++v) {
+    auto z = tnam.Row(v);
+    cur[v].assign(z.begin(), z.end());
+  }
+  std::vector<std::vector<double>> h(n, std::vector<double>(dim, 0.0));
+  double coeff = 1.0 - alpha;
+  const int kSteps = 220;  // alpha^220 ~ 6e-22: negligible truncation
+  for (int l = 0; l <= kSteps; ++l) {
+    for (NodeId v = 0; v < n; ++v) {
+      for (size_t t = 0; t < dim; ++t) h[v][t] += coeff * cur[v][t];
+    }
+    if (l == kSteps) break;
+    std::vector<std::vector<double>> next(n, std::vector<double>(dim, 0.0));
+    for (NodeId v = 0; v < n; ++v) {
+      double inv = 1.0 / g.graph.Degree(v);
+      for (NodeId u : g.graph.Neighbors(v)) {
+        for (size_t t = 0; t < dim; ++t) next[v][t] += inv * cur[u][t];
+      }
+    }
+    cur.swap(next);
+    coeff *= alpha;
+  }
+
+  const NodeId seed = 17;
+  std::vector<double> rho = ExactBdd(g.graph, tnam, seed, alpha, 1e-14);
+  for (NodeId t = 0; t < n; t += 13) {
+    double dot = 0.0;
+    for (size_t c = 0; c < dim; ++c) dot += h[seed][c] * h[t][c];
+    EXPECT_NEAR(rho[t], dot, 1e-6) << "node " << t;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ComputeBddWithProvider: the quadratic fallback must agree with the fast
+// factorized path when given the same similarity.
+
+TEST(LacaProviderTest, MatchesFactorizedPathForTnamSimilarity) {
+  AttributedGraph g = SmallPlanted(55);
+  TnamOptions topts;
+  topts.k = 16;
+  Tnam tnam = Tnam::Build(g.attributes, topts);
+  Laca fast(g.graph, &tnam);
+  Laca slow(g.graph, nullptr);
+  LacaOptions opts;
+  opts.epsilon = 1e-6;
+  const NodeId seed = 23;
+  std::vector<double> a =
+      fast.ComputeBdd(seed, opts).bdd.ToDense(g.graph.num_nodes());
+  std::vector<double> b = slow.ComputeBddWithProvider(seed, tnam, opts)
+                              .bdd.ToDense(g.graph.num_nodes());
+  // The fast path clamps negative phi entries per node AFTER summing through
+  // psi; the slow path clamps per accumulated value too — identical given
+  // the same support, up to floating-point association.
+  for (NodeId t = 0; t < g.graph.num_nodes(); ++t) {
+    EXPECT_NEAR(a[t], b[t], 1e-9) << "node " << t;
+  }
+}
+
+TEST(LacaProviderTest, IdentityProviderMatchesNoSnasMode) {
+  AttributedGraph g = SmallPlanted(56);
+  Laca laca(g.graph, nullptr);
+  LacaOptions opts;
+  opts.epsilon = 1e-6;
+  IdentitySnas id;
+  const NodeId seed = 31;
+  std::vector<double> a =
+      laca.ComputeBdd(seed, opts).bdd.ToDense(g.graph.num_nodes());
+  std::vector<double> b = laca.ComputeBddWithProvider(seed, id, opts)
+                              .bdd.ToDense(g.graph.num_nodes());
+  for (NodeId t = 0; t < g.graph.num_nodes(); ++t) {
+    EXPECT_NEAR(a[t], b[t], 1e-12);
+  }
+}
+
+TEST(LacaProviderTest, JaccardProviderRecoversPlantedCluster) {
+  AttributedGraph g = SmallPlanted(57);
+  JaccardSnas jac(g.attributes);
+  Laca laca(g.graph, nullptr);
+  LacaOptions opts;
+  opts.epsilon = 1e-4;  // coarse threshold bounds the quadratic step
+  const NodeId seed = 41;
+  std::vector<NodeId> truth = g.communities.GroundTruthCluster(seed);
+  LacaResult r = laca.ComputeBddWithProvider(seed, jac, opts);
+  std::vector<NodeId> cluster = TopKCluster(r.bdd, seed, truth.size());
+  cluster = PadWithBfs(g.graph, std::move(cluster), truth.size(), seed);
+  EXPECT_GT(Precision(cluster, truth), 0.4);
+}
+
+}  // namespace
+}  // namespace laca

@@ -1,0 +1,187 @@
+#include "core/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "diffusion/exact.hpp"
+#include "eval/metrics.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace laca {
+namespace {
+
+/// Two 5-cliques joined by one bridge — the canonical sweep-cut testbed.
+Graph Barbell() {
+  GraphBuilder b(10);
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = u + 1; v < 5; ++v) b.AddEdge(u, v);
+  }
+  for (NodeId u = 5; u < 10; ++u) {
+    for (NodeId v = u + 1; v < 10; ++v) b.AddEdge(u, v);
+  }
+  b.AddEdge(4, 5);  // bridge
+  return b.Build();
+}
+
+// ---------------------------------------------------------------------------
+// TopKCluster.
+
+TEST(TopKClusterTest, SeedComesFirstEvenWithZeroScore) {
+  SparseVector scores;
+  scores.Add(3, 0.9);
+  scores.Add(7, 0.8);
+  std::vector<NodeId> cluster = TopKCluster(scores, /*seed=*/1, 2);
+  ASSERT_EQ(cluster.size(), 2u);
+  EXPECT_EQ(cluster[0], 1u);
+  EXPECT_EQ(cluster[1], 3u);
+}
+
+TEST(TopKClusterTest, SeedNotDuplicatedWhenScored) {
+  SparseVector scores;
+  scores.Add(1, 0.9);
+  scores.Add(2, 0.5);
+  std::vector<NodeId> cluster = TopKCluster(scores, 1, 2);
+  EXPECT_EQ(cluster, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(TopKClusterTest, TiesBreakByNodeId) {
+  SparseVector scores;
+  scores.Add(9, 0.5);
+  scores.Add(2, 0.5);
+  scores.Add(5, 0.5);
+  std::vector<NodeId> cluster = TopKCluster(scores, 0, 3);
+  EXPECT_EQ(cluster, (std::vector<NodeId>{0, 2, 5}));
+}
+
+TEST(TopKClusterTest, ReturnsFewerWhenSupportIsSmall) {
+  SparseVector scores;
+  scores.Add(4, 1.0);
+  std::vector<NodeId> cluster = TopKCluster(scores, 4, 10);
+  EXPECT_EQ(cluster, (std::vector<NodeId>{4}));
+}
+
+TEST(TopKClusterTest, ZeroSizeThrows) {
+  EXPECT_THROW(TopKCluster(SparseVector(), 0, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// PadWithBfs.
+
+TEST(PadWithBfsTest, PadsFromSeedOutward) {
+  Graph g = Barbell();
+  std::vector<NodeId> cluster =
+      PadWithBfs(g, {0}, /*size=*/5, /*seed=*/0);
+  EXPECT_EQ(cluster.size(), 5u);
+  // All of clique A is closer to the seed than anything across the bridge.
+  std::sort(cluster.begin(), cluster.end());
+  EXPECT_EQ(cluster, (std::vector<NodeId>{0, 1, 2, 3, 4}));
+}
+
+TEST(PadWithBfsTest, AlreadyLargeEnoughIsUntouched) {
+  Graph g = Barbell();
+  std::vector<NodeId> cluster = {0, 9, 3};
+  EXPECT_EQ(PadWithBfs(g, cluster, 3, 0), cluster);
+  EXPECT_EQ(PadWithBfs(g, cluster, 2, 0), cluster);
+}
+
+TEST(PadWithBfsTest, StopsAtComponentBoundary) {
+  GraphBuilder b(6);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(3, 4);  // separate component
+  Graph g = b.Build();
+  std::vector<NodeId> cluster = PadWithBfs(g, {0}, 6, 0);
+  // Only nodes reachable from the seed can pad the cluster.
+  std::sort(cluster.begin(), cluster.end());
+  EXPECT_EQ(cluster, (std::vector<NodeId>{0, 1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// SweepCut.
+
+TEST(SweepCutTest, FindsThePlantedCliqueCut) {
+  Graph g = Barbell();
+  SparseVector scores =
+      SparseVector::FromDense(ExactRwr(g, 0, 0.8), 1e-12);
+  // Degree-normalize, as every diffusion method in the library does.
+  for (auto& e : scores.mutable_entries()) e.value /= g.Degree(e.index);
+  SweepResult result = SweepCut(g, scores);
+  std::vector<NodeId> cluster = result.cluster;
+  std::sort(cluster.begin(), cluster.end());
+  EXPECT_EQ(cluster, (std::vector<NodeId>{0, 1, 2, 3, 4}));
+  // Clique volume = 5*4 + 1 bridge endpoint = 21; cut = 1.
+  EXPECT_NEAR(result.conductance, 1.0 / 21.0, 1e-12);
+}
+
+TEST(SweepCutTest, ConductanceMatchesIndependentMetric) {
+  Graph g = GenerateAttributedSbm([] {
+               AttributedSbmOptions o;
+               o.num_nodes = 300;
+               o.num_communities = 4;
+               o.avg_degree = 8.0;
+               o.attr_dim = 0;
+               o.seed = 21;
+               return o;
+             }()).graph;
+  SparseVector scores =
+      SparseVector::FromDense(ExactRwr(g, 5, 0.8), 1e-9);
+  for (auto& e : scores.mutable_entries()) e.value /= g.Degree(e.index);
+  SweepResult result = SweepCut(g, scores, /*max_size=*/100);
+  ASSERT_FALSE(result.cluster.empty());
+  EXPECT_NEAR(result.conductance, Conductance(g, result.cluster), 1e-9);
+}
+
+TEST(SweepCutTest, IsTheMinimumOverAllPrefixes) {
+  Graph g = Barbell();
+  SparseVector scores;
+  // A deliberately bad ordering: alternating cliques.
+  const NodeId order[] = {0, 5, 1, 6, 2, 7, 3, 8, 4, 9};
+  double v = 1.0;
+  for (NodeId u : order) {
+    scores.Add(u, v);
+    v *= 0.9;
+  }
+  SweepResult result = SweepCut(g, scores);
+
+  // Recompute every prefix conductance independently.
+  double best = 2.0;
+  std::vector<NodeId> prefix;
+  for (NodeId u : order) {
+    prefix.push_back(u);
+    if (prefix.size() == 10) break;  // whole graph is not a cut
+    best = std::min(best, Conductance(g, prefix));
+  }
+  EXPECT_NEAR(result.conductance, best, 1e-12);
+}
+
+TEST(SweepCutTest, MaxSizeBoundsTheCluster) {
+  Graph g = Barbell();
+  SparseVector scores =
+      SparseVector::FromDense(ExactRwr(g, 0, 0.8), 1e-12);
+  SweepResult result = SweepCut(g, scores, /*max_size=*/3);
+  EXPECT_LE(result.cluster.size(), 3u);
+}
+
+TEST(SweepCutTest, EmptyScoresYieldEmptyCluster) {
+  SweepResult result = SweepCut(Barbell(), SparseVector());
+  EXPECT_TRUE(result.cluster.empty());
+  EXPECT_DOUBLE_EQ(result.conductance, 1.0);
+}
+
+TEST(SweepCutTest, WholeComponentPrefixIsSkippedOnConnectedGraph) {
+  // On a connected graph the full-node-set prefix has denominator 0 and must
+  // not be reported as a conductance-0 cluster.
+  Graph g = Barbell();
+  SparseVector scores;
+  for (NodeId v = 0; v < 10; ++v) scores.Add(v, 1.0 - 0.01 * v);
+  SweepResult result = SweepCut(g, scores);
+  EXPECT_LT(result.cluster.size(), 10u);
+  EXPECT_GT(result.conductance, 0.0);
+}
+
+}  // namespace
+}  // namespace laca

@@ -1,0 +1,293 @@
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "clustering/dbscan.hpp"
+#include "clustering/kmeans.hpp"
+#include "clustering/spectral.hpp"
+#include "common/rng.hpp"
+
+namespace laca {
+namespace {
+
+/// Three well-separated 2-D Gaussian blobs; labels[i] is the source blob.
+struct Blobs {
+  DenseMatrix points;
+  std::vector<uint32_t> labels;
+};
+
+Blobs MakeBlobs(size_t per_blob = 60, double spread = 0.15,
+                uint64_t seed = 7) {
+  const std::vector<std::pair<double, double>> centers = {
+      {0.0, 0.0}, {4.0, 0.0}, {2.0, 3.5}};
+  Blobs blobs;
+  blobs.points = DenseMatrix(per_blob * centers.size(), 2);
+  Rng rng(seed);
+  size_t row = 0;
+  for (uint32_t b = 0; b < centers.size(); ++b) {
+    for (size_t i = 0; i < per_blob; ++i, ++row) {
+      blobs.points(row, 0) = centers[b].first + spread * rng.Normal();
+      blobs.points(row, 1) = centers[b].second + spread * rng.Normal();
+      blobs.labels.push_back(b);
+    }
+  }
+  return blobs;
+}
+
+/// Two concentric rings — separable by density/connectivity, not by means.
+Blobs MakeRings(size_t per_ring = 100, uint64_t seed = 11) {
+  Blobs rings;
+  rings.points = DenseMatrix(2 * per_ring, 2);
+  Rng rng(seed);
+  for (size_t i = 0; i < 2 * per_ring; ++i) {
+    const uint32_t ring = i < per_ring ? 0 : 1;
+    const double radius = ring == 0 ? 1.0 : 3.0;
+    // Evenly spaced with jitter: uniform angles would leave chance gaps
+    // larger than any sensible density radius.
+    const double angle = 2.0 * M_PI *
+                             static_cast<double>(i % per_ring) /
+                             static_cast<double>(per_ring) +
+                         0.2 / static_cast<double>(per_ring) * rng.Normal();
+    rings.points(i, 0) = radius * std::cos(angle) + 0.05 * rng.Normal();
+    rings.points(i, 1) = radius * std::sin(angle) + 0.05 * rng.Normal();
+    rings.labels.push_back(ring);
+  }
+  return rings;
+}
+
+/// Fraction of points whose cluster's majority label matches their own;
+/// noise points (kDbscanNoise) count as errors.
+double Purity(const std::vector<uint32_t>& assignment,
+              const std::vector<uint32_t>& labels) {
+  std::map<uint32_t, std::map<uint32_t, size_t>> counts;
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    if (assignment[i] == kDbscanNoise) continue;
+    ++counts[assignment[i]][labels[i]];
+  }
+  size_t correct = 0;
+  for (const auto& [cluster, by_label] : counts) {
+    size_t best = 0;
+    for (const auto& [label, c] : by_label) best = std::max(best, c);
+    correct += best;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+// ---------------------------------------------------------------------------
+// KMeans.
+
+TEST(KMeansTest, RecoversSeparatedBlobs) {
+  Blobs blobs = MakeBlobs();
+  KMeansOptions opts;
+  opts.k = 3;
+  KMeansResult result = KMeans(blobs.points, opts);
+  EXPECT_GE(Purity(result.assignment, blobs.labels), 0.99);
+  EXPECT_GT(result.iterations, 0);
+}
+
+TEST(KMeansTest, SingleClusterCenterIsTheMean) {
+  Blobs blobs = MakeBlobs(30);
+  KMeansOptions opts;
+  opts.k = 1;
+  KMeansResult result = KMeans(blobs.points, opts);
+  double mx = 0.0, my = 0.0;
+  for (size_t i = 0; i < blobs.points.rows(); ++i) {
+    mx += blobs.points(i, 0);
+    my += blobs.points(i, 1);
+  }
+  mx /= static_cast<double>(blobs.points.rows());
+  my /= static_cast<double>(blobs.points.rows());
+  EXPECT_NEAR(result.centers(0, 0), mx, 1e-9);
+  EXPECT_NEAR(result.centers(0, 1), my, 1e-9);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  Blobs blobs = MakeBlobs();
+  double prev = 1e300;
+  for (uint32_t k : {1u, 2u, 3u, 6u}) {
+    KMeansOptions opts;
+    opts.k = k;
+    double inertia = KMeans(blobs.points, opts).inertia;
+    EXPECT_LT(inertia, prev) << "k=" << k;
+    prev = inertia;
+  }
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  Blobs blobs = MakeBlobs();
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.seed = 5;
+  EXPECT_EQ(KMeans(blobs.points, opts).assignment,
+            KMeans(blobs.points, opts).assignment);
+}
+
+TEST(KMeansTest, KEqualsNAssignsEveryPointItsOwnCluster) {
+  DenseMatrix points(4, 1);
+  for (size_t i = 0; i < 4; ++i) points(i, 0) = static_cast<double>(i) * 10;
+  KMeansOptions opts;
+  opts.k = 4;
+  KMeansResult result = KMeans(points, opts);
+  std::vector<uint32_t> sorted = result.assignment;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<uint32_t>{0, 1, 2, 3}));
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, IdenticalPointsDoNotCrash) {
+  DenseMatrix points(10, 2);  // all zeros
+  KMeansOptions opts;
+  opts.k = 3;
+  KMeansResult result = KMeans(points, opts);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, InvalidInputsThrow) {
+  DenseMatrix empty;
+  KMeansOptions opts;
+  EXPECT_THROW(KMeans(empty, opts), std::invalid_argument);
+  DenseMatrix points(3, 2);
+  opts.k = 5;  // more clusters than points
+  EXPECT_THROW(KMeans(points, opts), std::invalid_argument);
+  opts.k = 0;
+  EXPECT_THROW(KMeans(points, opts), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// DBSCAN.
+
+TEST(DbscanTest, RecoversBlobsAndFlagsOutliers) {
+  Blobs blobs = MakeBlobs(60, 0.15, 3);
+  // Plant two far-away outliers.
+  const size_t n = blobs.points.rows();
+  DenseMatrix with_outliers(n + 2, 2);
+  for (size_t i = 0; i < n; ++i) {
+    with_outliers(i, 0) = blobs.points(i, 0);
+    with_outliers(i, 1) = blobs.points(i, 1);
+  }
+  with_outliers(n, 0) = 100.0;
+  with_outliers(n + 1, 1) = -100.0;
+
+  DbscanOptions opts;
+  opts.eps = 0.5;
+  opts.min_pts = 5;
+  DbscanResult result = Dbscan(with_outliers, opts);
+  EXPECT_EQ(result.num_clusters, 3u);
+  EXPECT_EQ(result.num_noise, 2u);
+  EXPECT_EQ(result.assignment[n], kDbscanNoise);
+  EXPECT_EQ(result.assignment[n + 1], kDbscanNoise);
+  blobs.labels.push_back(0);
+  blobs.labels.push_back(0);
+  EXPECT_GE(Purity(result.assignment, blobs.labels), 0.98);
+}
+
+TEST(DbscanTest, HugeEpsMergesEverything) {
+  Blobs blobs = MakeBlobs();
+  DbscanOptions opts;
+  opts.eps = 100.0;
+  opts.min_pts = 3;
+  DbscanResult result = Dbscan(blobs.points, opts);
+  EXPECT_EQ(result.num_clusters, 1u);
+  EXPECT_EQ(result.num_noise, 0u);
+}
+
+TEST(DbscanTest, TinyEpsMarksAllNoise) {
+  Blobs blobs = MakeBlobs();
+  DbscanOptions opts;
+  opts.eps = 1e-9;
+  opts.min_pts = 3;
+  DbscanResult result = Dbscan(blobs.points, opts);
+  EXPECT_EQ(result.num_clusters, 0u);
+  EXPECT_EQ(result.num_noise, blobs.points.rows());
+}
+
+TEST(DbscanTest, SeparatesRingsWhereMeansCannot) {
+  Blobs rings = MakeRings();
+  DbscanOptions opts;
+  opts.eps = 0.45;
+  opts.min_pts = 4;
+  DbscanResult result = Dbscan(rings.points, opts);
+  EXPECT_EQ(result.num_clusters, 2u);
+  EXPECT_GE(Purity(result.assignment, rings.labels), 0.99);
+}
+
+TEST(DbscanTest, EstimatedEpsYieldsSaneClustering) {
+  Blobs blobs = MakeBlobs();
+  double eps = EstimateDbscanEps(blobs.points, 5);
+  EXPECT_GT(eps, 0.0);
+  EXPECT_LT(eps, 2.0);  // below the inter-blob distance
+  DbscanOptions opts;
+  opts.eps = eps;
+  opts.min_pts = 5;
+  DbscanResult result = Dbscan(blobs.points, opts);
+  EXPECT_EQ(result.num_clusters, 3u);
+}
+
+TEST(DbscanTest, InvalidInputsThrow) {
+  DenseMatrix empty;
+  DbscanOptions opts;
+  EXPECT_THROW(Dbscan(empty, opts), std::invalid_argument);
+  DenseMatrix points(3, 2);
+  opts.eps = 0.0;
+  EXPECT_THROW(Dbscan(points, opts), std::invalid_argument);
+  opts.eps = 1.0;
+  opts.min_pts = 0;
+  EXPECT_THROW(Dbscan(points, opts), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Spectral clustering.
+
+TEST(SpectralTest, RecoversSeparatedBlobs) {
+  Blobs blobs = MakeBlobs();
+  SpectralOptions opts;
+  opts.num_clusters = 3;
+  opts.knn = 8;
+  SpectralResult result = SpectralClustering(blobs.points, opts);
+  EXPECT_GE(Purity(result.assignment, blobs.labels), 0.98);
+  EXPECT_EQ(result.embedding.rows(), blobs.points.rows());
+  EXPECT_EQ(result.embedding.cols(), 3u);
+}
+
+TEST(SpectralTest, SeparatesRingsWhereKMeansFails) {
+  Blobs rings = MakeRings();
+  KMeansOptions kopts;
+  kopts.k = 2;
+  double kmeans_purity =
+      Purity(KMeans(rings.points, kopts).assignment, rings.labels);
+  EXPECT_LT(kmeans_purity, 0.9);  // means cannot separate concentric rings
+
+  SpectralOptions sopts;
+  sopts.num_clusters = 2;
+  sopts.knn = 6;
+  double spectral_purity =
+      Purity(SpectralClustering(rings.points, sopts).assignment, rings.labels);
+  EXPECT_GE(spectral_purity, 0.99);
+}
+
+TEST(SpectralTest, DeterministicGivenSeed) {
+  Blobs blobs = MakeBlobs(30);
+  SpectralOptions opts;
+  opts.num_clusters = 3;
+  EXPECT_EQ(SpectralClustering(blobs.points, opts).assignment,
+            SpectralClustering(blobs.points, opts).assignment);
+}
+
+TEST(SpectralTest, InvalidInputsThrow) {
+  DenseMatrix one(1, 2);
+  SpectralOptions opts;
+  EXPECT_THROW(SpectralClustering(one, opts), std::invalid_argument);
+  DenseMatrix points(10, 2);
+  opts.num_clusters = 11;
+  EXPECT_THROW(SpectralClustering(points, opts), std::invalid_argument);
+  opts.num_clusters = 2;
+  opts.knn = 0;
+  EXPECT_THROW(SpectralClustering(points, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace laca

@@ -1,0 +1,61 @@
+// Tests for the LACA_DATASET_CACHE disk cache. These live in their own
+// binary: GetDataset's in-process memoization is per-process, and the env
+// variable must be set before the first GetDataset call.
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "eval/datasets.hpp"
+#include "graph/binary_io.hpp"
+
+namespace laca {
+namespace {
+
+class DatasetCacheTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = std::filesystem::temp_directory_path() / "laca_dataset_cache_test";
+    std::filesystem::create_directories(dir_);
+    setenv("LACA_DATASET_CACHE", dir_.c_str(), /*overwrite=*/1);
+  }
+  static void TearDownTestSuite() {
+    unsetenv("LACA_DATASET_CACHE");
+    std::filesystem::remove_all(dir_);
+  }
+  static std::filesystem::path dir_;
+};
+
+std::filesystem::path DatasetCacheTest::dir_;
+
+TEST_F(DatasetCacheTest, FirstUseWritesCacheFile) {
+  const Dataset& ds = GetDataset("cora-sim");
+  const std::filesystem::path file = dir_ / "cora-sim.laca";
+  ASSERT_TRUE(std::filesystem::exists(file));
+
+  // The cached container round-trips to the in-memory dataset.
+  AttributedGraph loaded = LoadDatasetBinary(file.string());
+  EXPECT_EQ(loaded.graph.num_nodes(), ds.data.graph.num_nodes());
+  EXPECT_EQ(loaded.graph.num_edges(), ds.data.graph.num_edges());
+  EXPECT_EQ(loaded.graph.adjacency(), ds.data.graph.adjacency());
+  EXPECT_EQ(loaded.communities.members, ds.data.communities.members);
+  EXPECT_EQ(loaded.attributes.num_nonzeros(),
+            ds.data.attributes.num_nonzeros());
+}
+
+TEST_F(DatasetCacheTest, CorruptCacheEntryFallsBackToGeneration) {
+  // Plant a corrupt container for a dataset not yet memoized in-process.
+  const std::filesystem::path file = dir_ / "dblp-sim.laca";
+  {
+    std::ofstream out(file, std::ios::binary);
+    out << "LACABIN\0garbage that is not a valid payload";
+  }
+  const Dataset& ds = GetDataset("dblp-sim");  // must not throw
+  EXPECT_GT(ds.num_nodes(), 0u);
+  // The corrupt entry was overwritten with a valid one.
+  EXPECT_NO_THROW(LoadDatasetBinary(file.string()));
+}
+
+}  // namespace
+}  // namespace laca

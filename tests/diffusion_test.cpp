@@ -1,0 +1,321 @@
+#include "diffusion/diffusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "attr/snas.hpp"
+#include "common/rng.hpp"
+#include "diffusion/exact.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace laca {
+namespace {
+
+enum class Algo { kGreedy, kNonGreedy, kAdaptive };
+
+SparseVector RunAlgo(DiffusionEngine& engine, Algo algo, const SparseVector& f,
+                     const DiffusionOptions& opts,
+                     DiffusionStats* stats = nullptr) {
+  switch (algo) {
+    case Algo::kGreedy:
+      return engine.Greedy(f, opts, stats);
+    case Algo::kNonGreedy:
+      return engine.NonGreedy(f, opts, stats);
+    case Algo::kAdaptive:
+      return engine.Adaptive(f, opts, stats);
+  }
+  return {};
+}
+
+Graph RandomTestGraph(uint64_t seed) {
+  AttributedSbmOptions o;
+  o.num_nodes = 300;
+  o.num_communities = 5;
+  o.avg_degree = 10.0;
+  o.intra_fraction = 0.7;
+  o.attr_dim = 0;
+  o.seed = seed;
+  return GenerateAttributedSbm(o).graph;
+}
+
+// ---------------------------------------------------------------------------
+// Property suite: the Eq. 14 sandwich, mass bounds, and Lemma IV.3, across
+// all three algorithms x (alpha, epsilon) grid x random graphs.
+
+using PropertyParam = std::tuple<int /*algo*/, double /*alpha*/,
+                                 double /*epsilon*/, uint64_t /*graph seed*/>;
+
+class DiffusionPropertyTest : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(DiffusionPropertyTest, SatisfiesEq14AndVolumeBounds) {
+  auto [algo_i, alpha, epsilon, graph_seed] = GetParam();
+  Algo algo = static_cast<Algo>(algo_i);
+  Graph g = RandomTestGraph(graph_seed);
+  DiffusionEngine engine(g);
+
+  DiffusionOptions opts;
+  opts.alpha = alpha;
+  opts.epsilon = epsilon;
+  opts.sigma = 0.0;
+
+  // A two-spike non-negative input (exercises multi-source diffusion).
+  SparseVector f;
+  f.Add(3, 0.4);
+  f.Add(117, 0.6);
+
+  SparseVector q = RunAlgo(engine, algo, f, opts);
+  std::vector<double> exact = ExactDiffuse(g, f, alpha);
+  std::vector<double> approx = q.ToDense(g.num_nodes());
+
+  // Theorem IV.1 / IV.2 (Eq. 14): 0 <= exact_t - q_t <= eps * d(t).
+  for (NodeId t = 0; t < g.num_nodes(); ++t) {
+    double gap = exact[t] - approx[t];
+    EXPECT_GE(gap, -1e-9) << "overshoot at node " << t;
+    EXPECT_LE(gap, epsilon * g.Degree(t) + 1e-9) << "undershoot at " << t;
+  }
+
+  // Conservation: converted mass can never exceed the input mass.
+  EXPECT_LE(q.L1Norm(), f.L1Norm() + 1e-9);
+
+  // Lemma IV.3: vol(q) <= beta ||f||_1 / ((1-alpha) eps), beta <= 2.
+  double vol_q = 0.0;
+  for (const auto& e : q.entries()) vol_q += g.Degree(e.index);
+  EXPECT_LE(vol_q, 2.0 * f.L1Norm() / ((1.0 - alpha) * epsilon) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DiffusionPropertyTest,
+    ::testing::Combine(::testing::Values(0, 1, 2),          // algorithms
+                       ::testing::Values(0.5, 0.8, 0.9),    // alpha
+                       ::testing::Values(1e-2, 1e-4, 1e-6), // epsilon
+                       ::testing::Values(21u, 22u)));       // graph seeds
+
+// ---------------------------------------------------------------------------
+// The Fig. 4 running example, verified step by step.
+
+TEST(GreedyDiffuseTest, Fig4RunningExample) {
+  Graph g = Fig4ExampleGraph();
+  DiffusionEngine engine(g);
+  SparseVector f;
+  f.Add(0, 0.4);  // v1
+  f.Add(1, 0.6);  // v2
+  DiffusionOptions opts;
+  opts.alpha = 0.8;
+  opts.epsilon = 0.1;
+  DiffusionStats stats;
+  SparseVector q = engine.Greedy(f, opts, &stats);
+
+  // The example terminates after exactly 2 iterations.
+  EXPECT_EQ(stats.iterations, 2u);
+  // Reserves: v1 and v2 convert 0.2 of their initial residuals in iteration
+  // 1; v3 and v4 convert 0.2 * 0.24 = 0.048 in iteration 2.
+  EXPECT_NEAR(q.ValueAt(0), 0.08, 1e-12);
+  EXPECT_NEAR(q.ValueAt(1), 0.12, 1e-12);
+  EXPECT_NEAR(q.ValueAt(2), 0.048, 1e-12);
+  EXPECT_NEAR(q.ValueAt(3), 0.048, 1e-12);
+  // v5 onwards never crossed the threshold.
+  EXPECT_DOUBLE_EQ(q.ValueAt(4), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm relationships.
+
+TEST(AdaptiveDiffuseTest, SigmaOneDegeneratesToGreedy) {
+  Graph g = RandomTestGraph(31);
+  DiffusionEngine engine(g);
+  DiffusionOptions opts;
+  opts.alpha = 0.8;
+  opts.epsilon = 1e-5;
+  opts.sigma = 1.0;  // |supp(gamma)|/|supp(r)| can never exceed 1
+  DiffusionStats greedy_stats, adaptive_stats;
+  SparseVector qg =
+      engine.Greedy(SparseVector::Unit(0), opts, &greedy_stats);
+  SparseVector qa =
+      engine.Adaptive(SparseVector::Unit(0), opts, &adaptive_stats);
+  EXPECT_EQ(adaptive_stats.nongreedy_rounds, 0u);
+  ASSERT_EQ(qg.Size(), qa.Size());
+  for (size_t i = 0; i < qg.Size(); ++i) {
+    EXPECT_EQ(qg.entries()[i].index, qa.entries()[i].index);
+    EXPECT_DOUBLE_EQ(qg.entries()[i].value, qa.entries()[i].value);
+  }
+}
+
+TEST(AdaptiveDiffuseTest, SigmaZeroPrefersNonGreedy) {
+  Graph g = RandomTestGraph(32);
+  DiffusionEngine engine(g);
+  DiffusionOptions opts;
+  opts.alpha = 0.8;
+  opts.epsilon = 1e-5;
+  opts.sigma = 0.0;
+  DiffusionStats stats;
+  engine.Adaptive(SparseVector::Unit(0), opts, &stats);
+  EXPECT_GT(stats.nongreedy_rounds, 0u);
+}
+
+TEST(AdaptiveDiffuseTest, NonGreedyCostStaysWithinBudget) {
+  Graph g = RandomTestGraph(33);
+  DiffusionEngine engine(g);
+  DiffusionOptions opts;
+  opts.alpha = 0.8;
+  opts.epsilon = 1e-6;
+  opts.sigma = 0.0;
+  DiffusionStats stats;
+  SparseVector f = SparseVector::Unit(5);
+  engine.Adaptive(f, opts, &stats);
+  double budget = f.L1Norm() / ((1.0 - opts.alpha) * opts.epsilon);
+  EXPECT_LE(stats.nongreedy_cost, budget);
+}
+
+TEST(AdaptiveDiffuseTest, SigmaGreaterThanOneGivesBetaOneVolumeBound) {
+  // Lemma IV.3: when sigma >= 1, vol(q) <= ||f||_1 / ((1-alpha) eps).
+  Graph g = RandomTestGraph(34);
+  DiffusionEngine engine(g);
+  DiffusionOptions opts;
+  opts.alpha = 0.8;
+  opts.epsilon = 1e-4;
+  opts.sigma = 1.0;
+  SparseVector q = engine.Adaptive(SparseVector::Unit(7), opts);
+  double vol_q = 0.0;
+  for (const auto& e : q.entries()) vol_q += g.Degree(e.index);
+  EXPECT_LE(vol_q, 1.0 / ((1.0 - opts.alpha) * opts.epsilon) + 1e-6);
+}
+
+TEST(DiffusionTest, GreedyResidualDecaysSlowerThanNonGreedy) {
+  // The Fig. 5 phenomenon: on degree-skewed graphs the greedy strategy needs
+  // notably more iterations to reach the same residual sum, because it sifts
+  // out only the high-residue nodes and leaves the bulk untouched.
+  Graph g = GenerateBarabasiAlbert(2000, 4, 35);
+  DiffusionEngine engine(g);
+  DiffusionOptions opts;
+  opts.alpha = 0.8;
+  opts.epsilon = 1e-6;
+  DiffusionStats greedy_stats, nongreedy_stats;
+  greedy_stats.record_trace = nongreedy_stats.record_trace = true;
+  engine.Greedy(SparseVector::Unit(11), opts, &greedy_stats);
+  engine.NonGreedy(SparseVector::Unit(11), opts, &nongreedy_stats);
+  auto iters_to_reach = [](const std::vector<double>& trace, double target) {
+    for (size_t i = 0; i < trace.size(); ++i) {
+      if (trace[i] <= target) return i + 1;
+    }
+    return trace.size();
+  };
+  EXPECT_GT(iters_to_reach(greedy_stats.residual_trace, 0.1),
+            iters_to_reach(nongreedy_stats.residual_trace, 0.1) * 3 / 2);
+}
+
+TEST(DiffusionTest, ResidualTraceIsRecordedAndDecreasesOverall) {
+  Graph g = RandomTestGraph(36);
+  DiffusionEngine engine(g);
+  DiffusionOptions opts;
+  opts.alpha = 0.8;
+  opts.epsilon = 1e-5;
+  DiffusionStats stats;
+  stats.record_trace = true;
+  engine.NonGreedy(SparseVector::Unit(3), opts, &stats);
+  ASSERT_GT(stats.residual_trace.size(), 2u);
+  // Non-greedy rounds shrink ||r||_1 by a factor alpha each time.
+  for (size_t i = 1; i < stats.residual_trace.size(); ++i) {
+    EXPECT_LE(stats.residual_trace[i], stats.residual_trace[i - 1] + 1e-12);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Weighted-graph diffusion.
+
+TEST(DiffusionTest, WeightedGraphMatchesExact) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1, 3.0);
+  b.AddEdge(1, 2, 1.0);
+  b.AddEdge(2, 3, 2.0);
+  b.AddEdge(0, 3, 0.5);
+  Graph g = b.Build(/*weighted=*/true);
+  DiffusionEngine engine(g);
+  DiffusionOptions opts;
+  opts.alpha = 0.7;
+  opts.epsilon = 1e-9;
+  SparseVector q = engine.Adaptive(SparseVector::Unit(0), opts);
+  std::vector<double> exact = ExactDiffuse(g, SparseVector::Unit(0), 0.7);
+  for (NodeId t = 0; t < 4; ++t) {
+    double gap = exact[t] - q.ValueAt(t);
+    EXPECT_GE(gap, -1e-9);
+    EXPECT_LE(gap, opts.epsilon * g.Degree(t) + 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RWR symmetry (Lemma 1 of [43]) through the exact reference.
+
+TEST(ExactDiffuseTest, RwrDegreeSymmetry) {
+  Graph g = RandomTestGraph(37);
+  std::vector<double> pi_a = ExactRwr(g, 10, 0.8);
+  std::vector<double> pi_b = ExactRwr(g, 20, 0.8);
+  EXPECT_NEAR(pi_a[20] * g.Degree(10), pi_b[10] * g.Degree(20), 1e-9);
+}
+
+TEST(ExactDiffuseTest, MassSumsToInputMass) {
+  Graph g = RandomTestGraph(38);
+  std::vector<double> pi = ExactRwr(g, 0, 0.8);
+  double total = 0.0;
+  for (double v : pi) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Input validation and degenerate cases.
+
+TEST(DiffusionTest, RejectsBadOptions) {
+  Graph g = Fig4ExampleGraph();
+  DiffusionEngine engine(g);
+  SparseVector f = SparseVector::Unit(0);
+  DiffusionOptions opts;
+  opts.alpha = 1.0;
+  EXPECT_THROW(engine.Greedy(f, opts), std::invalid_argument);
+  opts.alpha = 0.8;
+  opts.epsilon = 0.0;
+  EXPECT_THROW(engine.Greedy(f, opts), std::invalid_argument);
+}
+
+TEST(DiffusionTest, RejectsNegativeInput) {
+  Graph g = Fig4ExampleGraph();
+  DiffusionEngine engine(g);
+  SparseVector f;
+  f.Add(0, -0.5);
+  EXPECT_THROW(engine.Greedy(f, DiffusionOptions{}), std::invalid_argument);
+}
+
+TEST(DiffusionTest, RejectsOutOfRangeIndex) {
+  Graph g = Fig4ExampleGraph();
+  DiffusionEngine engine(g);
+  SparseVector f;
+  f.Add(99, 1.0);
+  EXPECT_THROW(engine.Greedy(f, DiffusionOptions{}), std::invalid_argument);
+}
+
+TEST(DiffusionTest, EmptyInputGivesEmptyOutput) {
+  Graph g = Fig4ExampleGraph();
+  DiffusionEngine engine(g);
+  SparseVector q = engine.Adaptive(SparseVector{}, DiffusionOptions{});
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(DiffusionTest, EngineIsReusableAcrossCalls) {
+  Graph g = RandomTestGraph(39);
+  DiffusionEngine engine(g);
+  DiffusionOptions opts;
+  opts.epsilon = 1e-4;
+  SparseVector q1 = engine.Adaptive(SparseVector::Unit(1), opts);
+  SparseVector q2 = engine.Adaptive(SparseVector::Unit(2), opts);
+  SparseVector q1_again = engine.Adaptive(SparseVector::Unit(1), opts);
+  ASSERT_EQ(q1.Size(), q1_again.Size());
+  for (size_t i = 0; i < q1.Size(); ++i) {
+    EXPECT_DOUBLE_EQ(q1.entries()[i].value, q1_again.entries()[i].value);
+  }
+  // Different seeds genuinely differ.
+  EXPECT_NE(q1.ValueAt(1), q2.ValueAt(1));
+}
+
+}  // namespace
+}  // namespace laca

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "eval/datasets.hpp"
+#include "eval/runner.hpp"
+
+namespace laca {
+namespace {
+
+TEST(DatasetsTest, RegistryNamesResolve) {
+  // Only instantiate the small datasets here; the large ones are exercised
+  // by the benchmarks.
+  for (const std::string& name : SmallAttributedDatasetNames()) {
+    const Dataset& ds = GetDataset(name);
+    EXPECT_EQ(ds.name, name);
+    EXPECT_GT(ds.num_nodes(), 0u);
+    EXPECT_GT(ds.num_edges(), 0u);
+    EXPECT_TRUE(ds.attributed());
+    EXPECT_GT(ds.avg_cluster_size, 1.0);
+  }
+}
+
+TEST(DatasetsTest, UnknownNameThrows) {
+  EXPECT_THROW(GetDataset("no-such-dataset"), std::invalid_argument);
+}
+
+TEST(DatasetsTest, CachedInstanceIsReused) {
+  const Dataset& a = GetDataset("cora-sim");
+  const Dataset& b = GetDataset("cora-sim");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(DatasetsTest, CoraSimShapeMatchesSpec) {
+  const Dataset& ds = GetDataset("cora-sim");
+  EXPECT_EQ(ds.num_nodes(), 2708u);
+  EXPECT_EQ(ds.data.attributes.num_cols(), 1433u);
+  double avg_deg = ds.data.graph.TotalVolume() / ds.num_nodes();
+  EXPECT_NEAR(avg_deg, 4.0, 1.2);  // Table III: m/n ~ 2
+}
+
+TEST(DatasetsTest, SampleSeedsAreValid) {
+  const Dataset& ds = GetDataset("cora-sim");
+  std::vector<NodeId> seeds = SampleSeeds(ds, 25);
+  EXPECT_EQ(seeds.size(), 25u);
+  for (NodeId s : seeds) {
+    EXPECT_LT(s, ds.num_nodes());
+    EXPECT_GE(ds.data.graph.DegreeCount(s), 1u);
+  }
+  // Deterministic for a fixed rng seed.
+  EXPECT_EQ(SampleSeeds(ds, 25), seeds);
+}
+
+TEST(RunnerTest, AllMethodNamesConstruct) {
+  for (const std::string& name : AllMethodNames()) {
+    EXPECT_NO_THROW(MakeMethod(name)) << name;
+    EXPECT_EQ(MakeMethod(name)->name(), name);
+  }
+  EXPECT_THROW(MakeMethod("bogus"), std::invalid_argument);
+}
+
+TEST(RunnerTest, AttributeMethodsGatedOnNonAttributedData) {
+  const Dataset& ds = GetDataset("dblp-sim");
+  EXPECT_FALSE(MakeMethod("LACA (C)")->Supports(ds));
+  EXPECT_FALSE(MakeMethod("SimAttr (C)")->Supports(ds));
+  EXPECT_FALSE(MakeMethod("APR-Nibble")->Supports(ds));
+  EXPECT_TRUE(MakeMethod("LACA (w/o SNAS)")->Supports(ds));
+  EXPECT_TRUE(MakeMethod("PR-Nibble")->Supports(ds));
+}
+
+TEST(RunnerTest, EvaluateProducesSaneMetrics) {
+  const Dataset& ds = GetDataset("cora-sim");
+  std::vector<NodeId> seeds = SampleSeeds(ds, 5);
+  MethodEvaluation eval = EvaluateByName(ds, "LACA (C)", seeds);
+  EXPECT_TRUE(eval.supported);
+  EXPECT_EQ(eval.seeds_evaluated, 5u);
+  EXPECT_GE(eval.precision, 0.0);
+  EXPECT_LE(eval.precision, 1.0);
+  EXPECT_GE(eval.recall, 0.0);
+  EXPECT_LE(eval.recall, 1.0);
+  EXPECT_GE(eval.conductance, 0.0);
+  EXPECT_LE(eval.conductance, 1.0);
+  EXPECT_GT(eval.online_seconds, 0.0);
+}
+
+TEST(RunnerTest, LacaBeatsTopologyOnlyOnCora) {
+  // Smoke version of the Table V headline on the smallest dataset.
+  const Dataset& ds = GetDataset("cora-sim");
+  std::vector<NodeId> seeds = SampleSeeds(ds, 8);
+  MethodEvaluation laca = EvaluateByName(ds, "LACA (C)", seeds);
+  MethodEvaluation nibble = EvaluateByName(ds, "PR-Nibble", seeds);
+  EXPECT_GT(laca.precision, nibble.precision);
+}
+
+TEST(RunnerTest, UnsupportedEvaluationFormatsAsDash) {
+  const Dataset& ds = GetDataset("dblp-sim");
+  std::vector<NodeId> seeds = SampleSeeds(ds, 2);
+  MethodEvaluation eval = EvaluateByName(ds, "SimAttr (C)", seeds);
+  EXPECT_FALSE(eval.supported);
+  EXPECT_EQ(FormatCell(eval, eval.precision), "-");
+  MethodEvaluation ok = EvaluateByName(ds, "PR-Nibble", seeds);
+  EXPECT_NE(FormatCell(ok, ok.precision), "-");
+}
+
+TEST(RunnerTest, BenchSeedCountEnvOverride) {
+  unsetenv("LACA_BENCH_SEEDS");
+  EXPECT_EQ(BenchSeedCount(12), 12u);
+  setenv("LACA_BENCH_SEEDS", "3", 1);
+  EXPECT_EQ(BenchSeedCount(12), 3u);
+  setenv("LACA_BENCH_SEEDS", "garbage", 1);
+  EXPECT_EQ(BenchSeedCount(12), 12u);
+  unsetenv("LACA_BENCH_SEEDS");
+}
+
+}  // namespace
+}  // namespace laca

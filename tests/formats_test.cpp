@@ -1,0 +1,427 @@
+#include "graph/formats.hpp"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+
+namespace laca {
+namespace {
+
+class FormatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "laca_formats_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Write(const std::string& name, const std::string& text) {
+    std::string path = (dir_ / name).string();
+    std::ofstream out(path);
+    out << text;
+    return path;
+  }
+
+  std::filesystem::path dir_;
+};
+
+// ---------------------------------------------------------------------------
+// CommunitiesFromLabels.
+
+TEST(CommunitiesFromLabelsTest, GroupsNodesByLabel) {
+  Communities c = CommunitiesFromLabels({0, 1, 0, 1, 2});
+  ASSERT_EQ(c.num_communities(), 3u);
+  EXPECT_EQ(c.members[0], (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(c.members[1], (std::vector<NodeId>{1, 3}));
+  EXPECT_EQ(c.members[2], (std::vector<NodeId>{4}));
+  EXPECT_EQ(c.node_comms[2], (std::vector<uint32_t>{0}));
+}
+
+TEST(CommunitiesFromLabelsTest, CompactsEmptyClasses) {
+  // Label 1 is unused; community ids must stay dense.
+  Communities c = CommunitiesFromLabels({0, 2, 2}, 3);
+  ASSERT_EQ(c.num_communities(), 2u);
+  EXPECT_EQ(c.members[1], (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(c.node_comms[1], (std::vector<uint32_t>{1}));
+}
+
+TEST(CommunitiesFromLabelsTest, OutOfRangeLabelThrows) {
+  EXPECT_THROW(CommunitiesFromLabels({0, 5}, 2), std::invalid_argument);
+}
+
+TEST(CommunitiesFromLabelsTest, EmptyInputYieldsNoCommunities) {
+  Communities c = CommunitiesFromLabels({});
+  EXPECT_EQ(c.num_communities(), 0u);
+  EXPECT_TRUE(c.node_comms.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Planetoid.
+
+constexpr const char* kContent =
+    "paper_a 1 0 1 0 ml\n"
+    "paper_b 0 1 1 0 ml\n"
+    "paper_c 0 0 1 1 db\n"
+    "paper_d 1 1 0 0 db\n";
+
+constexpr const char* kCites =
+    "paper_a paper_b\n"
+    "paper_b paper_c\n"
+    "paper_c paper_d\n"
+    "paper_x paper_a\n"  // dangling: paper_x is not in .content
+    "paper_a paper_a\n";  // self-citation: dropped silently
+
+TEST_F(FormatsTest, PlanetoidParsesContentAndCites) {
+  PlanetoidDataset ds = LoadPlanetoid(Write("cora.content", kContent),
+                                      Write("cora.cites", kCites));
+  EXPECT_EQ(ds.data.graph.num_nodes(), 4u);
+  EXPECT_EQ(ds.data.graph.num_edges(), 3u);
+  EXPECT_TRUE(ds.data.graph.HasEdge(0, 1));
+  EXPECT_TRUE(ds.data.graph.HasEdge(1, 2));
+  EXPECT_TRUE(ds.data.graph.HasEdge(2, 3));
+  EXPECT_EQ(ds.dangling_citations, 1u);
+  EXPECT_EQ(ds.node_names[0], "paper_a");
+  EXPECT_EQ(ds.node_names[3], "paper_d");
+}
+
+TEST_F(FormatsTest, PlanetoidLabelsBecomeCommunities) {
+  PlanetoidDataset ds = LoadPlanetoid(Write("c.content", kContent),
+                                      Write("c.cites", kCites));
+  ASSERT_EQ(ds.label_names.size(), 2u);
+  EXPECT_EQ(ds.label_names[0], "ml");
+  EXPECT_EQ(ds.label_names[1], "db");
+  ASSERT_EQ(ds.data.communities.num_communities(), 2u);
+  EXPECT_EQ(ds.data.communities.members[0], (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(ds.data.communities.members[1], (std::vector<NodeId>{2, 3}));
+}
+
+TEST_F(FormatsTest, PlanetoidAttributesAreNormalized) {
+  PlanetoidDataset ds = LoadPlanetoid(Write("c.content", kContent),
+                                      Write("c.cites", kCites));
+  EXPECT_EQ(ds.data.attributes.num_cols(), 4u);
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_NEAR(ds.data.attributes.RowNormSq(v), 1.0, 1e-12);
+  }
+  // paper_a has words {0, 2}.
+  auto row = ds.data.attributes.Row(0);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0].first, 0u);
+  EXPECT_EQ(row[1].first, 2u);
+}
+
+TEST_F(FormatsTest, PlanetoidRealValuedAttributes) {
+  PlanetoidDataset ds = LoadPlanetoid(
+      Write("p.content", "n1 0.5 0.25 topic\nn2 0 1.5 topic\n"),
+      Write("p.cites", "n1 n2\n"));
+  auto row = ds.data.attributes.Row(0);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_NEAR(row[0].second / row[1].second, 2.0, 1e-12);  // 0.5 : 0.25
+}
+
+TEST_F(FormatsTest, PlanetoidDuplicateIdThrows) {
+  EXPECT_THROW(LoadPlanetoid(Write("d.content", "a 1 x\na 1 x\n"),
+                             Write("d.cites", "")),
+               std::invalid_argument);
+}
+
+TEST_F(FormatsTest, PlanetoidInconsistentAttributeCountThrows) {
+  EXPECT_THROW(LoadPlanetoid(Write("i.content", "a 1 0 x\nb 1 y\n"),
+                             Write("i.cites", "")),
+               std::invalid_argument);
+}
+
+TEST_F(FormatsTest, PlanetoidRowWithoutLabelThrows) {
+  EXPECT_THROW(
+      LoadPlanetoid(Write("s.content", "a 1\n"), Write("s.cites", "")),
+      std::invalid_argument);
+}
+
+TEST_F(FormatsTest, PlanetoidNonNumericAttributeThrows) {
+  EXPECT_THROW(LoadPlanetoid(Write("n.content", "a 1 abc x\n"),
+                             Write("n.cites", "")),
+               std::invalid_argument);
+}
+
+TEST_F(FormatsTest, PlanetoidMissingFileThrows) {
+  EXPECT_THROW(
+      LoadPlanetoid((dir_ / "absent.content").string(), Write("e.cites", "")),
+      std::invalid_argument);
+}
+
+TEST_F(FormatsTest, PlanetoidBadCitesLineThrows) {
+  EXPECT_THROW(LoadPlanetoid(Write("b.content", kContent),
+                             Write("b.cites", "paper_a paper_b paper_c\n")),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// SNAP community graphs.
+
+constexpr const char* kSnapEdges =
+    "# Undirected graph: toy\n"
+    "# FromNodeId\tToNodeId\n"
+    "101\t205\n"
+    "205\t307\n"
+    "307\t101\n"
+    "205\t409\n";
+
+TEST_F(FormatsTest, SnapRemapsIdsInFirstAppearanceOrder) {
+  SnapCommunityDataset ds =
+      LoadSnapCommunityGraph(Write("snap.txt", kSnapEdges));
+  EXPECT_EQ(ds.data.graph.num_nodes(), 4u);
+  EXPECT_EQ(ds.data.graph.num_edges(), 4u);
+  EXPECT_EQ(ds.original_ids,
+            (std::vector<uint64_t>{101, 205, 307, 409}));
+  EXPECT_TRUE(ds.data.graph.HasEdge(0, 1));   // 101-205
+  EXPECT_TRUE(ds.data.graph.HasEdge(1, 3));   // 205-409
+  EXPECT_FALSE(ds.data.graph.HasEdge(0, 3));  // 101-409 absent
+}
+
+TEST_F(FormatsTest, SnapParsesCommunitiesInOriginalIds) {
+  SnapCommunityDataset ds = LoadSnapCommunityGraph(
+      Write("se.txt", kSnapEdges), Write("sc.txt", "101\t205\t307\n409\n"));
+  ASSERT_EQ(ds.data.communities.num_communities(), 2u);
+  EXPECT_EQ(ds.data.communities.members[0], (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(ds.data.communities.members[1], (std::vector<NodeId>{3}));
+  EXPECT_EQ(ds.skipped_members, 0u);
+}
+
+TEST_F(FormatsTest, SnapUnknownCommunityMembersAreSkipped) {
+  SnapCommunityDataset ds = LoadSnapCommunityGraph(
+      Write("se.txt", kSnapEdges), Write("sc.txt", "101\t999\n888\n"));
+  EXPECT_EQ(ds.skipped_members, 2u);
+  // The community that became empty is dropped entirely.
+  ASSERT_EQ(ds.data.communities.num_communities(), 1u);
+  EXPECT_EQ(ds.data.communities.members[0], (std::vector<NodeId>{0}));
+}
+
+TEST_F(FormatsTest, SnapWithoutCommunityFile) {
+  SnapCommunityDataset ds =
+      LoadSnapCommunityGraph(Write("se.txt", kSnapEdges));
+  EXPECT_EQ(ds.data.communities.num_communities(), 0u);
+  EXPECT_EQ(ds.data.communities.node_comms.size(), 4u);
+}
+
+TEST_F(FormatsTest, SnapDuplicateAndSelfEdgesAreCleaned) {
+  SnapCommunityDataset ds = LoadSnapCommunityGraph(
+      Write("sd.txt", "1\t2\n2\t1\n1\t1\n1\t2\n"));
+  EXPECT_EQ(ds.data.graph.num_nodes(), 2u);
+  EXPECT_EQ(ds.data.graph.num_edges(), 1u);
+}
+
+TEST_F(FormatsTest, SnapMalformedLineThrows) {
+  EXPECT_THROW(LoadSnapCommunityGraph(Write("sm.txt", "1 2 3\n")),
+               std::invalid_argument);
+  EXPECT_THROW(LoadSnapCommunityGraph(Write("sn.txt", "1 -2\n")),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// OGB-style CSV.
+
+TEST_F(FormatsTest, CsvLoadsEdgesFeaturesAndLabels) {
+  CsvDataset ds = LoadCsvDataset(
+      Write("edge.csv", "0,1\n1,2\n2,0\n2,3\n"),
+      Write("feat.csv", "1.0,0.0\n0.0,1.0\n0.5,0.5\n0.0,2.0\n"),
+      Write("label.csv", "0\n0\n1\n1\n"));
+  EXPECT_EQ(ds.data.graph.num_nodes(), 4u);
+  EXPECT_EQ(ds.data.graph.num_edges(), 4u);
+  EXPECT_EQ(ds.data.attributes.num_cols(), 2u);
+  EXPECT_NEAR(ds.data.attributes.Dot(0, 1), 0.0, 1e-12);
+  EXPECT_NEAR(ds.data.attributes.Dot(1, 3), 1.0, 1e-12);  // parallel rows
+  ASSERT_EQ(ds.data.communities.num_communities(), 2u);
+  EXPECT_EQ(ds.data.communities.members[0], (std::vector<NodeId>{0, 1}));
+}
+
+TEST_F(FormatsTest, CsvEdgeOnly) {
+  CsvDataset ds = LoadCsvDataset(Write("e.csv", "0,1\n1,2\n"));
+  EXPECT_EQ(ds.data.graph.num_nodes(), 3u);
+  EXPECT_EQ(ds.data.attributes.num_cols(), 0u);
+  EXPECT_TRUE(ds.labels.empty());
+  EXPECT_EQ(ds.data.communities.node_comms.size(), 3u);
+}
+
+TEST_F(FormatsTest, CsvFeatureRowsExtendNodeCount) {
+  // Four feature rows but edges only mention nodes 0-1: n must still be 4.
+  CsvDataset ds = LoadCsvDataset(Write("e.csv", "0,1\n"),
+                                 Write("f.csv", "1\n1\n1\n1\n"));
+  EXPECT_EQ(ds.data.graph.num_nodes(), 4u);
+}
+
+TEST_F(FormatsTest, CsvShortLabelFileCreatesUnlabeledClass) {
+  // Nodes 2-3 are unlabeled; they join a synthetic trailing class.
+  CsvDataset ds = LoadCsvDataset(Write("e.csv", "0,1\n1,2\n2,3\n"),
+                                 "", Write("l.csv", "0\n1\n"));
+  ASSERT_EQ(ds.data.communities.num_communities(), 3u);
+  EXPECT_EQ(ds.data.communities.members[2], (std::vector<NodeId>{2, 3}));
+}
+
+TEST_F(FormatsTest, CsvInconsistentFeatureWidthThrows) {
+  EXPECT_THROW(
+      LoadCsvDataset(Write("e.csv", "0,1\n"), Write("f.csv", "1,2\n1\n")),
+      std::invalid_argument);
+}
+
+TEST_F(FormatsTest, CsvMalformedEdgeThrows) {
+  EXPECT_THROW(LoadCsvDataset(Write("e.csv", "0;1\n")), std::invalid_argument);
+  EXPECT_THROW(LoadCsvDataset(Write("e2.csv", "0,1,2\n")),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// METIS.
+
+TEST_F(FormatsTest, MetisRoundTripUnweighted) {
+  GraphBuilder b(5);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 0);
+  b.AddEdge(1, 3);
+  Graph g = b.Build();
+  SaveMetis(g, (dir_ / "g.metis").string());
+  Graph loaded = LoadMetis((dir_ / "g.metis").string());
+  EXPECT_EQ(loaded.num_nodes(), 5u);
+  EXPECT_EQ(loaded.num_edges(), 6u);
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = 0; v < 5; ++v) {
+      EXPECT_EQ(loaded.HasEdge(u, v), g.HasEdge(u, v));
+    }
+  }
+}
+
+TEST_F(FormatsTest, MetisRoundTripWeighted) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 2.5);
+  b.AddEdge(1, 2, 0.5);
+  Graph g = b.Build(true);
+  SaveMetis(g, (dir_ / "w.metis").string());
+  Graph loaded = LoadMetis((dir_ / "w.metis").string());
+  EXPECT_TRUE(loaded.is_weighted());
+  EXPECT_DOUBLE_EQ(loaded.EdgeWeight(0, 1), 2.5);
+  EXPECT_DOUBLE_EQ(loaded.EdgeWeight(1, 2), 0.5);
+}
+
+TEST_F(FormatsTest, MetisParsesAndDiscardsNodeWeights) {
+  // fmt 010: one vertex weight before each adjacency list.
+  Graph g = LoadMetis(Write("nw.metis",
+                            "3 2 010\n"
+                            "7 2\n"
+                            "9 1 3\n"
+                            "4 2\n"));
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+}
+
+TEST_F(FormatsTest, MetisSkipsPercentComments) {
+  Graph g = LoadMetis(Write("c.metis",
+                            "% a comment\n"
+                            "2 1\n"
+                            "% another\n"
+                            "2\n"
+                            "1\n"));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST_F(FormatsTest, MetisEdgeCountMismatchThrows) {
+  EXPECT_THROW(LoadMetis(Write("m.metis", "2 5\n2\n1\n")),
+               std::invalid_argument);
+}
+
+TEST_F(FormatsTest, MetisNeighborOutOfRangeThrows) {
+  EXPECT_THROW(LoadMetis(Write("r.metis", "2 1\n3\n1\n")),
+               std::invalid_argument);
+  EXPECT_THROW(LoadMetis(Write("z.metis", "2 1\n0\n1\n")),
+               std::invalid_argument);
+}
+
+TEST_F(FormatsTest, MetisTruncatedFileThrows) {
+  EXPECT_THROW(LoadMetis(Write("t.metis", "3 2\n2\n")),
+               std::invalid_argument);
+}
+
+TEST_F(FormatsTest, MetisBadFormatCodeThrows) {
+  EXPECT_THROW(LoadMetis(Write("f.metis", "2 1 2\n2\n1\n")),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Matrix Market.
+
+TEST_F(FormatsTest, MatrixMarketPatternSymmetric) {
+  Graph g = LoadMatrixMarket(
+      Write("p.mtx",
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "% toy adjacency\n"
+            "4 4 4\n"
+            "2 1\n3 2\n4 3\n4 1\n"));
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_FALSE(g.is_weighted());
+  EXPECT_TRUE(g.HasEdge(0, 3));
+}
+
+TEST_F(FormatsTest, MatrixMarketRealGeneralMergesBothTriangles) {
+  Graph g = LoadMatrixMarket(
+      Write("g.mtx",
+            "%%MatrixMarket matrix coordinate real general\n"
+            "3 3 4\n"
+            "1 2 1.5\n2 1 1.5\n2 3 0.25\n3 3 9.0\n"));
+  EXPECT_EQ(g.num_edges(), 2u);  // (1,2) deduped, (3,3) self-loop dropped
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 1.5);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 2), 0.25);
+}
+
+TEST_F(FormatsTest, MatrixMarketConflictingDuplicateThrows) {
+  EXPECT_THROW(LoadMatrixMarket(Write(
+                   "d.mtx",
+                   "%%MatrixMarket matrix coordinate real general\n"
+                   "2 2 2\n"
+                   "1 2 1.0\n2 1 3.0\n")),
+               std::invalid_argument);
+}
+
+TEST_F(FormatsTest, MatrixMarketNonSquareThrows) {
+  EXPECT_THROW(LoadMatrixMarket(
+                   Write("n.mtx",
+                         "%%MatrixMarket matrix coordinate pattern general\n"
+                         "2 3 1\n1 2\n")),
+               std::invalid_argument);
+}
+
+TEST_F(FormatsTest, MatrixMarketBadBannerThrows) {
+  EXPECT_THROW(
+      LoadMatrixMarket(Write("b.mtx", "%%MatrixMarket matrix array real "
+                                      "general\n2 2\n1\n0\n0\n1\n")),
+      std::invalid_argument);
+  EXPECT_THROW(LoadMatrixMarket(Write("c.mtx", "not a banner\n")),
+               std::invalid_argument);
+}
+
+TEST_F(FormatsTest, MatrixMarketTruncatedEntriesThrow) {
+  EXPECT_THROW(LoadMatrixMarket(
+                   Write("t.mtx",
+                         "%%MatrixMarket matrix coordinate pattern general\n"
+                         "3 3 5\n1 2\n")),
+               std::invalid_argument);
+}
+
+TEST_F(FormatsTest, MatrixMarketNonPositiveWeightThrows) {
+  EXPECT_THROW(LoadMatrixMarket(
+                   Write("w.mtx",
+                         "%%MatrixMarket matrix coordinate real symmetric\n"
+                         "2 2 1\n2 1 -1.0\n")),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace laca

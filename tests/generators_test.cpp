@@ -1,0 +1,177 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "eval/metrics.hpp"
+
+namespace laca {
+namespace {
+
+AttributedSbmOptions SmallOptions() {
+  AttributedSbmOptions o;
+  o.num_nodes = 600;
+  o.num_communities = 6;
+  o.avg_degree = 12.0;
+  o.intra_fraction = 0.85;
+  o.attr_dim = 100;
+  o.attr_nnz = 8;
+  o.attr_noise = 0.1;
+  o.topic_dims = 15;
+  o.seed = 5;
+  return o;
+}
+
+TEST(SbmTest, ShapeMatchesOptions) {
+  AttributedSbmOptions o = SmallOptions();
+  AttributedGraph g = GenerateAttributedSbm(o);
+  EXPECT_EQ(g.graph.num_nodes(), o.num_nodes);
+  EXPECT_EQ(g.communities.num_communities(), o.num_communities);
+  EXPECT_EQ(g.attributes.num_rows(), o.num_nodes);
+  EXPECT_EQ(g.attributes.num_cols(), o.attr_dim);
+  double avg_deg = g.graph.TotalVolume() / g.graph.num_nodes();
+  EXPECT_NEAR(avg_deg, o.avg_degree, o.avg_degree * 0.25);
+}
+
+TEST(SbmTest, NoIsolatedNodes) {
+  AttributedGraph g = GenerateAttributedSbm(SmallOptions());
+  for (NodeId v = 0; v < g.graph.num_nodes(); ++v) {
+    EXPECT_GE(g.graph.DegreeCount(v), 1u) << "node " << v;
+  }
+}
+
+TEST(SbmTest, EveryNodeHasACommunity) {
+  AttributedGraph g = GenerateAttributedSbm(SmallOptions());
+  for (NodeId v = 0; v < g.graph.num_nodes(); ++v) {
+    EXPECT_FALSE(g.communities.node_comms[v].empty());
+  }
+  // Members lists are consistent with node_comms.
+  for (uint32_t c = 0; c < g.communities.num_communities(); ++c) {
+    for (NodeId v : g.communities.members[c]) {
+      const auto& cs = g.communities.node_comms[v];
+      EXPECT_NE(std::find(cs.begin(), cs.end(), c), cs.end());
+    }
+  }
+}
+
+TEST(SbmTest, DeterministicForSeed) {
+  AttributedGraph a = GenerateAttributedSbm(SmallOptions());
+  AttributedGraph b = GenerateAttributedSbm(SmallOptions());
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  EXPECT_EQ(a.graph.adjacency(), b.graph.adjacency());
+  EXPECT_EQ(a.attributes.num_nonzeros(), b.attributes.num_nonzeros());
+}
+
+TEST(SbmTest, CommunitiesHaveLowConductance) {
+  AttributedGraph g = GenerateAttributedSbm(SmallOptions());
+  // With intra_fraction 0.85 planted communities must beat random sets.
+  double community_phi = Conductance(g.graph, g.communities.members[0]);
+  EXPECT_LT(community_phi, 0.5);
+}
+
+TEST(SbmTest, LowerIntraFractionRaisesConductance) {
+  AttributedSbmOptions noisy = SmallOptions();
+  noisy.intra_fraction = 0.2;
+  AttributedGraph clean = GenerateAttributedSbm(SmallOptions());
+  AttributedGraph loud = GenerateAttributedSbm(noisy);
+  double phi_clean = Conductance(clean.graph, clean.communities.members[0]);
+  double phi_noisy = Conductance(loud.graph, loud.communities.members[0]);
+  EXPECT_GT(phi_noisy, phi_clean + 0.2);
+}
+
+TEST(SbmTest, AttributesAreHomophilous) {
+  AttributedGraph g = GenerateAttributedSbm(SmallOptions());
+  // Mean cosine within a community should exceed mean cosine across two
+  // different communities by a clear margin.
+  const auto& c0 = g.communities.members[0];
+  const auto& c1 = g.communities.members[1];
+  double intra = 0.0, inter = 0.0;
+  int count = 0;
+  for (size_t i = 0; i + 1 < std::min<size_t>(c0.size(), 40); ++i) {
+    intra += g.attributes.Dot(c0[i], c0[i + 1]);
+    inter += g.attributes.Dot(c0[i], c1[i % c1.size()]);
+    ++count;
+  }
+  EXPECT_GT(intra / count, inter / count + 0.15);
+}
+
+TEST(SbmTest, RowsAreL2Normalized) {
+  AttributedGraph g = GenerateAttributedSbm(SmallOptions());
+  for (NodeId v = 0; v < 50; ++v) {
+    EXPECT_NEAR(g.attributes.RowNormSq(v), 1.0, 1e-9);
+  }
+}
+
+TEST(SbmTest, OverlappingCommunities) {
+  AttributedSbmOptions o = SmallOptions();
+  o.comms_per_node_max = 3;
+  AttributedGraph g = GenerateAttributedSbm(o);
+  size_t multi = 0;
+  for (NodeId v = 0; v < g.graph.num_nodes(); ++v) {
+    multi += g.communities.node_comms[v].size() > 1;
+  }
+  EXPECT_GT(multi, g.graph.num_nodes() / 4u);
+  // Ground truth of an overlapping node is the union of its communities.
+  for (NodeId v = 0; v < g.graph.num_nodes(); ++v) {
+    if (g.communities.node_comms[v].size() > 1) {
+      auto y = g.communities.GroundTruthCluster(v);
+      EXPECT_GT(y.size(), g.communities.members[g.communities.node_comms[v][0]]
+                              .size() /
+                              2);
+      break;
+    }
+  }
+}
+
+TEST(SbmTest, SkewedCommunitySizes) {
+  AttributedSbmOptions o = SmallOptions();
+  o.community_size_skew = 1.0;
+  AttributedGraph g = GenerateAttributedSbm(o);
+  size_t largest = 0, smallest = o.num_nodes;
+  for (const auto& m : g.communities.members) {
+    largest = std::max(largest, m.size());
+    smallest = std::min(smallest, m.size());
+  }
+  EXPECT_GT(largest, smallest * 2);
+}
+
+TEST(SbmTest, NonAttributedMode) {
+  AttributedSbmOptions o = SmallOptions();
+  o.attr_dim = 0;
+  AttributedGraph g = GenerateAttributedSbm(o);
+  EXPECT_EQ(g.attributes.num_cols(), 0u);
+}
+
+TEST(SbmTest, RejectsBadOptions) {
+  AttributedSbmOptions o = SmallOptions();
+  o.num_communities = 0;
+  EXPECT_THROW(GenerateAttributedSbm(o), std::invalid_argument);
+  o = SmallOptions();
+  o.intra_fraction = 1.5;
+  EXPECT_THROW(GenerateAttributedSbm(o), std::invalid_argument);
+  o = SmallOptions();
+  o.num_nodes = 1;
+  EXPECT_THROW(GenerateAttributedSbm(o), std::invalid_argument);
+}
+
+TEST(ErdosRenyiTest, BasicShape) {
+  Graph g = GenerateErdosRenyi(500, 8.0, 3);
+  EXPECT_EQ(g.num_nodes(), 500u);
+  double avg = g.TotalVolume() / g.num_nodes();
+  EXPECT_NEAR(avg, 8.0, 2.0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_GE(g.DegreeCount(v), 1u);
+  }
+}
+
+TEST(BarabasiAlbertTest, PreferentialAttachment) {
+  Graph g = GenerateBarabasiAlbert(2000, 3, 4);
+  EXPECT_EQ(g.num_nodes(), 2000u);
+  // Scale-free graphs develop hubs far above the mean degree.
+  double avg = g.TotalVolume() / g.num_nodes();
+  EXPECT_GT(g.MaxDegree(), avg * 5);
+}
+
+}  // namespace
+}  // namespace laca

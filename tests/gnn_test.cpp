@@ -1,0 +1,207 @@
+#include "core/gnn.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "attr/snas.hpp"
+#include "attr/tnam.hpp"
+#include "core/bdd.hpp"
+#include "core/laca.hpp"
+#include "diffusion/exact.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace laca {
+namespace {
+
+AttributedGraph SmallAttributedGraph(uint64_t seed = 9) {
+  AttributedSbmOptions opts;
+  opts.num_nodes = 60;
+  opts.num_communities = 3;
+  opts.avg_degree = 6.0;
+  opts.attr_dim = 24;
+  opts.attr_nnz = 6;
+  opts.seed = seed;
+  return GenerateAttributedSbm(opts);
+}
+
+TEST(SmoothEmbeddingsTest, MatchesRwrWeightedAverageOfH0) {
+  // H_{u,c} = sum_t pi(u, t) H0_{t,c}: each smoothed row is the RWR-weighted
+  // average of the initial features (Lemma V.6 unrolled).
+  Graph g = Fig4ExampleGraph();
+  const size_t k = 3;
+  DenseMatrix h0(g.num_nodes(), k);
+  for (size_t i = 0; i < g.num_nodes(); ++i) {
+    for (size_t c = 0; c < k; ++c) {
+      h0(i, c) = std::sin(static_cast<double>(i * k + c));  // arbitrary
+    }
+  }
+  GnnSmoothingOptions opts;
+  opts.alpha = 0.8;
+  DenseMatrix h = SmoothEmbeddings(g, h0, opts);
+
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    std::vector<double> pi = ExactRwr(g, u, opts.alpha);
+    for (size_t c = 0; c < k; ++c) {
+      double expected = 0.0;
+      for (NodeId t = 0; t < g.num_nodes(); ++t) expected += pi[t] * h0(t, c);
+      EXPECT_NEAR(h(u, c), expected, 1e-9) << "u=" << u << " c=" << c;
+    }
+  }
+}
+
+TEST(SmoothEmbeddingsTest, SmallAlphaStaysCloseToH0) {
+  Graph g = Fig4ExampleGraph();
+  DenseMatrix h0(g.num_nodes(), 2);
+  for (size_t i = 0; i < g.num_nodes(); ++i) h0(i, 0) = 1.0 + double(i);
+  GnnSmoothingOptions opts;
+  opts.alpha = 0.01;  // barely any smoothing
+  DenseMatrix h = SmoothEmbeddings(g, h0, opts);
+  for (size_t i = 0; i < g.num_nodes(); ++i) {
+    EXPECT_NEAR(h(i, 0), h0(i, 0), 0.25);
+  }
+}
+
+TEST(SmoothEmbeddingsTest, RowsConvergeTowardConsensusAsAlphaGrows) {
+  // More smoothing pulls representations of adjacent nodes together: the
+  // total pairwise spread must shrink monotonically in alpha.
+  Graph g = GenerateErdosRenyi(50, 6.0, 3);
+  DenseMatrix h0(g.num_nodes(), 1);
+  for (size_t i = 0; i < g.num_nodes(); ++i) h0(i, 0) = (i % 2) ? 1.0 : -1.0;
+  double prev_spread = 1e100;
+  for (double alpha : {0.2, 0.5, 0.8, 0.95}) {
+    GnnSmoothingOptions opts;
+    opts.alpha = alpha;
+    DenseMatrix h = SmoothEmbeddings(g, h0, opts);
+    double mean = 0.0;
+    for (size_t i = 0; i < h.rows(); ++i) mean += h(i, 0);
+    mean /= static_cast<double>(h.rows());
+    double spread = 0.0;
+    for (size_t i = 0; i < h.rows(); ++i) {
+      spread += (h(i, 0) - mean) * (h(i, 0) - mean);
+    }
+    EXPECT_LT(spread, prev_spread) << "alpha=" << alpha;
+    prev_spread = spread;
+  }
+}
+
+TEST(SmoothEmbeddingsTest, InvalidInputsThrow) {
+  Graph g = Fig4ExampleGraph();
+  DenseMatrix wrong_rows(3, 2);
+  GnnSmoothingOptions opts;
+  EXPECT_THROW(SmoothEmbeddings(g, wrong_rows, opts), std::invalid_argument);
+  DenseMatrix ok(g.num_nodes(), 2);
+  opts.alpha = 1.0;
+  EXPECT_THROW(SmoothEmbeddings(g, ok, opts), std::invalid_argument);
+  opts.alpha = 0.8;
+  opts.tolerance = 0.0;
+  EXPECT_THROW(SmoothEmbeddings(g, ok, opts), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// The Section V-C identity: rho_t == h(s) . h(t).
+
+TEST(GnnEquivalenceTest, BddViaEmbeddingsMatchesExactBdd) {
+  AttributedGraph data = SmallAttributedGraph();
+  TnamOptions topts;
+  topts.k = 8;
+  Tnam tnam = Tnam::Build(data.attributes, topts);
+
+  GnnSmoothingOptions opts;
+  opts.alpha = 0.8;
+  for (NodeId seed : {NodeId{0}, NodeId{17}, NodeId{42}}) {
+    std::vector<double> via_gnn =
+        BddViaEmbeddings(data.graph, tnam, seed, opts);
+    std::vector<double> exact = ExactBdd(data.graph, tnam, seed, opts.alpha);
+    for (NodeId t = 0; t < data.graph.num_nodes(); ++t) {
+      EXPECT_NEAR(via_gnn[t], exact[t], 1e-8) << "seed=" << seed << " t=" << t;
+    }
+  }
+}
+
+TEST(GnnEquivalenceTest, IdentityFeaturesYieldCoSimRankVariant) {
+  // With H0 = I the smoothed dot product h(s).h(t) equals the BDD under the
+  // identity SNAS — the CoSimRank-style topology-only measure of the
+  // Section II-C remark.
+  Graph g = Fig4ExampleGraph();
+  DenseMatrix identity(g.num_nodes(), g.num_nodes());
+  for (size_t i = 0; i < g.num_nodes(); ++i) identity(i, i) = 1.0;
+  GnnSmoothingOptions opts;
+  opts.alpha = 0.8;
+  DenseMatrix h = SmoothEmbeddings(g, identity, opts);
+
+  IdentitySnas snas;
+  for (NodeId seed : {NodeId{0}, NodeId{5}}) {
+    std::vector<double> exact = ExactBdd(g, snas, seed, opts.alpha);
+    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+      EXPECT_NEAR(h.RowDot(seed, t), exact[t], 1e-9);
+    }
+  }
+}
+
+TEST(GnnEquivalenceTest, LacaRespectsTheoremV4AgainstEmbeddingBdd) {
+  // rho' from LACA must sit in the Theorem V.4 sandwich below the exact
+  // rho computed through the GNN route.
+  AttributedGraph data = SmallAttributedGraph(21);
+  TnamOptions topts;
+  topts.k = 8;
+  Tnam tnam = Tnam::Build(data.attributes, topts);
+  Laca laca(data.graph, &tnam);
+
+  GnnSmoothingOptions gopts;
+  gopts.alpha = 0.8;
+  LacaOptions lopts;
+  lopts.alpha = 0.8;
+  lopts.epsilon = 1e-7;
+
+  // Theorem V.4 bound: (1 + sum_i d(i) max_j s(i,j)) * eps.
+  double bound = 1.0;
+  for (NodeId i = 0; i < data.graph.num_nodes(); ++i) {
+    double max_s = 0.0;
+    for (NodeId j = 0; j < data.graph.num_nodes(); ++j) {
+      max_s = std::max(max_s, tnam.Snas(i, j));
+    }
+    bound += data.graph.Degree(i) * max_s;
+  }
+  bound *= lopts.epsilon;
+
+  for (NodeId seed : {NodeId{3}, NodeId{30}}) {
+    std::vector<double> rho = BddViaEmbeddings(data.graph, tnam, seed, gopts);
+    std::vector<double> approx =
+        laca.ComputeBdd(seed, lopts).bdd.ToDense(data.graph.num_nodes());
+    for (NodeId t = 0; t < data.graph.num_nodes(); ++t) {
+      EXPECT_LE(approx[t], rho[t] + 1e-8) << "t=" << t;
+      EXPECT_LE(rho[t] - approx[t], bound + 1e-8) << "t=" << t;
+    }
+  }
+}
+
+TEST(GnnEquivalenceTest, ScorerMatchesOneShotFunction) {
+  AttributedGraph data = SmallAttributedGraph(33);
+  TnamOptions topts;
+  topts.k = 4;
+  Tnam tnam = Tnam::Build(data.attributes, topts);
+  GnnSmoothingOptions opts;
+  GnnBddScorer scorer(data.graph, tnam, opts);
+  std::vector<double> one_shot = BddViaEmbeddings(data.graph, tnam, 7, opts);
+  std::vector<double> amortized = scorer.Score(7);
+  ASSERT_EQ(one_shot.size(), amortized.size());
+  for (size_t t = 0; t < one_shot.size(); ++t) {
+    EXPECT_DOUBLE_EQ(one_shot[t], amortized[t]);
+  }
+}
+
+TEST(GnnEquivalenceTest, ScorerRejectsBadSeed) {
+  AttributedGraph data = SmallAttributedGraph(45);
+  TnamOptions topts;
+  topts.k = 4;
+  Tnam tnam = Tnam::Build(data.attributes, topts);
+  GnnBddScorer scorer(data.graph, tnam, GnnSmoothingOptions{});
+  EXPECT_THROW(scorer.Score(10'000), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace laca

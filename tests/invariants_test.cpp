@@ -1,0 +1,258 @@
+// Cross-module invariants: the paper's theorems exercised end-to-end through
+// the full LACA pipeline (TNAM -> diffusion -> BDD), parameterized over the
+// knobs the theory quantifies over. Complements the per-module suites, which
+// pin down each component in isolation.
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "attr/tnam.hpp"
+#include "core/gnn.hpp"
+#include "core/laca.hpp"
+#include "diffusion/exact.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace laca {
+namespace {
+
+AttributedGraph SmallDataset(uint64_t seed) {
+  AttributedSbmOptions opts;
+  opts.num_nodes = 150;
+  opts.num_communities = 3;
+  opts.avg_degree = 8.0;
+  opts.attr_dim = 40;
+  opts.attr_nnz = 8;
+  opts.seed = seed;
+  return GenerateAttributedSbm(opts);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem V.4 sandwich over the (alpha, metric) grid.
+
+class LacaSandwichTest
+    : public ::testing::TestWithParam<std::tuple<double, SnasMetric>> {};
+
+TEST_P(LacaSandwichTest, ApproximateBddIsSandwichedUnderExact) {
+  auto [alpha, metric] = GetParam();
+  AttributedGraph data = SmallDataset(101);
+  TnamOptions topts;
+  topts.k = 8;
+  topts.metric = metric;
+  Tnam tnam = Tnam::Build(data.attributes, topts);
+
+  GnnSmoothingOptions gopts;
+  gopts.alpha = alpha;
+  GnnBddScorer exact(data.graph, tnam, gopts);
+
+  Laca laca(data.graph, &tnam);
+  LacaOptions lopts;
+  lopts.alpha = alpha;
+  lopts.epsilon = 1e-6;
+
+  // Theorem V.4 flavor: 0 <= rho_t - rho'_t <= C * eps. The paper states
+  // C = 1 + sum_i d(i) max_j s(i,j) assuming Step 3 runs at threshold eps;
+  // Algo. 4 Line 5 actually scales the Step 3 threshold by ||phi'||_1, which
+  // adds a ||phi'||_1 term to the constant (the error stays O(eps)).
+  double weight = 1.0;
+  for (NodeId i = 0; i < data.graph.num_nodes(); ++i) {
+    double max_s = 0.0;
+    for (NodeId j = 0; j < data.graph.num_nodes(); ++j) {
+      max_s = std::max(max_s, tnam.Snas(i, j));
+    }
+    weight += data.graph.Degree(i) * max_s;
+  }
+
+  for (NodeId seed : {NodeId{4}, NodeId{77}}) {
+    std::vector<double> rho = exact.Score(seed);
+    LacaResult result = laca.ComputeBdd(seed, lopts);
+    const double bound = (weight + result.phi_l1) * lopts.epsilon;
+    std::vector<double> approx = result.bdd.ToDense(data.graph.num_nodes());
+    for (NodeId t = 0; t < data.graph.num_nodes(); ++t) {
+      EXPECT_LE(approx[t] - rho[t], 1e-8)
+          << "alpha=" << alpha << " t=" << t;
+      EXPECT_LE(rho[t] - approx[t], bound + 1e-8)
+          << "alpha=" << alpha << " t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaMetricGrid, LacaSandwichTest,
+    ::testing::Combine(::testing::Values(0.5, 0.8, 0.9),
+                       ::testing::Values(SnasMetric::kCosine,
+                                         SnasMetric::kExpCosine)));
+
+// ---------------------------------------------------------------------------
+// Locality (Lemma IV.3 through Algo. 4): explored volume is O(1/((1-a) eps))
+// and independent of the graph size.
+
+class LacaLocalityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LacaLocalityTest, SupportRespectsTheVolumeBound) {
+  const double epsilon = GetParam();
+  const double alpha = 0.8;
+  AttributedGraph data = SmallDataset(7);
+  TnamOptions topts;
+  topts.k = 8;
+  Tnam tnam = Tnam::Build(data.attributes, topts);
+  Laca laca(data.graph, &tnam);
+  LacaOptions opts;
+  opts.alpha = alpha;
+  opts.epsilon = epsilon;
+
+  LacaResult result = laca.ComputeBdd(3, opts);
+  // Step 1 diffuses a unit vector: |supp(pi')| <= beta/((1-a) eps), beta<=2.
+  EXPECT_LE(static_cast<double>(result.rwr_support),
+            2.0 / ((1.0 - alpha) * epsilon) + 1.0)
+      << "eps=" << epsilon;
+  // Step 3's threshold is scaled by ||phi'||_1, so the same bound holds.
+  EXPECT_LE(static_cast<double>(result.bdd.Size()),
+            2.0 / ((1.0 - alpha) * epsilon) + 1.0)
+      << "eps=" << epsilon;
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsilonSweep, LacaLocalityTest,
+                         ::testing::Values(1e-2, 1e-3, 1e-4, 1e-5));
+
+TEST(LacaLocalityTest, SupportBoundIsGraphSizeIndependent) {
+  // Same eps, graphs 4x apart in size: the Lemma IV.3 cap applies to both
+  // (supports may differ below it, but neither may scale past the bound).
+  const double alpha = 0.8, epsilon = 1e-3;
+  const double cap = 2.0 / ((1.0 - alpha) * epsilon) + 1.0;
+  for (NodeId n : {500u, 2000u, 8000u}) {
+    AttributedSbmOptions gopts;
+    gopts.num_nodes = n;
+    gopts.num_communities = 5;
+    gopts.avg_degree = 10.0;
+    gopts.attr_dim = 32;
+    gopts.seed = 19;
+    AttributedGraph data = GenerateAttributedSbm(gopts);
+    TnamOptions topts;
+    topts.k = 8;
+    Tnam tnam = Tnam::Build(data.attributes, topts);
+    Laca laca(data.graph, &tnam);
+    LacaOptions opts;
+    opts.alpha = alpha;
+    opts.epsilon = epsilon;
+    LacaResult result = laca.ComputeBdd(0, opts);
+    EXPECT_LE(static_cast<double>(result.rwr_support), cap) << "n=" << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline sanity: non-negativity, determinism, mass.
+
+TEST(LacaPipelineTest, BddIsNonNegativeAndDeterministic) {
+  AttributedGraph data = SmallDataset(55);
+  TnamOptions topts;
+  topts.k = 8;
+  Tnam tnam = Tnam::Build(data.attributes, topts);
+  Laca laca(data.graph, &tnam);
+  LacaOptions opts;
+  opts.epsilon = 1e-5;
+
+  LacaResult a = laca.ComputeBdd(10, opts);
+  LacaResult b = laca.ComputeBdd(10, opts);  // engine reuse
+  ASSERT_EQ(a.bdd.Size(), b.bdd.Size());
+  for (size_t i = 0; i < a.bdd.Size(); ++i) {
+    EXPECT_GE(a.bdd.entries()[i].value, 0.0);
+    EXPECT_EQ(a.bdd.entries()[i].index, b.bdd.entries()[i].index);
+    EXPECT_EQ(a.bdd.entries()[i].value, b.bdd.entries()[i].value);
+  }
+}
+
+TEST(LacaPipelineTest, HugeEpsilonYieldsEmptyBddNotAnError) {
+  // With eps >= 1/d(seed) nothing clears the push threshold, pi' is empty,
+  // and the all-zero vector already satisfies Eq. 14. Regression test: this
+  // used to abort inside Step 3 (threshold eps * ||phi'||_1 = 0).
+  AttributedGraph data = SmallDataset(58);
+  TnamOptions topts;
+  topts.k = 8;
+  Tnam tnam = Tnam::Build(data.attributes, topts);
+  Laca laca(data.graph, &tnam);
+  LacaOptions opts;
+  opts.epsilon = 1.0;
+  // Pick a seed with degree > 1 so 1/d(seed) < eps.
+  NodeId seed = 0;
+  while (data.graph.DegreeCount(seed) <= 1) ++seed;
+
+  LacaResult result = laca.ComputeBdd(seed, opts);
+  EXPECT_TRUE(result.bdd.Empty());
+  // Cluster() still answers: the seed plus BFS padding.
+  std::vector<NodeId> cluster = laca.Cluster(seed, 5, opts);
+  EXPECT_EQ(cluster.size(), 5u);
+  EXPECT_EQ(cluster.front(), seed);
+
+  // Same path through the quadratic provider API.
+  ExactCosineSnas snas(data.attributes);
+  EXPECT_TRUE(laca.ComputeBddWithProvider(seed, snas, opts).bdd.Empty());
+}
+
+TEST(LacaPipelineTest, SeparateSolversAgree) {
+  AttributedGraph data = SmallDataset(56);
+  TnamOptions topts;
+  topts.k = 8;
+  Tnam tnam = Tnam::Build(data.attributes, topts);
+  Laca first(data.graph, &tnam);
+  Laca second(data.graph, &tnam);
+  LacaOptions opts;
+  opts.epsilon = 1e-5;
+  EXPECT_EQ(first.Cluster(42, 20, opts), second.Cluster(42, 20, opts));
+}
+
+// ---------------------------------------------------------------------------
+// Weighted RWR symmetry (Lemma 1 of [43], the identity Eq. 8 relies on,
+// extended to weighted degrees).
+
+TEST(WeightedRwrTest, DegreeSymmetryHoldsWithEdgeWeights) {
+  GraphBuilder b(6);
+  b.AddEdge(0, 1, 2.0);
+  b.AddEdge(1, 2, 0.5);
+  b.AddEdge(2, 3, 1.25);
+  b.AddEdge(3, 4, 4.0);
+  b.AddEdge(4, 5, 1.0);
+  b.AddEdge(5, 0, 3.0);
+  b.AddEdge(1, 4, 0.75);
+  Graph g = b.Build(true);
+
+  std::vector<std::vector<double>> pi(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) pi[v] = ExactRwr(g, v, 0.8);
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    for (NodeId j = 0; j < g.num_nodes(); ++j) {
+      EXPECT_NEAR(g.Degree(i) * pi[i][j], g.Degree(j) * pi[j][i], 1e-10)
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TNAM quality: the factorized SNAS stays in the metric's range.
+
+class TnamRangeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TnamRangeTest, FactorizedSnasStaysNearTheUnitInterval) {
+  const int k = GetParam();
+  AttributedGraph data = SmallDataset(77);
+  TnamOptions topts;
+  topts.k = k;
+  Tnam tnam = Tnam::Build(data.attributes, topts);
+  // The rank-k approximation can leak slightly outside [0, 1]; the leak must
+  // stay small or the BDD's interpretation (Section II-B) breaks down.
+  for (NodeId i = 0; i < data.graph.num_nodes(); i += 3) {
+    for (NodeId j = i; j < data.graph.num_nodes(); j += 5) {
+      const double s = tnam.Snas(i, j);
+      EXPECT_GT(s, -0.35) << "i=" << i << " j=" << j << " k=" << k;
+      EXPECT_LT(s, 1.35) << "i=" << i << " j=" << j << " k=" << k;
+      EXPECT_NEAR(s, tnam.Snas(j, i), 1e-12);  // symmetry is exact
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, TnamRangeTest, ::testing::Values(4, 8, 16, 32));
+
+}  // namespace
+}  // namespace laca

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "la/matrix.hpp"
+#include "la/qr.hpp"
+#include "la/randomized_svd.hpp"
+#include "la/svd.hpp"
+
+namespace laca {
+namespace {
+
+DenseMatrix RandomMatrix(size_t m, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix a(m, n);
+  for (double& v : a.data()) v = rng.Normal();
+  return a;
+}
+
+double MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b) {
+  double worst = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      worst = std::max(worst, std::abs(a(i, j) - b(i, j)));
+    }
+  }
+  return worst;
+}
+
+TEST(MatrixTest, MultiplyMatchesHandComputation) {
+  DenseMatrix a(2, 3), b(3, 2);
+  double av[] = {1, 2, 3, 4, 5, 6};
+  double bv[] = {7, 8, 9, 10, 11, 12};
+  a.data().assign(av, av + 6);
+  b.data().assign(bv, bv + 6);
+  DenseMatrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(MatrixTest, TransposedMultiplyAgreesWithExplicitTranspose) {
+  DenseMatrix a = RandomMatrix(7, 4, 1);
+  DenseMatrix b = RandomMatrix(7, 5, 2);
+  DenseMatrix direct = a.TransposedMultiply(b);
+  DenseMatrix viaT = a.Transposed().Multiply(b);
+  EXPECT_LT(MaxAbsDiff(direct, viaT), 1e-12);
+}
+
+TEST(MatrixTest, DimensionMismatchThrows) {
+  DenseMatrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a.Multiply(b), std::invalid_argument);
+}
+
+TEST(MatrixTest, ConcatColumns) {
+  DenseMatrix a(2, 1), b(2, 2);
+  a(0, 0) = 1;
+  a(1, 0) = 2;
+  b(0, 0) = 3;
+  b(0, 1) = 4;
+  DenseMatrix c = a.ConcatColumns(b);
+  EXPECT_EQ(c.cols(), 3u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c(0, 2), 4.0);
+}
+
+TEST(QrTest, ReconstructsInput) {
+  DenseMatrix a = RandomMatrix(10, 4, 3);
+  QrResult qr = HouseholderQr(a);
+  DenseMatrix recon = qr.q.Multiply(qr.r);
+  EXPECT_LT(MaxAbsDiff(recon, a), 1e-10);
+}
+
+TEST(QrTest, QHasOrthonormalColumns) {
+  DenseMatrix a = RandomMatrix(20, 6, 4);
+  DenseMatrix q = QrOrthonormal(a);
+  DenseMatrix gram = q.TransposedMultiply(q);
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(gram(i, j), i == j ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(QrTest, RIsUpperTriangular) {
+  DenseMatrix a = RandomMatrix(8, 5, 5);
+  QrResult qr = HouseholderQr(a);
+  for (size_t i = 1; i < 5; ++i) {
+    for (size_t j = 0; j < i; ++j) EXPECT_DOUBLE_EQ(qr.r(i, j), 0.0);
+  }
+}
+
+TEST(QrTest, RejectsWideMatrix) {
+  DenseMatrix a(2, 5);
+  EXPECT_THROW(HouseholderQr(a), std::invalid_argument);
+}
+
+TEST(SvdTest, ReconstructsInput) {
+  DenseMatrix a = RandomMatrix(12, 5, 6);
+  SvdResult svd = JacobiSvd(a);
+  // recon = U diag(sigma) V^T
+  DenseMatrix us = svd.u;
+  for (size_t i = 0; i < us.rows(); ++i) {
+    for (size_t j = 0; j < us.cols(); ++j) us(i, j) *= svd.sigma[j];
+  }
+  DenseMatrix recon = us.Multiply(svd.v.Transposed());
+  EXPECT_LT(MaxAbsDiff(recon, a), 1e-9);
+}
+
+TEST(SvdTest, SingularValuesSortedAndNonNegative) {
+  DenseMatrix a = RandomMatrix(9, 6, 7);
+  SvdResult svd = JacobiSvd(a);
+  for (size_t j = 0; j + 1 < svd.sigma.size(); ++j) {
+    EXPECT_GE(svd.sigma[j], svd.sigma[j + 1]);
+  }
+  EXPECT_GE(svd.sigma.back(), 0.0);
+}
+
+TEST(SvdTest, KnownDiagonalCase) {
+  DenseMatrix a(3, 3);
+  a(0, 0) = 3.0;
+  a(1, 1) = 1.0;
+  a(2, 2) = 2.0;
+  SvdResult svd = JacobiSvd(a);
+  EXPECT_NEAR(svd.sigma[0], 3.0, 1e-12);
+  EXPECT_NEAR(svd.sigma[1], 2.0, 1e-12);
+  EXPECT_NEAR(svd.sigma[2], 1.0, 1e-12);
+}
+
+TEST(SvdTest, OrthonormalFactors) {
+  DenseMatrix a = RandomMatrix(10, 4, 8);
+  SvdResult svd = JacobiSvd(a);
+  DenseMatrix utu = svd.u.TransposedMultiply(svd.u);
+  DenseMatrix vtv = svd.v.TransposedMultiply(svd.v);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(utu(i, j), i == j ? 1.0 : 0.0, 1e-9);
+      EXPECT_NEAR(vtv(i, j), i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+// Builds a sparse attribute matrix with known low rank by mixing r "topic"
+// rows.
+AttributeMatrix LowRankSparse(NodeId n, uint32_t d, int rank, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<AttributeMatrix::Entry>> topics(rank);
+  for (auto& t : topics) {
+    for (int k = 0; k < 6; ++k) {
+      t.emplace_back(static_cast<uint32_t>(rng.UniformInt(d)),
+                     1.0 + rng.Uniform());
+    }
+  }
+  AttributeMatrix x(n, d);
+  for (NodeId i = 0; i < n; ++i) {
+    const auto& t = topics[rng.UniformInt(rank)];
+    std::vector<AttributeMatrix::Entry> row = t;
+    double scale = 0.5 + rng.Uniform();  // per-row scale keeps the rank
+    for (auto& e : row) e.second *= scale;
+    x.SetRow(i, std::move(row));
+  }
+  x.Normalize();
+  return x;
+}
+
+TEST(RandomizedSvdTest, SparseProductsMatchDense) {
+  AttributeMatrix x = LowRankSparse(30, 20, 3, 9);
+  DenseMatrix b = RandomMatrix(20, 4, 10);
+  DenseMatrix xb = SparseTimesDense(x, b);
+  // Dense check.
+  for (NodeId i = 0; i < 30; ++i) {
+    std::vector<double> row = x.DenseRow(i);
+    for (size_t j = 0; j < 4; ++j) {
+      double acc = 0.0;
+      for (uint32_t c = 0; c < 20; ++c) acc += row[c] * b(c, j);
+      EXPECT_NEAR(xb(i, j), acc, 1e-12);
+    }
+  }
+}
+
+TEST(RandomizedSvdTest, RecoversLowRankExactly) {
+  // Matrix has true rank 3; a rank-5 randomized SVD must nail it.
+  AttributeMatrix x = LowRankSparse(60, 40, 3, 11);
+  KSvdOptions opts;
+  opts.rank = 5;
+  KSvdResult svd = RandomizedKSvd(x, opts);
+  EXPECT_NEAR(svd.sigma[3], 0.0, 1e-8);
+  EXPECT_NEAR(svd.sigma[4], 0.0, 1e-8);
+  // Reconstruction: X ~= U S V^T entrywise.
+  DenseMatrix us = svd.u;
+  for (size_t i = 0; i < us.rows(); ++i) {
+    for (size_t j = 0; j < us.cols(); ++j) us(i, j) *= svd.sigma[j];
+  }
+  DenseMatrix recon = us.Multiply(svd.v.Transposed());
+  for (NodeId i = 0; i < 60; ++i) {
+    std::vector<double> row = x.DenseRow(i);
+    for (uint32_t c = 0; c < 40; ++c) {
+      EXPECT_NEAR(recon(i, c), row[c], 1e-7);
+    }
+  }
+}
+
+TEST(RandomizedSvdTest, GramErrorBoundedBySquaredTailSingularValue) {
+  // Lemma V.1: ||U L^2 U^T - X X^T||_2 <= lambda_{k+1}^2. We check the
+  // looser Frobenius-style entrywise consequence on a general matrix.
+  AttributeMatrix x = LowRankSparse(50, 30, 8, 12);
+  KSvdOptions full_opts;
+  full_opts.rank = 30;
+  KSvdResult full = RandomizedKSvd(x, full_opts);
+
+  const int k = 4;
+  KSvdOptions opts;
+  opts.rank = k;
+  KSvdResult trunc = RandomizedKSvd(x, opts);
+  double lam_next_sq = full.sigma[k] * full.sigma[k];
+
+  // Spectral norm upper-bounds max |entry| difference of the Gram matrices.
+  for (NodeId i = 0; i < 50; i += 7) {
+    for (NodeId j = 0; j < 50; j += 7) {
+      double exact = x.Dot(i, j);
+      double approx = 0.0;
+      for (int t = 0; t < k; ++t) {
+        approx +=
+            trunc.u(i, t) * trunc.sigma[t] * trunc.sigma[t] * trunc.u(j, t);
+      }
+      EXPECT_LE(std::abs(exact - approx), lam_next_sq + 1e-8);
+    }
+  }
+}
+
+TEST(RandomizedSvdTest, RankCappedAtMinDimension) {
+  AttributeMatrix x = LowRankSparse(10, 6, 2, 13);
+  KSvdOptions opts;
+  opts.rank = 32;  // > min(n, d)
+  KSvdResult svd = RandomizedKSvd(x, opts);
+  EXPECT_EQ(svd.u.cols(), 6u);
+  EXPECT_EQ(svd.sigma.size(), 6u);
+}
+
+TEST(RandomizedSvdTest, DeterministicForSeed) {
+  AttributeMatrix x = LowRankSparse(40, 25, 4, 14);
+  KSvdOptions opts;
+  opts.rank = 4;
+  KSvdResult a = RandomizedKSvd(x, opts);
+  KSvdResult b = RandomizedKSvd(x, opts);
+  EXPECT_EQ(a.sigma, b.sigma);
+}
+
+}  // namespace
+}  // namespace laca

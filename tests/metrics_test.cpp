@@ -1,0 +1,107 @@
+#include "eval/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+
+namespace laca {
+namespace {
+
+TEST(MetricsTest, PrecisionRecallF1HandComputed) {
+  std::vector<NodeId> cluster = {0, 1, 2, 3};
+  std::vector<NodeId> truth = {2, 3, 4, 5, 6, 7};
+  EXPECT_DOUBLE_EQ(Precision(cluster, truth), 0.5);    // 2 of 4
+  EXPECT_DOUBLE_EQ(Recall(cluster, truth), 2.0 / 6.0); // 2 of 6
+  double p = 0.5, r = 2.0 / 6.0;
+  EXPECT_DOUBLE_EQ(F1Score(cluster, truth), 2 * p * r / (p + r));
+}
+
+TEST(MetricsTest, PerfectAndEmptyCases) {
+  std::vector<NodeId> cluster = {1, 2};
+  std::vector<NodeId> same = {1, 2};
+  EXPECT_DOUBLE_EQ(Precision(cluster, same), 1.0);
+  EXPECT_DOUBLE_EQ(Recall(cluster, same), 1.0);
+  EXPECT_DOUBLE_EQ(F1Score(cluster, same), 1.0);
+  std::vector<NodeId> empty;
+  EXPECT_DOUBLE_EQ(Precision(empty, same), 0.0);
+  EXPECT_DOUBLE_EQ(Recall(cluster, empty), 0.0);
+  EXPECT_DOUBLE_EQ(F1Score(empty, empty), 0.0);
+}
+
+TEST(MetricsTest, ConductanceHandComputed) {
+  // Two triangles joined by one bridge edge: {0,1,2} has volume 7
+  // (degrees 3,2,2), cut 1 -> conductance 1/7.
+  GraphBuilder b(6);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 5);
+  b.AddEdge(3, 5);
+  b.AddEdge(0, 3);
+  Graph g = b.Build();
+  std::vector<NodeId> left = {0, 1, 2};
+  EXPECT_DOUBLE_EQ(Conductance(g, left), 1.0 / 7.0);
+  // Complement has the same cut and volume by symmetry.
+  std::vector<NodeId> right = {3, 4, 5};
+  EXPECT_DOUBLE_EQ(Conductance(g, right), 1.0 / 7.0);
+}
+
+TEST(MetricsTest, ConductanceDegenerateCases) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  Graph g = b.Build();
+  std::vector<NodeId> empty;
+  EXPECT_DOUBLE_EQ(Conductance(g, empty), 1.0);
+  std::vector<NodeId> all = {0, 1, 2};
+  EXPECT_DOUBLE_EQ(Conductance(g, all), 1.0);  // complement volume 0
+  std::vector<NodeId> isolated_end = {0};
+  EXPECT_DOUBLE_EQ(Conductance(g, isolated_end), 1.0);  // cut 1 / vol 1
+}
+
+TEST(MetricsTest, WeightedConductance) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 4.0);
+  b.AddEdge(1, 2, 1.0);
+  Graph g = b.Build(/*weighted=*/true);
+  // C = {0, 1}: volume = 4 + 5 = 9, cut = 1, complement volume = 1.
+  std::vector<NodeId> c = {0, 1};
+  EXPECT_DOUBLE_EQ(Conductance(g, c), 1.0 / 1.0);
+}
+
+TEST(MetricsTest, WcssHandComputed) {
+  AttributeMatrix x(3, 2);
+  x.SetRow(0, {{0, 1.0}});
+  x.SetRow(1, {{1, 1.0}});
+  x.SetRow(2, {{0, 1.0}});
+  // No Normalize: rows are already unit.
+  // Cluster {0, 1}: mu = (0.5, 0.5); each row is at squared distance 0.5.
+  std::vector<NodeId> c01 = {0, 1};
+  EXPECT_NEAR(Wcss(x, c01), 0.5, 1e-12);
+  // Cluster {0, 2}: identical rows -> WCSS 0.
+  std::vector<NodeId> c02 = {0, 2};
+  EXPECT_NEAR(Wcss(x, c02), 0.0, 1e-12);
+}
+
+TEST(MetricsTest, WcssEmptyCluster) {
+  AttributeMatrix x(2, 2);
+  std::vector<NodeId> empty;
+  EXPECT_DOUBLE_EQ(Wcss(x, empty), 0.0);
+}
+
+TEST(MetricsTest, WcssBoundedForNormalizedRows) {
+  AttributeMatrix x(4, 8);
+  x.SetRow(0, {{0, 1.0}, {1, 1.0}});
+  x.SetRow(1, {{2, 1.0}, {3, 1.0}});
+  x.SetRow(2, {{4, 1.0}, {5, 1.0}});
+  x.SetRow(3, {{6, 1.0}, {7, 1.0}});
+  x.Normalize();
+  std::vector<NodeId> all = {0, 1, 2, 3};
+  double w = Wcss(x, all);
+  EXPECT_GT(w, 0.0);
+  EXPECT_LE(w, 1.0);  // mean ||x||^2 = 1, minus ||mu||^2 >= 0
+}
+
+}  // namespace
+}  // namespace laca

@@ -1,0 +1,267 @@
+#include "diffusion/montecarlo.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "diffusion/exact.hpp"
+#include "diffusion/push.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace laca {
+namespace {
+
+Graph WeightedPath() {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1, 3.0);
+  b.AddEdge(1, 2, 1.0);
+  b.AddEdge(2, 3, 2.0);
+  return b.Build(true);
+}
+
+// ---------------------------------------------------------------------------
+// QueuePush.
+
+/// Parameterized over (alpha, epsilon): the Eq. 14 sandwich and the mass
+/// invariant must hold on a noisy SBM for every combination.
+class QueuePushPropertyTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(QueuePushPropertyTest, SandwichAndMassInvariants) {
+  auto [alpha, epsilon] = GetParam();
+  AttributedSbmOptions gopts;
+  gopts.num_nodes = 300;
+  gopts.num_communities = 5;
+  gopts.avg_degree = 8.0;
+  gopts.attr_dim = 0;
+  gopts.seed = 33;
+  Graph g = GenerateAttributedSbm(gopts).graph;
+
+  SparseVector f = SparseVector::Unit(7);
+  QueuePushOptions opts;
+  opts.alpha = alpha;
+  opts.epsilon = epsilon;
+  QueuePushResult result = QueuePush(g, f, opts);
+
+  // Mass conservation (Eq. 23): ||q||_1 + ||r||_1 == ||f||_1.
+  EXPECT_NEAR(result.reserve.L1Norm() + result.residual.L1Norm(), 1.0, 1e-9);
+
+  // Every leftover residual is below the push threshold.
+  for (const auto& e : result.residual.entries()) {
+    EXPECT_LT(e.value, epsilon * g.Degree(e.index) + 1e-15);
+  }
+
+  // Eq. 14: 0 <= pi(t) - q_t <= eps * d(t) for every node.
+  std::vector<double> exact = ExactDiffuse(g, f, alpha);
+  std::vector<double> q = result.reserve.ToDense(g.num_nodes());
+  for (NodeId t = 0; t < g.num_nodes(); ++t) {
+    EXPECT_GE(exact[t] - q[t], -1e-9) << "t=" << t;
+    EXPECT_LE(exact[t] - q[t], epsilon * g.Degree(t) + 1e-9) << "t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaEpsilonGrid, QueuePushPropertyTest,
+    ::testing::Combine(::testing::Values(0.5, 0.8, 0.9),
+                       ::testing::Values(1e-3, 1e-5, 1e-7)));
+
+TEST(QueuePushTest, WeightedGraphSandwich) {
+  Graph g = WeightedPath();
+  QueuePushOptions opts;
+  opts.epsilon = 1e-8;
+  QueuePushResult result = QueuePush(g, SparseVector::Unit(0), opts);
+  std::vector<double> exact = ExactDiffuse(g, SparseVector::Unit(0), 0.8);
+  std::vector<double> q = result.reserve.ToDense(4);
+  for (NodeId t = 0; t < 4; ++t) {
+    EXPECT_GE(exact[t] - q[t], -1e-12);
+    EXPECT_LE(exact[t] - q[t], opts.epsilon * g.Degree(t) + 1e-12);
+  }
+}
+
+TEST(QueuePushTest, GeneralInputVector) {
+  Graph g = Fig4ExampleGraph();
+  SparseVector f;
+  f.Add(0, 0.4);
+  f.Add(1, 0.6);
+  QueuePushOptions opts;
+  opts.epsilon = 1e-6;
+  QueuePushResult result = QueuePush(g, f, opts);
+  EXPECT_NEAR(result.reserve.L1Norm() + result.residual.L1Norm(), 1.0, 1e-9);
+  EXPECT_GT(result.pushes, 0u);
+  EXPECT_GT(result.edge_work, 0u);
+}
+
+TEST(QueuePushTest, LargeEpsilonPushesNothing) {
+  Graph g = Fig4ExampleGraph();
+  QueuePushOptions opts;
+  opts.epsilon = 10.0;  // threshold above any residual
+  QueuePushResult result = QueuePush(g, SparseVector::Unit(0), opts);
+  EXPECT_EQ(result.pushes, 0u);
+  EXPECT_TRUE(result.reserve.Empty());
+  EXPECT_NEAR(result.residual.L1Norm(), 1.0, 1e-12);
+}
+
+TEST(QueuePushTest, InvalidInputsThrow) {
+  Graph g = Fig4ExampleGraph();
+  QueuePushOptions opts;
+  opts.alpha = 1.0;
+  EXPECT_THROW(QueuePush(g, SparseVector::Unit(0), opts),
+               std::invalid_argument);
+  opts.alpha = 0.8;
+  opts.epsilon = 0.0;
+  EXPECT_THROW(QueuePush(g, SparseVector::Unit(0), opts),
+               std::invalid_argument);
+  opts.epsilon = 1e-4;
+  SparseVector negative;
+  negative.Add(0, -0.5);
+  EXPECT_THROW(QueuePush(g, negative, opts), std::invalid_argument);
+  SparseVector out_of_range;
+  out_of_range.Add(99, 1.0);
+  EXPECT_THROW(QueuePush(g, out_of_range, opts), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// MonteCarloRwr.
+
+TEST(MonteCarloRwrTest, EstimateSumsToOne) {
+  Graph g = Fig4ExampleGraph();
+  MonteCarloOptions opts;
+  opts.num_walks = 10'000;
+  SparseVector pi = MonteCarloRwr(g, 0, opts);
+  EXPECT_NEAR(pi.Sum(), 1.0, 1e-12);  // every walk ends somewhere
+}
+
+TEST(MonteCarloRwrTest, ConvergesToExactRwr) {
+  AttributedSbmOptions gopts;
+  gopts.num_nodes = 200;
+  gopts.num_communities = 4;
+  gopts.avg_degree = 10.0;
+  gopts.attr_dim = 0;
+  gopts.seed = 5;
+  Graph g = GenerateAttributedSbm(gopts).graph;
+
+  MonteCarloOptions opts;
+  opts.num_walks = 400'000;
+  opts.seed = 99;
+  SparseVector estimate = MonteCarloRwr(g, 3, opts);
+  std::vector<double> exact = ExactRwr(g, 3, opts.alpha);
+  std::vector<double> dense = estimate.ToDense(g.num_nodes());
+  for (NodeId t = 0; t < g.num_nodes(); ++t) {
+    // 5-sigma band of the binomial estimator.
+    double sigma = std::sqrt(exact[t] * (1.0 - exact[t]) /
+                             static_cast<double>(opts.num_walks));
+    EXPECT_NEAR(dense[t], exact[t], 5.0 * sigma + 1e-6) << "t=" << t;
+  }
+}
+
+TEST(MonteCarloRwrTest, DeterministicGivenSeed) {
+  Graph g = GenerateErdosRenyi(100, 6.0, 21);
+  MonteCarloOptions opts;
+  opts.num_walks = 5'000;
+  opts.seed = 42;
+  SparseVector a = MonteCarloRwr(g, 0, opts);
+  SparseVector b = MonteCarloRwr(g, 0, opts);
+  ASSERT_EQ(a.Size(), b.Size());
+  for (size_t i = 0; i < a.Size(); ++i) {
+    EXPECT_EQ(a.entries()[i].index, b.entries()[i].index);
+    EXPECT_EQ(a.entries()[i].value, b.entries()[i].value);
+  }
+}
+
+TEST(MonteCarloRwrTest, WeightedWalksFollowEdgeWeights) {
+  // Star with one heavy edge: walks from the hub should end at the heavy
+  // neighbor far more often than at the light one.
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 99.0);
+  b.AddEdge(0, 2, 1.0);
+  Graph g = b.Build(true);
+  MonteCarloOptions opts;
+  opts.num_walks = 50'000;
+  opts.alpha = 0.5;
+  SparseVector pi = MonteCarloRwr(g, 0, opts);
+  EXPECT_GT(pi.ValueAt(1), 10.0 * pi.ValueAt(2));
+}
+
+TEST(MonteCarloRwrTest, InvalidInputsThrow) {
+  Graph g = Fig4ExampleGraph();
+  MonteCarloOptions opts;
+  EXPECT_THROW(MonteCarloRwr(g, 1000, opts), std::invalid_argument);
+  opts.num_walks = 0;
+  EXPECT_THROW(MonteCarloRwr(g, 0, opts), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// ForaDiffuse.
+
+TEST(ForaDiffuseTest, ConvergesToExactRwr) {
+  AttributedSbmOptions gopts;
+  gopts.num_nodes = 200;
+  gopts.num_communities = 4;
+  gopts.avg_degree = 10.0;
+  gopts.attr_dim = 0;
+  gopts.seed = 6;
+  Graph g = GenerateAttributedSbm(gopts).graph;
+
+  ForaOptions opts;
+  opts.push_epsilon = 1e-3;
+  opts.walks_per_residual_unit = 2e5;
+  opts.seed = 31;
+  SparseVector estimate = ForaDiffuse(g, 11, opts);
+  std::vector<double> exact = ExactRwr(g, 11, opts.alpha);
+  std::vector<double> dense = estimate.ToDense(g.num_nodes());
+  for (NodeId t = 0; t < g.num_nodes(); ++t) {
+    EXPECT_NEAR(dense[t], exact[t], 5e-3) << "t=" << t;
+  }
+}
+
+TEST(ForaDiffuseTest, TighterThanPlainMonteCarloAtSameSeed) {
+  // With a strong push phase, FORA's randomized part handles only the
+  // leftover residual mass, so its worst-node error should generally beat
+  // plain MC with a comparable number of walks.
+  Graph g = GenerateErdosRenyi(150, 8.0, 77);
+  std::vector<double> exact = ExactRwr(g, 0, 0.8);
+
+  MonteCarloOptions mc;
+  mc.num_walks = 20'000;
+  mc.seed = 3;
+  std::vector<double> mc_est = MonteCarloRwr(g, 0, mc).ToDense(150);
+
+  ForaOptions fora;
+  fora.push_epsilon = 1e-4;
+  fora.walks_per_residual_unit = 20'000.0;  // ~<= 20k walks on the residual
+  fora.seed = 3;
+  std::vector<double> fora_est = ForaDiffuse(g, 0, fora).ToDense(150);
+
+  double mc_err = 0.0, fora_err = 0.0;
+  for (NodeId t = 0; t < 150; ++t) {
+    mc_err = std::max(mc_err, std::abs(mc_est[t] - exact[t]));
+    fora_err = std::max(fora_err, std::abs(fora_est[t] - exact[t]));
+  }
+  EXPECT_LT(fora_err, mc_err);
+}
+
+TEST(ForaDiffuseTest, MassIsApproximatelyConserved) {
+  Graph g = Fig4ExampleGraph();
+  ForaOptions opts;
+  opts.push_epsilon = 1e-2;
+  opts.walks_per_residual_unit = 1e4;
+  SparseVector pi = ForaDiffuse(g, 0, opts);
+  // Reserve mass is exact; residual mass is redistributed by whole walks, so
+  // the total stays 1 up to the per-walk rounding of ceil().
+  EXPECT_NEAR(pi.Sum(), 1.0, 1e-3);
+}
+
+TEST(ForaDiffuseTest, InvalidInputsThrow) {
+  Graph g = Fig4ExampleGraph();
+  ForaOptions opts;
+  EXPECT_THROW(ForaDiffuse(g, 1000, opts), std::invalid_argument);
+  opts.walks_per_residual_unit = 0.0;
+  EXPECT_THROW(ForaDiffuse(g, 0, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace laca

@@ -1,0 +1,84 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/datasets.hpp"
+#include "eval/runner.hpp"
+
+namespace laca {
+namespace {
+
+// A small dataset keeps these integration tests fast; the methods chosen
+// cover one representative of each Table IV category.
+const char* kDataset = "cora-sim";
+
+TEST(ParallelEvalTest, MatchesSerialResults) {
+  const Dataset& ds = GetDataset(kDataset);
+  std::vector<NodeId> seeds = SampleSeeds(ds, 5);
+  std::vector<std::string> methods = {"PR-Nibble", "Jaccard", "SimAttr (C)",
+                                      "LACA (C)"};
+
+  std::vector<MethodEvaluation> parallel =
+      EvaluateMethodsParallel(ds, methods, seeds, 4);
+  ASSERT_EQ(parallel.size(), methods.size());
+  for (size_t i = 0; i < methods.size(); ++i) {
+    MethodEvaluation serial = EvaluateByName(ds, methods[i], seeds);
+    EXPECT_EQ(parallel[i].method, methods[i]);
+    EXPECT_DOUBLE_EQ(parallel[i].precision, serial.precision) << methods[i];
+    EXPECT_DOUBLE_EQ(parallel[i].recall, serial.recall) << methods[i];
+    EXPECT_DOUBLE_EQ(parallel[i].conductance, serial.conductance)
+        << methods[i];
+    EXPECT_EQ(parallel[i].seeds_evaluated, serial.seeds_evaluated);
+  }
+}
+
+TEST(ParallelEvalTest, PreservesMethodOrder) {
+  const Dataset& ds = GetDataset(kDataset);
+  std::vector<NodeId> seeds = SampleSeeds(ds, 2);
+  std::vector<std::string> methods = {"LACA (w/o SNAS)", "PR-Nibble",
+                                      "Common-Nbrs"};
+  std::vector<MethodEvaluation> results =
+      EvaluateMethodsParallel(ds, methods, seeds, 2);
+  ASSERT_EQ(results.size(), 3u);
+  for (size_t i = 0; i < methods.size(); ++i) {
+    EXPECT_EQ(results[i].method, methods[i]);
+  }
+}
+
+TEST(ParallelEvalTest, SingleThreadWorks) {
+  const Dataset& ds = GetDataset(kDataset);
+  std::vector<NodeId> seeds = SampleSeeds(ds, 2);
+  std::vector<std::string> methods = {"PR-Nibble"};
+  std::vector<MethodEvaluation> results =
+      EvaluateMethodsParallel(ds, methods, seeds, 1);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GT(results[0].seeds_evaluated, 0u);
+}
+
+TEST(ParallelEvalTest, UnknownMethodPropagatesException) {
+  const Dataset& ds = GetDataset(kDataset);
+  std::vector<NodeId> seeds = SampleSeeds(ds, 1);
+  std::vector<std::string> methods = {"PR-Nibble", "not-a-method"};
+  EXPECT_THROW(EvaluateMethodsParallel(ds, methods, seeds, 2),
+               std::invalid_argument);
+}
+
+TEST(ParallelEvalTest, ExtractionVariantsConstructAndGate) {
+  const Dataset& small = GetDataset(kDataset);
+  const std::vector<std::string> names = {
+      "Node2Vec (SC)", "Node2Vec (DBSCAN)", "PANE (SC)", "CFANE (DBSCAN)"};
+  for (const std::string& name : names) {
+    auto method = MakeMethod(name);
+    EXPECT_EQ(method->name(), name);
+    EXPECT_TRUE(method->Supports(small)) << name;
+  }
+  // The all-pairs extractions are gated on large graphs.
+  const Dataset& large = GetDataset("arxiv-sim");
+  EXPECT_FALSE(MakeMethod("Node2Vec (SC)")->Supports(large));
+  EXPECT_FALSE(MakeMethod("PANE (DBSCAN)")->Supports(large));
+  EXPECT_TRUE(MakeMethod("PANE")->Supports(large));
+}
+
+}  // namespace
+}  // namespace laca

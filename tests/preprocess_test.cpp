@@ -1,0 +1,133 @@
+#include "attr/preprocess.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace laca {
+namespace {
+
+AttributeMatrix SmallCorpus() {
+  // 4 documents, 5 terms. Term 0 appears everywhere (stop word), term 4
+  // nowhere, term 3 only in document 3 (rare).
+  AttributeMatrix x(4, 5);
+  x.SetRow(0, {{0, 2.0}, {1, 1.0}});
+  x.SetRow(1, {{0, 1.0}, {1, 3.0}, {2, 1.0}});
+  x.SetRow(2, {{0, 4.0}, {2, 2.0}});
+  x.SetRow(3, {{0, 1.0}, {3, 5.0}});
+  return x;
+}
+
+TEST(DocumentFrequenciesTest, CountsRowsPerColumn) {
+  EXPECT_EQ(DocumentFrequencies(SmallCorpus()),
+            (std::vector<uint32_t>{4, 2, 2, 1, 0}));
+}
+
+TEST(BinarizeTest, ReplacesValuesWithOnes) {
+  AttributeMatrix b = Binarize(SmallCorpus());
+  EXPECT_EQ(b.num_nonzeros(), SmallCorpus().num_nonzeros());
+  for (NodeId i = 0; i < b.num_rows(); ++i) {
+    for (const auto& [col, val] : b.Row(i)) EXPECT_EQ(val, 1.0);
+  }
+}
+
+TEST(TfIdfTest, PlainIdfMatchesDefinition) {
+  TfIdfOptions opts;
+  opts.smooth_idf = false;
+  AttributeMatrix w = TfIdf(SmallCorpus(), opts);
+  // Term 1 has df = 2, n = 4: idf = log(2). Document 1 has tf = 3. The
+  // stop-word column 0 vanished, so column 1 is document 1's first entry.
+  ASSERT_EQ(w.Row(1)[0].first, 1u);
+  EXPECT_NEAR(w.Row(1)[0].second, 3.0 * std::log(2.0), 1e-12);
+  // Term 0 appears in all documents: idf = log(1) = 0, entries vanish.
+  for (NodeId i = 0; i < 4; ++i) {
+    for (const auto& [col, val] : w.Row(i)) EXPECT_NE(col, 0u);
+  }
+}
+
+TEST(TfIdfTest, SmoothIdfMatchesDefinition) {
+  AttributeMatrix w = TfIdf(SmallCorpus());  // smooth by default
+  // Term 3: df = 1, n = 4 -> idf = log(5/2) + 1; document 3 tf = 5.
+  const double expected = 5.0 * (std::log(5.0 / 2.0) + 1.0);
+  EXPECT_NEAR(w.Row(3)[1].second, expected, 1e-12);
+  // Smoothed stop-word idf is 1, so term 0 survives.
+  EXPECT_EQ(w.Row(0)[0].first, 0u);
+  EXPECT_NEAR(w.Row(0)[0].second, 2.0 * (std::log(5.0 / 5.0) + 1.0), 1e-12);
+}
+
+TEST(TfIdfTest, SublinearTfScalesCounts) {
+  TfIdfOptions opts;
+  opts.sublinear_tf = true;
+  AttributeMatrix w = TfIdf(SmallCorpus(), opts);
+  // Document 3, term 3: tf = 1 + log(5).
+  const double expected = (1.0 + std::log(5.0)) * (std::log(5.0 / 2.0) + 1.0);
+  EXPECT_NEAR(w.Row(3)[1].second, expected, 1e-12);
+
+  // Sub-1 magnitudes bypass the log (stay positive).
+  AttributeMatrix tiny(1, 1);
+  tiny.SetRow(0, {{0, 0.1}});
+  AttributeMatrix tw = TfIdf(tiny, opts);
+  EXPECT_GT(tw.Row(0)[0].second, 0.0);
+}
+
+TEST(TfIdfTest, EmptyInputThrows) {
+  AttributeMatrix empty;
+  EXPECT_THROW(TfIdf(empty), std::invalid_argument);
+}
+
+TEST(PruneColumnsTest, DropsRareAndUbiquitousColumns) {
+  PruneColumnsOptions opts;
+  opts.min_document_frequency = 2;   // drops term 3 (df 1) and term 4 (df 0)
+  opts.max_document_fraction = 0.8;  // drops term 0 (df 4 > 3.2)
+  PrunedColumns pruned = PruneColumnsByFrequency(SmallCorpus(), opts);
+  EXPECT_EQ(pruned.kept, (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(pruned.matrix.num_cols(), 2u);
+  // Old column 2 is new column 1: document 2 had value 2.0 there.
+  EXPECT_EQ(pruned.matrix.Row(2).size(), 1u);
+  EXPECT_EQ(pruned.matrix.Row(2)[0].first, 1u);
+  EXPECT_EQ(pruned.matrix.Row(2)[0].second, 2.0);
+  // Document 3 kept only pruned columns -> its row is now empty.
+  EXPECT_TRUE(pruned.matrix.Row(3).empty());
+}
+
+TEST(PruneColumnsTest, KeepEverythingIsIdentityMapping) {
+  PrunedColumns pruned = PruneColumnsByFrequency(SmallCorpus(), {});
+  // Only the df = 0 column disappears under the defaults (min df 1).
+  EXPECT_EQ(pruned.kept, (std::vector<uint32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(pruned.matrix.num_nonzeros(), SmallCorpus().num_nonzeros());
+}
+
+TEST(PruneColumnsTest, AllColumnsPrunedYieldsEmptyMatrix) {
+  PruneColumnsOptions opts;
+  opts.min_document_frequency = 100;
+  PrunedColumns pruned = PruneColumnsByFrequency(SmallCorpus(), opts);
+  EXPECT_TRUE(pruned.kept.empty());
+  EXPECT_EQ(pruned.matrix.num_cols(), 0u);
+  EXPECT_EQ(pruned.matrix.num_rows(), 4u);
+}
+
+TEST(PruneColumnsTest, BadFractionThrows) {
+  PruneColumnsOptions opts;
+  opts.max_document_fraction = 0.0;
+  EXPECT_THROW(PruneColumnsByFrequency(SmallCorpus(), opts),
+               std::invalid_argument);
+}
+
+TEST(PreprocessPipelineTest, TypicalBagOfWordsPipeline) {
+  // Binarize -> prune -> tf-idf -> normalize: the recipe for a raw Cora-like
+  // matrix; the result must be valid Tnam::Build input.
+  AttributeMatrix x = SmallCorpus();
+  PruneColumnsOptions popts;
+  popts.min_document_frequency = 2;
+  AttributeMatrix processed =
+      TfIdf(PruneColumnsByFrequency(Binarize(x), popts).matrix);
+  processed.Normalize();
+  for (NodeId i = 0; i < processed.num_rows(); ++i) {
+    if (processed.Row(i).empty()) continue;
+    EXPECT_NEAR(processed.RowNormSq(i), 1.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace laca

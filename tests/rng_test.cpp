@@ -1,0 +1,119 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace laca {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = rng.UniformInt(10);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  // Rough uniformity: every bucket within 30% of expectation.
+  for (int c : counts) EXPECT_NEAR(c, 1000, 300);
+}
+
+TEST(RngTest, UniformIntRejectsZero) {
+  Rng rng(10);
+  EXPECT_THROW(rng.UniformInt(0), std::invalid_argument);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Normal();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, ChiMeanMatchesTheory) {
+  // E[chi_k] = sqrt(2) Gamma((k+1)/2) / Gamma(k/2); for k=4 it is
+  // sqrt(2) * Gamma(2.5)/Gamma(2) = sqrt(2) * (3/4) sqrt(pi) ~= 1.8800.
+  Rng rng(12);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Chi(4);
+  EXPECT_NEAR(sum / n, 1.8800, 0.03);
+}
+
+TEST(RngTest, ChiRejectsNonPositiveDof) {
+  Rng rng(13);
+  EXPECT_THROW(rng.Chi(0), std::invalid_argument);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(14);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(15);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.Shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+  // And it actually moved something.
+  std::vector<int> identity(100);
+  std::iota(identity.begin(), identity.end(), 0);
+  EXPECT_NE(v, identity);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(16);
+  Rng forked = a.Fork();
+  // The fork shouldn't mirror the parent.
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) equal += (a.Next() == forked.Next());
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace laca

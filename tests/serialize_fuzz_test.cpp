@@ -1,0 +1,88 @@
+// Robustness sweep for the binary container: no single-byte corruption,
+// truncation, or extension of a valid file may crash the reader or let a
+// mutated payload through silently — every load either throws
+// std::invalid_argument or (for mutations the checksum provably cannot
+// catch, which do not exist for single-byte flips) round-trips.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/serialize.hpp"
+#include "graph/binary_io.hpp"
+#include "graph/builder.hpp"
+
+namespace laca {
+namespace {
+
+class SerializeFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "laca_serialize_fuzz";
+    std::filesystem::create_directories(dir_);
+    Graph g = [] {
+      GraphBuilder b(8);
+      for (NodeId v = 0; v < 8; ++v) b.AddEdge(v, (v + 1) % 8);
+      b.AddEdge(0, 4);
+      return b.Build();
+    }();
+    path_ = (dir_ / "g.bin").string();
+    SaveGraphBinary(g, path_);
+    std::ifstream in(path_, std::ios::binary);
+    original_.assign((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void WriteMutated(const std::vector<char>& bytes) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::filesystem::path dir_;
+  std::string path_;
+  std::vector<char> original_;
+};
+
+TEST_F(SerializeFuzzTest, EverySingleByteFlipIsRejected) {
+  for (size_t pos = 0; pos < original_.size(); ++pos) {
+    std::vector<char> mutated = original_;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x5A);
+    WriteMutated(mutated);
+    EXPECT_THROW(LoadGraphBinary(path_), std::invalid_argument)
+        << "flip at byte " << pos << " was accepted";
+  }
+}
+
+TEST_F(SerializeFuzzTest, EveryTruncationLengthIsRejected) {
+  for (size_t keep = 0; keep < original_.size(); ++keep) {
+    WriteMutated(std::vector<char>(original_.begin(),
+                                   original_.begin() +
+                                       static_cast<ptrdiff_t>(keep)));
+    EXPECT_THROW(LoadGraphBinary(path_), std::invalid_argument)
+        << "truncation to " << keep << " bytes was accepted";
+  }
+}
+
+TEST_F(SerializeFuzzTest, TrailingGarbageIsRejected) {
+  for (size_t extra : {1u, 7u, 64u}) {
+    std::vector<char> mutated = original_;
+    mutated.insert(mutated.end(), extra, '\x77');
+    WriteMutated(mutated);
+    EXPECT_THROW(LoadGraphBinary(path_), std::invalid_argument)
+        << extra << " trailing bytes were accepted";
+  }
+}
+
+TEST_F(SerializeFuzzTest, UnmodifiedFileStillLoads) {
+  WriteMutated(original_);
+  Graph g = LoadGraphBinary(path_);
+  EXPECT_EQ(g.num_nodes(), 8u);
+  EXPECT_EQ(g.num_edges(), 9u);
+}
+
+}  // namespace
+}  // namespace laca

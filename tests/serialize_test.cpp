@@ -1,0 +1,333 @@
+#include "common/serialize.hpp"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "attr/tnam.hpp"
+#include "attr/tnam_io.hpp"
+#include "graph/binary_io.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace laca {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CRC-32.
+
+TEST(Crc32Test, MatchesKnownVectors) {
+  const std::string check = "123456789";
+  EXPECT_EQ(Crc32({reinterpret_cast<const uint8_t*>(check.data()),
+                   check.size()}),
+            0xCBF43926u);
+  EXPECT_EQ(Crc32({}), 0u);
+  const std::string a = "a";
+  EXPECT_EQ(Crc32({reinterpret_cast<const uint8_t*>(a.data()), a.size()}),
+            0xE8B7BE43u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  std::vector<uint8_t> data(1000);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<uint8_t>(i);
+  uint32_t one_shot = Crc32(data);
+  uint32_t chained = Crc32({data.data(), 400});
+  chained = Crc32({data.data() + 400, 600}, chained);
+  EXPECT_EQ(one_shot, chained);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::vector<uint8_t> data(64, 0xAB);
+  uint32_t before = Crc32(data);
+  data[17] ^= 0x04;
+  EXPECT_NE(Crc32(data), before);
+}
+
+// ---------------------------------------------------------------------------
+// Container fixture.
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "laca_serialize_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& f) { return (dir_ / f).string(); }
+
+  /// Flips one payload byte of the file at `path`.
+  void CorruptByte(const std::string& path, size_t offset_from_start) {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(0, std::ios::end);
+    ASSERT_GT(static_cast<size_t>(f.tellg()), offset_from_start);
+    f.seekp(static_cast<std::streamoff>(offset_from_start));
+    char c;
+    f.seekg(static_cast<std::streamoff>(offset_from_start));
+    f.get(c);
+    f.seekp(static_cast<std::streamoff>(offset_from_start));
+    f.put(static_cast<char>(c ^ 0x40));
+  }
+
+  /// Truncates the file at `path` by `bytes`.
+  void Truncate(const std::string& path, size_t bytes) {
+    auto size = std::filesystem::file_size(path);
+    ASSERT_GT(size, bytes);
+    std::filesystem::resize_file(path, size - bytes);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(SerializeTest, ScalarAndStringRoundTrip) {
+  BinaryWriter w;
+  w.WriteU8(7);
+  w.WriteU32(123456u);
+  w.WriteU64(0xDEADBEEFCAFEBABEull);
+  w.WriteDouble(-2.5e-7);
+  w.WriteString("hello laca");
+  w.Save(Path("scalars.bin"), BinaryKind::kGraph);
+
+  BinaryReader r(Path("scalars.bin"), BinaryKind::kGraph);
+  EXPECT_EQ(r.ReadU8(), 7);
+  EXPECT_EQ(r.ReadU32(), 123456u);
+  EXPECT_EQ(r.ReadU64(), 0xDEADBEEFCAFEBABEull);
+  EXPECT_DOUBLE_EQ(r.ReadDouble(), -2.5e-7);
+  EXPECT_EQ(r.ReadString(), "hello laca");
+  EXPECT_TRUE(r.AtEnd());
+  r.ExpectEnd();
+}
+
+TEST_F(SerializeTest, ReadPastEndThrows) {
+  BinaryWriter w;
+  w.WriteU32(1);
+  w.Save(Path("short.bin"), BinaryKind::kGraph);
+  BinaryReader r(Path("short.bin"), BinaryKind::kGraph);
+  r.ReadU32();
+  EXPECT_THROW(r.ReadU8(), std::invalid_argument);
+}
+
+TEST_F(SerializeTest, ExpectEndThrowsOnTrailingBytes) {
+  BinaryWriter w;
+  w.WriteU32(1);
+  w.WriteU32(2);
+  w.Save(Path("long.bin"), BinaryKind::kGraph);
+  BinaryReader r(Path("long.bin"), BinaryKind::kGraph);
+  r.ReadU32();
+  EXPECT_THROW(r.ExpectEnd(), std::invalid_argument);
+}
+
+TEST_F(SerializeTest, WrongKindThrows) {
+  BinaryWriter w;
+  w.WriteU32(1);
+  w.Save(Path("kind.bin"), BinaryKind::kGraph);
+  EXPECT_THROW(BinaryReader(Path("kind.bin"), BinaryKind::kAttributes),
+               std::invalid_argument);
+}
+
+TEST_F(SerializeTest, BadMagicThrows) {
+  std::ofstream out(Path("magic.bin"), std::ios::binary);
+  out << "NOTLACA!0123456789012345678901234567890";
+  out.close();
+  EXPECT_THROW(BinaryReader(Path("magic.bin"), BinaryKind::kGraph),
+               std::invalid_argument);
+}
+
+TEST_F(SerializeTest, MissingFileThrows) {
+  EXPECT_THROW(BinaryReader(Path("absent.bin"), BinaryKind::kGraph),
+               std::invalid_argument);
+}
+
+TEST_F(SerializeTest, CorruptPayloadByteThrows) {
+  BinaryWriter w;
+  for (uint32_t i = 0; i < 100; ++i) w.WriteU32(i);
+  w.Save(Path("corrupt.bin"), BinaryKind::kGraph);
+  CorruptByte(Path("corrupt.bin"), 60);  // inside the payload
+  EXPECT_THROW(BinaryReader(Path("corrupt.bin"), BinaryKind::kGraph),
+               std::invalid_argument);
+}
+
+TEST_F(SerializeTest, TruncatedFileThrows) {
+  BinaryWriter w;
+  for (uint32_t i = 0; i < 100; ++i) w.WriteU32(i);
+  w.Save(Path("trunc.bin"), BinaryKind::kGraph);
+  Truncate(Path("trunc.bin"), 13);
+  EXPECT_THROW(BinaryReader(Path("trunc.bin"), BinaryKind::kGraph),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Graph round trips.
+
+Graph MakeTestGraph(bool weighted) {
+  GraphBuilder b(6);
+  b.AddEdge(0, 1, 2.0);
+  b.AddEdge(1, 2, 0.5);
+  b.AddEdge(2, 3, 1.5);
+  b.AddEdge(3, 4, 3.0);
+  b.AddEdge(4, 5, 0.25);
+  b.AddEdge(5, 0, 1.0);
+  b.AddEdge(1, 4, 4.0);
+  return b.Build(weighted);
+}
+
+TEST_F(SerializeTest, GraphRoundTripUnweighted) {
+  Graph g = MakeTestGraph(false);
+  SaveGraphBinary(g, Path("g.bin"));
+  Graph loaded = LoadGraphBinary(Path("g.bin"));
+  EXPECT_EQ(loaded.num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded.num_edges(), g.num_edges());
+  EXPECT_FALSE(loaded.is_weighted());
+  EXPECT_EQ(loaded.adjacency(), g.adjacency());
+  EXPECT_EQ(loaded.offsets(), g.offsets());
+}
+
+TEST_F(SerializeTest, GraphRoundTripWeighted) {
+  Graph g = MakeTestGraph(true);
+  SaveGraphBinary(g, Path("w.bin"));
+  Graph loaded = LoadGraphBinary(Path("w.bin"));
+  EXPECT_TRUE(loaded.is_weighted());
+  EXPECT_DOUBLE_EQ(loaded.EdgeWeight(1, 4), 4.0);
+  EXPECT_DOUBLE_EQ(loaded.Degree(1), g.Degree(1));
+  EXPECT_DOUBLE_EQ(loaded.TotalVolume(), g.TotalVolume());
+}
+
+TEST_F(SerializeTest, GraphCorruptionDetected) {
+  SaveGraphBinary(MakeTestGraph(false), Path("gc.bin"));
+  CorruptByte(Path("gc.bin"), 40);
+  EXPECT_THROW(LoadGraphBinary(Path("gc.bin")), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Attribute round trips.
+
+TEST_F(SerializeTest, AttributesRoundTripExactValues) {
+  AttributeMatrix attrs(3, 5);
+  attrs.SetRow(0, {{0, 0.25}, {3, -1.5}});
+  attrs.SetRow(2, {{1, 7.0}, {2, 1e-12}, {4, 2.0}});
+  SaveAttributesBinary(attrs, Path("a.bin"));
+  AttributeMatrix loaded = LoadAttributesBinary(Path("a.bin"));
+  EXPECT_EQ(loaded.num_rows(), 3u);
+  EXPECT_EQ(loaded.num_cols(), 5u);
+  EXPECT_EQ(loaded.num_nonzeros(), attrs.num_nonzeros());
+  // Values are preserved bit-exactly (no re-normalization on load).
+  auto row = loaded.Row(2);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[1].second, 1e-12);
+  EXPECT_TRUE(loaded.Row(1).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Community round trips.
+
+TEST_F(SerializeTest, OverlappingCommunitiesRoundTrip) {
+  Communities comms;
+  comms.members = {{0, 1, 2}, {2, 3}, {4}};
+  comms.node_comms = {{0}, {0}, {0, 1}, {1}, {2}};
+  SaveCommunitiesBinary(comms, 5, Path("c.bin"));
+  Communities loaded = LoadCommunitiesBinary(Path("c.bin"));
+  EXPECT_EQ(loaded.members, comms.members);
+  EXPECT_EQ(loaded.node_comms, comms.node_comms);
+}
+
+TEST_F(SerializeTest, CommunityMemberOutOfRangeThrows) {
+  // Hand-craft a payload with a member id beyond num_nodes.
+  BinaryWriter w;
+  w.WriteU32(3);  // num_nodes
+  w.WriteU64(1);  // one community
+  w.WriteU64(2);  // two members
+  w.WriteU32(0);
+  w.WriteU32(9);  // out of range
+  w.Save(Path("badc.bin"), BinaryKind::kCommunities);
+  EXPECT_THROW(LoadCommunitiesBinary(Path("badc.bin")),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Dataset bundle.
+
+TEST_F(SerializeTest, DatasetRoundTrip) {
+  AttributedSbmOptions opts;
+  opts.num_nodes = 200;
+  opts.num_communities = 4;
+  opts.avg_degree = 8.0;
+  opts.attr_dim = 32;
+  opts.seed = 11;
+  AttributedGraph data = GenerateAttributedSbm(opts);
+
+  SaveDatasetBinary(data, Path("ds.bin"));
+  AttributedGraph loaded = LoadDatasetBinary(Path("ds.bin"));
+  EXPECT_EQ(loaded.graph.num_nodes(), data.graph.num_nodes());
+  EXPECT_EQ(loaded.graph.num_edges(), data.graph.num_edges());
+  EXPECT_EQ(loaded.graph.adjacency(), data.graph.adjacency());
+  EXPECT_EQ(loaded.attributes.num_nonzeros(), data.attributes.num_nonzeros());
+  EXPECT_EQ(loaded.communities.members, data.communities.members);
+  for (NodeId v = 0; v < 200; ++v) {
+    EXPECT_DOUBLE_EQ(loaded.attributes.Dot(v, (v + 1) % 200),
+                     data.attributes.Dot(v, (v + 1) % 200));
+  }
+}
+
+TEST_F(SerializeTest, DatasetWithoutAttributes) {
+  AttributedSbmOptions opts;
+  opts.num_nodes = 100;
+  opts.num_communities = 4;
+  opts.attr_dim = 0;  // non-attributed
+  opts.seed = 13;
+  AttributedGraph data = GenerateAttributedSbm(opts);
+  SaveDatasetBinary(data, Path("na.bin"));
+  AttributedGraph loaded = LoadDatasetBinary(Path("na.bin"));
+  EXPECT_EQ(loaded.attributes.num_cols(), 0u);
+  EXPECT_EQ(loaded.communities.members, data.communities.members);
+}
+
+// ---------------------------------------------------------------------------
+// TNAM persistence.
+
+TEST_F(SerializeTest, TnamRoundTripPreservesSnas) {
+  AttributedSbmOptions opts;
+  opts.num_nodes = 120;
+  opts.num_communities = 3;
+  opts.attr_dim = 64;
+  opts.seed = 17;
+  AttributedGraph data = GenerateAttributedSbm(opts);
+  TnamOptions topts;
+  topts.k = 16;
+  Tnam tnam = Tnam::Build(data.attributes, topts);
+
+  SaveTnamBinary(tnam, Path("z.bin"));
+  Tnam loaded = LoadTnamBinary(Path("z.bin"));
+  EXPECT_EQ(loaded.num_rows(), tnam.num_rows());
+  EXPECT_EQ(loaded.dim(), tnam.dim());
+  for (NodeId i = 0; i < 120; i += 7) {
+    for (NodeId j = 0; j < 120; j += 11) {
+      EXPECT_DOUBLE_EQ(loaded.Snas(i, j), tnam.Snas(i, j));
+    }
+  }
+}
+
+TEST_F(SerializeTest, TnamWrongKindThrows) {
+  SaveGraphBinary(MakeTestGraph(false), Path("notz.bin"));
+  EXPECT_THROW(LoadTnamBinary(Path("notz.bin")), std::invalid_argument);
+}
+
+TEST_F(SerializeTest, TnamCorruptionDetected) {
+  AttributeMatrix attrs(4, 4);
+  attrs.SetRow(0, {{0, 1.0}});
+  attrs.SetRow(1, {{1, 1.0}});
+  attrs.SetRow(2, {{2, 1.0}});
+  attrs.SetRow(3, {{3, 1.0}});
+  TnamOptions topts;
+  topts.k = 2;
+  Tnam tnam = Tnam::Build(attrs, topts);
+  SaveTnamBinary(tnam, Path("zc.bin"));
+  CorruptByte(Path("zc.bin"), 30);
+  EXPECT_THROW(LoadTnamBinary(Path("zc.bin")), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace laca

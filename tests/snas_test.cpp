@@ -1,0 +1,152 @@
+#include "attr/snas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "graph/builder.hpp"
+
+namespace laca {
+namespace {
+
+AttributeMatrix RandomAttrs(NodeId n, uint32_t d, uint64_t seed) {
+  Rng rng(seed);
+  AttributeMatrix x(n, d);
+  for (NodeId i = 0; i < n; ++i) {
+    std::vector<AttributeMatrix::Entry> row;
+    for (int k = 0; k < 5; ++k) {
+      row.emplace_back(static_cast<uint32_t>(rng.UniformInt(d)),
+                       0.2 + rng.Uniform());
+    }
+    x.SetRow(i, std::move(row));
+  }
+  x.Normalize();
+  return x;
+}
+
+// Brute-force SNAS per Eq. 1 for an arbitrary metric.
+template <typename F>
+double BruteSnas(const AttributeMatrix& x, NodeId i, NodeId j, F f) {
+  double ni = 0.0, nj = 0.0;
+  for (NodeId l = 0; l < x.num_rows(); ++l) {
+    ni += f(i, l);
+    nj += f(j, l);
+  }
+  return f(i, j) / (std::sqrt(ni) * std::sqrt(nj));
+}
+
+class SnasPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SnasPropertyTest, CosineMatchesBruteForce) {
+  AttributeMatrix x = RandomAttrs(40, 25, GetParam());
+  ExactCosineSnas snas(x);
+  auto f = [&](NodeId a, NodeId b) { return x.Dot(a, b); };
+  for (NodeId i = 0; i < 40; i += 5) {
+    for (NodeId j = 0; j < 40; j += 7) {
+      EXPECT_NEAR(snas.Snas(i, j), BruteSnas(x, i, j, f), 1e-10);
+    }
+  }
+}
+
+TEST_P(SnasPropertyTest, ExpCosineMatchesBruteForce) {
+  AttributeMatrix x = RandomAttrs(30, 20, GetParam() + 100);
+  const double delta = 2.0;
+  ExactExpCosineSnas snas(x, delta);
+  auto f = [&](NodeId a, NodeId b) { return std::exp(x.Dot(a, b) / delta); };
+  for (NodeId i = 0; i < 30; i += 4) {
+    for (NodeId j = 0; j < 30; j += 6) {
+      EXPECT_NEAR(snas.Snas(i, j), BruteSnas(x, i, j, f), 1e-10);
+    }
+  }
+}
+
+TEST_P(SnasPropertyTest, SymmetricAndBounded) {
+  AttributeMatrix x = RandomAttrs(35, 20, GetParam() + 200);
+  ExactCosineSnas cos_snas(x);
+  ExactExpCosineSnas exp_snas(x, 1.0);
+  JaccardSnas jac_snas(x);
+  for (NodeId i = 0; i < 35; i += 3) {
+    for (NodeId j = 0; j < 35; j += 5) {
+      for (const SnasProvider* s :
+           {static_cast<const SnasProvider*>(&cos_snas),
+            static_cast<const SnasProvider*>(&exp_snas),
+            static_cast<const SnasProvider*>(&jac_snas)}) {
+        double sij = s->Snas(i, j);
+        EXPECT_NEAR(sij, s->Snas(j, i), 1e-12);
+        EXPECT_GE(sij, 0.0);
+        EXPECT_LE(sij, 1.0 + 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnasPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(SnasTest, IdentitySnas) {
+  IdentitySnas id;
+  EXPECT_DOUBLE_EQ(id.Snas(3, 3), 1.0);
+  EXPECT_DOUBLE_EQ(id.Snas(3, 4), 0.0);
+}
+
+TEST(SnasTest, JaccardCountsSupportOverlap) {
+  AttributeMatrix x(3, 10);
+  x.SetRow(0, {{0, 1.0}, {1, 1.0}, {2, 1.0}});
+  x.SetRow(1, {{1, 1.0}, {2, 1.0}, {3, 1.0}});
+  x.SetRow(2, {{7, 1.0}});
+  x.Normalize();
+  JaccardSnas snas(x);
+  // Raw Jaccard: |{1,2}| / |{0,1,2,3}| = 0.5 between rows 0 and 1; 0 with 2.
+  EXPECT_GT(snas.Snas(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(snas.Snas(0, 2), 0.0);
+  EXPECT_GT(snas.Snas(0, 0), snas.Snas(0, 1));
+}
+
+TEST(SnasTest, PearsonDetectsCorrelation) {
+  AttributeMatrix x(3, 6);
+  x.SetRow(0, {{0, 1.0}, {1, 2.0}, {2, 3.0}});
+  x.SetRow(1, {{0, 2.0}, {1, 4.0}, {2, 6.0}});   // perfectly correlated with 0
+  x.SetRow(2, {{3, 3.0}, {4, 2.0}, {5, 1.0}});   // disjoint support
+  PearsonSnas snas(x);
+  EXPECT_GT(snas.Snas(0, 1), snas.Snas(0, 2));
+  EXPECT_NEAR(snas.Snas(0, 1), snas.Snas(1, 0), 1e-12);
+}
+
+TEST(SnasTest, PearsonRequiresTwoDims) {
+  AttributeMatrix x(2, 1);
+  x.SetRow(0, {{0, 1.0}});
+  EXPECT_THROW(PearsonSnas{x}, std::invalid_argument);
+}
+
+TEST(GaussianReweightTest, WeightsReflectAttributeDistance) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  Graph g = b.Build();
+  AttributeMatrix x(3, 4);
+  x.SetRow(0, {{0, 1.0}});
+  x.SetRow(1, {{0, 1.0}});            // identical to node 0
+  x.SetRow(2, {{3, 1.0}});            // orthogonal to node 0
+  x.Normalize();
+  Graph w = GaussianReweight(g, x, 1.0);
+  ASSERT_TRUE(w.is_weighted());
+  EXPECT_NEAR(w.EdgeWeight(0, 1), 1.0, 1e-12);             // distance 0
+  EXPECT_NEAR(w.EdgeWeight(0, 2), std::exp(-1.0), 1e-12);  // distance^2 = 2
+  EXPECT_GT(w.EdgeWeight(0, 1), w.EdgeWeight(0, 2));
+  // Topology unchanged.
+  EXPECT_EQ(w.num_edges(), g.num_edges());
+}
+
+TEST(GaussianReweightTest, ValidatesInput) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  Graph g = b.Build();
+  AttributeMatrix x(2, 2);
+  EXPECT_THROW(GaussianReweight(g, x, 0.0), std::invalid_argument);
+  AttributeMatrix wrong(3, 2);
+  EXPECT_THROW(GaussianReweight(g, wrong, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace laca

@@ -1,0 +1,88 @@
+#include "common/sparse_vector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace laca {
+namespace {
+
+TEST(SparseVectorTest, UnitVector) {
+  SparseVector v = SparseVector::Unit(5);
+  EXPECT_EQ(v.Size(), 1u);
+  EXPECT_DOUBLE_EQ(v.ValueAt(5), 1.0);
+  EXPECT_DOUBLE_EQ(v.ValueAt(4), 0.0);
+  EXPECT_DOUBLE_EQ(v.L1Norm(), 1.0);
+}
+
+TEST(SparseVectorTest, CompactMergesDuplicates) {
+  SparseVector v;
+  v.Add(3, 1.0);
+  v.Add(1, 2.0);
+  v.Add(3, 0.5);
+  v.Compact();
+  EXPECT_EQ(v.Size(), 2u);
+  EXPECT_DOUBLE_EQ(v.ValueAt(3), 1.5);
+  EXPECT_DOUBLE_EQ(v.ValueAt(1), 2.0);
+  // Compact sorts by index.
+  EXPECT_EQ(v.entries()[0].index, 1u);
+  EXPECT_EQ(v.entries()[1].index, 3u);
+}
+
+TEST(SparseVectorTest, CompactDropsExactZeros) {
+  SparseVector v;
+  v.Add(2, 1.0);
+  v.Add(2, -1.0);
+  v.Add(4, 0.5);
+  v.Compact();
+  EXPECT_EQ(v.Size(), 1u);
+  EXPECT_EQ(v.entries()[0].index, 4u);
+}
+
+TEST(SparseVectorTest, L1AndSum) {
+  SparseVector v;
+  v.Add(0, -2.0);
+  v.Add(1, 3.0);
+  EXPECT_DOUBLE_EQ(v.L1Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.Sum(), 1.0);
+}
+
+TEST(SparseVectorTest, SortByValueDesc) {
+  SparseVector v;
+  v.Add(0, 1.0);
+  v.Add(1, 3.0);
+  v.Add(2, 2.0);
+  v.Add(3, 3.0);  // tie with index 1 -> index order
+  v.SortByValueDesc();
+  ASSERT_EQ(v.Size(), 4u);
+  EXPECT_EQ(v.entries()[0].index, 1u);
+  EXPECT_EQ(v.entries()[1].index, 3u);
+  EXPECT_EQ(v.entries()[2].index, 2u);
+  EXPECT_EQ(v.entries()[3].index, 0u);
+}
+
+TEST(SparseVectorTest, DenseRoundTrip) {
+  std::vector<double> dense = {0.0, 1.5, 0.0, -2.0, 0.0};
+  SparseVector v = SparseVector::FromDense(dense);
+  EXPECT_EQ(v.Size(), 2u);
+  std::vector<double> back = v.ToDense(5);
+  EXPECT_EQ(back, dense);
+}
+
+TEST(SparseVectorTest, FromDenseThreshold) {
+  std::vector<double> dense = {0.1, 0.0001, -0.2};
+  SparseVector v = SparseVector::FromDense(dense, 0.01);
+  EXPECT_EQ(v.Size(), 2u);
+  EXPECT_DOUBLE_EQ(v.ValueAt(0), 0.1);
+  EXPECT_DOUBLE_EQ(v.ValueAt(2), -0.2);
+}
+
+TEST(SparseVectorTest, EmptyBehaviour) {
+  SparseVector v;
+  EXPECT_TRUE(v.Empty());
+  EXPECT_DOUBLE_EQ(v.L1Norm(), 0.0);
+  v.Compact();
+  EXPECT_TRUE(v.Empty());
+  EXPECT_TRUE(v.ToDense(3) == std::vector<double>(3, 0.0));
+}
+
+}  // namespace
+}  // namespace laca

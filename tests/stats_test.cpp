@@ -1,0 +1,178 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace laca {
+namespace {
+
+Graph Star(NodeId leaves) {
+  GraphBuilder b(leaves + 1);
+  for (NodeId v = 1; v <= leaves; ++v) b.AddEdge(0, v);
+  return b.Build();
+}
+
+Graph TwoTriangles() {
+  GraphBuilder b(6);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 5);
+  b.AddEdge(5, 3);
+  return b.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Degree statistics.
+
+TEST(DegreeStatsTest, StarGraph) {
+  DegreeStats stats = ComputeDegreeStats(Star(99));
+  EXPECT_EQ(stats.min, 1u);
+  EXPECT_EQ(stats.max, 99u);
+  EXPECT_NEAR(stats.mean, 2.0 * 99 / 100, 1e-12);
+  EXPECT_EQ(stats.median, 1.0);
+  // The hub (top 1% of 100 nodes) holds half the total volume.
+  EXPECT_NEAR(stats.top1pct_volume_share, 0.5, 1e-12);
+}
+
+TEST(DegreeStatsTest, RegularGraphHasFlatShare) {
+  // A cycle: every node has degree 2; the top 1% holds exactly 1% of volume.
+  GraphBuilder b(200);
+  for (NodeId v = 0; v < 200; ++v) b.AddEdge(v, (v + 1) % 200);
+  DegreeStats stats = ComputeDegreeStats(b.Build());
+  EXPECT_EQ(stats.min, stats.max);
+  EXPECT_NEAR(stats.top1pct_volume_share, 0.01, 1e-12);
+}
+
+TEST(DegreeStatsTest, EmptyGraphThrows) {
+  EXPECT_THROW(ComputeDegreeStats(Graph()), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Connected components.
+
+TEST(ConnectedComponentsTest, LabelsTwoTriangles) {
+  std::vector<uint32_t> comp = ConnectedComponents(TwoTriangles());
+  EXPECT_EQ(comp, (std::vector<uint32_t>{0, 0, 0, 1, 1, 1}));
+  EXPECT_EQ(CountConnectedComponents(TwoTriangles()), 2u);
+}
+
+TEST(ConnectedComponentsTest, IsolatedNodesAreOwnComponents) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  Graph g = b.Build();
+  EXPECT_EQ(CountConnectedComponents(g), 3u);  // {0,1}, {2}, {3}
+}
+
+TEST(ConnectedComponentsTest, ConnectedSbmIsOneComponent) {
+  AttributedSbmOptions opts;
+  opts.num_nodes = 500;
+  opts.num_communities = 5;
+  opts.avg_degree = 10.0;
+  opts.attr_dim = 0;
+  opts.seed = 2;
+  Graph g = GenerateAttributedSbm(opts).graph;
+  // The generator attaches isolated nodes, so components reflect real
+  // structure: a dense-enough SBM is almost surely connected.
+  EXPECT_EQ(CountConnectedComponents(g), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Clustering coefficient.
+
+TEST(ClusteringCoefficientTest, TriangleIsOne) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  EXPECT_DOUBLE_EQ(SampledClusteringCoefficient(b.Build(), 100), 1.0);
+}
+
+TEST(ClusteringCoefficientTest, StarIsZero) {
+  EXPECT_DOUBLE_EQ(SampledClusteringCoefficient(Star(20), 100), 0.0);
+}
+
+TEST(ClusteringCoefficientTest, SampleApproximatesExhaustive) {
+  Graph g = GenerateBarabasiAlbert(2000, 4, 7);
+  double exact = SampledClusteringCoefficient(g, g.num_nodes());
+  double sampled = SampledClusteringCoefficient(g, 500, 3);
+  EXPECT_NEAR(sampled, exact, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Homophily and attribute assortativity.
+
+TEST(EdgeHomophilyTest, PureCommunitiesExceptBridge) {
+  GraphBuilder b(6);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 5);
+  b.AddEdge(5, 3);
+  b.AddEdge(2, 3);  // the one cross-community edge
+  Graph g = b.Build();
+  Communities comms;
+  comms.members = {{0, 1, 2}, {3, 4, 5}};
+  comms.node_comms = {{0}, {0}, {0}, {1}, {1}, {1}};
+  EXPECT_NEAR(EdgeHomophily(g, comms), 6.0 / 7.0, 1e-12);
+}
+
+TEST(EdgeHomophilyTest, TracksIntraFractionKnob) {
+  auto homophily_at = [](double intra) {
+    AttributedSbmOptions opts;
+    opts.num_nodes = 2000;
+    opts.num_communities = 4;
+    opts.avg_degree = 12.0;
+    opts.intra_fraction = intra;
+    opts.attr_dim = 0;
+    opts.seed = 5;
+    AttributedGraph g = GenerateAttributedSbm(opts);
+    return EdgeHomophily(g.graph, g.communities);
+  };
+  // The generator knob and the measured statistic must move together —
+  // this is the calibration DESIGN.md §3 relies on.
+  EXPECT_GT(homophily_at(0.9), homophily_at(0.5));
+  EXPECT_GT(homophily_at(0.5), homophily_at(0.1));
+  EXPECT_GT(homophily_at(0.9), 0.8);
+}
+
+TEST(AttributeAssortativityTest, InformativeAttributesArePositive) {
+  AttributedSbmOptions opts;
+  opts.num_nodes = 1000;
+  opts.num_communities = 5;
+  opts.avg_degree = 10.0;
+  opts.attr_dim = 64;
+  opts.attr_noise = 0.05;
+  opts.seed = 11;
+  AttributedGraph g = GenerateAttributedSbm(opts);
+  EXPECT_GT(AttributeAssortativity(g.graph, g.attributes), 0.1);
+}
+
+TEST(AttributeAssortativityTest, NoiseAttributesAreNearZero) {
+  AttributedSbmOptions opts;
+  opts.num_nodes = 1000;
+  opts.num_communities = 5;
+  opts.avg_degree = 10.0;
+  opts.attr_dim = 64;
+  opts.attr_noise = 1.0;  // attributes carry no community signal
+  opts.seed = 13;
+  AttributedGraph g = GenerateAttributedSbm(opts);
+  EXPECT_NEAR(AttributeAssortativity(g.graph, g.attributes), 0.0, 0.05);
+}
+
+TEST(AttributeAssortativityTest, MismatchedSizesThrow) {
+  Graph g = TwoTriangles();
+  AttributeMatrix x(3, 4);
+  EXPECT_THROW(AttributeAssortativity(g, x), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace laca

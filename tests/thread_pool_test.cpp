@@ -1,0 +1,136 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace laca {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, WaitOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not deadlock
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, hits.size(),
+                   [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(5, 5, [&counter](size_t) { counter.fetch_add(1); });
+  pool.ParallelFor(7, 3, [&counter](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForComputesCorrectSum) {
+  ThreadPool pool(8);
+  std::vector<double> values(10'000);
+  std::iota(values.begin(), values.end(), 1.0);
+  std::vector<double> doubled(values.size());
+  pool.ParallelFor(0, values.size(),
+                   [&](size_t i) { doubled[i] = 2.0 * values[i]; });
+  double sum = std::accumulate(doubled.begin(), doubled.end(), 0.0);
+  EXPECT_DOUBLE_EQ(sum, 10'000.0 * 10'001.0);
+}
+
+TEST(ThreadPoolTest, FirstExceptionPropagatesFromWait) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&completed, i] {
+      if (i == 7) throw std::runtime_error("task 7 failed");
+      completed.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The error is consumed; a second Wait does not rethrow.
+  pool.Wait();
+  EXPECT_EQ(completed.load(), 19);
+}
+
+TEST(ThreadPoolTest, ExceptionInParallelForPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(0, 100,
+                                [](size_t i) {
+                                  if (i == 42) {
+                                    throw std::invalid_argument("boom");
+                                  }
+                                }),
+               std::invalid_argument);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterWait) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsTasksSequentially) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&order, i] { order.push_back(i); });
+  }
+  pool.Wait();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);  // FIFO
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor must wait for all 64
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, FreeFunctionParallelFor) {
+  std::vector<std::atomic<int>> hits(257);
+  ParallelFor(0, hits.size(), 4, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, ManySmallTasksStress) {
+  ThreadPool pool(8);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(0, 100'000, [&sum](size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 99'999ull * 100'000ull / 2);
+}
+
+}  // namespace
+}  // namespace laca

@@ -1,0 +1,171 @@
+#include "attr/tnam.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace laca {
+namespace {
+
+AttributeMatrix RandomAttrs(NodeId n, uint32_t d, uint64_t seed) {
+  Rng rng(seed);
+  AttributeMatrix x(n, d);
+  for (NodeId i = 0; i < n; ++i) {
+    std::vector<AttributeMatrix::Entry> row;
+    for (int k = 0; k < 6; ++k) {
+      row.emplace_back(static_cast<uint32_t>(rng.UniformInt(d)),
+                       0.2 + rng.Uniform());
+    }
+    x.SetRow(i, std::move(row));
+  }
+  x.Normalize();
+  return x;
+}
+
+TEST(TnamTest, CosineFullRankMatchesExactSnas) {
+  // With k >= rank(X), the factorization z(i).z(j) reproduces the exact
+  // cosine SNAS up to numerics (Eq. 10).
+  AttributeMatrix x = RandomAttrs(50, 20, 1);
+  TnamOptions opts;
+  opts.k = 20;
+  Tnam tnam = Tnam::Build(x, opts);
+  ExactCosineSnas exact(x);
+  for (NodeId i = 0; i < 50; i += 3) {
+    for (NodeId j = 0; j < 50; j += 7) {
+      EXPECT_NEAR(tnam.Snas(i, j), exact.Snas(i, j), 1e-6);
+    }
+  }
+}
+
+TEST(TnamTest, CosineWithoutKsvdIsExact) {
+  AttributeMatrix x = RandomAttrs(30, 15, 2);
+  TnamOptions opts;
+  opts.use_ksvd = false;
+  Tnam tnam = Tnam::Build(x, opts);
+  EXPECT_EQ(tnam.dim(), 15u);  // raw attribute dimension
+  ExactCosineSnas exact(x);
+  for (NodeId i = 0; i < 30; i += 2) {
+    for (NodeId j = 0; j < 30; j += 5) {
+      EXPECT_NEAR(tnam.Snas(i, j), exact.Snas(i, j), 1e-10);
+    }
+  }
+}
+
+TEST(TnamTest, TruncationDegradesGracefully) {
+  AttributeMatrix x = RandomAttrs(60, 40, 3);
+  TnamOptions small;
+  small.k = 8;
+  Tnam tnam = Tnam::Build(x, small);
+  ExactCosineSnas exact(x);
+  double total_err = 0.0;
+  int count = 0;
+  for (NodeId i = 0; i < 60; i += 3) {
+    for (NodeId j = 0; j < 60; j += 4) {
+      total_err += std::abs(tnam.Snas(i, j) - exact.Snas(i, j));
+      ++count;
+    }
+  }
+  // Low-rank approximation should still be close on average.
+  EXPECT_LT(total_err / count, 0.08);
+}
+
+TEST(TnamTest, ExpCosineDimensionIsTwoK) {
+  AttributeMatrix x = RandomAttrs(30, 25, 4);
+  TnamOptions opts;
+  opts.k = 10;
+  opts.metric = SnasMetric::kExpCosine;
+  Tnam tnam = Tnam::Build(x, opts);
+  EXPECT_EQ(tnam.dim(), 20u);
+}
+
+// Theorem V.2: the ORF inner products are unbiased estimators of
+// exp(x_i . x_j / delta). Averaging over independent seeds must converge to
+// the exact SNAS.
+class OrfUnbiasednessTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(OrfUnbiasednessTest, AveragedSnasConvergesToExact) {
+  const double delta = GetParam();
+  AttributeMatrix x = RandomAttrs(20, 64, 5);
+  ExactExpCosineSnas exact(x, delta);
+
+  const int kTrials = 24;
+  double err_acc = 0.0;
+  int pairs = 0;
+  // Average the *SNAS estimates* across seeds; each trial's z(i).z(j) is a
+  // ratio of unbiased estimates, so the average should land close to exact.
+  std::vector<std::vector<double>> acc(20, std::vector<double>(20, 0.0));
+  for (int t = 0; t < kTrials; ++t) {
+    TnamOptions opts;
+    opts.k = 48;
+    opts.metric = SnasMetric::kExpCosine;
+    opts.delta = delta;
+    opts.seed = 1000 + t;
+    Tnam tnam = Tnam::Build(x, opts);
+    for (NodeId i = 0; i < 20; ++i) {
+      for (NodeId j = 0; j < 20; ++j) acc[i][j] += tnam.Snas(i, j);
+    }
+  }
+  for (NodeId i = 0; i < 20; i += 2) {
+    for (NodeId j = 0; j < 20; j += 3) {
+      err_acc += std::abs(acc[i][j] / kTrials - exact.Snas(i, j));
+      ++pairs;
+    }
+  }
+  EXPECT_LT(err_acc / pairs, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, OrfUnbiasednessTest,
+                         ::testing::Values(1.0, 2.0));
+
+TEST(TnamTest, ExpCosineWithoutKsvd) {
+  AttributeMatrix x = RandomAttrs(25, 30, 6);
+  TnamOptions opts;
+  opts.k = 16;
+  opts.metric = SnasMetric::kExpCosine;
+  opts.use_ksvd = false;
+  Tnam tnam = Tnam::Build(x, opts);
+  EXPECT_EQ(tnam.dim(), 32u);
+  // Still a plausible similarity: symmetric, diagonal-dominant on average.
+  double diag = 0.0, off = 0.0;
+  for (NodeId i = 0; i < 25; ++i) {
+    diag += tnam.Snas(i, i);
+    off += tnam.Snas(i, (i + 7) % 25);
+  }
+  EXPECT_GT(diag / 25, off / 25);
+}
+
+TEST(TnamTest, KLargerThanDimIsCapped) {
+  AttributeMatrix x = RandomAttrs(20, 5, 7);
+  TnamOptions opts;
+  opts.k = 64;
+  Tnam tnam = Tnam::Build(x, opts);
+  EXPECT_LE(tnam.dim(), 5u);
+}
+
+TEST(TnamTest, ValidatesInput) {
+  AttributeMatrix empty;
+  TnamOptions opts;
+  EXPECT_THROW(Tnam::Build(empty, opts), std::invalid_argument);
+  AttributeMatrix x = RandomAttrs(5, 5, 8);
+  opts.k = 0;
+  EXPECT_THROW(Tnam::Build(x, opts), std::invalid_argument);
+  opts.k = 4;
+  opts.delta = -1.0;
+  EXPECT_THROW(Tnam::Build(x, opts), std::invalid_argument);
+}
+
+TEST(TnamTest, DeterministicForSeed) {
+  AttributeMatrix x = RandomAttrs(20, 16, 9);
+  TnamOptions opts;
+  opts.metric = SnasMetric::kExpCosine;
+  Tnam a = Tnam::Build(x, opts);
+  Tnam b = Tnam::Build(x, opts);
+  for (NodeId i = 0; i < 20; i += 3) {
+    EXPECT_DOUBLE_EQ(a.Snas(i, (i * 3 + 1) % 20), b.Snas(i, (i * 3 + 1) % 20));
+  }
+}
+
+}  // namespace
+}  // namespace laca
