@@ -1,11 +1,16 @@
-// Shared table-printing helpers for the experiment harnesses.
+// Shared table-printing and machine-readable-output helpers for the
+// experiment harnesses.
 //
 // Every bench binary regenerates one table or figure of the paper's
 // evaluation section (see DESIGN.md §4 for the index). Output is plain text:
 // a header naming the experiment, then rows matching the paper's layout.
+// Perf-tracking benches additionally emit a BENCH_*.json file through
+// JsonEmitter so the kernel-level numbers (ns/edge, pushes, edge_work) can
+// be diffed across PRs by tooling.
 #ifndef LACA_BENCH_BENCH_UTIL_HPP_
 #define LACA_BENCH_BENCH_UTIL_HPP_
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -43,6 +48,66 @@ inline std::string FmtSeconds(double v) {
   }
   return buf;
 }
+
+/// Minimal JSON writer for flat benchmark records:
+///   {"experiment": "...", "records": [{...}, {...}]}
+/// Keys and string values must not need escaping (plain identifiers).
+class JsonEmitter {
+ public:
+  explicit JsonEmitter(std::string experiment)
+      : experiment_(std::move(experiment)) {}
+
+  /// Starts a new record; subsequent Num/Int/Str calls fill it.
+  JsonEmitter& BeginRecord() {
+    records_.emplace_back();
+    return *this;
+  }
+
+  JsonEmitter& Str(const std::string& key, const std::string& value) {
+    Field(key, "\"" + value + "\"");
+    return *this;
+  }
+
+  JsonEmitter& Num(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    Field(key, buf);
+    return *this;
+  }
+
+  JsonEmitter& Int(const std::string& key, uint64_t value) {
+    Field(key, std::to_string(value));
+    return *this;
+  }
+
+  /// Writes the collected records; returns false (and warns) on I/O error.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonEmitter: cannot open %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\"experiment\": \"%s\", \"records\": [",
+                 experiment_.c_str());
+    for (size_t i = 0; i < records_.size(); ++i) {
+      std::fprintf(f, "%s{%s}", i == 0 ? "" : ", ", records_[i].c_str());
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu records)\n", path.c_str(), records_.size());
+    return true;
+  }
+
+ private:
+  void Field(const std::string& key, const std::string& rendered) {
+    std::string& rec = records_.back();
+    if (!rec.empty()) rec += ", ";
+    rec += "\"" + key + "\": " + rendered;
+  }
+
+  std::string experiment_;
+  std::vector<std::string> records_;
+};
 
 }  // namespace laca::bench
 

@@ -1,6 +1,7 @@
 #include "core/batch.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
 
 #include "common/thread_pool.hpp"
@@ -17,20 +18,55 @@ std::vector<std::vector<NodeId>> BatchCluster(
   if (workers == 0) {
     workers = std::max(1u, std::thread::hardware_concurrency());
   }
-  workers = std::min(workers, queries.size());
+  // More workers than queries just idle (and waste a Laca construction
+  // each); fewer than one cannot make progress. The schedulers below are
+  // correct for any worker count in [1, queries.size()].
+  workers = std::min(std::max<size_t>(workers, 1), queries.size());
 
-  // One contiguous chunk per worker; each worker owns a private Laca so the
-  // dense diffusion scratch is never shared.
-  const size_t chunk = (queries.size() + workers - 1) / workers;
+  if (workers == 1) {
+    // No pool: one persistent Laca answers everything in order.
+    Laca laca(graph, tnam);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      results[i] = laca.Cluster(queries[i].seed, queries[i].size, opts.laca);
+    }
+    return results;
+  }
+
   ThreadPool pool(workers);
-  for (size_t lo = 0; lo < queries.size(); lo += chunk) {
-    const size_t hi = std::min(lo + chunk, queries.size());
-    pool.Submit([&, lo, hi] {
-      Laca laca(graph, tnam);
-      for (size_t i = lo; i < hi; ++i) {
-        results[i] = laca.Cluster(queries[i].seed, queries[i].size, opts.laca);
-      }
-    });
+  if (opts.schedule == BatchSchedule::kStaticChunk) {
+    // One contiguous chunk per worker. Kept for comparison benchmarks
+    // (bench_ext_parallel_scaling): skewed per-seed costs serialize on the
+    // slowest chunk.
+    const size_t chunk = (queries.size() + workers - 1) / workers;
+    for (size_t lo = 0; lo < queries.size(); lo += chunk) {
+      const size_t hi = std::min(lo + chunk, queries.size());
+      pool.Submit([&, lo, hi] {
+        Laca laca(graph, tnam);
+        for (size_t i = lo; i < hi; ++i) {
+          results[i] =
+              laca.Cluster(queries[i].seed, queries[i].size, opts.laca);
+        }
+      });
+    }
+  } else {
+    // Dynamic scheduling: every worker owns one persistent Laca (and thus
+    // one diffusion workspace, warm across all the queries it claims) and
+    // pulls the next query off a shared atomic counter, so skewed seed
+    // costs rebalance instead of serializing on the slowest chunk.
+    std::atomic<size_t> next{0};
+    for (size_t w = 0; w < workers; ++w) {
+      pool.Submit([&] {
+        Laca laca(graph, tnam);
+        for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
+             i < queries.size();
+             i = next.fetch_add(1, std::memory_order_relaxed)) {
+          results[i] =
+              laca.Cluster(queries[i].seed, queries[i].size, opts.laca);
+        }
+      });
+    }
+    pool.Wait();  // `next` must outlive the workers
+    return results;
   }
   pool.Wait();
   return results;

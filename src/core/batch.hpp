@@ -23,11 +23,23 @@ struct BatchQuery {
   size_t size = 1;
 };
 
+/// Work distribution strategy for BatchCluster.
+enum class BatchSchedule {
+  /// Workers pull queries off a shared atomic counter: skewed per-seed costs
+  /// rebalance automatically. The default.
+  kDynamic,
+  /// One contiguous chunk per worker. Kept for scheduler-comparison
+  /// benchmarks; skewed seed costs serialize on the slowest chunk.
+  kStaticChunk,
+};
+
 /// Options for BatchCluster.
 struct BatchClusterOptions {
   LacaOptions laca;
-  /// Worker threads; 0 uses the hardware concurrency.
+  /// Worker threads; 0 uses the hardware concurrency. Values larger than the
+  /// query count are clamped (excess workers would only idle).
   size_t num_threads = 0;
+  BatchSchedule schedule = BatchSchedule::kDynamic;
 };
 
 /// Answers every query with Laca::Cluster. Results are returned in query

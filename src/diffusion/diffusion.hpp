@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/diffusion_workspace.hpp"
 #include "common/sparse_vector.hpp"
 #include "graph/graph.hpp"
 
@@ -45,13 +46,23 @@ struct DiffusionStats {
 
 /// Reusable diffusion engine over a fixed graph.
 ///
-/// Holds dense scratch arrays sized to the graph so repeated calls (the two
-/// diffusions inside LACA, or many seeds in an experiment) do not reallocate.
-/// Weighted graphs are supported: pushes distribute proportionally to edge
-/// weights and thresholds use weighted degrees. Not thread-safe.
+/// Works on a DiffusionWorkspace sized to the graph so repeated calls (the
+/// two diffusions inside LACA, or many seeds in an experiment) perform zero
+/// heap allocations after warm-up. Weighted graphs are supported: pushes
+/// distribute proportionally to edge weights and thresholds use weighted
+/// degrees. Not thread-safe; not copyable (the workspace is call state).
 class DiffusionEngine {
  public:
+  /// Owns a private workspace bound to `graph`.
   explicit DiffusionEngine(const Graph& graph);
+
+  /// Borrows `workspace` (rebinding it to `graph`); the caller keeps it alive
+  /// for the engine's lifetime. Lets one arena serve the engine and
+  /// QueuePush on the same thread.
+  DiffusionEngine(const Graph& graph, DiffusionWorkspace* workspace);
+
+  DiffusionEngine(const DiffusionEngine&) = delete;
+  DiffusionEngine& operator=(const DiffusionEngine&) = delete;
 
   /// Algo. 1: greedy residue conversion only. `f` must be non-negative.
   SparseVector Greedy(const SparseVector& f, const DiffusionOptions& opts,
@@ -70,20 +81,27 @@ class DiffusionEngine {
 
   const Graph& graph() const { return graph_; }
 
+  /// The scratch arena backing this engine (owned or borrowed).
+  const DiffusionWorkspace& workspace() const { return *ws_; }
+  DiffusionWorkspace* mutable_workspace() { return ws_; }
+
  private:
   enum class Mode { kGreedy, kNonGreedy, kAdaptive };
   SparseVector Run(Mode mode, const SparseVector& f,
                    const DiffusionOptions& opts, DiffusionStats* stats);
 
-  // Adds `value` to r_[v], maintaining the support list and vol(r).
-  void AddResidual(NodeId v, double value);
+  // The mode-specialized iteration loop; Weighted selects the scatter kernel
+  // and TrackVolume elides vol(r) bookkeeping when the mode never reads it.
+  template <bool Weighted, bool TrackVolume>
+  void RunLoop(Mode mode, const DiffusionOptions& opts, double budget,
+               bool record_trace, double r_l1, DiffusionStats* stats,
+               uint64_t* iterations, uint64_t* greedy_rounds,
+               uint64_t* nongreedy_rounds, uint64_t* push_work,
+               double* nongreedy_cost);
 
   const Graph& graph_;
-  std::vector<double> r_, q_;
-  std::vector<NodeId> r_support_, q_support_;
-  // Scratch for the per-iteration gamma batch.
-  std::vector<NodeId> gamma_nodes_;
-  std::vector<double> gamma_values_;
+  DiffusionWorkspace owned_ws_;  // unused when a workspace is borrowed
+  DiffusionWorkspace* ws_;
   double r_volume_ = 0.0;
 };
 

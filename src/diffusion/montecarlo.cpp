@@ -65,6 +65,13 @@ SparseVector MonteCarloRwr(const Graph& graph, NodeId seed,
 
 SparseVector ForaDiffuse(const Graph& graph, NodeId seed,
                          const ForaOptions& opts) {
+  DiffusionWorkspace workspace(graph);
+  return ForaDiffuse(graph, seed, opts, &workspace);
+}
+
+SparseVector ForaDiffuse(const Graph& graph, NodeId seed,
+                         const ForaOptions& opts,
+                         DiffusionWorkspace* workspace) {
   LACA_CHECK(seed < graph.num_nodes(), "seed node out of range");
   LACA_CHECK(opts.walks_per_residual_unit > 0.0,
              "walks_per_residual_unit must be positive");
@@ -72,7 +79,8 @@ SparseVector ForaDiffuse(const Graph& graph, NodeId seed,
   QueuePushOptions push_opts;
   push_opts.alpha = opts.alpha;
   push_opts.epsilon = opts.push_epsilon;
-  QueuePushResult pushed = QueuePush(graph, SparseVector::Unit(seed), push_opts);
+  QueuePushResult pushed =
+      QueuePush(graph, SparseVector::Unit(seed), push_opts, workspace);
 
   // Refinement: pi(s, t) = q(t) + sum_i r_i pi(i, t); estimate each pi(i, .)
   // with ceil(r_i * walks_per_residual_unit) sampled walks. Accumulate into a

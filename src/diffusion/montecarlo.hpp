@@ -19,6 +19,7 @@
 
 #include <cstdint>
 
+#include "common/diffusion_workspace.hpp"
 #include "common/sparse_vector.hpp"
 #include "graph/graph.hpp"
 
@@ -58,7 +59,14 @@ struct ForaOptions {
 };
 
 /// FORA-style estimate of pi(seed, .): push with a coarse threshold, then
-/// Monte-Carlo refinement of the residual vector.
+/// Monte-Carlo refinement of the residual vector. The push phase runs in
+/// `workspace` (rebound to `graph` if needed), so per-seed loops on a warm
+/// workspace skip the O(n) push-scratch setup.
+SparseVector ForaDiffuse(const Graph& graph, NodeId seed,
+                         const ForaOptions& opts,
+                         DiffusionWorkspace* workspace);
+
+/// Convenience overload using a transient push workspace.
 SparseVector ForaDiffuse(const Graph& graph, NodeId seed,
                          const ForaOptions& opts);
 

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "common/diffusion_workspace.hpp"
 #include "common/sparse_vector.hpp"
 #include "graph/graph.hpp"
 
@@ -40,6 +41,15 @@ struct QueuePushResult {
 /// convert (1-alpha) r_u into reserve and scatter alpha r_u across u's
 /// neighbors (weight-proportionally on weighted graphs). `f` must be
 /// non-negative. Throws std::invalid_argument on bad options.
+///
+/// Works entirely inside `workspace` (rebound to `graph` if needed): repeated
+/// calls on a warm workspace perform zero O(n) allocation or reset.
+QueuePushResult QueuePush(const Graph& graph, const SparseVector& f,
+                          const QueuePushOptions& opts,
+                          DiffusionWorkspace* workspace);
+
+/// Convenience overload that allocates a transient workspace. Prefer the
+/// workspace overload anywhere QueuePush runs more than once per graph.
 QueuePushResult QueuePush(const Graph& graph, const SparseVector& f,
                           const QueuePushOptions& opts);
 

@@ -1,10 +1,16 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/error.hpp"
 
 namespace laca {
+
+uint64_t Graph::NextInstanceId() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;  // ids start at 1
+}
 
 Graph::Graph(std::vector<EdgeIndex> offsets, std::vector<NodeId> adjacency,
              std::vector<double> weights)

@@ -73,13 +73,26 @@ class Graph {
   const std::vector<NodeId>& adjacency() const { return adjacency_; }
   const std::vector<double>& weights() const { return weights_; }
 
+  /// Flat weighted-degree array (index = node id). The diffusion kernels walk
+  /// this sequentially instead of calling Degree(v) per node.
+  const std::vector<double>& degrees() const { return degree_; }
+
+  /// Process-unique identity of this graph's contents. Every constructed
+  /// graph gets a fresh id; copies share their source's id (identical,
+  /// immutable contents). Lets caches (DiffusionWorkspace) detect rebinding
+  /// without comparing possibly-dangling data pointers.
+  uint64_t instance_id() const { return instance_id_; }
+
  private:
+  static uint64_t NextInstanceId();
+
   std::vector<EdgeIndex> offsets_;   // n+1
   std::vector<NodeId> adjacency_;    // 2|E|
   std::vector<double> weights_;      // empty or 2|E|
   std::vector<double> degree_;       // weighted degree cache
   std::vector<NodeId> degree_count_; // neighbor counts
   double total_volume_ = 0.0;
+  uint64_t instance_id_ = NextInstanceId();
 };
 
 }  // namespace laca

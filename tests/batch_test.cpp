@@ -65,6 +65,41 @@ TEST_F(BatchClusterTest, ResultsIndependentOfThreadCount) {
             BatchCluster(ds_->data.graph, tnam_, queries, many));
 }
 
+TEST_F(BatchClusterTest, MoreWorkersThanQueries) {
+  // Regression: worker counts far above the query count must clamp cleanly
+  // (excess workers used to distort the static chunk sizing) and still
+  // answer every query exactly once.
+  std::vector<BatchQuery> queries = MakeQueries(3);
+  BatchClusterOptions serial, oversized;
+  serial.num_threads = 1;
+  oversized.num_threads = 100;
+  std::vector<std::vector<NodeId>> expected =
+      BatchCluster(ds_->data.graph, tnam_, queries, serial);
+  EXPECT_EQ(BatchCluster(ds_->data.graph, tnam_, queries, oversized),
+            expected);
+  oversized.schedule = BatchSchedule::kStaticChunk;
+  EXPECT_EQ(BatchCluster(ds_->data.graph, tnam_, queries, oversized),
+            expected);
+}
+
+TEST_F(BatchClusterTest, SchedulersAgreeAcrossWorkerCounts) {
+  std::vector<BatchQuery> queries = MakeQueries(11);
+  BatchClusterOptions base;
+  base.num_threads = 1;
+  std::vector<std::vector<NodeId>> expected =
+      BatchCluster(ds_->data.graph, tnam_, queries, base);
+  for (size_t threads : {0u, 1u, 2u, 5u, 16u}) {
+    for (BatchSchedule schedule :
+         {BatchSchedule::kDynamic, BatchSchedule::kStaticChunk}) {
+      BatchClusterOptions opts;
+      opts.num_threads = threads;
+      opts.schedule = schedule;
+      EXPECT_EQ(BatchCluster(ds_->data.graph, tnam_, queries, opts), expected)
+          << "threads=" << threads << " schedule=" << static_cast<int>(schedule);
+    }
+  }
+}
+
 TEST_F(BatchClusterTest, WithoutSnasMode) {
   std::vector<BatchQuery> queries = MakeQueries(4);
   BatchClusterOptions opts;
