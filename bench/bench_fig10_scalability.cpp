@@ -2,7 +2,16 @@
 // mean per-seed running time as (a, b) the diffusion threshold eps decreases
 // and (c, d) the TNAM dimension k grows. Expectation: time scales ~1/eps
 // (panel a/b) and is flat in k while 1/eps dominates (panel c/d).
+//
+// Steady-state protocol: one DiffusionWorkspace per dataset is shared by
+// every Laca instance this bench constructs (across metrics, eps points, and
+// TNAM dimensions), so measured runs pay zero workspace allocation — the
+// bench asserts the arena's alloc counter stays flat after warm-up, the same
+// witness the golden zero-allocation test reads. Engines used to be rebuilt
+// per run here, which understated steady-state throughput.
 #include <cstdio>
+#include <map>
+#include <string>
 
 #include "attr/tnam.hpp"
 #include "bench_util.hpp"
@@ -13,12 +22,28 @@
 namespace laca {
 namespace {
 
-double OnlineSeconds(const Dataset& ds, const Tnam& tnam,
-                     const LacaOptions& opts, std::span<const NodeId> seeds) {
-  Laca laca(ds.data.graph, &tnam);
+bool allocs_flat = true;
+
+double OnlineSeconds(Laca& laca, const LacaOptions& opts,
+                     std::span<const NodeId> seeds) {
   Timer timer;
   for (NodeId seed : seeds) laca.ComputeBdd(seed, opts);
   return timer.ElapsedSeconds() / static_cast<double>(seeds.size());
+}
+
+// The zero-allocation acceptance check: a warm workspace must not allocate
+// across measured runs. Failures flip the process exit code.
+void CheckAllocsFlat(const Laca& laca, uint64_t baseline,
+                     const std::string& where) {
+  const uint64_t now = laca.workspace().alloc_events();
+  if (now != baseline) {
+    std::fprintf(stderr,
+                 "ALLOC REGRESSION (%s): workspace alloc_events went "
+                 "%llu -> %llu across warm runs\n",
+                 where.c_str(), static_cast<unsigned long long>(baseline),
+                 static_cast<unsigned long long>(now));
+    allocs_flat = false;
+  }
 }
 
 }  // namespace
@@ -30,6 +55,10 @@ int main() {
   const std::vector<std::string> datasets = {"arxiv-sim", "yelp-sim",
                                              "reddit-sim", "amazon2m-sim"};
 
+  // One shared arena per dataset for every Laca this bench builds: measured
+  // runs are steady-state (see header comment).
+  std::map<std::string, DiffusionWorkspace> workspaces;
+
   for (SnasMetric metric : {SnasMetric::kCosine, SnasMetric::kExpCosine}) {
     const char* tag = metric == SnasMetric::kCosine ? "LACA (C)" : "LACA (E)";
 
@@ -37,8 +66,8 @@ int main() {
                        ": online seconds vs. eps (" +
                        std::to_string(num_seeds) + " seeds)");
     // Stops at 1e-7: the O(1/eps) trend is established well before the
-  // volume-capped regime, and the 1e-8 points cost minutes each on one core.
-  const std::vector<double> epsilons = {1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7};
+    // volume-capped regime, and the 1e-8 points cost minutes each on one core.
+    const std::vector<double> epsilons = {1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7};
     {
       std::vector<std::string> header;
       for (double e : epsilons) header.push_back(bench::Fmt(e, "%.0e"));
@@ -49,13 +78,19 @@ int main() {
         TnamOptions topts;
         topts.metric = metric;
         Tnam tnam = Tnam::Build(ds.data.attributes, topts);
+        Laca laca(ds.data.graph, &tnam, &workspaces[name]);
+        // Warm-up at the coarsest eps brings every buffer to capacity.
+        LacaOptions warm;
+        warm.epsilon = epsilons.front();
+        OnlineSeconds(laca, warm, seeds);
+        const uint64_t baseline = laca.workspace().alloc_events();
         std::vector<std::string> row;
         for (double eps : epsilons) {
           LacaOptions opts;
           opts.epsilon = eps;
-          row.push_back(
-              bench::FmtSeconds(OnlineSeconds(ds, tnam, opts, seeds)));
+          row.push_back(bench::FmtSeconds(OnlineSeconds(laca, opts, seeds)));
         }
+        CheckAllocsFlat(laca, baseline, name + " eps sweep");
         bench::PrintRow(name, row, 14, 9);
       }
     }
@@ -74,12 +109,18 @@ int main() {
         std::vector<std::string> row;
         LacaOptions opts;
         opts.epsilon = 1e-6;
+        // The arena is warm from the eps sweep (same graph, deeper eps), so
+        // the whole k sweep must stay allocation-free even though each k
+        // builds a fresh TNAM and Laca around the shared workspace.
+        const uint64_t baseline = workspaces[name].alloc_events();
         for (int k : ks) {
           TnamOptions topts;
           topts.metric = metric;
           topts.k = k;
           Tnam tnam = Tnam::Build(ds.data.attributes, topts);
-          row.push_back(bench::FmtSeconds(OnlineSeconds(ds, tnam, opts, seeds)));
+          Laca laca(ds.data.graph, &tnam, &workspaces[name]);
+          row.push_back(bench::FmtSeconds(OnlineSeconds(laca, opts, seeds)));
+          CheckAllocsFlat(laca, baseline, name + " k=" + std::to_string(k));
         }
         {
           TnamOptions topts;
@@ -87,11 +128,19 @@ int main() {
           topts.use_ksvd = false;
           topts.k = 128;
           Tnam tnam = Tnam::Build(ds.data.attributes, topts);
-          row.push_back(bench::FmtSeconds(OnlineSeconds(ds, tnam, opts, seeds)));
+          Laca laca(ds.data.graph, &tnam, &workspaces[name]);
+          row.push_back(bench::FmtSeconds(OnlineSeconds(laca, opts, seeds)));
+          CheckAllocsFlat(laca, baseline, name + " no-ksvd");
         }
         bench::PrintRow(name, row, 14, 9);
       }
     }
   }
+  if (!allocs_flat) {
+    std::fprintf(stderr,
+                 "\nFAILED: workspace allocations detected in warm runs\n");
+    return 1;
+  }
+  std::printf("\nworkspace alloc counter flat across all warm runs\n");
   return 0;
 }

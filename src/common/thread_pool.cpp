@@ -28,6 +28,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  SubmitTask(Task{std::move(task), nullptr});
+}
+
+void ThreadPool::SubmitTask(Task task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
@@ -47,10 +51,110 @@ void ThreadPool::Wait() {
 
 void ThreadPool::ParallelFor(size_t begin, size_t end,
                              const std::function<void(size_t)>& fn) {
+  TaskGroup group(*this);
+  group.ParallelFor(begin, end, fn);
+}
+
+void ThreadPool::RunTask(Task task) {
+  // Exceptions route to the task's group when it has one; ungrouped tasks
+  // fall back to the pool-level slot read by Wait(). This is what keeps two
+  // concurrent batches from stealing each other's errors.
+  try {
+    task.fn();
+  } catch (...) {
+    if (task.group != nullptr) {
+      task.group->OnError(std::current_exception());
+    } else {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+  FinishTask();
+  if (task.group != nullptr) task.group->OnTaskDone();
+}
+
+void ThreadPool::FinishTask() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  --in_flight_;
+  if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
+}
+
+bool ThreadPool::RunOneTaskFromGroup(TaskGroup* group) {
+  Task task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = std::find_if(queue_.begin(), queue_.end(),
+                           [group](const Task& t) { return t.group == group; });
+    if (it == queue_.end()) return false;
+    task = std::move(*it);
+    queue_.erase(it);
+    ++in_flight_;
+  }
+  RunTask(std::move(task));
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock,
+                       [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    RunTask(std::move(task));
+  }
+}
+
+TaskGroup::~TaskGroup() {
+  try {
+    Wait();
+  } catch (...) {
+    // Destructors must not throw; callers wanting the error call Wait().
+  }
+}
+
+void TaskGroup::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+  }
+  pool_.SubmitTask(ThreadPool::Task{std::move(task), this});
+}
+
+void TaskGroup::Wait() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (pending_ == 0) break;
+    }
+    // Help-run this group's queued tasks so a Wait() from inside a pool
+    // worker (nested parallelism) makes progress instead of deadlocking;
+    // once none are queued, the stragglers are running on other threads.
+    if (!pool_.RunOneTaskFromGroup(this)) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_.wait(lock, [this] { return pending_ == 0; });
+      break;
+    }
+  }
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void TaskGroup::ParallelFor(size_t begin, size_t end,
+                            const std::function<void(size_t)>& fn) {
   if (begin >= end) return;
   const size_t total = end - begin;
   // More blocks than threads so uneven task costs still balance.
-  const size_t blocks = std::min(total, num_threads() * 4);
+  const size_t blocks = std::min(total, pool_.num_threads() * 4);
   const size_t block_size = (total + blocks - 1) / blocks;
   for (size_t b = begin; b < end; b += block_size) {
     const size_t lo = b;
@@ -62,36 +166,43 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   Wait();
 }
 
-void ThreadPool::WorkerLoop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_ready_.wait(lock,
-                       [this] { return shutting_down_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutting down
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      ++in_flight_;
-    }
-    try {
-      task();
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (!first_error_) first_error_ = std::current_exception();
-    }
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
-    }
-  }
+void TaskGroup::OnError(std::exception_ptr error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!first_error_) first_error_ = std::move(error);
+}
+
+void TaskGroup::OnTaskDone() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  --pending_;
+  if (pending_ == 0) done_.notify_all();
+}
+
+ThreadPool& SharedPool() {
+  static ThreadPool pool(0);
+  return pool;
 }
 
 void ParallelFor(size_t begin, size_t end, size_t num_threads,
                  const std::function<void(size_t)>& fn) {
-  ThreadPool pool(num_threads);
-  pool.ParallelFor(begin, end, fn);
+  if (begin >= end) return;
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // At most `num_threads` blocks are submitted, so at most that many run
+  // concurrently even though the shared pool may be larger. The former
+  // implementation spawned (and joined) a whole transient pool per call.
+  TaskGroup group(SharedPool());
+  const size_t total = end - begin;
+  const size_t blocks = std::min(total, num_threads);
+  const size_t block_size = (total + blocks - 1) / blocks;
+  for (size_t b = begin; b < end; b += block_size) {
+    const size_t lo = b;
+    const size_t hi = std::min(end, b + block_size);
+    group.Submit([&fn, lo, hi] {
+      for (size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  group.Wait();
 }
 
 }  // namespace laca

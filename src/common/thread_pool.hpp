@@ -1,9 +1,24 @@
-// Fixed-size thread pool and blocked parallel-for.
+// Fixed-size thread pool, per-batch task groups, and blocked parallel-for.
 //
 // Batch experiment drivers evaluate hundreds of seeds per dataset; the seeds
 // are independent, so the eval harness and the heavier benches fan them out
 // over a pool. The pool is deliberately simple — a mutex-guarded queue, no
 // work stealing — because tasks here are coarse (milliseconds to seconds).
+//
+// Two levels of completion tracking exist:
+//   * TaskGroup — per-batch. Each group waits for exactly the tasks it
+//     submitted and rethrows only its own first error. Two groups sharing one
+//     pool are fully independent: neither blocks on (or steals exceptions
+//     from) the other's tasks. This is what the two-level BatchCluster
+//     scheduling relies on, and what ThreadPool::ParallelFor uses internally.
+//   * ThreadPool::Wait — whole-pool drain (every queued task from every
+//     group). Kept for destructor semantics and for callers that raw-Submit
+//     without a group.
+//
+// A TaskGroup::Wait() caller that is itself a pool worker helps execute its
+// own group's queued tasks instead of sleeping, so nesting a group inside a
+// pool task (intra-query sharding inside an across-seed worker) cannot
+// deadlock even when every worker is blocked in a Wait().
 #ifndef LACA_COMMON_THREAD_POOL_HPP_
 #define LACA_COMMON_THREAD_POOL_HPP_
 
@@ -18,10 +33,13 @@
 
 namespace laca {
 
+class TaskGroup;
+
 /// A fixed pool of worker threads executing submitted tasks FIFO.
 ///
-/// Exceptions thrown by tasks are captured; the first one is rethrown from
-/// `Wait()` (and the remaining tasks still run). Destruction waits for all
+/// Tasks submitted directly via Submit() have their first exception captured
+/// at pool level and rethrown from Wait(); tasks submitted through a
+/// TaskGroup report to that group instead. Destruction waits for all
 /// submitted tasks to finish.
 class ThreadPool {
  public:
@@ -37,24 +55,42 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
-  /// Enqueues a task for execution.
+  /// Enqueues an ungrouped task. Its first exception is captured at pool
+  /// level and rethrown by Wait(). Prefer a TaskGroup when two batches can
+  /// be in flight at once.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished. If any task threw, the
-  /// first captured exception is rethrown here (once).
+  /// Blocks until EVERY submitted task (from every group) has finished —
+  /// a whole-pool drain, not a batch wait. Rethrows the first exception of
+  /// an ungrouped task, if any (once). Grouped tasks rethrow from their
+  /// group's Wait() instead.
   void Wait();
 
   /// Runs fn(i) for i in [begin, end) across the pool in contiguous blocks,
   /// then waits. `fn` must be safe to call concurrently for distinct i.
-  /// Exceptions propagate as in Wait().
+  /// Internally batch-scoped: concurrent ParallelFor calls on one pool do
+  /// not wait on each other's blocks or steal each other's exceptions.
   void ParallelFor(size_t begin, size_t end,
                    const std::function<void(size_t)>& fn);
 
  private:
+  friend class TaskGroup;
+
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;  // null for ungrouped Submit()
+  };
+
+  void SubmitTask(Task task);
+  // Pops and runs the first queued task of `group` on the calling thread.
+  // Returns false if none is queued. Used by TaskGroup::Wait to help-run.
+  bool RunOneTaskFromGroup(TaskGroup* group);
+  void RunTask(Task task);
+  void FinishTask();
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::mutex mutex_;
   std::condition_variable task_ready_;
   std::condition_variable all_done_;
@@ -63,8 +99,56 @@ class ThreadPool {
   std::exception_ptr first_error_;
 };
 
-/// Runs fn(i) for i in [begin, end) on a transient pool of `num_threads`
-/// workers (0 = hardware concurrency). Convenience for one-shot fan-outs.
+/// A batch of tasks on a shared ThreadPool with private completion and error
+/// tracking: Wait() returns when exactly this group's tasks are done and
+/// rethrows only this group's first exception. Reusable after Wait(). The
+/// group must outlive its tasks (the destructor waits, without rethrowing).
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Waits for any still-pending tasks (exceptions are swallowed — call
+  /// Wait() first if you need them).
+  ~TaskGroup();
+
+  /// Enqueues a task belonging to this group.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted to THIS group has finished, helping
+  /// to execute the group's queued tasks on the calling thread. If any task
+  /// threw, the group's first captured exception is rethrown here (once).
+  void Wait();
+
+  /// Runs fn(i) for i in [begin, end) as tasks of this group, then Wait()s.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn);
+
+ private:
+  friend class ThreadPool;
+
+  void OnError(std::exception_ptr error);
+  void OnTaskDone();
+
+  ThreadPool& pool_;
+  std::mutex mutex_;
+  std::condition_variable done_;
+  size_t pending_ = 0;
+  std::exception_ptr first_error_;
+};
+
+/// Process-wide lazily-constructed pool sized to the hardware concurrency.
+/// One-shot fan-outs (the free ParallelFor, parallel method evaluation) run
+/// on it through TaskGroups instead of paying thread spawn/join per call.
+/// Do not block a SharedPool() worker on work that only other SharedPool()
+/// workers can perform (TaskGroup::Wait is safe: it helps).
+ThreadPool& SharedPool();
+
+/// Runs fn(i) for i in [begin, end) on the shared pool, using at most
+/// `num_threads` concurrent blocks (0 = hardware concurrency). Convenience
+/// for one-shot fan-outs; no per-call thread spawn cost.
 void ParallelFor(size_t begin, size_t end, size_t num_threads,
                  const std::function<void(size_t)>& fn);
 

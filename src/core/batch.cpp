@@ -2,11 +2,28 @@
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
 #include <thread>
 
 #include "common/thread_pool.hpp"
 
 namespace laca {
+namespace {
+
+// Per-worker intra-query thread budget (including the worker itself) under
+// two-level scheduling: the across-seed fan-out uses `workers` threads of the
+// `total` budget, and the surplus is spread across workers (first `extra`
+// workers get one more). Many-queries batches get budget 1 everywhere (pure
+// across-seed parallelism); a single big-graph query gets the whole budget.
+size_t IntraQueryBudget(size_t worker, size_t workers, size_t total,
+                        const BatchClusterOptions& opts) {
+  if (opts.intra_query_threads > 0) return opts.intra_query_threads;
+  const size_t base = total / workers;
+  const size_t extra = total % workers;
+  return base + (worker < extra ? 1 : 0);
+}
+
+}  // namespace
 
 std::vector<std::vector<NodeId>> BatchCluster(
     const Graph& graph, const Tnam* tnam, std::span<const BatchQuery> queries,
@@ -14,61 +31,81 @@ std::vector<std::vector<NodeId>> BatchCluster(
   std::vector<std::vector<NodeId>> results(queries.size());
   if (queries.empty()) return results;
 
-  size_t workers = opts.num_threads;
-  if (workers == 0) {
-    workers = std::max(1u, std::thread::hardware_concurrency());
+  size_t total = opts.num_threads;
+  if (total == 0) {
+    total = std::max(1u, std::thread::hardware_concurrency());
   }
-  // More workers than queries just idle (and waste a Laca construction
-  // each); fewer than one cannot make progress. The schedulers below are
-  // correct for any worker count in [1, queries.size()].
-  workers = std::min(std::max<size_t>(workers, 1), queries.size());
+  total = std::max<size_t>(total, 1);
+  // More across-seed workers than queries just idle (and waste a Laca
+  // construction each); the surplus threads instead become intra-query
+  // helpers. The schedulers below are correct for any worker count in
+  // [1, queries.size()].
+  const size_t workers = std::min(total, queries.size());
+
+  // One worker body shared by every scheduling shape: a persistent Laca
+  // (warm workspace across all the queries this worker claims) plus an
+  // optional private helper pool for sharding big non-greedy rounds. The
+  // helper pool is per-worker and lives for the whole batch, so queries pay
+  // no thread spawn cost.
+  auto answer = [&](Laca& laca, size_t i) {
+    results[i] = laca.Cluster(queries[i].seed, queries[i].size, opts.laca);
+  };
+  auto make_worker = [&](size_t w, auto claim) {
+    return [&, w, claim] {
+      Laca laca(graph, tnam);
+      std::optional<ThreadPool> helper;
+      const size_t budget = IntraQueryBudget(w, workers, total, opts);
+      if (budget > 1) {
+        helper.emplace(budget - 1);
+        laca.SetIntraQueryPool(&*helper);
+      }
+      claim(laca);
+    };
+  };
 
   if (workers == 1) {
-    // No pool: one persistent Laca answers everything in order.
-    Laca laca(graph, tnam);
-    for (size_t i = 0; i < queries.size(); ++i) {
-      results[i] = laca.Cluster(queries[i].seed, queries[i].size, opts.laca);
-    }
+    // No across-seed pool: one worker answers everything in order (still
+    // with its intra-query helpers when the budget allows).
+    make_worker(0, [&](Laca& laca) {
+      for (size_t i = 0; i < queries.size(); ++i) answer(laca, i);
+    })();
     return results;
   }
 
+  // Declared before the pool and group so that ANY exit — including an
+  // exception unwinding past group's waiting destructor — destroys the
+  // counter only after every worker that can touch it has finished.
+  std::atomic<size_t> next{0};
   ThreadPool pool(workers);
+  TaskGroup group(pool);
   if (opts.schedule == BatchSchedule::kStaticChunk) {
     // One contiguous chunk per worker. Kept for comparison benchmarks
     // (bench_ext_parallel_scaling): skewed per-seed costs serialize on the
     // slowest chunk.
     const size_t chunk = (queries.size() + workers - 1) / workers;
-    for (size_t lo = 0; lo < queries.size(); lo += chunk) {
+    for (size_t w = 0; w < workers; ++w) {
+      const size_t lo = w * chunk;
       const size_t hi = std::min(lo + chunk, queries.size());
-      pool.Submit([&, lo, hi] {
-        Laca laca(graph, tnam);
-        for (size_t i = lo; i < hi; ++i) {
-          results[i] =
-              laca.Cluster(queries[i].seed, queries[i].size, opts.laca);
-        }
-      });
+      if (lo >= hi) break;
+      group.Submit(make_worker(w, [&, lo, hi](Laca& laca) {
+        for (size_t i = lo; i < hi; ++i) answer(laca, i);
+      }));
     }
   } else {
-    // Dynamic scheduling: every worker owns one persistent Laca (and thus
-    // one diffusion workspace, warm across all the queries it claims) and
-    // pulls the next query off a shared atomic counter, so skewed seed
-    // costs rebalance instead of serializing on the slowest chunk.
-    std::atomic<size_t> next{0};
+    // Dynamic scheduling: every worker pulls the next query off the shared
+    // atomic counter, so skewed seed costs rebalance instead of serializing
+    // on the slowest chunk.
     for (size_t w = 0; w < workers; ++w) {
-      pool.Submit([&] {
-        Laca laca(graph, tnam);
+      group.Submit(make_worker(w, [&](Laca& laca) {
         for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
              i < queries.size();
              i = next.fetch_add(1, std::memory_order_relaxed)) {
-          results[i] =
-              laca.Cluster(queries[i].seed, queries[i].size, opts.laca);
+          answer(laca, i);
         }
-      });
+      }));
     }
-    pool.Wait();  // `next` must outlive the workers
-    return results;
   }
-  pool.Wait();
+  group.Wait();  // per-batch: rethrows this batch's first error only
   return results;
 }
 

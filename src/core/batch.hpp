@@ -36,10 +36,18 @@ enum class BatchSchedule {
 /// Options for BatchCluster.
 struct BatchClusterOptions {
   LacaOptions laca;
-  /// Worker threads; 0 uses the hardware concurrency. Values larger than the
-  /// query count are clamped (excess workers would only idle).
+  /// Total thread budget; 0 uses the hardware concurrency. Distributed by
+  /// two-level scheduling: with more queries than threads, every thread is
+  /// an across-seed worker (one warm Laca each); with fewer queries than
+  /// threads (the few-large-seeds / big-graph regime), the surplus becomes
+  /// per-worker intra-query helper pools that shard big non-greedy rounds.
+  /// Results are bit-identical for every split.
   size_t num_threads = 0;
   BatchSchedule schedule = BatchSchedule::kDynamic;
+  /// Overrides the automatic per-worker intra-query thread budget: 0 = auto
+  /// (distribute the num_threads surplus), 1 = force serial queries, k > 1 =
+  /// every worker gets k-1 helper threads regardless of surplus.
+  size_t intra_query_threads = 0;
 };
 
 /// Answers every query with Laca::Cluster. Results are returned in query

@@ -17,6 +17,15 @@ Laca::Laca(const Graph& graph, const Tnam* tnam)
   }
 }
 
+Laca::Laca(const Graph& graph, const Tnam* tnam, DiffusionWorkspace* workspace)
+    : graph_(graph), tnam_(tnam), engine_(graph, workspace) {
+  if (tnam_ != nullptr) {
+    LACA_CHECK(tnam_->num_rows() == graph.num_nodes(),
+               "TNAM row count must match graph node count");
+    psi_.resize(tnam_->dim());
+  }
+}
+
 LacaResult Laca::ComputeBdd(NodeId seed, const LacaOptions& opts) {
   LACA_CHECK(seed < graph_.num_nodes(), "seed out of range");
   LacaResult result;

@@ -21,9 +21,12 @@ struct LacaOptions {
   double sigma = 0.0;
   /// Ablation switch (Table VI, "w/o AdaptiveDiffuse"): use GreedyDiffuse.
   bool use_adaptive = true;
+  /// Minimum support size before non-greedy rounds shard across the
+  /// intra-query pool (forwarded to DiffusionOptions; inert without one).
+  size_t min_parallel_support = 2048;
 
   DiffusionOptions ToDiffusionOptions() const {
-    return DiffusionOptions{alpha, epsilon, sigma};
+    return DiffusionOptions{alpha, epsilon, sigma, min_parallel_support};
   }
 };
 
@@ -52,6 +55,12 @@ class Laca {
   /// graph nodes. The referenced graph and TNAM must outlive this object.
   Laca(const Graph& graph, const Tnam* tnam);
 
+  /// As above, but diffusing on a borrowed scratch arena (rebound to
+  /// `graph`) instead of a private one. Lets long-lived harnesses keep one
+  /// warm workspace across Laca instances — e.g. re-preparing with a new
+  /// TNAM per run — so steady-state runs stay allocation-free.
+  Laca(const Graph& graph, const Tnam* tnam, DiffusionWorkspace* workspace);
+
   /// Runs Algo. 4 and returns the approximate BDD vector.
   LacaResult ComputeBdd(NodeId seed, const LacaOptions& opts);
 
@@ -69,6 +78,15 @@ class Laca {
 
   const Graph& graph() const { return graph_; }
   bool has_snas() const { return tnam_ != nullptr; }
+
+  /// The diffusion scratch arena (owned or borrowed); its alloc_events()
+  /// counter witnesses the zero-allocation steady state across queries.
+  const DiffusionWorkspace& workspace() const { return engine_.workspace(); }
+
+  /// Forwards the intra-query helper pool to the diffusion engine: big
+  /// non-greedy rounds shard across it (see DiffusionEngine). The pool must
+  /// be private to this Laca's calling thread and outlive its calls.
+  void SetIntraQueryPool(ThreadPool* pool) { engine_.SetIntraQueryPool(pool); }
 
  private:
   const Graph& graph_;

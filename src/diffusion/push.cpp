@@ -26,6 +26,8 @@ QueuePushResult QueuePushImpl(const Graph& graph, const SparseVector& f,
   const EdgeIndex* const offsets = graph.offsets().data();
   const NodeId* const adjacency = graph.adjacency().data();
   const double* const weights = Weighted ? graph.weights().data() : nullptr;
+  uint32_t* const stamp = ws->stamp();
+  const uint32_t call_stamp = ws->call_stamp();
   std::vector<NodeId>& touched = ws->r_support();
   std::vector<NodeId>& converted = ws->q_support();
   const double alpha = opts.alpha;
@@ -33,7 +35,15 @@ QueuePushResult QueuePushImpl(const Graph& graph, const SparseVector& f,
 
   size_t head = 0, tail = 0, pending = 0;
   auto add_residual = [&](NodeId v, double value) {
-    if (r[v] == 0.0 && q[v] == 0.0) touched.push_back(v);
+    // Stamp-deduplicated like the DiffusionEngine kernels, so r_support is
+    // duplicate-free across every workspace client — the sharded non-greedy
+    // round relies on that to hand each support entry to exactly one drain
+    // slice. (The old r==0 && q==0 test was equivalent here but left the
+    // invariant per-kernel instead of workspace-wide.)
+    if (stamp[v] != call_stamp) {
+      stamp[v] = call_stamp;
+      touched.push_back(v);
+    }
     r[v] += value;
     if (!queued[v] && r[v] >= eps * deg[v]) {
       queued[v] = 1;

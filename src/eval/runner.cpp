@@ -49,8 +49,12 @@ class LacaMethod : public ClusterMethod {
       topts.metric = *metric_;
       tnam_.emplace(Tnam::Build(dataset.data.attributes, topts));
     }
+    // The scratch arena outlives the per-dataset Laca: re-preparing the same
+    // method (another run, another TNAM) rebinds the warm workspace instead
+    // of allocating a fresh one, keeping steady-state runs allocation-free
+    // (witnessed by workspace().alloc_events()).
     laca_ = std::make_unique<Laca>(dataset.data.graph,
-                                   metric_ ? &*tnam_ : nullptr);
+                                   metric_ ? &*tnam_ : nullptr, &workspace_);
   }
 
   SparseVector Score(const Dataset& dataset, NodeId seed) override {
@@ -64,6 +68,7 @@ class LacaMethod : public ClusterMethod {
   std::string name_;
   std::optional<SnasMetric> metric_;
   std::optional<Tnam> tnam_;
+  DiffusionWorkspace workspace_;
   std::unique_ptr<Laca> laca_;
 };
 
@@ -471,13 +476,25 @@ std::vector<MethodEvaluation> EvaluateMethodsParallel(
     const Dataset& dataset, std::span<const std::string> methods,
     std::span<const NodeId> seeds, size_t num_threads) {
   std::vector<MethodEvaluation> results(methods.size());
-  ThreadPool pool(num_threads);
+  // Default (num_threads == 0): fan out on the process-wide shared pool, no
+  // per-call thread spawn. A TaskGroup scopes completion and errors to this
+  // batch, so concurrent evaluations on the shared pool stay independent.
+  // An explicit num_threads is honored exactly with a right-sized transient
+  // pool — callers use it to bound resource usage or to deliberately
+  // oversubscribe, neither of which the shared pool's fixed width can do.
+  std::optional<ThreadPool> sized;
+  ThreadPool* pool = &SharedPool();
+  if (num_threads != 0 && num_threads != pool->num_threads()) {
+    sized.emplace(num_threads);
+    pool = &*sized;
+  }
+  TaskGroup group(*pool);
   for (size_t i = 0; i < methods.size(); ++i) {
-    pool.Submit([&dataset, &methods, seeds, &results, i] {
+    group.Submit([&dataset, &methods, seeds, &results, i] {
       results[i] = EvaluateByName(dataset, methods[i], seeds);
     });
   }
-  pool.Wait();
+  group.Wait();
   return results;
 }
 

@@ -100,6 +100,58 @@ TEST_F(BatchClusterTest, SchedulersAgreeAcrossWorkerCounts) {
   }
 }
 
+TEST_F(BatchClusterTest, TwoLevelSchedulingMatchesSerial) {
+  // Fewer queries than threads: the surplus becomes per-worker intra-query
+  // helper pools. With the sharding threshold forced to 1 every non-greedy
+  // round runs sharded, and results must stay bit-identical to the serial
+  // single-thread answers.
+  std::vector<BatchQuery> queries = MakeQueries(3);
+  BatchClusterOptions serial;
+  serial.num_threads = 1;
+  serial.intra_query_threads = 1;
+  std::vector<std::vector<NodeId>> expected =
+      BatchCluster(ds_->data.graph, tnam_, queries, serial);
+
+  for (size_t total : {8u, 12u}) {
+    for (BatchSchedule schedule :
+         {BatchSchedule::kDynamic, BatchSchedule::kStaticChunk}) {
+      BatchClusterOptions opts;
+      opts.num_threads = total;  // 3 workers, budgets {3,3,2} / {4,4,4}
+      opts.schedule = schedule;
+      opts.laca.min_parallel_support = 1;
+      EXPECT_EQ(BatchCluster(ds_->data.graph, tnam_, queries, opts), expected)
+          << "total=" << total << " schedule=" << static_cast<int>(schedule);
+    }
+  }
+}
+
+TEST_F(BatchClusterTest, SingleQueryUsesWholeBudget) {
+  // The big-graph regime of Fig. 10: one query, many threads. The whole
+  // budget flows to one worker's intra-query pool; the answer must match
+  // the serial one exactly.
+  std::vector<BatchQuery> queries = MakeQueries(1);
+  BatchClusterOptions serial, wide;
+  serial.num_threads = 1;
+  serial.intra_query_threads = 1;
+  wide.num_threads = 8;
+  wide.laca.min_parallel_support = 1;
+  EXPECT_EQ(BatchCluster(ds_->data.graph, tnam_, queries, wide),
+            BatchCluster(ds_->data.graph, tnam_, queries, serial));
+}
+
+TEST_F(BatchClusterTest, ExplicitIntraQueryBudgetOverride) {
+  std::vector<BatchQuery> queries = MakeQueries(4);
+  BatchClusterOptions serial, forced;
+  serial.num_threads = 1;
+  serial.intra_query_threads = 1;
+  std::vector<std::vector<NodeId>> expected =
+      BatchCluster(ds_->data.graph, tnam_, queries, serial);
+  forced.num_threads = 2;
+  forced.intra_query_threads = 3;  // 2 workers x 2 helpers each
+  forced.laca.min_parallel_support = 1;
+  EXPECT_EQ(BatchCluster(ds_->data.graph, tnam_, queries, forced), expected);
+}
+
 TEST_F(BatchClusterTest, WithoutSnasMode) {
   std::vector<BatchQuery> queries = MakeQueries(4);
   BatchClusterOptions opts;

@@ -1,0 +1,275 @@
+// Parallel-vs-serial kernel equivalence for the intra-query sharded
+// non-greedy round.
+//
+// The sharded round (DESIGN.md §2b) claims BIT-identical results to the
+// serial kernel at every shard count: the drain slices partition the support
+// contiguously, contributions are replayed per target in (shard, seq) order,
+// and the touch merge replays first touches in exact serial order, so every
+// floating-point accumulator sees the serial addition sequence. These tests
+// enforce that claim with exact (==, not NEAR) comparisons on the reserve
+// vector, the residual trace, and the tracked vol(r), for Greedy / NonGreedy
+// / Adaptive at 1, 2, and 8 intra-query threads, on both golden graphs —
+// plus the thread-count-exceeds-support edge case and the engine-level
+// zero-allocation steady state of the shard buffers.
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "diffusion/diffusion.hpp"
+#include "core/laca.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace laca {
+namespace {
+
+Graph UnweightedTestGraph() {
+  AttributedSbmOptions o;
+  o.num_nodes = 400;
+  o.num_communities = 4;
+  o.avg_degree = 12.0;
+  o.intra_fraction = 0.75;
+  o.attr_dim = 0;
+  o.seed = 91;
+  return GenerateAttributedSbm(o).graph;
+}
+
+Graph WeightedTestGraph() {
+  GraphBuilder b(200);
+  Rng rng(77);
+  for (NodeId v = 0; v < 200; ++v) {
+    b.AddEdge(v, (v + 1) % 200, 0.25 + 2.0 * rng.Uniform());
+    b.AddEdge(v, (v + 7) % 200, 0.25 + 2.0 * rng.Uniform());
+    b.AddEdge(v, (v + 31) % 200, 0.25 + 2.0 * rng.Uniform());
+  }
+  return b.Build(/*weighted=*/true);
+}
+
+SparseVector TwoSpikeInput() {
+  SparseVector f;
+  f.Add(3, 0.35);
+  f.Add(42, 0.65);
+  return f;
+}
+
+enum class Mode { kGreedy, kNonGreedy, kAdaptive };
+
+SparseVector RunMode(DiffusionEngine& engine, Mode mode, const SparseVector& f,
+                     const DiffusionOptions& opts, DiffusionStats* stats) {
+  switch (mode) {
+    case Mode::kGreedy:
+      return engine.Greedy(f, opts, stats);
+    case Mode::kNonGreedy:
+      return engine.NonGreedy(f, opts, stats);
+    case Mode::kAdaptive:
+      return engine.Adaptive(f, opts, stats);
+  }
+  return {};
+}
+
+void ExpectBitIdentical(const SparseVector& serial, const DiffusionStats& ss,
+                        const SparseVector& parallel, const DiffusionStats& ps,
+                        const char* what) {
+  ASSERT_EQ(serial.Size(), parallel.Size()) << what;
+  for (size_t i = 0; i < serial.Size(); ++i) {
+    EXPECT_EQ(serial.entries()[i].index, parallel.entries()[i].index)
+        << what << " entry " << i;
+    // Exact equality on purpose: the sharded round must replay the serial
+    // FP addition order, not merely land within a tolerance.
+    EXPECT_EQ(serial.entries()[i].value, parallel.entries()[i].value)
+        << what << " entry " << i;
+  }
+  EXPECT_EQ(ss.iterations, ps.iterations) << what;
+  EXPECT_EQ(ss.greedy_rounds, ps.greedy_rounds) << what;
+  EXPECT_EQ(ss.nongreedy_rounds, ps.nongreedy_rounds) << what;
+  EXPECT_EQ(ss.push_work, ps.push_work) << what;
+  EXPECT_EQ(ss.nongreedy_cost, ps.nongreedy_cost) << what;
+  EXPECT_EQ(ss.r_volume, ps.r_volume) << what;
+  ASSERT_EQ(ss.residual_trace.size(), ps.residual_trace.size()) << what;
+  for (size_t i = 0; i < ss.residual_trace.size(); ++i) {
+    EXPECT_EQ(ss.residual_trace[i], ps.residual_trace[i])
+        << what << " trace round " << i;
+  }
+}
+
+class ParallelEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ParallelEquivalenceTest, BitIdenticalToSerialOnGoldenGraphs) {
+  auto [mode_int, threads] = GetParam();
+  const Mode mode = static_cast<Mode>(mode_int);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads - 1);
+
+  for (const Graph& g : {UnweightedTestGraph(), WeightedTestGraph()}) {
+    DiffusionOptions opts;
+    opts.alpha = 0.8;
+    opts.epsilon = 1e-5;
+    opts.sigma = 0.0;
+    opts.min_parallel_support = 1;  // shard every non-greedy round
+    const SparseVector f = TwoSpikeInput();
+
+    DiffusionEngine serial(g);
+    DiffusionStats serial_stats;
+    serial_stats.record_trace = true;
+    const SparseVector want = RunMode(serial, mode, f, opts, &serial_stats);
+
+    DiffusionEngine parallel(g);
+    parallel.SetIntraQueryPool(pool.get());
+    DiffusionStats parallel_stats;
+    parallel_stats.record_trace = true;
+    const SparseVector got = RunMode(parallel, mode, f, opts, &parallel_stats);
+
+    ExpectBitIdentical(want, serial_stats, got, parallel_stats,
+                       g.is_weighted() ? "weighted" : "unweighted");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ParallelEquivalenceTest,
+    ::testing::Combine(::testing::Values(0, 1, 2),   // kernels
+                       ::testing::Values(1, 2, 8))); // intra-query threads
+
+TEST(ParallelEdgeCaseTest, ThreadCountExceedsSupport) {
+  // First rounds run with |support| = 2 (the two spikes) while 8 threads are
+  // available: the shard count must clamp to the support size and still be
+  // bit-identical. Also covers |support| == 1 via a unit input.
+  Graph g = UnweightedTestGraph();
+  ThreadPool pool(7);
+  DiffusionOptions opts;
+  opts.epsilon = 1e-4;
+  opts.min_parallel_support = 1;
+  for (const SparseVector& f :
+       {TwoSpikeInput(), SparseVector::Unit(5)}) {
+    DiffusionEngine serial(g);
+    DiffusionStats ss;
+    ss.record_trace = true;
+    const SparseVector want = serial.NonGreedy(f, opts, &ss);
+    DiffusionEngine parallel(g);
+    parallel.SetIntraQueryPool(&pool);
+    DiffusionStats ps;
+    ps.record_trace = true;
+    const SparseVector got = parallel.NonGreedy(f, opts, &ps);
+    ExpectBitIdentical(want, ss, got, ps, "tiny support");
+  }
+}
+
+TEST(ParallelEdgeCaseTest, ThresholdKeepsSmallRoundsSerial) {
+  // A threshold above any support size this input reaches must produce the
+  // same results as the serial engine (it IS the serial path) and never
+  // touch the shard buffers.
+  Graph g = UnweightedTestGraph();
+  ThreadPool pool(3);
+  DiffusionOptions opts;
+  opts.epsilon = 1e-5;
+  opts.min_parallel_support = 1u << 30;
+  DiffusionEngine serial(g);
+  DiffusionStats ss;
+  const SparseVector want = serial.NonGreedy(TwoSpikeInput(), opts, &ss);
+  DiffusionEngine parallel(g);
+  parallel.SetIntraQueryPool(&pool);
+  DiffusionStats ps;
+  const SparseVector got = parallel.NonGreedy(TwoSpikeInput(), opts, &ps);
+  ExpectBitIdentical(want, ss, got, ps, "threshold");
+}
+
+TEST(ParallelEdgeCaseTest, TogglingPoolMidStreamIsBitIdentical) {
+  // The same engine alternating sharded and serial calls must not leak
+  // state between modes (the shard buffers live in the shared workspace).
+  Graph g = WeightedTestGraph();
+  ThreadPool pool(3);
+  DiffusionOptions opts;
+  opts.epsilon = 1e-5;
+  opts.min_parallel_support = 1;
+  DiffusionEngine engine(g);
+  const SparseVector base = engine.NonGreedy(TwoSpikeInput(), opts);
+  engine.SetIntraQueryPool(&pool);
+  const SparseVector sharded = engine.NonGreedy(TwoSpikeInput(), opts);
+  engine.SetIntraQueryPool(nullptr);
+  const SparseVector serial_again = engine.NonGreedy(TwoSpikeInput(), opts);
+  ASSERT_EQ(base.Size(), sharded.Size());
+  for (size_t i = 0; i < base.Size(); ++i) {
+    EXPECT_EQ(base.entries()[i].value, sharded.entries()[i].value);
+    EXPECT_EQ(base.entries()[i].value, serial_again.entries()[i].value);
+  }
+}
+
+TEST(ParallelEdgeCaseTest, ConsecutiveShardedCallsStayBitIdentical) {
+  // Regression: a call's early rounds acquire FEWER shards than the
+  // workspace's high-water mark (support starts at 2 spikes, the previous
+  // call ended with 8-shard rounds). Stale shard buffers from the previous
+  // call must not leak into the merge — this showed up as inflated
+  // push_work and ghost q_support entries on the SECOND sharded call.
+  Graph g = UnweightedTestGraph();
+  ThreadPool pool(7);
+  DiffusionOptions opts;
+  opts.epsilon = 1e-5;
+  opts.min_parallel_support = 1;
+  DiffusionEngine serial(g);
+  DiffusionEngine parallel(g);
+  parallel.SetIntraQueryPool(&pool);
+  for (int call = 0; call < 3; ++call) {
+    DiffusionStats ss, ps;
+    ss.record_trace = ps.record_trace = true;
+    const SparseVector want = serial.NonGreedy(TwoSpikeInput(), opts, &ss);
+    const SparseVector got = parallel.NonGreedy(TwoSpikeInput(), opts, &ps);
+    ExpectBitIdentical(want, ss, got, ps,
+                       call == 0 ? "call 0" : call == 1 ? "call 1" : "call 2");
+  }
+}
+
+TEST(ParallelEquivalenceTest, LacaBddBitIdenticalAcrossThreadCounts) {
+  // End-to-end: both diffusion calls inside Algo. 4 run sharded, and the
+  // final BDD vector must still be bit-identical to the serial run.
+  Graph g = UnweightedTestGraph();
+  LacaOptions opts;
+  opts.epsilon = 1e-4;
+  opts.min_parallel_support = 1;
+  Laca serial(g, /*tnam=*/nullptr);
+  for (size_t threads : {2u, 8u}) {
+    ThreadPool pool(threads - 1);
+    Laca parallel(g, /*tnam=*/nullptr);
+    parallel.SetIntraQueryPool(&pool);
+    for (NodeId seed : {NodeId{3}, NodeId{42}, NodeId{311}}) {
+      const SparseVector want = serial.ComputeBdd(seed, opts).bdd;
+      const SparseVector got = parallel.ComputeBdd(seed, opts).bdd;
+      ASSERT_EQ(want.Size(), got.Size()) << "seed " << seed;
+      for (size_t i = 0; i < want.Size(); ++i) {
+        EXPECT_EQ(want.entries()[i].index, got.entries()[i].index);
+        EXPECT_EQ(want.entries()[i].value, got.entries()[i].value)
+            << "seed " << seed << " entry " << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelZeroAllocTest, ShardedSteadyStateAllocatesNothing) {
+  // After warm-up, repeated sharded calls must not grow any buffer — the
+  // shard contribution/touch buffers reach their high-water mark and stay
+  // (witnessed by the same alloc counter as the serial steady state).
+  Graph g = UnweightedTestGraph();
+  ThreadPool pool(3);
+  DiffusionEngine engine(g);
+  engine.SetIntraQueryPool(&pool);
+  DiffusionOptions opts;
+  opts.epsilon = 1e-5;
+  opts.min_parallel_support = 1;
+  const SparseVector f = TwoSpikeInput();
+  engine.NonGreedy(f, opts);
+  engine.Adaptive(f, opts);
+  engine.NonGreedy(SparseVector::Unit(7), opts);
+  const uint64_t warm = engine.workspace().alloc_events();
+  for (int rep = 0; rep < 10; ++rep) {
+    engine.NonGreedy(f, opts);
+    engine.Adaptive(f, opts);
+    engine.NonGreedy(SparseVector::Unit(7), opts);
+  }
+  EXPECT_EQ(engine.workspace().alloc_events(), warm);
+}
+
+}  // namespace
+}  // namespace laca

@@ -1,6 +1,8 @@
 #include "common/thread_pool.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -9,6 +11,27 @@
 
 namespace laca {
 namespace {
+
+// A manually-released gate for holding pool workers inside a task.
+class Gate {
+ public:
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  void WaitUntilOpen() {
+    std::unique_lock<std::mutex> lock(m_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
 
 TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
   ThreadPool pool(4);
@@ -130,6 +153,137 @@ TEST(ThreadPoolTest, ManySmallTasksStress) {
   std::atomic<uint64_t> sum{0};
   pool.ParallelFor(0, 100'000, [&sum](size_t i) { sum.fetch_add(i); });
   EXPECT_EQ(sum.load(), 99'999ull * 100'000ull / 2);
+}
+
+// ---------------------------------------------------------------------------
+// Per-batch tracking (TaskGroup). Regression for the global-Wait bug: Wait()
+// used to watch the pool-wide queue and steal first_error_, so two
+// interleaved batches blocked on each other's tasks and could rethrow each
+// other's exceptions — exactly the shape two-level BatchCluster scheduling
+// produces.
+
+TEST(TaskGroupTest, WaitReturnsWhileAnotherBatchStillRuns) {
+  // Batch A parks a task on a gate; batch B, submitted afterwards, must
+  // complete and return from ITS Wait() while A is still pending.
+  ThreadPool pool(2);
+  Gate gate;
+  std::atomic<bool> a_done{false};
+  TaskGroup a(pool);
+  a.Submit([&] {
+    gate.WaitUntilOpen();
+    a_done.store(true);
+  });
+
+  TaskGroup b(pool);
+  std::atomic<int> b_count{0};
+  for (int i = 0; i < 16; ++i) {
+    b.Submit([&b_count] { b_count.fetch_add(1); });
+  }
+  b.Wait();  // must NOT block on batch A's gated task
+  EXPECT_EQ(b_count.load(), 16);
+  EXPECT_FALSE(a_done.load());
+
+  gate.Open();
+  a.Wait();
+  EXPECT_TRUE(a_done.load());
+}
+
+TEST(TaskGroupTest, ErrorsStayWithTheirBatch) {
+  ThreadPool pool(4);
+  TaskGroup failing(pool);
+  TaskGroup healthy(pool);
+  std::atomic<int> healthy_done{0};
+  for (int i = 0; i < 8; ++i) {
+    failing.Submit([] { throw std::runtime_error("batch A failure"); });
+    healthy.Submit([&healthy_done] { healthy_done.fetch_add(1); });
+  }
+  // The healthy batch must neither observe nor rethrow batch A's errors.
+  healthy.Wait();
+  EXPECT_EQ(healthy_done.load(), 8);
+  EXPECT_THROW(failing.Wait(), std::runtime_error);
+  // Consumed on rethrow; a second Wait is clean.
+  failing.Wait();
+  // Pool-level Wait only reports ungrouped-task errors, so it stays clean
+  // too: grouped errors must not leak into the pool slot.
+  pool.Wait();
+}
+
+TEST(TaskGroupTest, GroupIsReusableAfterWait) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      group.Submit([&counter] { counter.fetch_add(1); });
+    }
+    group.Wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 10);
+  }
+}
+
+TEST(TaskGroupTest, NestedWaitInsidePoolWorkerMakesProgress) {
+  // Every worker submits a child batch to the SAME pool and waits on it:
+  // with all workers blocked in Wait(), the child tasks can only run if
+  // Wait() help-executes its own group's queued tasks. The global-wait
+  // implementation deadlocks here.
+  ThreadPool pool(2);
+  std::atomic<int> children_done{0};
+  TaskGroup outer(pool);
+  for (int w = 0; w < 2; ++w) {
+    outer.Submit([&pool, &children_done] {
+      TaskGroup inner(pool);
+      for (int i = 0; i < 4; ++i) {
+        inner.Submit([&children_done] { children_done.fetch_add(1); });
+      }
+      inner.Wait();
+    });
+  }
+  outer.Wait();
+  EXPECT_EQ(children_done.load(), 8);
+}
+
+TEST(TaskGroupTest, ConcurrentParallelForBatchesAreIndependent) {
+  // Two threads drive interleaved ParallelFor batches over one pool; each
+  // must see exactly its own completion (the old ParallelFor waited on the
+  // global queue, so one caller could return only after the other's blocks).
+  ThreadPool pool(4);
+  auto run = [&pool](std::vector<int>& out) {
+    pool.ParallelFor(0, out.size(), [&out](size_t i) { out[i] = 1; });
+    return std::accumulate(out.begin(), out.end(), 0);
+  };
+  std::vector<int> a(5000, 0), b(5000, 0);
+  auto fa = std::async(std::launch::async, [&] { return run(a); });
+  auto fb = std::async(std::launch::async, [&] { return run(b); });
+  EXPECT_EQ(fa.get(), 5000);
+  EXPECT_EQ(fb.get(), 5000);
+}
+
+TEST(TaskGroupTest, GroupParallelForPropagatesOnlyItsError) {
+  ThreadPool pool(2);
+  TaskGroup ok(pool);
+  std::atomic<int> hits{0};
+  ok.Submit([&hits] { hits.fetch_add(1); });
+  TaskGroup bad(pool);
+  EXPECT_THROW(bad.ParallelFor(0, 64,
+                               [](size_t i) {
+                                 if (i == 13) {
+                                   throw std::invalid_argument("boom");
+                                 }
+                               }),
+               std::invalid_argument);
+  ok.Wait();  // no exception
+  EXPECT_EQ(hits.load(), 1);
+}
+
+TEST(TaskGroupTest, SharedPoolFreeParallelForStillCoversRange) {
+  // The free function now runs on the process-wide shared pool; repeated
+  // calls must not spawn threads (smoke: just correctness + reuse).
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::atomic<int>> hits(257);
+    ParallelFor(0, hits.size(), 4,
+                [&hits](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+  }
 }
 
 }  // namespace
