@@ -40,6 +40,9 @@ AttributedGraph MakeGraph(double intra_fraction) {
   return GenerateAttributedSbm(o);
 }
 
+// One arena reused across every sweep point (rebound per generated graph).
+DiffusionWorkspace shared_workspace;
+
 double Evaluate(const AttributedGraph& g, const std::string& method,
                 std::span<const NodeId> seeds) {
   std::optional<Tnam> tnam;
@@ -48,7 +51,7 @@ double Evaluate(const AttributedGraph& g, const std::string& method,
     if (method == "LACA (C)") {
       tnam.emplace(Tnam::Build(g.attributes, TnamOptions{}));
     }
-    laca.emplace(g.graph, tnam ? &*tnam : nullptr);
+    laca.emplace(g.graph, tnam ? &*tnam : nullptr, &shared_workspace);
   }
   double precision = 0.0;
   for (NodeId seed : seeds) {

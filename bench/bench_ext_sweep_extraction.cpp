@@ -5,6 +5,7 @@
 // sweep cut. This bench compares the two (plus a 2|Y|-capped sweep) on
 // precision/recall/F1 and conductance, quantifying what is lost when the
 // size oracle is removed.
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -39,15 +40,23 @@ struct Row {
   }
 };
 
-void RunDataset(const std::string& name, size_t num_seeds) {
+bool allocs_flat = true;
+
+void RunDataset(const std::string& name, size_t num_seeds,
+                DiffusionWorkspace* workspace) {
   const Dataset& ds = GetDataset(name);
   TnamOptions topts;
   Tnam tnam = Tnam::Build(ds.data.attributes, topts);
-  Laca laca(ds.data.graph, &tnam);
+  Laca laca(ds.data.graph, &tnam, workspace);
   LacaOptions opts;
   opts.epsilon = 1e-6;
 
   std::vector<NodeId> seeds = SampleSeeds(ds, num_seeds);
+  // Warm-up: one query brings every arena buffer to this dataset's
+  // high-water mark; the measured loop below must then allocate nothing
+  // (the alloc counter is the PR 1 zero-allocation witness).
+  laca.ComputeBdd(seeds.front(), opts);
+  const uint64_t alloc_baseline = laca.workspace().alloc_events();
   Row topk, sweep, capped;
   for (NodeId seed : seeds) {
     std::vector<NodeId> truth = ds.data.communities.GroundTruthCluster(seed);
@@ -65,6 +74,15 @@ void RunDataset(const std::string& name, size_t num_seeds) {
         SweepCut(ds.data.graph, result.bdd, 2 * truth.size()).cluster, truth);
   }
 
+  if (laca.workspace().alloc_events() != alloc_baseline) {
+    std::fprintf(stderr,
+                 "ALLOC REGRESSION (%s): workspace alloc_events went %llu -> "
+                 "%llu across warm queries\n",
+                 name.c_str(), static_cast<unsigned long long>(alloc_baseline),
+                 static_cast<unsigned long long>(laca.workspace().alloc_events()));
+    allocs_flat = false;
+  }
+
   const double inv = 1.0 / static_cast<double>(seeds.size());
   bench::PrintHeader("Extraction modes on " + name + " (" +
                      std::to_string(seeds.size()) + " seeds)");
@@ -80,12 +98,20 @@ void RunDataset(const std::string& name, size_t num_seeds) {
 
 int main() {
   const size_t seeds = laca::BenchSeedCount(20);
+  // One arena across all datasets: rebinding per dataset reallocates once,
+  // after which each dataset's query loop must stay allocation-free.
+  laca::DiffusionWorkspace workspace;
   for (const std::string& name : laca::SmallAttributedDatasetNames()) {
-    laca::RunDataset(name, seeds);
+    laca::RunDataset(name, seeds, &workspace);
   }
   std::printf(
       "\nExpected shape: top-K wins on precision (it gets the size oracle);\n"
       "sweeps find lower conductance; the capped sweep recovers most of the\n"
       "F1 gap without any oracle.\n");
+  if (!laca::allocs_flat) {
+    std::fprintf(stderr, "\nFAILED: workspace allocations in warm queries\n");
+    return 1;
+  }
+  std::printf("workspace alloc counter flat across all warm queries\n");
   return 0;
 }

@@ -1,0 +1,104 @@
+// Engineering bench: TNAM construction (Algo. 3) throughput — the
+// preprocessing column of Fig. 7 / Fig. 10 isolated and tracked across PRs.
+//
+// Measures Tnam::Build wall time on the pubmed-scale stand-ins for both
+// SNAS metrics, serial and across helper-pool sizes, and emits
+// BENCH_tnam_build.json. The parallel builds must be bit-identical to the
+// serial build (the attribute-plane kernels preserve every FP accumulation
+// chain; DESIGN.md §6) — the bench verifies this and fails the process if
+// any thread count drifts.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attr/tnam.hpp"
+#include "bench_util.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "eval/datasets.hpp"
+
+namespace laca {
+namespace {
+
+bool bit_identical = true;
+
+double BuildSeconds(const AttributeMatrix& x, const TnamOptions& opts,
+                    ThreadPool* pool, int reps, const DenseMatrix* reference) {
+  double best = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    Timer timer;
+    Tnam tnam = Tnam::Build(x, opts, pool);
+    best = std::min(best, timer.ElapsedSeconds());
+    if (reference != nullptr &&
+        (tnam.z().data() != reference->data())) {
+      std::fprintf(stderr,
+                   "DETERMINISM FAILURE: TNAM build drifted from the serial "
+                   "reference at %zu threads\n",
+                   pool != nullptr ? pool->num_threads() : 0);
+      bit_identical = false;
+    }
+  }
+  return best;
+}
+
+void RunDataset(const std::string& name, int reps, bench::JsonEmitter* json) {
+  const Dataset& ds = GetDataset(name);
+  const AttributeMatrix& x = ds.data.attributes;
+  for (SnasMetric metric : {SnasMetric::kCosine, SnasMetric::kExpCosine}) {
+    const char* tag = metric == SnasMetric::kCosine ? "cosine" : "exp_cosine";
+    TnamOptions opts;
+    opts.metric = metric;
+
+    bench::PrintHeader("TNAM build on " + name + " (" + tag + ", k=" +
+                       std::to_string(opts.k) + ", best of " +
+                       std::to_string(reps) + ")");
+    bench::PrintRow("threads", {"seconds", "speedup"}, 10, 12);
+
+    DenseMatrix reference = Tnam::Build(x, opts, nullptr).z();
+    const double serial = BuildSeconds(x, opts, nullptr, reps, &reference);
+    bench::PrintRow("serial", {bench::FmtSeconds(serial), "1.00x"}, 10, 12);
+    json->BeginRecord()
+        .Str("dataset", name)
+        .Str("metric", tag)
+        .Int("k", static_cast<uint64_t>(opts.k))
+        .Int("threads", 0)
+        .Num("seconds", serial);
+
+    for (size_t threads : {2u, 4u, 8u}) {
+      ThreadPool pool(threads);
+      const double sec = BuildSeconds(x, opts, &pool, reps, &reference);
+      bench::PrintRow(std::to_string(threads),
+                      {bench::FmtSeconds(sec),
+                       bench::Fmt(serial / sec, "%.2fx")},
+                      10, 12);
+      json->BeginRecord()
+          .Str("dataset", name)
+          .Str("metric", tag)
+          .Int("k", static_cast<uint64_t>(opts.k))
+          .Int("threads", threads)
+          .Num("seconds", sec)
+          .Num("speedup", serial / sec);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace laca
+
+int main() {
+  using namespace laca;
+  const int reps = static_cast<int>(BenchSeedCount(3));
+  bench::JsonEmitter json("tnam_build");
+  RunDataset("pubmed-sim", reps, &json);
+  RunDataset("arxiv-sim", reps, &json);
+  json.WriteFile("BENCH_tnam_build.json");
+  if (!bit_identical) {
+    std::fprintf(stderr, "\nFAILED: parallel TNAM builds are not bit-identical "
+                         "to the serial build\n");
+    return 1;
+  }
+  std::printf("\nall pooled builds bit-identical to the serial build\n");
+  return 0;
+}

@@ -64,12 +64,13 @@ int main() {
 
     bench::PrintHeader(std::string("Fig. 10 (a/b) ") + tag +
                        ": online seconds vs. eps (" +
-                       std::to_string(num_seeds) + " seeds)");
+                       std::to_string(num_seeds) +
+                       " seeds; preprocessing = TNAM build)");
     // Stops at 1e-7: the O(1/eps) trend is established well before the
     // volume-capped regime, and the 1e-8 points cost minutes each on one core.
     const std::vector<double> epsilons = {1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7};
     {
-      std::vector<std::string> header;
+      std::vector<std::string> header = {"preproc"};
       for (double e : epsilons) header.push_back(bench::Fmt(e, "%.0e"));
       bench::PrintRow("Dataset", header, 14, 9);
       for (const auto& name : datasets) {
@@ -77,14 +78,16 @@ int main() {
         std::vector<NodeId> seeds = SampleSeeds(ds, num_seeds);
         TnamOptions topts;
         topts.metric = metric;
+        Timer preproc_timer;
         Tnam tnam = Tnam::Build(ds.data.attributes, topts);
+        const double preproc_seconds = preproc_timer.ElapsedSeconds();
         Laca laca(ds.data.graph, &tnam, &workspaces[name]);
         // Warm-up at the coarsest eps brings every buffer to capacity.
         LacaOptions warm;
         warm.epsilon = epsilons.front();
         OnlineSeconds(laca, warm, seeds);
         const uint64_t baseline = laca.workspace().alloc_events();
-        std::vector<std::string> row;
+        std::vector<std::string> row = {bench::FmtSeconds(preproc_seconds)};
         for (double eps : epsilons) {
           LacaOptions opts;
           opts.epsilon = eps;

@@ -1,5 +1,7 @@
 // Fig. 5: residual sum ||r||_1 per iteration, greedy vs. non-greedy, on the
 // PubMed (eps = 1e-5) and ArXiv (eps = 1e-7) stand-ins with alpha = 0.8.
+// Engines run on one persistent workspace (rebound per dataset) rather than
+// a transient arena per run.
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -9,9 +11,11 @@
 namespace laca {
 namespace {
 
+DiffusionWorkspace shared_workspace;
+
 void RunOne(const char* dataset, double epsilon) {
   const Dataset& ds = GetDataset(dataset);
-  DiffusionEngine engine(ds.data.graph);
+  DiffusionEngine engine(ds.data.graph, &shared_workspace);
   DiffusionOptions opts;
   opts.alpha = 0.8;
   opts.epsilon = epsilon;

@@ -6,6 +6,8 @@
 // per seed on dense graphs); the 1-step edge kernel keeps dense datasets
 // affordable.
 #include <cstdio>
+#include <map>
+#include <string>
 
 #include "attr/tnam.hpp"
 #include "bench_util.hpp"
@@ -17,6 +19,10 @@
 
 namespace laca {
 namespace {
+
+// One persistent arena per dataset: the R legs of every AlternativeBdd call
+// and the reference Laca all diffuse steady-state.
+std::map<std::string, DiffusionWorkspace> workspaces;
 
 struct VariantSpec {
   const char* label;
@@ -34,7 +40,8 @@ double EvaluateAlt(const Dataset& ds, const Tnam& tnam,
   double precision = 0.0;
   for (NodeId seed : seeds) {
     std::vector<NodeId> truth = ds.data.communities.GroundTruthCluster(seed);
-    SparseVector scores = AlternativeBdd(ds.data.graph, tnam, seed, opts);
+    SparseVector scores =
+        AlternativeBdd(ds.data.graph, tnam, seed, opts, &workspaces[ds.name]);
     std::vector<NodeId> cluster = TopKCluster(scores, seed, truth.size());
     cluster = PadWithBfs(ds.data.graph, std::move(cluster), truth.size(), seed);
     precision += Precision(cluster, truth);
@@ -44,7 +51,7 @@ double EvaluateAlt(const Dataset& ds, const Tnam& tnam,
 
 double EvaluateBdd(const Dataset& ds, const Tnam& tnam,
                    std::span<const NodeId> seeds) {
-  Laca laca(ds.data.graph, &tnam);
+  Laca laca(ds.data.graph, &tnam, &workspaces[ds.name]);
   LacaOptions opts;
   opts.epsilon = 1e-6;
   double precision = 0.0;

@@ -6,6 +6,8 @@
 // coarser diffusion threshold; their O(n^2) normalizers limit the experiment
 // to the small stand-ins (the paper likewise reports "-" beyond these).
 #include <cstdio>
+#include <map>
+#include <string>
 
 #include "attr/snas.hpp"
 #include "attr/tnam.hpp"
@@ -18,9 +20,12 @@
 namespace laca {
 namespace {
 
+// Persistent per-dataset arena serving all four method variants.
+std::map<std::string, DiffusionWorkspace> workspaces;
+
 double EvaluateProvider(const Dataset& ds, const SnasProvider& snas,
                         std::span<const NodeId> seeds, double epsilon) {
-  Laca laca(ds.data.graph, nullptr);
+  Laca laca(ds.data.graph, nullptr, &workspaces[ds.name]);
   LacaOptions opts;
   opts.epsilon = epsilon;
   double precision = 0.0;
@@ -39,7 +44,7 @@ double EvaluateTnam(const Dataset& ds, SnasMetric metric,
   TnamOptions topts;
   topts.metric = metric;
   Tnam tnam = Tnam::Build(ds.data.attributes, topts);
-  Laca laca(ds.data.graph, &tnam);
+  Laca laca(ds.data.graph, &tnam, &workspaces[ds.name]);
   LacaOptions opts;
   opts.epsilon = 1e-6;
   double precision = 0.0;

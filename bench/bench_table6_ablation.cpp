@@ -1,8 +1,11 @@
 // Table VI: ablation study. For LACA (C) and LACA (E), disable in turn the
 // k-SVD reduction, the AdaptiveDiffuse strategy (falling back to
 // GreedyDiffuse), and the SNAS (topology-only BDD), and report precision.
+// Every per-variant Laca diffuses on a persistent per-dataset workspace.
 #include <cstdio>
+#include <map>
 #include <optional>
+#include <string>
 
 #include "attr/tnam.hpp"
 #include "bench_util.hpp"
@@ -13,6 +16,8 @@
 
 namespace laca {
 namespace {
+
+std::map<std::string, DiffusionWorkspace> workspaces;
 
 struct Variant {
   const char* label;
@@ -30,7 +35,8 @@ double EvaluateVariant(const Dataset& ds, SnasMetric metric, const Variant& v,
     topts.use_ksvd = v.use_ksvd;
     tnam.emplace(Tnam::Build(ds.data.attributes, topts));
   }
-  Laca laca(ds.data.graph, v.use_snas ? &*tnam : nullptr);
+  Laca laca(ds.data.graph, v.use_snas ? &*tnam : nullptr,
+            &workspaces[ds.name]);
   LacaOptions opts;
   opts.epsilon = 1e-6;
   opts.use_adaptive = v.use_adaptive;

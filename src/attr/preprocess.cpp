@@ -5,6 +5,12 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace {
+// Row transforms below this nnz count stay serial.
+constexpr uint64_t kParallelPreprocessMin = 1u << 15;
+}  // namespace
 
 namespace laca {
 
@@ -48,23 +54,29 @@ AttributeMatrix TfIdf(const AttributeMatrix& x, const TfIdfOptions& opts) {
   }
 
   AttributeMatrix out(x.num_rows(), x.num_cols());
-  for (NodeId i = 0; i < x.num_rows(); ++i) {
-    std::vector<AttributeMatrix::Entry> row;
-    auto src = x.Row(i);
-    row.reserve(src.size());
-    for (const auto& [col, val] : src) {
-      if (val == 0.0) continue;
-      // Sublinear scaling assumes count-like values; sub-1 weights (already
-      // scaled inputs) pass through untouched to keep tf positive.
-      const double magnitude = std::abs(val);
-      double tf = (opts.sublinear_tf && magnitude >= 1.0)
-                      ? 1.0 + std::log(magnitude)
-                      : magnitude;
-      const double weighted = tf * idf[col];
-      if (weighted != 0.0) row.emplace_back(col, weighted);
+  // Rows transform independently (SetRow touches only its own slot), so the
+  // pass shards over row blocks — identical output at any thread count.
+  ThreadPool* pool =
+      GateBySize(SharedPoolOrSerial(), x.num_nonzeros(), kParallelPreprocessMin);
+  ForEachBlock(pool, x.num_rows(), 1024, [&](size_t, size_t lo, size_t hi) {
+    for (NodeId i = static_cast<NodeId>(lo); i < hi; ++i) {
+      std::vector<AttributeMatrix::Entry> row;
+      auto src = x.Row(i);
+      row.reserve(src.size());
+      for (const auto& [col, val] : src) {
+        if (val == 0.0) continue;
+        // Sublinear scaling assumes count-like values; sub-1 weights (already
+        // scaled inputs) pass through untouched to keep tf positive.
+        const double magnitude = std::abs(val);
+        double tf = (opts.sublinear_tf && magnitude >= 1.0)
+                        ? 1.0 + std::log(magnitude)
+                        : magnitude;
+        const double weighted = tf * idf[col];
+        if (weighted != 0.0) row.emplace_back(col, weighted);
+      }
+      out.SetRow(i, std::move(row));
     }
-    out.SetRow(i, std::move(row));
-  }
+  });
   return out;
 }
 

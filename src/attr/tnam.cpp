@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "la/qr.hpp"
 #include "la/randomized_svd.hpp"
 
@@ -18,9 +19,17 @@ namespace {
 // square root in Eq. 18.
 constexpr double kNormFloor = 1e-12;
 
+// Row passes below this many elements stay serial (dispatch would dominate).
+constexpr size_t kParallelRowsMin = 1u << 15;
+
+ThreadPool* Gate(ThreadPool* pool, size_t work) {
+  return GateBySize(pool, work, kParallelRowsMin);
+}
+
 // Builds Y for the cosine metric: Y = U Lambda (Lines 3-4 of Algo. 3), or the
 // raw attribute rows when the k-SVD is ablated.
-DenseMatrix BuildCosineY(const AttributeMatrix& x, const TnamOptions& opts) {
+DenseMatrix BuildCosineY(const AttributeMatrix& x, const TnamOptions& opts,
+                         ThreadPool* pool) {
   if (!opts.use_ksvd) {
     DenseMatrix y(x.num_rows(), x.num_cols());
     for (NodeId i = 0; i < x.num_rows(); ++i) {
@@ -34,19 +43,46 @@ DenseMatrix BuildCosineY(const AttributeMatrix& x, const TnamOptions& opts) {
   ks.power_iterations = opts.power_iterations;
   ks.oversample = opts.oversample;
   ks.seed = opts.seed;
-  KSvdResult svd = RandomizedKSvd(x, ks);
+  KSvdResult svd = RandomizedKSvd(x, ks, pool);
   DenseMatrix y = std::move(svd.u);
-  for (size_t i = 0; i < y.rows(); ++i) {
-    auto row = y.Row(i);
-    for (size_t j = 0; j < y.cols(); ++j) row[j] *= svd.sigma[j];
-  }
+  const size_t cols = y.cols();
+  ForEachBlock(Gate(pool, y.rows() * cols), y.rows(),
+               DenseRowBlock(cols), [&](size_t, size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      double* row = y.Row(i).data();
+      for (size_t j = 0; j < cols; ++j) row[j] *= svd.sigma[j];
+    }
+  });
+  return y;
+}
+
+// The sin/cos feature map shared by both ORF paths: given the projected
+// features `yhat` (n x r), writes scale * [sin || cos] row blocks in
+// parallel (rows are independent — bit-identical at any thread count).
+DenseMatrix SinCosMap(const DenseMatrix& yhat, double delta,
+                      ThreadPool* pool) {
+  const size_t r = yhat.cols();
+  const double scale = std::sqrt(2.0 * std::exp(1.0 / delta) / r);
+  DenseMatrix y(yhat.rows(), 2 * r);
+  ForEachBlock(Gate(pool, yhat.rows() * r), yhat.rows(),
+               DenseRowBlock(2 * r), [&](size_t, size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const double* in = yhat.Row(i).data();
+      double* out = y.Row(i).data();
+      for (size_t j = 0; j < r; ++j) {
+        out[j] = scale * std::sin(in[j]);
+        out[r + j] = scale * std::cos(in[j]);
+      }
+    }
+  });
   return y;
 }
 
 // Orthogonal random features (Lines 6-9 of Algo. 3): given reduced features
 // F (n x r), samples an orthogonal matrix with chi-scaled rows and maps
 // Y = sqrt(2 exp(1/delta) / r) [sin(F S / delta) || cos(F S / delta)].
-DenseMatrix ApplyOrf(const DenseMatrix& f, double delta, uint64_t seed) {
+DenseMatrix ApplyOrf(const DenseMatrix& f, double delta, uint64_t seed,
+                     ThreadPool* pool) {
   const size_t r = f.cols();
   Rng rng(seed);
   // Random orthogonal Q (r x r) via QR of a Gaussian (Line 7).
@@ -62,25 +98,16 @@ DenseMatrix ApplyOrf(const DenseMatrix& f, double delta, uint64_t seed) {
   for (size_t i = 0; i < r; ++i) {
     for (size_t j = 0; j < r; ++j) proj(i, j) = chi[i] * q(i, j) / delta;
   }
-  DenseMatrix yhat = f.Multiply(proj);
-  const double scale = std::sqrt(2.0 * std::exp(1.0 / delta) / r);
-  DenseMatrix y(f.rows(), 2 * r);
-  for (size_t i = 0; i < f.rows(); ++i) {
-    auto in = yhat.Row(i);
-    auto out = y.Row(i);
-    for (size_t j = 0; j < r; ++j) {
-      out[j] = scale * std::sin(in[j]);
-      out[r + j] = scale * std::cos(in[j]);
-    }
-  }
-  return y;
+  DenseMatrix yhat;
+  f.MultiplyInto(proj, &yhat, pool);
+  return SinCosMap(yhat, delta, pool);
 }
 
 // w/o k-SVD exponential path: ORF directly on the d-dimensional attributes
 // with k orthonormal directions in R^d (rows of Q^T from a d x k Gaussian QR),
 // chi(d)-scaled so row norms match d-dimensional Gaussian vectors.
 DenseMatrix ApplyOrfRaw(const AttributeMatrix& x, int k, double delta,
-                        uint64_t seed) {
+                        uint64_t seed, ThreadPool* pool) {
   const uint32_t d = x.num_cols();
   const size_t r = std::min<size_t>(k, d);
   Rng rng(seed);
@@ -90,22 +117,16 @@ DenseMatrix ApplyOrfRaw(const AttributeMatrix& x, int k, double delta,
   std::vector<double> chi(r);
   for (double& c : chi) c = rng.Chi(static_cast<int>(d));
   // Yhat = (1/delta) X Q diag(chi): exploit X's sparsity.
-  DenseMatrix yhat = SparseTimesDense(x, q);
-  for (size_t i = 0; i < yhat.rows(); ++i) {
-    auto row = yhat.Row(i);
-    for (size_t j = 0; j < r; ++j) row[j] *= chi[j] / delta;
-  }
-  const double scale = std::sqrt(2.0 * std::exp(1.0 / delta) / r);
-  DenseMatrix y(yhat.rows(), 2 * r);
-  for (size_t i = 0; i < yhat.rows(); ++i) {
-    auto in = yhat.Row(i);
-    auto out = y.Row(i);
-    for (size_t j = 0; j < r; ++j) {
-      out[j] = scale * std::sin(in[j]);
-      out[r + j] = scale * std::cos(in[j]);
+  DenseMatrix yhat;
+  SparseTimesDenseInto(x, q, &yhat, pool);
+  ForEachBlock(Gate(pool, yhat.rows() * r), yhat.rows(),
+               DenseRowBlock(r), [&](size_t, size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      double* row = yhat.Row(i).data();
+      for (size_t j = 0; j < r; ++j) row[j] *= chi[j] / delta;
     }
-  }
-  return y;
+  });
+  return SinCosMap(yhat, delta, pool);
 }
 
 }  // namespace
@@ -116,6 +137,11 @@ Tnam Tnam::FromMatrix(DenseMatrix z) {
 }
 
 Tnam Tnam::Build(const AttributeMatrix& x, const TnamOptions& opts) {
+  return Build(x, opts, SharedPoolOrSerial());
+}
+
+Tnam Tnam::Build(const AttributeMatrix& x, const TnamOptions& opts,
+                 ThreadPool* pool) {
   LACA_CHECK(x.num_rows() > 0, "attribute matrix has no rows");
   LACA_CHECK(x.num_cols() > 0, "attribute matrix has no columns");
   LACA_CHECK(opts.k >= 1, "k must be >= 1");
@@ -124,32 +150,77 @@ Tnam Tnam::Build(const AttributeMatrix& x, const TnamOptions& opts) {
   DenseMatrix y;
   switch (opts.metric) {
     case SnasMetric::kCosine:
-      y = BuildCosineY(x, opts);
+      y = BuildCosineY(x, opts, pool);
       break;
     case SnasMetric::kExpCosine:
       if (opts.use_ksvd) {
-        y = ApplyOrf(BuildCosineY(x, opts), opts.delta, opts.seed + 1);
+        y = ApplyOrf(BuildCosineY(x, opts, pool), opts.delta, opts.seed + 1,
+                     pool);
       } else {
-        y = ApplyOrfRaw(x, opts.k, opts.delta, opts.seed + 1);
+        y = ApplyOrfRaw(x, opts.k, opts.delta, opts.seed + 1, pool);
       }
       break;
   }
 
-  // Eq. 18: y* = sum_l y(l); z(i) = y(i) / sqrt(y(i) . y*).
+  // Eq. 18: y* = sum_l y(l); z(i) = y(i) / sqrt(y(i) . y*). The y* reduction
+  // stays serial (O(n k), negligible) so its FP chain is the canonical
+  // serial order; the per-row normalization shards freely (independent rows).
   const size_t n = y.rows(), dim = y.cols();
   std::vector<double> ystar(dim, 0.0);
   for (size_t i = 0; i < n; ++i) {
-    auto row = y.Row(i);
+    const double* row = y.Row(i).data();
     for (size_t j = 0; j < dim; ++j) ystar[j] += row[j];
   }
-  for (size_t i = 0; i < n; ++i) {
-    auto row = y.Row(i);
-    double dot = 0.0;
-    for (size_t j = 0; j < dim; ++j) dot += row[j] * ystar[j];
-    double inv = 1.0 / std::sqrt(std::max(dot, kNormFloor));
-    for (size_t j = 0; j < dim; ++j) row[j] *= inv;
-  }
+  ForEachBlock(Gate(pool, n * dim), n, DenseRowBlock(dim),
+               [&](size_t, size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      double* row = y.Row(i).data();
+      double dot = 0.0;
+      for (size_t j = 0; j < dim; ++j) dot += row[j] * ystar[j];
+      double inv = 1.0 / std::sqrt(std::max(dot, kNormFloor));
+      for (size_t j = 0; j < dim; ++j) row[j] *= inv;
+    }
+  });
   return Tnam(std::move(y));
+}
+
+void Tnam::AccumulateRows(std::span<const SparseVector::Entry> entries,
+                          std::span<double> psi) const {
+  LACA_CHECK(psi.size() == z_.cols(), "AccumulateRows: psi dimension");
+  const size_t dim = z_.cols();
+  double* p = psi.data();
+  for (const auto& e : entries) {
+    const double* z = z_.Row(e.index).data();
+    const double v = e.value;
+    for (size_t j = 0; j < dim; ++j) p[j] += v * z[j];
+  }
+}
+
+void Tnam::DotRows(std::span<const SparseVector::Entry> entries,
+                   std::span<const double> psi, std::span<double> out) const {
+  LACA_CHECK(psi.size() == z_.cols(), "DotRows: psi dimension");
+  LACA_CHECK(out.size() == entries.size(), "DotRows: output size");
+  const size_t dim = z_.cols();
+  const double* p = psi.data();
+  for (size_t t = 0; t < entries.size(); ++t) {
+    const double* z = z_.Row(entries[t].index).data();
+    double dot = 0.0;
+    for (size_t j = 0; j < dim; ++j) dot += p[j] * z[j];
+    out[t] = dot;
+  }
+}
+
+void Tnam::SnasBatch(NodeId i, std::span<const NodeId> js,
+                     std::span<double> out) const {
+  LACA_CHECK(out.size() == js.size(), "SnasBatch: output size");
+  const size_t dim = z_.cols();
+  const double* zi = z_.Row(i).data();
+  for (size_t t = 0; t < js.size(); ++t) {
+    const double* zj = z_.Row(js[t]).data();
+    double dot = 0.0;
+    for (size_t j = 0; j < dim; ++j) dot += zi[j] * zj[j];
+    out[t] = dot;
+  }
 }
 
 }  // namespace laca

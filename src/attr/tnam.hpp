@@ -2,6 +2,12 @@
 //
 // Z factorizes the SNAS: s(v_i, v_j) ~= z(i) . z(j) (Eq. 10), which lets
 // LACA decouple the BDD into two graph diffusions plus O(k) work per node.
+//
+// Construction shards over row blocks of a ThreadPool (Build's default is
+// the process-wide SharedPool()). Every kernel in the pipeline preserves the
+// serial FP accumulation order, so a fixed seed yields a bit-identical Z at
+// every thread count (DESIGN.md §6; enforced by tnam_test and
+// bench_ext_tnam_build).
 #ifndef LACA_ATTR_TNAM_HPP_
 #define LACA_ATTR_TNAM_HPP_
 
@@ -10,9 +16,12 @@
 
 #include "attr/attribute_matrix.hpp"
 #include "attr/snas.hpp"
+#include "common/sparse_vector.hpp"
 #include "la/matrix.hpp"
 
 namespace laca {
+
+class ThreadPool;
 
 /// Options for TNAM construction.
 struct TnamOptions {
@@ -35,9 +44,15 @@ struct TnamOptions {
 /// The constructed TNAM: dense rows z(i) with s(i, j) ~= z(i) . z(j).
 class Tnam : public SnasProvider {
  public:
-  /// Runs Algo. 3 on the (L2-normalized) attribute matrix.
-  /// Throws std::invalid_argument on empty input or bad options.
+  /// Runs Algo. 3 on the (L2-normalized) attribute matrix, sharding row
+  /// blocks over the process-wide SharedPool() (bit-identical to a serial
+  /// build). Throws std::invalid_argument on empty input or bad options.
   static Tnam Build(const AttributeMatrix& x, const TnamOptions& opts);
+
+  /// As Build, on an explicit pool (null = fully serial). The output is
+  /// bit-identical for any pool size at a fixed seed.
+  static Tnam Build(const AttributeMatrix& x, const TnamOptions& opts,
+                    ThreadPool* pool);
 
   /// Wraps an already-built Z matrix (deserialization and tests). Rows are
   /// the z(i) vectors; no validation beyond non-emptiness is performed.
@@ -55,6 +70,28 @@ class Tnam : public SnasProvider {
 
   /// Approximate SNAS z(i) . z(j) (SnasProvider interface).
   double Snas(NodeId i, NodeId j) const override { return z_.RowDot(i, j); }
+
+  // -- Fused Step-2 kernels (Eqs. 12-13) -----------------------------------
+  // LACA's per-query hot loop aggregates TNAM rows over supp(pi'). These
+  // batched passes run on the contiguous Z storage with no virtual dispatch
+  // per element; accumulation order matches the naive entry-by-entry loops
+  // exactly (bit-identical).
+
+  /// psi += sum_e e.value * z(e.index) (Eq. 12 aggregation). `psi` must have
+  /// dim() elements; it is accumulated into, not cleared.
+  void AccumulateRows(std::span<const SparseVector::Entry> entries,
+                      std::span<double> psi) const;
+
+  /// out[t] = psi . z(entries[t].index) for every entry (Eq. 13 dot pass).
+  /// `out` must have entries.size() elements.
+  void DotRows(std::span<const SparseVector::Entry> entries,
+               std::span<const double> psi, std::span<double> out) const;
+
+  /// out[t] = z(i) . z(js[t]) — batched SNAS row against many targets
+  /// (the per-edge pattern of the alternative-BDD legs). `out` must have
+  /// js.size() elements.
+  void SnasBatch(NodeId i, std::span<const NodeId> js,
+                 std::span<double> out) const;
 
   const DenseMatrix& z() const { return z_; }
 

@@ -205,4 +205,31 @@ void ParallelFor(size_t begin, size_t end, size_t num_threads,
   group.Wait();
 }
 
+ThreadPool* SharedPoolOrSerial() {
+  static ThreadPool* pool =
+      std::thread::hardware_concurrency() > 1 ? &SharedPool() : nullptr;
+  return pool;
+}
+
+void ForEachBlock(ThreadPool* pool, size_t total, size_t block_size,
+                  const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (total == 0) return;
+  if (block_size == 0) block_size = 1;
+  const size_t blocks = (total + block_size - 1) / block_size;
+  if (pool == nullptr || blocks == 1) {
+    for (size_t b = 0; b < blocks; ++b) {
+      const size_t lo = b * block_size;
+      fn(b, lo, std::min(total, lo + block_size));
+    }
+    return;
+  }
+  TaskGroup group(*pool);
+  for (size_t b = 0; b < blocks; ++b) {
+    const size_t lo = b * block_size;
+    const size_t hi = std::min(total, lo + block_size);
+    group.Submit([&fn, b, lo, hi] { fn(b, lo, hi); });
+  }
+  group.Wait();
+}
+
 }  // namespace laca

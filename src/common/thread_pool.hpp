@@ -24,6 +24,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -151,6 +152,37 @@ ThreadPool& SharedPool();
 /// for one-shot fan-outs; no per-call thread spawn cost.
 void ParallelFor(size_t begin, size_t end, size_t num_threads,
                  const std::function<void(size_t)>& fn);
+
+/// SharedPool() on machines with more than one hardware thread, null (=
+/// run serially) otherwise. The deterministic LA kernels produce identical
+/// results serial or pooled, so on a single-core host — where every task
+/// handoff forces a context switch and the caller would help-run everything
+/// anyway — skipping the pool is pure win (measured ~6x on TNAM builds).
+ThreadPool* SharedPoolOrSerial();
+
+/// Deterministic blocked fan-out for the dense-LA kernels: partitions
+/// [0, total) into fixed-size blocks of `block_size` (chosen by the caller
+/// from the PROBLEM shape, never from the worker count) and runs
+/// fn(block, lo, hi) for each block, in block order when serial.
+///
+/// With a null pool (or a single block) the blocks run inline on the calling
+/// thread; otherwise they fan out over the pool as one TaskGroup (the caller
+/// help-runs, so nesting inside a pool worker cannot deadlock). Because the
+/// partition is independent of the worker count, any kernel whose blocks
+/// write disjoint outputs and keep a fixed intra-block operation order
+/// produces bit-identical results at every thread count — the determinism
+/// contract of the attribute plane (DESIGN.md §6).
+void ForEachBlock(ThreadPool* pool, size_t total, size_t block_size,
+                  const std::function<void(size_t block, size_t lo, size_t hi)>& fn);
+
+/// The shared "stay serial below a work threshold" gate of the blocked LA
+/// kernels: returns `pool` when `work >= min_work`, null otherwise. Gating
+/// never changes results (blocked runs are bit-identical to serial); it only
+/// keeps task dispatch from dominating small problems.
+inline ThreadPool* GateBySize(ThreadPool* pool, uint64_t work,
+                              uint64_t min_work) {
+  return work >= min_work ? pool : nullptr;
+}
 
 }  // namespace laca
 

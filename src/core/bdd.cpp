@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "attr/tnam.hpp"
 #include "common/error.hpp"
 #include "diffusion/exact.hpp"
 
@@ -66,18 +68,33 @@ double EdgeRwr(const Graph& g, NodeId a, NodeId b, double alpha,
 // edge-restricted pi_hat(a,b) * s(a,b) plus the identity diagonal. When
 // `from_second_arg` is set the kernel is evaluated as RS(b, a) — used by the
 // third leg, whose kernel is indexed by the *output* node (Z(t, j)).
+// `tnam` (null when the provider has no low-rank form) serves the per-edge
+// SNAS values through the batched kernel instead of a virtual call per edge;
+// `snas_scratch` is its per-neighborhood output buffer.
 SparseVector ApplyRsLeg(const Graph& g, const SnasProvider& snas,
-                        const SparseVector& in, double alpha, bool two_step,
-                        bool from_second_arg) {
+                        const Tnam* tnam, const SparseVector& in, double alpha,
+                        bool two_step, bool from_second_arg,
+                        std::vector<double>* snas_scratch) {
   SparseVector out;
   for (const auto& e : in.entries()) {
     out.Add(e.index, e.value);  // diagonal: RS(a, a) = 1
-    for (NodeId b : g.Neighbors(e.index)) {
+    auto nbrs = g.Neighbors(e.index);
+    const double* batched = nullptr;
+    if (tnam != nullptr) {
+      snas_scratch->resize(nbrs.size());
+      tnam->SnasBatch(e.index, nbrs,
+                      std::span<double>(snas_scratch->data(), nbrs.size()));
+      batched = snas_scratch->data();
+    }
+    for (size_t t = 0; t < nbrs.size(); ++t) {
+      const NodeId b = nbrs[t];
       double pi_hat = from_second_arg ? EdgeRwr(g, b, e.index, alpha, two_step)
                                       : EdgeRwr(g, e.index, b, alpha, two_step);
       // Low-rank SNAS estimates can dip below zero; clamp so downstream
       // diffusion legs receive a non-negative vector.
-      double s = std::max(snas.Snas(e.index, b), 0.0);
+      double s = std::max(batched != nullptr ? batched[t]
+                                             : snas.Snas(e.index, b),
+                          0.0);
       out.Add(b, e.value * pi_hat * s);
     }
   }
@@ -88,20 +105,28 @@ SparseVector ApplyRsLeg(const Graph& g, const SnasProvider& snas,
 }  // namespace
 
 SparseVector AlternativeBdd(const Graph& graph, const SnasProvider& snas,
-                            NodeId seed, const AltBddOptions& opts) {
+                            NodeId seed, const AltBddOptions& opts,
+                            DiffusionWorkspace* workspace) {
   LACA_CHECK(!graph.is_weighted(),
              "AlternativeBdd supports unweighted graphs only");
   LACA_CHECK(seed < graph.num_nodes(), "seed out of range");
-  DiffusionEngine engine(graph);
+  DiffusionWorkspace local_ws;  // unused when a persistent one is borrowed
+  DiffusionEngine engine(graph, workspace != nullptr ? workspace : &local_ws);
   const double alpha = opts.diffusion.alpha;
+  // Batched fast path only when the Tnam covers every graph node (same
+  // guard as Laca::ComputeBddWithProvider); otherwise keep the virtual path.
+  const Tnam* tnam = dynamic_cast<const Tnam*>(&snas);
+  if (tnam != nullptr && tnam->num_rows() != graph.num_nodes()) tnam = nullptr;
+  std::vector<double> snas_scratch;
 
   // Leg 1: X(s, .) applied to the unit seed vector.
   SparseVector cur;
   if (opts.legs[0] == BddLeg::kRwr) {
     cur = engine.Adaptive(SparseVector::Unit(seed), opts.diffusion);
   } else {
-    cur = ApplyRsLeg(graph, snas, SparseVector::Unit(seed), alpha,
-                     opts.two_step_edge_kernel, /*from_second_arg=*/false);
+    cur = ApplyRsLeg(graph, snas, tnam, SparseVector::Unit(seed), alpha,
+                     opts.two_step_edge_kernel, /*from_second_arg=*/false,
+                     &snas_scratch);
   }
 
   // Leg 2: v_j = sum_i cur_i Y(i, j). For R this is exactly an RWR diffusion.
@@ -110,8 +135,8 @@ SparseVector AlternativeBdd(const Graph& graph, const SnasProvider& snas,
     d.epsilon *= std::max(cur.L1Norm(), 1e-300);  // scale-invariant threshold
     cur = engine.Adaptive(cur, d);
   } else {
-    cur = ApplyRsLeg(graph, snas, cur, alpha, opts.two_step_edge_kernel,
-                     /*from_second_arg=*/false);
+    cur = ApplyRsLeg(graph, snas, tnam, cur, alpha, opts.two_step_edge_kernel,
+                     /*from_second_arg=*/false, &snas_scratch);
   }
 
   // Leg 3: out_t = sum_j v_j Z(t, j).
@@ -131,8 +156,8 @@ SparseVector AlternativeBdd(const Graph& graph, const SnasProvider& snas,
     }
     return out;
   }
-  return ApplyRsLeg(graph, snas, cur, alpha, opts.two_step_edge_kernel,
-                    /*from_second_arg=*/true);
+  return ApplyRsLeg(graph, snas, tnam, cur, alpha, opts.two_step_edge_kernel,
+                    /*from_second_arg=*/true, &snas_scratch);
 }
 
 std::vector<double> ExactAlternativeBdd(const Graph& graph,

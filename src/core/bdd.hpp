@@ -58,9 +58,14 @@ struct AltBddOptions {
 };
 
 /// Computes the alternative affinity vector for `seed` under `opts`.
-/// Cost is local: O(vol of the explored region) per leg.
+/// Cost is local: O(vol of the explored region) per leg. RS legs evaluate
+/// the SNAS per traversed edge; a `Tnam` provider is detected and served by
+/// its batched SnasBatch kernel (no virtual call per edge). When `workspace`
+/// is non-null the R legs diffuse on it (rebound to `graph`) instead of a
+/// transient per-call arena — pass a persistent one in batch harnesses.
 SparseVector AlternativeBdd(const Graph& graph, const SnasProvider& snas,
-                            NodeId seed, const AltBddOptions& opts);
+                            NodeId seed, const AltBddOptions& opts,
+                            DiffusionWorkspace* workspace = nullptr);
 
 /// Exact (dense) alternative affinity for tiny graphs — test reference.
 /// Computes full RWR rows by power iteration; O(n m) time, O(n^2) memory.

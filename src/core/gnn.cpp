@@ -4,28 +4,37 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace laca {
 namespace {
 
+// Propagation work (n * k elements) below this stays serial.
+constexpr size_t kParallelSmoothMin = 1u << 15;
+
 /// One transition step: out = P * in, i.e. out(u) = mean over u's neighbors
-/// (weight-proportional on weighted graphs) of in(v), column-blocked over k.
+/// (weight-proportional on weighted graphs) of in(v). Output rows are
+/// disjoint and each row's accumulation walks the neighbor list in order,
+/// so the row-block fan-out is bit-identical to the serial loop.
 void PropagateOnce(const Graph& graph, const DenseMatrix& in,
-                   DenseMatrix* out) {
+                   DenseMatrix* out, ThreadPool* pool) {
   const size_t k = in.cols();
-  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
-    auto row = out->Row(u);
-    for (size_t c = 0; c < k; ++c) row[c] = 0.0;
-    auto nbrs = graph.Neighbors(u);
-    auto wts = graph.NeighborWeights(u);
-    const double du = graph.Degree(u);
-    if (du == 0.0) continue;  // isolated node keeps a zero embedding
-    for (size_t i = 0; i < nbrs.size(); ++i) {
-      const double w = (graph.is_weighted() ? wts[i] : 1.0) / du;
-      auto src = in.Row(nbrs[i]);
-      for (size_t c = 0; c < k; ++c) row[c] += w * src[c];
+  ForEachBlock(pool, graph.num_nodes(), DenseRowBlock(k),
+               [&](size_t, size_t lo, size_t hi) {
+    for (NodeId u = static_cast<NodeId>(lo); u < hi; ++u) {
+      double* row = out->Row(u).data();
+      for (size_t c = 0; c < k; ++c) row[c] = 0.0;
+      auto nbrs = graph.Neighbors(u);
+      auto wts = graph.NeighborWeights(u);
+      const double du = graph.Degree(u);
+      if (du == 0.0) continue;  // isolated node keeps a zero embedding
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        const double w = (graph.is_weighted() ? wts[i] : 1.0) / du;
+        const double* src = in.Row(nbrs[i]).data();
+        for (size_t c = 0; c < k; ++c) row[c] += w * src[c];
+      }
     }
-  }
+  });
 }
 
 }  // namespace
@@ -48,16 +57,18 @@ DenseMatrix SmoothEmbeddings(const Graph& graph, const DenseMatrix& h0,
           std::ceil(std::log(opts.tolerance) / std::log(opts.alpha))));
 
   const size_t n = h0.rows(), k = h0.cols();
+  ThreadPool* pool =
+      GateBySize(SharedPoolOrSerial(), n * k, kParallelSmoothMin);
   DenseMatrix acc(n, k);
   DenseMatrix cur = h0;
   DenseMatrix next(n, k);
   double coeff = 1.0 - opts.alpha;  // (1-a) a^l, starting at l = 0
   for (int l = 0;; ++l) {
-    for (size_t i = 0; i < n * k; ++i) {
-      acc.data()[i] += coeff * cur.data()[i];
-    }
+    ForEachBlock(pool, n * k, 1u << 14, [&](size_t, size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) acc.data()[i] += coeff * cur.data()[i];
+    });
     if (l >= hops) break;
-    PropagateOnce(graph, cur, &next);
+    PropagateOnce(graph, cur, &next, pool);
     std::swap(cur, next);
     coeff *= opts.alpha;
   }

@@ -40,24 +40,12 @@ LacaResult Laca::ComputeBdd(NodeId seed, const LacaOptions& opts) {
   result.rwr_support = pi.Size();
 
   // Step 2: aggregate TNAM rows into psi (Eq. 12), then build the RWR-SNAS
-  // vector phi'_i = (psi . z(i)) d(i) over supp(pi') (Eq. 13). Without a
-  // TNAM the SNAS is the identity and phi'_i = pi'_i d(i).
+  // vector phi'_i = (psi . z(i)) d(i) over supp(pi') (Eq. 13) — the fused
+  // two-pass kernel over contiguous TNAM storage. Without a TNAM the SNAS
+  // is the identity and phi'_i = pi'_i d(i).
   SparseVector phi;
   if (tnam_ != nullptr) {
-    const size_t dim = tnam_->dim();
-    std::fill(psi_.begin(), psi_.end(), 0.0);
-    for (const auto& e : pi.entries()) {
-      auto z = tnam_->Row(e.index);
-      for (size_t j = 0; j < dim; ++j) psi_[j] += e.value * z[j];
-    }
-    for (const auto& e : pi.entries()) {
-      auto z = tnam_->Row(e.index);
-      double dot = 0.0;
-      for (size_t j = 0; j < dim; ++j) dot += psi_[j] * z[j];
-      // The low-rank SNAS can dip below zero; the diffusion requires a
-      // non-negative input, so clamp (documented in DESIGN.md).
-      if (dot > 0.0) phi.Add(e.index, dot * graph_.Degree(e.index));
-    }
+    phi = FusedSnasStep(*tnam_, pi);
   } else {
     for (const auto& e : pi.entries()) {
       phi.Add(e.index, e.value * graph_.Degree(e.index));
@@ -93,6 +81,26 @@ LacaResult Laca::ComputeBdd(NodeId seed, const LacaOptions& opts) {
   return result;
 }
 
+SparseVector Laca::FusedSnasStep(const Tnam& tnam, const SparseVector& pi) {
+  const size_t dim = tnam.dim();
+  psi_.assign(dim, 0.0);
+  tnam.AccumulateRows(pi.entries(), psi_);
+  dots_.resize(pi.Size());
+  tnam.DotRows(pi.entries(), psi_,
+               std::span<double>(dots_.data(), pi.Size()));
+  SparseVector phi;
+  for (size_t t = 0; t < pi.Size(); ++t) {
+    const double dot = dots_[t];
+    // The low-rank SNAS can dip below zero; the diffusion requires a
+    // non-negative input, so clamp (documented in DESIGN.md).
+    if (dot > 0.0) {
+      const NodeId i = pi.entries()[t].index;
+      phi.Add(i, dot * graph_.Degree(i));
+    }
+  }
+  return phi;
+}
+
 LacaResult Laca::ComputeBddWithProvider(NodeId seed, const SnasProvider& snas,
                                         const LacaOptions& opts) {
   LACA_CHECK(seed < graph_.num_nodes(), "seed out of range");
@@ -105,13 +113,20 @@ LacaResult Laca::ComputeBddWithProvider(NodeId seed, const SnasProvider& snas,
                                          &result.rwr_stats);
   result.rwr_support = pi.Size();
 
+  // A Tnam provider admits the same fused O(|supp| k) Step 2 as ComputeBdd;
+  // only truly unfactorized providers pay the quadratic double loop.
+  const Tnam* tnam = dynamic_cast<const Tnam*>(&snas);
   SparseVector phi;
-  for (const auto& ei : pi.entries()) {
-    double acc = 0.0;
-    for (const auto& ej : pi.entries()) {
-      acc += ej.value * snas.Snas(ej.index, ei.index);
+  if (tnam != nullptr && tnam->num_rows() == graph_.num_nodes()) {
+    phi = FusedSnasStep(*tnam, pi);
+  } else {
+    for (const auto& ei : pi.entries()) {
+      double acc = 0.0;
+      for (const auto& ej : pi.entries()) {
+        acc += ej.value * snas.Snas(ej.index, ei.index);
+      }
+      if (acc > 0.0) phi.Add(ei.index, acc * graph_.Degree(ei.index));
     }
-    if (acc > 0.0) phi.Add(ei.index, acc * graph_.Degree(ei.index));
   }
   result.phi_l1 = phi.L1Norm();
   if (phi.Empty()) {

@@ -68,11 +68,15 @@ class Laca {
   /// (seed included, BFS-padded if the explored region is too small).
   std::vector<NodeId> Cluster(NodeId seed, size_t size, const LacaOptions& opts);
 
-  /// Algo. 4 with an arbitrary (non-factorized) SNAS provider: Step 2's
-  /// phi'_i = sum_j pi'_j s(j, i) d(i) is computed by the O(|supp(pi')|^2)
-  /// double loop restricted to supp(pi'). Used by the alternative-similarity
-  /// experiments (Table XI), where the metric admits no low-rank form; pick a
-  /// coarser epsilon to keep the quadratic step affordable.
+  /// Algo. 4 with an arbitrary SNAS provider. When `snas` is actually a
+  /// `Tnam` covering the graph, Step 2 routes through the fused batched
+  /// kernel (one AccumulateRows pass for psi, one DotRows pass for phi:
+  /// O(|supp(pi')| k), identical to ComputeBdd). Any other provider falls
+  /// back to the generic O(|supp(pi')|^2) double loop of virtual Snas(j, i)
+  /// calls restricted to supp(pi') — quadratic in the support, so callers in
+  /// that regime (the alternative-similarity experiments of Table XI, whose
+  /// metrics admit no low-rank form) should pick a coarser epsilon to keep
+  /// Step 2 affordable.
   LacaResult ComputeBddWithProvider(NodeId seed, const SnasProvider& snas,
                                     const LacaOptions& opts);
 
@@ -89,10 +93,15 @@ class Laca {
   void SetIntraQueryPool(ThreadPool* pool) { engine_.SetIntraQueryPool(pool); }
 
  private:
+  // Step 2 (Eqs. 12-13) through the fused TNAM kernels; shared by
+  // ComputeBdd and the Tnam fast path of ComputeBddWithProvider.
+  SparseVector FusedSnasStep(const Tnam& tnam, const SparseVector& pi);
+
   const Graph& graph_;
   const Tnam* tnam_;
   DiffusionEngine engine_;
-  std::vector<double> psi_;  // scratch for Step 2
+  std::vector<double> psi_;   // Step 2 scratch: Eq. 12 aggregate
+  std::vector<double> dots_;  // Step 2 scratch: Eq. 13 batched dots
 };
 
 }  // namespace laca

@@ -154,12 +154,35 @@ AttributedGraph GenerateAttributedSbm(const AttributedSbmOptions& opts) {
              "edge_noise must be in [0,1]");
   LACA_CHECK(opts.attr_dim == 0 || opts.attr_nnz > 0,
              "attributed graphs need attr_nnz > 0");
+  LACA_CHECK(opts.degree_skew >= 0.0, "degree_skew must be >= 0");
 
   Rng rng(opts.seed);
   AttributedGraph out;
   AssignCommunities(opts, rng, out.communities);
   const Communities& comms = out.communities;
   const NodeId n = opts.num_nodes;
+
+  // Degree-skewed endpoint sampler: cumulative Zipf-like weights
+  // w_v = (v + 1)^-skew, inverted by binary search. Node ids are unordered
+  // relative to communities (AssignCommunities shuffles), so the hubs spread
+  // across communities. With skew == 0 the sampler is bypassed entirely and
+  // the RNG stream matches the historical generator bit for bit.
+  std::vector<double> degree_cum;
+  if (opts.degree_skew > 0.0) {
+    degree_cum.resize(n);
+    double acc = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      acc += std::pow(static_cast<double>(v + 1), -opts.degree_skew);
+      degree_cum[v] = acc;
+    }
+  }
+  auto sample_node = [&]() -> NodeId {
+    if (degree_cum.empty()) return static_cast<NodeId>(rng.UniformInt(n));
+    const double r = rng.Uniform() * degree_cum.back();
+    return static_cast<NodeId>(
+        std::lower_bound(degree_cum.begin(), degree_cum.end(), r) -
+        degree_cum.begin());
+  };
 
   GraphBuilder builder(n);
   std::vector<uint32_t> degree(n, 0);
@@ -173,18 +196,18 @@ AttributedGraph GenerateAttributedSbm(const AttributedSbmOptions& opts) {
   const uint64_t target_edges =
       static_cast<uint64_t>(opts.num_nodes * opts.avg_degree / 2.0);
   for (uint64_t e = 0; e < target_edges; ++e) {
-    NodeId u = static_cast<NodeId>(rng.UniformInt(n));
+    NodeId u = sample_node();
     NodeId v;
     if (rng.Bernoulli(opts.edge_noise)) {
-      // Noisy link: both endpoints uniform.
-      u = static_cast<NodeId>(rng.UniformInt(n));
-      v = static_cast<NodeId>(rng.UniformInt(n));
+      // Noisy link: both endpoints (degree-weighted) random.
+      u = sample_node();
+      v = sample_node();
     } else if (rng.Bernoulli(opts.intra_fraction)) {
       const auto& cs = comms.node_comms[u];
       const auto& m = comms.members[cs[rng.UniformInt(cs.size())]];
       v = m[rng.UniformInt(m.size())];
     } else {
-      v = static_cast<NodeId>(rng.UniformInt(n));
+      v = sample_node();
     }
     add_edge(u, v);
   }

@@ -69,6 +69,16 @@ struct AttributedSbmOptions {
   uint32_t comms_per_node_max = 1;
   /// Power-law exponent for community sizes (0 = equal sizes).
   double community_size_skew = 0.0;
+  /// Power-law exponent for the DEGREE distribution (0 = uniform endpoint
+  /// sampling, the historical behavior — bit-identical streams). When > 0,
+  /// edge endpoints outside a community draw (and every edge's source
+  /// draws) from Zipf-like node weights w_v ∝ (v + 1)^-degree_skew, so a few
+  /// hub nodes collect a heavy-tailed share of the edges — the scheduler
+  /// skew real co-purchase / social graphs exhibit and the equal-weight SBM
+  /// understates (ROADMAP dataset-realism item; exercised by
+  /// bench_ext_parallel_scaling). Values around 0.6-1.0 give max degrees
+  /// 1-2 orders of magnitude above the mean at these sizes.
+  double degree_skew = 0.0;
   uint64_t seed = 1;
 };
 

@@ -1,10 +1,24 @@
 #include "la/matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace laca {
+namespace {
+
+// Inner-dimension panel: B rows touched per pass. 64 rows x (cols <= 512)
+// keeps the streamed B panel inside L1/L2 while the output row stays hot.
+constexpr size_t kInnerBlock = 64;
+
+}  // namespace
+
+size_t DenseRowBlock(size_t cols) {
+  const size_t target = 32 * 1024 / sizeof(double);  // ~32KB of output panel
+  return std::clamp<size_t>(target / std::max<size_t>(cols, 1), 16, 1024);
+}
 
 DenseMatrix DenseMatrix::Transposed() const {
   DenseMatrix t(cols_, rows_);
@@ -14,35 +28,81 @@ DenseMatrix DenseMatrix::Transposed() const {
   return t;
 }
 
-DenseMatrix DenseMatrix::Multiply(const DenseMatrix& other) const {
+void DenseMatrix::MultiplyInto(const DenseMatrix& other, DenseMatrix* out,
+                               ThreadPool* pool) const {
   LACA_CHECK(cols_ == other.rows_, "Multiply: dimension mismatch");
-  DenseMatrix out(rows_, other.cols_);
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* a = data_.data() + i * cols_;
-    double* o = out.data_.data() + i * other.cols_;
-    for (size_t l = 0; l < cols_; ++l) {
-      const double av = a[l];
-      if (av == 0.0) continue;
-      const double* b = other.data_.data() + l * other.cols_;
-      for (size_t j = 0; j < other.cols_; ++j) o[j] += av * b[j];
+  LACA_CHECK(out != this && out != &other, "Multiply: output aliases input");
+  out->Resize(rows_, other.cols_);
+  const size_t n = other.cols_;
+  const double* a_data = data_.data();
+  const double* b_data = other.data_.data();
+  double* o_data = out->data_.data();
+  ForEachBlock(pool, rows_, DenseRowBlock(n),
+               [&, this](size_t, size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      double* o = o_data + i * n;
+      std::fill(o, o + n, 0.0);
     }
-  }
+    // Inner panels in ascending order: each o[j]'s accumulation chain walks
+    // l = 0..cols_-1 exactly as the scalar kernel did.
+    for (size_t l0 = 0; l0 < cols_; l0 += kInnerBlock) {
+      const size_t l1 = std::min(cols_, l0 + kInnerBlock);
+      for (size_t i = lo; i < hi; ++i) {
+        const double* a = a_data + i * cols_;
+        double* o = o_data + i * n;
+        for (size_t l = l0; l < l1; ++l) {
+          const double av = a[l];
+          if (av == 0.0) continue;
+          const double* b = b_data + l * n;
+          for (size_t j = 0; j < n; ++j) o[j] += av * b[j];
+        }
+      }
+    }
+  });
+}
+
+void DenseMatrix::TransposedMultiplyInto(const DenseMatrix& other,
+                                         DenseMatrix* out,
+                                         ThreadPool* pool) const {
+  LACA_CHECK(rows_ == other.rows_, "TransposedMultiply: dimension mismatch");
+  LACA_CHECK(out != this && out != &other,
+             "TransposedMultiply: output aliases input");
+  out->Resize(cols_, other.cols_);
+  const size_t n = other.cols_;
+  const double* a_data = data_.data();
+  const double* b_data = other.data_.data();
+  double* o_data = out->data_.data();
+  // Each block owns a contiguous range of output rows (= columns of this);
+  // it walks this's rows l in ascending order, reading the [lo, hi) slice of
+  // each row — contiguous — and accumulating into its private output panel.
+  ForEachBlock(pool, cols_, DenseRowBlock(n),
+               [&, this](size_t, size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      double* o = o_data + i * n;
+      std::fill(o, o + n, 0.0);
+    }
+    for (size_t l = 0; l < rows_; ++l) {
+      const double* a = a_data + l * cols_;
+      const double* b = b_data + l * n;
+      for (size_t i = lo; i < hi; ++i) {
+        const double av = a[i];
+        if (av == 0.0) continue;
+        double* o = o_data + i * n;
+        for (size_t j = 0; j < n; ++j) o[j] += av * b[j];
+      }
+    }
+  });
+}
+
+DenseMatrix DenseMatrix::Multiply(const DenseMatrix& other) const {
+  DenseMatrix out;
+  MultiplyInto(other, &out);
   return out;
 }
 
 DenseMatrix DenseMatrix::TransposedMultiply(const DenseMatrix& other) const {
-  LACA_CHECK(rows_ == other.rows_, "TransposedMultiply: dimension mismatch");
-  DenseMatrix out(cols_, other.cols_);
-  for (size_t l = 0; l < rows_; ++l) {
-    const double* a = data_.data() + l * cols_;
-    const double* b = other.data_.data() + l * other.cols_;
-    for (size_t i = 0; i < cols_; ++i) {
-      const double av = a[i];
-      if (av == 0.0) continue;
-      double* o = out.data_.data() + i * other.cols_;
-      for (size_t j = 0; j < other.cols_; ++j) o[j] += av * b[j];
-    }
-  }
+  DenseMatrix out;
+  TransposedMultiplyInto(other, &out);
   return out;
 }
 

@@ -1,4 +1,12 @@
 // Dense row-major matrix used by the low-rank attribute machinery.
+//
+// The product kernels are cache-blocked panel loops (contiguous inner
+// accumulation, no per-element operator()) with optional row-block
+// parallelism over a ThreadPool. Parallelism is ORDER-PRESERVING: blocks
+// partition the output (disjoint writes) and every output element's FP
+// accumulation chain walks the inner dimension in ascending order, so
+// results are bit-identical to the serial scalar kernel at every thread
+// count (DESIGN.md §6).
 #ifndef LACA_LA_MATRIX_HPP_
 #define LACA_LA_MATRIX_HPP_
 
@@ -7,6 +15,8 @@
 #include <vector>
 
 namespace laca {
+
+class ThreadPool;
 
 /// A dense row-major matrix of doubles.
 ///
@@ -34,6 +44,15 @@ class DenseMatrix {
   const std::vector<double>& data() const { return data_; }
   std::vector<double>& data() { return data_; }
 
+  /// Reshapes to rows x cols, reusing the existing allocation when capacity
+  /// allows; contents are NOT cleared (callers overwrite). For the
+  /// preallocated ping-pong buffers of the preprocessing pipeline.
+  void Resize(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   /// Returns this^T as a new matrix.
   DenseMatrix Transposed() const;
 
@@ -42,6 +61,20 @@ class DenseMatrix {
 
   /// this^T * other. Requires rows() == other.rows().
   DenseMatrix TransposedMultiply(const DenseMatrix& other) const;
+
+  /// out = this * other, written into a preallocated (or resized) output.
+  /// Cache-blocked over (row panel, inner panel); row panels fan out over
+  /// `pool` when non-null. Bit-identical to the serial kernel at every
+  /// thread count (inner dimension always accumulates in ascending order).
+  /// `out` must not alias this or other.
+  void MultiplyInto(const DenseMatrix& other, DenseMatrix* out,
+                    ThreadPool* pool = nullptr) const;
+
+  /// out = this^T * other, same contracts as MultiplyInto. Output row
+  /// blocks (columns of this) are computed independently; the inner
+  /// accumulation walks this's rows in ascending order.
+  void TransposedMultiplyInto(const DenseMatrix& other, DenseMatrix* out,
+                              ThreadPool* pool = nullptr) const;
 
   /// Frobenius norm.
   double FrobeniusNorm() const;
@@ -59,6 +92,12 @@ class DenseMatrix {
   size_t rows_ = 0, cols_ = 0;
   std::vector<double> data_;
 };
+
+/// Row-panel size for the blocked dense kernels: a function of the row
+/// width only (targets ~32KB of output panel), never of the worker count,
+/// so the block partition — and with it every FP accumulation chain — is
+/// identical at every thread count.
+size_t DenseRowBlock(size_t cols);
 
 }  // namespace laca
 

@@ -1,88 +1,157 @@
 #include "la/qr.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace laca {
 namespace {
 
-// In-place Householder factorization; returns the reflector scalars. After
-// the call `a` holds R in its upper triangle and the reflector vectors below.
-std::vector<double> Factorize(DenseMatrix& a) {
-  const size_t m = a.rows(), n = a.cols();
-  std::vector<double> tau(n, 0.0);
+// Column-block size for sharding reflector applications: a few columns per
+// task keeps dispatch overhead amortized over O(m) work each; independent of
+// the worker count so the partition is deterministic.
+constexpr size_t kColBlock = 8;
+
+// Panels below this element count run serially even with a pool: the
+// per-reflector fan-out would cost more than the arithmetic.
+constexpr size_t kParallelPanelMin = 1u << 16;
+
+// In-place Householder factorization of the col-major m x n panel `a`
+// (column j at a + j*m); returns the reflector scalars in `tau`. After the
+// call the panel holds R in its upper triangle and the (v0-normalized)
+// reflector vectors below. The operation sequence matches the classic
+// row-major loop exactly (bit-identical results).
+void FactorizeColMajor(double* a, size_t m, size_t n, double* tau,
+                       ThreadPool* pool) {
   for (size_t j = 0; j < n; ++j) {
+    double* colj = a + j * m;
+    tau[j] = 0.0;
     // Build the Householder vector for column j.
     double norm_sq = 0.0;
-    for (size_t i = j; i < m; ++i) norm_sq += a(i, j) * a(i, j);
+    for (size_t i = j; i < m; ++i) norm_sq += colj[i] * colj[i];
     double norm = std::sqrt(norm_sq);
     if (norm == 0.0) continue;
-    double alpha = a(j, j) >= 0.0 ? -norm : norm;
-    double v0 = a(j, j) - alpha;
-    // v = (v0, a(j+1..m, j)); H = I - tau v v^T with tau = 2 / (v^T v).
+    double alpha = colj[j] >= 0.0 ? -norm : norm;
+    double v0 = colj[j] - alpha;
+    // v = (v0, colj[j+1..m]); H = I - tau v v^T with tau = 2 / (v^T v).
     double vtv = v0 * v0;
-    for (size_t i = j + 1; i < m; ++i) vtv += a(i, j) * a(i, j);
+    for (size_t i = j + 1; i < m; ++i) vtv += colj[i] * colj[i];
     if (vtv == 0.0) continue;
     tau[j] = 2.0 / vtv;
-    // Apply H to the remaining columns.
-    for (size_t c = j + 1; c < n; ++c) {
-      double dot = v0 * a(j, c);
-      for (size_t i = j + 1; i < m; ++i) dot += a(i, j) * a(i, c);
-      double f = tau[j] * dot;
-      a(j, c) -= f * v0;
-      for (size_t i = j + 1; i < m; ++i) a(i, c) -= f * a(i, j);
-    }
-    a(j, j) = alpha;
+    const double t = tau[j];
+    // Apply H to the remaining columns; each column's update is independent
+    // and its FP chain fixed, so the fan-out is bit-identical to serial.
+    ForEachBlock(pool, n - j - 1, kColBlock,
+                 [a, m, j, v0, t, colj](size_t, size_t lo, size_t hi) {
+      for (size_t c = j + 1 + lo; c < j + 1 + hi; ++c) {
+        double* colc = a + c * m;
+        double dot = v0 * colc[j];
+        for (size_t i = j + 1; i < m; ++i) dot += colj[i] * colc[i];
+        double f = t * dot;
+        colc[j] -= f * v0;
+        for (size_t i = j + 1; i < m; ++i) colc[i] -= f * colj[i];
+      }
+    });
+    colj[j] = alpha;
     // Store the (unnormalized) reflector below the diagonal; remember v0.
     if (v0 != 0.0) {
-      for (size_t i = j + 1; i < m; ++i) a(i, j) /= v0;
+      for (size_t i = j + 1; i < m; ++i) colj[i] /= v0;
       tau[j] *= v0 * v0;
     }
   }
-  return tau;
 }
 
-// Accumulates thin Q (m x n) from the stored reflectors.
-DenseMatrix AccumulateQ(const DenseMatrix& h, const std::vector<double>& tau) {
-  const size_t m = h.rows(), n = h.cols();
-  DenseMatrix q(m, n);
-  for (size_t j = 0; j < n; ++j) q(j, j) = 1.0;
+// Accumulates thin Q (col-major m x n) from the stored reflectors in `h`.
+void AccumulateQColMajor(const double* h, size_t m, size_t n,
+                         const double* tau, double* q, ThreadPool* pool) {
+  std::fill(q, q + m * n, 0.0);
+  for (size_t j = 0; j < n; ++j) q[j * m + j] = 1.0;
   // Apply H_j from the left, last reflector first: Q = H_0 H_1 ... H_{n-1} I.
   for (size_t j = n; j-- > 0;) {
     if (tau[j] == 0.0) continue;
-    for (size_t c = 0; c < n; ++c) {
-      double dot = q(j, c);  // v0 normalized to 1
-      for (size_t i = j + 1; i < m; ++i) dot += h(i, j) * q(i, c);
-      double f = tau[j] * dot;
-      q(j, c) -= f;
-      for (size_t i = j + 1; i < m; ++i) q(i, c) -= f * h(i, j);
-    }
+    const double* hj = h + j * m;
+    const double tj = tau[j];
+    ForEachBlock(pool, n, kColBlock,
+                 [q, m, j, hj, tj](size_t, size_t lo, size_t hi) {
+      for (size_t c = lo; c < hi; ++c) {
+        double* qc = q + c * m;
+        double dot = qc[j];  // v0 normalized to 1
+        for (size_t i = j + 1; i < m; ++i) dot += hj[i] * qc[i];
+        double f = tj * dot;
+        qc[j] -= f;
+        for (size_t i = j + 1; i < m; ++i) qc[i] -= f * hj[i];
+      }
+    });
   }
-  return q;
+}
+
+// Row-major -> col-major copy (and back). Walks the row-major side
+// contiguously; the n strided streams stay within the cache's way count for
+// the thin panels used here.
+void ToColMajor(const DenseMatrix& a, double* cm) {
+  const size_t m = a.rows(), n = a.cols();
+  for (size_t i = 0; i < m; ++i) {
+    const double* row = a.Row(i).data();
+    for (size_t j = 0; j < n; ++j) cm[j * m + i] = row[j];
+  }
+}
+
+void FromColMajor(const double* cm, DenseMatrix* a) {
+  const size_t m = a->rows(), n = a->cols();
+  for (size_t i = 0; i < m; ++i) {
+    double* row = a->Row(i).data();
+    for (size_t j = 0; j < n; ++j) row[j] = cm[j * m + i];
+  }
 }
 
 }  // namespace
 
-QrResult HouseholderQr(const DenseMatrix& a) {
-  LACA_CHECK(a.rows() >= a.cols(), "HouseholderQr requires rows >= cols");
-  DenseMatrix h = a;
-  std::vector<double> tau = Factorize(h);
-  QrResult out;
-  out.r = DenseMatrix(a.cols(), a.cols());
-  for (size_t i = 0; i < a.cols(); ++i) {
-    for (size_t j = i; j < a.cols(); ++j) out.r(i, j) = h(i, j);
-  }
-  out.q = AccumulateQ(h, tau);
-  return out;
+void QrOrthonormalInto(const DenseMatrix& a, DenseMatrix* q,
+                       QrScratch* scratch, ThreadPool* pool) {
+  LACA_CHECK(a.rows() >= a.cols(), "QrOrthonormal requires rows >= cols");
+  LACA_CHECK(q != &a, "QrOrthonormal: output aliases input");
+  const size_t m = a.rows(), n = a.cols();
+  pool = GateBySize(pool, m * n, kParallelPanelMin);
+  scratch->a.resize(m * n);
+  scratch->q.resize(m * n);
+  scratch->tau.resize(n);
+  ToColMajor(a, scratch->a.data());
+  FactorizeColMajor(scratch->a.data(), m, n, scratch->tau.data(), pool);
+  AccumulateQColMajor(scratch->a.data(), m, n, scratch->tau.data(),
+                      scratch->q.data(), pool);
+  q->Resize(m, n);
+  FromColMajor(scratch->q.data(), q);
 }
 
 DenseMatrix QrOrthonormal(const DenseMatrix& a) {
-  LACA_CHECK(a.rows() >= a.cols(), "QrOrthonormal requires rows >= cols");
-  DenseMatrix h = a;
-  std::vector<double> tau = Factorize(h);
-  return AccumulateQ(h, tau);
+  QrScratch scratch;
+  DenseMatrix q;
+  QrOrthonormalInto(a, &q, &scratch);
+  return q;
+}
+
+QrResult HouseholderQr(const DenseMatrix& a) {
+  LACA_CHECK(a.rows() >= a.cols(), "HouseholderQr requires rows >= cols");
+  const size_t m = a.rows(), n = a.cols();
+  QrScratch scratch;
+  scratch.a.resize(m * n);
+  scratch.q.resize(m * n);
+  scratch.tau.resize(n);
+  ToColMajor(a, scratch.a.data());
+  FactorizeColMajor(scratch.a.data(), m, n, scratch.tau.data(), nullptr);
+  QrResult out;
+  out.r = DenseMatrix(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) out.r(i, j) = scratch.a[j * m + i];
+  }
+  AccumulateQColMajor(scratch.a.data(), m, n, scratch.tau.data(),
+                      scratch.q.data(), nullptr);
+  out.q = DenseMatrix(m, n);
+  FromColMajor(scratch.q.data(), &out.q);
+  return out;
 }
 
 }  // namespace laca

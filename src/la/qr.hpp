@@ -1,15 +1,38 @@
 // Householder QR decomposition.
+//
+// The factorization works on a COLUMN-MAJOR scratch copy: every reflector
+// build and application walks contiguous memory (the row-major layout made
+// each column access a fresh cache line, which dominated TNAM construction
+// on tall panels). The operation sequence is exactly the classic
+// column-by-column Householder loop, so results are bit-identical to the
+// historical row-major implementation; reflector applications to the
+// trailing columns optionally fan out over a ThreadPool (each column's FP
+// chain is unchanged, so parallel runs are bit-identical to serial at every
+// thread count — DESIGN.md §6).
 #ifndef LACA_LA_QR_HPP_
 #define LACA_LA_QR_HPP_
+
+#include <vector>
 
 #include "la/matrix.hpp"
 
 namespace laca {
 
+class ThreadPool;
+
 /// Thin QR factorization A = Q R of an m x n matrix with m >= n.
 struct QrResult {
   DenseMatrix q;  // m x n, orthonormal columns
   DenseMatrix r;  // n x n, upper triangular
+};
+
+/// Reusable scratch for QrOrthonormalInto: the col-major factorization and
+/// Q-accumulation panels plus the reflector scalars. One instance serves any
+/// number of calls (buffers grow to the high-water mark and stay).
+struct QrScratch {
+  std::vector<double> a;    // col-major m x n factorization panel
+  std::vector<double> q;    // col-major m x n Q accumulation panel
+  std::vector<double> tau;  // n reflector scalars
 };
 
 /// Computes the thin Householder QR of `a`. Throws on m < n.
@@ -21,6 +44,13 @@ QrResult HouseholderQr(const DenseMatrix& a);
 
 /// Returns only the orthonormal factor Q (saves the R back-substitution).
 DenseMatrix QrOrthonormal(const DenseMatrix& a);
+
+/// As QrOrthonormal, but writing into a preallocated output and reusing
+/// `scratch` across calls (zero steady-state allocation — the k-SVD power
+/// iteration calls this 2x per round). `q` must not alias `a`. Reflector
+/// applications shard over `pool` when non-null; bit-identical to serial.
+void QrOrthonormalInto(const DenseMatrix& a, DenseMatrix* q,
+                       QrScratch* scratch, ThreadPool* pool = nullptr);
 
 }  // namespace laca
 

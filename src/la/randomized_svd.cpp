@@ -4,42 +4,109 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "la/qr.hpp"
 #include "la/svd.hpp"
 
 namespace laca {
+namespace {
 
-DenseMatrix SparseTimesDense(const AttributeMatrix& x, const DenseMatrix& b) {
-  LACA_CHECK(x.num_cols() == b.rows(), "SparseTimesDense: dimension mismatch");
-  const size_t s = b.cols();
-  DenseMatrix y(x.num_rows(), s);
+// Sparse kernels below this many entry-times-width operations stay serial:
+// dispatch would dominate.
+constexpr uint64_t kParallelSparseMin = 1u << 16;
+
+ThreadPool* Gate(ThreadPool* pool, uint64_t work) {
+  return GateBySize(pool, work, kParallelSparseMin);
+}
+
+}  // namespace
+
+AttributeMatrixCsc BuildCsc(const AttributeMatrix& x) {
+  AttributeMatrixCsc out;
+  out.num_rows = x.num_rows();
+  out.num_cols = x.num_cols();
+  out.col_ptr.assign(static_cast<size_t>(x.num_cols()) + 1, 0);
   for (NodeId i = 0; i < x.num_rows(); ++i) {
-    auto out = y.Row(i);
+    for (const auto& [col, val] : x.Row(i)) ++out.col_ptr[col + 1];
+  }
+  for (uint32_t c = 0; c < x.num_cols(); ++c) {
+    out.col_ptr[c + 1] += out.col_ptr[c];
+  }
+  const uint64_t nnz = out.col_ptr.back();
+  out.row_idx.resize(nnz);
+  out.values.resize(nnz);
+  std::vector<uint64_t> cursor(out.col_ptr.begin(), out.col_ptr.end() - 1);
+  // Scanning rows in ascending order leaves each column's entries sorted by
+  // row — the accumulation order of the row-sparse scatter product, which is
+  // what keeps the CSC gather bit-identical to it.
+  for (NodeId i = 0; i < x.num_rows(); ++i) {
     for (const auto& [col, val] : x.Row(i)) {
-      auto brow = b.Row(col);
-      for (size_t j = 0; j < s; ++j) out[j] += val * brow[j];
+      const uint64_t at = cursor[col]++;
+      out.row_idx[at] = i;
+      out.values[at] = val;
     }
   }
-  return y;
+  return out;
+}
+
+void SparseTimesDenseInto(const AttributeMatrix& x, const DenseMatrix& b,
+                          DenseMatrix* out, ThreadPool* pool) {
+  LACA_CHECK(x.num_cols() == b.rows(), "SparseTimesDense: dimension mismatch");
+  LACA_CHECK(out != &b, "SparseTimesDense: output aliases input");
+  const size_t s = b.cols();
+  out->Resize(x.num_rows(), s);
+  pool = Gate(pool, x.num_nonzeros() * s);
+  ForEachBlock(pool, x.num_rows(), DenseRowBlock(s),
+               [&](size_t, size_t lo, size_t hi) {
+    for (NodeId i = static_cast<NodeId>(lo); i < hi; ++i) {
+      double* o = out->Row(i).data();
+      std::fill(o, o + s, 0.0);
+      for (const auto& [col, val] : x.Row(i)) {
+        const double* brow = b.Row(col).data();
+        for (size_t j = 0; j < s; ++j) o[j] += val * brow[j];
+      }
+    }
+  });
+}
+
+DenseMatrix SparseTimesDense(const AttributeMatrix& x, const DenseMatrix& b) {
+  DenseMatrix out;
+  SparseTimesDenseInto(x, b, &out);
+  return out;
+}
+
+void SparseTransposeTimesDenseInto(const AttributeMatrixCsc& xt,
+                                   const DenseMatrix& q, DenseMatrix* out,
+                                   ThreadPool* pool) {
+  LACA_CHECK(xt.num_rows == q.rows(),
+             "SparseTransposeTimesDense: dimension mismatch");
+  LACA_CHECK(out != &q, "SparseTransposeTimesDense: output aliases input");
+  const size_t s = q.cols();
+  out->Resize(xt.num_cols, s);
+  pool = Gate(pool, xt.values.size() * s);
+  ForEachBlock(pool, xt.num_cols, DenseRowBlock(s),
+               [&](size_t, size_t lo, size_t hi) {
+    for (uint32_t c = static_cast<uint32_t>(lo); c < hi; ++c) {
+      double* o = out->Row(c).data();
+      std::fill(o, o + s, 0.0);
+      for (uint64_t e = xt.col_ptr[c]; e < xt.col_ptr[c + 1]; ++e) {
+        const double val = xt.values[e];
+        const double* qrow = q.Row(xt.row_idx[e]).data();
+        for (size_t j = 0; j < s; ++j) o[j] += val * qrow[j];
+      }
+    }
+  });
 }
 
 DenseMatrix SparseTransposeTimesDense(const AttributeMatrix& x,
                                       const DenseMatrix& q) {
-  LACA_CHECK(x.num_rows() == q.rows(),
-             "SparseTransposeTimesDense: dimension mismatch");
-  const size_t s = q.cols();
-  DenseMatrix w(x.num_cols(), s);
-  for (NodeId i = 0; i < x.num_rows(); ++i) {
-    auto qrow = q.Row(i);
-    for (const auto& [col, val] : x.Row(i)) {
-      auto out = w.Row(col);
-      for (size_t j = 0; j < s; ++j) out[j] += val * qrow[j];
-    }
-  }
-  return w;
+  DenseMatrix out;
+  SparseTransposeTimesDenseInto(BuildCsc(x), q, &out);
+  return out;
 }
 
-KSvdResult RandomizedKSvd(const AttributeMatrix& x, const KSvdOptions& opts) {
+KSvdResult RandomizedKSvd(const AttributeMatrix& x, const KSvdOptions& opts,
+                          ThreadPool* pool) {
   LACA_CHECK(opts.rank >= 1, "rank must be >= 1");
   LACA_CHECK(opts.oversample >= 0, "oversample must be >= 0");
   LACA_CHECK(x.num_rows() > 0 && x.num_cols() > 0, "empty matrix");
@@ -48,38 +115,54 @@ KSvdResult RandomizedKSvd(const AttributeMatrix& x, const KSvdOptions& opts) {
   const size_t d = x.num_cols();
   const size_t max_rank = std::min(n, d);
   const size_t k = std::min<size_t>(opts.rank, max_rank);
-  const size_t s = std::min<size_t>(k + opts.oversample, max_rank);
+  const size_t s = std::min<size_t>(opts.rank + opts.oversample, max_rank);
+
+  // One-time transposed view serving every X^T leg of the iteration.
+  const AttributeMatrixCsc csc = BuildCsc(x);
 
   // Range finder: Y = X * Omega with Gaussian Omega (d x s), then Q = qr(Y).
   Rng rng(opts.seed);
   DenseMatrix omega(d, s);
   for (double& v : omega.data()) v = rng.Normal();
-  DenseMatrix q = QrOrthonormal(SparseTimesDense(x, omega));
+
+  // Preallocated panels: the power iterations run allocation-free (the QR
+  // scratch reaches its n x s high-water mark on the first call).
+  DenseMatrix q, w, npanel, dpanel;
+  QrScratch qr_scratch;
+  SparseTimesDenseInto(x, omega, &npanel, pool);
+  QrOrthonormalInto(npanel, &q, &qr_scratch, pool);
 
   // Subspace (power) iteration with re-orthonormalization for stability.
   for (int t = 0; t < opts.power_iterations; ++t) {
-    DenseMatrix w = QrOrthonormal(SparseTransposeTimesDense(x, q));
-    q = QrOrthonormal(SparseTimesDense(x, w));
+    SparseTransposeTimesDenseInto(csc, q, &dpanel, pool);
+    QrOrthonormalInto(dpanel, &w, &qr_scratch, pool);
+    SparseTimesDenseInto(x, w, &npanel, pool);
+    QrOrthonormalInto(npanel, &q, &qr_scratch, pool);
   }
 
   // Project: B = Q^T X (s x d); factor B^T = U_b Sigma V_b^T (d x s panel),
   // so B = V_b Sigma U_b^T and X ~= (Q V_b) Sigma U_b^T.
-  DenseMatrix bt = SparseTransposeTimesDense(x, q);  // d x s == B^T
-  SvdResult small = JacobiSvd(bt);
+  SparseTransposeTimesDenseInto(csc, q, &dpanel, pool);  // d x s == B^T
+  SvdResult small = JacobiSvd(dpanel);
 
   KSvdResult out;
   out.u = DenseMatrix(n, k);
   out.v = DenseMatrix(d, k);
   out.sigma.assign(small.sigma.begin(), small.sigma.begin() + k);
-  // out.u = Q * V_b[:, :k]
-  for (size_t i = 0; i < n; ++i) {
-    auto qrow = q.Row(i);
-    for (size_t j = 0; j < k; ++j) {
-      double acc = 0.0;
-      for (size_t l = 0; l < s; ++l) acc += qrow[l] * small.v(l, j);
-      out.u(i, j) = acc;
+  // out.u = Q * V_b[:, :k] — row blocks are independent; the tiny s x s V_b
+  // panel stays cache-resident.
+  ForEachBlock(Gate(pool, n * s * k), n, DenseRowBlock(k),
+               [&](size_t, size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const double* qrow = q.Row(i).data();
+      double* urow = out.u.Row(i).data();
+      for (size_t j = 0; j < k; ++j) {
+        double acc = 0.0;
+        for (size_t l = 0; l < s; ++l) acc += qrow[l] * small.v(l, j);
+        urow[j] = acc;
+      }
     }
-  }
+  });
   for (size_t i = 0; i < d; ++i) {
     for (size_t j = 0; j < k; ++j) out.v(i, j) = small.u(i, j);
   }

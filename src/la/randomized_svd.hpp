@@ -1,4 +1,14 @@
 // Randomized truncated SVD of sparse attribute matrices (Halko et al.).
+//
+// The sparse-times-dense legs are the nnz-dominant cost of TNAM
+// construction (Algo. 3 / Lemma V.3). Both directions run as row-blocked
+// gather kernels: X * B gathers over each row's entries; X^T * Q runs on a
+// one-time column-compressed (CSC) copy of X so the transpose product is a
+// gather too (the row-sparse scatter formulation serialized on its output
+// rows). Row/column blocks optionally fan out over a ThreadPool; every
+// output element's accumulation chain is fixed (ascending row order), so
+// parallel runs are bit-identical to serial at every thread count
+// (DESIGN.md §6).
 #ifndef LACA_LA_RANDOMIZED_SVD_HPP_
 #define LACA_LA_RANDOMIZED_SVD_HPP_
 
@@ -9,6 +19,8 @@
 #include "la/matrix.hpp"
 
 namespace laca {
+
+class ThreadPool;
 
 /// Options for the randomized k-SVD used by TNAM construction (Algo. 3,
 /// Line 1). The paper runs a constant number of subspace iterations (7).
@@ -26,21 +38,51 @@ struct KSvdResult {
   DenseMatrix v;              // d x k
 };
 
+/// Column-compressed copy of an AttributeMatrix: entries of column c live in
+/// [col_ptr[c], col_ptr[c+1]), with row indices ascending. Built once per
+/// k-SVD (O(nnz)) and reused by every transpose product of the subspace
+/// iteration.
+struct AttributeMatrixCsc {
+  NodeId num_rows = 0;
+  uint32_t num_cols = 0;
+  std::vector<uint64_t> col_ptr;  // num_cols + 1
+  std::vector<NodeId> row_idx;    // nnz, ascending within each column
+  std::vector<double> values;     // nnz
+};
+
+/// Builds the CSC view of `x`.
+AttributeMatrixCsc BuildCsc(const AttributeMatrix& x);
+
 /// Computes a rank-k randomized SVD of the sparse n x d matrix `x`.
 ///
 /// Gaussian range finder with oversampling, `power_iterations` rounds of
 /// subspace iteration with QR re-orthonormalization, then an exact Jacobi
 /// SVD of the projected (k+p) x d panel. Runtime O(nnz(X)(k+p) + (n+d)(k+p)^2)
 /// per iteration — linear in the input size, matching Lemma V.3.
-/// The effective rank is capped at min(n, d).
-KSvdResult RandomizedKSvd(const AttributeMatrix& x, const KSvdOptions& opts);
+/// The effective rank is capped at min(n, d). All panel buffers are
+/// allocated once up front; the power iterations run allocation-free.
+/// `pool` shards the row/column blocks (null = serial, bit-identical).
+KSvdResult RandomizedKSvd(const AttributeMatrix& x, const KSvdOptions& opts,
+                          ThreadPool* pool = nullptr);
 
 /// Dense product Y = X * B for sparse X (n x d) and dense B (d x s).
 DenseMatrix SparseTimesDense(const AttributeMatrix& x, const DenseMatrix& b);
 
-/// Dense product W = X^T * Q for sparse X (n x d) and dense Q (n x s).
+/// As SparseTimesDense, writing into a preallocated (or resized) output,
+/// with row blocks sharded over `pool`.
+void SparseTimesDenseInto(const AttributeMatrix& x, const DenseMatrix& b,
+                          DenseMatrix* out, ThreadPool* pool = nullptr);
+
+/// Dense product W = X^T * Q for sparse X (n x s) and dense Q (n x s).
 DenseMatrix SparseTransposeTimesDense(const AttributeMatrix& x,
                                       const DenseMatrix& q);
+
+/// As SparseTransposeTimesDense on the CSC view: output rows (columns of X)
+/// gather independently, sharded over `pool`. Bit-identical to the
+/// row-sparse scatter formulation (both accumulate in ascending row order).
+void SparseTransposeTimesDenseInto(const AttributeMatrixCsc& xt,
+                                   const DenseMatrix& q, DenseMatrix* out,
+                                   ThreadPool* pool = nullptr);
 
 }  // namespace laca
 

@@ -370,7 +370,9 @@ TEST(GnnEquivalenceTest, BddEqualsPropagatedEmbeddingDot) {
 // ComputeBddWithProvider: the quadratic fallback must agree with the fast
 // factorized path when given the same similarity.
 
-TEST(LacaProviderTest, MatchesFactorizedPathForTnamSimilarity) {
+TEST(LacaProviderTest, TnamProviderRoutesToFusedPathExactly) {
+  // A Tnam provider is detected and served by the same fused Step-2 kernel
+  // ComputeBdd uses, so the two entry points agree to the bit.
   AttributedGraph g = SmallPlanted(55);
   TnamOptions topts;
   topts.k = 16;
@@ -384,9 +386,37 @@ TEST(LacaProviderTest, MatchesFactorizedPathForTnamSimilarity) {
       fast.ComputeBdd(seed, opts).bdd.ToDense(g.graph.num_nodes());
   std::vector<double> b = slow.ComputeBddWithProvider(seed, tnam, opts)
                               .bdd.ToDense(g.graph.num_nodes());
-  // The fast path clamps negative phi entries per node AFTER summing through
-  // psi; the slow path clamps per accumulated value too — identical given
-  // the same support, up to floating-point association.
+  EXPECT_EQ(a, b);
+}
+
+// Forwards Snas() calls without being a Tnam: forces the generic quadratic
+// fallback, pinning it against the fused path.
+class OpaqueSnas : public SnasProvider {
+ public:
+  explicit OpaqueSnas(const Tnam& tnam) : tnam_(tnam) {}
+  double Snas(NodeId i, NodeId j) const override { return tnam_.Snas(i, j); }
+
+ private:
+  const Tnam& tnam_;
+};
+
+TEST(LacaProviderTest, QuadraticFallbackMatchesFusedPath) {
+  AttributedGraph g = SmallPlanted(55);
+  TnamOptions topts;
+  topts.k = 16;
+  Tnam tnam = Tnam::Build(g.attributes, topts);
+  OpaqueSnas opaque(tnam);
+  Laca fast(g.graph, &tnam);
+  Laca slow(g.graph, nullptr);
+  LacaOptions opts;
+  opts.epsilon = 1e-6;
+  const NodeId seed = 23;
+  std::vector<double> a =
+      fast.ComputeBdd(seed, opts).bdd.ToDense(g.graph.num_nodes());
+  std::vector<double> b = slow.ComputeBddWithProvider(seed, opaque, opts)
+                              .bdd.ToDense(g.graph.num_nodes());
+  // The fused path sums through psi (one reassociation of the same terms the
+  // quadratic loop adds directly) — identical support, FP-close values.
   for (NodeId t = 0; t < g.graph.num_nodes(); ++t) {
     EXPECT_NEAR(a[t], b[t], 1e-9) << "node " << t;
   }

@@ -155,6 +155,50 @@ TEST(SbmTest, RejectsBadOptions) {
   EXPECT_THROW(GenerateAttributedSbm(o), std::invalid_argument);
 }
 
+TEST(SbmTest, DegreeSkewProducesHeavyTail) {
+  AttributedSbmOptions base;
+  base.num_nodes = 5000;
+  base.num_communities = 10;
+  base.avg_degree = 16.0;
+  base.attr_dim = 0;
+  base.seed = 91;
+  AttributedGraph flat = GenerateAttributedSbm(base);
+
+  AttributedSbmOptions skewed = base;
+  skewed.degree_skew = 0.8;
+  AttributedGraph heavy = GenerateAttributedSbm(skewed);
+
+  // Same edge budget up to duplicate collisions (hub pairs repeat and are
+  // merged by the builder, so the skewed graph lands a bit under target)...
+  EXPECT_NEAR(static_cast<double>(heavy.graph.TotalVolume()),
+              static_cast<double>(flat.graph.TotalVolume()),
+              0.15 * flat.graph.TotalVolume());
+  // ...but hubs far above the mean (the flat SBM's max degree stays within a
+  // small factor of it), and still no isolated nodes.
+  const double avg = heavy.graph.TotalVolume() / heavy.graph.num_nodes();
+  EXPECT_GT(heavy.graph.MaxDegree(), 5 * avg);
+  EXPECT_GT(heavy.graph.MaxDegree(), 2 * flat.graph.MaxDegree());
+  for (NodeId v = 0; v < heavy.graph.num_nodes(); ++v) {
+    EXPECT_GE(heavy.graph.DegreeCount(v), 1u);
+  }
+}
+
+TEST(SbmTest, DegreeSkewIsDeterministic) {
+  AttributedSbmOptions o;
+  o.num_nodes = 1000;
+  o.num_communities = 5;
+  o.avg_degree = 10.0;
+  o.attr_dim = 50;
+  o.degree_skew = 0.7;
+  o.seed = 92;
+  AttributedGraph a = GenerateAttributedSbm(o);
+  AttributedGraph b = GenerateAttributedSbm(o);
+  EXPECT_EQ(a.graph.TotalVolume(), b.graph.TotalVolume());
+  for (NodeId v = 0; v < a.graph.num_nodes(); ++v) {
+    EXPECT_EQ(a.graph.DegreeCount(v), b.graph.DegreeCount(v));
+  }
+}
+
 TEST(ErdosRenyiTest, BasicShape) {
   Graph g = GenerateErdosRenyi(500, 8.0, 3);
   EXPECT_EQ(g.num_nodes(), 500u);

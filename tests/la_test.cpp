@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "la/matrix.hpp"
 #include "la/qr.hpp"
 #include "la/randomized_svd.hpp"
@@ -10,6 +11,49 @@
 
 namespace laca {
 namespace {
+
+// ---------------------------------------------------------------------------
+// Frozen scalar references for the blocked/parallel kernels. These are the
+// pre-blocking triple loops, kept verbatim: the production kernels must
+// reproduce them EXACTLY (the blocked loops preserve every FP accumulation
+// chain — ascending inner dimension per output element — so the comparison
+// is ==, not a tolerance).
+
+DenseMatrix ReferenceMultiply(const DenseMatrix& a, const DenseMatrix& b) {
+  DenseMatrix out(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t l = 0; l < a.cols(); ++l) {
+      const double av = a(i, l);
+      if (av == 0.0) continue;
+      for (size_t j = 0; j < b.cols(); ++j) out(i, j) += av * b(l, j);
+    }
+  }
+  return out;
+}
+
+DenseMatrix ReferenceTransposedMultiply(const DenseMatrix& a,
+                                        const DenseMatrix& b) {
+  DenseMatrix out(a.cols(), b.cols());
+  for (size_t l = 0; l < a.rows(); ++l) {
+    for (size_t i = 0; i < a.cols(); ++i) {
+      const double av = a(l, i);
+      if (av == 0.0) continue;
+      for (size_t j = 0; j < b.cols(); ++j) out(i, j) += av * b(l, j);
+    }
+  }
+  return out;
+}
+
+DenseMatrix ReferenceSparseTransposeTimesDense(const AttributeMatrix& x,
+                                               const DenseMatrix& q) {
+  DenseMatrix w(x.num_cols(), q.cols());
+  for (NodeId i = 0; i < x.num_rows(); ++i) {
+    for (const auto& [col, val] : x.Row(i)) {
+      for (size_t j = 0; j < q.cols(); ++j) w(col, j) += val * q(i, j);
+    }
+  }
+  return w;
+}
 
 DenseMatrix RandomMatrix(size_t m, size_t n, uint64_t seed) {
   Rng rng(seed);
@@ -246,6 +290,96 @@ TEST(RandomizedSvdTest, DeterministicForSeed) {
   KSvdResult a = RandomizedKSvd(x, opts);
   KSvdResult b = RandomizedKSvd(x, opts);
   EXPECT_EQ(a.sigma, b.sigma);
+}
+
+// ---------------------------------------------------------------------------
+// Golden equivalence: the blocked kernels against the frozen scalar
+// references, exact to the bit, on shapes that exercise partial blocks.
+
+TEST(BlockedKernelGoldenTest, MultiplyMatchesScalarReferenceExactly) {
+  for (auto [m, k, n] : {std::tuple<size_t, size_t, size_t>{1, 1, 1},
+                         {7, 5, 3},
+                         {65, 64, 33},
+                         {130, 70, 41},
+                         {300, 129, 17}}) {
+    DenseMatrix a = RandomMatrix(m, k, 17 + m);
+    DenseMatrix b = RandomMatrix(k, n, 29 + n);
+    DenseMatrix ref = ReferenceMultiply(a, b);
+    EXPECT_EQ(a.Multiply(b).data(), ref.data()) << m << "x" << k << "x" << n;
+  }
+}
+
+TEST(BlockedKernelGoldenTest, TransposedMultiplyMatchesScalarReference) {
+  for (auto [m, k, n] : {std::tuple<size_t, size_t, size_t>{1, 1, 1},
+                         {7, 5, 3},
+                         {130, 65, 33},
+                         {257, 40, 40}}) {
+    DenseMatrix a = RandomMatrix(m, k, 31 + m);
+    DenseMatrix b = RandomMatrix(m, n, 37 + n);
+    DenseMatrix ref = ReferenceTransposedMultiply(a, b);
+    EXPECT_EQ(a.TransposedMultiply(b).data(), ref.data());
+  }
+}
+
+TEST(BlockedKernelGoldenTest, CscTransposeProductMatchesScatterReference) {
+  AttributeMatrix x = LowRankSparse(120, 50, 6, 41);
+  DenseMatrix q = RandomMatrix(120, 13, 43);
+  DenseMatrix ref = ReferenceSparseTransposeTimesDense(x, q);
+  // Free-function wrapper (builds the CSC internally)...
+  EXPECT_EQ(SparseTransposeTimesDense(x, q).data(), ref.data());
+  // ...and the preallocated-output CSC path used by the k-SVD.
+  DenseMatrix out;
+  SparseTransposeTimesDenseInto(BuildCsc(x), q, &out);
+  EXPECT_EQ(out.data(), ref.data());
+}
+
+// The parallel row/column-block fan-out must be bit-identical to serial at
+// every thread count (fixed-size blocks, disjoint writes, fixed intra-block
+// order). Sizes exceed the kernels' internal parallel-gating thresholds.
+TEST(BlockedKernelGoldenTest, ParallelProductsBitIdenticalAcrossThreadCounts) {
+  DenseMatrix a = RandomMatrix(600, 160, 53);
+  DenseMatrix b = RandomMatrix(160, 90, 59);
+  DenseMatrix big = RandomMatrix(600, 90, 61);
+  DenseMatrix serial_ab, serial_atb;
+  a.MultiplyInto(b, &serial_ab, nullptr);
+  a.TransposedMultiplyInto(big, &serial_atb, nullptr);
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    DenseMatrix ab, atb;
+    a.MultiplyInto(b, &ab, &pool);
+    a.TransposedMultiplyInto(big, &atb, &pool);
+    EXPECT_EQ(ab.data(), serial_ab.data()) << threads << " threads";
+    EXPECT_EQ(atb.data(), serial_atb.data()) << threads << " threads";
+  }
+}
+
+TEST(BlockedKernelGoldenTest, ParallelQrBitIdenticalAcrossThreadCounts) {
+  // Tall enough that QrOrthonormalInto engages its pool path (m*n >= 2^16).
+  DenseMatrix a = RandomMatrix(4096, 24, 67);
+  QrScratch scratch;
+  DenseMatrix serial_q;
+  QrOrthonormalInto(a, &serial_q, &scratch, nullptr);
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    DenseMatrix q;
+    QrOrthonormalInto(a, &q, &scratch, &pool);
+    EXPECT_EQ(q.data(), serial_q.data()) << threads << " threads";
+  }
+}
+
+TEST(BlockedKernelGoldenTest, ParallelKSvdBitIdenticalAcrossThreadCounts) {
+  AttributeMatrix x = LowRankSparse(3000, 80, 6, 71);
+  KSvdOptions opts;
+  opts.rank = 8;
+  opts.power_iterations = 2;
+  KSvdResult serial = RandomizedKSvd(x, opts, nullptr);
+  for (size_t threads : {2u, 4u}) {
+    ThreadPool pool(threads);
+    KSvdResult pooled = RandomizedKSvd(x, opts, &pool);
+    EXPECT_EQ(pooled.sigma, serial.sigma) << threads << " threads";
+    EXPECT_EQ(pooled.u.data(), serial.u.data()) << threads << " threads";
+    EXPECT_EQ(pooled.v.data(), serial.v.data()) << threads << " threads";
+  }
 }
 
 }  // namespace

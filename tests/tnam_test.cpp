@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 
 namespace laca {
 namespace {
@@ -164,6 +165,70 @@ TEST(TnamTest, DeterministicForSeed) {
   Tnam b = Tnam::Build(x, opts);
   for (NodeId i = 0; i < 20; i += 3) {
     EXPECT_DOUBLE_EQ(a.Snas(i, (i * 3 + 1) % 20), b.Snas(i, (i * 3 + 1) % 20));
+  }
+}
+
+// The attribute-plane determinism contract (DESIGN.md §6): a fixed-seed
+// build produces a bit-identical Z for every pool size, including the
+// implicit SharedPool() default. The matrix is large enough that every
+// parallel gate in the pipeline engages — including the QR's panel gate:
+// the range-finder panel is 2600 x (32 + 8) = 104000 elements > 2^16.
+TEST(TnamTest, BuildBitIdenticalAcrossThreadCounts) {
+  AttributeMatrix x = RandomAttrs(2600, 300, 10);
+  for (SnasMetric metric : {SnasMetric::kCosine, SnasMetric::kExpCosine}) {
+    TnamOptions opts;
+    opts.metric = metric;
+    opts.k = 32;
+    Tnam serial = Tnam::Build(x, opts, nullptr);
+    Tnam via_default = Tnam::Build(x, opts);
+    EXPECT_EQ(via_default.z().data(), serial.z().data());
+    for (size_t threads : {1u, 2u, 4u, 8u}) {
+      ThreadPool pool(threads);
+      Tnam pooled = Tnam::Build(x, opts, &pool);
+      EXPECT_EQ(pooled.z().data(), serial.z().data())
+          << threads << " threads, metric " << static_cast<int>(metric);
+    }
+  }
+}
+
+// Fused Step-2 kernels: exact agreement with the naive entry-by-entry loops
+// they replaced (they preserve the accumulation order).
+TEST(TnamTest, FusedKernelsMatchNaiveLoops) {
+  AttributeMatrix x = RandomAttrs(60, 30, 11);
+  TnamOptions opts;
+  opts.k = 12;
+  Tnam tnam = Tnam::Build(x, opts);
+  const size_t dim = tnam.dim();
+
+  std::vector<SparseVector::Entry> entries;
+  Rng rng(3);
+  for (NodeId i = 0; i < 60; i += 2) {
+    entries.push_back({i, rng.Uniform() + 0.01});
+  }
+
+  std::vector<double> psi_naive(dim, 0.0);
+  for (const auto& e : entries) {
+    auto z = tnam.Row(e.index);
+    for (size_t j = 0; j < dim; ++j) psi_naive[j] += e.value * z[j];
+  }
+  std::vector<double> psi(dim, 0.0);
+  tnam.AccumulateRows(entries, psi);
+  EXPECT_EQ(psi, psi_naive);
+
+  std::vector<double> dots(entries.size());
+  tnam.DotRows(entries, psi, dots);
+  for (size_t t = 0; t < entries.size(); ++t) {
+    auto z = tnam.Row(entries[t].index);
+    double ref = 0.0;
+    for (size_t j = 0; j < dim; ++j) ref += psi[j] * z[j];
+    EXPECT_EQ(dots[t], ref);
+  }
+
+  std::vector<NodeId> js = {0, 7, 13, 59, 13};
+  std::vector<double> batch(js.size());
+  tnam.SnasBatch(5, js, batch);
+  for (size_t t = 0; t < js.size(); ++t) {
+    EXPECT_EQ(batch[t], tnam.Snas(5, js[t]));
   }
 }
 
