@@ -1,0 +1,215 @@
+// Engineering study: ServingEngine throughput and latency under an
+// open-loop arrival process, at 1/2/4/8 workers.
+//
+// The batch benches measure closed-loop throughput (the next query starts
+// when a worker frees up); a server faces open-loop traffic — requests
+// arrive on their own schedule and queue, so latency includes queueing delay
+// and the admission bound decides between backpressure and collapse. This
+// bench drives an in-process ServingEngine two ways per worker count:
+//
+//   * saturation: all requests submitted back-to-back (capacity measure);
+//   * open-loop: deterministic arrivals at ~70% of the measured capacity
+//     (latency-under-load measure, p50/p99 including queueing).
+//
+// It also asserts the serving acceptance criteria directly: responses are
+// bit-identical to serial Laca::Cluster, and the warm-path alloc counter
+// stays flat across requests after warmup. Results go to BENCH_serving.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "attr/tnam.hpp"
+#include "bench_util.hpp"
+#include "common/timer.hpp"
+#include "eval/datasets.hpp"
+#include "server/serving_engine.hpp"
+
+namespace laca {
+namespace {
+
+bench::JsonEmitter json("serving");
+
+struct LoadResult {
+  double seconds = 0.0;       // first admission -> last completion
+  double p50 = 0.0, p99 = 0.0;
+  uint64_t completed = 0;
+  uint64_t alloc_delta = 0;   // alloc counter growth during the run
+};
+
+std::vector<ServeRequest> MakeRequests(const Dataset& ds, size_t count) {
+  std::vector<NodeId> seeds = SampleSeeds(ds, count);
+  std::vector<ServeRequest> requests;
+  for (NodeId seed : seeds) {
+    ServeRequest req;
+    req.seed = seed;
+    req.size = ds.data.communities.GroundTruthCluster(seed).size();
+    requests.push_back(req);
+  }
+  return requests;
+}
+
+// Submits every request with deterministic interarrival gaps (0 =
+// back-to-back saturation), waits for all completions, and reports
+// percentiles over the full run.
+LoadResult Drive(ServingEngine& engine, const std::vector<ServeRequest>& reqs,
+                 double interarrival_seconds) {
+  LoadResult out;
+  const uint64_t alloc_before = engine.Stats().alloc_events;
+  std::vector<std::future<ServeResponse>> futures;
+  futures.reserve(reqs.size());
+  Timer timer;
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    if (interarrival_seconds > 0.0) {
+      std::this_thread::sleep_until(
+          start + std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(i * interarrival_seconds)));
+    }
+    Admission a = engine.Submit(reqs[i]);
+    if (!a.ok()) {
+      std::fprintf(stderr, "bench_ext_serving: unexpected rejection: %s\n",
+                   ToString(a.status));
+      std::exit(1);
+    }
+    futures.push_back(std::move(a.response));
+  }
+  std::vector<double> latencies;
+  latencies.reserve(futures.size());
+  for (auto& f : futures) {
+    ServeResponse resp = f.get();
+    if (resp.status != ServeStatus::kOk) {
+      std::fprintf(stderr, "bench_ext_serving: request failed: %s\n",
+                   resp.error.c_str());
+      std::exit(1);
+    }
+    latencies.push_back(resp.total_seconds);
+    ++out.completed;
+  }
+  out.seconds = timer.ElapsedSeconds();
+  std::sort(latencies.begin(), latencies.end());
+  if (!latencies.empty()) {
+    out.p50 = latencies[(latencies.size() - 1) / 2];
+    out.p99 = latencies[(latencies.size() - 1) * 99 / 100];
+  }
+  out.alloc_delta = engine.Stats().alloc_events - alloc_before;
+  return out;
+}
+
+void RunDataset(const std::string& name, size_t num_requests) {
+  const Dataset& ds = GetDataset(name);
+  TnamOptions topts;
+  Tnam tnam = Tnam::Build(ds.data.attributes, topts);
+  std::vector<ServeRequest> requests = MakeRequests(ds, num_requests);
+
+  // Serial reference: both the determinism oracle and the capacity anchor.
+  Laca serial(ds.data.graph, &tnam);
+  LacaOptions defaults;
+  std::vector<std::vector<NodeId>> expected;
+  Timer serial_timer;
+  for (const ServeRequest& req : requests) {
+    expected.push_back(serial.Cluster(req.seed, req.size, defaults));
+  }
+  const double serial_per_req = serial_timer.ElapsedSeconds() / requests.size();
+
+  bench::PrintHeader("ServingEngine on " + name + " (" +
+                     std::to_string(requests.size()) +
+                     " requests, serial " +
+                     bench::FmtSeconds(serial_per_req) + "/req)");
+  bench::PrintRow("workers",
+                  {"mode", "qps", "p50", "p99", "alloc_delta"}, 10, 12);
+
+  for (size_t workers : {1u, 2u, 4u, 8u}) {
+    ServingOptions opts;
+    opts.num_workers = workers;
+    opts.num_threads = workers;
+    opts.max_queue_depth = requests.size() + 1;
+    ServingEngine engine(ds.data.graph, &tnam, opts);
+
+    // Warm every arena (and check determinism once per worker count):
+    // steady-state serving must then keep the alloc counter flat.
+    LoadResult warm = Drive(engine, requests, 0.0);
+    (void)warm;
+    {
+      std::vector<std::future<ServeResponse>> futures;
+      for (const ServeRequest& req : requests) {
+        futures.push_back(engine.Submit(req).response);
+      }
+      for (size_t i = 0; i < futures.size(); ++i) {
+        if (futures[i].get().cluster != expected[i]) {
+          std::fprintf(stderr,
+                       "bench_ext_serving: response %zu diverged from serial "
+                       "Laca::Cluster at %zu workers\n",
+                       i, workers);
+          std::exit(1);
+        }
+      }
+    }
+
+    const uint64_t warm_allocs = engine.Stats().alloc_events;
+    LoadResult sat = Drive(engine, requests, 0.0);
+    const double capacity_qps = sat.completed / sat.seconds;
+    LoadResult open =
+        Drive(engine, requests, 1.0 / std::max(0.7 * capacity_qps, 1.0));
+    const double open_qps = open.completed / open.seconds;
+    if (engine.Stats().alloc_events != warm_allocs) {
+      std::fprintf(stderr,
+                   "bench_ext_serving: warm-path alloc counter moved "
+                   "(%llu -> %llu) at %zu workers\n",
+                   static_cast<unsigned long long>(warm_allocs),
+                   static_cast<unsigned long long>(engine.Stats().alloc_events),
+                   workers);
+      std::exit(1);
+    }
+
+    bench::PrintRow(std::to_string(workers),
+                    {"saturated", bench::Fmt(capacity_qps, "%.1f"),
+                     bench::FmtSeconds(sat.p50), bench::FmtSeconds(sat.p99),
+                     std::to_string(sat.alloc_delta)},
+                    10, 12);
+    bench::PrintRow("",
+                    {"open-70%", bench::Fmt(open_qps, "%.1f"),
+                     bench::FmtSeconds(open.p50), bench::FmtSeconds(open.p99),
+                     std::to_string(open.alloc_delta)},
+                    10, 12);
+
+    json.BeginRecord()
+        .Str("dataset", name)
+        .Int("workers", workers)
+        .Str("mode", "saturated")
+        .Int("requests", sat.completed)
+        .Num("throughput_qps", capacity_qps)
+        .Num("p50_ms", sat.p50 * 1e3)
+        .Num("p99_ms", sat.p99 * 1e3)
+        .Num("serial_ms_per_req", serial_per_req * 1e3)
+        .Int("steady_state_allocs", sat.alloc_delta);
+    json.BeginRecord()
+        .Str("dataset", name)
+        .Int("workers", workers)
+        .Str("mode", "open_70pct")
+        .Int("requests", open.completed)
+        .Num("offered_qps", 0.7 * capacity_qps)
+        .Num("throughput_qps", open_qps)
+        .Num("p50_ms", open.p50 * 1e3)
+        .Num("p99_ms", open.p99 * 1e3)
+        .Int("steady_state_allocs", open.alloc_delta);
+  }
+}
+
+}  // namespace
+}  // namespace laca
+
+int main() {
+  using namespace laca;
+  // The paper's protocol is 500 one-shot queries; serving draws the request
+  // stream from the same seed distribution. Kept modest by default so the
+  // bench suite stays quick; LACA_BENCH_SEEDS scales it up.
+  RunDataset("cora-sim", BenchSeedCount(64));
+  RunDataset("pubmed-sim", BenchSeedCount(32));
+  json.WriteFile("BENCH_serving.json");
+  return 0;
+}

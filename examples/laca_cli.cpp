@@ -19,10 +19,12 @@
 // graph and cluster around node 0.
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <optional>
 #include <string>
 
 #include "attr/tnam.hpp"
+#include "common/parse.hpp"
 #include "core/cluster.hpp"
 #include "core/laca.hpp"
 #include "eval/metrics.hpp"
@@ -32,6 +34,32 @@
 namespace {
 
 using namespace laca;
+
+// Strict argument parsing (common/parse.hpp): std::stod/stoul here had the
+// same bugs as the attribute loader — "--alpha=abc" threw an uncaught
+// exception and a seed of "12abc" silently truncated to 12.
+bool ArgF64(const std::string& arg, const std::string& value, double lo,
+            double hi, double* out) {
+  std::optional<double> v = ParseF64(value);
+  if (!v || *v < lo || *v >= hi) {
+    std::fprintf(stderr, "bad value in %s (want [%g, %g))\n", arg.c_str(), lo,
+                 hi);
+    return false;
+  }
+  *out = *v;
+  return true;
+}
+
+bool ArgU64(const std::string& arg, const std::string& value, uint64_t lo,
+            uint64_t hi, uint64_t* out) {
+  std::optional<uint64_t> v = ParseU64(value);
+  if (!v || *v < lo || *v >= hi) {
+    std::fprintf(stderr, "bad value in %s\n", arg.c_str());
+    return false;
+  }
+  *out = *v;
+  return true;
+}
 
 struct CliOptions {
   std::string edges_path;
@@ -51,11 +79,15 @@ bool ParseArgs(int argc, char** argv, CliOptions& opts) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--alpha=", 0) == 0) {
-      opts.alpha = std::stod(arg.substr(8));
+      if (!ArgF64(arg, arg.substr(8), 0.0, 1.0, &opts.alpha)) return false;
     } else if (arg.rfind("--eps=", 0) == 0) {
-      opts.epsilon = std::stod(arg.substr(6));
+      if (!ArgF64(arg, arg.substr(6), 1e-300, 1.0, &opts.epsilon)) {
+        return false;
+      }
     } else if (arg.rfind("--k=", 0) == 0) {
-      opts.k = std::stoi(arg.substr(4));
+      uint64_t k = 0;
+      if (!ArgU64(arg, arg.substr(4), 1, 4096, &k)) return false;
+      opts.k = static_cast<int>(k);
     } else if (arg.rfind("--metric=", 0) == 0) {
       std::string m = arg.substr(9);
       if (m == "cosine") {
@@ -77,12 +109,21 @@ bool ParseArgs(int argc, char** argv, CliOptions& opts) {
           opts.edges_path = arg;
           opts.demo = false;
           break;
-        case 1:
-          opts.seed = static_cast<NodeId>(std::stoul(arg));
+        case 1: {
+          std::optional<uint64_t> seed = ParseU64(arg);
+          if (!seed || *seed > std::numeric_limits<NodeId>::max()) {
+            std::fprintf(stderr, "bad seed '%s'\n", arg.c_str());
+            return false;
+          }
+          opts.seed = static_cast<NodeId>(*seed);
           break;
-        case 2:
-          opts.size = std::stoul(arg);
+        }
+        case 2: {
+          uint64_t size = 0;
+          if (!ArgU64(arg, arg, 1, uint64_t{1} << 32, &size)) return false;
+          opts.size = static_cast<size_t>(size);
           break;
+        }
         case 3:
           opts.attrs_path = arg;
           break;

@@ -1,0 +1,49 @@
+// Strict whole-token numeric parsing for untrusted text inputs.
+//
+// The dataset loaders (graph/io.cpp), the CLI drivers, and the laca_serve
+// request protocol all consume whitespace-split tokens from files or sockets
+// we do not control. std::stoul/std::stod are the wrong tool there: they
+// accept leading whitespace and trailing garbage ("3:1.0x"), silently wrap
+// negative numbers into huge unsigned values ("-1" -> 2^64-1), and throw
+// context-free exceptions on empty input. These helpers parse the ENTIRE
+// token or return nullopt, never throw, and never wrap — the caller decides
+// how to report the bad token (with file/line or request context).
+#ifndef LACA_COMMON_PARSE_HPP_
+#define LACA_COMMON_PARSE_HPP_
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace laca {
+
+/// Parses a non-negative decimal integer occupying the whole token.
+/// Rejects empty tokens, signs (so "-1" cannot wrap), leading whitespace,
+/// trailing garbage, and values above uint64_t range.
+inline std::optional<uint64_t> ParseU64(std::string_view tok) {
+  if (tok.empty()) return std::nullopt;
+  uint64_t value = 0;
+  const char* end = tok.data() + tok.size();
+  auto [ptr, ec] = std::from_chars(tok.data(), end, value, 10);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  return value;
+}
+
+/// Parses a finite floating-point number occupying the whole token.
+/// Rejects empty tokens, trailing garbage, leading whitespace, and the
+/// "inf"/"nan" spellings (non-finite values poison every downstream sum).
+inline std::optional<double> ParseF64(std::string_view tok) {
+  if (tok.empty()) return std::nullopt;
+  double value = 0.0;
+  const char* end = tok.data() + tok.size();
+  auto [ptr, ec] = std::from_chars(tok.data(), end, value);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  if (!std::isfinite(value)) return std::nullopt;
+  return value;
+}
+
+}  // namespace laca
+
+#endif  // LACA_COMMON_PARSE_HPP_

@@ -3,27 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <optional>
-#include <thread>
 
 #include "common/thread_pool.hpp"
+#include "core/thread_budget.hpp"
 
 namespace laca {
-namespace {
-
-// Per-worker intra-query thread budget (including the worker itself) under
-// two-level scheduling: the across-seed fan-out uses `workers` threads of the
-// `total` budget, and the surplus is spread across workers (first `extra`
-// workers get one more). Many-queries batches get budget 1 everywhere (pure
-// across-seed parallelism); a single big-graph query gets the whole budget.
-size_t IntraQueryBudget(size_t worker, size_t workers, size_t total,
-                        const BatchClusterOptions& opts) {
-  if (opts.intra_query_threads > 0) return opts.intra_query_threads;
-  const size_t base = total / workers;
-  const size_t extra = total % workers;
-  return base + (worker < extra ? 1 : 0);
-}
-
-}  // namespace
 
 std::vector<std::vector<NodeId>> BatchCluster(
     const Graph& graph, const Tnam* tnam, std::span<const BatchQuery> queries,
@@ -31,16 +15,15 @@ std::vector<std::vector<NodeId>> BatchCluster(
   std::vector<std::vector<NodeId>> results(queries.size());
   if (queries.empty()) return results;
 
-  size_t total = opts.num_threads;
-  if (total == 0) {
-    total = std::max(1u, std::thread::hardware_concurrency());
-  }
-  total = std::max<size_t>(total, 1);
   // More across-seed workers than queries just idle (and waste a Laca
   // construction each); the surplus threads instead become intra-query
-  // helpers. The schedulers below are correct for any worker count in
+  // helpers. The split clamps the combined fleet — workers plus helpers —
+  // to the num_threads budget even under an intra_query_threads override.
+  // The schedulers below are correct for any worker count in
   // [1, queries.size()].
-  const size_t workers = std::min(total, queries.size());
+  const TwoLevelBudget budget = SplitThreadBudget(
+      queries.size(), opts.num_threads, opts.intra_query_threads);
+  const size_t workers = budget.workers;
 
   // One worker body shared by every scheduling shape: a persistent Laca
   // (warm workspace across all the queries this worker claims) plus an
@@ -54,9 +37,9 @@ std::vector<std::vector<NodeId>> BatchCluster(
     return [&, w, claim] {
       Laca laca(graph, tnam);
       std::optional<ThreadPool> helper;
-      const size_t budget = IntraQueryBudget(w, workers, total, opts);
-      if (budget > 1) {
-        helper.emplace(budget - 1);
+      const size_t threads = budget.per_worker[w];
+      if (threads > 1) {
+        helper.emplace(threads - 1);
         laca.SetIntraQueryPool(&*helper);
       }
       claim(laca);

@@ -44,9 +44,12 @@ struct BatchClusterOptions {
   /// Results are bit-identical for every split.
   size_t num_threads = 0;
   BatchSchedule schedule = BatchSchedule::kDynamic;
-  /// Overrides the automatic per-worker intra-query thread budget: 0 = auto
-  /// (distribute the num_threads surplus), 1 = force serial queries, k > 1 =
-  /// every worker gets k-1 helper threads regardless of surplus.
+  /// Ceiling on the per-worker intra-query thread budget (including the
+  /// worker itself): 0 = auto (distribute the num_threads surplus), 1 =
+  /// force serial queries, k > 1 = at most k-1 helper threads per worker.
+  /// The combined fleet (workers + helpers) is always clamped to the
+  /// num_threads budget — a 16-worker batch with intra_query_threads=4 no
+  /// longer spawns 64 threads on an 8-thread budget (see SplitThreadBudget).
   size_t intra_query_threads = 0;
 };
 

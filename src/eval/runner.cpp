@@ -472,6 +472,22 @@ MethodEvaluation EvaluateByName(const Dataset& dataset,
   return EvaluateMethod(dataset, *m, seeds);
 }
 
+EvalPool MakeEvalPool(size_t num_threads) {
+  EvalPool result;
+  if (num_threads == 0) {
+    result.pool = &SharedPool();
+    return result;
+  }
+  // An explicit num_threads ALWAYS gets a dedicated pool, even when it
+  // happens to equal the shared pool's width: aliasing SharedPool() would
+  // let concurrent shared-pool work steal the caller's bounded capacity,
+  // making "honored exactly with a right-sized transient pool" false
+  // precisely when the widths coincide (regression-tested).
+  result.owned = std::make_unique<ThreadPool>(num_threads);
+  result.pool = result.owned.get();
+  return result;
+}
+
 std::vector<MethodEvaluation> EvaluateMethodsParallel(
     const Dataset& dataset, std::span<const std::string> methods,
     std::span<const NodeId> seeds, size_t num_threads) {
@@ -482,13 +498,8 @@ std::vector<MethodEvaluation> EvaluateMethodsParallel(
   // An explicit num_threads is honored exactly with a right-sized transient
   // pool — callers use it to bound resource usage or to deliberately
   // oversubscribe, neither of which the shared pool's fixed width can do.
-  std::optional<ThreadPool> sized;
-  ThreadPool* pool = &SharedPool();
-  if (num_threads != 0 && num_threads != pool->num_threads()) {
-    sized.emplace(num_threads);
-    pool = &*sized;
-  }
-  TaskGroup group(*pool);
+  EvalPool eval_pool = MakeEvalPool(num_threads);
+  TaskGroup group(*eval_pool.pool);
   for (size_t i = 0; i < methods.size(); ++i) {
     group.Submit([&dataset, &methods, seeds, &results, i] {
       results[i] = EvaluateByName(dataset, methods[i], seeds);

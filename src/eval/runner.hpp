@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/sparse_vector.hpp"
+#include "common/thread_pool.hpp"
 #include "eval/datasets.hpp"
 
 namespace laca {
@@ -67,6 +68,17 @@ MethodEvaluation EvaluateMethod(const Dataset& dataset, ClusterMethod& method,
 MethodEvaluation EvaluateByName(const Dataset& dataset,
                                 const std::string& method,
                                 std::span<const NodeId> seeds);
+
+/// The pool EvaluateMethodsParallel fans out on. num_threads == 0 aliases
+/// the process-wide SharedPool() (owned stays null); any explicit count
+/// builds a dedicated pool of exactly that many workers — NEVER the shared
+/// pool, even when the widths coincide, so concurrent shared-pool work can
+/// not steal the caller's bounded capacity. Exposed for the regression test.
+struct EvalPool {
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool* pool = nullptr;
+};
+EvalPool MakeEvalPool(size_t num_threads);
 
 /// Evaluates several methods on one dataset concurrently (one pool task per
 /// method, each with its own ClusterMethod instance; methods never share

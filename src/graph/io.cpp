@@ -1,9 +1,12 @@
 #include "graph/io.hpp"
 
+#include <cstdint>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/parse.hpp"
 #include "graph/builder.hpp"
 #include "graph/io_internal.hpp"
 
@@ -12,6 +15,30 @@ namespace laca {
 using io_internal::IsCommentOrBlank;
 using io_internal::OpenForRead;
 using io_internal::OpenForWrite;
+
+namespace {
+
+// Location string for parse diagnostics: "path:line".
+std::string At(const std::string& path, size_t line_no) {
+  return path + ":" + std::to_string(line_no);
+}
+
+// Strict node-id token parse. istream extraction into an unsigned silently
+// wraps "-1" to 2^64-1 (and std::stoul does the same), which either explodes
+// the implied node count or truncates into a bogus id — so ids are parsed
+// whole-token with an explicit NodeId range check.
+NodeId ParseNodeId(const std::string& tok, const char* what,
+                   const std::string& path, size_t line_no) {
+  std::optional<uint64_t> id = ParseU64(tok);
+  LACA_CHECK(id.has_value(),
+             std::string("bad ") + what + " '" + tok + "' at " + At(path, line_no));
+  LACA_CHECK(*id <= std::numeric_limits<NodeId>::max(),
+             std::string(what) + " '" + tok + "' out of range at " +
+                 At(path, line_no));
+  return static_cast<NodeId>(*id);
+}
+
+}  // namespace
 
 Graph LoadEdgeList(const std::string& path, NodeId num_nodes, bool weighted) {
   std::ifstream in = OpenForRead(path);
@@ -22,12 +49,22 @@ Graph LoadEdgeList(const std::string& path, NodeId num_nodes, bool weighted) {
     ++line_no;
     if (IsCommentOrBlank(line)) continue;
     std::istringstream ls(line);
-    uint64_t u, v;
+    std::string ut, vt;
+    LACA_CHECK(static_cast<bool>(ls >> ut >> vt),
+               "bad edge at " + At(path, line_no));
+    const NodeId u = ParseNodeId(ut, "edge endpoint", path, line_no);
+    const NodeId v = ParseNodeId(vt, "edge endpoint", path, line_no);
     double w = 1.0;
-    LACA_CHECK(static_cast<bool>(ls >> u >> v),
-               "bad edge at " + path + ":" + std::to_string(line_no));
-    if (weighted) ls >> w;
-    builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v), w);
+    if (weighted) {
+      std::string wt;
+      if (ls >> wt) {
+        std::optional<double> parsed = ParseF64(wt);
+        LACA_CHECK(parsed.has_value() && *parsed > 0.0,
+                   "bad edge weight '" + wt + "' at " + At(path, line_no));
+        w = *parsed;
+      }
+    }
+    builder.AddEdge(u, v, w);
   }
   return builder.Build(weighted);
 }
@@ -52,34 +89,57 @@ AttributeMatrix LoadAttributes(const std::string& path) {
   std::string line;
   size_t line_no = 0;
   uint64_t n = 0, d = 0;
+  bool have_header = false;
   while (std::getline(in, line)) {
     ++line_no;
     if (IsCommentOrBlank(line)) continue;
     std::istringstream ls(line);
-    LACA_CHECK(static_cast<bool>(ls >> n >> d),
-               "bad header at " + path + ":" + std::to_string(line_no));
+    std::string nt, dt;
+    LACA_CHECK(static_cast<bool>(ls >> nt >> dt),
+               "bad header at " + At(path, line_no));
+    // Parsed strictly: a negative or garbage header dimension must not wrap
+    // into a multi-gigabyte allocation.
+    std::optional<uint64_t> np = ParseU64(nt), dp = ParseU64(dt);
+    LACA_CHECK(np.has_value() && dp.has_value(),
+               "bad header '" + nt + " " + dt + "' at " + At(path, line_no));
+    LACA_CHECK(*np <= std::numeric_limits<NodeId>::max() &&
+                   *dp <= std::numeric_limits<uint32_t>::max(),
+               "header dimensions out of range at " + At(path, line_no));
+    n = *np;
+    d = *dp;
+    have_header = true;
     break;
   }
-  LACA_CHECK(n > 0 && d > 0, "attribute header missing in " + path);
+  LACA_CHECK(have_header && n > 0 && d > 0,
+             "attribute header missing in " + path);
   AttributeMatrix attrs(static_cast<NodeId>(n), static_cast<uint32_t>(d));
   while (std::getline(in, line)) {
     ++line_no;
     if (IsCommentOrBlank(line)) continue;
     std::istringstream ls(line);
-    uint64_t node;
-    LACA_CHECK(static_cast<bool>(ls >> node) && node < n,
-               "bad attribute row at " + path + ":" + std::to_string(line_no));
+    std::string node_tok;
+    LACA_CHECK(static_cast<bool>(ls >> node_tok),
+               "bad attribute row at " + At(path, line_no));
+    const NodeId node = ParseNodeId(node_tok, "attribute node id", path, line_no);
+    LACA_CHECK(node < n, "attribute node id '" + node_tok +
+                             "' out of range at " + At(path, line_no));
     std::vector<AttributeMatrix::Entry> row;
     std::string tok;
     while (ls >> tok) {
       size_t colon = tok.find(':');
-      LACA_CHECK(colon != std::string::npos,
-                 "expected col:val at " + path + ":" + std::to_string(line_no));
-      uint32_t col = static_cast<uint32_t>(std::stoul(tok.substr(0, colon)));
-      double val = std::stod(tok.substr(colon + 1));
-      row.emplace_back(col, val);
+      LACA_CHECK(colon != std::string::npos && colon > 0 &&
+                     colon + 1 < tok.size(),
+                 "expected col:val, got '" + tok + "' at " + At(path, line_no));
+      std::optional<uint64_t> col = ParseU64(tok.substr(0, colon));
+      LACA_CHECK(col.has_value() && *col < d,
+                 "bad attribute column in '" + tok + "' at " +
+                     At(path, line_no));
+      std::optional<double> val = ParseF64(tok.substr(colon + 1));
+      LACA_CHECK(val.has_value(),
+                 "bad attribute value in '" + tok + "' at " + At(path, line_no));
+      row.emplace_back(static_cast<uint32_t>(*col), *val);
     }
-    attrs.SetRow(static_cast<NodeId>(node), std::move(row));
+    attrs.SetRow(node, std::move(row));
   }
   attrs.Normalize();
   return attrs;
@@ -109,11 +169,12 @@ Communities LoadCommunities(const std::string& path, NodeId num_nodes) {
     if (IsCommentOrBlank(line)) continue;
     std::istringstream ls(line);
     std::vector<NodeId> members;
-    uint64_t v;
-    while (ls >> v) {
+    std::string tok;
+    while (ls >> tok) {
+      const NodeId v = ParseNodeId(tok, "community member", path, line_no);
       LACA_CHECK(v < num_nodes,
-                 "node out of range at " + path + ":" + std::to_string(line_no));
-      members.push_back(static_cast<NodeId>(v));
+                 "node out of range at " + At(path, line_no));
+      members.push_back(v);
     }
     if (members.empty()) continue;
     uint32_t c = static_cast<uint32_t>(comms.members.size());

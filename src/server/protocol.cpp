@@ -1,0 +1,135 @@
+#include "server/protocol.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "common/parse.hpp"
+
+namespace laca {
+namespace {
+
+std::vector<std::string_view> SplitTokens(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t' ||
+                               line[i] == '\r')) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+           line[i] != '\r') {
+      ++i;
+    }
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+ParsedLine Malformed(std::string_view tok, const char* what) {
+  ParsedLine out;
+  out.kind = ParsedLine::Kind::kError;
+  out.error = std::string("bad ") + what + " '" + std::string(tok) + "'";
+  return out;
+}
+
+}  // namespace
+
+ParsedLine ParseRequestLine(std::string_view line) {
+  ParsedLine out;
+  std::vector<std::string_view> tokens = SplitTokens(line);
+  if (tokens.empty()) return Malformed("", "request");
+  if (tokens[0] == "stats") {
+    out.kind = ParsedLine::Kind::kStats;
+    return out;
+  }
+  if (tokens[0] == "shutdown") {
+    out.kind = ParsedLine::Kind::kShutdown;
+    return out;
+  }
+  if (tokens.size() < 2) {
+    return Malformed(line, "request (want: <seed> <size> [key=value...])");
+  }
+
+  std::optional<uint64_t> seed = ParseU64(tokens[0]);
+  if (!seed || *seed > std::numeric_limits<NodeId>::max()) {
+    return Malformed(tokens[0], "seed");
+  }
+  std::optional<uint64_t> size = ParseU64(tokens[1]);
+  if (!size || *size < 1) return Malformed(tokens[1], "size");
+  out.request.seed = static_cast<NodeId>(*seed);
+  out.request.size = static_cast<size_t>(*size);
+
+  for (size_t t = 2; t < tokens.size(); ++t) {
+    const std::string_view tok = tokens[t];
+    const size_t eq = tok.find('=');
+    if (eq == std::string_view::npos || eq == 0 || eq + 1 >= tok.size()) {
+      return Malformed(tok, "option (want key=value)");
+    }
+    const std::string_view key = tok.substr(0, eq);
+    const std::string_view value = tok.substr(eq + 1);
+    if (key == "alpha") {
+      std::optional<double> v = ParseF64(value);
+      if (!v || *v < 0.0 || *v >= 1.0) return Malformed(tok, "alpha");
+      out.request.alpha = *v;
+    } else if (key == "eps" || key == "epsilon") {
+      std::optional<double> v = ParseF64(value);
+      if (!v || *v <= 0.0) return Malformed(tok, "eps");
+      out.request.epsilon = *v;
+    } else if (key == "sigma") {
+      std::optional<double> v = ParseF64(value);
+      if (!v || *v < 0.0) return Malformed(tok, "sigma");
+      out.request.sigma = *v;
+    } else if (key == "k") {
+      std::optional<uint64_t> v = ParseU64(value);
+      if (!v || *v > static_cast<uint64_t>(std::numeric_limits<int>::max())) {
+        return Malformed(tok, "k");
+      }
+      out.request.k = static_cast<int>(*v);
+    } else {
+      return Malformed(tok, "option key");
+    }
+  }
+  out.kind = ParsedLine::Kind::kRequest;
+  return out;
+}
+
+std::string FormatResponse(uint64_t id, const ServeResponse& response) {
+  char head[160];
+  if (response.status == ServeStatus::kOk) {
+    std::snprintf(head, sizeof(head),
+                  "OK id=%" PRIu64 " us=%.0f queue_us=%.0f n=%zu nodes=",
+                  id, response.total_seconds * 1e6,
+                  response.queue_seconds * 1e6, response.cluster.size());
+    std::string out = head;
+    for (size_t i = 0; i < response.cluster.size(); ++i) {
+      if (i) out += ',';
+      out += std::to_string(response.cluster[i]);
+    }
+    return out;
+  }
+  std::snprintf(head, sizeof(head), "ERR id=%" PRIu64 " code=%s msg=", id,
+                ToString(response.status));
+  std::string out = head;
+  out += response.error.empty() ? ToString(response.status) : response.error;
+  return out;
+}
+
+std::string FormatStatsLine(const ServingStats& stats, double qps) {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "STATS qps=%.1f p50_us=%.0f p99_us=%.0f queue=%zu in_flight=%zu "
+      "admitted=%" PRIu64 " completed=%" PRIu64 " rejected=%" PRIu64
+      " alloc_events=%" PRIu64,
+      qps, stats.p50_seconds * 1e6, stats.p99_seconds * 1e6, stats.queue_depth,
+      stats.in_flight, stats.admitted, stats.completed,
+      stats.rejected_overload + stats.rejected_shutdown +
+          stats.rejected_invalid,
+      stats.alloc_events);
+  return buf;
+}
+
+}  // namespace laca

@@ -1,0 +1,57 @@
+// Line-delimited request/response protocol spoken by laca_serve.
+//
+// One request per line, whitespace-separated, over stdin/stdout or a TCP
+// connection:
+//
+//   <seed> <size> [alpha=A] [eps=E] [sigma=S] [k=K]   cluster request
+//   stats                                             emit a STATS line
+//   shutdown                                          drain and close
+//
+// Blank lines and lines starting with '#' are ignored (they consume no id).
+// Every request line gets exactly one response line, tagged with the
+// 1-based request id, counted over request lines only:
+//
+//   OK id=<id> us=<total> queue_us=<queued> n=<count> nodes=v1,v2,...
+//   ERR id=<id> code=<invalid|overloaded|shutting_down> msg=<reason>
+//   STATS qps=... p50_us=... p99_us=... queue=... in_flight=...
+//         admitted=... completed=... rejected=... alloc_events=...
+//
+// This is an untrusted-input boundary: every numeric token is parsed with
+// the strict whole-token parsers (common/parse.hpp) — negative ids cannot
+// wrap, trailing garbage is rejected, and errors carry the offending token.
+#ifndef LACA_SERVER_PROTOCOL_HPP_
+#define LACA_SERVER_PROTOCOL_HPP_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "server/serving_engine.hpp"
+
+namespace laca {
+
+struct ParsedLine {
+  enum class Kind : uint8_t {
+    kRequest,   ///< `request` is populated
+    kStats,     ///< emit a stats line
+    kShutdown,  ///< drain and close the session
+    kError,     ///< malformed; `error` says why
+  };
+  Kind kind = Kind::kError;
+  ServeRequest request;
+  std::string error;
+};
+
+/// Parses one protocol line (the caller strips blank/'#' lines).
+ParsedLine ParseRequestLine(std::string_view line);
+
+/// Renders the single response line for request `id`.
+std::string FormatResponse(uint64_t id, const ServeResponse& response);
+
+/// Renders a STATS line. `qps` is computed by the caller over its reporting
+/// interval (the stats struct itself only has lifetime totals).
+std::string FormatStatsLine(const ServingStats& stats, double qps);
+
+}  // namespace laca
+
+#endif  // LACA_SERVER_PROTOCOL_HPP_

@@ -1,0 +1,307 @@
+#include "server/serving_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <utility>
+
+#include "common/diffusion_workspace.hpp"
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "core/thread_budget.hpp"
+
+namespace laca {
+namespace {
+
+// Completions retained for the percentile window. Fixed so the stats path
+// allocates nothing per request once the ring is full.
+constexpr size_t kLatencyWindow = 4096;
+
+double Seconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+}  // namespace
+
+const char* ToString(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk:
+      return "ok";
+    case ServeStatus::kOverloaded:
+      return "overloaded";
+    case ServeStatus::kShuttingDown:
+      return "shutting_down";
+    case ServeStatus::kInvalid:
+      return "invalid";
+  }
+  return "unknown";
+}
+
+ServingEngine::ServingEngine(const Graph& graph,
+                             std::span<const TnamEntry> tnams,
+                             const ServingOptions& opts)
+    : graph_(graph),
+      tnams_(tnams.begin(), tnams.end()),
+      opts_(opts),
+      started_at_(Clock::now()) {
+  LACA_CHECK(graph.num_nodes() > 0, "serving an empty graph");
+  LACA_CHECK(opts.max_queue_depth >= 1, "max_queue_depth must be >= 1");
+  if (tnams_.empty()) {
+    tnams_.push_back({0, nullptr});  // topology-only (w/o SNAS) mode
+  }
+  // Everything a worker thread constructs is validated HERE: an exception
+  // escaping a worker thread would terminate the process.
+  for (size_t i = 0; i < tnams_.size(); ++i) {
+    if (tnams_[i].tnam != nullptr) {
+      LACA_CHECK(tnams_[i].tnam->num_rows() == graph.num_nodes(),
+                 "TNAM row count must match graph node count");
+    }
+    for (size_t j = i + 1; j < tnams_.size(); ++j) {
+      LACA_CHECK(tnams_[i].k != tnams_[j].k,
+                 "duplicate TNAM dimension k registered");
+    }
+  }
+  latency_ring_.resize(kLatencyWindow, 0.0);
+
+  const TwoLevelBudget budget = SplitThreadBudget(
+      opts.num_workers, opts.num_threads, opts.intra_query_threads);
+  workers_.reserve(budget.workers);
+  for (size_t w = 0; w < budget.workers; ++w) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  size_t spawned = 0;
+  try {
+    for (size_t w = 0; w < budget.workers; ++w) {
+      workers_[w]->thread = std::thread(
+          [this, w, threads = budget.per_worker[w]] { WorkerLoop(w, threads); });
+      ++spawned;
+    }
+  } catch (...) {
+    // Thread creation can fail under pid/rlimit pressure. Unwinding with
+    // joinable threads in workers_ would std::terminate, so drain and join
+    // the part of the fleet that did start before rethrowing.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      draining_ = true;
+    }
+    work_ready_.notify_all();
+    for (size_t w = 0; w < spawned; ++w) workers_[w]->thread.join();
+    throw;
+  }
+}
+
+ServingEngine::ServingEngine(const Graph& graph, const Tnam* tnam,
+                             const ServingOptions& opts)
+    : ServingEngine(
+          graph,
+          [&]() -> std::vector<TnamEntry> {
+            if (tnam == nullptr) return {};
+            return {{static_cast<int>(tnam->dim()), tnam}};
+          }(),
+          opts) {}
+
+ServingEngine::~ServingEngine() { Shutdown(); }
+
+ServeResponse ServingEngine::Validate(const ServeRequest& req,
+                                      size_t* tnam_index) const {
+  ServeResponse resp;
+  resp.status = ServeStatus::kInvalid;
+  if (req.seed >= graph_.num_nodes()) {
+    resp.error = "seed out of range";
+    return resp;
+  }
+  if (req.size < 1 || req.size > graph_.num_nodes()) {
+    resp.error = "size must be in [1, num_nodes]";
+    return resp;
+  }
+  // Negative override = unset (ServeRequest contract), so only the
+  // out-of-domain non-negative values are rejected — and NaN, which would
+  // otherwise compare false everywhere and silently serve the defaults.
+  if (std::isnan(req.alpha) || req.alpha >= 1.0) {
+    resp.error = "alpha must be in [0, 1)";
+    return resp;
+  }
+  if (std::isnan(req.epsilon) || req.epsilon == 0.0) {
+    resp.error = "epsilon must be > 0";
+    return resp;
+  }
+  if (std::isnan(req.sigma)) {
+    resp.error = "sigma must be >= 0";
+    return resp;
+  }
+  *tnam_index = 0;
+  if (req.k >= 0) {
+    auto it = std::find_if(tnams_.begin(), tnams_.end(),
+                           [&](const TnamEntry& e) { return e.k == req.k; });
+    if (it == tnams_.end()) {
+      resp.error = "no TNAM prepared for k=" + std::to_string(req.k);
+      return resp;
+    }
+    *tnam_index = static_cast<size_t>(it - tnams_.begin());
+  }
+  resp.status = ServeStatus::kOk;
+  return resp;
+}
+
+Admission ServingEngine::Submit(const ServeRequest& request) {
+  Admission admission;
+  size_t tnam_index = 0;
+  ServeResponse validation = Validate(request, &tnam_index);
+  if (validation.status != ServeStatus::kOk) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++rejected_invalid_;
+    admission.status = ServeStatus::kInvalid;
+    admission.error = std::move(validation.error);
+    return admission;
+  }
+
+  std::future<ServeResponse> future;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      ++rejected_shutdown_;
+      admission.status = ServeStatus::kShuttingDown;
+      return admission;
+    }
+    if (queue_.size() >= opts_.max_queue_depth) {
+      // Backpressure: reject, never block, never grow past the bound. The
+      // rejection paths run before the Job exists, so an overloaded Submit
+      // performs no promise/shared-state allocation.
+      ++rejected_overload_;
+      admission.status = ServeStatus::kOverloaded;
+      return admission;
+    }
+    Job job;
+    job.request = request;
+    job.tnam_index = tnam_index;
+    job.admitted_at = Clock::now();
+    future = job.promise.get_future();
+    queue_.push_back(std::move(job));
+    ++admitted_;
+  }
+  work_ready_.notify_one();
+  admission.status = ServeStatus::kOk;
+  admission.response = std::move(future);
+  return admission;
+}
+
+void ServingEngine::WorkerLoop(size_t w, size_t thread_budget) {
+  // Warm per-worker state: one diffusion arena shared by one Laca per
+  // prepared TNAM (same borrowed-workspace pattern as the bench harnesses),
+  // plus the intra-query helper pool when the thread budget allows. Built on
+  // this thread so fleet startup parallelizes; the ctor pre-validated
+  // everything that can fail other than allocation.
+  std::optional<DiffusionWorkspace> workspace;
+  std::optional<ThreadPool> helper;
+  std::vector<std::unique_ptr<Laca>> lacas;
+  std::string init_error;
+  try {
+    workspace.emplace(graph_);
+    if (thread_budget > 1) helper.emplace(thread_budget - 1);
+    lacas.reserve(tnams_.size());
+    for (const TnamEntry& entry : tnams_) {
+      lacas.push_back(std::make_unique<Laca>(graph_, entry.tnam, &*workspace));
+      if (helper) lacas.back()->SetIntraQueryPool(&*helper);
+    }
+  } catch (const std::exception& e) {
+    // Degraded but alive: this worker keeps claiming jobs and failing them
+    // explicitly, so admitted futures are always fulfilled.
+    init_error = std::string("worker initialization failed: ") + e.what();
+  }
+
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return !queue_.empty() || draining_; });
+      if (queue_.empty()) return;  // draining and fully drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    if (opts_.worker_hook) opts_.worker_hook();
+
+    ServeResponse resp;
+    const Clock::time_point claimed = Clock::now();
+    resp.queue_seconds = Seconds(claimed - job.admitted_at);
+    if (!init_error.empty()) {
+      resp.status = ServeStatus::kInvalid;
+      resp.error = init_error;
+    } else {
+      LacaOptions lopts = opts_.defaults;
+      const ServeRequest& req = job.request;
+      if (req.alpha >= 0.0) lopts.alpha = req.alpha;
+      if (req.epsilon >= 0.0) lopts.epsilon = req.epsilon;
+      if (req.sigma >= 0.0) lopts.sigma = req.sigma;
+      try {
+        resp.cluster =
+            lacas[job.tnam_index]->Cluster(req.seed, req.size, lopts);
+        resp.status = ServeStatus::kOk;
+      } catch (const std::exception& e) {
+        resp.status = ServeStatus::kInvalid;
+        resp.error = e.what();
+      }
+      workers_[w]->alloc_events.store(workspace->alloc_events(),
+                                      std::memory_order_relaxed);
+    }
+    resp.total_seconds = Seconds(Clock::now() - job.admitted_at);
+
+    RecordLatency(resp.total_seconds);
+    job.promise.set_value(std::move(resp));
+  }
+}
+
+void ServingEngine::RecordLatency(double total_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --in_flight_;
+  ++completed_;
+  latency_ring_[latency_cursor_] = total_seconds;
+  latency_cursor_ = (latency_cursor_ + 1) % latency_ring_.size();
+  latency_count_ = std::min(latency_count_ + 1, latency_ring_.size());
+}
+
+void ServingEngine::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  work_ready_.notify_all();
+  // Joining implies the queue is drained and every in-flight request
+  // finished: workers only exit on (draining && queue empty). Serialized so
+  // concurrent Shutdown() callers both return only once the fleet is down.
+  std::lock_guard<std::mutex> jlock(join_mu_);
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+ServingStats ServingEngine::Stats() const {
+  ServingStats stats;
+  std::vector<double> window;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.admitted = admitted_;
+    stats.completed = completed_;
+    stats.rejected_overload = rejected_overload_;
+    stats.rejected_shutdown = rejected_shutdown_;
+    stats.rejected_invalid = rejected_invalid_;
+    stats.queue_depth = queue_.size();
+    stats.in_flight = in_flight_;
+    window.assign(latency_ring_.begin(),
+                  latency_ring_.begin() + latency_count_);
+  }
+  stats.workers = workers_.size();
+  for (const auto& worker : workers_) {
+    stats.alloc_events += worker->alloc_events.load(std::memory_order_relaxed);
+  }
+  stats.uptime_seconds = Seconds(Clock::now() - started_at_);
+  stats.latency_window = window.size();
+  if (!window.empty()) {
+    std::sort(window.begin(), window.end());
+    stats.p50_seconds = window[(window.size() - 1) / 2];
+    stats.p99_seconds = window[(window.size() - 1) * 99 / 100];
+  }
+  return stats;
+}
+
+}  // namespace laca

@@ -1,0 +1,220 @@
+// Long-lived serving layer over LACA (DESIGN.md §7).
+//
+// The batch API (core/batch.hpp) answers a fixed query list and tears its
+// fleet down; a deployment serving heavy traffic instead keeps the graph,
+// the TNAM(s), and a fixed worker fleet warm for the process lifetime and
+// admits requests as they arrive. ServingEngine is that layer:
+//
+//   * a fixed fleet of worker threads, each owning a warm Laca per TNAM on
+//     one shared DiffusionWorkspace (the arena reaches its per-graph steady
+//     state after the first requests and then stays allocation-free — the
+//     alloc counter is exported through Stats() as the witness);
+//   * the BatchCluster two-level thread budget (core/thread_budget.hpp):
+//     surplus threads become per-worker intra-query helper pools that shard
+//     big non-greedy diffusion rounds, bit-identically to serial;
+//   * a bounded admission queue with explicit backpressure: Submit() beyond
+//     max_queue_depth returns kOverloaded immediately — it never blocks and
+//     never grows the queue without bound;
+//   * graceful drain: Shutdown() completes every admitted request, rejects
+//     new ones with kShuttingDown, and joins the fleet.
+//
+// Determinism: each request runs Laca::Cluster on a private warm engine, so
+// responses are bit-identical to the serial call for every worker count and
+// admission order (serving_test proves it at 1/2/4/8 workers).
+#ifndef LACA_SERVER_SERVING_ENGINE_HPP_
+#define LACA_SERVER_SERVING_ENGINE_HPP_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "attr/tnam.hpp"
+#include "core/laca.hpp"
+#include "graph/graph.hpp"
+
+namespace laca {
+
+/// Outcome class of one serving request.
+enum class ServeStatus : uint8_t {
+  kOk = 0,
+  /// Admission queue at max_queue_depth; retry later (backpressure).
+  kOverloaded,
+  /// The engine is draining; no new requests are admitted.
+  kShuttingDown,
+  /// The request failed validation (or the computation rejected it).
+  kInvalid,
+};
+
+const char* ToString(ServeStatus status);
+
+/// One clustering request. Overrides left negative fall back to the
+/// engine-wide defaults (ServingOptions::defaults).
+struct ServeRequest {
+  NodeId seed = 0;
+  /// Requested cluster size |C_s|.
+  size_t size = 1;
+  double alpha = -1.0;    ///< restart factor override, in [0, 1)
+  double epsilon = -1.0;  ///< diffusion threshold override, > 0
+  double sigma = -1.0;    ///< AdaptiveDiffuse balance override, >= 0
+  /// TNAM dimension override: selects among the engine's prepared TNAMs
+  /// (ServingEngine ctor); -1 = the engine default. A k the engine did not
+  /// prepare is rejected as kInvalid — TNAMs are preprocessing artifacts,
+  /// never built on the request path.
+  int k = -1;
+};
+
+struct ServeResponse {
+  ServeStatus status = ServeStatus::kOk;
+  std::vector<NodeId> cluster;
+  std::string error;
+  double queue_seconds = 0.0;  ///< admission -> worker claim
+  double total_seconds = 0.0;  ///< admission -> completion
+};
+
+struct ServingOptions {
+  /// Across-request worker fleet size; 0 = one worker per budgeted thread.
+  size_t num_workers = 0;
+  /// Total thread budget (workers + intra-query helpers); 0 = hardware
+  /// concurrency. Split by SplitThreadBudget, like BatchCluster.
+  size_t num_threads = 0;
+  /// Per-worker intra-query ceiling (BatchClusterOptions semantics).
+  size_t intra_query_threads = 0;
+  /// Admitted-but-unclaimed request bound. Submissions beyond it are
+  /// rejected with kOverloaded (never queued, never blocked).
+  size_t max_queue_depth = 1024;
+  /// Defaults for per-request option overrides.
+  LacaOptions defaults;
+  /// Test hook: runs on the worker thread after claiming a request, before
+  /// computing. Lets tests park workers to fill the queue deterministically.
+  std::function<void()> worker_hook;
+};
+
+/// Aggregate serving counters, readable at any time.
+struct ServingStats {
+  uint64_t admitted = 0;
+  uint64_t completed = 0;
+  uint64_t rejected_overload = 0;
+  uint64_t rejected_shutdown = 0;
+  uint64_t rejected_invalid = 0;
+  size_t queue_depth = 0;  ///< currently admitted-but-unclaimed
+  size_t in_flight = 0;    ///< currently claimed by a worker
+  size_t workers = 0;
+  /// Summed warm-workspace alloc counters across the fleet; flat across
+  /// steady-state requests (the zero-allocation witness, DESIGN.md §2).
+  uint64_t alloc_events = 0;
+  double uptime_seconds = 0.0;
+  /// Total-latency percentiles over the retained window (last
+  /// `latency_window` completions); 0 when nothing completed yet.
+  double p50_seconds = 0.0;
+  double p99_seconds = 0.0;
+  size_t latency_window = 0;
+};
+
+/// Result of ServingEngine::Submit. `response` is valid iff ok().
+struct Admission {
+  ServeStatus status = ServeStatus::kInvalid;
+  std::string error;  ///< set for kInvalid rejections
+  std::future<ServeResponse> response;
+  bool ok() const { return status == ServeStatus::kOk; }
+};
+
+class ServingEngine {
+ public:
+  /// A TNAM selectable per request by its dimension `k`. `tnam` may be null
+  /// only to register the topology-only (w/o SNAS) mode under a k.
+  struct TnamEntry {
+    int k = 0;
+    const Tnam* tnam = nullptr;
+  };
+
+  /// Serves `graph` with the prepared TNAMs (first entry is the default; an
+  /// empty span serves topology-only). The graph and TNAMs must outlive the
+  /// engine. Validates entries and options eagerly — worker threads must
+  /// never die on a construction error. Workers start immediately.
+  ServingEngine(const Graph& graph, std::span<const TnamEntry> tnams,
+                const ServingOptions& opts = {});
+
+  /// Convenience: one TNAM (or null for topology-only), k = tnam->dim().
+  ServingEngine(const Graph& graph, const Tnam* tnam,
+                const ServingOptions& opts = {});
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Drains and joins (Shutdown()).
+  ~ServingEngine();
+
+  /// Admission control. Never blocks: an invalid request, a full queue, or
+  /// a draining engine is rejected immediately with the matching status.
+  /// Admitted requests resolve through the returned future; every admitted
+  /// future is always fulfilled, including across Shutdown().
+  Admission Submit(const ServeRequest& request);
+
+  /// Graceful drain: stops admitting (new Submits get kShuttingDown),
+  /// completes every already-admitted request, then joins the worker fleet.
+  /// Idempotent and safe to call concurrently with Submit().
+  void Shutdown();
+
+  ServingStats Stats() const;
+
+  size_t num_workers() const { return workers_.size(); }
+  const Graph& graph() const { return graph_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Job {
+    ServeRequest request;
+    size_t tnam_index = 0;
+    std::promise<ServeResponse> promise;
+    Clock::time_point admitted_at;
+  };
+
+  /// Per-worker warm state, constructed on the worker thread itself.
+  struct Worker {
+    std::thread thread;
+    /// Published workspace alloc counter, updated after every request (the
+    /// workspace itself is worker-private and not safe to read concurrently).
+    std::atomic<uint64_t> alloc_events{0};
+  };
+
+  void WorkerLoop(size_t w, size_t thread_budget);
+  ServeResponse Validate(const ServeRequest& request, size_t* tnam_index) const;
+  void RecordLatency(double total_seconds);
+
+  const Graph& graph_;
+  std::vector<TnamEntry> tnams_;
+  ServingOptions opts_;
+  Clock::time_point started_at_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::deque<Job> queue_;
+  size_t in_flight_ = 0;
+  bool draining_ = false;
+  // Counters and the latency ring, all guarded by mu_.
+  uint64_t admitted_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t rejected_overload_ = 0;
+  uint64_t rejected_shutdown_ = 0;
+  uint64_t rejected_invalid_ = 0;
+  std::vector<double> latency_ring_;
+  size_t latency_cursor_ = 0;
+  size_t latency_count_ = 0;
+
+  std::mutex join_mu_;  // serializes Shutdown() joiners
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace laca
+
+#endif  // LACA_SERVER_SERVING_ENGINE_HPP_

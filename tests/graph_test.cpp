@@ -186,6 +186,104 @@ TEST_F(GraphIoTest, AttributesRoundTrip) {
   EXPECT_EQ(loaded.Row(1).size(), 0u);
 }
 
+// The untrusted-input regressions: LoadAttributes used raw std::stoul/stod
+// on col:val tokens, so negative columns wrapped silently to huge indices,
+// trailing garbage was accepted, and missing values threw context-free
+// exceptions. Every rejection must now carry the file:line (and token)
+// context, and the wrap/garbage cases must be rejected at all.
+class AttributeParsingTest : public GraphIoTest {
+ protected:
+  std::string WriteAttrs(const std::string& body) {
+    const std::string path = Path("attrs.txt");
+    FILE* f = fopen(path.c_str(), "w");
+    fputs(body.c_str(), f);
+    fclose(f);
+    return path;
+  }
+
+  // Asserts LoadAttributes throws std::invalid_argument whose message names
+  // the file and line — the pre-PR std::stoul/std::stod path either threw
+  // context-free messages, threw std::out_of_range, or accepted the input.
+  void ExpectRejectedWithContext(const std::string& body,
+                                 const std::string& token) {
+    const std::string path = WriteAttrs(body);
+    try {
+      LoadAttributes(path);
+      FAIL() << "accepted: " << body;
+    } catch (const std::invalid_argument& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find(path + ":"), std::string::npos)
+          << "no file:line context in: " << msg;
+      EXPECT_NE(msg.find(token), std::string::npos)
+          << "offending token '" << token << "' missing from: " << msg;
+    } catch (const std::exception& e) {
+      FAIL() << "wrong exception type (" << e.what() << ") for: " << body;
+    }
+  }
+};
+
+TEST_F(AttributeParsingTest, NegativeColumnRejectedWithContext) {
+  ExpectRejectedWithContext("3 4\n0 -1:0.5\n", "-1:0.5");
+}
+
+TEST_F(AttributeParsingTest, MissingValueRejectedWithContext) {
+  ExpectRejectedWithContext("3 4\n0 3:\n", "3:");
+}
+
+TEST_F(AttributeParsingTest, TrailingGarbageRejected) {
+  // Pre-PR stod("1.0x") parsed 1.0 and silently dropped the garbage.
+  ExpectRejectedWithContext("3 4\n0 3:1.0x\n", "3:1.0x");
+}
+
+TEST_F(AttributeParsingTest, ColumnBeyondHeaderRejectedWithContext) {
+  ExpectRejectedWithContext("3 4\n0 9:1.0\n", "9:1.0");
+}
+
+TEST_F(AttributeParsingTest, HugeColumnDoesNotEscapeAsOutOfRange) {
+  // Pre-PR std::stoul threw std::out_of_range here, bypassing every
+  // invalid_argument handler in the loaders' callers.
+  ExpectRejectedWithContext("3 4\n0 99999999999999999999:1.0\n",
+                            "99999999999999999999:1.0");
+}
+
+TEST_F(AttributeParsingTest, NegativeHeaderCannotWrapIntoHugeAllocation) {
+  ExpectRejectedWithContext("-3 4\n", "-3");
+}
+
+TEST_F(AttributeParsingTest, NegativeNodeIdRejectedWithContext) {
+  ExpectRejectedWithContext("3 4\n-2 1:0.5\n", "-2");
+}
+
+TEST_F(AttributeParsingTest, NonFiniteValueRejected) {
+  ExpectRejectedWithContext("3 4\n0 1:nan\n", "1:nan");
+}
+
+TEST_F(AttributeParsingTest, StrictParserStillAcceptsValidInput) {
+  const std::string path =
+      WriteAttrs("3 4\n# comment\n0 1:-0.5 2:1e-3\n2 0:2.5\n");
+  AttributeMatrix attrs = LoadAttributes(path);
+  EXPECT_EQ(attrs.num_rows(), 3u);
+  EXPECT_EQ(attrs.num_cols(), 4u);
+  EXPECT_EQ(attrs.Row(0).size(), 2u);
+  EXPECT_EQ(attrs.Row(2).size(), 1u);
+}
+
+TEST_F(GraphIoTest, EdgeListNegativeEndpointRejected) {
+  // Pre-PR istream extraction wrapped "-1" to 2^64-1 and the cast truncated
+  // it into a bogus node id that silently grew the graph.
+  FILE* f = fopen(Path("neg.txt").c_str(), "w");
+  fputs("0 1\n-1 2\n", f);
+  fclose(f);
+  EXPECT_THROW(LoadEdgeList(Path("neg.txt")), std::invalid_argument);
+}
+
+TEST_F(GraphIoTest, EdgeListTrailingGarbageEndpointRejected) {
+  FILE* f = fopen(Path("junk.txt").c_str(), "w");
+  fputs("0 1\n2 3x\n", f);
+  fclose(f);
+  EXPECT_THROW(LoadEdgeList(Path("junk.txt")), std::invalid_argument);
+}
+
 TEST_F(GraphIoTest, CommunitiesRoundTrip) {
   Communities comms;
   comms.members = {{0, 1, 2}, {2, 3}};

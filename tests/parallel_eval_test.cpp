@@ -56,6 +56,33 @@ TEST(ParallelEvalTest, SingleThreadWorks) {
   EXPECT_GT(results[0].seeds_evaluated, 0u);
 }
 
+TEST(ParallelEvalTest, ExplicitThreadCountNeverAliasesTheSharedPool) {
+  // Regression: EvaluateMethodsParallel used to hand the caller the
+  // process-wide SharedPool() whenever the explicit num_threads happened to
+  // equal the shared pool's width — so "honored exactly with a right-sized
+  // transient pool" was false precisely then, and concurrent shared-pool
+  // work could steal the caller's bounded capacity. Any explicit count must
+  // build a dedicated pool.
+  const size_t shared_width = SharedPool().num_threads();
+  EvalPool aliased = MakeEvalPool(0);
+  EXPECT_EQ(aliased.pool, &SharedPool());
+  EXPECT_EQ(aliased.owned, nullptr);
+
+  EvalPool sized = MakeEvalPool(shared_width);
+  ASSERT_NE(sized.owned, nullptr);
+  EXPECT_NE(sized.pool, &SharedPool());
+  EXPECT_EQ(sized.pool->num_threads(), shared_width);
+
+  // And the end-to-end path still answers correctly at exactly that width.
+  const Dataset& ds = GetDataset(kDataset);
+  std::vector<NodeId> seeds = SampleSeeds(ds, 2);
+  std::vector<std::string> methods = {"PR-Nibble"};
+  std::vector<MethodEvaluation> results =
+      EvaluateMethodsParallel(ds, methods, seeds, shared_width);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GT(results[0].seeds_evaluated, 0u);
+}
+
 TEST(ParallelEvalTest, UnknownMethodPropagatesException) {
   const Dataset& ds = GetDataset(kDataset);
   std::vector<NodeId> seeds = SampleSeeds(ds, 1);

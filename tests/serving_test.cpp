@@ -1,0 +1,453 @@
+#include "server/serving_engine.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "attr/tnam.hpp"
+#include "eval/datasets.hpp"
+#include "server/protocol.hpp"
+
+namespace laca {
+namespace {
+
+// A manually-released gate for parking engine workers inside worker_hook.
+class Gate {
+ public:
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  void WaitUntilOpen() {
+    std::unique_lock<std::mutex> lock(m_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+  /// Blocks until `n` threads have arrived at Arrive().
+  void AwaitArrivals(size_t n) {
+    std::unique_lock<std::mutex> lock(m_);
+    cv_.wait(lock, [this, n] { return arrivals_ >= n; });
+  }
+  void Arrive() {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      ++arrivals_;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  bool open_ = false;
+  size_t arrivals_ = 0;
+};
+
+class ServingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ds_ = &GetDataset("cora-sim");
+    TnamOptions topts;
+    tnam_ = new Tnam(Tnam::Build(ds_->data.attributes, topts));
+  }
+  static void TearDownTestSuite() {
+    delete tnam_;
+    tnam_ = nullptr;
+  }
+
+  static std::vector<ServeRequest> MakeRequests(size_t count) {
+    std::vector<NodeId> seeds = SampleSeeds(*ds_, count);
+    std::vector<ServeRequest> requests;
+    for (NodeId seed : seeds) {
+      ServeRequest req;
+      req.seed = seed;
+      req.size = ds_->data.communities.GroundTruthCluster(seed).size();
+      requests.push_back(req);
+    }
+    return requests;
+  }
+
+  /// Engine options pinning an exact worker count (the fleet is clamped to
+  /// the thread budget, so the budget must name the count explicitly —
+  /// otherwise a single-core host would clamp every fleet to one worker).
+  static ServingOptions WithWorkers(size_t workers) {
+    ServingOptions opts;
+    opts.num_workers = workers;
+    opts.num_threads = workers;
+    return opts;
+  }
+
+  static const Dataset* ds_;
+  static Tnam* tnam_;
+};
+
+const Dataset* ServingTest::ds_ = nullptr;
+Tnam* ServingTest::tnam_ = nullptr;
+
+TEST_F(ServingTest, BitIdenticalToSerialClusterAtEveryWorkerCount) {
+  std::vector<ServeRequest> requests = MakeRequests(12);
+  Laca serial(ds_->data.graph, tnam_);
+  LacaOptions defaults;
+  std::vector<std::vector<NodeId>> expected;
+  for (const ServeRequest& req : requests) {
+    expected.push_back(serial.Cluster(req.seed, req.size, defaults));
+  }
+
+  for (size_t workers : {1u, 2u, 4u, 8u}) {
+    ServingEngine engine(ds_->data.graph, tnam_, WithWorkers(workers));
+    ASSERT_EQ(engine.num_workers(), workers);
+    std::vector<std::future<ServeResponse>> futures;
+    for (const ServeRequest& req : requests) {
+      Admission a = engine.Submit(req);
+      ASSERT_TRUE(a.ok()) << a.error;
+      futures.push_back(std::move(a.response));
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+      ServeResponse resp = futures[i].get();
+      ASSERT_EQ(resp.status, ServeStatus::kOk) << resp.error;
+      EXPECT_EQ(resp.cluster, expected[i])
+          << "workers=" << workers << " request " << i;
+    }
+  }
+}
+
+TEST_F(ServingTest, PerRequestOverridesMatchSerialWithSameOptions) {
+  ServeRequest req = MakeRequests(1)[0];
+  req.size = 25;
+  req.alpha = 0.5;
+  req.epsilon = 1e-4;
+
+  LacaOptions serial_opts;
+  serial_opts.alpha = 0.5;
+  serial_opts.epsilon = 1e-4;
+  Laca serial(ds_->data.graph, tnam_);
+  std::vector<NodeId> with_overrides =
+      serial.Cluster(req.seed, req.size, serial_opts);
+  std::vector<NodeId> with_defaults =
+      serial.Cluster(req.seed, req.size, LacaOptions{});
+  // The overrides must actually matter on this dataset, or the test below
+  // could not tell "override applied" from "override ignored".
+  ASSERT_NE(with_overrides, with_defaults);
+
+  ServingEngine engine(ds_->data.graph, tnam_, WithWorkers(2));
+  Admission a = engine.Submit(req);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.response.get().cluster, with_overrides);
+
+  ServeRequest plain;
+  plain.seed = req.seed;
+  plain.size = req.size;
+  Admission b = engine.Submit(plain);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.response.get().cluster, with_defaults);
+}
+
+TEST_F(ServingTest, KOverrideSelectsAmongPreparedTnams) {
+  TnamOptions topts;
+  topts.k = 8;
+  Tnam small = Tnam::Build(ds_->data.attributes, topts);
+  std::vector<ServingEngine::TnamEntry> entries = {
+      {static_cast<int>(tnam_->dim()), tnam_}, {8, &small}};
+  ServingEngine engine(ds_->data.graph, entries, WithWorkers(2));
+
+  ServeRequest req = MakeRequests(1)[0];
+  req.size = 20;
+  Laca with_default(ds_->data.graph, tnam_);
+  Laca with_small(ds_->data.graph, &small);
+  LacaOptions defaults;
+
+  Admission def = engine.Submit(req);
+  req.k = 8;
+  Admission k8 = engine.Submit(req);
+  ASSERT_TRUE(def.ok() && k8.ok());
+  EXPECT_EQ(def.response.get().cluster,
+            with_default.Cluster(req.seed, req.size, defaults));
+  EXPECT_EQ(k8.response.get().cluster,
+            with_small.Cluster(req.seed, req.size, defaults));
+
+  req.k = 999;
+  Admission missing = engine.Submit(req);
+  EXPECT_EQ(missing.status, ServeStatus::kInvalid);
+  EXPECT_NE(missing.error.find("999"), std::string::npos);
+}
+
+TEST_F(ServingTest, InvalidRequestsRejectedAtAdmission) {
+  ServingEngine engine(ds_->data.graph, tnam_, WithWorkers(1));
+  ServeRequest bad_seed;
+  bad_seed.seed = ds_->num_nodes();
+  bad_seed.size = 5;
+  EXPECT_EQ(engine.Submit(bad_seed).status, ServeStatus::kInvalid);
+
+  ServeRequest bad_size;
+  bad_size.seed = 0;
+  bad_size.size = 0;
+  EXPECT_EQ(engine.Submit(bad_size).status, ServeStatus::kInvalid);
+
+  ServeRequest bad_alpha;
+  bad_alpha.seed = 0;
+  bad_alpha.size = 5;
+  bad_alpha.alpha = 1.5;
+  EXPECT_EQ(engine.Submit(bad_alpha).status, ServeStatus::kInvalid);
+
+  // The engine still serves good requests afterwards.
+  ServeRequest good;
+  good.seed = 0;
+  good.size = 5;
+  Admission a = engine.Submit(good);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.response.get().status, ServeStatus::kOk);
+  EXPECT_EQ(engine.Stats().rejected_invalid, 3u);
+}
+
+TEST_F(ServingTest, AdmissionQueueRejectsBeyondDepthWithoutBlocking) {
+  Gate gate;
+  ServingOptions opts = WithWorkers(1);
+  opts.max_queue_depth = 2;
+  opts.worker_hook = [&gate] {
+    gate.Arrive();
+    gate.WaitUntilOpen();
+  };
+  ServingEngine engine(ds_->data.graph, tnam_, opts);
+
+  ServeRequest req;
+  req.seed = 0;
+  req.size = 5;
+  Admission claimed = engine.Submit(req);  // claimed by the (parked) worker
+  ASSERT_TRUE(claimed.ok());
+  gate.AwaitArrivals(1);  // the worker holds it; the queue is now empty
+
+  Admission q1 = engine.Submit(req);
+  Admission q2 = engine.Submit(req);
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(engine.Stats().queue_depth, 2u);
+
+  // Beyond the configured depth: immediate rejection, no blocking, no growth.
+  Admission overflow = engine.Submit(req);
+  EXPECT_EQ(overflow.status, ServeStatus::kOverloaded);
+  EXPECT_EQ(engine.Stats().queue_depth, 2u);
+  EXPECT_EQ(engine.Stats().rejected_overload, 1u);
+
+  gate.Open();
+  EXPECT_EQ(claimed.response.get().status, ServeStatus::kOk);
+  EXPECT_EQ(q1.response.get().status, ServeStatus::kOk);
+  EXPECT_EQ(q2.response.get().status, ServeStatus::kOk);
+
+  // Capacity freed: admission works again.
+  Admission after = engine.Submit(req);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.response.get().status, ServeStatus::kOk);
+}
+
+TEST_F(ServingTest, GracefulShutdownDrainsAdmittedAndRejectsNew) {
+  Gate gate;
+  ServingOptions opts = WithWorkers(1);
+  opts.worker_hook = [&gate] {
+    gate.Arrive();
+    gate.WaitUntilOpen();
+  };
+  ServingEngine engine(ds_->data.graph, tnam_, opts);
+
+  ServeRequest req;
+  req.seed = 0;
+  req.size = 5;
+  Admission in_flight = engine.Submit(req);
+  ASSERT_TRUE(in_flight.ok());
+  gate.AwaitArrivals(1);
+  Admission queued1 = engine.Submit(req);
+  Admission queued2 = engine.Submit(req);
+  ASSERT_TRUE(queued1.ok() && queued2.ok());
+
+  // Shutdown mid-drain: one request parked on the worker, two queued.
+  std::thread closer([&engine] { engine.Shutdown(); });
+  // Draining starts before the gate opens; new submissions must be turned
+  // away while the admitted ones are still pending.
+  while (engine.Submit(req).status != ServeStatus::kShuttingDown) {
+    std::this_thread::yield();
+  }
+  gate.Open();
+  closer.join();
+
+  // Every admitted request was completed, none dropped.
+  EXPECT_EQ(in_flight.response.get().status, ServeStatus::kOk);
+  EXPECT_EQ(queued1.response.get().status, ServeStatus::kOk);
+  EXPECT_EQ(queued2.response.get().status, ServeStatus::kOk);
+  EXPECT_EQ(engine.Submit(req).status, ServeStatus::kShuttingDown);
+  EXPECT_GE(engine.Stats().rejected_shutdown, 2u);
+  engine.Shutdown();  // idempotent
+}
+
+TEST_F(ServingTest, ConcurrentSubmittersDuringShutdownNeverLoseAFuture) {
+  // The stop-while-submitting race of the admission queue: several threads
+  // hammer Submit while another drains the engine. Every admitted future
+  // must resolve; every rejection must be explicit. (TSan covers the rest.)
+  ServingEngine engine(ds_->data.graph, tnam_, WithWorkers(2));
+  std::atomic<uint64_t> resolved{0}, rejected{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&engine, &resolved, &rejected] {
+      ServeRequest req;
+      req.seed = 0;
+      req.size = 5;
+      for (int i = 0; i < 50; ++i) {
+        Admission a = engine.Submit(req);
+        if (a.ok()) {
+          a.response.get();
+          resolved.fetch_add(1);
+        } else {
+          EXPECT_EQ(a.status, ServeStatus::kShuttingDown);
+          rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  engine.Shutdown();
+  for (std::thread& t : submitters) t.join();
+  EXPECT_EQ(resolved.load() + rejected.load(), 200u);
+  EXPECT_EQ(engine.Stats().completed, resolved.load());
+}
+
+TEST_F(ServingTest, WarmWorkerAllocCounterStaysFlat) {
+  // Park both workers on the gate with one request each before measuring, so
+  // BOTH arenas are provably exercised during warmup (otherwise a worker
+  // could stay cold through warmup and allocate during the measured phase).
+  Gate gate;
+  ServingOptions opts = WithWorkers(2);
+  opts.worker_hook = [&gate] {
+    gate.Arrive();
+    gate.WaitUntilOpen();
+  };
+  ServingEngine engine(ds_->data.graph, tnam_, opts);
+  std::vector<ServeRequest> requests = MakeRequests(10);
+  {
+    Admission a = engine.Submit(requests[0]);
+    Admission b = engine.Submit(requests[1]);
+    ASSERT_TRUE(a.ok() && b.ok());
+    gate.AwaitArrivals(2);  // one request parked on each worker
+    gate.Open();
+    EXPECT_EQ(a.response.get().status, ServeStatus::kOk);
+    EXPECT_EQ(b.response.get().status, ServeStatus::kOk);
+  }
+
+  auto run_round = [&] {
+    std::vector<std::future<ServeResponse>> futures;
+    for (const ServeRequest& req : requests) {
+      Admission a = engine.Submit(req);
+      ASSERT_TRUE(a.ok());
+      futures.push_back(std::move(a.response));
+    }
+    for (auto& f : futures) EXPECT_EQ(f.get().status, ServeStatus::kOk);
+  };
+
+  // Warm up until the per-worker arenas reach their steady state (two
+  // consecutive rounds without a single buffer growth), then demand
+  // perfectly flat allocation counters over many further requests.
+  uint64_t last = 0;
+  int flat_rounds = 0;
+  for (int round = 0; round < 20 && flat_rounds < 2; ++round) {
+    run_round();
+    const uint64_t now = engine.Stats().alloc_events;
+    flat_rounds = now == last ? flat_rounds + 1 : 0;
+    last = now;
+  }
+  ASSERT_EQ(flat_rounds, 2) << "arena never reached a steady state";
+  for (int round = 0; round < 5; ++round) run_round();
+  EXPECT_EQ(engine.Stats().alloc_events, last)
+      << "warm request path allocated";
+}
+
+TEST_F(ServingTest, TopologyOnlyModeServes) {
+  ServingEngine engine(ds_->data.graph, /*tnam=*/nullptr, WithWorkers(2));
+  ServeRequest req;
+  req.seed = 0;
+  req.size = 8;
+  Admission a = engine.Submit(req);
+  ASSERT_TRUE(a.ok());
+  ServeResponse resp = a.response.get();
+  ASSERT_EQ(resp.status, ServeStatus::kOk);
+  ASSERT_EQ(resp.cluster.size(), 8u);
+  EXPECT_EQ(resp.cluster.front(), 0u);
+}
+
+TEST_F(ServingTest, ConstructorValidatesEagerly) {
+  // A mismatched TNAM must throw in the constructor, never inside a worker
+  // thread (where it would terminate the process).
+  const Dataset& other = GetDataset("pubmed-sim");
+  ASSERT_NE(other.num_nodes(), ds_->num_nodes());
+  EXPECT_THROW(ServingEngine(other.data.graph, tnam_, WithWorkers(1)),
+               std::invalid_argument);
+
+  ServingOptions opts = WithWorkers(1);
+  opts.max_queue_depth = 0;
+  EXPECT_THROW(ServingEngine(ds_->data.graph, tnam_, opts),
+               std::invalid_argument);
+
+  std::vector<ServingEngine::TnamEntry> dup = {
+      {static_cast<int>(tnam_->dim()), tnam_},
+      {static_cast<int>(tnam_->dim()), tnam_}};
+  EXPECT_THROW(ServingEngine(ds_->data.graph, dup, WithWorkers(1)),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol: the untrusted request-parsing boundary.
+
+TEST(ServingProtocolTest, ParsesFullRequestLine) {
+  ParsedLine p = ParseRequestLine("17 25 alpha=0.5 eps=1e-4 sigma=0.1 k=16");
+  ASSERT_EQ(p.kind, ParsedLine::Kind::kRequest) << p.error;
+  EXPECT_EQ(p.request.seed, 17u);
+  EXPECT_EQ(p.request.size, 25u);
+  EXPECT_DOUBLE_EQ(p.request.alpha, 0.5);
+  EXPECT_DOUBLE_EQ(p.request.epsilon, 1e-4);
+  EXPECT_DOUBLE_EQ(p.request.sigma, 0.1);
+  EXPECT_EQ(p.request.k, 16);
+}
+
+TEST(ServingProtocolTest, MinimalRequestLeavesOverridesUnset) {
+  ParsedLine p = ParseRequestLine("3 10");
+  ASSERT_EQ(p.kind, ParsedLine::Kind::kRequest);
+  EXPECT_LT(p.request.alpha, 0.0);
+  EXPECT_LT(p.request.epsilon, 0.0);
+  EXPECT_EQ(p.request.k, -1);
+}
+
+TEST(ServingProtocolTest, RejectsMalformedLines) {
+  // Negative ids must not wrap, trailing garbage must not pass, and every
+  // rejection must carry the offending token.
+  for (const char* line :
+       {"-1 5", "3 -5", "3 5x", "3.5 5", "3 5 alpha=1.5", "3 5 eps=0",
+        "3 5 eps=1e-4x", "3 5 alpha=", "3 5 k=-2", "3 5 k=2b", "3 5 wat=1",
+        "3 5 sigma=nan", "3", "seed 5"}) {
+    ParsedLine p = ParseRequestLine(line);
+    EXPECT_EQ(p.kind, ParsedLine::Kind::kError) << line;
+    EXPECT_FALSE(p.error.empty()) << line;
+  }
+}
+
+TEST(ServingProtocolTest, CommandsAndFormatting) {
+  EXPECT_EQ(ParseRequestLine("stats").kind, ParsedLine::Kind::kStats);
+  EXPECT_EQ(ParseRequestLine("shutdown").kind, ParsedLine::Kind::kShutdown);
+
+  ServeResponse ok;
+  ok.status = ServeStatus::kOk;
+  ok.cluster = {3, 1, 4};
+  ok.total_seconds = 0.001;
+  ok.queue_seconds = 0.0005;
+  EXPECT_EQ(FormatResponse(7, ok),
+            "OK id=7 us=1000 queue_us=500 n=3 nodes=3,1,4");
+
+  ServeResponse overload;
+  overload.status = ServeStatus::kOverloaded;
+  EXPECT_EQ(FormatResponse(9, overload),
+            "ERR id=9 code=overloaded msg=overloaded");
+}
+
+}  // namespace
+}  // namespace laca

@@ -275,6 +275,40 @@ TEST(TaskGroupTest, GroupParallelForPropagatesOnlyItsError) {
   EXPECT_EQ(hits.load(), 1);
 }
 
+TEST(TaskGroupTest, StopWhileSubmittingDrainsEverySubmittedTask) {
+  // The serving admission queue's rejection path stops a producer mid-stream
+  // while consumers are still draining: producer threads submit through a
+  // group until a stop flag flips under them, and every task that made it
+  // into Submit() must still run exactly once — across the concurrent
+  // Wait(), the stop, and the pool destruction that follows. (This is the
+  // TSan target for the concurrent Submit/Wait/stop interleaving.)
+  std::atomic<uint64_t> executed{0};
+  uint64_t submitted_total = 0;
+  {
+    ThreadPool pool(4);
+    TaskGroup group(pool);
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> submitted{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 3; ++p) {
+      producers.emplace_back([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+          group.Submit([&executed] { executed.fetch_add(1); });
+          submitted.fetch_add(1);
+        }
+      });
+    }
+    // Let the stream run, then stop it mid-flight.
+    while (executed.load() < 1000) std::this_thread::yield();
+    stop.store(true);
+    for (std::thread& t : producers) t.join();
+    submitted_total = submitted.load();
+    group.Wait();
+    EXPECT_EQ(executed.load(), submitted_total);
+  }  // pool destruction after a stopped stream must not lose or rerun tasks
+  EXPECT_EQ(executed.load(), submitted_total);
+}
+
 TEST(TaskGroupTest, SharedPoolFreeParallelForStillCoversRange) {
   // The free function now runs on the process-wide shared pool; repeated
   // calls must not spawn threads (smoke: just correctness + reuse).

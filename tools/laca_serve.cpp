@@ -1,0 +1,509 @@
+// laca_serve — long-lived LACA clustering server (DESIGN.md §7).
+//
+// Loads a graph (+ attributes) once, builds the TNAM(s), and serves
+// line-delimited clustering requests (see src/server/protocol.hpp for the
+// grammar) over stdin/stdout or a loopback TCP socket, on a warm
+// ServingEngine worker fleet with bounded-queue admission control.
+//
+// Usage:
+//   laca_serve --gen=<dataset-name>            serve a registry stand-in
+//   laca_serve --edges=<path> [--attrs=<path>] serve your own data
+//
+//   --workers=N      across-request worker fleet (default: thread budget)
+//   --threads=N      total thread budget incl. helpers (default: hardware)
+//   --intra=N        per-worker intra-query thread ceiling (default: auto)
+//   --queue=N        admission queue depth; beyond it requests are rejected
+//                    with ERR code=overloaded (default 1024)
+//   --k=K[,K2,...]   TNAM dimensions to prepare; requests select one with
+//                    k=K (default 32; ignored without attributes)
+//   --alpha=A        default restart factor (default 0.8)
+//   --eps=E          default diffusion threshold (default 1e-6)
+//   --port=P         serve on 127.0.0.1:P instead of stdin/stdout
+//   --stats-every=S  periodic STATS line to stderr every S seconds (0 = off,
+//                    the default; `stats` on any session works regardless)
+//
+// stdin mode exits after EOF (drain) or a `shutdown` line; responses are
+// written in request order, tagged id=<request number> (1-based, counting
+// request lines only — blank/'#' lines consume no id).
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifdef __unix__
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include "attr/tnam.hpp"
+#include "common/parse.hpp"
+#include "common/timer.hpp"
+#include "eval/datasets.hpp"
+#include "graph/io.hpp"
+#include "server/protocol.hpp"
+#include "server/serving_engine.hpp"
+
+namespace {
+
+using namespace laca;
+
+struct ServeCliOptions {
+  std::string gen_name;
+  std::string edges_path;
+  std::string attrs_path;
+  std::vector<int> ks = {32};
+  ServingOptions serving;
+  int port = -1;
+  double stats_every = 0.0;
+};
+
+bool FailFlag(const std::string& arg, const char* why) {
+  std::fprintf(stderr, "laca_serve: bad flag %s (%s)\n", arg.c_str(), why);
+  return false;
+}
+
+bool ParseArgs(int argc, char** argv, ServeCliOptions& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos ||
+        eq + 1 >= arg.size()) {
+      return FailFlag(arg, "want --key=value");
+    }
+    const std::string key = arg.substr(0, eq);
+    const std::string value = arg.substr(eq + 1);
+    auto u64 = [&](size_t* out) {
+      std::optional<uint64_t> v = ParseU64(value);
+      if (!v) return false;
+      *out = static_cast<size_t>(*v);
+      return true;
+    };
+    if (key == "--gen") {
+      opts.gen_name = value;
+    } else if (key == "--edges") {
+      opts.edges_path = value;
+    } else if (key == "--attrs") {
+      opts.attrs_path = value;
+    } else if (key == "--workers") {
+      if (!u64(&opts.serving.num_workers)) return FailFlag(arg, "bad count");
+    } else if (key == "--threads") {
+      if (!u64(&opts.serving.num_threads)) return FailFlag(arg, "bad count");
+    } else if (key == "--intra") {
+      if (!u64(&opts.serving.intra_query_threads)) {
+        return FailFlag(arg, "bad count");
+      }
+    } else if (key == "--queue") {
+      if (!u64(&opts.serving.max_queue_depth) ||
+          opts.serving.max_queue_depth == 0) {
+        return FailFlag(arg, "bad depth");
+      }
+    } else if (key == "--k") {
+      opts.ks.clear();
+      size_t start = 0;
+      while (start <= value.size()) {
+        size_t comma = value.find(',', start);
+        if (comma == std::string::npos) comma = value.size();
+        std::optional<uint64_t> k =
+            ParseU64(value.substr(start, comma - start));
+        if (!k || *k == 0 || *k > 4096) return FailFlag(arg, "bad k");
+        opts.ks.push_back(static_cast<int>(*k));
+        start = comma + 1;
+      }
+    } else if (key == "--alpha") {
+      std::optional<double> v = ParseF64(value);
+      if (!v || *v < 0.0 || *v >= 1.0) return FailFlag(arg, "alpha in [0,1)");
+      opts.serving.defaults.alpha = *v;
+    } else if (key == "--eps") {
+      std::optional<double> v = ParseF64(value);
+      if (!v || *v <= 0.0) return FailFlag(arg, "eps > 0");
+      opts.serving.defaults.epsilon = *v;
+    } else if (key == "--port") {
+      std::optional<uint64_t> v = ParseU64(value);
+      if (!v || *v == 0 || *v > 65535) return FailFlag(arg, "bad port");
+      opts.port = static_cast<int>(*v);
+    } else if (key == "--stats-every") {
+      std::optional<double> v = ParseF64(value);
+      if (!v || *v < 0.0) return FailFlag(arg, "bad interval");
+      opts.stats_every = *v;
+    } else {
+      return FailFlag(arg, "unknown flag");
+    }
+  }
+  if (opts.gen_name.empty() == opts.edges_path.empty()) {
+    std::fprintf(stderr,
+                 "laca_serve: pass exactly one of --gen=<name> or "
+                 "--edges=<path>\n");
+    return false;
+  }
+  return true;
+}
+
+// Reads one '\n'-terminated line into *line (portable fgets loop — POSIX
+// getline does not exist everywhere this file must at least compile).
+// Returns false on EOF with nothing read; a final unterminated line is
+// still delivered.
+bool ReadLine(std::FILE* in, std::string* line) {
+  line->clear();
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), in) != nullptr) {
+    line->append(buf);
+    if (!line->empty() && line->back() == '\n') return true;
+  }
+  return !line->empty();
+}
+
+// Periodic STATS line on stderr (interruptible wait, so shutdown never
+// stalls for a reporting interval). Stops and joins on destruction, so an
+// exception unwinding the serving block never destroys a joinable thread
+// (which would std::terminate).
+class StatsReporter {
+ public:
+  StatsReporter(ServingEngine& engine, double every) {
+    if (every <= 0.0) return;
+    thread_ = std::thread([this, &engine, every] {
+      uint64_t last_completed = 0;
+      std::unique_lock<std::mutex> lock(mu_);
+      while (!cv_.wait_for(lock, std::chrono::duration<double>(every),
+                           [this] { return stop_; })) {
+        ServingStats s = engine.Stats();
+        const double qps = (s.completed - last_completed) / every;
+        last_completed = s.completed;
+        std::fprintf(stderr, "%s\n", FormatStatsLine(s, qps).c_str());
+      }
+    });
+  }
+  ~StatsReporter() { Stop(); }
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+// One request/response session over stdio-style streams. Responses are
+// emitted strictly in request order (a bounded pending window keeps reading
+// ahead of the slowest in-flight request). Returns true if the peer asked
+// for a server shutdown.
+bool RunSession(ServingEngine& engine, std::FILE* in, std::FILE* out) {
+  struct Pending {
+    uint64_t id;
+    std::optional<std::string> ready;  // immediate response (errors, stats)
+    std::future<ServeResponse> response;
+  };
+  std::deque<Pending> pending;
+  const size_t max_pending = engine.num_workers() * 4 + 256;
+  uint64_t next_id = 0;
+  bool shutdown_requested = false;
+
+  auto emit_front = [&] {
+    Pending p = std::move(pending.front());
+    pending.pop_front();
+    const std::string line =
+        p.ready ? std::move(*p.ready) : FormatResponse(p.id, p.response.get());
+    std::fprintf(out, "%s\n", line.c_str());
+    std::fflush(out);
+  };
+  auto flush_ready = [&](bool all) {
+    while (!pending.empty()) {
+      Pending& p = pending.front();
+      if (!all && !p.ready &&
+          p.response.wait_for(std::chrono::seconds(0)) !=
+              std::future_status::ready) {
+        break;
+      }
+      emit_front();
+    }
+  };
+
+  std::string line;
+  while (!shutdown_requested && ReadLine(in, &line)) {
+    std::string_view sv(line);
+    while (!sv.empty() && (sv.back() == '\n' || sv.back() == '\r')) {
+      sv.remove_suffix(1);
+    }
+    if (sv.empty() || sv.front() == '#') continue;
+    const uint64_t id = ++next_id;
+    ParsedLine parsed = ParseRequestLine(sv);
+    Pending p;
+    p.id = id;
+    switch (parsed.kind) {
+      case ParsedLine::Kind::kStats: {
+        ServingStats s = engine.Stats();
+        const double qps =
+            s.uptime_seconds > 0.0 ? s.completed / s.uptime_seconds : 0.0;
+        p.ready = FormatStatsLine(s, qps);
+        break;
+      }
+      case ParsedLine::Kind::kShutdown:
+        shutdown_requested = true;
+        p.ready = "OK id=" + std::to_string(id) + " shutdown";
+        break;
+      case ParsedLine::Kind::kError: {
+        ServeResponse resp;
+        resp.status = ServeStatus::kInvalid;
+        resp.error = parsed.error;
+        p.ready = FormatResponse(id, resp);
+        break;
+      }
+      case ParsedLine::Kind::kRequest: {
+        Admission admission = engine.Submit(parsed.request);
+        if (admission.ok()) {
+          p.response = std::move(admission.response);
+        } else {
+          ServeResponse resp;
+          resp.status = admission.status;
+          resp.error = std::move(admission.error);
+          p.ready = FormatResponse(id, resp);
+        }
+        break;
+      }
+    }
+    pending.push_back(std::move(p));
+    flush_ready(/*all=*/false);
+    if (pending.size() >= max_pending) emit_front();  // blocks on the oldest
+  }
+  flush_ready(/*all=*/true);
+  return shutdown_requested;
+}
+
+#ifdef __unix__
+// Open connection fds, so a `shutdown` session can EOF every other
+// session's reader (SHUT_RD only: their pending responses still flush).
+struct ConnRegistry {
+  std::mutex mu;
+  std::vector<int> fds;
+  void Add(int fd) {
+    std::lock_guard<std::mutex> lock(mu);
+    fds.push_back(fd);
+  }
+  void Remove(int fd) {
+    std::lock_guard<std::mutex> lock(mu);
+    fds.erase(std::remove(fds.begin(), fds.end(), fd), fds.end());
+  }
+  void ShutdownReads() {
+    std::lock_guard<std::mutex> lock(mu);
+    for (int fd : fds) ::shutdown(fd, SHUT_RD);
+  }
+};
+
+int RunTcpServer(ServingEngine& engine, int port) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("laca_serve: socket");
+    return 1;
+  }
+  int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, by design
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listener, 16) < 0) {
+    std::perror("laca_serve: bind/listen");
+    ::close(listener);
+    return 1;
+  }
+  std::fprintf(stderr, "laca_serve: listening on 127.0.0.1:%d\n", port);
+
+  // Session threads are detached and counted, not collected: a long-lived
+  // server must not retain a thread handle per connection ever served. The
+  // accept loop only ::shutdown()s the listener from session threads and
+  // closes it HERE after the loop and the last session exit, so no thread
+  // ever accept()s or close()s a reused descriptor.
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> active{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  ConnRegistry conns;
+  for (;;) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      if (stop.load()) break;
+      // A long-lived server must survive transient accept failures: aborted
+      // handshakes and fd exhaustion pass (the latter with a breather so the
+      // loop does not spin while sessions close), signals retry.
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      std::perror("laca_serve: accept");
+      break;
+    }
+    conns.Add(fd);
+    // A shutdown that raced this accept already ran ShutdownReads; make
+    // sure this connection does not outlive it either way.
+    if (stop.load()) ::shutdown(fd, SHUT_RD);
+    active.fetch_add(1);
+    auto session = [&engine, &stop, &conns, &active, &done_mu, &done_cv, fd,
+                    listener] {
+      bool wants_shutdown = false;
+      std::FILE* in = ::fdopen(fd, "r");
+      if (in == nullptr) {
+        conns.Remove(fd);
+        ::close(fd);
+      } else {
+        const int out_fd = ::dup(fd);
+        std::FILE* out = out_fd >= 0 ? ::fdopen(out_fd, "w") : nullptr;
+        if (out != nullptr) {
+          wants_shutdown = RunSession(engine, in, out);
+          std::fclose(out);
+        } else if (out_fd >= 0) {
+          ::close(out_fd);
+        }
+        // Deregister BEFORE the close releases the descriptor number: a new
+        // connection could otherwise reuse it between close and Remove, and
+        // Remove would deregister the new session's live socket.
+        conns.Remove(fd);
+        std::fclose(in);  // closes fd
+      }
+      if (wants_shutdown && !stop.exchange(true)) {
+        engine.Shutdown();  // drain admitted requests, reject new ones
+        ::shutdown(listener, SHUT_RDWR);  // unblock accept(); closed there
+        conns.ShutdownReads();  // EOF the other sessions' readers
+      }
+      {
+        // Notify under the mutex: the accept thread destroys done_cv right
+        // after its wait returns, so an unlocked notify could touch a dead
+        // condition variable.
+        std::lock_guard<std::mutex> lock(done_mu);
+        active.fetch_sub(1);
+        done_cv.notify_all();
+      }
+    };
+    try {
+      std::thread(session).detach();
+    } catch (const std::exception& e) {
+      // Thread creation failed (EAGAIN under pid pressure): drop this
+      // connection cleanly and keep serving the others.
+      std::fprintf(stderr, "laca_serve: session spawn failed: %s\n", e.what());
+      conns.Remove(fd);
+      ::close(fd);
+      active.fetch_sub(1);
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&active] { return active.load() == 0; });
+  }
+  ::close(listener);
+  return 0;
+}
+#endif
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServeCliOptions cli;
+  if (!ParseArgs(argc, argv, cli)) {
+    std::fprintf(stderr,
+                 "usage: %s (--gen=<name> | --edges=<path> [--attrs=<path>]) "
+                 "[--workers=] [--threads=] [--intra=] [--queue=] [--k=] "
+                 "[--alpha=] [--eps=] [--port=] [--stats-every=]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  // For --gen the registry cache owns the data (GetDataset caches for the
+  // process lifetime); for --edges the locals below do.
+  Graph owned_graph;
+  AttributeMatrix owned_attrs;
+  const Graph* graph = nullptr;
+  const AttributeMatrix* attrs = nullptr;
+  try {
+    if (!cli.gen_name.empty()) {
+      const Dataset& ds = GetDataset(cli.gen_name);
+      graph = &ds.data.graph;
+      if (ds.attributed()) attrs = &ds.data.attributes;
+    } else {
+      owned_graph = LoadEdgeList(cli.edges_path);
+      graph = &owned_graph;
+      if (!cli.attrs_path.empty()) {
+        owned_attrs = LoadAttributes(cli.attrs_path);
+        attrs = &owned_attrs;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "laca_serve: load error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "laca_serve: graph n=%u m=%llu%s\n",
+               graph->num_nodes(),
+               static_cast<unsigned long long>(graph->num_edges()),
+               attrs ? " (attributed)" : "");
+
+  // Preprocessing stage: TNAMs are built once here, never on request paths.
+  std::vector<Tnam> tnams;
+  std::vector<ServingEngine::TnamEntry> entries;
+  if (attrs != nullptr) {
+    tnams.reserve(cli.ks.size());
+    for (int k : cli.ks) {
+      TnamOptions topts;
+      topts.k = k;
+      Timer timer;
+      tnams.push_back(Tnam::Build(*attrs, topts));
+      std::fprintf(stderr, "laca_serve: TNAM k=%d built in %.2fs\n", k,
+                   timer.ElapsedSeconds());
+    }
+    for (size_t i = 0; i < tnams.size(); ++i) {
+      entries.push_back({cli.ks[i], &tnams[i]});
+    }
+  }
+
+  try {
+    ServingEngine engine(*graph, entries, cli.serving);
+    std::fprintf(stderr, "laca_serve: %zu workers, queue depth %zu\n",
+                 engine.num_workers(), cli.serving.max_queue_depth);
+
+    // Declared after the engine: destroyed (stopped and joined) first, so
+    // it never reads a dead engine and never unwinds while joinable.
+    StatsReporter reporter(engine, cli.stats_every);
+
+    int rc = 0;
+    if (cli.port > 0) {
+#ifdef __unix__
+      rc = RunTcpServer(engine, cli.port);
+#else
+      std::fprintf(stderr, "laca_serve: --port requires a POSIX platform\n");
+      rc = 2;
+#endif
+    } else {
+      RunSession(engine, stdin, stdout);
+    }
+
+    engine.Shutdown();
+    reporter.Stop();
+    ServingStats s = engine.Stats();
+    std::fprintf(stderr, "laca_serve: done — %s\n",
+                 FormatStatsLine(s, s.uptime_seconds > 0.0
+                                        ? s.completed / s.uptime_seconds
+                                        : 0.0)
+                     .c_str());
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "laca_serve: %s\n", e.what());
+    return 1;
+  }
+}
