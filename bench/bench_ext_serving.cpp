@@ -11,6 +11,12 @@
 //   * open-loop: deterministic arrivals at ~70% of the measured capacity
 //     (latency-under-load measure, p50/p99 including queueing).
 //
+// A third section drives a snapshot hot reload mid-stream under the same
+// open-loop load: a fresh TNAM rebuild is published while requests keep
+// arriving, and the p99 over the swap window is compared against steady
+// state (the cost of workers rebinding their warm arenas to the new
+// version). The retired snapshot must fully drain afterwards.
+//
 // It also asserts the serving acceptance criteria directly: responses are
 // bit-identical to serial Laca::Cluster, and the warm-path alloc counter
 // stays flat across requests after warmup. Results go to BENCH_serving.json.
@@ -18,13 +24,16 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "attr/tnam.hpp"
 #include "bench_util.hpp"
 #include "common/timer.hpp"
+#include "data/dataset_snapshot.hpp"
 #include "eval/datasets.hpp"
 #include "server/serving_engine.hpp"
 
@@ -100,10 +109,24 @@ LoadResult Drive(ServingEngine& engine, const std::vector<ServeRequest>& reqs,
   return out;
 }
 
-void RunDataset(const std::string& name, size_t num_requests) {
-  const Dataset& ds = GetDataset(name);
+// A snapshot over the registry dataset carrying one freshly-built default
+// TNAM (bit-identical Z for a fixed seed, so every version serves the same
+// answers — which is what lets the reload section assert determinism
+// ACROSS the swap).
+std::shared_ptr<const DatasetSnapshot> MakeServingSnapshot(const Dataset& ds,
+                                                           uint64_t version) {
   TnamOptions topts;
   Tnam tnam = Tnam::Build(ds.data.attributes, topts);
+  std::vector<PreparedTnam> tnams;
+  tnams.push_back(PreparedTnam{static_cast<int>(tnam.dim()), std::move(tnam)});
+  return ds.snapshot->WithTnams(std::move(tnams), version);
+}
+
+void RunDataset(const std::string& name, size_t num_requests) {
+  const Dataset& ds = GetDataset(name);
+  std::shared_ptr<const DatasetSnapshot> snapshot =
+      MakeServingSnapshot(ds, 1);
+  const Tnam& tnam = snapshot->tnams()[0].tnam;
   std::vector<ServeRequest> requests = MakeRequests(ds, num_requests);
 
   // Serial reference: both the determinism oracle and the capacity anchor.
@@ -128,7 +151,7 @@ void RunDataset(const std::string& name, size_t num_requests) {
     opts.num_workers = workers;
     opts.num_threads = workers;
     opts.max_queue_depth = requests.size() + 1;
-    ServingEngine engine(ds.data.graph, &tnam, opts);
+    ServingEngine engine(snapshot, opts);
 
     // Warm every arena (and check determinism once per worker count):
     // steady-state serving must then keep the alloc counter flat.
@@ -200,6 +223,135 @@ void RunDataset(const std::string& name, size_t num_requests) {
   }
 }
 
+// Reload under open-loop load: p99 over the swap window vs steady state, at
+// a fixed worker count. The next version's TNAM is rebuilt BEFORE the timed
+// stream (the rebuild is background preprocessing — laca_serve runs it off
+// the request path); what this section measures is the cost of the publish
+// itself plus the workers rebinding their warm arenas mid-traffic. The
+// rebuilt TNAM is bit-identical to v1's (fixed seed), so one serial oracle
+// covers both sides of the swap — responses must never diverge, and the
+// retired snapshot must fully drain once the stream ends.
+void RunReloadStudy(const std::string& name, size_t num_requests,
+                    size_t workers) {
+  const Dataset& ds = GetDataset(name);
+  std::shared_ptr<const DatasetSnapshot> v1 = MakeServingSnapshot(ds, 1);
+  std::shared_ptr<const DatasetSnapshot> v2 = MakeServingSnapshot(ds, 2);
+  std::vector<ServeRequest> requests = MakeRequests(ds, num_requests);
+
+  std::vector<std::vector<NodeId>> expected;
+  {
+    Laca serial(ds.data.graph, &v1->tnams()[0].tnam);
+    LacaOptions defaults;
+    for (const ServeRequest& req : requests) {
+      expected.push_back(serial.Cluster(req.seed, req.size, defaults));
+    }
+  }
+
+  ServingOptions opts;
+  opts.num_workers = workers;
+  opts.num_threads = workers;
+  opts.max_queue_depth = 2 * requests.size() + 1;
+  ServingEngine engine(std::move(v1), opts);
+  // The engine now owns every v1 reference; a lingering local here would
+  // keep the retired version "live" forever and fail the drain check below.
+
+  // Warm every arena, then anchor the open-loop rate at ~70% of capacity.
+  (void)Drive(engine, requests, 0.0);
+  LoadResult sat = Drive(engine, requests, 0.0);
+  const double capacity_qps = sat.completed / sat.seconds;
+  const double interarrival = 1.0 / std::max(0.7 * capacity_qps, 1.0);
+
+  // One open-loop stream of 2x the request list; the swap is published the
+  // moment the second half starts arriving.
+  std::vector<std::future<ServeResponse>> futures;
+  futures.reserve(2 * requests.size());
+  const size_t total = 2 * requests.size();
+  const size_t swap_at = requests.size();
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < total; ++i) {
+    std::this_thread::sleep_until(
+        start +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(i * interarrival)));
+    if (i == swap_at) engine.Reload(v2);
+    Admission a = engine.Submit(requests[i % requests.size()]);
+    if (!a.ok()) {
+      std::fprintf(stderr,
+                   "bench_ext_serving: request rejected across reload: %s\n",
+                   ToString(a.status));
+      std::exit(1);
+    }
+    futures.push_back(std::move(a.response));
+  }
+  std::vector<double> steady_lat, swap_lat;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ServeResponse resp = futures[i].get();
+    if (resp.status != ServeStatus::kOk) {
+      std::fprintf(stderr, "bench_ext_serving: request failed in reload "
+                           "study: %s\n",
+                   resp.error.c_str());
+      std::exit(1);
+    }
+    if (resp.cluster != expected[i % requests.size()]) {
+      std::fprintf(stderr,
+                   "bench_ext_serving: response %zu diverged across the "
+                   "snapshot swap\n",
+                   i);
+      std::exit(1);
+    }
+    (i < swap_at ? steady_lat : swap_lat).push_back(resp.total_seconds);
+  }
+
+  auto p99 = [](std::vector<double>& v) {
+    std::sort(v.begin(), v.end());
+    return v.empty() ? 0.0 : v[(v.size() - 1) * 99 / 100];
+  };
+  const double p99_steady = p99(steady_lat);
+  const double p99_swap = p99(swap_lat);
+
+  // The retired version must drain: the stream is done, so workers go idle
+  // and rebind, releasing the last v1 references.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (engine.Stats().retired_live != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const ServingStats stats = engine.Stats();
+  if (stats.retired_live != 0 || stats.active_version != 2) {
+    std::fprintf(stderr,
+                 "bench_ext_serving: retired snapshot never drained "
+                 "(retired=%zu version=%llu)\n",
+                 stats.retired_live,
+                 static_cast<unsigned long long>(stats.active_version));
+    std::exit(1);
+  }
+
+  bench::PrintHeader("Snapshot reload under open-loop load on " + name +
+                     " (" + std::to_string(workers) + " workers, " +
+                     std::to_string(total) + " requests)");
+  bench::PrintRow("phase", {"p99", "requests"}, 12, 14);
+  bench::PrintRow("steady",
+                  {bench::FmtSeconds(p99_steady),
+                   std::to_string(steady_lat.size())},
+                  12, 14);
+  bench::PrintRow("swap-window",
+                  {bench::FmtSeconds(p99_swap),
+                   std::to_string(swap_lat.size())},
+                  12, 14);
+
+  json.BeginRecord()
+      .Str("dataset", name)
+      .Int("workers", workers)
+      .Str("mode", "reload_open_70pct")
+      .Int("requests", total)
+      .Num("offered_qps", 0.7 * capacity_qps)
+      .Num("p99_steady_ms", p99_steady * 1e3)
+      .Num("p99_swap_ms", p99_swap * 1e3)
+      .Int("active_version", stats.active_version)
+      .Int("retired_live", stats.retired_live);
+}
+
 }  // namespace
 }  // namespace laca
 
@@ -210,6 +362,7 @@ int main() {
   // bench suite stays quick; LACA_BENCH_SEEDS scales it up.
   RunDataset("cora-sim", BenchSeedCount(64));
   RunDataset("pubmed-sim", BenchSeedCount(32));
+  RunReloadStudy("cora-sim", BenchSeedCount(64), /*workers=*/4);
   json.WriteFile("BENCH_serving.json");
   return 0;
 }

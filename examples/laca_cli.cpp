@@ -2,6 +2,7 @@
 //
 // Usage:
 //   laca_cli <edges.txt> <seed> <size> [attributes.txt] [options]
+//   laca_cli --snapshot=<dir> <seed-via--seed> ...   (see below)
 //
 //   edges.txt       whitespace "u v" pairs, one undirected edge per line
 //   seed            seed node id
@@ -14,19 +15,35 @@
 //   --k=K          TNAM dimension (default 32)
 //   --metric=M     cosine | expcosine (default cosine)
 //   --sweep        also print the best conductance sweep-cut prefix
+//   --snapshot=D   load a snapshot directory (data/snapshot_io.hpp: the
+//                  format laca_serve --snapshot-dir serves and
+//                  --save-snapshot writes) instead of text files; a TNAM
+//                  prepared under k=K is reused instead of rebuilt
+//   --save-snapshot=D
+//                  persist the loaded data + the TNAM used as a snapshot
+//                  directory, ready for laca_serve --snapshot-dir=D
+//
+// All inputs flow through one immutable DatasetSnapshot, so mismatched
+// files (an attribute matrix for a different graph) are rejected up front
+// with both dimensions instead of failing deep inside the TNAM build.
 //
 // Demo mode: run with no arguments to generate a small synthetic attributed
 // graph and cluster around node 0.
 #include <cstdio>
 #include <cstring>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "attr/tnam.hpp"
 #include "common/parse.hpp"
 #include "core/cluster.hpp"
 #include "core/laca.hpp"
+#include "data/dataset_snapshot.hpp"
+#include "data/snapshot_io.hpp"
 #include "eval/metrics.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
@@ -63,6 +80,8 @@ bool ArgU64(const std::string& arg, const std::string& value, uint64_t lo,
 
 struct CliOptions {
   std::string edges_path;
+  std::string snapshot_dir;
+  std::string save_snapshot_dir;
   NodeId seed = 0;
   size_t size = 10;
   std::string attrs_path;
@@ -98,13 +117,20 @@ bool ParseArgs(int argc, char** argv, CliOptions& opts) {
         std::fprintf(stderr, "unknown metric: %s\n", m.c_str());
         return false;
       }
+    } else if (arg.rfind("--snapshot=", 0) == 0) {
+      opts.snapshot_dir = arg.substr(11);
+      opts.demo = false;
+    } else if (arg.rfind("--save-snapshot=", 0) == 0) {
+      opts.save_snapshot_dir = arg.substr(16);
     } else if (arg == "--sweep") {
       opts.sweep = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
     } else {
-      switch (positional++) {
+      // With --snapshot the positionals shift: no edges path is expected.
+      const int slot = opts.snapshot_dir.empty() ? positional : positional + 1;
+      switch (slot) {
         case 0:
           opts.edges_path = arg;
           opts.demo = false;
@@ -131,25 +157,29 @@ bool ParseArgs(int argc, char** argv, CliOptions& opts) {
           std::fprintf(stderr, "too many positional arguments\n");
           return false;
       }
+      ++positional;
     }
+  }
+  if (!opts.snapshot_dir.empty() && !opts.edges_path.empty()) {
+    std::fprintf(stderr, "pass either an edges file or --snapshot, not both\n");
+    return false;
+  }
+  if (!opts.snapshot_dir.empty() && !opts.attrs_path.empty()) {
+    std::fprintf(stderr,
+                 "an attributes file cannot be combined with --snapshot "
+                 "(the snapshot carries its own attributes)\n");
+    return false;
   }
   return true;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  CliOptions cli;
-  if (!ParseArgs(argc, argv, cli)) {
-    std::fprintf(stderr,
-                 "usage: %s <edges.txt> <seed> <size> [attributes.txt] "
-                 "[--alpha=] [--eps=] [--k=] [--metric=] [--sweep]\n",
-                 argv[0]);
-    return 2;
-  }
-
-  Graph graph;
-  std::optional<AttributeMatrix> attrs;
+// Assembles the snapshot from whichever source the flags name. Throws
+// std::invalid_argument on load or cross-component validation failures.
+std::shared_ptr<const DatasetSnapshot> LoadInput(const CliOptions& cli) {
+  if (!cli.snapshot_dir.empty()) return LoadSnapshot(cli.snapshot_dir);
+  AttributedGraph data;
+  SnapshotMetadata meta;
+  meta.version = 1;
   if (cli.demo) {
     std::printf("(no input files: running on a generated demo graph)\n");
     AttributedSbmOptions o;
@@ -159,19 +189,42 @@ int main(int argc, char** argv) {
     o.attr_dim = 64;
     o.attr_nnz = 8;
     o.seed = 7;
-    AttributedGraph g = GenerateAttributedSbm(o);
-    graph = std::move(g.graph);
-    attrs = std::move(g.attributes);
-    cli.size = 40;
+    data = GenerateAttributedSbm(o);
+    meta.name = "demo";
+    meta.source = "generated";
   } else {
-    try {
-      graph = LoadEdgeList(cli.edges_path);
-      if (!cli.attrs_path.empty()) attrs = LoadAttributes(cli.attrs_path);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "error: %s\n", e.what());
-      return 1;
+    data.graph = LoadEdgeList(cli.edges_path);
+    if (!cli.attrs_path.empty()) {
+      data.attributes = LoadAttributes(cli.attrs_path);
     }
+    meta.name = cli.edges_path;
+    meta.source = "edges:" + cli.edges_path;
   }
+  return DatasetSnapshot::Create(std::move(data), {}, std::move(meta));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!ParseArgs(argc, argv, cli)) {
+    std::fprintf(stderr,
+                 "usage: %s (<edges.txt> | --snapshot=<dir>) <seed> <size> "
+                 "[attributes.txt] [--alpha=] [--eps=] [--k=] [--metric=] "
+                 "[--sweep] [--save-snapshot=<dir>]\n",
+                 argv[0]);
+    return 2;
+  }
+  if (cli.demo) cli.size = 40;
+
+  std::shared_ptr<const DatasetSnapshot> snap;
+  try {
+    snap = LoadInput(cli);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  const Graph& graph = snap->graph();
   if (cli.seed >= graph.num_nodes()) {
     std::fprintf(stderr, "error: seed %u out of range (n = %u)\n", cli.seed,
                  graph.num_nodes());
@@ -179,16 +232,42 @@ int main(int argc, char** argv) {
   }
   std::printf("graph: %u nodes, %llu edges%s\n", graph.num_nodes(),
               static_cast<unsigned long long>(graph.num_edges()),
-              attrs ? ", attributed" : "");
+              snap->attributed() ? ", attributed" : "");
 
-  std::optional<Tnam> tnam;
-  if (attrs) {
-    TnamOptions topts;
-    topts.k = cli.k;
-    topts.metric = cli.metric;
-    tnam.emplace(Tnam::Build(*attrs, topts));
+  // TNAM: reuse one the snapshot already prepared under this k, else run
+  // the Algo. 3 preprocessing now.
+  const Tnam* tnam = nullptr;
+  if (snap->attributed()) {
+    if (const PreparedTnam* prepared = snap->FindTnam(cli.k)) {
+      std::printf("TNAM k=%d: reusing the snapshot's prepared matrix\n",
+                  cli.k);
+      tnam = &prepared->tnam;
+    } else {
+      TnamOptions topts;
+      topts.k = cli.k;
+      topts.metric = cli.metric;
+      std::vector<PreparedTnam> tnams;
+      tnams.push_back(PreparedTnam{cli.k, Tnam::Build(snap->attributes(),
+                                                      topts)});
+      snap = snap->WithTnams(std::move(tnams), snap->version());
+      tnam = &snap->tnams()[0].tnam;
+    }
   }
-  Laca laca(graph, attrs ? &*tnam : nullptr);
+
+  if (!cli.save_snapshot_dir.empty()) {
+    try {
+      SaveSnapshot(*snap, cli.save_snapshot_dir);
+      std::printf("snapshot saved to %s (serve it with laca_serve "
+                  "--snapshot-dir=%s)\n",
+                  cli.save_snapshot_dir.c_str(),
+                  cli.save_snapshot_dir.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error saving snapshot: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  Laca laca(graph, tnam);
   LacaOptions opts;
   opts.alpha = cli.alpha;
   opts.epsilon = cli.epsilon;
@@ -200,7 +279,9 @@ int main(int argc, char** argv) {
   std::printf("cluster (%zu nodes):", cluster.size());
   for (NodeId v : cluster) std::printf(" %u", v);
   std::printf("\nconductance: %.4f\n", Conductance(graph, cluster));
-  if (attrs) std::printf("WCSS: %.4f\n", Wcss(*attrs, cluster));
+  if (snap->attributed()) {
+    std::printf("WCSS: %.4f\n", Wcss(snap->attributes(), cluster));
+  }
 
   if (cli.sweep) {
     SweepResult sr = SweepCut(graph, result.bdd);

@@ -32,4 +32,14 @@ Tnam LoadTnamBinary(const std::string& path) {
   return Tnam::FromMatrix(std::move(z));
 }
 
+Tnam LoadTnamBinary(const std::string& path, NodeId expected_rows) {
+  Tnam tnam = LoadTnamBinary(path);
+  LACA_CHECK(tnam.num_rows() == expected_rows,
+             "TNAM in " + path + " covers " +
+                 std::to_string(tnam.num_rows()) +
+                 " nodes but the serving graph has " +
+                 std::to_string(expected_rows));
+  return tnam;
+}
+
 }  // namespace laca

@@ -20,6 +20,13 @@ void SaveTnamBinary(const Tnam& tnam, const std::string& path);
 /// missing, corrupt, or truncated files.
 Tnam LoadTnamBinary(const std::string& path);
 
+/// As above, additionally requiring the TNAM to cover exactly
+/// `expected_rows` nodes. A TNAM whose row count disagrees with the graph it
+/// is served against reads out of bounds at query time, so every load path
+/// that knows its graph (snapshot directories, laca_serve --tnam) must
+/// reject the mismatch here — the error names the file and both counts.
+Tnam LoadTnamBinary(const std::string& path, NodeId expected_rows);
+
 }  // namespace laca
 
 #endif  // LACA_ATTR_TNAM_IO_HPP_

@@ -38,6 +38,8 @@ enum class BinaryKind : uint8_t {
   kCommunities = 3,
   kDataset = 4,
   kTnam = 5,
+  /// Snapshot-directory manifest (data/snapshot_io.hpp).
+  kManifest = 6,
 };
 
 /// Accumulates a payload in memory, then writes the checksummed container.

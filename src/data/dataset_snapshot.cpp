@@ -1,0 +1,108 @@
+#include "data/dataset_snapshot.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace laca {
+namespace {
+
+void ValidateBundle(const AttributedGraph& data,
+                    const std::vector<PreparedTnam>& tnams,
+                    const SnapshotMetadata& meta) {
+  const NodeId n = data.graph.num_nodes();
+  LACA_CHECK(n > 0, "snapshot '" + meta.name + "' has an empty graph");
+  const AttributeMatrix& attrs = data.attributes;
+  LACA_CHECK(attrs.num_rows() == 0 || attrs.num_rows() == n,
+             "snapshot '" + meta.name + "': attribute rows (" +
+                 std::to_string(attrs.num_rows()) +
+                 ") disagree with graph nodes (" + std::to_string(n) + ")");
+  LACA_CHECK(attrs.num_rows() > 0 || attrs.num_cols() == 0,
+             "snapshot '" + meta.name + "': attributes declare " +
+                 std::to_string(attrs.num_cols()) + " columns but no rows");
+  const Communities& comms = data.communities;
+  LACA_CHECK(comms.members.empty() || comms.node_comms.size() == n,
+             "snapshot '" + meta.name + "': community node count (" +
+                 std::to_string(comms.node_comms.size()) +
+                 ") disagrees with graph nodes (" + std::to_string(n) + ")");
+  for (size_t i = 0; i < tnams.size(); ++i) {
+    LACA_CHECK(tnams[i].k >= 1,
+               "snapshot '" + meta.name + "': TNAM k must be >= 1");
+    LACA_CHECK(tnams[i].tnam.num_rows() == n,
+               "snapshot '" + meta.name + "': TNAM k=" +
+                   std::to_string(tnams[i].k) + " has " +
+                   std::to_string(tnams[i].tnam.num_rows()) +
+                   " rows but the graph has " + std::to_string(n) + " nodes");
+    for (size_t j = i + 1; j < tnams.size(); ++j) {
+      LACA_CHECK(tnams[i].k != tnams[j].k,
+                 "snapshot '" + meta.name + "': duplicate TNAM k=" +
+                     std::to_string(tnams[i].k));
+    }
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const DatasetSnapshot> DatasetSnapshot::Create(
+    AttributedGraph data, std::vector<PreparedTnam> tnams,
+    SnapshotMetadata meta) {
+  return Create(std::make_shared<const AttributedGraph>(std::move(data)),
+                std::move(tnams), std::move(meta));
+}
+
+std::shared_ptr<const DatasetSnapshot> DatasetSnapshot::Create(
+    std::shared_ptr<const AttributedGraph> data,
+    std::vector<PreparedTnam> tnams, SnapshotMetadata meta) {
+  LACA_CHECK(data != nullptr, "snapshot data must not be null");
+  ValidateBundle(*data, tnams, meta);
+  // make_shared is unavailable through the private constructor; snapshots
+  // are few and long-lived, so the extra control-block allocation is fine.
+  return std::shared_ptr<const DatasetSnapshot>(
+      new DatasetSnapshot(std::move(data), std::move(tnams), std::move(meta)));
+}
+
+std::shared_ptr<const DatasetSnapshot> DatasetSnapshot::WithTnams(
+    std::vector<PreparedTnam> tnams, uint64_t version) const {
+  SnapshotMetadata meta = meta_;
+  meta.version = version;
+  return Create(data_, std::move(tnams), std::move(meta));
+}
+
+const PreparedTnam* DatasetSnapshot::FindTnam(int k) const {
+  auto it = std::find_if(tnams_.begin(), tnams_.end(),
+                         [k](const PreparedTnam& e) { return e.k == k; });
+  return it == tnams_.end() ? nullptr : &*it;
+}
+
+SnapshotStore::SnapshotStore(std::shared_ptr<const DatasetSnapshot> initial) {
+  LACA_CHECK(initial != nullptr, "snapshot store needs an initial snapshot");
+  current_.store(std::move(initial), std::memory_order_release);
+}
+
+void SnapshotStore::Publish(std::shared_ptr<const DatasetSnapshot> next) {
+  LACA_CHECK(next != nullptr, "cannot publish a null snapshot");
+  // retired_mu_ serializes publishers; readers never take it.
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  std::shared_ptr<const DatasetSnapshot> prev = current_.load();
+  LACA_CHECK(next->version() > prev->version(),
+             "stale snapshot publish: version " +
+                 std::to_string(next->version()) + " does not advance past " +
+                 std::to_string(prev->version()));
+  current_.store(std::move(next), std::memory_order_release);
+  retired_.push_back(prev);
+  publish_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t SnapshotStore::retired_live() const {
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  retired_.erase(std::remove_if(
+                     retired_.begin(), retired_.end(),
+                     [](const std::weak_ptr<const DatasetSnapshot>& w) {
+                       return w.expired();
+                     }),
+                 retired_.end());
+  return retired_.size();
+}
+
+}  // namespace laca

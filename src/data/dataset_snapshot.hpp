@@ -1,0 +1,143 @@
+// Versioned, immutable dataset ownership: one bundle from loader to server.
+//
+// The paper's deployment story (Algo. 3's TNAM is built once per dataset and
+// reused by every seed query) implies data that outlives any one query. A
+// DatasetSnapshot is that unit of ownership: graph + attributes + communities
+// + the prepared TNAM(s) + version metadata, reference-counted and immutable
+// after construction, with every cross-component consistency invariant
+// (TNAM rows == attribute rows == num_nodes) validated exactly once at
+// creation instead of rediscovered out-of-bounds at query time.
+//
+// SnapshotStore is the RCU-style publication point for serving under live
+// traffic: readers Acquire() a shared_ptr for a request's lifetime,
+// publishers Publish() a newer version with one atomic swap, and a retired
+// version drains naturally when its last in-flight reader releases it — the
+// store watches retirees through weak_ptrs so drain progress is observable
+// (ServingStats reports it). See DESIGN.md §8.
+#ifndef LACA_DATA_DATASET_SNAPSHOT_HPP_
+#define LACA_DATA_DATASET_SNAPSHOT_HPP_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "attr/tnam.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace laca {
+
+/// Provenance and identity of one snapshot version.
+struct SnapshotMetadata {
+  /// Dataset name (registry key or a caller-chosen label).
+  std::string name;
+  /// Monotonically increasing per publication; SnapshotStore enforces
+  /// strictly ascending versions so a stale publish cannot roll back.
+  uint64_t version = 1;
+  /// Free-form provenance ("generated", "dir:<path>", ...).
+  std::string source;
+};
+
+/// A TNAM prepared for serving, selectable per request by its `k`.
+struct PreparedTnam {
+  int k = 0;
+  Tnam tnam;
+};
+
+/// Immutable bundle of everything one dataset version serves from.
+///
+/// Always held through shared_ptr<const DatasetSnapshot>: whoever holds the
+/// pointer may read graph()/attributes()/communities()/tnams() for as long
+/// as they hold it, across concurrent publications of newer versions. The
+/// underlying AttributedGraph is itself shared, so derived snapshots (same
+/// data, fresh TNAMs or bumped version — WithTnams) cost no data copy.
+class DatasetSnapshot {
+ public:
+  /// Validates and bundles. Throws std::invalid_argument unless:
+  ///   * the graph is non-empty;
+  ///   * attributes are absent (zero rows and columns) or cover every node;
+  ///   * communities are absent (no members) or cover every node;
+  ///   * every TNAM covers every node, with distinct k >= 1 keys.
+  static std::shared_ptr<const DatasetSnapshot> Create(
+      AttributedGraph data, std::vector<PreparedTnam> tnams,
+      SnapshotMetadata meta);
+
+  /// As above, sharing already-owned data (no copy).
+  static std::shared_ptr<const DatasetSnapshot> Create(
+      std::shared_ptr<const AttributedGraph> data,
+      std::vector<PreparedTnam> tnams, SnapshotMetadata meta);
+
+  /// Derives a sibling snapshot over the same data with new TNAMs and a new
+  /// version (the hot-reload path: rebuild Z in the background, publish).
+  std::shared_ptr<const DatasetSnapshot> WithTnams(
+      std::vector<PreparedTnam> tnams, uint64_t version) const;
+
+  const AttributedGraph& data() const { return *data_; }
+  const Graph& graph() const { return data_->graph; }
+  const AttributeMatrix& attributes() const { return data_->attributes; }
+  const Communities& communities() const { return data_->communities; }
+  bool attributed() const { return data_->attributes.num_cols() > 0; }
+
+  /// Prepared TNAMs; empty = topology-only (w/o SNAS) serving.
+  std::span<const PreparedTnam> tnams() const { return tnams_; }
+  /// The entry prepared under `k`, or nullptr.
+  const PreparedTnam* FindTnam(int k) const;
+
+  const SnapshotMetadata& metadata() const { return meta_; }
+  uint64_t version() const { return meta_.version; }
+  const std::string& name() const { return meta_.name; }
+
+ private:
+  DatasetSnapshot(std::shared_ptr<const AttributedGraph> data,
+                  std::vector<PreparedTnam> tnams, SnapshotMetadata meta)
+      : data_(std::move(data)),
+        tnams_(std::move(tnams)),
+        meta_(std::move(meta)) {}
+
+  std::shared_ptr<const AttributedGraph> data_;
+  std::vector<PreparedTnam> tnams_;
+  SnapshotMetadata meta_;
+};
+
+/// RCU-style publication point: one atomic current snapshot plus drain
+/// tracking for retired versions. Thread-safe; Acquire is wait-free for
+/// readers up to the shared_ptr control-block traffic.
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(std::shared_ptr<const DatasetSnapshot> initial);
+
+  /// The current version, pinned for as long as the caller holds the
+  /// returned pointer (publication never invalidates it).
+  std::shared_ptr<const DatasetSnapshot> Acquire() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Swaps `next` in as the current version and retires the previous one.
+  /// Throws std::invalid_argument on a null snapshot or a version that does
+  /// not strictly advance (stale publications must fail loudly, not roll the
+  /// serving data back).
+  void Publish(std::shared_ptr<const DatasetSnapshot> next);
+
+  /// Retired versions still alive (some reader still holds them). Prunes
+  /// fully-drained entries as a side effect.
+  size_t retired_live() const;
+
+  /// Number of Publish() calls that replaced a previous version.
+  uint64_t publish_count() const {
+    return publish_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const DatasetSnapshot>> current_;
+  std::atomic<uint64_t> publish_count_{0};
+  mutable std::mutex retired_mu_;
+  mutable std::vector<std::weak_ptr<const DatasetSnapshot>> retired_;
+};
+
+}  // namespace laca
+
+#endif  // LACA_DATA_DATASET_SNAPSHOT_HPP_

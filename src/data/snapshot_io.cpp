@@ -1,0 +1,181 @@
+#include "data/snapshot_io.hpp"
+
+#include <filesystem>
+#include <limits>
+#include <utility>
+
+#include "attr/tnam_io.hpp"
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+#include "graph/binary_io.hpp"
+
+namespace laca {
+namespace {
+
+// Manifest payload schema (BinaryKind::kManifest):
+//   u32 manifest_format (currently 1)
+//   string name | u64 version | string source
+//   u32 num_nodes | u64 num_edges
+//   u8 has_attributes | u32 attr_cols | u64 attr_nnz
+//   u8 has_communities | u64 num_communities
+//   u64 num_tnams | per TNAM: u32 k, u64 dim
+constexpr uint32_t kManifestFormat = 1;
+
+std::string ManifestPath(const std::string& dir) {
+  return dir + "/manifest.laca";
+}
+std::string GraphPath(const std::string& dir) { return dir + "/graph.laca"; }
+std::string AttributesPath(const std::string& dir) {
+  return dir + "/attributes.laca";
+}
+std::string CommunitiesPath(const std::string& dir) {
+  return dir + "/communities.laca";
+}
+std::string TnamPath(const std::string& dir, int k) {
+  return dir + "/tnam_k" + std::to_string(k) + ".laca";
+}
+
+}  // namespace
+
+void SaveSnapshot(const DatasetSnapshot& snapshot, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  LACA_CHECK(!ec, "cannot create snapshot directory " + dir + ": " +
+                      ec.message());
+
+  const AttributedGraph& data = snapshot.data();
+  const bool has_attrs =
+      data.attributes.num_rows() > 0 || data.attributes.num_cols() > 0;
+  const bool has_comms = !data.communities.members.empty() ||
+                         !data.communities.node_comms.empty();
+
+  SaveGraphBinary(data.graph, GraphPath(dir));
+  if (has_attrs) SaveAttributesBinary(data.attributes, AttributesPath(dir));
+  if (has_comms) {
+    SaveCommunitiesBinary(data.communities, data.graph.num_nodes(),
+                          CommunitiesPath(dir));
+  }
+  for (const PreparedTnam& entry : snapshot.tnams()) {
+    SaveTnamBinary(entry.tnam, TnamPath(dir, entry.k));
+  }
+
+  // The manifest goes last: until it lands, the directory is not a loadable
+  // snapshot, so a crash mid-save cannot leave a torn-but-accepted state.
+  BinaryWriter writer;
+  writer.WriteU32(kManifestFormat);
+  writer.WriteString(snapshot.name());
+  writer.WriteU64(snapshot.version());
+  writer.WriteString(snapshot.metadata().source);
+  writer.WriteU32(data.graph.num_nodes());
+  writer.WriteU64(data.graph.num_edges());
+  writer.WriteU8(has_attrs ? 1 : 0);
+  writer.WriteU32(has_attrs ? data.attributes.num_cols() : 0);
+  writer.WriteU64(has_attrs ? data.attributes.num_nonzeros() : 0);
+  writer.WriteU8(has_comms ? 1 : 0);
+  writer.WriteU64(has_comms ? data.communities.members.size() : 0);
+  writer.WriteU64(snapshot.tnams().size());
+  for (const PreparedTnam& entry : snapshot.tnams()) {
+    writer.WriteU32(static_cast<uint32_t>(entry.k));
+    writer.WriteU64(entry.tnam.dim());
+  }
+  writer.Save(ManifestPath(dir), BinaryKind::kManifest);
+}
+
+SnapshotContents ReadSnapshotDir(const std::string& dir) {
+  const std::string manifest_path = ManifestPath(dir);
+  BinaryReader manifest(manifest_path, BinaryKind::kManifest);
+  const uint32_t format = manifest.ReadU32();
+  LACA_CHECK(format == kManifestFormat,
+             "unsupported snapshot manifest format " + std::to_string(format) +
+                 " in " + manifest_path);
+  SnapshotMetadata meta;
+  meta.name = manifest.ReadString();
+  meta.version = manifest.ReadU64();
+  meta.source = manifest.ReadString();
+  const uint32_t n = manifest.ReadU32();
+  const uint64_t m = manifest.ReadU64();
+  const bool has_attrs = manifest.ReadU8() != 0;
+  const uint32_t attr_cols = manifest.ReadU32();
+  const uint64_t attr_nnz = manifest.ReadU64();
+  const bool has_comms = manifest.ReadU8() != 0;
+  const uint64_t num_comms = manifest.ReadU64();
+  const uint64_t num_tnams = manifest.ReadU64();
+  std::vector<std::pair<int, uint64_t>> tnam_specs;
+  tnam_specs.reserve(num_tnams);
+  for (uint64_t t = 0; t < num_tnams; ++t) {
+    const uint32_t k = manifest.ReadU32();
+    const uint64_t dim = manifest.ReadU64();
+    LACA_CHECK(k >= 1 && k <= static_cast<uint32_t>(
+                                  std::numeric_limits<int>::max()),
+               "bad TNAM k in " + manifest_path);
+    tnam_specs.emplace_back(static_cast<int>(k), dim);
+  }
+  manifest.ExpectEnd();
+
+  AttributedGraph data;
+  const std::string graph_path = GraphPath(dir);
+  data.graph = LoadGraphBinary(graph_path);
+  LACA_CHECK(data.graph.num_nodes() == n,
+             graph_path + " has " + std::to_string(data.graph.num_nodes()) +
+                 " nodes but the manifest declares " + std::to_string(n));
+  LACA_CHECK(data.graph.num_edges() == m,
+             graph_path + " has " + std::to_string(data.graph.num_edges()) +
+                 " edges but the manifest declares " + std::to_string(m));
+  if (has_attrs) {
+    const std::string attrs_path = AttributesPath(dir);
+    data.attributes = LoadAttributesBinary(attrs_path);
+    LACA_CHECK(data.attributes.num_rows() == n,
+               attrs_path + " has " +
+                   std::to_string(data.attributes.num_rows()) +
+                   " rows but the graph has " + std::to_string(n) + " nodes");
+    LACA_CHECK(data.attributes.num_cols() == attr_cols,
+               attrs_path + " has " +
+                   std::to_string(data.attributes.num_cols()) +
+                   " columns but the manifest declares " +
+                   std::to_string(attr_cols));
+    LACA_CHECK(data.attributes.num_nonzeros() == attr_nnz,
+               attrs_path + " has " +
+                   std::to_string(data.attributes.num_nonzeros()) +
+                   " nonzeros but the manifest declares " +
+                   std::to_string(attr_nnz));
+  }
+  if (has_comms) {
+    const std::string comms_path = CommunitiesPath(dir);
+    data.communities = LoadCommunitiesBinary(comms_path);
+    LACA_CHECK(data.communities.node_comms.size() == n,
+               comms_path + " covers " +
+                   std::to_string(data.communities.node_comms.size()) +
+                   " nodes but the graph has " + std::to_string(n));
+    LACA_CHECK(data.communities.members.size() == num_comms,
+               comms_path + " has " +
+                   std::to_string(data.communities.members.size()) +
+                   " communities but the manifest declares " +
+                   std::to_string(num_comms));
+  }
+
+  SnapshotContents contents;
+  contents.meta = std::move(meta);
+  contents.tnams.reserve(tnam_specs.size());
+  for (const auto& [k, dim] : tnam_specs) {
+    const std::string tnam_path = TnamPath(dir, k);
+    // The row-count check lives in LoadTnamBinary so every TNAM load path
+    // rejects graph mismatches with the file and both dimensions.
+    Tnam tnam = LoadTnamBinary(tnam_path, n);
+    LACA_CHECK(tnam.dim() == dim,
+               tnam_path + " has dimension " + std::to_string(tnam.dim()) +
+                   " but the manifest declares " + std::to_string(dim));
+    contents.tnams.push_back(PreparedTnam{k, std::move(tnam)});
+  }
+  contents.data =
+      std::make_shared<const AttributedGraph>(std::move(data));
+  return contents;
+}
+
+std::shared_ptr<const DatasetSnapshot> LoadSnapshot(const std::string& dir) {
+  SnapshotContents contents = ReadSnapshotDir(dir);
+  return DatasetSnapshot::Create(std::move(contents.data),
+                                 std::move(contents.tnams),
+                                 std::move(contents.meta));
+}
+
+}  // namespace laca

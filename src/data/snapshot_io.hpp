@@ -1,0 +1,60 @@
+// Unified on-disk format for dataset snapshots (DESIGN.md §8).
+//
+// A snapshot directory bundles the existing checksummed component containers
+// (graph/attributes/communities from graph/binary_io.hpp, TNAMs from
+// attr/tnam_io.hpp) under one manifest that pins their mutual consistency:
+//
+//   <dir>/manifest.laca      BinaryKind::kManifest — name, version, source,
+//                            n, m, attribute shape + nnz, community count,
+//                            and the (k, dim) of every TNAM file
+//   <dir>/graph.laca         BinaryKind::kGraph
+//   <dir>/attributes.laca    BinaryKind::kAttributes (absent when the
+//                            dataset has no attribute matrix at all)
+//   <dir>/communities.laca   BinaryKind::kCommunities (absent without
+//                            ground truth)
+//   <dir>/tnam_k<K>.laca     BinaryKind::kTnam, one per prepared dimension
+//
+// The loader reads the manifest first and then cross-checks every component
+// against it (and against the graph: TNAM rows == attribute rows ==
+// num_nodes), so a directory assembled from mismatched files — the
+// out-of-bounds-at-query-time failure mode — is rejected at load with the
+// offending file and both dimensions in the error. The writer emits the
+// manifest LAST, so a crash mid-save leaves a directory the loader rejects
+// (no manifest) rather than a torn snapshot.
+#ifndef LACA_DATA_SNAPSHOT_IO_HPP_
+#define LACA_DATA_SNAPSHOT_IO_HPP_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset_snapshot.hpp"
+
+namespace laca {
+
+/// Raw components read from a snapshot directory, already validated against
+/// the manifest and each other. Split out from LoadSnapshot so callers that
+/// need to restamp metadata before publishing (laca_serve's reload bumps the
+/// version past the live one) can do so through DatasetSnapshot::Create.
+struct SnapshotContents {
+  std::shared_ptr<const AttributedGraph> data;
+  std::vector<PreparedTnam> tnams;
+  SnapshotMetadata meta;
+};
+
+/// Writes every component of `snapshot` plus the manifest into `dir`
+/// (created if missing). Throws std::invalid_argument on I/O failure.
+void SaveSnapshot(const DatasetSnapshot& snapshot, const std::string& dir);
+
+/// Reads and cross-validates a snapshot directory. Throws
+/// std::invalid_argument on a missing/corrupt/truncated manifest or
+/// component, and on any manifest/component or cross-component mismatch.
+SnapshotContents ReadSnapshotDir(const std::string& dir);
+
+/// ReadSnapshotDir + DatasetSnapshot::Create, metadata taken from the
+/// manifest verbatim.
+std::shared_ptr<const DatasetSnapshot> LoadSnapshot(const std::string& dir);
+
+}  // namespace laca
+
+#endif  // LACA_DATA_SNAPSHOT_IO_HPP_

@@ -2,13 +2,15 @@
 
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
-#include "graph/binary_io.hpp"
+#include "data/snapshot_io.hpp"
 
 namespace laca {
 namespace {
@@ -146,42 +148,66 @@ AttributedSbmOptions ConfigFor(const std::string& name) {
   return o;
 }
 
-}  // namespace
-
-const Dataset& GetDataset(const std::string& name) {
-  static std::map<std::string, Dataset> cache;
-  static std::mutex mutex;
-  std::lock_guard<std::mutex> lock(mutex);
-  auto it = cache.find(name);
-  if (it != cache.end()) return it->second;
-
-  Dataset ds;
-  ds.name = name;
-  // With LACA_DATASET_CACHE set, generated datasets are persisted as binary
-  // containers so repeated bench runs skip regeneration (a large stand-in
-  // loads orders of magnitude faster than it generates). A corrupt or stale
-  // cache entry falls back to regeneration and is rewritten.
-  std::string cache_path;
+// Generates (or loads from the disk cache) one dataset as an immutable
+// snapshot. Runs OUTSIDE the registry lock — only the per-entry once-latch
+// serializes it, so two different datasets can generate concurrently.
+std::unique_ptr<Dataset> BuildDataset(const std::string& name) {
+  // With LACA_DATASET_CACHE set, generated datasets are persisted as
+  // snapshot directories (data/snapshot_io.hpp) so repeated bench runs skip
+  // regeneration (a large stand-in loads orders of magnitude faster than it
+  // generates). A corrupt or stale cache entry falls back to regeneration
+  // and is rewritten.
+  std::shared_ptr<const DatasetSnapshot> snapshot;
+  std::string cache_dir;
   if (const char* dir = std::getenv("LACA_DATASET_CACHE")) {
-    cache_path = std::string(dir) + "/" + name + ".laca";
+    cache_dir = std::string(dir) + "/" + name;
     try {
-      ds.data = LoadDatasetBinary(cache_path);
-      ds.avg_cluster_size = ds.data.communities.AverageClusterSize();
-      return cache.emplace(name, std::move(ds)).first->second;
+      snapshot = LoadSnapshot(cache_dir);
     } catch (const std::invalid_argument&) {
       // fall through to generation
     }
   }
-  ds.data = GenerateAttributedSbm(ConfigFor(name));
-  ds.avg_cluster_size = ds.data.communities.AverageClusterSize();
-  if (!cache_path.empty()) {
-    try {
-      SaveDatasetBinary(ds.data, cache_path);
-    } catch (const std::invalid_argument&) {
-      // cache directory missing or unwritable: caching is best-effort
+  if (snapshot == nullptr) {
+    SnapshotMetadata meta;
+    meta.name = name;
+    meta.version = 1;
+    meta.source = "generated";
+    snapshot = DatasetSnapshot::Create(GenerateAttributedSbm(ConfigFor(name)),
+                                       {}, std::move(meta));
+    if (!cache_dir.empty()) {
+      try {
+        SaveSnapshot(*snapshot, cache_dir);
+      } catch (const std::invalid_argument&) {
+        // cache directory missing or unwritable: caching is best-effort
+      }
     }
   }
-  return cache.emplace(name, std::move(ds)).first->second;
+  const AttributedGraph& data = snapshot->data();
+  return std::make_unique<Dataset>(Dataset{
+      name, std::move(snapshot), data,
+      data.communities.AverageClusterSize()});
+}
+
+}  // namespace
+
+const Dataset& GetDataset(const std::string& name) {
+  // Per-entry once-latches: the global mutex only guards the map probe, so
+  // a dataset generating on first use never serializes an unrelated
+  // dataset's first use behind it. call_once re-arms on exception (an
+  // unknown name throws and stays retriable).
+  struct Entry {
+    std::once_flag once;
+    std::unique_ptr<Dataset> dataset;
+  };
+  static std::mutex mutex;
+  static std::map<std::string, Entry> cache;
+  Entry* entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    entry = &cache.try_emplace(name).first->second;
+  }
+  std::call_once(entry->once, [&] { entry->dataset = BuildDataset(name); });
+  return *entry->dataset;
 }
 
 std::vector<std::string> AttributedDatasetNames() {

@@ -9,17 +9,24 @@
 #ifndef LACA_EVAL_DATASETS_HPP_
 #define LACA_EVAL_DATASETS_HPP_
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "data/dataset_snapshot.hpp"
 #include "graph/generators.hpp"
 
 namespace laca {
 
-/// A generated benchmark dataset.
+/// A generated benchmark dataset. Ownership lives in an immutable
+/// DatasetSnapshot (data/dataset_snapshot.hpp) — the same bundle the serving
+/// layer acquires — so eval harnesses and a ServingEngine can share one copy
+/// of a dataset; `data` is a view into the snapshot kept for the (many)
+/// call sites that read components directly.
 struct Dataset {
   std::string name;
-  AttributedGraph data;
+  std::shared_ptr<const DatasetSnapshot> snapshot;
+  const AttributedGraph& data;
   /// Cached mean ground-truth cluster size (the |Ys| column of Table III).
   double avg_cluster_size = 0.0;
 
@@ -29,7 +36,9 @@ struct Dataset {
 };
 
 /// Returns the named dataset, generating and caching it on first use.
-/// Throws std::invalid_argument for unknown names.
+/// Concurrent first uses of DIFFERENT datasets generate in parallel (each
+/// entry has its own once-latch; the global registry lock only covers the
+/// map probe). Throws std::invalid_argument for unknown names.
 const Dataset& GetDataset(const std::string& name);
 
 /// The 8 attributed stand-ins, smallest first (Table III order).

@@ -45,6 +45,10 @@ ParsedLine ParseRequestLine(std::string_view line) {
     out.kind = ParsedLine::Kind::kStats;
     return out;
   }
+  if (tokens[0] == "reload") {
+    out.kind = ParsedLine::Kind::kReload;
+    return out;
+  }
   if (tokens[0] == "shutdown") {
     out.kind = ParsedLine::Kind::kShutdown;
     return out;
@@ -117,18 +121,27 @@ std::string FormatResponse(uint64_t id, const ServeResponse& response) {
   return out;
 }
 
+std::string FormatReloadResponse(uint64_t id, uint64_t version) {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "OK id=%" PRIu64 " reload version=%" PRIu64,
+                id, version);
+  return buf;
+}
+
 std::string FormatStatsLine(const ServingStats& stats, double qps) {
-  char buf[320];
+  char buf[400];
   std::snprintf(
       buf, sizeof(buf),
       "STATS qps=%.1f p50_us=%.0f p99_us=%.0f queue=%zu in_flight=%zu "
       "admitted=%" PRIu64 " completed=%" PRIu64 " rejected=%" PRIu64
-      " alloc_events=%" PRIu64,
+      " alloc_events=%" PRIu64 " version=%" PRIu64 " retired=%zu"
+      " reloads=%" PRIu64,
       qps, stats.p50_seconds * 1e6, stats.p99_seconds * 1e6, stats.queue_depth,
       stats.in_flight, stats.admitted, stats.completed,
       stats.rejected_overload + stats.rejected_shutdown +
           stats.rejected_invalid,
-      stats.alloc_events);
+      stats.alloc_events, stats.active_version, stats.retired_live,
+      stats.reloads);
   return buf;
 }
 

@@ -5,6 +5,8 @@
 //
 //   <seed> <size> [alpha=A] [eps=E] [sigma=S] [k=K]   cluster request
 //   stats                                             emit a STATS line
+//   reload                                            background snapshot
+//                                                     rebuild + atomic swap
 //   shutdown                                          drain and close
 //
 // Blank lines and lines starting with '#' are ignored (they consume no id).
@@ -12,9 +14,17 @@
 // 1-based request id, counted over request lines only:
 //
 //   OK id=<id> us=<total> queue_us=<queued> n=<count> nodes=v1,v2,...
+//   OK id=<id> reload version=<v>
 //   ERR id=<id> code=<invalid|overloaded|shutting_down> msg=<reason>
 //   STATS qps=... p50_us=... p99_us=... queue=... in_flight=...
 //         admitted=... completed=... rejected=... alloc_events=...
+//         version=... retired=... reloads=...
+//
+// A reload runs in the background (requests keep being served on the old
+// snapshot version) and its response line is emitted once the new version
+// is live; stats and reload responses are formatted when they are emitted,
+// so a `stats` after a `reload` in the same stream reports the bumped
+// version.
 //
 // This is an untrusted-input boundary: every numeric token is parsed with
 // the strict whole-token parsers (common/parse.hpp) — negative ids cannot
@@ -34,6 +44,7 @@ struct ParsedLine {
   enum class Kind : uint8_t {
     kRequest,   ///< `request` is populated
     kStats,     ///< emit a stats line
+    kReload,    ///< rebuild the snapshot in the background and swap
     kShutdown,  ///< drain and close the session
     kError,     ///< malformed; `error` says why
   };
@@ -47,6 +58,10 @@ ParsedLine ParseRequestLine(std::string_view line);
 
 /// Renders the single response line for request `id`.
 std::string FormatResponse(uint64_t id, const ServeResponse& response);
+
+/// Renders the success line for a `reload` request once version `version`
+/// is live (failures go through FormatResponse with kInvalid).
+std::string FormatReloadResponse(uint64_t id, uint64_t version);
 
 /// Renders a STATS line. `qps` is computed by the caller over its reporting
 /// interval (the stats struct itself only has lifetime totals).

@@ -37,30 +37,12 @@ const char* ToString(ServeStatus status) {
   return "unknown";
 }
 
-ServingEngine::ServingEngine(const Graph& graph,
-                             std::span<const TnamEntry> tnams,
+ServingEngine::ServingEngine(std::shared_ptr<const DatasetSnapshot> snapshot,
                              const ServingOptions& opts)
-    : graph_(graph),
-      tnams_(tnams.begin(), tnams.end()),
+    : store_(std::move(snapshot)),  // rejects null; Create validated the rest
       opts_(opts),
       started_at_(Clock::now()) {
-  LACA_CHECK(graph.num_nodes() > 0, "serving an empty graph");
   LACA_CHECK(opts.max_queue_depth >= 1, "max_queue_depth must be >= 1");
-  if (tnams_.empty()) {
-    tnams_.push_back({0, nullptr});  // topology-only (w/o SNAS) mode
-  }
-  // Everything a worker thread constructs is validated HERE: an exception
-  // escaping a worker thread would terminate the process.
-  for (size_t i = 0; i < tnams_.size(); ++i) {
-    if (tnams_[i].tnam != nullptr) {
-      LACA_CHECK(tnams_[i].tnam->num_rows() == graph.num_nodes(),
-                 "TNAM row count must match graph node count");
-    }
-    for (size_t j = i + 1; j < tnams_.size(); ++j) {
-      LACA_CHECK(tnams_[i].k != tnams_[j].k,
-                 "duplicate TNAM dimension k registered");
-    }
-  }
   latency_ring_.resize(kLatencyWindow, 0.0);
 
   const TwoLevelBudget budget = SplitThreadBudget(
@@ -90,27 +72,18 @@ ServingEngine::ServingEngine(const Graph& graph,
   }
 }
 
-ServingEngine::ServingEngine(const Graph& graph, const Tnam* tnam,
-                             const ServingOptions& opts)
-    : ServingEngine(
-          graph,
-          [&]() -> std::vector<TnamEntry> {
-            if (tnam == nullptr) return {};
-            return {{static_cast<int>(tnam->dim()), tnam}};
-          }(),
-          opts) {}
-
 ServingEngine::~ServingEngine() { Shutdown(); }
 
 ServeResponse ServingEngine::Validate(const ServeRequest& req,
+                                      const DatasetSnapshot& snapshot,
                                       size_t* tnam_index) const {
   ServeResponse resp;
   resp.status = ServeStatus::kInvalid;
-  if (req.seed >= graph_.num_nodes()) {
+  if (req.seed >= snapshot.graph().num_nodes()) {
     resp.error = "seed out of range";
     return resp;
   }
-  if (req.size < 1 || req.size > graph_.num_nodes()) {
+  if (req.size < 1 || req.size > snapshot.graph().num_nodes()) {
     resp.error = "size must be in [1, num_nodes]";
     return resp;
   }
@@ -131,13 +104,14 @@ ServeResponse ServingEngine::Validate(const ServeRequest& req,
   }
   *tnam_index = 0;
   if (req.k >= 0) {
-    auto it = std::find_if(tnams_.begin(), tnams_.end(),
-                           [&](const TnamEntry& e) { return e.k == req.k; });
-    if (it == tnams_.end()) {
+    std::span<const PreparedTnam> tnams = snapshot.tnams();
+    auto it = std::find_if(tnams.begin(), tnams.end(),
+                           [&](const PreparedTnam& e) { return e.k == req.k; });
+    if (it == tnams.end()) {
       resp.error = "no TNAM prepared for k=" + std::to_string(req.k);
       return resp;
     }
-    *tnam_index = static_cast<size_t>(it - tnams_.begin());
+    *tnam_index = static_cast<size_t>(it - tnams.begin());
   }
   resp.status = ServeStatus::kOk;
   return resp;
@@ -145,8 +119,12 @@ ServeResponse ServingEngine::Validate(const ServeRequest& req,
 
 Admission ServingEngine::Submit(const ServeRequest& request) {
   Admission admission;
+  // Pin the active version for this request's whole lifetime: validation,
+  // queueing, and computation all see this one snapshot even if a Reload()
+  // publishes a newer version meanwhile.
+  std::shared_ptr<const DatasetSnapshot> snapshot = store_.Acquire();
   size_t tnam_index = 0;
-  ServeResponse validation = Validate(request, &tnam_index);
+  ServeResponse validation = Validate(request, *snapshot, &tnam_index);
   if (validation.status != ServeStatus::kOk) {
     std::lock_guard<std::mutex> lock(mu_);
     ++rejected_invalid_;
@@ -173,6 +151,7 @@ Admission ServingEngine::Submit(const ServeRequest& request) {
     }
     Job job;
     job.request = request;
+    job.snapshot = std::move(snapshot);
     job.tnam_index = tnam_index;
     job.admitted_at = Clock::now();
     future = job.promise.get_future();
@@ -185,45 +164,110 @@ Admission ServingEngine::Submit(const ServeRequest& request) {
   return admission;
 }
 
+void ServingEngine::Reload(std::shared_ptr<const DatasetSnapshot> next) {
+  // Publish validates (non-null, strictly advancing version) and swaps
+  // atomically; requests admitted before this point keep their pinned
+  // version, requests admitted after acquire the new one.
+  store_.Publish(std::move(next));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++reload_epoch_;
+  }
+  // Wake the whole fleet: idle workers rebind their warm state to the new
+  // version now, off the request path, instead of on the next request.
+  work_ready_.notify_all();
+}
+
 void ServingEngine::WorkerLoop(size_t w, size_t thread_budget) {
   // Warm per-worker state: one diffusion arena shared by one Laca per
-  // prepared TNAM (same borrowed-workspace pattern as the bench harnesses),
-  // plus the intra-query helper pool when the thread budget allows. Built on
-  // this thread so fleet startup parallelizes; the ctor pre-validated
-  // everything that can fail other than allocation.
+  // prepared TNAM of the bound snapshot (same borrowed-workspace pattern as
+  // the bench harnesses), plus the intra-query helper pool when the thread
+  // budget allows. Built on this thread so fleet startup parallelizes; the
+  // snapshot was pre-validated, so only allocation can fail here.
   std::optional<DiffusionWorkspace> workspace;
   std::optional<ThreadPool> helper;
+  std::shared_ptr<const DatasetSnapshot> bound;
   std::vector<std::unique_ptr<Laca>> lacas;
   std::string init_error;
-  try {
-    workspace.emplace(graph_);
-    if (thread_budget > 1) helper.emplace(thread_budget - 1);
-    lacas.reserve(tnams_.size());
-    for (const TnamEntry& entry : tnams_) {
-      lacas.push_back(std::make_unique<Laca>(graph_, entry.tnam, &*workspace));
-      if (helper) lacas.back()->SetIntraQueryPool(&*helper);
+  uint64_t seen_epoch = 0;
+
+  // (Re)binds the warm state to `snap`. The workspace and helper pool
+  // persist across rebinds (the arena re-sizes for the new graph and then
+  // reaches a new steady state); the Lacas are rebuilt because they pin the
+  // snapshot's graph/TNAM references. On failure the worker stays alive and
+  // degraded: it keeps claiming jobs and failing them explicitly, so
+  // admitted futures are always fulfilled.
+  auto bind = [&](std::shared_ptr<const DatasetSnapshot> snap) {
+    if (snap == bound) return;
+    lacas.clear();  // drop engines referencing the outgoing snapshot first
+    bound.reset();
+    try {
+      if (!workspace) workspace.emplace(snap->graph());
+      std::span<const PreparedTnam> tnams = snap->tnams();
+      lacas.reserve(std::max<size_t>(tnams.size(), 1));
+      if (tnams.empty()) {
+        // Topology-only (w/o SNAS) serving.
+        lacas.push_back(
+            std::make_unique<Laca>(snap->graph(), nullptr, &*workspace));
+      } else {
+        for (const PreparedTnam& entry : tnams) {
+          lacas.push_back(std::make_unique<Laca>(snap->graph(), &entry.tnam,
+                                                 &*workspace));
+        }
+      }
+      if (helper) {
+        for (auto& laca : lacas) laca->SetIntraQueryPool(&*helper);
+      }
+      bound = std::move(snap);
+      init_error.clear();
+    } catch (const std::exception& e) {
+      lacas.clear();
+      init_error = std::string("worker initialization failed: ") + e.what();
     }
+  };
+
+  try {
+    if (thread_budget > 1) helper.emplace(thread_budget - 1);
   } catch (const std::exception& e) {
-    // Degraded but alive: this worker keeps claiming jobs and failing them
-    // explicitly, so admitted futures are always fulfilled.
     init_error = std::string("worker initialization failed: ") + e.what();
   }
+  if (init_error.empty()) bind(store_.Acquire());
 
   for (;;) {
     Job job;
+    bool prewarm = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [this] { return !queue_.empty() || draining_; });
-      if (queue_.empty()) return;  // draining and fully drained
-      job = std::move(queue_.front());
-      queue_.pop_front();
-      ++in_flight_;
+      work_ready_.wait(lock, [&] {
+        return !queue_.empty() || draining_ || reload_epoch_ != seen_epoch;
+      });
+      if (queue_.empty()) {
+        if (draining_) return;  // draining and fully drained
+        seen_epoch = reload_epoch_;  // woken to rebind, not to work
+        prewarm = true;
+      } else {
+        job = std::move(queue_.front());
+        queue_.pop_front();
+        ++in_flight_;
+      }
+    }
+    if (prewarm) {
+      bind(store_.Acquire());
+      if (workspace) {
+        workers_[w]->alloc_events.store(workspace->alloc_events(),
+                                        std::memory_order_relaxed);
+      }
+      continue;
     }
     if (opts_.worker_hook) opts_.worker_hook();
 
     ServeResponse resp;
     const Clock::time_point claimed = Clock::now();
     resp.queue_seconds = Seconds(claimed - job.admitted_at);
+    // The job computes on its pinned snapshot, never on a newer one. This
+    // rebind is the slow path — it only runs when a reload landed while
+    // this worker was busy (idle workers rebound in the prewarm branch).
+    if (job.snapshot != bound) bind(job.snapshot);
     if (!init_error.empty()) {
       resp.status = ServeStatus::kInvalid;
       resp.error = init_error;
@@ -246,6 +290,10 @@ void ServingEngine::WorkerLoop(size_t w, size_t thread_budget) {
     }
     resp.total_seconds = Seconds(Clock::now() - job.admitted_at);
 
+    // Release the pinned snapshot before fulfilling the promise: a reload
+    // test observing "retired version destroyed" through the response
+    // future must not race this worker's reference.
+    job.snapshot.reset();
     RecordLatency(resp.total_seconds);
     job.promise.set_value(std::move(resp));
   }
@@ -294,6 +342,9 @@ ServingStats ServingEngine::Stats() const {
   for (const auto& worker : workers_) {
     stats.alloc_events += worker->alloc_events.load(std::memory_order_relaxed);
   }
+  stats.active_version = store_.Acquire()->version();
+  stats.retired_live = store_.retired_live();
+  stats.reloads = store_.publish_count();
   stats.uptime_seconds = Seconds(Clock::now() - started_at_);
   stats.latency_window = window.size();
   if (!window.empty()) {

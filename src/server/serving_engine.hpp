@@ -1,14 +1,21 @@
-// Long-lived serving layer over LACA (DESIGN.md §7).
+// Long-lived serving layer over LACA (DESIGN.md §7, §8).
 //
 // The batch API (core/batch.hpp) answers a fixed query list and tears its
-// fleet down; a deployment serving heavy traffic instead keeps the graph,
+// fleet down; a deployment serving heavy traffic instead keeps the dataset,
 // the TNAM(s), and a fixed worker fleet warm for the process lifetime and
 // admits requests as they arrive. ServingEngine is that layer:
 //
-//   * a fixed fleet of worker threads, each owning a warm Laca per TNAM on
-//     one shared DiffusionWorkspace (the arena reaches its per-graph steady
-//     state after the first requests and then stays allocation-free — the
-//     alloc counter is exported through Stats() as the witness);
+//   * ownership through a versioned DatasetSnapshot (data/): the engine
+//     acquires snapshots from an internal SnapshotStore, every admitted
+//     request pins the snapshot version it was validated against for its
+//     whole lifetime, and Reload() atomically publishes a new version under
+//     live traffic — in-flight requests finish on their acquired version,
+//     the retired version drains when its last reader releases it;
+//   * a fixed fleet of worker threads, each owning a warm Laca per prepared
+//     TNAM on one shared DiffusionWorkspace (the arena reaches its per-graph
+//     steady state after the first requests and then stays allocation-free —
+//     the alloc counter is exported through Stats() as the witness); after a
+//     reload, idle workers rebind to the new version off the request path;
 //   * the BatchCluster two-level thread budget (core/thread_budget.hpp):
 //     surplus threads become per-worker intra-query helper pools that shard
 //     big non-greedy diffusion rounds, bit-identically to serial;
@@ -19,8 +26,9 @@
 //     new ones with kShuttingDown, and joins the fleet.
 //
 // Determinism: each request runs Laca::Cluster on a private warm engine, so
-// responses are bit-identical to the serial call for every worker count and
-// admission order (serving_test proves it at 1/2/4/8 workers).
+// responses are bit-identical to the serial call on the same snapshot for
+// every worker count (serving_test proves it at 1/2/4/8 workers, before and
+// after a reload).
 #ifndef LACA_SERVER_SERVING_ENGINE_HPP_
 #define LACA_SERVER_SERVING_ENGINE_HPP_
 
@@ -31,15 +39,14 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
-#include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include "attr/tnam.hpp"
 #include "core/laca.hpp"
-#include "graph/graph.hpp"
+#include "data/dataset_snapshot.hpp"
 
 namespace laca {
 
@@ -65,10 +72,10 @@ struct ServeRequest {
   double alpha = -1.0;    ///< restart factor override, in [0, 1)
   double epsilon = -1.0;  ///< diffusion threshold override, > 0
   double sigma = -1.0;    ///< AdaptiveDiffuse balance override, >= 0
-  /// TNAM dimension override: selects among the engine's prepared TNAMs
-  /// (ServingEngine ctor); -1 = the engine default. A k the engine did not
-  /// prepare is rejected as kInvalid — TNAMs are preprocessing artifacts,
-  /// never built on the request path.
+  /// TNAM dimension override: selects among the active snapshot's prepared
+  /// TNAMs; -1 = the snapshot default (its first entry). A k the snapshot
+  /// does not carry is rejected as kInvalid — TNAMs are preprocessing
+  /// artifacts, never built on the request path.
   int k = -1;
 };
 
@@ -111,6 +118,12 @@ struct ServingStats {
   /// Summed warm-workspace alloc counters across the fleet; flat across
   /// steady-state requests (the zero-allocation witness, DESIGN.md §2).
   uint64_t alloc_events = 0;
+  /// Version of the snapshot new admissions acquire.
+  uint64_t active_version = 0;
+  /// Retired snapshot versions still pinned by some in-flight reader.
+  size_t retired_live = 0;
+  /// Successful Reload() publications since construction.
+  uint64_t reloads = 0;
   double uptime_seconds = 0.0;
   /// Total-latency percentiles over the retained window (last
   /// `latency_window` completions); 0 when nothing completed yet.
@@ -129,23 +142,13 @@ struct Admission {
 
 class ServingEngine {
  public:
-  /// A TNAM selectable per request by its dimension `k`. `tnam` may be null
-  /// only to register the topology-only (w/o SNAS) mode under a k.
-  struct TnamEntry {
-    int k = 0;
-    const Tnam* tnam = nullptr;
-  };
-
-  /// Serves `graph` with the prepared TNAMs (first entry is the default; an
-  /// empty span serves topology-only). The graph and TNAMs must outlive the
-  /// engine. Validates entries and options eagerly — worker threads must
-  /// never die on a construction error. Workers start immediately.
-  ServingEngine(const Graph& graph, std::span<const TnamEntry> tnams,
-                const ServingOptions& opts = {});
-
-  /// Convenience: one TNAM (or null for topology-only), k = tnam->dim().
-  ServingEngine(const Graph& graph, const Tnam* tnam,
-                const ServingOptions& opts = {});
+  /// Serves `snapshot` (DatasetSnapshot::Create already validated its
+  /// cross-component consistency; the snapshot's TNAM list decides the
+  /// servable k's, empty = topology-only). Validates options eagerly —
+  /// worker threads must never die on a construction error. Workers start
+  /// immediately.
+  explicit ServingEngine(std::shared_ptr<const DatasetSnapshot> snapshot,
+                         const ServingOptions& opts = {});
 
   ServingEngine(const ServingEngine&) = delete;
   ServingEngine& operator=(const ServingEngine&) = delete;
@@ -156,8 +159,23 @@ class ServingEngine {
   /// Admission control. Never blocks: an invalid request, a full queue, or
   /// a draining engine is rejected immediately with the matching status.
   /// Admitted requests resolve through the returned future; every admitted
-  /// future is always fulfilled, including across Shutdown().
+  /// future is always fulfilled, including across Shutdown(). The request
+  /// is validated against — and pinned to — the snapshot version active at
+  /// admission.
   Admission Submit(const ServeRequest& request);
+
+  /// Publishes `next` as the active snapshot (RCU swap; throws
+  /// std::invalid_argument unless its version strictly advances). New
+  /// admissions acquire it immediately; requests admitted earlier finish on
+  /// their pinned version. Idle workers rebind their warm workspaces to the
+  /// new version off the request path; busy workers rebind as soon as they
+  /// drain. Safe to call concurrently with Submit()/Stats()/Shutdown().
+  void Reload(std::shared_ptr<const DatasetSnapshot> next);
+
+  /// The snapshot new admissions currently acquire.
+  std::shared_ptr<const DatasetSnapshot> snapshot() const {
+    return store_.Acquire();
+  }
 
   /// Graceful drain: stops admitting (new Submits get kShuttingDown),
   /// completes every already-admitted request, then joins the worker fleet.
@@ -167,13 +185,15 @@ class ServingEngine {
   ServingStats Stats() const;
 
   size_t num_workers() const { return workers_.size(); }
-  const Graph& graph() const { return graph_; }
 
  private:
   using Clock = std::chrono::steady_clock;
 
   struct Job {
     ServeRequest request;
+    /// The snapshot this request was validated against; the worker computes
+    /// on it even if a newer version was published meanwhile.
+    std::shared_ptr<const DatasetSnapshot> snapshot;
     size_t tnam_index = 0;
     std::promise<ServeResponse> promise;
     Clock::time_point admitted_at;
@@ -188,11 +208,12 @@ class ServingEngine {
   };
 
   void WorkerLoop(size_t w, size_t thread_budget);
-  ServeResponse Validate(const ServeRequest& request, size_t* tnam_index) const;
+  ServeResponse Validate(const ServeRequest& request,
+                         const DatasetSnapshot& snapshot,
+                         size_t* tnam_index) const;
   void RecordLatency(double total_seconds);
 
-  const Graph& graph_;
-  std::vector<TnamEntry> tnams_;
+  SnapshotStore store_;
   ServingOptions opts_;
   Clock::time_point started_at_;
 
@@ -201,6 +222,9 @@ class ServingEngine {
   std::deque<Job> queue_;
   size_t in_flight_ = 0;
   bool draining_ = false;
+  /// Bumped by Reload() under mu_; wakes idle workers to rebind their warm
+  /// state to the newly published snapshot off the request path.
+  uint64_t reload_epoch_ = 0;
   // Counters and the latency ring, all guarded by mu_.
   uint64_t admitted_ = 0;
   uint64_t completed_ = 0;

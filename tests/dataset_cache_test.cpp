@@ -1,14 +1,22 @@
 // Tests for the LACA_DATASET_CACHE disk cache. These live in their own
 // binary: GetDataset's in-process memoization is per-process, and the env
 // variable must be set before the first GetDataset call.
+//
+// Since the snapshot refactor the cache persists each dataset as a snapshot
+// directory (data/snapshot_io.hpp: manifest + component containers) instead
+// of a single-file container, and first uses of DIFFERENT datasets generate
+// concurrently (per-entry once-latches; the old code held the registry
+// mutex across generation, serializing unrelated first uses).
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "data/snapshot_io.hpp"
 #include "eval/datasets.hpp"
-#include "graph/binary_io.hpp"
 
 namespace laca {
 namespace {
@@ -29,32 +37,63 @@ class DatasetCacheTest : public ::testing::Test {
 
 std::filesystem::path DatasetCacheTest::dir_;
 
-TEST_F(DatasetCacheTest, FirstUseWritesCacheFile) {
-  const Dataset& ds = GetDataset("cora-sim");
-  const std::filesystem::path file = dir_ / "cora-sim.laca";
-  ASSERT_TRUE(std::filesystem::exists(file));
+// Declared first so both datasets are genuinely first-use: the regression
+// this guards is GetDataset holding the global registry mutex across full
+// dataset generation, which serialized unrelated first-use calls. Several
+// threads race first use of two datasets; every thread must get the same
+// memoized instance per name and both generations must complete.
+TEST_F(DatasetCacheTest, ConcurrentFirstUseOfTwoDatasetsBothComplete) {
+  const char* names[2] = {"cora-sim", "dblp-sim"};
+  const Dataset* seen[4] = {nullptr, nullptr, nullptr, nullptr};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back(
+        [&, t] { seen[t] = &GetDataset(names[t % 2]); });
+  }
+  for (std::thread& t : threads) t.join();
 
-  // The cached container round-trips to the in-memory dataset.
-  AttributedGraph loaded = LoadDatasetBinary(file.string());
-  EXPECT_EQ(loaded.graph.num_nodes(), ds.data.graph.num_nodes());
-  EXPECT_EQ(loaded.graph.num_edges(), ds.data.graph.num_edges());
-  EXPECT_EQ(loaded.graph.adjacency(), ds.data.graph.adjacency());
-  EXPECT_EQ(loaded.communities.members, ds.data.communities.members);
-  EXPECT_EQ(loaded.attributes.num_nonzeros(),
+  ASSERT_NE(seen[0], nullptr);
+  ASSERT_NE(seen[1], nullptr);
+  EXPECT_EQ(seen[0], seen[2]) << "same name must memoize to one instance";
+  EXPECT_EQ(seen[1], seen[3]);
+  EXPECT_NE(seen[0], seen[1]);
+  EXPECT_GT(seen[0]->num_nodes(), 0u);
+  EXPECT_GT(seen[1]->num_nodes(), 0u);
+  EXPECT_EQ(seen[0]->snapshot->name(), "cora-sim");
+  EXPECT_EQ(seen[1]->snapshot->name(), "dblp-sim");
+}
+
+TEST_F(DatasetCacheTest, FirstUseWritesSnapshotDirectory) {
+  const Dataset& ds = GetDataset("cora-sim");
+  const std::filesystem::path snap_dir = dir_ / "cora-sim";
+  ASSERT_TRUE(std::filesystem::exists(snap_dir / "manifest.laca"));
+  ASSERT_TRUE(std::filesystem::exists(snap_dir / "graph.laca"));
+
+  // The cached snapshot round-trips to the in-memory dataset.
+  std::shared_ptr<const DatasetSnapshot> loaded =
+      LoadSnapshot(snap_dir.string());
+  EXPECT_EQ(loaded->name(), "cora-sim");
+  EXPECT_EQ(loaded->version(), ds.snapshot->version());
+  EXPECT_EQ(loaded->graph().num_nodes(), ds.data.graph.num_nodes());
+  EXPECT_EQ(loaded->graph().num_edges(), ds.data.graph.num_edges());
+  EXPECT_EQ(loaded->graph().adjacency(), ds.data.graph.adjacency());
+  EXPECT_EQ(loaded->communities().members, ds.data.communities.members);
+  EXPECT_EQ(loaded->attributes().num_nonzeros(),
             ds.data.attributes.num_nonzeros());
 }
 
 TEST_F(DatasetCacheTest, CorruptCacheEntryFallsBackToGeneration) {
-  // Plant a corrupt container for a dataset not yet memoized in-process.
-  const std::filesystem::path file = dir_ / "dblp-sim.laca";
+  // Plant a corrupt manifest for a dataset not yet memoized in-process.
+  const std::filesystem::path snap_dir = dir_ / "camazon-sim";
+  std::filesystem::create_directories(snap_dir);
   {
-    std::ofstream out(file, std::ios::binary);
+    std::ofstream out(snap_dir / "manifest.laca", std::ios::binary);
     out << "LACABIN\0garbage that is not a valid payload";
   }
-  const Dataset& ds = GetDataset("dblp-sim");  // must not throw
+  const Dataset& ds = GetDataset("camazon-sim");  // must not throw
   EXPECT_GT(ds.num_nodes(), 0u);
-  // The corrupt entry was overwritten with a valid one.
-  EXPECT_NO_THROW(LoadDatasetBinary(file.string()));
+  // The corrupt entry was overwritten with a valid snapshot.
+  EXPECT_NO_THROW(LoadSnapshot(snap_dir.string()));
 }
 
 }  // namespace

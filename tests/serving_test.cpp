@@ -1,15 +1,19 @@
 #include "server/serving_engine.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "attr/tnam.hpp"
+#include "data/dataset_snapshot.hpp"
 #include "eval/datasets.hpp"
 #include "server/protocol.hpp"
 
@@ -54,13 +58,24 @@ class ServingTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     ds_ = &GetDataset("cora-sim");
+    snap_ = MakeSnapshot(/*version=*/1, /*k=*/32);
+  }
+  static void TearDownTestSuite() { snap_.reset(); }
+
+  /// A snapshot over the registry dataset carrying one TNAM built at
+  /// dimension `k`, keyed by its dim (shares the underlying data).
+  static std::shared_ptr<const DatasetSnapshot> MakeSnapshot(uint64_t version,
+                                                             int k) {
     TnamOptions topts;
-    tnam_ = new Tnam(Tnam::Build(ds_->data.attributes, topts));
+    topts.k = k;
+    Tnam tnam = Tnam::Build(ds_->data.attributes, topts);
+    std::vector<PreparedTnam> tnams;
+    const int key = static_cast<int>(tnam.dim());
+    tnams.push_back(PreparedTnam{key, std::move(tnam)});
+    return ds_->snapshot->WithTnams(std::move(tnams), version);
   }
-  static void TearDownTestSuite() {
-    delete tnam_;
-    tnam_ = nullptr;
-  }
+
+  static const Tnam* DefaultTnam() { return &snap_->tnams()[0].tnam; }
 
   static std::vector<ServeRequest> MakeRequests(size_t count) {
     std::vector<NodeId> seeds = SampleSeeds(*ds_, count);
@@ -84,24 +99,34 @@ class ServingTest : public ::testing::Test {
     return opts;
   }
 
+  /// Serial oracle: Laca::Cluster on `snapshot`'s default TNAM.
+  static std::vector<std::vector<NodeId>> SerialExpected(
+      const DatasetSnapshot& snapshot,
+      const std::vector<ServeRequest>& requests) {
+    Laca serial(snapshot.graph(), snapshot.tnams().empty()
+                                      ? nullptr
+                                      : &snapshot.tnams()[0].tnam);
+    LacaOptions defaults;
+    std::vector<std::vector<NodeId>> expected;
+    for (const ServeRequest& req : requests) {
+      expected.push_back(serial.Cluster(req.seed, req.size, defaults));
+    }
+    return expected;
+  }
+
   static const Dataset* ds_;
-  static Tnam* tnam_;
+  static std::shared_ptr<const DatasetSnapshot> snap_;
 };
 
 const Dataset* ServingTest::ds_ = nullptr;
-Tnam* ServingTest::tnam_ = nullptr;
+std::shared_ptr<const DatasetSnapshot> ServingTest::snap_;
 
 TEST_F(ServingTest, BitIdenticalToSerialClusterAtEveryWorkerCount) {
   std::vector<ServeRequest> requests = MakeRequests(12);
-  Laca serial(ds_->data.graph, tnam_);
-  LacaOptions defaults;
-  std::vector<std::vector<NodeId>> expected;
-  for (const ServeRequest& req : requests) {
-    expected.push_back(serial.Cluster(req.seed, req.size, defaults));
-  }
+  std::vector<std::vector<NodeId>> expected = SerialExpected(*snap_, requests);
 
   for (size_t workers : {1u, 2u, 4u, 8u}) {
-    ServingEngine engine(ds_->data.graph, tnam_, WithWorkers(workers));
+    ServingEngine engine(snap_, WithWorkers(workers));
     ASSERT_EQ(engine.num_workers(), workers);
     std::vector<std::future<ServeResponse>> futures;
     for (const ServeRequest& req : requests) {
@@ -127,7 +152,7 @@ TEST_F(ServingTest, PerRequestOverridesMatchSerialWithSameOptions) {
   LacaOptions serial_opts;
   serial_opts.alpha = 0.5;
   serial_opts.epsilon = 1e-4;
-  Laca serial(ds_->data.graph, tnam_);
+  Laca serial(ds_->data.graph, DefaultTnam());
   std::vector<NodeId> with_overrides =
       serial.Cluster(req.seed, req.size, serial_opts);
   std::vector<NodeId> with_defaults =
@@ -136,7 +161,7 @@ TEST_F(ServingTest, PerRequestOverridesMatchSerialWithSameOptions) {
   // could not tell "override applied" from "override ignored".
   ASSERT_NE(with_overrides, with_defaults);
 
-  ServingEngine engine(ds_->data.graph, tnam_, WithWorkers(2));
+  ServingEngine engine(snap_, WithWorkers(2));
   Admission a = engine.Submit(req);
   ASSERT_TRUE(a.ok());
   EXPECT_EQ(a.response.get().cluster, with_overrides);
@@ -152,15 +177,18 @@ TEST_F(ServingTest, PerRequestOverridesMatchSerialWithSameOptions) {
 TEST_F(ServingTest, KOverrideSelectsAmongPreparedTnams) {
   TnamOptions topts;
   topts.k = 8;
-  Tnam small = Tnam::Build(ds_->data.attributes, topts);
-  std::vector<ServingEngine::TnamEntry> entries = {
-      {static_cast<int>(tnam_->dim()), tnam_}, {8, &small}};
-  ServingEngine engine(ds_->data.graph, entries, WithWorkers(2));
+  std::vector<PreparedTnam> entries;
+  entries.push_back(PreparedTnam{static_cast<int>(DefaultTnam()->dim()),
+                                 *DefaultTnam()});
+  entries.push_back(PreparedTnam{8, Tnam::Build(ds_->data.attributes, topts)});
+  std::shared_ptr<const DatasetSnapshot> multi =
+      ds_->snapshot->WithTnams(std::move(entries), 1);
+  ServingEngine engine(multi, WithWorkers(2));
 
   ServeRequest req = MakeRequests(1)[0];
   req.size = 20;
-  Laca with_default(ds_->data.graph, tnam_);
-  Laca with_small(ds_->data.graph, &small);
+  Laca with_default(ds_->data.graph, &multi->tnams()[0].tnam);
+  Laca with_small(ds_->data.graph, &multi->tnams()[1].tnam);
   LacaOptions defaults;
 
   Admission def = engine.Submit(req);
@@ -179,7 +207,7 @@ TEST_F(ServingTest, KOverrideSelectsAmongPreparedTnams) {
 }
 
 TEST_F(ServingTest, InvalidRequestsRejectedAtAdmission) {
-  ServingEngine engine(ds_->data.graph, tnam_, WithWorkers(1));
+  ServingEngine engine(snap_, WithWorkers(1));
   ServeRequest bad_seed;
   bad_seed.seed = ds_->num_nodes();
   bad_seed.size = 5;
@@ -214,7 +242,7 @@ TEST_F(ServingTest, AdmissionQueueRejectsBeyondDepthWithoutBlocking) {
     gate.Arrive();
     gate.WaitUntilOpen();
   };
-  ServingEngine engine(ds_->data.graph, tnam_, opts);
+  ServingEngine engine(snap_, opts);
 
   ServeRequest req;
   req.seed = 0;
@@ -253,7 +281,7 @@ TEST_F(ServingTest, GracefulShutdownDrainsAdmittedAndRejectsNew) {
     gate.Arrive();
     gate.WaitUntilOpen();
   };
-  ServingEngine engine(ds_->data.graph, tnam_, opts);
+  ServingEngine engine(snap_, opts);
 
   ServeRequest req;
   req.seed = 0;
@@ -288,7 +316,7 @@ TEST_F(ServingTest, ConcurrentSubmittersDuringShutdownNeverLoseAFuture) {
   // The stop-while-submitting race of the admission queue: several threads
   // hammer Submit while another drains the engine. Every admitted future
   // must resolve; every rejection must be explicit. (TSan covers the rest.)
-  ServingEngine engine(ds_->data.graph, tnam_, WithWorkers(2));
+  ServingEngine engine(snap_, WithWorkers(2));
   std::atomic<uint64_t> resolved{0}, rejected{0};
   std::vector<std::thread> submitters;
   for (int t = 0; t < 4; ++t) {
@@ -324,7 +352,7 @@ TEST_F(ServingTest, WarmWorkerAllocCounterStaysFlat) {
     gate.Arrive();
     gate.WaitUntilOpen();
   };
-  ServingEngine engine(ds_->data.graph, tnam_, opts);
+  ServingEngine engine(snap_, opts);
   std::vector<ServeRequest> requests = MakeRequests(10);
   {
     Admission a = engine.Submit(requests[0]);
@@ -364,7 +392,8 @@ TEST_F(ServingTest, WarmWorkerAllocCounterStaysFlat) {
 }
 
 TEST_F(ServingTest, TopologyOnlyModeServes) {
-  ServingEngine engine(ds_->data.graph, /*tnam=*/nullptr, WithWorkers(2));
+  // The registry snapshot carries no TNAMs: topology-only (w/o SNAS) mode.
+  ServingEngine engine(ds_->snapshot, WithWorkers(2));
   ServeRequest req;
   req.seed = 0;
   req.size = 8;
@@ -374,26 +403,227 @@ TEST_F(ServingTest, TopologyOnlyModeServes) {
   ASSERT_EQ(resp.status, ServeStatus::kOk);
   ASSERT_EQ(resp.cluster.size(), 8u);
   EXPECT_EQ(resp.cluster.front(), 0u);
+
+  // In topology-only mode every explicit k is unknown.
+  req.k = 32;
+  EXPECT_EQ(engine.Submit(req).status, ServeStatus::kInvalid);
 }
 
-TEST_F(ServingTest, ConstructorValidatesEagerly) {
-  // A mismatched TNAM must throw in the constructor, never inside a worker
-  // thread (where it would terminate the process).
+TEST_F(ServingTest, SnapshotValidatesEagerly) {
+  // A mismatched TNAM must throw when the snapshot is assembled, never
+  // inside a worker thread (where it would terminate the process).
   const Dataset& other = GetDataset("pubmed-sim");
   ASSERT_NE(other.num_nodes(), ds_->num_nodes());
-  EXPECT_THROW(ServingEngine(other.data.graph, tnam_, WithWorkers(1)),
+  std::vector<PreparedTnam> mismatched;
+  mismatched.push_back(PreparedTnam{static_cast<int>(DefaultTnam()->dim()),
+                                    *DefaultTnam()});
+  EXPECT_THROW(other.snapshot->WithTnams(std::move(mismatched), 1),
                std::invalid_argument);
+
+  std::vector<PreparedTnam> dup;
+  dup.push_back(PreparedTnam{7, *DefaultTnam()});
+  dup.push_back(PreparedTnam{7, *DefaultTnam()});
+  EXPECT_THROW(ds_->snapshot->WithTnams(std::move(dup), 1),
+               std::invalid_argument);
+
+  EXPECT_THROW(ServingEngine(nullptr, WithWorkers(1)), std::invalid_argument);
 
   ServingOptions opts = WithWorkers(1);
   opts.max_queue_depth = 0;
-  EXPECT_THROW(ServingEngine(ds_->data.graph, tnam_, opts),
-               std::invalid_argument);
+  EXPECT_THROW(ServingEngine(snap_, opts), std::invalid_argument);
+}
 
-  std::vector<ServingEngine::TnamEntry> dup = {
-      {static_cast<int>(tnam_->dim()), tnam_},
-      {static_cast<int>(tnam_->dim()), tnam_}};
-  EXPECT_THROW(ServingEngine(ds_->data.graph, dup, WithWorkers(1)),
+// ---------------------------------------------------------------------------
+// Hot reload: snapshot swap under live traffic (DESIGN.md §8).
+
+TEST_F(ServingTest, ReloadSwitchesVersionsBitIdenticallyAtEveryWorkerCount) {
+  // v1 serves the k=32 TNAM, v2 the k=16 one; responses must equal the
+  // serial Laca::Cluster on whichever version served them, at 1/2/4/8
+  // workers, before and after the swap.
+  std::shared_ptr<const DatasetSnapshot> v2 = MakeSnapshot(2, /*k=*/16);
+  std::vector<ServeRequest> requests = MakeRequests(8);
+  std::vector<std::vector<NodeId>> expected_v1 =
+      SerialExpected(*snap_, requests);
+  std::vector<std::vector<NodeId>> expected_v2 = SerialExpected(*v2, requests);
+
+  for (size_t workers : {1u, 2u, 4u, 8u}) {
+    ServingEngine engine(snap_, WithWorkers(workers));
+    ASSERT_EQ(engine.Stats().active_version, 1u);
+
+    auto run_and_check =
+        [&](const std::vector<std::vector<NodeId>>& expected) {
+          std::vector<std::future<ServeResponse>> futures;
+          for (const ServeRequest& req : requests) {
+            Admission a = engine.Submit(req);
+            ASSERT_TRUE(a.ok()) << a.error;
+            futures.push_back(std::move(a.response));
+          }
+          for (size_t i = 0; i < futures.size(); ++i) {
+            ServeResponse resp = futures[i].get();
+            ASSERT_EQ(resp.status, ServeStatus::kOk) << resp.error;
+            EXPECT_EQ(resp.cluster, expected[i])
+                << "workers=" << workers << " request " << i;
+          }
+        };
+    run_and_check(expected_v1);
+    engine.Reload(v2);
+    EXPECT_EQ(engine.Stats().active_version, 2u);
+    run_and_check(expected_v2);
+    EXPECT_EQ(engine.Stats().reloads, 1u);
+  }
+}
+
+TEST_F(ServingTest, ReloadUnderConcurrentTrafficLosesNoAdmittedRequest) {
+  // Submitters hammer one fixed request while the main thread swaps
+  // versions back and forth. Every admitted future must resolve kOk with a
+  // response bit-identical to the serial answer of SOME version — never a
+  // mix, never a drop.
+  ServeRequest req = MakeRequests(1)[0];
+  req.size = 15;
+  std::shared_ptr<const DatasetSnapshot> v2 = MakeSnapshot(2, /*k=*/16);
+  std::shared_ptr<const DatasetSnapshot> v3 = MakeSnapshot(3, /*k=*/32);
+  const std::vector<NodeId> expect_v1 =
+      SerialExpected(*snap_, {req})[0];
+  const std::vector<NodeId> expect_v2 = SerialExpected(*v2, {req})[0];
+  // v3 rebuilds the k=32 TNAM with the same options: bit-identical to v1's
+  // (the PR 3 determinism contract), so its serial answer is expect_v1.
+  ASSERT_EQ(SerialExpected(*v3, {req})[0], expect_v1);
+
+  ServingEngine engine(snap_, WithWorkers(2));
+  std::atomic<uint64_t> admitted{0};
+  std::atomic<uint64_t> resolved{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 3; ++t) {
+    submitters.emplace_back([&] {
+      while (!stop.load()) {
+        Admission a = engine.Submit(req);
+        ASSERT_TRUE(a.ok()) << a.error;  // queue is deep enough not to fill
+        admitted.fetch_add(1);
+        ServeResponse resp = a.response.get();
+        ASSERT_EQ(resp.status, ServeStatus::kOk) << resp.error;
+        ASSERT_TRUE(resp.cluster == expect_v1 || resp.cluster == expect_v2);
+        resolved.fetch_add(1);
+      }
+    });
+  }
+  engine.Reload(v2);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  engine.Reload(v3);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  stop.store(true);
+  for (std::thread& t : submitters) t.join();
+  EXPECT_EQ(admitted.load(), resolved.load());
+  EXPECT_GT(resolved.load(), 0u);
+  EXPECT_EQ(engine.Stats().active_version, 3u);
+  EXPECT_EQ(engine.Stats().reloads, 2u);
+  EXPECT_EQ(engine.Stats().completed, resolved.load());
+}
+
+TEST_F(ServingTest, RetiredSnapshotDrainsAfterLastInFlightReaderCompletes) {
+  // Deterministic drain witness: park the only worker mid-request (it and
+  // its job pin v1), publish v2, and verify v1 survives exactly until the
+  // in-flight request completes and the worker rebinds.
+  std::shared_ptr<const DatasetSnapshot> v1 = MakeSnapshot(1, /*k=*/32);
+  std::weak_ptr<const DatasetSnapshot> watch = v1;
+
+  Gate gate;
+  ServingOptions opts = WithWorkers(1);
+  opts.worker_hook = [&gate] {
+    gate.Arrive();
+    gate.WaitUntilOpen();
+  };
+  ServingEngine engine(v1, opts);
+  v1.reset();  // the engine (store + workers + jobs) now owns every v1 ref
+
+  ServeRequest req;
+  req.seed = 0;
+  req.size = 5;
+  Admission a = engine.Submit(req);
+  ASSERT_TRUE(a.ok());
+  gate.AwaitArrivals(1);  // the worker holds the v1 job
+
+  engine.Reload(MakeSnapshot(2, /*k=*/16));
+  EXPECT_EQ(engine.Stats().active_version, 2u);
+  // The in-flight request still pins the retired version.
+  EXPECT_FALSE(watch.expired());
+  EXPECT_EQ(engine.Stats().retired_live, 1u);
+
+  gate.Open();
+  EXPECT_EQ(a.response.get().status, ServeStatus::kOk);
+  // With the request done, the idle worker rebinds to v2 off the request
+  // path and the last v1 reference drains.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!watch.expired() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(watch.expired()) << "retired snapshot never drained";
+  EXPECT_EQ(engine.Stats().retired_live, 0u);
+
+  // The engine keeps serving on v2.
+  Admission b = engine.Submit(req);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.response.get().status, ServeStatus::kOk);
+}
+
+TEST_F(ServingTest, StaleReloadIsRejectedAndServingContinues) {
+  ServingEngine engine(snap_, WithWorkers(1));
+  // Same version (1) does not strictly advance: the publish must fail
+  // loudly instead of rolling the serving data back.
+  EXPECT_THROW(engine.Reload(MakeSnapshot(1, /*k=*/16)),
                std::invalid_argument);
+  EXPECT_THROW(engine.Reload(nullptr), std::invalid_argument);
+  EXPECT_EQ(engine.Stats().active_version, 1u);
+  EXPECT_EQ(engine.Stats().reloads, 0u);
+
+  ServeRequest req;
+  req.seed = 0;
+  req.size = 5;
+  Admission a = engine.Submit(req);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.response.get().status, ServeStatus::kOk);
+}
+
+TEST_F(ServingTest, AllocCounterFlatOnBothSidesOfAReload) {
+  // The zero-allocation steady state must hold on the old snapshot, survive
+  // the swap (the rebind may allocate — that is the off-request-path cost),
+  // and re-establish on the new snapshot.
+  ServingEngine engine(snap_, WithWorkers(2));
+  std::vector<ServeRequest> requests = MakeRequests(10);
+
+  auto run_round = [&] {
+    std::vector<std::future<ServeResponse>> futures;
+    for (const ServeRequest& req : requests) {
+      Admission a = engine.Submit(req);
+      ASSERT_TRUE(a.ok());
+      futures.push_back(std::move(a.response));
+    }
+    for (auto& f : futures) EXPECT_EQ(f.get().status, ServeStatus::kOk);
+  };
+  auto settle_flat = [&](const char* phase) -> uint64_t {
+    uint64_t last = 0;
+    int flat_rounds = 0;
+    for (int round = 0; round < 20 && flat_rounds < 2; ++round) {
+      run_round();
+      const uint64_t now = engine.Stats().alloc_events;
+      flat_rounds = now == last ? flat_rounds + 1 : 0;
+      last = now;
+    }
+    EXPECT_EQ(flat_rounds, 2) << phase << ": arena never reached steady state";
+    return last;
+  };
+
+  const uint64_t steady_v1 = settle_flat("v1");
+  for (int round = 0; round < 3; ++round) run_round();
+  EXPECT_EQ(engine.Stats().alloc_events, steady_v1)
+      << "v1 warm request path allocated";
+
+  engine.Reload(MakeSnapshot(2, /*k=*/16));
+  const uint64_t steady_v2 = settle_flat("v2");
+  for (int round = 0; round < 3; ++round) run_round();
+  EXPECT_EQ(engine.Stats().alloc_events, steady_v2)
+      << "v2 warm request path allocated";
 }
 
 // ---------------------------------------------------------------------------
@@ -433,6 +663,7 @@ TEST(ServingProtocolTest, RejectsMalformedLines) {
 
 TEST(ServingProtocolTest, CommandsAndFormatting) {
   EXPECT_EQ(ParseRequestLine("stats").kind, ParsedLine::Kind::kStats);
+  EXPECT_EQ(ParseRequestLine("reload").kind, ParsedLine::Kind::kReload);
   EXPECT_EQ(ParseRequestLine("shutdown").kind, ParsedLine::Kind::kShutdown);
 
   ServeResponse ok;
@@ -447,6 +678,17 @@ TEST(ServingProtocolTest, CommandsAndFormatting) {
   overload.status = ServeStatus::kOverloaded;
   EXPECT_EQ(FormatResponse(9, overload),
             "ERR id=9 code=overloaded msg=overloaded");
+
+  EXPECT_EQ(FormatReloadResponse(2, 5), "OK id=2 reload version=5");
+
+  ServingStats stats;
+  stats.active_version = 4;
+  stats.retired_live = 1;
+  stats.reloads = 3;
+  const std::string line = FormatStatsLine(stats, 0.0);
+  EXPECT_NE(line.find("version=4"), std::string::npos) << line;
+  EXPECT_NE(line.find("retired=1"), std::string::npos) << line;
+  EXPECT_NE(line.find("reloads=3"), std::string::npos) << line;
 }
 
 }  // namespace

@@ -1,0 +1,386 @@
+// DatasetSnapshot / SnapshotStore / snapshot-directory format tests
+// (data/, DESIGN.md §8).
+//
+// Three layers: (1) Create's cross-component consistency validation — the
+// invariants that used to be scattered across ServingEngine, binary_io, and
+// nothing at all; (2) the RCU-style store: publish/acquire semantics,
+// stale-publish rejection, retired-version drain tracking; (3) the on-disk
+// manifest: round-trip, and the serialize_fuzz-style robustness sweep —
+// corruption, truncation, missing components, and cross-component
+// mismatches (a TNAM or graph swapped in from another dataset) must all be
+// rejected at load, never discovered out of bounds at query time.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "attr/tnam_io.hpp"
+#include "data/dataset_snapshot.hpp"
+#include "data/snapshot_io.hpp"
+#include "graph/builder.hpp"
+
+namespace laca {
+namespace {
+
+Graph MakeRing(NodeId n) {
+  GraphBuilder b(n);
+  for (NodeId v = 0; v < n; ++v) b.AddEdge(v, (v + 1) % n);
+  return b.Build();
+}
+
+AttributeMatrix MakeAttrs(NodeId n, uint32_t d) {
+  AttributeMatrix attrs(n, d);
+  for (NodeId i = 0; i < n; ++i) {
+    std::vector<AttributeMatrix::Entry> row;
+    row.emplace_back(i % d, 1.0 + 0.25 * i);
+    attrs.SetRow(i, std::move(row));
+  }
+  return attrs;
+}
+
+Communities MakeComms(NodeId n) {
+  Communities comms;
+  comms.node_comms.assign(n, {});
+  comms.members.resize(2);
+  for (NodeId v = 0; v < n; ++v) {
+    const uint32_t c = v < n / 2 ? 0 : 1;
+    comms.members[c].push_back(v);
+    comms.node_comms[v].push_back(c);
+  }
+  return comms;
+}
+
+Tnam MakeTnam(NodeId n, size_t dim, double scale = 1.0) {
+  DenseMatrix z(n, dim);
+  for (NodeId i = 0; i < n; ++i) {
+    for (size_t j = 0; j < dim; ++j) {
+      z(i, j) = scale * (1.0 + i) / (1.0 + j);
+    }
+  }
+  return Tnam::FromMatrix(std::move(z));
+}
+
+AttributedGraph MakeData(NodeId n, uint32_t d) {
+  AttributedGraph data;
+  data.graph = MakeRing(n);
+  data.attributes = MakeAttrs(n, d);
+  data.communities = MakeComms(n);
+  return data;
+}
+
+SnapshotMetadata Meta(uint64_t version) {
+  SnapshotMetadata meta;
+  meta.name = "snapshot-test";
+  meta.version = version;
+  meta.source = "unit-test";
+  return meta;
+}
+
+std::shared_ptr<const DatasetSnapshot> MakeSnapshot(uint64_t version,
+                                                    NodeId n = 8) {
+  std::vector<PreparedTnam> tnams;
+  tnams.push_back(PreparedTnam{3, MakeTnam(n, 3)});
+  tnams.push_back(PreparedTnam{5, MakeTnam(n, 5)});
+  return DatasetSnapshot::Create(MakeData(n, 4), std::move(tnams),
+                                 Meta(version));
+}
+
+// ---------------------------------------------------------------------------
+// Creation-time cross-component validation.
+
+TEST(DatasetSnapshotTest, CreateValidatesCrossComponentConsistency) {
+  // The happy path holds everything together.
+  std::shared_ptr<const DatasetSnapshot> snap = MakeSnapshot(1);
+  EXPECT_EQ(snap->graph().num_nodes(), 8u);
+  EXPECT_EQ(snap->attributes().num_rows(), 8u);
+  EXPECT_TRUE(snap->attributed());
+  EXPECT_EQ(snap->tnams().size(), 2u);
+  EXPECT_EQ(snap->version(), 1u);
+
+  // Attribute rows disagreeing with the graph.
+  {
+    AttributedGraph data = MakeData(8, 4);
+    data.attributes = MakeAttrs(6, 4);
+    EXPECT_THROW(DatasetSnapshot::Create(std::move(data), {}, Meta(1)),
+                 std::invalid_argument);
+  }
+  // Community coverage disagreeing with the graph.
+  {
+    AttributedGraph data = MakeData(8, 4);
+    data.communities = MakeComms(5);
+    EXPECT_THROW(DatasetSnapshot::Create(std::move(data), {}, Meta(1)),
+                 std::invalid_argument);
+  }
+  // TNAM rows disagreeing with the graph.
+  {
+    std::vector<PreparedTnam> tnams;
+    tnams.push_back(PreparedTnam{3, MakeTnam(12, 3)});
+    EXPECT_THROW(DatasetSnapshot::Create(MakeData(8, 4), std::move(tnams),
+                                         Meta(1)),
+                 std::invalid_argument);
+  }
+  // Duplicate and non-positive k keys.
+  {
+    std::vector<PreparedTnam> tnams;
+    tnams.push_back(PreparedTnam{3, MakeTnam(8, 3)});
+    tnams.push_back(PreparedTnam{3, MakeTnam(8, 5)});
+    EXPECT_THROW(DatasetSnapshot::Create(MakeData(8, 4), std::move(tnams),
+                                         Meta(1)),
+                 std::invalid_argument);
+  }
+  {
+    std::vector<PreparedTnam> tnams;
+    tnams.push_back(PreparedTnam{0, MakeTnam(8, 3)});
+    EXPECT_THROW(DatasetSnapshot::Create(MakeData(8, 4), std::move(tnams),
+                                         Meta(1)),
+                 std::invalid_argument);
+  }
+  // Null shared data.
+  EXPECT_THROW(DatasetSnapshot::Create(
+                   std::shared_ptr<const AttributedGraph>(), {}, Meta(1)),
+               std::invalid_argument);
+}
+
+TEST(DatasetSnapshotTest, FindTnamSelectsByKey) {
+  std::shared_ptr<const DatasetSnapshot> snap = MakeSnapshot(1);
+  ASSERT_NE(snap->FindTnam(3), nullptr);
+  EXPECT_EQ(snap->FindTnam(3)->tnam.dim(), 3u);
+  ASSERT_NE(snap->FindTnam(5), nullptr);
+  EXPECT_EQ(snap->FindTnam(5)->tnam.dim(), 5u);
+  EXPECT_EQ(snap->FindTnam(4), nullptr);
+}
+
+TEST(DatasetSnapshotTest, WithTnamsSharesDataAndRestampsVersion) {
+  std::shared_ptr<const DatasetSnapshot> v1 = MakeSnapshot(1);
+  std::vector<PreparedTnam> fresh;
+  fresh.push_back(PreparedTnam{7, MakeTnam(8, 7)});
+  std::shared_ptr<const DatasetSnapshot> v2 =
+      v1->WithTnams(std::move(fresh), 2);
+  // Same underlying AttributedGraph — no copy on the hot-reload path.
+  EXPECT_EQ(&v2->data(), &v1->data());
+  EXPECT_EQ(v2->version(), 2u);
+  EXPECT_EQ(v2->name(), v1->name());
+  EXPECT_EQ(v2->tnams().size(), 1u);
+  EXPECT_EQ(v1->tnams().size(), 2u);  // the source snapshot is untouched
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotStore: RCU-style publish/acquire with drain tracking.
+
+TEST(SnapshotStoreTest, PublishSwapsAcquireAndTracksRetirees) {
+  std::shared_ptr<const DatasetSnapshot> v1 = MakeSnapshot(1);
+  SnapshotStore store(v1);
+  EXPECT_EQ(store.Acquire(), v1);
+  EXPECT_EQ(store.publish_count(), 0u);
+  EXPECT_EQ(store.retired_live(), 0u);
+
+  // A reader pins v1; publishing v2 swaps the current version without
+  // touching the pinned one.
+  std::shared_ptr<const DatasetSnapshot> reader = store.Acquire();
+  v1.reset();
+  std::shared_ptr<const DatasetSnapshot> v2 = MakeSnapshot(2);
+  store.Publish(v2);
+  EXPECT_EQ(store.Acquire(), v2);
+  EXPECT_EQ(store.publish_count(), 1u);
+  EXPECT_EQ(store.retired_live(), 1u);  // reader still holds v1
+  EXPECT_EQ(reader->version(), 1u);
+
+  // The retired version drains when its last reader releases it.
+  reader.reset();
+  EXPECT_EQ(store.retired_live(), 0u);
+}
+
+TEST(SnapshotStoreTest, RejectsNullAndStalePublishes) {
+  SnapshotStore store(MakeSnapshot(3));
+  EXPECT_THROW(store.Publish(nullptr), std::invalid_argument);
+  EXPECT_THROW(store.Publish(MakeSnapshot(3)), std::invalid_argument);
+  EXPECT_THROW(store.Publish(MakeSnapshot(2)), std::invalid_argument);
+  EXPECT_EQ(store.Acquire()->version(), 3u);
+  EXPECT_EQ(store.publish_count(), 0u);
+  store.Publish(MakeSnapshot(4));
+  EXPECT_EQ(store.Acquire()->version(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// On-disk snapshot directories.
+
+class SnapshotIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "laca_snapshot_io_test";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    snap_dir_ = (dir_ / "snap").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+  std::string snap_dir_;
+};
+
+TEST_F(SnapshotIoTest, RoundTripsEveryComponent) {
+  std::shared_ptr<const DatasetSnapshot> snap = MakeSnapshot(7);
+  SaveSnapshot(*snap, snap_dir_);
+  std::shared_ptr<const DatasetSnapshot> loaded = LoadSnapshot(snap_dir_);
+
+  EXPECT_EQ(loaded->name(), "snapshot-test");
+  EXPECT_EQ(loaded->version(), 7u);
+  EXPECT_EQ(loaded->metadata().source, "unit-test");
+  EXPECT_EQ(loaded->graph().num_nodes(), snap->graph().num_nodes());
+  EXPECT_EQ(loaded->graph().adjacency(), snap->graph().adjacency());
+  EXPECT_EQ(loaded->graph().offsets(), snap->graph().offsets());
+  EXPECT_EQ(loaded->attributes().num_rows(), snap->attributes().num_rows());
+  EXPECT_EQ(loaded->attributes().num_cols(), snap->attributes().num_cols());
+  EXPECT_EQ(loaded->attributes().num_nonzeros(),
+            snap->attributes().num_nonzeros());
+  EXPECT_EQ(loaded->communities().members, snap->communities().members);
+  EXPECT_EQ(loaded->communities().node_comms,
+            snap->communities().node_comms);
+  ASSERT_EQ(loaded->tnams().size(), 2u);
+  for (size_t t = 0; t < 2; ++t) {
+    EXPECT_EQ(loaded->tnams()[t].k, snap->tnams()[t].k);
+    // Bit-exact Z round trip.
+    EXPECT_EQ(loaded->tnams()[t].tnam.z().data(),
+              snap->tnams()[t].tnam.z().data());
+  }
+}
+
+TEST_F(SnapshotIoTest, RoundTripsTopologyOnlySnapshot) {
+  AttributedGraph data;
+  data.graph = MakeRing(6);
+  std::shared_ptr<const DatasetSnapshot> snap =
+      DatasetSnapshot::Create(std::move(data), {}, Meta(1));
+  SaveSnapshot(*snap, snap_dir_);
+  EXPECT_FALSE(std::filesystem::exists(
+      std::filesystem::path(snap_dir_) / "attributes.laca"));
+  std::shared_ptr<const DatasetSnapshot> loaded = LoadSnapshot(snap_dir_);
+  EXPECT_FALSE(loaded->attributed());
+  EXPECT_TRUE(loaded->tnams().empty());
+  EXPECT_EQ(loaded->graph().num_nodes(), 6u);
+}
+
+TEST_F(SnapshotIoTest, EveryManifestByteFlipIsRejected) {
+  SaveSnapshot(*MakeSnapshot(1), snap_dir_);
+  const std::string manifest = snap_dir_ + "/manifest.laca";
+  std::vector<char> original;
+  {
+    std::ifstream in(manifest, std::ios::binary);
+    original.assign((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  }
+  ASSERT_FALSE(original.empty());
+  for (size_t pos = 0; pos < original.size(); ++pos) {
+    std::vector<char> mutated = original;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x5A);
+    {
+      std::ofstream out(manifest, std::ios::binary | std::ios::trunc);
+      out.write(mutated.data(),
+                static_cast<std::streamsize>(mutated.size()));
+    }
+    EXPECT_THROW(LoadSnapshot(snap_dir_), std::invalid_argument)
+        << "manifest flip at byte " << pos << " was accepted";
+  }
+}
+
+TEST_F(SnapshotIoTest, EveryManifestTruncationIsRejected) {
+  SaveSnapshot(*MakeSnapshot(1), snap_dir_);
+  const std::string manifest = snap_dir_ + "/manifest.laca";
+  std::vector<char> original;
+  {
+    std::ifstream in(manifest, std::ios::binary);
+    original.assign((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  }
+  for (size_t keep = 0; keep < original.size(); ++keep) {
+    {
+      std::ofstream out(manifest, std::ios::binary | std::ios::trunc);
+      out.write(original.data(), static_cast<std::streamsize>(keep));
+    }
+    EXPECT_THROW(LoadSnapshot(snap_dir_), std::invalid_argument)
+        << "manifest truncated to " << keep << " bytes was accepted";
+  }
+}
+
+TEST_F(SnapshotIoTest, MissingComponentsAreRejectedWithTheirPath) {
+  for (const char* victim :
+       {"manifest.laca", "graph.laca", "attributes.laca",
+        "communities.laca", "tnam_k3.laca"}) {
+    SaveSnapshot(*MakeSnapshot(1), snap_dir_);
+    std::filesystem::remove(std::filesystem::path(snap_dir_) / victim);
+    try {
+      LoadSnapshot(snap_dir_);
+      FAIL() << "load succeeded without " << victim;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(victim), std::string::npos)
+          << "error for missing " << victim
+          << " does not name the file: " << e.what();
+    }
+    std::filesystem::remove_all(snap_dir_);
+  }
+}
+
+TEST_F(SnapshotIoTest, CrossComponentMismatchesAreRejected) {
+  SaveSnapshot(*MakeSnapshot(1), snap_dir_);
+
+  // A valid graph container from a DIFFERENT dataset (wrong node count)
+  // dropped into the directory: the manifest cross-check must catch it.
+  {
+    AttributedGraph other;
+    other.graph = MakeRing(12);
+    const std::string other_dir = (dir_ / "other").string();
+    SaveSnapshot(
+        *DatasetSnapshot::Create(std::move(other), {}, Meta(1)), other_dir);
+    std::filesystem::copy_file(
+        std::filesystem::path(other_dir) / "graph.laca",
+        std::filesystem::path(snap_dir_) / "graph.laca",
+        std::filesystem::copy_options::overwrite_existing);
+    try {
+      LoadSnapshot(snap_dir_);
+      FAIL() << "mismatched graph.laca was accepted";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("graph.laca"), std::string::npos)
+          << e.what();
+    }
+  }
+
+  // A TNAM for a different graph swapped in under the right filename: the
+  // row-count check (the LoadTnamBinary/laca_serve --tnam regression) must
+  // reject it with the file and both counts.
+  SaveSnapshot(*MakeSnapshot(1), snap_dir_);
+  SaveTnamBinary(MakeTnam(12, 3), snap_dir_ + "/tnam_k3.laca");
+  try {
+    LoadSnapshot(snap_dir_);
+    FAIL() << "TNAM with mismatched row count was accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("tnam_k3.laca"), std::string::npos) << what;
+    EXPECT_NE(what.find("12"), std::string::npos) << what;
+    EXPECT_NE(what.find("8"), std::string::npos) << what;
+  }
+}
+
+// The direct regression for the satellite bugfix: LoadTnamBinary with an
+// expected row count rejects a TNAM whose rows disagree with the serving
+// graph (previously accepted, reading out of bounds at query time).
+TEST_F(SnapshotIoTest, LoadTnamBinaryRejectsRowCountMismatch) {
+  const std::string path = (dir_ / "z.laca").string();
+  SaveTnamBinary(MakeTnam(8, 4), path);
+  EXPECT_NO_THROW(LoadTnamBinary(path, 8));
+  try {
+    LoadTnamBinary(path, 2708);
+    FAIL() << "row-count mismatch was accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("8"), std::string::npos) << what;
+    EXPECT_NE(what.find("2708"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace laca

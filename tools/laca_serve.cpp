@@ -1,13 +1,20 @@
-// laca_serve — long-lived LACA clustering server (DESIGN.md §7).
+// laca_serve — long-lived LACA clustering server (DESIGN.md §7, §8).
 //
-// Loads a graph (+ attributes) once, builds the TNAM(s), and serves
-// line-delimited clustering requests (see src/server/protocol.hpp for the
-// grammar) over stdin/stdout or a loopback TCP socket, on a warm
-// ServingEngine worker fleet with bounded-queue admission control.
+// Assembles one immutable DatasetSnapshot (graph + attributes + prepared
+// TNAMs, data/dataset_snapshot.hpp) at startup and serves line-delimited
+// clustering requests (see src/server/protocol.hpp for the grammar) over
+// stdin/stdout or a loopback TCP socket, on a warm ServingEngine worker
+// fleet with bounded-queue admission control. A `reload` request rebuilds
+// the snapshot in the background — re-reading the snapshot directory or
+// re-running the TNAM preprocessing — and swaps it in atomically while old
+// requests finish on the version they were admitted under.
 //
 // Usage:
 //   laca_serve --gen=<dataset-name>            serve a registry stand-in
 //   laca_serve --edges=<path> [--attrs=<path>] serve your own data
+//   laca_serve --snapshot-dir=<dir>            serve a snapshot directory
+//                                              (manifest + components; see
+//                                              src/data/snapshot_io.hpp)
 //
 //   --workers=N      across-request worker fleet (default: thread budget)
 //   --threads=N      total thread budget incl. helpers (default: hardware)
@@ -15,7 +22,13 @@
 //   --queue=N        admission queue depth; beyond it requests are rejected
 //                    with ERR code=overloaded (default 1024)
 //   --k=K[,K2,...]   TNAM dimensions to prepare; requests select one with
-//                    k=K (default 32; ignored without attributes)
+//                    k=K (default 32; ignored without attributes, with
+//                    --tnam, or when the snapshot directory already
+//                    carries TNAMs)
+//   --tnam=P[,P2..]  serve prebuilt TNAM file(s) (attr/tnam_io.hpp) instead
+//                    of building; each is validated against the graph's
+//                    node count at load and keyed by its dimension.
+//                    Overrides any TNAMs a --snapshot-dir carries
 //   --alpha=A        default restart factor (default 0.8)
 //   --eps=E          default diffusion threshold (default 1e-6)
 //   --port=P         serve on 127.0.0.1:P instead of stdin/stdout
@@ -34,6 +47,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -48,8 +64,11 @@
 #endif
 
 #include "attr/tnam.hpp"
+#include "attr/tnam_io.hpp"
 #include "common/parse.hpp"
 #include "common/timer.hpp"
+#include "data/dataset_snapshot.hpp"
+#include "data/snapshot_io.hpp"
 #include "eval/datasets.hpp"
 #include "graph/io.hpp"
 #include "server/protocol.hpp"
@@ -63,7 +82,9 @@ struct ServeCliOptions {
   std::string gen_name;
   std::string edges_path;
   std::string attrs_path;
+  std::string snapshot_dir;
   std::vector<int> ks = {32};
+  std::vector<std::string> tnam_paths;
   ServingOptions serving;
   int port = -1;
   double stats_every = 0.0;
@@ -72,6 +93,20 @@ struct ServeCliOptions {
 bool FailFlag(const std::string& arg, const char* why) {
   std::fprintf(stderr, "laca_serve: bad flag %s (%s)\n", arg.c_str(), why);
   return false;
+}
+
+// Splits "a,b,c" into its comma-separated fields (empty fields included, so
+// callers can reject them with the offending flag).
+std::vector<std::string> SplitCommas(const std::string& value) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= value.size()) {
+    size_t comma = value.find(',', start);
+    if (comma == std::string::npos) comma = value.size();
+    out.push_back(value.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
 }
 
 bool ParseArgs(int argc, char** argv, ServeCliOptions& opts) {
@@ -96,6 +131,8 @@ bool ParseArgs(int argc, char** argv, ServeCliOptions& opts) {
       opts.edges_path = value;
     } else if (key == "--attrs") {
       opts.attrs_path = value;
+    } else if (key == "--snapshot-dir") {
+      opts.snapshot_dir = value;
     } else if (key == "--workers") {
       if (!u64(&opts.serving.num_workers)) return FailFlag(arg, "bad count");
     } else if (key == "--threads") {
@@ -111,15 +148,15 @@ bool ParseArgs(int argc, char** argv, ServeCliOptions& opts) {
       }
     } else if (key == "--k") {
       opts.ks.clear();
-      size_t start = 0;
-      while (start <= value.size()) {
-        size_t comma = value.find(',', start);
-        if (comma == std::string::npos) comma = value.size();
-        std::optional<uint64_t> k =
-            ParseU64(value.substr(start, comma - start));
+      for (const std::string& field : SplitCommas(value)) {
+        std::optional<uint64_t> k = ParseU64(field);
         if (!k || *k == 0 || *k > 4096) return FailFlag(arg, "bad k");
         opts.ks.push_back(static_cast<int>(*k));
-        start = comma + 1;
+      }
+    } else if (key == "--tnam") {
+      for (std::string& field : SplitCommas(value)) {
+        if (field.empty()) return FailFlag(arg, "empty path");
+        opts.tnam_paths.push_back(std::move(field));
       }
     } else if (key == "--alpha") {
       std::optional<double> v = ParseF64(value);
@@ -141,14 +178,141 @@ bool ParseArgs(int argc, char** argv, ServeCliOptions& opts) {
       return FailFlag(arg, "unknown flag");
     }
   }
-  if (opts.gen_name.empty() == opts.edges_path.empty()) {
+  const int sources = (!opts.gen_name.empty() ? 1 : 0) +
+                      (!opts.edges_path.empty() ? 1 : 0) +
+                      (!opts.snapshot_dir.empty() ? 1 : 0);
+  if (sources != 1) {
     std::fprintf(stderr,
-                 "laca_serve: pass exactly one of --gen=<name> or "
-                 "--edges=<path>\n");
+                 "laca_serve: pass exactly one of --gen=<name>, "
+                 "--edges=<path>, or --snapshot-dir=<dir>\n");
     return false;
   }
   return true;
 }
+
+// ---------------------------------------------------------------------------
+// Snapshot assembly: one code path builds the initial version and every
+// `reload` rebuild, so the two can never drift.
+
+// Builds the prepared-TNAM set for a graph+attribute pair: from --tnam files
+// when given (each validated against the node count, keyed by dimension),
+// else from the attributes for every --k dimension. Empty when the data has
+// no attributes (topology-only serving).
+std::vector<PreparedTnam> BuildTnams(const AttributeMatrix& attrs, NodeId n,
+                                     const ServeCliOptions& cli) {
+  std::vector<PreparedTnam> out;
+  if (!cli.tnam_paths.empty()) {
+    for (const std::string& path : cli.tnam_paths) {
+      Tnam tnam = LoadTnamBinary(path, n);  // rejects row/graph mismatch
+      const int k = static_cast<int>(tnam.dim());
+      std::fprintf(stderr, "laca_serve: TNAM k=%d loaded from %s\n", k,
+                   path.c_str());
+      out.push_back(PreparedTnam{k, std::move(tnam)});
+    }
+    return out;
+  }
+  if (attrs.num_cols() == 0) return out;
+  for (int k : cli.ks) {
+    TnamOptions topts;
+    topts.k = k;
+    Timer timer;
+    out.push_back(PreparedTnam{k, Tnam::Build(attrs, topts)});
+    std::fprintf(stderr, "laca_serve: TNAM k=%d built in %.2fs\n", k,
+                 timer.ElapsedSeconds());
+  }
+  return out;
+}
+
+// Builds snapshot versions from the configured source, for startup and for
+// `reload` requests. Rebuilds are serialized across sessions; the publish
+// itself is the engine's atomic swap.
+class SnapshotSource {
+ public:
+  explicit SnapshotSource(const ServeCliOptions& cli) : cli_(cli) {}
+
+  /// The startup snapshot (version from the manifest for --snapshot-dir,
+  /// 1 otherwise). Throws std::invalid_argument on load/validation errors.
+  std::shared_ptr<const DatasetSnapshot> Initial() {
+    if (!cli_.snapshot_dir.empty()) return FromDirectory(/*min_version=*/0);
+    if (!cli_.edges_path.empty()) return FromEdges(/*version=*/1);
+    const Dataset& ds = GetDataset(cli_.gen_name);
+    return ds.snapshot->WithTnams(
+        BuildTnams(ds.data.attributes, ds.num_nodes(), cli_),
+        ds.snapshot->version());
+  }
+
+  /// One `reload`: builds the next version by re-running the whole load
+  /// path — re-reading the snapshot directory or the --edges/--attrs/--tnam
+  /// files (so data edited on disk is actually picked up), or re-running
+  /// the TNAM preprocessing for the in-memory --gen data — and swaps it
+  /// into the engine. Returns the new version. Throws on any
+  /// load/validation failure, in which case the engine keeps serving the
+  /// old version.
+  uint64_t Rebuild(ServingEngine& engine) {
+    std::lock_guard<std::mutex> lock(rebuild_mu_);
+    const std::shared_ptr<const DatasetSnapshot> current = engine.snapshot();
+    std::shared_ptr<const DatasetSnapshot> next;
+    if (!cli_.snapshot_dir.empty()) {
+      next = FromDirectory(/*min_version=*/current->version() + 1);
+    } else if (!cli_.edges_path.empty()) {
+      next = FromEdges(current->version() + 1);
+    } else {
+      // --gen data lives in the process-lifetime registry; only the TNAM
+      // preprocessing can meaningfully refresh.
+      next = current->WithTnams(
+          BuildTnams(current->attributes(), current->graph().num_nodes(),
+                     cli_),
+          current->version() + 1);
+    }
+    engine.Reload(next);
+    return next->version();
+  }
+
+ private:
+  // Loads the snapshot directory; --tnam files override any TNAMs the
+  // directory carries, which are otherwise reused as-is (TNAMs are built
+  // only when neither provides them). `min_version` restamps a manifest
+  // that has not advanced past the live version (a reload of an unchanged
+  // directory still publishes a distinct, newer version).
+  std::shared_ptr<const DatasetSnapshot> FromDirectory(uint64_t min_version) {
+    SnapshotContents contents = ReadSnapshotDir(cli_.snapshot_dir);
+    if (!cli_.tnam_paths.empty() || contents.tnams.empty()) {
+      contents.tnams = BuildTnams(contents.data->attributes,
+                                  contents.data->graph.num_nodes(), cli_);
+    }
+    if (contents.meta.version < min_version) {
+      contents.meta.version = min_version;
+    }
+    if (contents.meta.source.empty()) {
+      contents.meta.source = "dir:" + cli_.snapshot_dir;
+    }
+    return DatasetSnapshot::Create(std::move(contents.data),
+                                   std::move(contents.tnams),
+                                   std::move(contents.meta));
+  }
+
+  // (Re)reads the --edges/--attrs text files and the TNAM source. Create
+  // cross-validates (attribute rows vs nodes, TNAM rows vs nodes) so
+  // mismatched input files fail here, not at query time.
+  std::shared_ptr<const DatasetSnapshot> FromEdges(uint64_t version) {
+    AttributedGraph data;
+    data.graph = LoadEdgeList(cli_.edges_path);
+    if (!cli_.attrs_path.empty()) {
+      data.attributes = LoadAttributes(cli_.attrs_path);
+    }
+    std::vector<PreparedTnam> tnams =
+        BuildTnams(data.attributes, data.graph.num_nodes(), cli_);
+    SnapshotMetadata meta;
+    meta.name = cli_.edges_path;
+    meta.version = version;
+    meta.source = "edges:" + cli_.edges_path;
+    return DatasetSnapshot::Create(std::move(data), std::move(tnams),
+                                   std::move(meta));
+  }
+
+  const ServeCliOptions cli_;
+  std::mutex rebuild_mu_;
+};
 
 // Reads one '\n'-terminated line into *line (portable fgets loop — POSIX
 // getline does not exist everywhere this file must at least compile).
@@ -162,6 +326,13 @@ bool ReadLine(std::FILE* in, std::string* line) {
     if (!line->empty() && line->back() == '\n') return true;
   }
   return !line->empty();
+}
+
+std::string StatsLineNow(ServingEngine& engine) {
+  ServingStats s = engine.Stats();
+  const double qps =
+      s.uptime_seconds > 0.0 ? s.completed / s.uptime_seconds : 0.0;
+  return FormatStatsLine(s, qps);
 }
 
 // Periodic STATS line on stderr (interruptible wait, so shutdown never
@@ -203,12 +374,17 @@ class StatsReporter {
 
 // One request/response session over stdio-style streams. Responses are
 // emitted strictly in request order (a bounded pending window keeps reading
-// ahead of the slowest in-flight request). Returns true if the peer asked
+// ahead of the slowest in-flight request). `stats` and `reload` responses
+// are rendered at emission time, so a stats line that follows a reload in
+// the stream reports the post-reload state. Returns true if the peer asked
 // for a server shutdown.
-bool RunSession(ServingEngine& engine, std::FILE* in, std::FILE* out) {
+bool RunSession(ServingEngine& engine, SnapshotSource& source, std::FILE* in,
+                std::FILE* out) {
   struct Pending {
     uint64_t id;
-    std::optional<std::string> ready;  // immediate response (errors, stats)
+    std::optional<std::string> ready;    // immediate response (errors)
+    std::function<std::string()> lazy;   // rendered at emission (stats)
+    std::future<std::string> deferred;   // background work (reload)
     std::future<ServeResponse> response;
   };
   std::deque<Pending> pending;
@@ -219,19 +395,32 @@ bool RunSession(ServingEngine& engine, std::FILE* in, std::FILE* out) {
   auto emit_front = [&] {
     Pending p = std::move(pending.front());
     pending.pop_front();
-    const std::string line =
-        p.ready ? std::move(*p.ready) : FormatResponse(p.id, p.response.get());
+    std::string line;
+    if (p.ready) {
+      line = std::move(*p.ready);
+    } else if (p.lazy) {
+      line = p.lazy();
+    } else if (p.deferred.valid()) {
+      line = p.deferred.get();
+    } else {
+      line = FormatResponse(p.id, p.response.get());
+    }
     std::fprintf(out, "%s\n", line.c_str());
     std::fflush(out);
   };
+  auto front_ready = [&]() -> bool {
+    const Pending& p = pending.front();
+    if (p.ready || p.lazy) return true;
+    if (p.deferred.valid()) {
+      return p.deferred.wait_for(std::chrono::seconds(0)) ==
+             std::future_status::ready;
+    }
+    return p.response.wait_for(std::chrono::seconds(0)) ==
+           std::future_status::ready;
+  };
   auto flush_ready = [&](bool all) {
     while (!pending.empty()) {
-      Pending& p = pending.front();
-      if (!all && !p.ready &&
-          p.response.wait_for(std::chrono::seconds(0)) !=
-              std::future_status::ready) {
-        break;
-      }
+      if (!all && !front_ready()) break;
       emit_front();
     }
   };
@@ -248,13 +437,23 @@ bool RunSession(ServingEngine& engine, std::FILE* in, std::FILE* out) {
     Pending p;
     p.id = id;
     switch (parsed.kind) {
-      case ParsedLine::Kind::kStats: {
-        ServingStats s = engine.Stats();
-        const double qps =
-            s.uptime_seconds > 0.0 ? s.completed / s.uptime_seconds : 0.0;
-        p.ready = FormatStatsLine(s, qps);
+      case ParsedLine::Kind::kStats:
+        p.lazy = [&engine] { return StatsLineNow(engine); };
         break;
-      }
+      case ParsedLine::Kind::kReload:
+        // The rebuild runs off this thread; requests keep flowing on the
+        // old snapshot and this slot resolves once the swap is live.
+        p.deferred = std::async(std::launch::async, [&engine, &source, id] {
+          try {
+            return FormatReloadResponse(id, source.Rebuild(engine));
+          } catch (const std::exception& e) {
+            ServeResponse resp;
+            resp.status = ServeStatus::kInvalid;
+            resp.error = std::string("reload failed: ") + e.what();
+            return FormatResponse(id, resp);
+          }
+        });
+        break;
       case ParsedLine::Kind::kShutdown:
         shutdown_requested = true;
         p.ready = "OK id=" + std::to_string(id) + " shutdown";
@@ -307,7 +506,7 @@ struct ConnRegistry {
   }
 };
 
-int RunTcpServer(ServingEngine& engine, int port) {
+int RunTcpServer(ServingEngine& engine, SnapshotSource& source, int port) {
   const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listener < 0) {
     std::perror("laca_serve: socket");
@@ -357,8 +556,8 @@ int RunTcpServer(ServingEngine& engine, int port) {
     // sure this connection does not outlive it either way.
     if (stop.load()) ::shutdown(fd, SHUT_RD);
     active.fetch_add(1);
-    auto session = [&engine, &stop, &conns, &active, &done_mu, &done_cv, fd,
-                    listener] {
+    auto session = [&engine, &source, &stop, &conns, &active, &done_mu,
+                    &done_cv, fd, listener] {
       bool wants_shutdown = false;
       std::FILE* in = ::fdopen(fd, "r");
       if (in == nullptr) {
@@ -368,7 +567,7 @@ int RunTcpServer(ServingEngine& engine, int port) {
         const int out_fd = ::dup(fd);
         std::FILE* out = out_fd >= 0 ? ::fdopen(out_fd, "w") : nullptr;
         if (out != nullptr) {
-          wants_shutdown = RunSession(engine, in, out);
+          wants_shutdown = RunSession(engine, source, in, out);
           std::fclose(out);
         } else if (out_fd >= 0) {
           ::close(out_fd);
@@ -419,61 +618,34 @@ int main(int argc, char** argv) {
   ServeCliOptions cli;
   if (!ParseArgs(argc, argv, cli)) {
     std::fprintf(stderr,
-                 "usage: %s (--gen=<name> | --edges=<path> [--attrs=<path>]) "
-                 "[--workers=] [--threads=] [--intra=] [--queue=] [--k=] "
-                 "[--alpha=] [--eps=] [--port=] [--stats-every=]\n",
+                 "usage: %s (--gen=<name> | --edges=<path> [--attrs=<path>] "
+                 "| --snapshot-dir=<dir>) [--workers=] [--threads=] "
+                 "[--intra=] [--queue=] [--k=] [--tnam=] [--alpha=] [--eps=] "
+                 "[--port=] [--stats-every=]\n",
                  argv[0]);
     return 2;
   }
 
-  // For --gen the registry cache owns the data (GetDataset caches for the
-  // process lifetime); for --edges the locals below do.
-  Graph owned_graph;
-  AttributeMatrix owned_attrs;
-  const Graph* graph = nullptr;
-  const AttributeMatrix* attrs = nullptr;
+  SnapshotSource source(cli);
+  std::shared_ptr<const DatasetSnapshot> snapshot;
   try {
-    if (!cli.gen_name.empty()) {
-      const Dataset& ds = GetDataset(cli.gen_name);
-      graph = &ds.data.graph;
-      if (ds.attributed()) attrs = &ds.data.attributes;
-    } else {
-      owned_graph = LoadEdgeList(cli.edges_path);
-      graph = &owned_graph;
-      if (!cli.attrs_path.empty()) {
-        owned_attrs = LoadAttributes(cli.attrs_path);
-        attrs = &owned_attrs;
-      }
-    }
+    snapshot = source.Initial();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "laca_serve: load error: %s\n", e.what());
     return 1;
   }
-  std::fprintf(stderr, "laca_serve: graph n=%u m=%llu%s\n",
-               graph->num_nodes(),
-               static_cast<unsigned long long>(graph->num_edges()),
-               attrs ? " (attributed)" : "");
-
-  // Preprocessing stage: TNAMs are built once here, never on request paths.
-  std::vector<Tnam> tnams;
-  std::vector<ServingEngine::TnamEntry> entries;
-  if (attrs != nullptr) {
-    tnams.reserve(cli.ks.size());
-    for (int k : cli.ks) {
-      TnamOptions topts;
-      topts.k = k;
-      Timer timer;
-      tnams.push_back(Tnam::Build(*attrs, topts));
-      std::fprintf(stderr, "laca_serve: TNAM k=%d built in %.2fs\n", k,
-                   timer.ElapsedSeconds());
-    }
-    for (size_t i = 0; i < tnams.size(); ++i) {
-      entries.push_back({cli.ks[i], &tnams[i]});
-    }
-  }
+  std::fprintf(stderr,
+               "laca_serve: snapshot '%s' v%llu — n=%u m=%llu%s, %zu TNAM(s)\n",
+               snapshot->name().c_str(),
+               static_cast<unsigned long long>(snapshot->version()),
+               snapshot->graph().num_nodes(),
+               static_cast<unsigned long long>(snapshot->graph().num_edges()),
+               snapshot->attributed() ? " (attributed)" : "",
+               snapshot->tnams().size());
 
   try {
-    ServingEngine engine(*graph, entries, cli.serving);
+    ServingEngine engine(snapshot, cli.serving);
+    snapshot.reset();  // the engine's store owns the lifetime from here
     std::fprintf(stderr, "laca_serve: %zu workers, queue depth %zu\n",
                  engine.num_workers(), cli.serving.max_queue_depth);
 
@@ -484,23 +656,19 @@ int main(int argc, char** argv) {
     int rc = 0;
     if (cli.port > 0) {
 #ifdef __unix__
-      rc = RunTcpServer(engine, cli.port);
+      rc = RunTcpServer(engine, source, cli.port);
 #else
       std::fprintf(stderr, "laca_serve: --port requires a POSIX platform\n");
       rc = 2;
 #endif
     } else {
-      RunSession(engine, stdin, stdout);
+      RunSession(engine, source, stdin, stdout);
     }
 
     engine.Shutdown();
     reporter.Stop();
-    ServingStats s = engine.Stats();
     std::fprintf(stderr, "laca_serve: done — %s\n",
-                 FormatStatsLine(s, s.uptime_seconds > 0.0
-                                        ? s.completed / s.uptime_seconds
-                                        : 0.0)
-                     .c_str());
+                 StatsLineNow(engine).c_str());
     return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "laca_serve: %s\n", e.what());
