@@ -21,6 +21,7 @@
 // bit-identical to serial Laca::Cluster, and the warm-path alloc counter
 // stays flat across requests after warmup. Results go to BENCH_serving.json.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -352,6 +353,319 @@ void RunReloadStudy(const std::string& name, size_t num_requests,
       .Int("retired_live", stats.retired_live);
 }
 
+// Open-loop drive that tolerates deadline outcomes: applies `timeout_ms` to
+// every request, records served-only latencies, and counts sheds and
+// cancellations instead of treating them as bench failures (anything else —
+// kOverloaded, kInternal — still aborts the bench).
+struct OverloadResult {
+  double seconds = 0.0;
+  std::vector<double> served_latencies;  // kOk only, sorted
+  uint64_t served = 0;
+  uint64_t shed = 0;       // kDeadlineExceeded, expired unclaimed in queue
+  uint64_t cancelled = 0;  // kDeadlineExceeded, tripped mid-compute
+  double p99() const {
+    return served_latencies.empty()
+               ? 0.0
+               : served_latencies[(served_latencies.size() - 1) * 99 / 100];
+  }
+};
+
+OverloadResult DriveOverload(ServingEngine& engine,
+                             const std::vector<ServeRequest>& reqs,
+                             double interarrival_seconds, double timeout_ms) {
+  OverloadResult out;
+  std::vector<std::future<ServeResponse>> futures;
+  futures.reserve(reqs.size());
+  Timer timer;
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(i * interarrival_seconds)));
+    ServeRequest req = reqs[i];
+    req.timeout_ms = timeout_ms;
+    Admission a = engine.Submit(req);
+    if (!a.ok()) {
+      std::fprintf(stderr,
+                   "bench_ext_serving: unexpected rejection under overload: "
+                   "%s\n",
+                   ToString(a.status));
+      std::exit(1);
+    }
+    futures.push_back(std::move(a.response));
+  }
+  for (auto& f : futures) {
+    ServeResponse resp = f.get();
+    if (resp.status == ServeStatus::kOk) {
+      out.served_latencies.push_back(resp.total_seconds);
+      ++out.served;
+    } else if (resp.status == ServeStatus::kDeadlineExceeded) {
+      // "in queue" sheds never reached a worker's compute path.
+      (resp.error.find("queue") != std::string::npos ? out.shed
+                                                     : out.cancelled)++;
+    } else {
+      std::fprintf(stderr, "bench_ext_serving: request failed under "
+                           "overload: %s\n",
+                   resp.error.c_str());
+      std::exit(1);
+    }
+  }
+  out.seconds = timer.ElapsedSeconds();
+  std::sort(out.served_latencies.begin(), out.served_latencies.end());
+  return out;
+}
+
+// Overload study: arrivals past measured capacity, with request deadlines
+// off vs on. Without deadlines the queue grows for the whole run and every
+// response pays the accumulated wait; with an admission-anchored budget the
+// expired tail is cut unserved and the served latencies stay bounded by the
+// budget. Two overload shapes, because they engage different deadline paths:
+//
+//   * open-loop at 2x capacity: with homogeneous budgets and steady
+//     arrivals, cancellation burn shrinks to (budget - wait), so the
+//     claim-time wait converges to a fixed point just BELOW the budget —
+//     expiries trip mid-compute (cancelled), essentially never in the
+//     queue. This phase carries the latency criteria: no served response
+//     exceeds its budget by more than one cancellation poll interval, and
+//     served p99 is strictly below the no-deadline run's.
+//   * burst (all requests admitted back-to-back): the backlog exceeds the
+//     budget outright, so everything behind the first ~budget/service jobs
+//     expires unclaimed — the queue-shed path, counter-witnessed with no
+//     compute spent.
+void RunOverloadStudy(const std::string& name, size_t num_requests,
+                      size_t workers) {
+  const Dataset& ds = GetDataset(name);
+  std::shared_ptr<const DatasetSnapshot> snapshot = MakeServingSnapshot(ds, 1);
+  std::vector<ServeRequest> requests = MakeRequests(ds, num_requests);
+
+  Laca serial(ds.data.graph, &snapshot->tnams()[0].tnam);
+  LacaOptions defaults;
+  Timer serial_timer;
+  for (const ServeRequest& req : requests) {
+    (void)serial.Cluster(req.seed, req.size, defaults);
+  }
+  const double serial_ms = serial_timer.ElapsedSeconds() * 1e3 /
+                           requests.size();
+
+  ServingOptions opts;
+  opts.num_workers = workers;
+  opts.num_threads = workers;
+  opts.max_queue_depth = 2 * requests.size() + 1;  // shed, don't reject
+  ServingEngine engine(snapshot, opts);
+
+  (void)Drive(engine, requests, 0.0);  // warm every arena
+  LoadResult sat = Drive(engine, requests, 0.0);
+  const double capacity_qps = sat.completed / sat.seconds;
+  const double interarrival = 1.0 / std::max(2.0 * capacity_qps, 1.0);
+  // The budget covers a handful of serial computes, floored well above
+  // scheduler-tick noise. At 2x offered load the queue outgrows it quickly.
+  const double budget_ms = std::max(4.0 * serial_ms, 20.0);
+
+  OverloadResult no_deadline =
+      DriveOverload(engine, requests, interarrival, /*timeout_ms=*/0.0);
+  OverloadResult with_deadline =
+      DriveOverload(engine, requests, interarrival, budget_ms);
+  const uint64_t shed_before = engine.Stats().shed_in_queue;
+  OverloadResult burst =
+      DriveOverload(engine, requests, /*interarrival=*/0.0, budget_ms);
+  const uint64_t shed_counter = engine.Stats().shed_in_queue - shed_before;
+
+  if (no_deadline.served != requests.size()) {
+    std::fprintf(stderr, "bench_ext_serving: no-deadline run dropped "
+                         "requests\n");
+    std::exit(1);
+  }
+  if (with_deadline.shed + with_deadline.cancelled == 0) {
+    std::fprintf(stderr, "bench_ext_serving: 2x overload never tripped a "
+                         "deadline\n");
+    std::exit(1);
+  }
+  if (burst.shed == 0 || shed_counter != burst.shed) {
+    std::fprintf(stderr,
+                 "bench_ext_serving: burst overload shed nothing from the "
+                 "queue (responses=%llu counter=%llu served=%llu "
+                 "cancelled=%llu budget=%.1fms)\n",
+                 static_cast<unsigned long long>(burst.shed),
+                 static_cast<unsigned long long>(shed_counter),
+                 static_cast<unsigned long long>(burst.served),
+                 static_cast<unsigned long long>(burst.cancelled), budget_ms);
+    std::exit(1);
+  }
+  // One poll interval is bounded by a single request's compute here: a
+  // served response can only overrun its budget by the tail it was already
+  // inside when the deadline passed.
+  const double slack_ms = std::max(2.0 * serial_ms, 10.0);
+  for (const OverloadResult* run : {&with_deadline, &burst}) {
+    for (double lat : run->served_latencies) {
+      if (lat * 1e3 > budget_ms + slack_ms) {
+        std::fprintf(stderr,
+                     "bench_ext_serving: served response exceeded its %.1fms "
+                     "budget by more than one poll interval (%.1fms)\n",
+                     budget_ms, lat * 1e3);
+        std::exit(1);
+      }
+    }
+  }
+  if (with_deadline.served > 0 && no_deadline.p99() > 0.0 &&
+      with_deadline.p99() >= no_deadline.p99()) {
+    std::fprintf(stderr,
+                 "bench_ext_serving: deadlines did not improve served p99 "
+                 "under overload (%.1fms vs %.1fms)\n",
+                 with_deadline.p99() * 1e3, no_deadline.p99() * 1e3);
+    std::exit(1);
+  }
+
+  const double shed_fraction =
+      static_cast<double>(burst.shed + burst.cancelled) / requests.size();
+  bench::PrintHeader("Overload on " + name + " (" + std::to_string(workers) +
+                     " workers, budget " + bench::Fmt(budget_ms, "%.1f") +
+                     "ms)");
+  bench::PrintRow("mode", {"served", "shed", "cancelled", "p99-served"}, 16,
+                  12);
+  bench::PrintRow("2x no-deadline",
+                  {std::to_string(no_deadline.served), "0", "0",
+                   bench::FmtSeconds(no_deadline.p99())},
+                  16, 12);
+  bench::PrintRow("2x deadline",
+                  {std::to_string(with_deadline.served),
+                   std::to_string(with_deadline.shed),
+                   std::to_string(with_deadline.cancelled),
+                   bench::FmtSeconds(with_deadline.p99())},
+                  16, 12);
+  bench::PrintRow("burst deadline",
+                  {std::to_string(burst.served), std::to_string(burst.shed),
+                   std::to_string(burst.cancelled),
+                   bench::FmtSeconds(burst.p99())},
+                  16, 12);
+
+  json.BeginRecord()
+      .Str("dataset", name)
+      .Int("workers", workers)
+      .Str("mode", "overload_2x_nodeadline")
+      .Int("requests", requests.size())
+      .Num("offered_qps", 2.0 * capacity_qps)
+      .Int("served", no_deadline.served)
+      .Num("p99_served_ms", no_deadline.p99() * 1e3);
+  json.BeginRecord()
+      .Str("dataset", name)
+      .Int("workers", workers)
+      .Str("mode", "overload_2x_deadline")
+      .Int("requests", requests.size())
+      .Num("offered_qps", 2.0 * capacity_qps)
+      .Num("budget_ms", budget_ms)
+      .Int("served", with_deadline.served)
+      .Int("shed_in_queue", with_deadline.shed)
+      .Int("cancelled", with_deadline.cancelled)
+      .Num("p99_served_ms", with_deadline.p99() * 1e3);
+  json.BeginRecord()
+      .Str("dataset", name)
+      .Int("workers", workers)
+      .Str("mode", "overload_burst_deadline")
+      .Int("requests", requests.size())
+      .Num("budget_ms", budget_ms)
+      .Int("served", burst.served)
+      .Int("shed_in_queue", burst.shed)
+      .Int("cancelled", burst.cancelled)
+      .Num("shed_fraction", shed_fraction)
+      .Num("p99_served_ms", burst.p99() * 1e3);
+}
+
+// Retry study: clients facing kOverloaded backpressure, with and without
+// bounded decorrelated-jitter retries. The queue is made shallow so
+// saturation actually bounces admissions; goodput counts requests that
+// eventually served.
+void RunRetryStudy(const std::string& name, size_t num_requests,
+                   size_t workers) {
+  const Dataset& ds = GetDataset(name);
+  std::shared_ptr<const DatasetSnapshot> snapshot = MakeServingSnapshot(ds, 1);
+  std::vector<ServeRequest> requests = MakeRequests(ds, num_requests);
+
+  ServingOptions opts;
+  opts.num_workers = workers;
+  opts.num_threads = workers;
+  opts.max_queue_depth = 4;  // shallow on purpose: admission bounces
+  ServingEngine engine(snapshot, opts);
+  // Warm one request at a time — the queue is too shallow for Drive's
+  // submit-everything-then-wait pattern.
+  for (const ServeRequest& req : requests) {
+    Admission a = engine.Submit(req);
+    if (a.ok()) (void)a.response.get();
+  }
+
+  // Enough closed-loop clients to outnumber queue slots + workers, so
+  // admission genuinely bounces under contention.
+  constexpr size_t kClients = 12;
+  constexpr int kMaxAttempts = 6;
+  auto run = [&](bool retry) {
+    std::atomic<uint64_t> served{0}, gave_up{0};
+    Timer timer;
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        bench::DecorrelatedJitterBackoff backoff(
+            /*base_seconds=*/0.0002, /*cap_seconds=*/0.02, /*seed=*/17 + c);
+        for (size_t i = c; i < requests.size(); i += kClients) {
+          int attempts = retry ? kMaxAttempts : 1;
+          bool done = false;
+          backoff.Reset();
+          while (attempts-- > 0) {
+            Admission a = engine.Submit(requests[i]);
+            if (a.ok()) {
+              if (a.response.get().status == ServeStatus::kOk) done = true;
+              break;
+            }
+            if (a.status != ServeStatus::kOverloaded) break;
+            if (attempts > 0) {
+              std::this_thread::sleep_for(std::chrono::duration<double>(
+                  backoff.NextSeconds()));
+            }
+          }
+          (done ? served : gave_up).fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    struct { uint64_t served, gave_up; double seconds; } r{
+        served.load(), gave_up.load(), timer.ElapsedSeconds()};
+    return r;
+  };
+
+  const auto noretry = run(false);
+  const auto withretry = run(true);
+
+  bench::PrintHeader("Backpressure retries on " + name + " (" +
+                     std::to_string(workers) + " workers, queue depth 4, " +
+                     std::to_string(kClients) + " clients)");
+  bench::PrintRow("mode", {"served", "gave-up", "goodput-qps"}, 16, 12);
+  bench::PrintRow("no-retry",
+                  {std::to_string(noretry.served),
+                   std::to_string(noretry.gave_up),
+                   bench::Fmt(noretry.served / noretry.seconds, "%.1f")},
+                  16, 12);
+  bench::PrintRow("jitter-retry",
+                  {std::to_string(withretry.served),
+                   std::to_string(withretry.gave_up),
+                   bench::Fmt(withretry.served / withretry.seconds, "%.1f")},
+                  16, 12);
+
+  json.BeginRecord()
+      .Str("dataset", name)
+      .Int("workers", workers)
+      .Str("mode", "saturation_noretry")
+      .Int("requests", requests.size())
+      .Int("served", noretry.served)
+      .Int("gave_up", noretry.gave_up)
+      .Num("goodput_qps", noretry.served / noretry.seconds);
+  json.BeginRecord()
+      .Str("dataset", name)
+      .Int("workers", workers)
+      .Str("mode", "saturation_retry")
+      .Int("requests", requests.size())
+      .Int("served", withretry.served)
+      .Int("gave_up", withretry.gave_up)
+      .Num("goodput_qps", withretry.served / withretry.seconds);
+}
+
 }  // namespace
 }  // namespace laca
 
@@ -363,6 +677,14 @@ int main() {
   RunDataset("cora-sim", BenchSeedCount(64));
   RunDataset("pubmed-sim", BenchSeedCount(32));
   RunReloadStudy("cora-sim", BenchSeedCount(64), /*workers=*/4);
+  // pubmed-sim for the overload study: its per-request compute is a sizable
+  // fraction of the budget, so a busy worker holds the queue long enough
+  // for waits to overshoot the deadline — the shape that exercises BOTH
+  // deadline paths (queue shed and mid-compute cancellation). On a
+  // fast-compute dataset the queue wait converges to the budget from below
+  // and everything cancels marginally instead of shedding.
+  RunOverloadStudy("pubmed-sim", BenchSeedCount(32), /*workers=*/2);
+  RunRetryStudy("cora-sim", BenchSeedCount(64), /*workers=*/2);
   json.WriteFile("BENCH_serving.json");
   return 0;
 }

@@ -9,10 +9,12 @@
 // across PRs.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdint>
 
 #include "attr/tnam.hpp"
 #include "bench_util.hpp"
+#include "common/cancel.hpp"
 #include "common/timer.hpp"
 #include "core/laca.hpp"
 #include "diffusion/diffusion.hpp"
@@ -62,6 +64,31 @@ void BM_AdaptiveDiffuse(benchmark::State& state) {
   SetDiffusionCounters(state, stats);
 }
 BENCHMARK(BM_AdaptiveDiffuse)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+
+// The cancellation-poll tax on the serial hot path: same kernel, but with an
+// armed far-future deadline so every poll site actually reads the clock's
+// atomic gate. The PR's acceptance bound is <2% over BM_AdaptiveDiffuse.
+void BM_AdaptiveDiffuseCancelPoll(benchmark::State& state) {
+  const Dataset& ds = GetDataset("pubmed-sim");
+  DiffusionEngine engine(ds.data.graph);
+  CancelToken token;
+  token.ArmDeadline(std::chrono::steady_clock::now() +
+                    std::chrono::hours(24));
+  DiffusionOptions opts;
+  opts.epsilon = 1.0 / static_cast<double>(state.range(0));
+  opts.cancel = &token;
+  NodeId seed = SampleSeeds(ds, 1)[0];
+  DiffusionStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.Adaptive(SparseVector::Unit(seed), opts, &stats));
+  }
+  SetDiffusionCounters(state, stats);
+}
+BENCHMARK(BM_AdaptiveDiffuseCancelPoll)
+    ->Arg(10'000)
+    ->Arg(100'000)
+    ->Arg(1'000'000);
 
 void BM_NonGreedyDiffuse(benchmark::State& state) {
   const Dataset& ds = GetDataset("pubmed-sim");
@@ -192,6 +219,36 @@ void EmitDiffusionJson() {
                                                              : 1))
         .Int("steady_state_allocs",
              engine.workspace().alloc_events() - allocs_before);
+  }
+
+  // Cancellation-poll overhead witness: the adaptive kernel with an armed
+  // far-future deadline, paired against a plain run measured back-to-back.
+  {
+    DiffusionStats stats;
+    auto time_adaptive = [&](const CancelToken* token) {
+      DiffusionOptions topts = opts;
+      topts.cancel = token;
+      (void)engine.Adaptive(SparseVector::Unit(seed), topts, &stats);  // warm
+      Timer t;
+      for (int rep = 0; rep < kJsonReps; ++rep) {
+        (void)engine.Adaptive(SparseVector::Unit(seed), topts, &stats);
+      }
+      return t.ElapsedSeconds() / kJsonReps;
+    };
+    CancelToken token;
+    token.ArmDeadline(std::chrono::steady_clock::now() +
+                      std::chrono::hours(24));
+    const double plain_sec = time_adaptive(nullptr);
+    const double polled_sec = time_adaptive(&token);
+    json.BeginRecord()
+        .Str("kernel", "adaptive_cancelpoll")
+        .Str("dataset", "pubmed-sim")
+        .Num("epsilon", epsilon)
+        .Num("seconds", polled_sec)
+        .Num("baseline_seconds", plain_sec)
+        .Num("poll_overhead_pct",
+             plain_sec > 0.0 ? (polled_sec / plain_sec - 1.0) * 100.0 : 0.0)
+        .Int("edge_work", stats.push_work);
   }
 
   DiffusionWorkspace workspace(g);

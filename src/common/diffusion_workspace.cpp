@@ -100,6 +100,29 @@ void DiffusionWorkspace::AuditShardAllocations() {
   }
 }
 
+void DiffusionWorkspace::AbortCall() {
+  // r_support covers every node whose residue became nonzero in EITHER
+  // generation this call (the stamp check guards all appends), so clearing
+  // both arrays over it restores the all-zero-outside-support invariant no
+  // matter which round phase the unwind interrupted. queued[] flags are only
+  // ever set for nodes pushed into `candidates` (greedy rounds clear a flag
+  // when they extract the node), so the pending candidate list is exactly
+  // the set of flags still standing.
+  double* const a = r();
+  double* const b = r_other();
+  for (NodeId v : r_support_) {
+    a[v] = 0.0;
+    b[v] = 0.0;
+  }
+  for (NodeId v : q_support_) q_[v] = 0.0;
+  for (NodeId v : candidates_) queued_[v] = 0;
+  r_support_.clear();
+  q_support_.clear();
+  gamma_ids_.clear();
+  gamma_values_.clear();
+  candidates_.clear();
+}
+
 uint64_t DiffusionWorkspace::BeginCall() {
   double* const active = r();
   for (NodeId v : r_support_) active[v] = 0.0;

@@ -53,6 +53,15 @@ class DiffusionWorkspace {
   /// clears the support lists, and returns the new epoch id.
   uint64_t BeginCall();
 
+  /// Restores every invariant after a call unwound mid-round (cooperative
+  /// cancellation). BeginCall() alone is not enough there: a non-greedy
+  /// round leaves mass in BOTH r generations until its final SwapR(), and a
+  /// greedy round leaves queued[] flags set for the collected candidates —
+  /// state the normal call path cleans up itself. Sparse (O(|touched|)) and
+  /// allocation-free, so a cancelled call leaves the arena as warm and flat
+  /// as a completed one.
+  void AbortCall();
+
   /// Number of nodes the arena is sized for.
   NodeId size() const { return static_cast<NodeId>(r_.size()); }
 

@@ -1,0 +1,167 @@
+#include "common/fault_injection.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/parse.hpp"
+
+namespace laca {
+namespace {
+
+constexpr size_t kNumSites = static_cast<size_t>(FaultSite::kNumSites);
+
+const char* kSiteNames[kNumSites] = {
+    "worker_stall", "compute_throw", "promise_path",
+    "snapshot_read", "tnam_load",    "save_kill",
+};
+
+// The global injector, consulted by layers without injector plumbing
+// (snapshot I/O). Guarded by a mutex: every consulting site is a cold path
+// (loads, saves), never the per-request hot path.
+std::mutex g_mu;
+std::shared_ptr<FaultInjector> g_injector;
+
+}  // namespace
+
+const char* ToString(FaultSite site) {
+  const size_t i = static_cast<size_t>(site);
+  return i < kNumSites ? kSiteNames[i] : "unknown";
+}
+
+std::shared_ptr<FaultInjector> FaultInjector::FromSpec(std::string_view spec) {
+  // Two passes: collect fields first so seed= takes effect regardless of its
+  // position in the spec (the RNG must be constructed before any Arm that
+  // uses probability — seeding is a constructor-time decision).
+  struct Field {
+    FaultSite site;
+    uint64_t at_hit;
+    double probability;
+  };
+  std::vector<Field> fields;
+  uint64_t seed = 1, stall_ms = 100;
+
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view tok = spec.substr(start, comma - start);
+    start = comma + 1;
+    if (tok.empty()) {
+      throw std::invalid_argument("fault-inject: empty field in spec");
+    }
+    const size_t eq = tok.find('=');
+    const std::string_view name = tok.substr(0, eq);
+    const std::string_view value =
+        eq == std::string_view::npos ? std::string_view() : tok.substr(eq + 1);
+
+    if (name == "seed" || name == "stall_ms") {
+      std::optional<uint64_t> v = ParseU64(value);
+      if (!v) {
+        throw std::invalid_argument("fault-inject: bad " + std::string(name) +
+                                    " '" + std::string(value) + "'");
+      }
+      (name == "seed" ? seed : stall_ms) = *v;
+      continue;
+    }
+
+    FaultSite site = FaultSite::kNumSites;
+    for (size_t i = 0; i < kNumSites; ++i) {
+      if (name == kSiteNames[i]) site = static_cast<FaultSite>(i);
+    }
+    if (site == FaultSite::kNumSites) {
+      throw std::invalid_argument("fault-inject: unknown site '" +
+                                  std::string(name) + "'");
+    }
+    Field field{site, 0, 1.0};
+    if (eq != std::string_view::npos) {
+      if (!value.empty() && value.front() == 'p') {
+        std::optional<double> p = ParseF64(value.substr(1));
+        if (!p || *p < 0.0 || *p > 1.0) {
+          throw std::invalid_argument("fault-inject: bad probability '" +
+                                      std::string(value) + "'");
+        }
+        field.probability = *p;
+      } else {
+        std::optional<uint64_t> n = ParseU64(value);
+        if (!n || *n == 0) {
+          throw std::invalid_argument("fault-inject: bad hit index '" +
+                                      std::string(value) + "'");
+        }
+        field.at_hit = *n;
+      }
+    }
+    fields.push_back(field);
+  }
+
+  auto injector = std::make_shared<FaultInjector>(seed);
+  injector->set_stall_ms(stall_ms);
+  for (const Field& f : fields) injector->Arm(f.site, f.at_hit, f.probability);
+  return injector;
+}
+
+void FaultInjector::Arm(FaultSite site, uint64_t at_hit, double probability) {
+  LACA_CHECK(site < FaultSite::kNumSites, "bad fault site");
+  LACA_CHECK(probability >= 0.0 && probability <= 1.0,
+             "fault probability must be in [0, 1]");
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = sites_[static_cast<size_t>(site)];
+  s.enabled = true;
+  s.at_hit = at_hit;
+  s.probability = probability;
+}
+
+bool FaultInjector::ShouldFire(FaultSite site) {
+  if (site >= FaultSite::kNumSites) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = sites_[static_cast<size_t>(site)];
+  ++s.hits;
+  if (!s.enabled) return false;
+  if (s.at_hit != 0 && s.hits != s.at_hit) return false;
+  if (s.probability < 1.0) {
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    if (coin(rng_) >= s.probability) return false;
+  }
+  ++s.fired;
+  return true;
+}
+
+void FaultInjector::MaybeThrow(FaultSite site, const char* what) {
+  if (ShouldFire(site)) {
+    throw std::runtime_error(std::string("injected fault: ") + what);
+  }
+}
+
+uint64_t FaultInjector::hits(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sites_[static_cast<size_t>(site)].hits;
+}
+
+uint64_t FaultInjector::fired(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sites_[static_cast<size_t>(site)].fired;
+}
+
+std::chrono::milliseconds FaultInjector::stall_duration() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::chrono::milliseconds(stall_ms_);
+}
+
+void FaultInjector::set_stall_ms(uint64_t ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stall_ms_ = ms;
+}
+
+std::shared_ptr<FaultInjector> GlobalFaultInjector() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_injector;
+}
+
+void SetGlobalFaultInjector(std::shared_ptr<FaultInjector> injector) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_injector = std::move(injector);
+}
+
+}  // namespace laca

@@ -1,0 +1,114 @@
+// Seeded, deterministic fault injection for the serving path (DESIGN.md §9).
+//
+// A FaultInjector arms a set of named sites; code at each site asks
+// ShouldFire()/MaybeThrow() and the injector decides from its configuration —
+// fire on every hit, on exactly the Nth hit, or with a seeded probability —
+// so tests and CI smokes can provoke precise failures (a stalled worker, a
+// torn snapshot read, an exception on the promise path) and prove the system
+// degrades instead of deadlocking or corrupting state.
+//
+// Two delivery paths:
+//   * ServingOptions::fault_injector hands one to the engine's workers;
+//   * the process-global injector (SetGlobalFaultInjector) reaches layers
+//     whose call signatures should not carry test plumbing (snapshot I/O).
+// laca_serve --fault-inject=SPEC installs the same injector on both.
+//
+// Spec grammar (comma-separated, e.g. "compute_throw=2,worker_stall"):
+//   <site>            fire on every hit
+//   <site>=N          fire on exactly the Nth hit (1-based)
+//   <site>=pP         fire each hit with probability P in [0,1] (seeded)
+//   seed=S            RNG seed for probabilistic sites (default 1)
+//   stall_ms=M        worker_stall sleep duration (default 100)
+// Sites: worker_stall, compute_throw, promise_path, snapshot_read,
+//        tnam_load, save_kill.
+#ifndef LACA_COMMON_FAULT_INJECTION_HPP_
+#define LACA_COMMON_FAULT_INJECTION_HPP_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string_view>
+
+namespace laca {
+
+enum class FaultSite : uint8_t {
+  /// Worker sleeps stall_ms after claiming a job, before computing.
+  kWorkerStall = 0,
+  /// Throws inside the worker's compute step (maps to ServeStatus::kInternal).
+  kComputeThrow,
+  /// Throws on the worker's response-fulfillment path.
+  kPromisePath,
+  /// Throws at the start of ReadSnapshotDir's component loads.
+  kSnapshotRead,
+  /// Throws inside ReadSnapshotDir's TNAM loop.
+  kTnamLoad,
+  /// Throws inside SaveSnapshot before the staged directory is committed
+  /// (the crash-safety kill point).
+  kSaveKill,
+  kNumSites,
+};
+
+const char* ToString(FaultSite site);
+
+/// Thread-safe, deterministic fault injector. See the header comment for the
+/// spec grammar and delivery paths.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 1) : rng_(seed) {}
+
+  /// Parses the --fault-inject spec; throws std::invalid_argument with the
+  /// offending token on any malformed field.
+  static std::shared_ptr<FaultInjector> FromSpec(std::string_view spec);
+
+  /// Arms `site`: at_hit == 0 fires every hit, otherwise exactly the
+  /// at_hit-th; probability < 1 gates each firing by a seeded coin flip.
+  void Arm(FaultSite site, uint64_t at_hit = 0, double probability = 1.0);
+
+  /// Records a hit at `site` and reports whether the fault fires.
+  bool ShouldFire(FaultSite site);
+
+  /// ShouldFire + throw std::runtime_error("injected fault: <what>").
+  void MaybeThrow(FaultSite site, const char* what);
+
+  uint64_t hits(FaultSite site) const;
+  uint64_t fired(FaultSite site) const;
+
+  std::chrono::milliseconds stall_duration() const;
+  void set_stall_ms(uint64_t ms);
+
+ private:
+  struct Site {
+    bool enabled = false;
+    uint64_t at_hit = 0;
+    double probability = 1.0;
+    uint64_t hits = 0;
+    uint64_t fired = 0;
+  };
+
+  mutable std::mutex mu_;
+  Site sites_[static_cast<size_t>(FaultSite::kNumSites)];
+  std::mt19937_64 rng_;
+  uint64_t stall_ms_ = 100;
+};
+
+/// The process-global injector consulted by snapshot I/O (null = no faults).
+std::shared_ptr<FaultInjector> GlobalFaultInjector();
+void SetGlobalFaultInjector(std::shared_ptr<FaultInjector> injector);
+
+/// RAII install/uninstall of the global injector for tests.
+class ScopedGlobalFaultInjector {
+ public:
+  explicit ScopedGlobalFaultInjector(std::shared_ptr<FaultInjector> injector) {
+    SetGlobalFaultInjector(std::move(injector));
+  }
+  ~ScopedGlobalFaultInjector() { SetGlobalFaultInjector(nullptr); }
+  ScopedGlobalFaultInjector(const ScopedGlobalFaultInjector&) = delete;
+  ScopedGlobalFaultInjector& operator=(const ScopedGlobalFaultInjector&) =
+      delete;
+};
+
+}  // namespace laca
+
+#endif  // LACA_COMMON_FAULT_INJECTION_HPP_

@@ -45,7 +45,7 @@ LacaResult Laca::ComputeBdd(NodeId seed, const LacaOptions& opts) {
   // is the identity and phi'_i = pi'_i d(i).
   SparseVector phi;
   if (tnam_ != nullptr) {
-    phi = FusedSnasStep(*tnam_, pi);
+    phi = FusedSnasStep(*tnam_, pi, opts.cancel);
   } else {
     for (const auto& e : pi.entries()) {
       phi.Add(e.index, e.value * graph_.Degree(e.index));
@@ -81,7 +81,8 @@ LacaResult Laca::ComputeBdd(NodeId seed, const LacaOptions& opts) {
   return result;
 }
 
-SparseVector Laca::FusedSnasStep(const Tnam& tnam, const SparseVector& pi) {
+SparseVector Laca::FusedSnasStep(const Tnam& tnam, const SparseVector& pi,
+                                 const CancelToken* cancel) {
   const size_t dim = tnam.dim();
   psi_.assign(dim, 0.0);
   tnam.AccumulateRows(pi.entries(), psi_);
@@ -90,6 +91,9 @@ SparseVector Laca::FusedSnasStep(const Tnam& tnam, const SparseVector& pi) {
                std::span<double>(dots_.data(), pi.Size()));
   SparseVector phi;
   for (size_t t = 0; t < pi.Size(); ++t) {
+    // Step-2 poll: keeps Algo. 4's deadline granularity when the sweep over
+    // supp(pi') dwarfs a diffusion round (large supports, big k).
+    if (cancel != nullptr && (t & 4095) == 4095) cancel->ThrowIfExpired();
     const double dot = dots_[t];
     // The low-rank SNAS can dip below zero; the diffusion requires a
     // non-negative input, so clamp (documented in DESIGN.md).
@@ -118,9 +122,12 @@ LacaResult Laca::ComputeBddWithProvider(NodeId seed, const SnasProvider& snas,
   const Tnam* tnam = dynamic_cast<const Tnam*>(&snas);
   SparseVector phi;
   if (tnam != nullptr && tnam->num_rows() == graph_.num_nodes()) {
-    phi = FusedSnasStep(*tnam, pi);
+    phi = FusedSnasStep(*tnam, pi, opts.cancel);
   } else {
     for (const auto& ei : pi.entries()) {
+      // The quadratic fallback does O(|supp|) work per outer entry, so the
+      // outer loop alone gives a fine-enough poll interval.
+      if (opts.cancel != nullptr) opts.cancel->ThrowIfExpired();
       double acc = 0.0;
       for (const auto& ej : pi.entries()) {
         acc += ej.value * snas.Snas(ej.index, ei.index);

@@ -24,9 +24,16 @@ struct LacaOptions {
   /// Minimum support size before non-greedy rounds shard across the
   /// intra-query pool (forwarded to DiffusionOptions; inert without one).
   size_t min_parallel_support = 2048;
+  /// Cooperative cancellation token (borrowed; null = never cancel).
+  /// Forwarded to both diffusion calls and polled in the Step-2 kernel, so a
+  /// deadline trips within one poll interval anywhere in Algo. 4. A tripped
+  /// token throws CancelledError; the workspace is restored before it
+  /// propagates, so the caller can immediately reuse this Laca.
+  const CancelToken* cancel = nullptr;
 
   DiffusionOptions ToDiffusionOptions() const {
-    return DiffusionOptions{alpha, epsilon, sigma, min_parallel_support};
+    return DiffusionOptions{alpha, epsilon, sigma, min_parallel_support,
+                            cancel};
   }
 };
 
@@ -94,8 +101,10 @@ class Laca {
 
  private:
   // Step 2 (Eqs. 12-13) through the fused TNAM kernels; shared by
-  // ComputeBdd and the Tnam fast path of ComputeBddWithProvider.
-  SparseVector FusedSnasStep(const Tnam& tnam, const SparseVector& pi);
+  // ComputeBdd and the Tnam fast path of ComputeBddWithProvider. `cancel`
+  // (may be null) is polled during the phi assembly sweep.
+  SparseVector FusedSnasStep(const Tnam& tnam, const SparseVector& pi,
+                             const CancelToken* cancel);
 
   const Graph& graph_;
   const Tnam* tnam_;

@@ -6,6 +6,7 @@
 
 #include "attr/tnam_io.hpp"
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
 #include "common/serialize.hpp"
 #include "graph/binary_io.hpp"
 
@@ -38,9 +39,18 @@ std::string TnamPath(const std::string& dir, int k) {
 }  // namespace
 
 void SaveSnapshot(const DatasetSnapshot& snapshot, const std::string& dir) {
+  // Crash safety is layered: every component (manifest included) is written
+  // into a private staging directory `<dir>.tmp`, which is renamed into
+  // place only once complete. A crash anywhere during staging leaves the
+  // existing snapshot at `dir` untouched; the manifest-goes-last rule stays
+  // as the inner guard so even a torn STAGING directory is never loadable.
+  const std::string tmp = dir + ".tmp";
+  const std::string old = dir + ".old";
   std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  LACA_CHECK(!ec, "cannot create snapshot directory " + dir + ": " +
+  std::filesystem::remove_all(tmp, ec);  // stale staging from a prior crash
+  std::filesystem::remove_all(old, ec);
+  std::filesystem::create_directories(tmp, ec);
+  LACA_CHECK(!ec, "cannot create snapshot staging directory " + tmp + ": " +
                       ec.message());
 
   const AttributedGraph& data = snapshot.data();
@@ -49,18 +59,22 @@ void SaveSnapshot(const DatasetSnapshot& snapshot, const std::string& dir) {
   const bool has_comms = !data.communities.members.empty() ||
                          !data.communities.node_comms.empty();
 
-  SaveGraphBinary(data.graph, GraphPath(dir));
-  if (has_attrs) SaveAttributesBinary(data.attributes, AttributesPath(dir));
+  SaveGraphBinary(data.graph, GraphPath(tmp));
+  if (has_attrs) SaveAttributesBinary(data.attributes, AttributesPath(tmp));
   if (has_comms) {
     SaveCommunitiesBinary(data.communities, data.graph.num_nodes(),
-                          CommunitiesPath(dir));
+                          CommunitiesPath(tmp));
   }
   for (const PreparedTnam& entry : snapshot.tnams()) {
-    SaveTnamBinary(entry.tnam, TnamPath(dir, entry.k));
+    SaveTnamBinary(entry.tnam, TnamPath(tmp, entry.k));
   }
 
-  // The manifest goes last: until it lands, the directory is not a loadable
-  // snapshot, so a crash mid-save cannot leave a torn-but-accepted state.
+  // Kill point for the crash-safety test: everything but the manifest has
+  // been staged, nothing has been committed.
+  if (auto fi = GlobalFaultInjector()) {
+    fi->MaybeThrow(FaultSite::kSaveKill, "save killed before commit");
+  }
+
   BinaryWriter writer;
   writer.WriteU32(kManifestFormat);
   writer.WriteString(snapshot.name());
@@ -78,7 +92,19 @@ void SaveSnapshot(const DatasetSnapshot& snapshot, const std::string& dir) {
     writer.WriteU32(static_cast<uint32_t>(entry.k));
     writer.WriteU64(entry.tnam.dim());
   }
-  writer.Save(ManifestPath(dir), BinaryKind::kManifest);
+  writer.Save(ManifestPath(tmp), BinaryKind::kManifest);
+
+  // Commit: two renames, each atomic on POSIX filesystems. A crash between
+  // them leaves no `dir` but a complete `<dir>.old` — an explicit, loadable
+  // recovery point rather than a torn directory (and the next SaveSnapshot
+  // clears it).
+  if (std::filesystem::exists(dir)) {
+    std::filesystem::rename(dir, old, ec);
+    LACA_CHECK(!ec, "cannot retire old snapshot " + dir + ": " + ec.message());
+  }
+  std::filesystem::rename(tmp, dir, ec);
+  LACA_CHECK(!ec, "cannot commit snapshot " + dir + ": " + ec.message());
+  std::filesystem::remove_all(old, ec);
 }
 
 SnapshotContents ReadSnapshotDir(const std::string& dir) {
@@ -111,6 +137,12 @@ SnapshotContents ReadSnapshotDir(const std::string& dir) {
     tnam_specs.emplace_back(static_cast<int>(k), dim);
   }
   manifest.ExpectEnd();
+
+  // Fault site: a component read failing after a valid manifest — the torn
+  // state a reload must survive (old version keeps serving).
+  if (auto fi = GlobalFaultInjector()) {
+    fi->MaybeThrow(FaultSite::kSnapshotRead, "snapshot component read failed");
+  }
 
   AttributedGraph data;
   const std::string graph_path = GraphPath(dir);
@@ -158,6 +190,11 @@ SnapshotContents ReadSnapshotDir(const std::string& dir) {
   contents.tnams.reserve(tnam_specs.size());
   for (const auto& [k, dim] : tnam_specs) {
     const std::string tnam_path = TnamPath(dir, k);
+    // Fault site: TNAM load failing mid-list, after the cheap components
+    // already landed — the most expensive point to discover a torn snapshot.
+    if (auto fi = GlobalFaultInjector()) {
+      fi->MaybeThrow(FaultSite::kTnamLoad, "TNAM load failed");
+    }
     // The row-count check lives in LoadTnamBinary so every TNAM load path
     // rejects graph mismatches with the file and both dimensions.
     Tnam tnam = LoadTnamBinary(tnam_path, n);

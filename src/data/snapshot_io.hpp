@@ -18,9 +18,16 @@
 // against it (and against the graph: TNAM rows == attribute rows ==
 // num_nodes), so a directory assembled from mismatched files — the
 // out-of-bounds-at-query-time failure mode — is rejected at load with the
-// offending file and both dimensions in the error. The writer emits the
-// manifest LAST, so a crash mid-save leaves a directory the loader rejects
-// (no manifest) rather than a torn snapshot.
+// offending file and both dimensions in the error.
+//
+// The writer is crash-safe at every point: all components are staged into
+// `<dir>.tmp` and atomically renamed over `dir` only once complete, so a
+// kill mid-save leaves any existing snapshot at `dir` untouched (witnessed
+// by the fault-injected kill-point test). The manifest still goes LAST
+// within the staging directory as the inner guard — even a torn staging
+// directory is never loadable. During the two-rename commit the previous
+// snapshot briefly lives at `<dir>.old`, a complete loadable recovery point;
+// stale `.tmp`/`.old` directories are cleared by the next save.
 #ifndef LACA_DATA_SNAPSHOT_IO_HPP_
 #define LACA_DATA_SNAPSHOT_IO_HPP_
 
@@ -43,7 +50,9 @@ struct SnapshotContents {
 };
 
 /// Writes every component of `snapshot` plus the manifest into `dir`
-/// (created if missing). Throws std::invalid_argument on I/O failure.
+/// (created if missing), staging through `<dir>.tmp` with an atomic rename
+/// commit (see the header comment). Throws std::invalid_argument on I/O
+/// failure — with the previous snapshot still intact at `dir`.
 void SaveSnapshot(const DatasetSnapshot& snapshot, const std::string& dir);
 
 /// Reads and cross-validates a snapshot directory. Throws

@@ -96,6 +96,19 @@ void DiffusionEngine::RunLoop(Mode mode, const DiffusionOptions& opts,
   const double alpha = opts.alpha;
   const double eps = opts.epsilon;
 
+  // Cooperative cancellation: a null token compiles to one pointer test per
+  // round and per kCancelPollOps pushes — nothing on the per-edge path. The
+  // countdown is shared by every serial poll site so the interval holds
+  // across round-type switches.
+  const CancelToken* const cancel = opts.cancel;
+  uint64_t ops_until_poll = kCancelPollOps;
+  auto poll_cancel = [&]() {
+    if (cancel != nullptr && --ops_until_poll == 0) {
+      ops_until_poll = kCancelPollOps;
+      cancel->ThrowIfExpired();
+    }
+  };
+
   // Greedy mode never scans for gamma: residues only grow between
   // extractions (every push is non-negative), so the set of nodes meeting
   // Eq. 15 at a round boundary is exactly the set that crossed the threshold
@@ -121,6 +134,7 @@ void DiffusionEngine::RunLoop(Mode mode, const DiffusionOptions& opts,
                                            const double* values,
                                            size_t count) {
     for (size_t i = 0; i < count; ++i) {
+      poll_cancel();
       const double g = values[i];
       if (g == 0.0) continue;  // entry whose residue had already decayed
       const NodeId v = ids[i];
@@ -162,6 +176,12 @@ void DiffusionEngine::RunLoop(Mode mode, const DiffusionOptions& opts,
   };
 
   while (!support.empty()) {
+    // Round boundary: the unconditional poll site. Sharded rounds rely on it
+    // exclusively — a poll inside their drain/merge phases would have to
+    // propagate an exception across the task group, so there the round is
+    // the poll interval.
+    if (cancel != nullptr) cancel->ThrowIfExpired();
+
     // Decide the round type (Algo. 2, Line 4): non-greedy when the active
     // fraction exceeds sigma and the cost budget allows it. gamma == 0
     // (no node meets Eq. 15) terminates every mode.
@@ -227,6 +247,7 @@ void DiffusionEngine::RunLoop(Mode mode, const DiffusionOptions& opts,
             push_work);
       } else {
         for (size_t i = 0; i < count; ++i) {
+          poll_cancel();
           const NodeId v = support[i];
           const double rv = r[v];
           if (rv == 0.0) continue;
@@ -528,26 +549,35 @@ SparseVector DiffusionEngine::Run(Mode mode, const SparseVector& f,
   uint64_t push_work = 0;
   double nongreedy_cost = 0.0;
 
-  if (graph_.is_weighted()) {
-    if (mode == Mode::kGreedy) {
-      RunLoop<true, false>(mode, opts, budget, record_trace, f_l1, stats,
-                           &iterations, &greedy_rounds, &nongreedy_rounds,
-                           &push_work, &nongreedy_cost);
-    } else {
-      RunLoop<true, true>(mode, opts, budget, record_trace, f_l1, stats,
-                          &iterations, &greedy_rounds, &nongreedy_rounds,
-                          &push_work, &nongreedy_cost);
-    }
-  } else {
-    if (mode == Mode::kGreedy) {
-      RunLoop<false, false>(mode, opts, budget, record_trace, f_l1, stats,
+  try {
+    if (graph_.is_weighted()) {
+      if (mode == Mode::kGreedy) {
+        RunLoop<true, false>(mode, opts, budget, record_trace, f_l1, stats,
+                             &iterations, &greedy_rounds, &nongreedy_rounds,
+                             &push_work, &nongreedy_cost);
+      } else {
+        RunLoop<true, true>(mode, opts, budget, record_trace, f_l1, stats,
                             &iterations, &greedy_rounds, &nongreedy_rounds,
                             &push_work, &nongreedy_cost);
+      }
     } else {
-      RunLoop<false, true>(mode, opts, budget, record_trace, f_l1, stats,
-                           &iterations, &greedy_rounds, &nongreedy_rounds,
-                           &push_work, &nongreedy_cost);
+      if (mode == Mode::kGreedy) {
+        RunLoop<false, false>(mode, opts, budget, record_trace, f_l1, stats,
+                              &iterations, &greedy_rounds, &nongreedy_rounds,
+                              &push_work, &nongreedy_cost);
+      } else {
+        RunLoop<false, true>(mode, opts, budget, record_trace, f_l1, stats,
+                             &iterations, &greedy_rounds, &nongreedy_rounds,
+                             &push_work, &nongreedy_cost);
+      }
     }
+  } catch (const CancelledError&) {
+    // A tripped token can unwind from any serial poll site, leaving residue
+    // in both r generations and queued[] flags standing — state BeginCall()
+    // does not cover. AbortCall() restores every invariant sparsely, so the
+    // arena is immediately reusable and still allocation-flat.
+    ws_->AbortCall();
+    throw;
   }
 
   if (stats != nullptr) {

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/diffusion_workspace.hpp"
 #include "common/sparse_vector.hpp"
 #include "graph/graph.hpp"
@@ -35,6 +36,14 @@ struct DiffusionOptions {
   /// sharded and serial rounds are bit-identical, so flipping mid-run is
   /// safe. Small rounds stay serial — task dispatch would dominate.
   size_t min_parallel_support = 2048;
+  /// Cooperative cancellation token (borrowed; null = never cancel). Polled
+  /// at every round boundary and every kCancelPollOps push operations in the
+  /// serial kernels; a sharded round polls only at its boundaries (the round
+  /// is the poll interval there). A tripped token throws CancelledError; the
+  /// engine restores the workspace invariants (AbortCall) before letting it
+  /// propagate, so the arena stays as warm and flat as after a completed
+  /// call.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Per-call statistics (iteration counts feed Fig. 5 / Table II).

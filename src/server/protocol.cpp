@@ -45,6 +45,10 @@ ParsedLine ParseRequestLine(std::string_view line) {
     out.kind = ParsedLine::Kind::kStats;
     return out;
   }
+  if (tokens[0] == "health") {
+    out.kind = ParsedLine::Kind::kHealth;
+    return out;
+  }
   if (tokens[0] == "reload") {
     out.kind = ParsedLine::Kind::kReload;
     return out;
@@ -92,6 +96,12 @@ ParsedLine ParseRequestLine(std::string_view line) {
         return Malformed(tok, "k");
       }
       out.request.k = static_cast<int>(*v);
+    } else if (key == "timeout_ms") {
+      // 0 explicitly disables the server default; negative stays unset-only
+      // internally and is not accepted from the wire.
+      std::optional<double> v = ParseF64(value);
+      if (!v || *v < 0.0) return Malformed(tok, "timeout_ms");
+      out.request.timeout_ms = *v;
     } else {
       return Malformed(tok, "option key");
     }
@@ -135,13 +145,33 @@ std::string FormatStatsLine(const ServingStats& stats, double qps) {
       "STATS qps=%.1f p50_us=%.0f p99_us=%.0f queue=%zu in_flight=%zu "
       "admitted=%" PRIu64 " completed=%" PRIu64 " rejected=%" PRIu64
       " alloc_events=%" PRIu64 " version=%" PRIu64 " retired=%zu"
-      " reloads=%" PRIu64,
+      " reloads=%" PRIu64 " deadline=%" PRIu64 " shed=%" PRIu64
+      " cancelled=%" PRIu64 " internal=%" PRIu64,
       qps, stats.p50_seconds * 1e6, stats.p99_seconds * 1e6, stats.queue_depth,
       stats.in_flight, stats.admitted, stats.completed,
       stats.rejected_overload + stats.rejected_shutdown +
           stats.rejected_invalid,
       stats.alloc_events, stats.active_version, stats.retired_live,
-      stats.reloads);
+      stats.reloads, stats.deadline_exceeded, stats.shed_in_queue,
+      stats.cancelled, stats.internal);
+  return buf;
+}
+
+std::string FormatHealthLine(const ServingStats& stats) {
+  // Degraded = the queue is at its admission bound right now: the next
+  // Submit would bounce kOverloaded. Everything below that is "ok" — shed
+  // and deadline counters are reported for trend-watching, not judged here.
+  const bool degraded = stats.max_queue_depth > 0 &&
+                        stats.queue_depth >= stats.max_queue_depth;
+  char buf[400];
+  std::snprintf(
+      buf, sizeof(buf),
+      "HEALTH status=%s version=%" PRIu64 " workers=%zu queue=%zu/%zu"
+      " shed_in_queue=%" PRIu64 " deadline_exceeded=%" PRIu64
+      " cancelled=%" PRIu64 " internal=%" PRIu64 " reloads=%" PRIu64,
+      degraded ? "degraded" : "ok", stats.active_version, stats.workers,
+      stats.queue_depth, stats.max_queue_depth, stats.shed_in_queue,
+      stats.deadline_exceeded, stats.cancelled, stats.internal, stats.reloads);
   return buf;
 }
 

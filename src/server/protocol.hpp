@@ -3,11 +3,16 @@
 // One request per line, whitespace-separated, over stdin/stdout or a TCP
 // connection:
 //
-//   <seed> <size> [alpha=A] [eps=E] [sigma=S] [k=K]   cluster request
+//   <seed> <size> [alpha=A] [eps=E] [sigma=S] [k=K] [timeout_ms=T]
+//                                                     cluster request
 //   stats                                             emit a STATS line
+//   health                                            emit a HEALTH line
 //   reload                                            background snapshot
 //                                                     rebuild + atomic swap
 //   shutdown                                          drain and close
+//
+// timeout_ms is the request's total budget anchored at admission (queue wait
+// counts); 0 opts out of the server's --default-timeout.
 //
 // Blank lines and lines starting with '#' are ignored (they consume no id).
 // Every request line gets exactly one response line, tagged with the
@@ -15,10 +20,21 @@
 //
 //   OK id=<id> us=<total> queue_us=<queued> n=<count> nodes=v1,v2,...
 //   OK id=<id> reload version=<v>
-//   ERR id=<id> code=<invalid|overloaded|shutting_down> msg=<reason>
+//   ERR id=<id> code=<invalid|overloaded|shutting_down|deadline_exceeded|
+//                     internal> msg=<reason>
 //   STATS qps=... p50_us=... p99_us=... queue=... in_flight=...
 //         admitted=... completed=... rejected=... alloc_events=...
-//         version=... retired=... reloads=...
+//         version=... retired=... reloads=... deadline=... shed=...
+//         cancelled=... internal=...
+//   HEALTH status=<ok|degraded> version=... workers=... queue=<depth>/<max>
+//          shed_in_queue=... deadline_exceeded=... cancelled=... internal=...
+//          reloads=...
+//
+// HEALTH reports degraded when the admission queue is at its bound (a Submit
+// at this instant would be rejected kOverloaded) — the signal a load
+// balancer wants before latency collapses. The served-only p50/p99 in STATS
+// cover successful responses; shed and cancelled requests are counted, not
+// averaged in.
 //
 // A reload runs in the background (requests keep being served on the old
 // snapshot version) and its response line is emitted once the new version
@@ -44,6 +60,7 @@ struct ParsedLine {
   enum class Kind : uint8_t {
     kRequest,   ///< `request` is populated
     kStats,     ///< emit a stats line
+    kHealth,    ///< emit a health line
     kReload,    ///< rebuild the snapshot in the background and swap
     kShutdown,  ///< drain and close the session
     kError,     ///< malformed; `error` says why
@@ -66,6 +83,9 @@ std::string FormatReloadResponse(uint64_t id, uint64_t version);
 /// Renders a STATS line. `qps` is computed by the caller over its reporting
 /// interval (the stats struct itself only has lifetime totals).
 std::string FormatStatsLine(const ServingStats& stats, double qps);
+
+/// Renders a HEALTH line (see the header comment for the degraded rule).
+std::string FormatHealthLine(const ServingStats& stats);
 
 }  // namespace laca
 

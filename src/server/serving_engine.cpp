@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
+#include <thread>
 #include <utility>
 
+#include "common/cancel.hpp"
 #include "common/diffusion_workspace.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
@@ -33,6 +35,10 @@ const char* ToString(ServeStatus status) {
       return "shutting_down";
     case ServeStatus::kInvalid:
       return "invalid";
+    case ServeStatus::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ServeStatus::kInternal:
+      return "internal";
   }
   return "unknown";
 }
@@ -43,6 +49,9 @@ ServingEngine::ServingEngine(std::shared_ptr<const DatasetSnapshot> snapshot,
       opts_(opts),
       started_at_(Clock::now()) {
   LACA_CHECK(opts.max_queue_depth >= 1, "max_queue_depth must be >= 1");
+  LACA_CHECK(std::isfinite(opts.default_timeout_ms) &&
+                 opts.default_timeout_ms >= 0.0,
+             "default_timeout_ms must be finite and >= 0");
   latency_ring_.resize(kLatencyWindow, 0.0);
 
   const TwoLevelBudget budget = SplitThreadBudget(
@@ -102,6 +111,13 @@ ServeResponse ServingEngine::Validate(const ServeRequest& req,
     resp.error = "sigma must be >= 0";
     return resp;
   }
+  // Negative = engine default, 0 = explicitly no deadline; anything else
+  // must be a finite positive budget (NaN/inf would silently arm garbage).
+  if (std::isnan(req.timeout_ms) ||
+      (req.timeout_ms > 0.0 && !std::isfinite(req.timeout_ms))) {
+    resp.error = "timeout_ms must be finite";
+    return resp;
+  }
   *tnam_index = 0;
   if (req.k >= 0) {
     std::span<const PreparedTnam> tnams = snapshot.tnams();
@@ -154,6 +170,18 @@ Admission ServingEngine::Submit(const ServeRequest& request) {
     job.snapshot = std::move(snapshot);
     job.tnam_index = tnam_index;
     job.admitted_at = Clock::now();
+    // Resolve the budget now and anchor the deadline at admission: queue
+    // wait spends it exactly like compute does. timeout_ms == 0 opts out of
+    // the engine default.
+    const double budget_ms =
+        request.timeout_ms >= 0.0 ? request.timeout_ms : opts_.default_timeout_ms;
+    if (budget_ms > 0.0) {
+      job.has_deadline = true;
+      job.deadline =
+          job.admitted_at + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double, std::milli>(
+                                    budget_ms));
+    }
     future = job.promise.get_future();
     queue_.push_back(std::move(job));
     ++admitted_;
@@ -190,6 +218,9 @@ void ServingEngine::WorkerLoop(size_t w, size_t thread_budget) {
   std::vector<std::unique_ptr<Laca>> lacas;
   std::string init_error;
   uint64_t seen_epoch = 0;
+  // One token for the worker's lifetime, re-armed per deadlined job: the
+  // compute core only ever borrows it, so no per-request allocation.
+  CancelToken cancel;
 
   // (Re)binds the warm state to `snap`. The workspace and helper pool
   // persist across rebinds (the arena re-sizes for the new graph and then
@@ -259,7 +290,28 @@ void ServingEngine::WorkerLoop(size_t w, size_t thread_budget) {
       }
       continue;
     }
+    // Shed already-expired jobs before the hook and before any compute: the
+    // budget is gone, so the cheapest correct response is the only correct
+    // response. Ordering before the hook keeps tests deterministic — a
+    // queued job that expired while workers were parked sheds without the
+    // hook ever firing for it.
+    if (job.has_deadline && Clock::now() >= job.deadline) {
+      ServeResponse resp;
+      resp.status = ServeStatus::kDeadlineExceeded;
+      resp.error = "deadline exceeded in queue";
+      const double waited = Seconds(Clock::now() - job.admitted_at);
+      resp.queue_seconds = waited;
+      resp.total_seconds = waited;
+      job.snapshot.reset();
+      FinishJob(resp, /*shed_in_queue=*/true);
+      job.promise.set_value(std::move(resp));
+      continue;
+    }
     if (opts_.worker_hook) opts_.worker_hook();
+    if (opts_.fault_injector &&
+        opts_.fault_injector->ShouldFire(FaultSite::kWorkerStall)) {
+      std::this_thread::sleep_for(opts_.fault_injector->stall_duration());
+    }
 
     ServeResponse resp;
     const Clock::time_point claimed = Clock::now();
@@ -269,7 +321,7 @@ void ServingEngine::WorkerLoop(size_t w, size_t thread_budget) {
     // this worker was busy (idle workers rebound in the prewarm branch).
     if (job.snapshot != bound) bind(job.snapshot);
     if (!init_error.empty()) {
-      resp.status = ServeStatus::kInvalid;
+      resp.status = ServeStatus::kInternal;
       resp.error = init_error;
     } else {
       LacaOptions lopts = opts_.defaults;
@@ -277,35 +329,82 @@ void ServingEngine::WorkerLoop(size_t w, size_t thread_budget) {
       if (req.alpha >= 0.0) lopts.alpha = req.alpha;
       if (req.epsilon >= 0.0) lopts.epsilon = req.epsilon;
       if (req.sigma >= 0.0) lopts.sigma = req.sigma;
+      if (job.has_deadline) {
+        cancel.ArmDeadline(job.deadline);
+        lopts.cancel = &cancel;
+      }
       try {
+        if (opts_.fault_injector) {
+          opts_.fault_injector->MaybeThrow(FaultSite::kComputeThrow,
+                                           "compute_throw");
+        }
         resp.cluster =
             lacas[job.tnam_index]->Cluster(req.seed, req.size, lopts);
         resp.status = ServeStatus::kOk;
+      } catch (const CancelledError&) {
+        // The compute core restored the workspace invariants (AbortCall)
+        // before unwinding, so this worker's warm state is untouched.
+        resp.status = ServeStatus::kDeadlineExceeded;
+        resp.error = "deadline exceeded mid-compute";
+        resp.cluster.clear();
       } catch (const std::exception& e) {
-        resp.status = ServeStatus::kInvalid;
+        // An exception fails exactly this request; the worker keeps its warm
+        // state and keeps claiming.
+        resp.status = ServeStatus::kInternal;
         resp.error = e.what();
+        resp.cluster.clear();
       }
+      cancel.Disarm();
       workers_[w]->alloc_events.store(workspace->alloc_events(),
                                       std::memory_order_relaxed);
     }
     resp.total_seconds = Seconds(Clock::now() - job.admitted_at);
 
+    // The promise path must fulfill the future no matter what: an injected
+    // fault here downgrades the response to kInternal but never loses it.
+    if (opts_.fault_injector) {
+      try {
+        opts_.fault_injector->MaybeThrow(FaultSite::kPromisePath,
+                                         "promise_path");
+      } catch (const std::exception& e) {
+        resp.status = ServeStatus::kInternal;
+        resp.error = e.what();
+        resp.cluster.clear();
+      }
+    }
+
     // Release the pinned snapshot before fulfilling the promise: a reload
     // test observing "retired version destroyed" through the response
     // future must not race this worker's reference.
     job.snapshot.reset();
-    RecordLatency(resp.total_seconds);
+    FinishJob(resp, /*shed_in_queue=*/false);
     job.promise.set_value(std::move(resp));
   }
 }
 
-void ServingEngine::RecordLatency(double total_seconds) {
+void ServingEngine::FinishJob(const ServeResponse& resp, bool shed_in_queue) {
   std::lock_guard<std::mutex> lock(mu_);
   --in_flight_;
   ++completed_;
-  latency_ring_[latency_cursor_] = total_seconds;
-  latency_cursor_ = (latency_cursor_ + 1) % latency_ring_.size();
-  latency_count_ = std::min(latency_count_ + 1, latency_ring_.size());
+  switch (resp.status) {
+    case ServeStatus::kOk:
+      // Served requests only: the percentile window describes successful
+      // service, not the (fast) shed/cancel exits.
+      latency_ring_[latency_cursor_] = resp.total_seconds;
+      latency_cursor_ = (latency_cursor_ + 1) % latency_ring_.size();
+      latency_count_ = std::min(latency_count_ + 1, latency_ring_.size());
+      break;
+    case ServeStatus::kDeadlineExceeded:
+      if (shed_in_queue) {
+        ++shed_in_queue_;
+      } else {
+        ++cancelled_;
+      }
+      break;
+    default:
+      ++internal_;
+      break;
+  }
 }
 
 void ServingEngine::Shutdown() {
@@ -333,12 +432,17 @@ ServingStats ServingEngine::Stats() const {
     stats.rejected_overload = rejected_overload_;
     stats.rejected_shutdown = rejected_shutdown_;
     stats.rejected_invalid = rejected_invalid_;
+    stats.shed_in_queue = shed_in_queue_;
+    stats.cancelled = cancelled_;
+    stats.internal = internal_;
+    stats.deadline_exceeded = shed_in_queue_ + cancelled_;
     stats.queue_depth = queue_.size();
     stats.in_flight = in_flight_;
     window.assign(latency_ring_.begin(),
                   latency_ring_.begin() + latency_count_);
   }
   stats.workers = workers_.size();
+  stats.max_queue_depth = opts_.max_queue_depth;
   for (const auto& worker : workers_) {
     stats.alloc_events += worker->alloc_events.load(std::memory_order_relaxed);
   }

@@ -22,8 +22,16 @@
 //   * a bounded admission queue with explicit backpressure: Submit() beyond
 //     max_queue_depth returns kOverloaded immediately — it never blocks and
 //     never grows the queue without bound;
+//   * deadline-aware service: a request's budget (per-request timeout_ms or
+//     the engine default) is anchored at ADMISSION, so queue wait counts
+//     against it. Workers shed already-expired jobs at claim time without
+//     computing (shed_in_queue), and arm a cooperative CancelToken for the
+//     rest — a mid-compute trip unwinds within one poll interval, leaves the
+//     warm workspace reusable, and resolves the future with
+//     kDeadlineExceeded (cancelled counter);
 //   * graceful drain: Shutdown() completes every admitted request, rejects
-//     new ones with kShuttingDown, and joins the fleet.
+//     new ones with kShuttingDown, and joins the fleet. Every admitted
+//     future is fulfilled — shed, cancelled, failed, or served.
 //
 // Determinism: each request runs Laca::Cluster on a private warm engine, so
 // responses are bit-identical to the serial call on the same snapshot for
@@ -45,6 +53,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault_injection.hpp"
 #include "core/laca.hpp"
 #include "data/dataset_snapshot.hpp"
 
@@ -57,8 +66,15 @@ enum class ServeStatus : uint8_t {
   kOverloaded,
   /// The engine is draining; no new requests are admitted.
   kShuttingDown,
-  /// The request failed validation (or the computation rejected it).
+  /// The request failed validation.
   kInvalid,
+  /// The admission-anchored budget ran out: either shed unclaimed in the
+  /// queue (no compute spent) or cancelled mid-compute by the worker's
+  /// CancelToken.
+  kDeadlineExceeded,
+  /// The engine failed the request (worker initialization or an exception
+  /// during compute) — the request itself may have been perfectly valid.
+  kInternal,
 };
 
 const char* ToString(ServeStatus status);
@@ -77,6 +93,12 @@ struct ServeRequest {
   /// does not carry is rejected as kInvalid — TNAMs are preprocessing
   /// artifacts, never built on the request path.
   int k = -1;
+  /// Total budget in milliseconds, anchored at admission (queue wait counts
+  /// against it). Negative = the engine default
+  /// (ServingOptions::default_timeout_ms); 0 = explicitly no deadline, even
+  /// when the engine has a default. Validated at admission: NaN or a
+  /// non-finite positive value is kInvalid.
+  double timeout_ms = -1.0;
 };
 
 struct ServeResponse {
@@ -100,8 +122,18 @@ struct ServingOptions {
   size_t max_queue_depth = 1024;
   /// Defaults for per-request option overrides.
   LacaOptions defaults;
+  /// Engine-wide request budget in milliseconds; 0 = no deadline unless the
+  /// request carries its own timeout_ms. Must be finite and >= 0.
+  double default_timeout_ms = 0.0;
+  /// Optional fault injector consulted by the workers (worker_stall,
+  /// compute_throw, promise_path sites). Null = no faults. Shared so tests
+  /// and laca_serve can keep a handle for assertions.
+  std::shared_ptr<FaultInjector> fault_injector;
   /// Test hook: runs on the worker thread after claiming a request, before
   /// computing. Lets tests park workers to fill the queue deterministically.
+  /// Runs AFTER the shed check — an already-expired job sheds without the
+  /// hook firing, and a job parked in the hook past its deadline trips at
+  /// the first cancellation poll, so both paths are deterministic to test.
   std::function<void()> worker_hook;
 };
 
@@ -112,9 +144,19 @@ struct ServingStats {
   uint64_t rejected_overload = 0;
   uint64_t rejected_shutdown = 0;
   uint64_t rejected_invalid = 0;
+  /// Admitted requests whose budget ran out: shed_in_queue + cancelled.
+  uint64_t deadline_exceeded = 0;
+  /// Expired before a worker claimed them; no compute was spent.
+  uint64_t shed_in_queue = 0;
+  /// Cancelled mid-compute by the worker's CancelToken.
+  uint64_t cancelled = 0;
+  /// Failed with kInternal (worker init or compute exception).
+  uint64_t internal = 0;
   size_t queue_depth = 0;  ///< currently admitted-but-unclaimed
   size_t in_flight = 0;    ///< currently claimed by a worker
   size_t workers = 0;
+  /// The admission bound, exported so health reporting is self-contained.
+  size_t max_queue_depth = 0;
   /// Summed warm-workspace alloc counters across the fleet; flat across
   /// steady-state requests (the zero-allocation witness, DESIGN.md §2).
   uint64_t alloc_events = 0;
@@ -126,7 +168,9 @@ struct ServingStats {
   uint64_t reloads = 0;
   double uptime_seconds = 0.0;
   /// Total-latency percentiles over the retained window (last
-  /// `latency_window` completions); 0 when nothing completed yet.
+  /// `latency_window` SERVED completions — shed, cancelled, and failed
+  /// requests never enter the window, so the percentiles describe what a
+  /// successful caller experienced); 0 when nothing served yet.
   double p50_seconds = 0.0;
   double p99_seconds = 0.0;
   size_t latency_window = 0;
@@ -197,6 +241,9 @@ class ServingEngine {
     size_t tnam_index = 0;
     std::promise<ServeResponse> promise;
     Clock::time_point admitted_at;
+    /// Absolute deadline (admitted_at + resolved budget) when has_deadline.
+    Clock::time_point deadline;
+    bool has_deadline = false;
   };
 
   /// Per-worker warm state, constructed on the worker thread itself.
@@ -211,7 +258,10 @@ class ServingEngine {
   ServeResponse Validate(const ServeRequest& request,
                          const DatasetSnapshot& snapshot,
                          size_t* tnam_index) const;
-  void RecordLatency(double total_seconds);
+  /// Completion bookkeeping for one claimed job: decrements in_flight,
+  /// counts the outcome, and records the latency window entry (served
+  /// requests only — see ServingStats).
+  void FinishJob(const ServeResponse& resp, bool shed_in_queue);
 
   SnapshotStore store_;
   ServingOptions opts_;
@@ -231,6 +281,9 @@ class ServingEngine {
   uint64_t rejected_overload_ = 0;
   uint64_t rejected_shutdown_ = 0;
   uint64_t rejected_invalid_ = 0;
+  uint64_t shed_in_queue_ = 0;
+  uint64_t cancelled_ = 0;
+  uint64_t internal_ = 0;
   std::vector<double> latency_ring_;
   size_t latency_cursor_ = 0;
   size_t latency_count_ = 0;

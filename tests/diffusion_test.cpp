@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
+#include <stdexcept>
 #include <tuple>
+#include <type_traits>
 
 #include "attr/snas.hpp"
 #include "common/rng.hpp"
@@ -309,6 +312,80 @@ TEST(DiffusionTest, EmptyInputGivesEmptyOutput) {
   DiffusionEngine engine(g);
   SparseVector q = engine.Adaptive(SparseVector{}, DiffusionOptions{});
   EXPECT_TRUE(q.Empty());
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative cancellation: a tripped token must unwind as CancelledError,
+// leave the warm workspace fully reusable (bit-identical reruns, flat alloc
+// counter), and an armed-but-far token must not perturb results at all.
+
+TEST(DiffusionTest, PreExpiredTokenThrowsCancelledError) {
+  Graph g = RandomTestGraph(41);
+  DiffusionEngine engine(g);
+  DiffusionOptions opts;
+  opts.epsilon = 1e-6;
+  CancelToken token;
+  token.Cancel();  // expired before the first round boundary
+  opts.cancel = &token;
+  EXPECT_THROW(engine.Adaptive(SparseVector::Unit(0), opts), CancelledError);
+  // CancelledError must not be mistaken for a validation error by callers
+  // that catch std::invalid_argument.
+  EXPECT_FALSE((std::is_base_of_v<std::invalid_argument, CancelledError>));
+}
+
+TEST(DiffusionTest, CancelledCallLeavesWorkspaceReusableAndAllocFlat) {
+  Graph g = RandomTestGraph(42);
+  DiffusionEngine engine(g);
+  DiffusionOptions opts;
+  opts.epsilon = 1e-6;
+
+  // Warm up and capture the oracle result for seed 3.
+  SparseVector expected = engine.Adaptive(SparseVector::Unit(3), opts);
+  engine.Adaptive(SparseVector::Unit(5), opts);
+  const uint64_t warm_allocs = engine.workspace().alloc_events();
+
+  // Cancel mid-call for each algorithm: a deadline in the past trips at the
+  // first poll site, after BeginCall has already touched the arena.
+  CancelToken token;
+  for (Algo algo : {Algo::kGreedy, Algo::kNonGreedy, Algo::kAdaptive}) {
+    token.ArmDeadline(CancelToken::Clock::now() -
+                      std::chrono::milliseconds(1));
+    DiffusionOptions copts = opts;
+    copts.cancel = &token;
+    EXPECT_THROW(RunAlgo(engine, algo, SparseVector::Unit(5), copts),
+                 CancelledError);
+    token.Disarm();
+
+    // The very next call must be bit-identical to the oracle: AbortCall
+    // restored the all-zero-outside-support invariant for r (both
+    // generations), q, and the queued flags.
+    SparseVector q = engine.Adaptive(SparseVector::Unit(3), opts);
+    ASSERT_EQ(q.Size(), expected.Size());
+    for (size_t i = 0; i < q.Size(); ++i) {
+      EXPECT_EQ(q.entries()[i].index, expected.entries()[i].index);
+      EXPECT_EQ(q.entries()[i].value, expected.entries()[i].value);
+    }
+  }
+  // Cancelled calls are as allocation-free as completed ones.
+  EXPECT_EQ(engine.workspace().alloc_events(), warm_allocs);
+}
+
+TEST(DiffusionTest, ArmedFarDeadlineDoesNotPerturbResults) {
+  Graph g = RandomTestGraph(43);
+  DiffusionEngine engine(g);
+  DiffusionOptions opts;
+  opts.epsilon = 1e-6;
+  SparseVector plain = engine.Adaptive(SparseVector::Unit(7), opts);
+
+  CancelToken token;
+  token.ArmDeadline(CancelToken::Clock::now() + std::chrono::hours(1));
+  opts.cancel = &token;
+  SparseVector polled = engine.Adaptive(SparseVector::Unit(7), opts);
+  ASSERT_EQ(polled.Size(), plain.Size());
+  for (size_t i = 0; i < polled.Size(); ++i) {
+    EXPECT_EQ(polled.entries()[i].index, plain.entries()[i].index);
+    EXPECT_EQ(polled.entries()[i].value, plain.entries()[i].value);
+  }
 }
 
 TEST(DiffusionTest, EngineIsReusableAcrossCalls) {

@@ -1,0 +1,141 @@
+// FaultInjector semantics: the harness must be deterministic, or the
+// failure scenarios it provokes prove nothing.
+#include "common/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace laca {
+namespace {
+
+TEST(FaultInjectorTest, DisarmedSitesNeverFireButCountHits) {
+  FaultInjector fi;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(fi.ShouldFire(FaultSite::kComputeThrow));
+  }
+  EXPECT_EQ(fi.hits(FaultSite::kComputeThrow), 5u);
+  EXPECT_EQ(fi.fired(FaultSite::kComputeThrow), 0u);
+}
+
+TEST(FaultInjectorTest, EveryHitModeFiresOnEveryHit) {
+  FaultInjector fi;
+  fi.Arm(FaultSite::kWorkerStall);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(fi.ShouldFire(FaultSite::kWorkerStall));
+  }
+  EXPECT_EQ(fi.fired(FaultSite::kWorkerStall), 3u);
+}
+
+TEST(FaultInjectorTest, NthHitModeFiresExactlyOnce) {
+  FaultInjector fi;
+  fi.Arm(FaultSite::kSnapshotRead, /*at_hit=*/3);
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) {
+    fired.push_back(fi.ShouldFire(FaultSite::kSnapshotRead));
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false,
+                                      false}));
+  EXPECT_EQ(fi.fired(FaultSite::kSnapshotRead), 1u);
+}
+
+TEST(FaultInjectorTest, ProbabilityModeIsSeedReproducible) {
+  auto run = [](uint64_t seed) {
+    FaultInjector fi(seed);
+    fi.Arm(FaultSite::kComputeThrow, /*at_hit=*/0, /*probability=*/0.5);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 64; ++i) {
+      outcomes.push_back(fi.ShouldFire(FaultSite::kComputeThrow));
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));  // 2^-64 flake odds — effectively deterministic
+}
+
+TEST(FaultInjectorTest, MaybeThrowCarriesTheSiteDescription) {
+  FaultInjector fi;
+  fi.Arm(FaultSite::kTnamLoad);
+  fi.MaybeThrow(FaultSite::kSaveKill, "unarmed");  // must not throw
+  try {
+    fi.MaybeThrow(FaultSite::kTnamLoad, "TNAM load failed");
+    FAIL() << "expected the armed site to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "injected fault: TNAM load failed");
+  }
+}
+
+TEST(FaultInjectorTest, FromSpecParsesEveryFieldForm) {
+  auto fi = FaultInjector::FromSpec(
+      "worker_stall,compute_throw=2,snapshot_read=p1,seed=9,stall_ms=250");
+  EXPECT_EQ(fi->stall_duration(), std::chrono::milliseconds(250));
+  EXPECT_TRUE(fi->ShouldFire(FaultSite::kWorkerStall));
+  EXPECT_FALSE(fi->ShouldFire(FaultSite::kComputeThrow));  // hit 1 of 2
+  EXPECT_TRUE(fi->ShouldFire(FaultSite::kComputeThrow));   // the 2nd hit
+  EXPECT_TRUE(fi->ShouldFire(FaultSite::kSnapshotRead));   // p=1 always fires
+  EXPECT_FALSE(fi->ShouldFire(FaultSite::kSaveKill));      // never armed
+}
+
+TEST(FaultInjectorTest, FromSpecSeedAppliesRegardlessOfFieldOrder) {
+  // seed= after a probabilistic site must still seed that site's coin flips.
+  auto seed_first = [] {
+    auto fi = FaultInjector::FromSpec("seed=11,compute_throw=p0.5");
+    std::vector<bool> out;
+    for (int i = 0; i < 64; ++i) {
+      out.push_back(fi->ShouldFire(FaultSite::kComputeThrow));
+    }
+    return out;
+  };
+  auto seed_last = [] {
+    auto fi = FaultInjector::FromSpec("compute_throw=p0.5,seed=11");
+    std::vector<bool> out;
+    for (int i = 0; i < 64; ++i) {
+      out.push_back(fi->ShouldFire(FaultSite::kComputeThrow));
+    }
+    return out;
+  };
+  EXPECT_EQ(seed_first(), seed_last());
+}
+
+TEST(FaultInjectorTest, FromSpecRejectsMalformedFieldsWithTheToken) {
+  EXPECT_THROW(FaultInjector::FromSpec(""), std::invalid_argument);
+  EXPECT_THROW(FaultInjector::FromSpec("worker_stall,,save_kill"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector::FromSpec("no_such_site"), std::invalid_argument);
+  EXPECT_THROW(FaultInjector::FromSpec("compute_throw=0"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector::FromSpec("compute_throw=p1.5"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector::FromSpec("compute_throw=pnan"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector::FromSpec("seed=abc"), std::invalid_argument);
+  try {
+    FaultInjector::FromSpec("worker_stall,bogus_site=3");
+    FAIL() << "expected the unknown site to be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("bogus_site"), std::string::npos);
+  }
+}
+
+TEST(FaultInjectorTest, ScopedGlobalInstallsAndUninstalls) {
+  EXPECT_EQ(GlobalFaultInjector(), nullptr);
+  {
+    auto fi = std::make_shared<FaultInjector>();
+    ScopedGlobalFaultInjector scope(fi);
+    EXPECT_EQ(GlobalFaultInjector(), fi);
+  }
+  EXPECT_EQ(GlobalFaultInjector(), nullptr);
+}
+
+TEST(FaultInjectorTest, SiteNamesRoundTripThroughToString) {
+  EXPECT_STREQ(ToString(FaultSite::kWorkerStall), "worker_stall");
+  EXPECT_STREQ(ToString(FaultSite::kComputeThrow), "compute_throw");
+  EXPECT_STREQ(ToString(FaultSite::kPromisePath), "promise_path");
+  EXPECT_STREQ(ToString(FaultSite::kSnapshotRead), "snapshot_read");
+  EXPECT_STREQ(ToString(FaultSite::kTnamLoad), "tnam_load");
+  EXPECT_STREQ(ToString(FaultSite::kSaveKill), "save_kill");
+}
+
+}  // namespace
+}  // namespace laca

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -627,6 +628,346 @@ TEST_F(ServingTest, AllocCounterFlatOnBothSidesOfAReload) {
 }
 
 // ---------------------------------------------------------------------------
+// Deadlines: admission-anchored budgets, queue shedding, mid-compute
+// cancellation (DESIGN.md §9).
+
+TEST_F(ServingTest, DeadlineShedsExpiredQueuedRequestsWithoutCompute) {
+  // Park the only worker on a no-deadline job, let a 25 ms-budget job expire
+  // in the queue behind it, and verify the worker sheds it at claim time:
+  // kDeadlineExceeded, no compute (the hook never fires for it), and the
+  // shed_in_queue counter — not cancelled — records it.
+  Gate gate;
+  std::atomic<size_t> hook_arrivals{0};
+  ServingOptions opts = WithWorkers(1);
+  opts.worker_hook = [&gate, &hook_arrivals] {
+    hook_arrivals.fetch_add(1);
+    gate.Arrive();
+    gate.WaitUntilOpen();
+  };
+  ServingEngine engine(snap_, opts);
+
+  ServeRequest blocker;
+  blocker.seed = 0;
+  blocker.size = 5;
+  blocker.timeout_ms = 0.0;  // explicitly no deadline
+  Admission parked = engine.Submit(blocker);
+  ASSERT_TRUE(parked.ok());
+  gate.AwaitArrivals(1);  // the worker holds the blocker; the queue is empty
+
+  ServeRequest doomed = blocker;
+  doomed.timeout_ms = 25.0;
+  Admission queued = engine.Submit(doomed);
+  ASSERT_TRUE(queued.ok());  // admission does not pre-judge the deadline
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  gate.Open();
+
+  // The blocker waited far past 25 ms on the gate but carries no deadline.
+  EXPECT_EQ(parked.response.get().status, ServeStatus::kOk);
+  ServeResponse shed = queued.response.get();
+  EXPECT_EQ(shed.status, ServeStatus::kDeadlineExceeded);
+  EXPECT_NE(shed.error.find("queue"), std::string::npos) << shed.error;
+  // Shed at claim: the whole lifetime was queue wait.
+  EXPECT_DOUBLE_EQ(shed.queue_seconds, shed.total_seconds);
+  EXPECT_GE(shed.total_seconds, 0.025);
+
+  ServingStats stats = engine.Stats();
+  EXPECT_EQ(stats.shed_in_queue, 1u);
+  EXPECT_EQ(stats.cancelled, 0u);
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.completed, 2u);  // a shed request still completes
+  EXPECT_EQ(hook_arrivals.load(), 1u) << "shed job reached the compute path";
+  // The latency window describes served requests only.
+  EXPECT_EQ(stats.latency_window, 1u);
+}
+
+TEST_F(ServingTest, DeadlineCancelsMidComputeAndWorkspaceStaysReusable) {
+  // A job claimed before its deadline but parked (in the hook) past it must
+  // trip the CancelToken at the first poll, resolve kDeadlineExceeded via
+  // the `cancelled` counter, and leave the worker's warm workspace able to
+  // produce bit-identical answers — with a flat alloc counter.
+  Gate gate;
+  std::atomic<bool> park{false};
+  ServingOptions opts = WithWorkers(1);
+  opts.worker_hook = [&gate, &park] {
+    if (!park.load()) return;
+    gate.Arrive();
+    gate.WaitUntilOpen();
+  };
+  ServingEngine engine(snap_, opts);
+
+  ServeRequest req = MakeRequests(1)[0];
+  req.size = 20;
+  const std::vector<NodeId> expected = SerialExpected(*snap_, {req})[0];
+
+  // Warm the arena to its steady state first, so the post-cancel assertion
+  // measures the cancellation path and not first-touch growth.
+  uint64_t steady = 0;
+  int flat_rounds = 0;
+  for (int round = 0; round < 20 && flat_rounds < 2; ++round) {
+    Admission a = engine.Submit(req);
+    ASSERT_TRUE(a.ok());
+    ASSERT_EQ(a.response.get().status, ServeStatus::kOk);
+    const uint64_t now = engine.Stats().alloc_events;
+    flat_rounds = now == steady ? flat_rounds + 1 : 0;
+    steady = now;
+  }
+  ASSERT_EQ(flat_rounds, 2) << "arena never reached a steady state";
+
+  park.store(true);
+  ServeRequest doomed = req;
+  doomed.timeout_ms = 150.0;
+  Admission a = engine.Submit(doomed);
+  ASSERT_TRUE(a.ok());
+  gate.AwaitArrivals(1);  // claimed pre-deadline: the shed path is off
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  park.store(false);
+  gate.Open();
+
+  ServeResponse cancelled = a.response.get();
+  EXPECT_EQ(cancelled.status, ServeStatus::kDeadlineExceeded);
+  EXPECT_NE(cancelled.error.find("mid-compute"), std::string::npos)
+      << cancelled.error;
+  EXPECT_TRUE(cancelled.cluster.empty());
+
+  ServingStats stats = engine.Stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.shed_in_queue, 0u);
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+
+  // The same workspace, same request, no deadline: bit-identical to serial,
+  // and the cancellation unwound without allocating.
+  Admission b = engine.Submit(req);
+  ASSERT_TRUE(b.ok());
+  ServeResponse ok = b.response.get();
+  ASSERT_EQ(ok.status, ServeStatus::kOk);
+  EXPECT_EQ(ok.cluster, expected);
+  EXPECT_EQ(engine.Stats().alloc_events, steady)
+      << "cancellation path allocated";
+}
+
+TEST_F(ServingTest, DefaultTimeoutAppliesAndZeroOverrideOptsOut) {
+  // Engine-wide default budget of 30 ms; a request with timeout_ms=0 opts
+  // out even while the default sheds its queue-mates.
+  Gate gate;
+  ServingOptions opts = WithWorkers(1);
+  opts.default_timeout_ms = 30.0;
+  opts.worker_hook = [&gate] {
+    gate.Arrive();
+    gate.WaitUntilOpen();
+  };
+  ServingEngine engine(snap_, opts);
+
+  ServeRequest blocker;
+  blocker.seed = 0;
+  blocker.size = 5;
+  blocker.timeout_ms = 0.0;
+  Admission parked = engine.Submit(blocker);
+  ASSERT_TRUE(parked.ok());
+  gate.AwaitArrivals(1);
+
+  ServeRequest inherits = blocker;
+  inherits.timeout_ms = -1.0;  // falls back to the engine default
+  Admission doomed = engine.Submit(inherits);
+  ServeRequest opts_out = blocker;  // timeout_ms = 0: no deadline
+  Admission survivor = engine.Submit(opts_out);
+  ASSERT_TRUE(doomed.ok() && survivor.ok());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  gate.Open();
+
+  EXPECT_EQ(parked.response.get().status, ServeStatus::kOk);
+  EXPECT_EQ(doomed.response.get().status, ServeStatus::kDeadlineExceeded);
+  EXPECT_EQ(survivor.response.get().status, ServeStatus::kOk);
+  EXPECT_EQ(engine.Stats().shed_in_queue, 1u);
+}
+
+TEST_F(ServingTest, TimeoutValidationRejectsNaNAndInfinity) {
+  ServingEngine engine(snap_, WithWorkers(1));
+  ServeRequest req;
+  req.seed = 0;
+  req.size = 5;
+
+  req.timeout_ms = std::numeric_limits<double>::quiet_NaN();
+  Admission nan = engine.Submit(req);
+  EXPECT_EQ(nan.status, ServeStatus::kInvalid);
+  EXPECT_NE(nan.error.find("timeout"), std::string::npos) << nan.error;
+
+  req.timeout_ms = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(engine.Submit(req).status, ServeStatus::kInvalid);
+
+  // The engine-wide default is validated at construction.
+  ServingOptions bad = WithWorkers(1);
+  bad.default_timeout_ms = -1.0;
+  EXPECT_THROW(ServingEngine(snap_, bad), std::invalid_argument);
+}
+
+TEST_F(ServingTest, DeadlineAndConcurrentReloadKeepServing) {
+  // Reload publishes v2 while a deadlined job is parked on the worker; the
+  // cancellation must not disturb the swap, and the next request serves the
+  // new version bit-identically.
+  Gate gate;
+  std::atomic<bool> park{true};
+  ServingOptions opts = WithWorkers(1);
+  opts.worker_hook = [&gate, &park] {
+    if (!park.load()) return;
+    gate.Arrive();
+    gate.WaitUntilOpen();
+  };
+  ServingEngine engine(snap_, opts);
+
+  ServeRequest req = MakeRequests(1)[0];
+  req.size = 15;
+  ServeRequest doomed = req;
+  doomed.timeout_ms = 150.0;
+  Admission a = engine.Submit(doomed);
+  ASSERT_TRUE(a.ok());
+  gate.AwaitArrivals(1);
+
+  std::shared_ptr<const DatasetSnapshot> v2 = MakeSnapshot(2, /*k=*/16);
+  const std::vector<NodeId> expected_v2 = SerialExpected(*v2, {req})[0];
+  engine.Reload(v2);
+  EXPECT_EQ(engine.Stats().active_version, 2u);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  park.store(false);
+  gate.Open();
+  EXPECT_EQ(a.response.get().status, ServeStatus::kDeadlineExceeded);
+
+  Admission b = engine.Submit(req);
+  ASSERT_TRUE(b.ok());
+  ServeResponse resp = b.response.get();
+  ASSERT_EQ(resp.status, ServeStatus::kOk);
+  EXPECT_EQ(resp.cluster, expected_v2);
+  EXPECT_EQ(engine.Stats().cancelled, 1u);
+}
+
+TEST_F(ServingTest, ShutdownFulfillsEveryAdmittedFutureIncludingDeadlined) {
+  // Drain with a mixed backlog: one job parked on the worker, one queued
+  // job that expires during the drain, one queued without a deadline. Every
+  // admitted future resolves; the expired one sheds, the rest serve.
+  Gate gate;
+  std::atomic<bool> park{true};
+  ServingOptions opts = WithWorkers(1);
+  opts.worker_hook = [&gate, &park] {
+    if (!park.load()) return;
+    gate.Arrive();
+    gate.WaitUntilOpen();
+  };
+  ServingEngine engine(snap_, opts);
+
+  ServeRequest req;
+  req.seed = 0;
+  req.size = 5;
+  Admission parked_job = engine.Submit(req);
+  ASSERT_TRUE(parked_job.ok());
+  gate.AwaitArrivals(1);
+
+  ServeRequest doomed = req;
+  doomed.timeout_ms = 25.0;
+  Admission expiring = engine.Submit(doomed);
+  Admission plain = engine.Submit(req);
+  ASSERT_TRUE(expiring.ok() && plain.ok());
+
+  // Submits racing the drain may still be admitted until the flag lands;
+  // keep their futures — they too must be fulfilled.
+  std::vector<std::future<ServeResponse>> racers;
+  std::thread closer([&engine] { engine.Shutdown(); });
+  while (true) {
+    Admission racer = engine.Submit(req);
+    if (racer.status == ServeStatus::kShuttingDown) break;
+    ASSERT_TRUE(racer.ok());
+    racers.push_back(std::move(racer.response));
+    std::this_thread::yield();
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  park.store(false);
+  gate.Open();
+  closer.join();
+
+  EXPECT_EQ(parked_job.response.get().status, ServeStatus::kOk);
+  EXPECT_EQ(expiring.response.get().status, ServeStatus::kDeadlineExceeded);
+  EXPECT_EQ(plain.response.get().status, ServeStatus::kOk);
+  for (auto& f : racers) EXPECT_EQ(f.get().status, ServeStatus::kOk);
+  ServingStats stats = engine.Stats();
+  EXPECT_EQ(stats.completed, 3u + racers.size());
+  EXPECT_EQ(stats.shed_in_queue, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: provoked failures must stay contained (DESIGN.md §9).
+
+TEST_F(ServingTest, InjectedComputeThrowFailsExactlyThatRequest) {
+  ServingOptions opts = WithWorkers(1);
+  opts.fault_injector = std::make_shared<FaultInjector>();
+  opts.fault_injector->Arm(FaultSite::kComputeThrow, /*at_hit=*/2);
+  ServingEngine engine(snap_, opts);
+
+  ServeRequest req;
+  req.seed = 0;
+  req.size = 5;
+  auto serve_one = [&] {
+    Admission a = engine.Submit(req);
+    EXPECT_TRUE(a.ok());
+    return a.response.get();
+  };
+  EXPECT_EQ(serve_one().status, ServeStatus::kOk);
+  ServeResponse failed = serve_one();  // the armed 2nd compute
+  EXPECT_EQ(failed.status, ServeStatus::kInternal);
+  EXPECT_NE(failed.error.find("injected fault"), std::string::npos)
+      << failed.error;
+  // The worker survived its exception and keeps claiming.
+  EXPECT_EQ(serve_one().status, ServeStatus::kOk);
+  ServingStats stats = engine.Stats();
+  EXPECT_EQ(stats.internal, 1u);
+  EXPECT_EQ(stats.completed, 3u);
+}
+
+TEST_F(ServingTest, InjectedWorkerStallDegradesThroughputButDrains) {
+  ServingOptions opts = WithWorkers(2);
+  opts.fault_injector = std::make_shared<FaultInjector>();
+  opts.fault_injector->Arm(FaultSite::kWorkerStall);
+  opts.fault_injector->set_stall_ms(50);
+  std::vector<std::future<ServeResponse>> futures;
+  {
+    ServingEngine engine(snap_, opts);
+    ServeRequest req;
+    req.seed = 0;
+    req.size = 5;
+    for (int i = 0; i < 6; ++i) {
+      Admission a = engine.Submit(req);
+      ASSERT_TRUE(a.ok());
+      futures.push_back(std::move(a.response));
+    }
+    engine.Shutdown();  // must drain through the stalls, never deadlock
+    EXPECT_EQ(engine.Stats().completed, 6u);
+  }
+  for (auto& f : futures) EXPECT_EQ(f.get().status, ServeStatus::kOk);
+  EXPECT_GE(opts.fault_injector->fired(FaultSite::kWorkerStall), 6u);
+}
+
+TEST_F(ServingTest, InjectedPromisePathFaultStillFulfillsTheFuture) {
+  // A fault on the completion path itself must degrade the response, not
+  // leak a broken promise (which would hang the caller forever).
+  ServingOptions opts = WithWorkers(1);
+  opts.fault_injector = std::make_shared<FaultInjector>();
+  opts.fault_injector->Arm(FaultSite::kPromisePath, /*at_hit=*/1);
+  ServingEngine engine(snap_, opts);
+
+  ServeRequest req;
+  req.seed = 0;
+  req.size = 5;
+  Admission a = engine.Submit(req);
+  ASSERT_TRUE(a.ok());
+  ServeResponse resp = a.response.get();  // must not hang
+  EXPECT_EQ(resp.status, ServeStatus::kInternal);
+  EXPECT_NE(resp.error.find("injected fault"), std::string::npos);
+
+  Admission b = engine.Submit(req);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.response.get().status, ServeStatus::kOk);
+}
+
+// ---------------------------------------------------------------------------
 // Protocol: the untrusted request-parsing boundary.
 
 TEST(ServingProtocolTest, ParsesFullRequestLine) {
@@ -659,6 +1000,83 @@ TEST(ServingProtocolTest, RejectsMalformedLines) {
     EXPECT_EQ(p.kind, ParsedLine::Kind::kError) << line;
     EXPECT_FALSE(p.error.empty()) << line;
   }
+}
+
+TEST(ServingProtocolTest, ParsesTimeoutField) {
+  ParsedLine p = ParseRequestLine("3 10 timeout_ms=250");
+  ASSERT_EQ(p.kind, ParsedLine::Kind::kRequest) << p.error;
+  EXPECT_DOUBLE_EQ(p.request.timeout_ms, 250.0);
+
+  // 0 is meaningful: it opts OUT of a server-wide default budget.
+  ParsedLine zero = ParseRequestLine("3 10 timeout_ms=0");
+  ASSERT_EQ(zero.kind, ParsedLine::Kind::kRequest);
+  EXPECT_DOUBLE_EQ(zero.request.timeout_ms, 0.0);
+
+  // Absent leaves the sentinel so the engine default applies.
+  EXPECT_LT(ParseRequestLine("3 10").request.timeout_ms, 0.0);
+
+  for (const char* line : {"3 5 timeout_ms=-1", "3 5 timeout_ms=nan",
+                           "3 5 timeout_ms=1x", "3 5 timeout_ms="}) {
+    ParsedLine bad = ParseRequestLine(line);
+    EXPECT_EQ(bad.kind, ParsedLine::Kind::kError) << line;
+    EXPECT_FALSE(bad.error.empty()) << line;
+  }
+}
+
+TEST(ServingProtocolTest, FormatsDeadlineAndInternalErrors) {
+  ServeResponse deadline;
+  deadline.status = ServeStatus::kDeadlineExceeded;
+  deadline.error = "deadline exceeded in queue";
+  EXPECT_EQ(FormatResponse(3, deadline),
+            "ERR id=3 code=deadline_exceeded msg=deadline exceeded in queue");
+
+  ServeResponse internal;
+  internal.status = ServeStatus::kInternal;
+  EXPECT_EQ(FormatResponse(4, internal),
+            "ERR id=4 code=internal msg=internal");
+}
+
+TEST(ServingProtocolTest, HealthLineReportsOkAndDegraded) {
+  EXPECT_EQ(ParseRequestLine("health").kind, ParsedLine::Kind::kHealth);
+
+  ServingStats stats;
+  stats.active_version = 4;
+  stats.workers = 2;
+  stats.queue_depth = 3;
+  stats.max_queue_depth = 8;
+  stats.shed_in_queue = 5;
+  stats.cancelled = 2;
+  stats.deadline_exceeded = 7;
+  stats.internal = 1;
+  stats.reloads = 6;
+  const std::string ok = FormatHealthLine(stats);
+  EXPECT_NE(ok.find("HEALTH status=ok"), std::string::npos) << ok;
+  EXPECT_NE(ok.find("version=4"), std::string::npos) << ok;
+  EXPECT_NE(ok.find("queue=3/8"), std::string::npos) << ok;
+  EXPECT_NE(ok.find("shed_in_queue=5"), std::string::npos) << ok;
+  EXPECT_NE(ok.find("deadline_exceeded=7"), std::string::npos) << ok;
+  EXPECT_NE(ok.find("cancelled=2"), std::string::npos) << ok;
+  EXPECT_NE(ok.find("internal=1"), std::string::npos) << ok;
+  EXPECT_NE(ok.find("reloads=6"), std::string::npos) << ok;
+
+  // Degraded exactly when the admission queue is at its bound: the next
+  // Submit would bounce with kOverloaded.
+  stats.queue_depth = stats.max_queue_depth;
+  EXPECT_NE(FormatHealthLine(stats).find("HEALTH status=degraded"),
+            std::string::npos);
+}
+
+TEST(ServingProtocolTest, StatsLineCarriesDeadlineCounters) {
+  ServingStats stats;
+  stats.deadline_exceeded = 9;
+  stats.shed_in_queue = 6;
+  stats.cancelled = 3;
+  stats.internal = 2;
+  const std::string line = FormatStatsLine(stats, 0.0);
+  EXPECT_NE(line.find("deadline=9"), std::string::npos) << line;
+  EXPECT_NE(line.find("shed=6"), std::string::npos) << line;
+  EXPECT_NE(line.find("cancelled=3"), std::string::npos) << line;
+  EXPECT_NE(line.find("internal=2"), std::string::npos) << line;
 }
 
 TEST(ServingProtocolTest, CommandsAndFormatting) {

@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include "attr/tnam_io.hpp"
+#include "common/fault_injection.hpp"
 #include "data/dataset_snapshot.hpp"
 #include "data/snapshot_io.hpp"
 #include "graph/builder.hpp"
@@ -367,6 +368,63 @@ TEST_F(SnapshotIoTest, CrossComponentMismatchesAreRejected) {
 // The direct regression for the satellite bugfix: LoadTnamBinary with an
 // expected row count rejects a TNAM whose rows disagree with the serving
 // graph (previously accepted, reading out of bounds at query time).
+// ---------------------------------------------------------------------------
+// Crash safety: a save killed at any point must leave the previous snapshot
+// loadable (DESIGN.md §9). The kill point sits after all components are
+// staged and before the manifest — the most-complete torn state possible.
+
+TEST_F(SnapshotIoTest, SaveKilledBeforeCommitLeavesOldSnapshotLoadable) {
+  SaveSnapshot(*MakeSnapshot(1), snap_dir_);
+
+  {
+    auto fi = std::make_shared<FaultInjector>();
+    fi->Arm(FaultSite::kSaveKill);
+    ScopedGlobalFaultInjector scope(fi);
+    EXPECT_THROW(SaveSnapshot(*MakeSnapshot(2), snap_dir_),
+                 std::runtime_error);
+    EXPECT_EQ(fi->fired(FaultSite::kSaveKill), 1u);
+  }
+
+  // The killed save never touched the committed directory: v1 still loads,
+  // and the torn staging directory (no manifest) is itself unloadable.
+  EXPECT_EQ(LoadSnapshot(snap_dir_)->version(), 1u);
+  EXPECT_TRUE(std::filesystem::exists(snap_dir_ + ".tmp"));
+  EXPECT_THROW(LoadSnapshot(snap_dir_ + ".tmp"), std::invalid_argument);
+
+  // The next save clears the stale staging residue and commits cleanly.
+  SaveSnapshot(*MakeSnapshot(2), snap_dir_);
+  EXPECT_EQ(LoadSnapshot(snap_dir_)->version(), 2u);
+  EXPECT_FALSE(std::filesystem::exists(snap_dir_ + ".tmp"));
+  EXPECT_FALSE(std::filesystem::exists(snap_dir_ + ".old"));
+}
+
+TEST_F(SnapshotIoTest, OverwriteCommitLeavesNoStagingResidue) {
+  SaveSnapshot(*MakeSnapshot(1), snap_dir_);
+  SaveSnapshot(*MakeSnapshot(2), snap_dir_);  // atomic replace of a live dir
+  EXPECT_EQ(LoadSnapshot(snap_dir_)->version(), 2u);
+  EXPECT_FALSE(std::filesystem::exists(snap_dir_ + ".tmp"));
+  EXPECT_FALSE(std::filesystem::exists(snap_dir_ + ".old"));
+}
+
+TEST_F(SnapshotIoTest, InjectedReadFaultsSurfaceAndClearWithTheInjector) {
+  SaveSnapshot(*MakeSnapshot(3), snap_dir_);
+
+  {
+    auto fi = std::make_shared<FaultInjector>();
+    fi->Arm(FaultSite::kSnapshotRead);
+    ScopedGlobalFaultInjector scope(fi);
+    EXPECT_THROW(LoadSnapshot(snap_dir_), std::runtime_error);
+  }
+  {
+    auto fi = std::make_shared<FaultInjector>();
+    fi->Arm(FaultSite::kTnamLoad);
+    ScopedGlobalFaultInjector scope(fi);
+    EXPECT_THROW(LoadSnapshot(snap_dir_), std::runtime_error);
+  }
+  // The directory itself was never the problem.
+  EXPECT_EQ(LoadSnapshot(snap_dir_)->version(), 3u);
+}
+
 TEST_F(SnapshotIoTest, LoadTnamBinaryRejectsRowCountMismatch) {
   const std::string path = (dir_ / "z.laca").string();
   SaveTnamBinary(MakeTnam(8, 4), path);

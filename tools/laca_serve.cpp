@@ -7,7 +7,13 @@
 // fleet with bounded-queue admission control. A `reload` request rebuilds
 // the snapshot in the background — re-reading the snapshot directory or
 // re-running the TNAM preprocessing — and swaps it in atomically while old
-// requests finish on the version they were admitted under.
+// requests finish on the version they were admitted under; a failed rebuild
+// reports ERR and leaves the old version serving. Requests carry optional
+// deadlines (timeout_ms=, or the server-wide --default-timeout) anchored at
+// admission: expired queued requests are shed without compute, and a request
+// caught mid-compute is cooperatively cancelled within one poll interval. A
+// `health` line reports ok/degraded with the active version and the
+// shed/deadline counters.
 //
 // Usage:
 //   laca_serve --gen=<dataset-name>            serve a registry stand-in
@@ -31,6 +37,14 @@
 //                    Overrides any TNAMs a --snapshot-dir carries
 //   --alpha=A        default restart factor (default 0.8)
 //   --eps=E          default diffusion threshold (default 1e-6)
+//   --default-timeout=MS  server-wide request budget in milliseconds,
+//                    anchored at admission (0 = none, the default); a
+//                    request's timeout_ms= overrides it, timeout_ms=0
+//                    opts out entirely
+//   --fault-inject=SPEC   arm the deterministic fault injector (testing/CI;
+//                    see src/common/fault_injection.hpp for the grammar,
+//                    e.g. snapshot_read=2 fails the first reload's read,
+//                    worker_stall,stall_ms=200 stalls every claim)
 //   --port=P         serve on 127.0.0.1:P instead of stdin/stdout
 //   --stats-every=S  periodic STATS line to stderr every S seconds (0 = off,
 //                    the default; `stats` on any session works regardless)
@@ -42,6 +56,7 @@
 #include <atomic>
 #include <cerrno>
 #include <condition_variable>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -65,6 +80,7 @@
 
 #include "attr/tnam.hpp"
 #include "attr/tnam_io.hpp"
+#include "common/fault_injection.hpp"
 #include "common/parse.hpp"
 #include "common/timer.hpp"
 #include "data/dataset_snapshot.hpp"
@@ -86,6 +102,7 @@ struct ServeCliOptions {
   std::vector<int> ks = {32};
   std::vector<std::string> tnam_paths;
   ServingOptions serving;
+  std::string fault_spec;
   int port = -1;
   double stats_every = 0.0;
 };
@@ -166,6 +183,12 @@ bool ParseArgs(int argc, char** argv, ServeCliOptions& opts) {
       std::optional<double> v = ParseF64(value);
       if (!v || *v <= 0.0) return FailFlag(arg, "eps > 0");
       opts.serving.defaults.epsilon = *v;
+    } else if (key == "--default-timeout") {
+      std::optional<double> v = ParseF64(value);
+      if (!v || *v < 0.0) return FailFlag(arg, "milliseconds >= 0");
+      opts.serving.default_timeout_ms = *v;
+    } else if (key == "--fault-inject") {
+      opts.fault_spec = value;  // parsed in main so errors name the token
     } else if (key == "--port") {
       std::optional<uint64_t> v = ParseU64(value);
       if (!v || *v == 0 || *v > 65535) return FailFlag(arg, "bad port");
@@ -317,16 +340,85 @@ class SnapshotSource {
 // Reads one '\n'-terminated line into *line (portable fgets loop — POSIX
 // getline does not exist everywhere this file must at least compile).
 // Returns false on EOF with nothing read; a final unterminated line is
-// still delivered.
+// still delivered. A read interrupted by a signal is retried — without
+// this, any stray signal would silently end a TCP session mid-stream.
 bool ReadLine(std::FILE* in, std::string* line) {
   line->clear();
   char buf[4096];
-  while (std::fgets(buf, sizeof(buf), in) != nullptr) {
+  for (;;) {
+    if (std::fgets(buf, sizeof(buf), in) == nullptr) {
+      if (std::ferror(in) && errno == EINTR) {
+        std::clearerr(in);
+        continue;
+      }
+      return !line->empty();
+    }
     line->append(buf);
     if (!line->empty() && line->back() == '\n') return true;
   }
-  return !line->empty();
 }
+
+// Sink for response lines. Write() appends the newline and reports false
+// once the peer is unreachable; the session then drains its in-flight work
+// without emitting (futures are still consumed) and closes cleanly.
+class LineWriter {
+ public:
+  virtual ~LineWriter() = default;
+  virtual bool Write(const std::string& line) = 0;
+  bool ok() const { return !failed_; }
+
+ protected:
+  bool failed_ = false;
+};
+
+// stdio-backed writer (stdin/stdout mode).
+class StdioLineWriter : public LineWriter {
+ public:
+  explicit StdioLineWriter(std::FILE* out) : out_(out) {}
+  bool Write(const std::string& line) override {
+    if (failed_) return false;
+    std::fprintf(out_, "%s\n", line.c_str());
+    std::fflush(out_);
+    if (std::ferror(out_)) failed_ = true;
+    return !failed_;
+  }
+
+ private:
+  std::FILE* out_;
+};
+
+#ifdef __unix__
+// write(2)-backed writer for TCP sessions: retries EINTR and short writes
+// (a full socket buffer delivers partial counts), and turns EPIPE/ECONNRESET
+// — the peer hung up mid-response — into a clean `false` instead of a
+// killed process (SIGPIPE is ignored in main).
+class FdLineWriter : public LineWriter {
+ public:
+  explicit FdLineWriter(int fd) : fd_(fd) {}
+  bool Write(const std::string& line) override {
+    if (failed_) return false;
+    buf_.assign(line);
+    buf_.push_back('\n');
+    const char* data = buf_.data();
+    size_t len = buf_.size();
+    while (len > 0) {
+      const ssize_t n = ::write(fd_, data, len);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        failed_ = true;  // EPIPE, ECONNRESET, ...: peer is gone
+        return false;
+      }
+      data += n;
+      len -= static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+ private:
+  int fd_;
+  std::string buf_;
+};
+#endif
 
 std::string StatsLineNow(ServingEngine& engine) {
   ServingStats s = engine.Stats();
@@ -372,14 +464,16 @@ class StatsReporter {
   std::thread thread_;
 };
 
-// One request/response session over stdio-style streams. Responses are
-// emitted strictly in request order (a bounded pending window keeps reading
-// ahead of the slowest in-flight request). `stats` and `reload` responses
-// are rendered at emission time, so a stats line that follows a reload in
-// the stream reports the post-reload state. Returns true if the peer asked
+// One request/response session. Responses are emitted strictly in request
+// order (a bounded pending window keeps reading ahead of the slowest
+// in-flight request). `stats`, `health`, and `reload` responses are rendered
+// at emission time, so a stats line that follows a reload in the stream
+// reports the post-reload state. A client disconnect mid-response (write
+// failure) stops reading and emitting, but every already-admitted future is
+// still consumed before the session closes. Returns true if the peer asked
 // for a server shutdown.
 bool RunSession(ServingEngine& engine, SnapshotSource& source, std::FILE* in,
-                std::FILE* out) {
+                LineWriter& out) {
   struct Pending {
     uint64_t id;
     std::optional<std::string> ready;    // immediate response (errors)
@@ -405,8 +499,7 @@ bool RunSession(ServingEngine& engine, SnapshotSource& source, std::FILE* in,
     } else {
       line = FormatResponse(p.id, p.response.get());
     }
-    std::fprintf(out, "%s\n", line.c_str());
-    std::fflush(out);
+    out.Write(line);  // no-op once the peer is gone; futures still resolved
   };
   auto front_ready = [&]() -> bool {
     const Pending& p = pending.front();
@@ -439,6 +532,9 @@ bool RunSession(ServingEngine& engine, SnapshotSource& source, std::FILE* in,
     switch (parsed.kind) {
       case ParsedLine::Kind::kStats:
         p.lazy = [&engine] { return StatsLineNow(engine); };
+        break;
+      case ParsedLine::Kind::kHealth:
+        p.lazy = [&engine] { return FormatHealthLine(engine.Stats()); };
         break;
       case ParsedLine::Kind::kReload:
         // The rebuild runs off this thread; requests keep flowing on the
@@ -481,6 +577,7 @@ bool RunSession(ServingEngine& engine, SnapshotSource& source, std::FILE* in,
     pending.push_back(std::move(p));
     flush_ready(/*all=*/false);
     if (pending.size() >= max_pending) emit_front();  // blocks on the oldest
+    if (!out.ok()) break;  // peer disconnected; drain below, then close
   }
   flush_ready(/*all=*/true);
   return shutdown_requested;
@@ -564,14 +661,11 @@ int RunTcpServer(ServingEngine& engine, SnapshotSource& source, int port) {
         conns.Remove(fd);
         ::close(fd);
       } else {
-        const int out_fd = ::dup(fd);
-        std::FILE* out = out_fd >= 0 ? ::fdopen(out_fd, "w") : nullptr;
-        if (out != nullptr) {
-          wants_shutdown = RunSession(engine, source, in, out);
-          std::fclose(out);
-        } else if (out_fd >= 0) {
-          ::close(out_fd);
-        }
+        // Reads go through stdio buffering; writes go straight to the fd
+        // (EINTR/short-write-safe, disconnect-tolerant) — no dup(), so the
+        // session owns exactly one descriptor.
+        FdLineWriter out(fd);
+        wants_shutdown = RunSession(engine, source, in, out);
         // Deregister BEFORE the close releases the descriptor number: a new
         // connection could otherwise reuse it between close and Remove, and
         // Remove would deregister the new session's live socket.
@@ -615,15 +709,36 @@ int RunTcpServer(ServingEngine& engine, SnapshotSource& source, int port) {
 }  // namespace
 
 int main(int argc, char** argv) {
+#ifdef __unix__
+  // A peer that disconnects mid-response must surface as a write error in
+  // the session, never as a process-killing signal.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
   ServeCliOptions cli;
   if (!ParseArgs(argc, argv, cli)) {
     std::fprintf(stderr,
                  "usage: %s (--gen=<name> | --edges=<path> [--attrs=<path>] "
                  "| --snapshot-dir=<dir>) [--workers=] [--threads=] "
                  "[--intra=] [--queue=] [--k=] [--tnam=] [--alpha=] [--eps=] "
-                 "[--port=] [--stats-every=]\n",
+                 "[--default-timeout=] [--fault-inject=] [--port=] "
+                 "[--stats-every=]\n",
                  argv[0]);
     return 2;
+  }
+  if (!cli.fault_spec.empty()) {
+    try {
+      std::shared_ptr<FaultInjector> injector =
+          FaultInjector::FromSpec(cli.fault_spec);
+      // Same injector on both delivery paths: the engine's workers and the
+      // process-global hook snapshot I/O consults during load/reload/save.
+      cli.serving.fault_injector = injector;
+      SetGlobalFaultInjector(std::move(injector));
+      std::fprintf(stderr, "laca_serve: fault injection armed: %s\n",
+                   cli.fault_spec.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "laca_serve: %s\n", e.what());
+      return 2;
+    }
   }
 
   SnapshotSource source(cli);
@@ -662,7 +777,8 @@ int main(int argc, char** argv) {
       rc = 2;
 #endif
     } else {
-      RunSession(engine, source, stdin, stdout);
+      StdioLineWriter out(stdout);
+      RunSession(engine, source, stdin, out);
     }
 
     engine.Shutdown();
