@@ -1,0 +1,67 @@
+// Clang Thread Safety Analysis annotations (DESIGN.md §10).
+//
+// Every shared structure in this codebase declares, in its type, which lock
+// guards which field and which functions require which capability — and the
+// clang CI job compiles with -Werror=thread-safety, turning lock-discipline
+// violations into compile errors instead of TSan findings that depend on an
+// interleaving actually happening (this container has one core; real traffic
+// has many). Under g++ and every non-clang compiler the macros expand to
+// nothing, so release and sanitizer builds are byte-for-byte unaffected.
+//
+// Use through common/mutex.hpp (annotated Mutex/MutexLock/CondVar wrappers)
+// rather than annotating raw std::mutex members: std::mutex is not a
+// capability type, so the analysis cannot see through it.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#ifndef LACA_COMMON_ANNOTATIONS_HPP_
+#define LACA_COMMON_ANNOTATIONS_HPP_
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define LACA_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef LACA_THREAD_ANNOTATION_
+#define LACA_THREAD_ANNOTATION_(x)  // no-op off clang
+#endif
+
+/// Declares a type as a capability (lock) the analysis tracks.
+#define LACA_CAPABILITY(x) LACA_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type whose constructor acquires and destructor releases.
+#define LACA_SCOPED_CAPABILITY LACA_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field is readable/writable only while holding `x`.
+#define LACA_GUARDED_BY(x) LACA_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointee (not the pointer) is guarded by `x`.
+#define LACA_PT_GUARDED_BY(x) LACA_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function acquires the capability (and did not hold it on entry).
+#define LACA_ACQUIRE(...) LACA_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry).
+#define LACA_RELEASE(...) LACA_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define LACA_TRY_ACQUIRE(b, ...) \
+  LACA_THREAD_ANNOTATION_(try_acquire_capability(b, __VA_ARGS__))
+
+/// Caller must hold the capability for the call (the `*Locked()` contract).
+#define LACA_REQUIRES(...) LACA_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (guards against self-deadlock).
+#define LACA_EXCLUDES(...) LACA_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define LACA_RETURN_CAPABILITY(x) LACA_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Runtime assertion that the capability is held (trusted by the analysis).
+#define LACA_ASSERT_CAPABILITY(x) LACA_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Scoped opt-out. Every use must carry a comment justifying why the
+/// analysis cannot see the invariant that makes the code correct.
+#define LACA_NO_THREAD_SAFETY_ANALYSIS \
+  LACA_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // LACA_COMMON_ANNOTATIONS_HPP_

@@ -21,8 +21,8 @@ const char* kSiteNames[kNumSites] = {
 // The global injector, consulted by layers without injector plumbing
 // (snapshot I/O). Guarded by a mutex: every consulting site is a cold path
 // (loads, saves), never the per-request hot path.
-std::mutex g_mu;
-std::shared_ptr<FaultInjector> g_injector;
+Mutex g_mu;
+std::shared_ptr<FaultInjector> g_injector LACA_GUARDED_BY(g_mu);
 
 }  // namespace
 
@@ -106,7 +106,7 @@ void FaultInjector::Arm(FaultSite site, uint64_t at_hit, double probability) {
   LACA_CHECK(site < FaultSite::kNumSites, "bad fault site");
   LACA_CHECK(probability >= 0.0 && probability <= 1.0,
              "fault probability must be in [0, 1]");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Site& s = sites_[static_cast<size_t>(site)];
   s.enabled = true;
   s.at_hit = at_hit;
@@ -115,7 +115,7 @@ void FaultInjector::Arm(FaultSite site, uint64_t at_hit, double probability) {
 
 bool FaultInjector::ShouldFire(FaultSite site) {
   if (site >= FaultSite::kNumSites) return false;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Site& s = sites_[static_cast<size_t>(site)];
   ++s.hits;
   if (!s.enabled) return false;
@@ -135,32 +135,32 @@ void FaultInjector::MaybeThrow(FaultSite site, const char* what) {
 }
 
 uint64_t FaultInjector::hits(FaultSite site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return sites_[static_cast<size_t>(site)].hits;
 }
 
 uint64_t FaultInjector::fired(FaultSite site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return sites_[static_cast<size_t>(site)].fired;
 }
 
 std::chrono::milliseconds FaultInjector::stall_duration() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return std::chrono::milliseconds(stall_ms_);
 }
 
 void FaultInjector::set_stall_ms(uint64_t ms) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stall_ms_ = ms;
 }
 
 std::shared_ptr<FaultInjector> GlobalFaultInjector() {
-  std::lock_guard<std::mutex> lock(g_mu);
+  MutexLock lock(g_mu);
   return g_injector;
 }
 
 void SetGlobalFaultInjector(std::shared_ptr<FaultInjector> injector) {
-  std::lock_guard<std::mutex> lock(g_mu);
+  MutexLock lock(g_mu);
   g_injector = std::move(injector);
 }
 

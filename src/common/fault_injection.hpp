@@ -27,9 +27,11 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <random>
 #include <string_view>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 
 namespace laca {
 
@@ -64,19 +66,20 @@ class FaultInjector {
 
   /// Arms `site`: at_hit == 0 fires every hit, otherwise exactly the
   /// at_hit-th; probability < 1 gates each firing by a seeded coin flip.
-  void Arm(FaultSite site, uint64_t at_hit = 0, double probability = 1.0);
+  void Arm(FaultSite site, uint64_t at_hit = 0, double probability = 1.0)
+      LACA_EXCLUDES(mu_);
 
   /// Records a hit at `site` and reports whether the fault fires.
-  bool ShouldFire(FaultSite site);
+  bool ShouldFire(FaultSite site) LACA_EXCLUDES(mu_);
 
   /// ShouldFire + throw std::runtime_error("injected fault: <what>").
-  void MaybeThrow(FaultSite site, const char* what);
+  void MaybeThrow(FaultSite site, const char* what) LACA_EXCLUDES(mu_);
 
-  uint64_t hits(FaultSite site) const;
-  uint64_t fired(FaultSite site) const;
+  uint64_t hits(FaultSite site) const LACA_EXCLUDES(mu_);
+  uint64_t fired(FaultSite site) const LACA_EXCLUDES(mu_);
 
-  std::chrono::milliseconds stall_duration() const;
-  void set_stall_ms(uint64_t ms);
+  std::chrono::milliseconds stall_duration() const LACA_EXCLUDES(mu_);
+  void set_stall_ms(uint64_t ms) LACA_EXCLUDES(mu_);
 
  private:
   struct Site {
@@ -87,10 +90,10 @@ class FaultInjector {
     uint64_t fired = 0;
   };
 
-  mutable std::mutex mu_;
-  Site sites_[static_cast<size_t>(FaultSite::kNumSites)];
-  std::mt19937_64 rng_;
-  uint64_t stall_ms_ = 100;
+  mutable Mutex mu_;
+  Site sites_[static_cast<size_t>(FaultSite::kNumSites)] LACA_GUARDED_BY(mu_);
+  std::mt19937_64 rng_ LACA_GUARDED_BY(mu_);
+  uint64_t stall_ms_ LACA_GUARDED_BY(mu_) = 100;
 };
 
 /// The process-global injector consulted by snapshot I/O (null = no faults).

@@ -1,0 +1,115 @@
+// Annotated mutex / scoped-lock / condition-variable wrappers (DESIGN.md §10).
+//
+// Thin, zero-overhead shells over std::mutex and std::condition_variable
+// that carry the Clang Thread Safety Analysis capability annotations
+// (common/annotations.hpp). Code holding a MutexLock is statically known to
+// hold the Mutex, GUARDED_BY fields are checkable at compile time, and
+// `*Locked()` helpers declare LACA_REQUIRES(mu) instead of relying on a
+// naming convention. Off clang everything inlines to the std primitives.
+//
+// CondVar deliberately has no predicate overload: a predicate lambda does
+// not inherit the caller's lock set, so the analysis would flag every
+// guarded field the predicate reads. Waits are written as explicit loops —
+//   while (!condition) cv.Wait(mu);
+// — which keeps the condition in the annotated function body where the
+// analysis can see the lock is held. (This is the abseil CondVar shape.)
+#ifndef LACA_COMMON_MUTEX_HPP_
+#define LACA_COMMON_MUTEX_HPP_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/annotations.hpp"
+
+namespace laca {
+
+/// std::mutex as a TSA capability. Same size, same cost; LACA_GUARDED_BY
+/// fields name an instance of this type.
+class LACA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() LACA_ACQUIRE() { mu_.lock(); }
+  void Unlock() LACA_RELEASE() { mu_.unlock(); }
+  bool TryLock() LACA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped std::mutex, for CondVar's adopt-lock bridge only. Callers
+  /// must not lock/unlock through it — the analysis cannot see that.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock (std::lock_guard shape) the analysis tracks as a scoped
+/// capability: fields guarded by the Mutex are accessible exactly within
+/// this object's lifetime.
+class LACA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) LACA_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() LACA_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable over Mutex. Every wait requires the mutex held (and
+/// reacquires it before returning), exactly like std::condition_variable —
+/// but the requirement is compiler-checked.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified (or spuriously woken),
+  /// and reacquires `mu`. Always use in a condition loop.
+  void Wait(Mutex& mu) LACA_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the wait, then release the
+    // unique_lock's ownership claim so the wrapper's bookkeeping (and the
+    // analysis's view: held on entry, held on exit) stays consistent.
+    std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  /// As Wait, returning true when `deadline` passed before a notification
+  /// (the caller's condition loop decides what a timeout means).
+  template <typename Clock, typename Duration>
+  bool WaitUntil(Mutex& mu,
+                 const std::chrono::time_point<Clock, Duration>& deadline)
+      LACA_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
+    const bool timed_out =
+        cv_.wait_until(lock, deadline) == std::cv_status::timeout;
+    lock.release();
+    return timed_out;
+  }
+
+  /// As Wait, returning true when `rel_time` elapsed before a notification.
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& rel_time)
+      LACA_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
+    const bool timed_out =
+        cv_.wait_for(lock, rel_time) == std::cv_status::timeout;
+    lock.release();
+    return timed_out;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace laca
+
+#endif  // LACA_COMMON_MUTEX_HPP_

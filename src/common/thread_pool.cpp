@@ -17,13 +17,13 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     // Drain before shutdown so destruction has Wait() semantics (minus the
     // rethrow, which a destructor must not do).
-    all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+    while (!DrainedLocked()) all_done_.Wait(mutex_);
     shutting_down_ = true;
   }
-  task_ready_.notify_all();
+  task_ready_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -33,17 +33,17 @@ void ThreadPool::Submit(std::function<void()> task) {
 
 void ThreadPool::SubmitTask(Task task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
   }
-  task_ready_.notify_one();
+  task_ready_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+    MutexLock lock(mutex_);
+    while (!DrainedLocked()) all_done_.Wait(mutex_);
     error = std::exchange(first_error_, nullptr);
   }
   if (error) std::rethrow_exception(error);
@@ -65,7 +65,7 @@ void ThreadPool::RunTask(Task task) {
     if (task.group != nullptr) {
       task.group->OnError(std::current_exception());
     } else {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
   }
@@ -74,15 +74,15 @@ void ThreadPool::RunTask(Task task) {
 }
 
 void ThreadPool::FinishTask() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   --in_flight_;
-  if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
+  if (DrainedLocked()) all_done_.NotifyAll();
 }
 
 bool ThreadPool::RunOneTaskFromGroup(TaskGroup* group) {
   Task task;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = std::find_if(queue_.begin(), queue_.end(),
                            [group](const Task& t) { return t.group == group; });
     if (it == queue_.end()) return false;
@@ -98,9 +98,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_ready_.wait(lock,
-                       [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && queue_.empty()) task_ready_.Wait(mutex_);
       if (queue_.empty()) return;  // shutting down
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -120,7 +119,7 @@ TaskGroup::~TaskGroup() {
 
 void TaskGroup::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++pending_;
   }
   pool_.SubmitTask(ThreadPool::Task{std::move(task), this});
@@ -129,21 +128,21 @@ void TaskGroup::Submit(std::function<void()> task) {
 void TaskGroup::Wait() {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (pending_ == 0) break;
     }
     // Help-run this group's queued tasks so a Wait() from inside a pool
     // worker (nested parallelism) makes progress instead of deadlocking;
     // once none are queued, the stragglers are running on other threads.
     if (!pool_.RunOneTaskFromGroup(this)) {
-      std::unique_lock<std::mutex> lock(mutex_);
-      done_.wait(lock, [this] { return pending_ == 0; });
+      MutexLock lock(mutex_);
+      while (pending_ != 0) done_.Wait(mutex_);
       break;
     }
   }
   std::exception_ptr error;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     error = std::exchange(first_error_, nullptr);
   }
   if (error) std::rethrow_exception(error);
@@ -167,14 +166,14 @@ void TaskGroup::ParallelFor(size_t begin, size_t end,
 }
 
 void TaskGroup::OnError(std::exception_ptr error) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!first_error_) first_error_ = std::move(error);
 }
 
 void TaskGroup::OnTaskDone() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   --pending_;
-  if (pending_ == 0) done_.notify_all();
+  if (pending_ == 0) done_.NotifyAll();
 }
 
 ThreadPool& SharedPool() {

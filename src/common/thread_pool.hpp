@@ -22,15 +22,16 @@
 #ifndef LACA_COMMON_THREAD_POOL_HPP_
 #define LACA_COMMON_THREAD_POOL_HPP_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 
 namespace laca {
 
@@ -82,22 +83,27 @@ class ThreadPool {
     TaskGroup* group = nullptr;  // null for ungrouped Submit()
   };
 
-  void SubmitTask(Task task);
+  void SubmitTask(Task task) LACA_EXCLUDES(mutex_);
   // Pops and runs the first queued task of `group` on the calling thread.
   // Returns false if none is queued. Used by TaskGroup::Wait to help-run.
-  bool RunOneTaskFromGroup(TaskGroup* group);
-  void RunTask(Task task);
-  void FinishTask();
-  void WorkerLoop();
+  bool RunOneTaskFromGroup(TaskGroup* group) LACA_EXCLUDES(mutex_);
+  void RunTask(Task task) LACA_EXCLUDES(mutex_);
+  void FinishTask() LACA_EXCLUDES(mutex_);
+  void WorkerLoop() LACA_EXCLUDES(mutex_);
+  // True when every submitted task has finished (the Wait()/dtor drain
+  // condition: nothing queued, nothing running).
+  bool DrainedLocked() const LACA_REQUIRES(mutex_) {
+    return queue_.empty() && in_flight_ == 0;
+  }
 
   std::vector<std::thread> workers_;
-  std::deque<Task> queue_;
-  std::mutex mutex_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
-  std::exception_ptr first_error_;
+  Mutex mutex_;
+  std::deque<Task> queue_ LACA_GUARDED_BY(mutex_);
+  CondVar task_ready_;
+  CondVar all_done_;
+  size_t in_flight_ LACA_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ LACA_GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_error_ LACA_GUARDED_BY(mutex_);
 };
 
 /// A batch of tasks on a shared ThreadPool with private completion and error
@@ -130,14 +136,14 @@ class TaskGroup {
  private:
   friend class ThreadPool;
 
-  void OnError(std::exception_ptr error);
-  void OnTaskDone();
+  void OnError(std::exception_ptr error) LACA_EXCLUDES(mutex_);
+  void OnTaskDone() LACA_EXCLUDES(mutex_);
 
   ThreadPool& pool_;
-  std::mutex mutex_;
-  std::condition_variable done_;
-  size_t pending_ = 0;
-  std::exception_ptr first_error_;
+  Mutex mutex_;
+  CondVar done_;
+  size_t pending_ LACA_GUARDED_BY(mutex_) = 0;
+  std::exception_ptr first_error_ LACA_GUARDED_BY(mutex_);
 };
 
 /// Process-wide lazily-constructed pool sized to the hardware concurrency.

@@ -83,7 +83,7 @@ SnapshotStore::SnapshotStore(std::shared_ptr<const DatasetSnapshot> initial) {
 void SnapshotStore::Publish(std::shared_ptr<const DatasetSnapshot> next) {
   LACA_CHECK(next != nullptr, "cannot publish a null snapshot");
   // retired_mu_ serializes publishers; readers never take it.
-  std::lock_guard<std::mutex> lock(retired_mu_);
+  MutexLock lock(retired_mu_);
   std::shared_ptr<const DatasetSnapshot> prev = current_.load();
   LACA_CHECK(next->version() > prev->version(),
              "stale snapshot publish: version " +
@@ -95,7 +95,7 @@ void SnapshotStore::Publish(std::shared_ptr<const DatasetSnapshot> next) {
 }
 
 size_t SnapshotStore::retired_live() const {
-  std::lock_guard<std::mutex> lock(retired_mu_);
+  MutexLock lock(retired_mu_);
   retired_.erase(std::remove_if(
                      retired_.begin(), retired_.end(),
                      [](const std::weak_ptr<const DatasetSnapshot>& w) {

@@ -20,12 +20,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "attr/tnam.hpp"
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 
@@ -120,11 +121,12 @@ class SnapshotStore {
   /// Throws std::invalid_argument on a null snapshot or a version that does
   /// not strictly advance (stale publications must fail loudly, not roll the
   /// serving data back).
-  void Publish(std::shared_ptr<const DatasetSnapshot> next);
+  void Publish(std::shared_ptr<const DatasetSnapshot> next)
+      LACA_EXCLUDES(retired_mu_);
 
   /// Retired versions still alive (some reader still holds them). Prunes
   /// fully-drained entries as a side effect.
-  size_t retired_live() const;
+  size_t retired_live() const LACA_EXCLUDES(retired_mu_);
 
   /// Number of Publish() calls that replaced a previous version.
   uint64_t publish_count() const {
@@ -134,8 +136,9 @@ class SnapshotStore {
  private:
   std::atomic<std::shared_ptr<const DatasetSnapshot>> current_;
   std::atomic<uint64_t> publish_count_{0};
-  mutable std::mutex retired_mu_;
-  mutable std::vector<std::weak_ptr<const DatasetSnapshot>> retired_;
+  mutable Mutex retired_mu_;
+  mutable std::vector<std::weak_ptr<const DatasetSnapshot>> retired_
+      LACA_GUARDED_BY(retired_mu_);
 };
 
 }  // namespace laca

@@ -1,5 +1,6 @@
 #include "eval/datasets.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <map>
 #include <memory>
@@ -8,7 +9,9 @@
 #include <string>
 #include <utility>
 
+#include "common/annotations.hpp"
 #include "common/error.hpp"
+#include "common/mutex.hpp"
 #include "common/rng.hpp"
 #include "data/snapshot_io.hpp"
 
@@ -188,26 +191,38 @@ std::unique_ptr<Dataset> BuildDataset(const std::string& name) {
       data.communities.AverageClusterSize()});
 }
 
+// The dataset registry. Namespace-scope (not function-local statics) so the
+// guarded_by relation is expressible: the registry mutex only guards the map
+// probe; each entry's once-latch serializes that entry's build, so a dataset
+// generating on first use never serializes an unrelated dataset's first use
+// behind it.
+struct RegistryEntry {
+  std::once_flag once;
+  std::unique_ptr<Dataset> dataset;
+};
+Mutex g_registry_mu;
+std::map<std::string, RegistryEntry> g_registry LACA_GUARDED_BY(g_registry_mu);
+
 }  // namespace
 
 const Dataset& GetDataset(const std::string& name) {
-  // Per-entry once-latches: the global mutex only guards the map probe, so
-  // a dataset generating on first use never serializes an unrelated
-  // dataset's first use behind it. call_once re-arms on exception (an
-  // unknown name throws and stays retriable).
-  struct Entry {
-    std::once_flag once;
-    std::unique_ptr<Dataset> dataset;
-  };
-  static std::mutex mutex;
-  static std::map<std::string, Entry> cache;
-  Entry* entry;
+  // call_once re-arms on exception (an unknown name throws and stays
+  // retriable). The entry pointer stays valid after the probe: std::map
+  // never moves nodes, and entries are never erased.
+  RegistryEntry* entry;
   {
-    std::lock_guard<std::mutex> lock(mutex);
-    entry = &cache.try_emplace(name).first->second;
+    MutexLock lock(g_registry_mu);
+    entry = &g_registry.try_emplace(name).first->second;
   }
   std::call_once(entry->once, [&] { entry->dataset = BuildDataset(name); });
   return *entry->dataset;
+}
+
+bool KnownDataset(const std::string& name) {
+  for (const auto& names : {AttributedDatasetNames(), NonAttributedDatasetNames()}) {
+    if (std::find(names.begin(), names.end(), name) != names.end()) return true;
+  }
+  return false;
 }
 
 std::vector<std::string> AttributedDatasetNames() {

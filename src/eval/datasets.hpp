@@ -41,6 +41,10 @@ struct Dataset {
 /// map probe). Throws std::invalid_argument for unknown names.
 const Dataset& GetDataset(const std::string& name);
 
+/// True when `name` resolves to a registry config — without generating the
+/// dataset. Lets tests and tools validate names cheaply.
+bool KnownDataset(const std::string& name);
+
 /// The 8 attributed stand-ins, smallest first (Table III order).
 std::vector<std::string> AttributedDatasetNames();
 

@@ -72,10 +72,10 @@ ServingEngine::ServingEngine(std::shared_ptr<const DatasetSnapshot> snapshot,
     // joinable threads in workers_ would std::terminate, so drain and join
     // the part of the fleet that did start before rethrowing.
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       draining_ = true;
     }
-    work_ready_.notify_all();
+    work_ready_.NotifyAll();
     for (size_t w = 0; w < spawned; ++w) workers_[w]->thread.join();
     throw;
   }
@@ -142,7 +142,7 @@ Admission ServingEngine::Submit(const ServeRequest& request) {
   size_t tnam_index = 0;
   ServeResponse validation = Validate(request, *snapshot, &tnam_index);
   if (validation.status != ServeStatus::kOk) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++rejected_invalid_;
     admission.status = ServeStatus::kInvalid;
     admission.error = std::move(validation.error);
@@ -151,7 +151,7 @@ Admission ServingEngine::Submit(const ServeRequest& request) {
 
   std::future<ServeResponse> future;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (draining_) {
       ++rejected_shutdown_;
       admission.status = ServeStatus::kShuttingDown;
@@ -186,7 +186,7 @@ Admission ServingEngine::Submit(const ServeRequest& request) {
     queue_.push_back(std::move(job));
     ++admitted_;
   }
-  work_ready_.notify_one();
+  work_ready_.NotifyOne();
   admission.status = ServeStatus::kOk;
   admission.response = std::move(future);
   return admission;
@@ -198,12 +198,12 @@ void ServingEngine::Reload(std::shared_ptr<const DatasetSnapshot> next) {
   // version, requests admitted after acquire the new one.
   store_.Publish(std::move(next));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++reload_epoch_;
   }
   // Wake the whole fleet: idle workers rebind their warm state to the new
   // version now, off the request path, instead of on the next request.
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
 }
 
 void ServingEngine::WorkerLoop(size_t w, size_t thread_budget) {
@@ -268,10 +268,10 @@ void ServingEngine::WorkerLoop(size_t w, size_t thread_budget) {
     Job job;
     bool prewarm = false;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [&] {
-        return !queue_.empty() || draining_ || reload_epoch_ != seen_epoch;
-      });
+      MutexLock lock(mu_);
+      while (queue_.empty() && !draining_ && reload_epoch_ == seen_epoch) {
+        work_ready_.Wait(mu_);
+      }
       if (queue_.empty()) {
         if (draining_) return;  // draining and fully drained
         seen_epoch = reload_epoch_;  // woken to rebind, not to work
@@ -383,7 +383,12 @@ void ServingEngine::WorkerLoop(size_t w, size_t thread_budget) {
 }
 
 void ServingEngine::FinishJob(const ServeResponse& resp, bool shed_in_queue) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
+  RecordOutcomeLocked(resp, shed_in_queue);
+}
+
+void ServingEngine::RecordOutcomeLocked(const ServeResponse& resp,
+                                        bool shed_in_queue) {
   --in_flight_;
   ++completed_;
   switch (resp.status) {
@@ -409,14 +414,14 @@ void ServingEngine::FinishJob(const ServeResponse& resp, bool shed_in_queue) {
 
 void ServingEngine::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     draining_ = true;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   // Joining implies the queue is drained and every in-flight request
   // finished: workers only exit on (draining && queue empty). Serialized so
   // concurrent Shutdown() callers both return only once the fleet is down.
-  std::lock_guard<std::mutex> jlock(join_mu_);
+  MutexLock jlock(join_mu_);
   for (auto& worker : workers_) {
     if (worker->thread.joinable()) worker->thread.join();
   }
@@ -426,7 +431,7 @@ ServingStats ServingEngine::Stats() const {
   ServingStats stats;
   std::vector<double> window;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats.admitted = admitted_;
     stats.completed = completed_;
     stats.rejected_overload = rejected_overload_;

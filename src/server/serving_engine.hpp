@@ -42,18 +42,18 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/fault_injection.hpp"
+#include "common/mutex.hpp"
 #include "core/laca.hpp"
 #include "data/dataset_snapshot.hpp"
 
@@ -254,41 +254,48 @@ class ServingEngine {
     std::atomic<uint64_t> alloc_events{0};
   };
 
-  void WorkerLoop(size_t w, size_t thread_budget);
+  void WorkerLoop(size_t w, size_t thread_budget) LACA_EXCLUDES(mu_);
   ServeResponse Validate(const ServeRequest& request,
                          const DatasetSnapshot& snapshot,
                          size_t* tnam_index) const;
   /// Completion bookkeeping for one claimed job: decrements in_flight,
   /// counts the outcome, and records the latency window entry (served
   /// requests only — see ServingStats).
-  void FinishJob(const ServeResponse& resp, bool shed_in_queue);
+  void FinishJob(const ServeResponse& resp, bool shed_in_queue)
+      LACA_EXCLUDES(mu_);
+  /// The outcome-counter half of FinishJob, split out so the lock scope is
+  /// explicit and compiler-checked.
+  void RecordOutcomeLocked(const ServeResponse& resp, bool shed_in_queue)
+      LACA_REQUIRES(mu_);
 
   SnapshotStore store_;
   ServingOptions opts_;
   Clock::time_point started_at_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::deque<Job> queue_;
-  size_t in_flight_ = 0;
-  bool draining_ = false;
+  mutable Mutex mu_;
+  CondVar work_ready_;
+  std::deque<Job> queue_ LACA_GUARDED_BY(mu_);
+  size_t in_flight_ LACA_GUARDED_BY(mu_) = 0;
+  bool draining_ LACA_GUARDED_BY(mu_) = false;
   /// Bumped by Reload() under mu_; wakes idle workers to rebind their warm
   /// state to the newly published snapshot off the request path.
-  uint64_t reload_epoch_ = 0;
-  // Counters and the latency ring, all guarded by mu_.
-  uint64_t admitted_ = 0;
-  uint64_t completed_ = 0;
-  uint64_t rejected_overload_ = 0;
-  uint64_t rejected_shutdown_ = 0;
-  uint64_t rejected_invalid_ = 0;
-  uint64_t shed_in_queue_ = 0;
-  uint64_t cancelled_ = 0;
-  uint64_t internal_ = 0;
-  std::vector<double> latency_ring_;
-  size_t latency_cursor_ = 0;
-  size_t latency_count_ = 0;
+  uint64_t reload_epoch_ LACA_GUARDED_BY(mu_) = 0;
+  // Counters and the latency ring.
+  uint64_t admitted_ LACA_GUARDED_BY(mu_) = 0;
+  uint64_t completed_ LACA_GUARDED_BY(mu_) = 0;
+  uint64_t rejected_overload_ LACA_GUARDED_BY(mu_) = 0;
+  uint64_t rejected_shutdown_ LACA_GUARDED_BY(mu_) = 0;
+  uint64_t rejected_invalid_ LACA_GUARDED_BY(mu_) = 0;
+  uint64_t shed_in_queue_ LACA_GUARDED_BY(mu_) = 0;
+  uint64_t cancelled_ LACA_GUARDED_BY(mu_) = 0;
+  uint64_t internal_ LACA_GUARDED_BY(mu_) = 0;
+  std::vector<double> latency_ring_ LACA_GUARDED_BY(mu_);
+  size_t latency_cursor_ LACA_GUARDED_BY(mu_) = 0;
+  size_t latency_count_ LACA_GUARDED_BY(mu_) = 0;
 
-  std::mutex join_mu_;  // serializes Shutdown() joiners
+  // Serializes Shutdown() joiners; never taken while holding mu_ (Shutdown
+  // releases mu_ before joining — a worker draining the queue needs it).
+  Mutex join_mu_;
   std::vector<std::unique_ptr<Worker>> workers_;
 };
 

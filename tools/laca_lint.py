@@ -1,0 +1,239 @@
+#!/usr/bin/env python3
+"""laca_lint — determinism & hygiene linter for the LACA source tree.
+
+The parallel kernels promise bit-identical results to their serial runs
+(DESIGN.md §6), and the serving layer promises deterministic replay under a
+fixed seed. Those contracts are easy to break with one innocent-looking line:
+an ad-hoc rand() in a kernel, a wall-clock read inside a diffusion loop, an
+unordered_map iteration feeding a floating-point accumulator. This linter
+encodes the contracts as source rules (DESIGN.md §10):
+
+  rng            src/diffusion, src/la, src/attr: no rand()/srand()/
+                 std::random_device — randomness enters kernels only through
+                 common/rng (seeded, replayable).
+  clock          src/diffusion, src/la, src/attr: no std::chrono::*_clock::
+                 now() or time() — kernels must not read wall clocks; budget
+                 and deadline checks go through common/cancel's CancelToken.
+  unordered-iter src/diffusion, src/la, src/attr: no std::unordered_map/
+                 std::unordered_set — their iteration order is unspecified,
+                 so any traversal feeding FP accumulation or output ordering
+                 silently varies run to run. Use sorted containers, or sort
+                 before accumulating.
+  naked-alloc    src/: no new[]/malloc/calloc/realloc/free — transient kernel
+                 scratch goes through the workspace arenas
+                 (common/diffusion_workspace, itself exempt), everything else
+                 through containers. Raw allocation hides sizing decisions
+                 the arenas exist to centralize.
+  iostream       src/: no std::cout — library code must not write to stdout
+                 (the serving protocol owns it); diagnostics go to stderr via
+                 std::fprintf at the tool layer.
+
+Escapes: a line ending in `// laca-lint: allow(<rule>)` is exempt from
+<rule> on that line. Escapes are counted and reported so the gate shows how
+many exist (growth is visible in review), but they never fail the run.
+
+Matching is regex-over-stripped-source: comments and string/char literals
+are blanked (newlines preserved) before rules run, so `// calls rand()` and
+`"rand()"` never fire. No AST, no compiler — fast enough for a pre-commit.
+
+Usage: laca_lint.py [--root DIR] [FILE...]
+  With no FILEs, lints every .cpp/.hpp under DIR/src (default: the repo this
+  script lives in). Exits 1 on violations, 0 otherwise.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+KERNEL_DIRS = ("src/diffusion", "src/la", "src/attr")
+ALLOC_EXEMPT = ("src/common/diffusion_workspace.cpp",
+                "src/common/diffusion_workspace.hpp")
+
+ALLOW_RE = re.compile(r"//\s*laca-lint:\s*allow\(([a-z-]+)\)")
+
+# (name, dirs-or-None-for-all-src, pattern, message)
+RULES = [
+    (
+        "rng",
+        KERNEL_DIRS,
+        re.compile(r"\bstd::random_device\b|(?<![.\w>])s?rand\s*\("),
+        "ad-hoc randomness in a deterministic kernel path; use common/rng "
+        "(seeded, replayable)",
+    ),
+    (
+        "clock",
+        KERNEL_DIRS,
+        re.compile(
+            r"\bstd::chrono::(?:steady_clock|system_clock|"
+            r"high_resolution_clock)::now\b|(?<![.\w>])time\s*\("
+        ),
+        "wall-clock read in a deterministic kernel path; deadlines go "
+        "through common/cancel's CancelToken",
+    ),
+    (
+        "unordered-iter",
+        KERNEL_DIRS,
+        re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\b"),
+        "unordered container in a kernel/merge path; iteration order is "
+        "unspecified and breaks bit-identical replay — use a sorted "
+        "container or sort before accumulation/output",
+    ),
+    (
+        "naked-alloc",
+        None,
+        re.compile(
+            r"\bnew\s+[A-Za-z_][\w:<>,\s*&()]*\[|\bnew\s*\["
+            r"|(?<![.\w>])(?:malloc|calloc|realloc|free)\s*\("
+        ),
+        "raw allocation outside the workspace arenas; use containers or "
+        "common/diffusion_workspace",
+    ),
+    (
+        "iostream",
+        None,
+        re.compile(r"\bstd::cout\b"),
+        "stdout write in library code; the serving protocol owns stdout — "
+        "diagnostics go to stderr at the tool layer",
+    ),
+]
+
+
+def strip_code(text):
+    """Blanks comments and string/char literals, preserving newlines so
+    line numbers survive. Handles // and /* */ comments, escape sequences
+    in literals, and keeps everything else byte-for-byte."""
+    out = []
+    i, n = 0, len(text)
+    NORMAL, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR = range(5)
+    state = NORMAL
+    while i < n:
+        c = text[i]
+        if state == NORMAL:
+            if c == "/" and i + 1 < n and text[i + 1] == "/":
+                state = LINE_COMMENT
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and i + 1 < n and text[i + 1] == "*":
+                state = BLOCK_COMMENT
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = STRING
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = CHAR
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == LINE_COMMENT:
+            if c == "\n":
+                state = NORMAL
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == BLOCK_COMMENT:
+            if c == "*" and i + 1 < n and text[i + 1] == "/":
+                state = NORMAL
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        else:  # STRING or CHAR
+            quote = '"' if state == STRING else "'"
+            if c == "\\" and i + 1 < n:
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = NORMAL
+            out.append(" " if c != "\n" else c)
+        i += 1
+    return "".join(out)
+
+
+def applicable(rule_dirs, relpath):
+    if rule_dirs is None:
+        return relpath.startswith("src/")
+    return any(relpath.startswith(d + "/") for d in rule_dirs)
+
+
+def lint_file(path, relpath):
+    """Returns (violations, escapes): violations as (rule, line, text),
+    escapes as (rule, line)."""
+    with open(path, encoding="utf-8", errors="replace") as f:
+        raw = f.read()
+    raw_lines = raw.splitlines()
+    stripped_lines = strip_code(raw).splitlines()
+    violations, escapes = [], []
+    for name, dirs, pattern, message in RULES:
+        if not applicable(dirs, relpath):
+            continue
+        if name == "naked-alloc" and relpath in ALLOC_EXEMPT:
+            continue
+        for lineno, line in enumerate(stripped_lines, start=1):
+            if not pattern.search(line):
+                continue
+            allows = set(ALLOW_RE.findall(raw_lines[lineno - 1]))
+            if name in allows:
+                escapes.append((name, lineno))
+            else:
+                violations.append(
+                    (name, lineno, raw_lines[lineno - 1].strip(), message)
+                )
+    return violations, escapes
+
+
+def collect_files(root):
+    files = []
+    for dirpath, _, names in os.walk(os.path.join(root, "src")):
+        for fname in sorted(names):
+            if fname.endswith((".cpp", ".hpp")):
+                files.append(os.path.join(dirpath, fname))
+    return sorted(files)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: the repo containing this script)",
+    )
+    parser.add_argument("files", nargs="*", help="files to lint (default: src/)")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(args.root)
+    paths = [os.path.abspath(p) for p in args.files] or collect_files(root)
+
+    total_violations = 0
+    escape_counts = {}
+    for path in paths:
+        relpath = os.path.relpath(path, root).replace(os.sep, "/")
+        violations, escapes = lint_file(path, relpath)
+        for name, lineno, text, message in violations:
+            print(f"{relpath}:{lineno}: [{name}] {message}")
+            print(f"    {text}")
+            total_violations += 1
+        for name, _ in escapes:
+            escape_counts[name] = escape_counts.get(name, 0) + 1
+
+    if escape_counts:
+        summary = ", ".join(
+            f"{name}={count}" for name, count in sorted(escape_counts.items())
+        )
+        print(f"laca_lint: escapes in use: {summary}")
+    if total_violations:
+        print(f"laca_lint: {total_violations} violation(s)")
+        return 1
+    print(f"laca_lint: clean ({len(paths)} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

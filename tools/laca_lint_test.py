@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Unit tests for laca_lint: every rule fires on a seeded violation, respects
+its directory scoping, ignores comments/strings, and honors the
+`// laca-lint: allow(<rule>)` escape (counted, not failed)."""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import laca_lint
+
+
+class LintFixture(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.root = self.tmp.name
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def run_lint(self, relpath, source):
+        path = os.path.join(self.root, relpath)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as f:
+            f.write(source)
+        return laca_lint.lint_file(path, relpath)
+
+    def assert_fires(self, rule, relpath, source):
+        violations, _ = self.run_lint(relpath, source)
+        self.assertIn(rule, [v[0] for v in violations],
+                      f"expected [{rule}] to fire on {source!r}")
+
+    def assert_clean(self, relpath, source):
+        violations, _ = self.run_lint(relpath, source)
+        self.assertEqual(violations, [],
+                         f"expected no violations on {source!r}")
+
+
+class RngRule(LintFixture):
+    def test_rand_fires_in_kernel_dir(self):
+        self.assert_fires("rng", "src/diffusion/push.cpp",
+                          "int x = rand();\n")
+
+    def test_srand_fires(self):
+        self.assert_fires("rng", "src/la/qr.cpp", "srand(42);\n")
+
+    def test_random_device_fires(self):
+        self.assert_fires("rng", "src/attr/tnam.cpp",
+                          "std::random_device rd;\n")
+
+    def test_common_rng_is_fine(self):
+        self.assert_clean("src/diffusion/push.cpp",
+                          "Rng rng(seed);\nauto v = rng.UniformInt(n);\n")
+
+    def test_outside_kernel_dirs_is_fine(self):
+        self.assert_clean("src/eval/datasets.cpp", "int x = rand();\n")
+
+    def test_identifier_suffix_does_not_fire(self):
+        self.assert_clean("src/la/qr.cpp", "int operand = myrand(1);\n")
+
+
+class ClockRule(LintFixture):
+    def test_steady_clock_now_fires(self):
+        self.assert_fires("clock", "src/diffusion/diffusion.cpp",
+                          "auto t = std::chrono::steady_clock::now();\n")
+
+    def test_time_call_fires(self):
+        self.assert_fires("clock", "src/la/matrix.cpp",
+                          "auto t = time(nullptr);\n")
+
+    def test_member_named_time_does_not_fire(self):
+        self.assert_clean("src/la/matrix.cpp",
+                          "double s = timer.time();\nint stall_time(int);\n")
+
+    def test_outside_kernel_dirs_is_fine(self):
+        self.assert_clean("src/common/timer.hpp",
+                          "auto t = std::chrono::steady_clock::now();\n")
+
+
+class UnorderedIterRule(LintFixture):
+    def test_unordered_map_fires(self):
+        self.assert_fires("unordered-iter", "src/diffusion/push.cpp",
+                          "std::unordered_map<int, double> residual;\n")
+
+    def test_unordered_set_fires(self):
+        self.assert_fires("unordered-iter", "src/attr/snas.cpp",
+                          "std::unordered_set<NodeId> frontier;\n")
+
+    def test_ordered_map_is_fine(self):
+        self.assert_clean("src/diffusion/push.cpp",
+                          "std::map<int, double> residual;\n")
+
+    def test_outside_kernel_dirs_is_fine(self):
+        self.assert_clean("src/server/serving_engine.cpp",
+                          "std::unordered_map<int, int> by_id;\n")
+
+
+class NakedAllocRule(LintFixture):
+    def test_array_new_fires(self):
+        self.assert_fires("naked-alloc", "src/graph/graph.cpp",
+                          "double* buf = new double[n];\n")
+
+    def test_malloc_fires(self):
+        self.assert_fires("naked-alloc", "src/core/laca.cpp",
+                          "void* p = malloc(n);\n")
+
+    def test_free_fires(self):
+        self.assert_fires("naked-alloc", "src/core/laca.cpp", "free(p);\n")
+
+    def test_workspace_arena_is_exempt(self):
+        self.assert_clean("src/common/diffusion_workspace.cpp",
+                          "double* buf = new double[n];\n")
+
+    def test_scalar_new_is_fine(self):
+        self.assert_clean("src/graph/graph.cpp",
+                          "auto* node = new Node();\n")
+
+    def test_comparison_is_not_an_array_new(self):
+        self.assert_clean("src/diffusion/push.cpp",
+                          "if (ru_new >= eps * deg[u]) continue;\n")
+
+
+class IostreamRule(LintFixture):
+    def test_cout_fires_anywhere_in_src(self):
+        self.assert_fires("iostream", "src/eval/runner.cpp",
+                          "std::cout << result;\n")
+
+    def test_fprintf_stderr_is_fine(self):
+        self.assert_clean("src/eval/runner.cpp",
+                          'std::fprintf(stderr, "done\\n");\n')
+
+
+class StrippingAndEscapes(LintFixture):
+    def test_comment_mention_does_not_fire(self):
+        self.assert_clean("src/diffusion/push.cpp",
+                          "// never call rand() here\n"
+                          "/* std::random_device is banned */\n")
+
+    def test_string_literal_does_not_fire(self):
+        self.assert_clean("src/diffusion/push.cpp",
+                          'const char* msg = "rand() is banned";\n')
+
+    def test_escaped_quote_in_string(self):
+        self.assert_clean("src/diffusion/push.cpp",
+                          'const char* s = "\\"rand()\\"";\n')
+
+    def test_allow_suppresses_and_is_counted(self):
+        violations, escapes = self.run_lint(
+            "src/la/qr.cpp",
+            "std::random_device rd;  // laca-lint: allow(rng)\n")
+        self.assertEqual(violations, [])
+        self.assertEqual(escapes, [("rng", 1)])
+
+    def test_allow_is_rule_specific(self):
+        violations, escapes = self.run_lint(
+            "src/la/qr.cpp",
+            "std::random_device rd;  // laca-lint: allow(clock)\n")
+        self.assertEqual([v[0] for v in violations], ["rng"])
+        self.assertEqual(escapes, [])
+
+    def test_allow_only_covers_its_line(self):
+        violations, _ = self.run_lint(
+            "src/la/qr.cpp",
+            "int a = rand();  // laca-lint: allow(rng)\n"
+            "int b = rand();\n")
+        self.assertEqual([(v[0], v[1]) for v in violations], [("rng", 2)])
+
+
+class MainEntry(LintFixture):
+    def test_exit_code_and_default_scan(self):
+        src = os.path.join(self.root, "src", "diffusion")
+        os.makedirs(src)
+        with open(os.path.join(src, "bad.cpp"), "w") as f:
+            f.write("int x = rand();\n")
+        self.assertEqual(laca_lint.main(["--root", self.root]), 1)
+        with open(os.path.join(src, "bad.cpp"), "w") as f:
+            f.write("int x = 0;\n")
+        self.assertEqual(laca_lint.main(["--root", self.root]), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

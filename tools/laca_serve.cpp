@@ -55,7 +55,6 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
-#include <condition_variable>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
@@ -65,7 +64,6 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -80,7 +78,9 @@
 
 #include "attr/tnam.hpp"
 #include "attr/tnam_io.hpp"
+#include "common/annotations.hpp"
 #include "common/fault_injection.hpp"
+#include "common/mutex.hpp"
 #include "common/parse.hpp"
 #include "common/timer.hpp"
 #include "data/dataset_snapshot.hpp"
@@ -271,8 +271,8 @@ class SnapshotSource {
   /// into the engine. Returns the new version. Throws on any
   /// load/validation failure, in which case the engine keeps serving the
   /// old version.
-  uint64_t Rebuild(ServingEngine& engine) {
-    std::lock_guard<std::mutex> lock(rebuild_mu_);
+  uint64_t Rebuild(ServingEngine& engine) LACA_EXCLUDES(rebuild_mu_) {
+    MutexLock lock(rebuild_mu_);
     const std::shared_ptr<const DatasetSnapshot> current = engine.snapshot();
     std::shared_ptr<const DatasetSnapshot> next;
     if (!cli_.snapshot_dir.empty()) {
@@ -334,7 +334,7 @@ class SnapshotSource {
   }
 
   const ServeCliOptions cli_;
-  std::mutex rebuild_mu_;
+  Mutex rebuild_mu_;
 };
 
 // Reads one '\n'-terminated line into *line (portable fgets loop — POSIX
@@ -437,9 +437,15 @@ class StatsReporter {
     if (every <= 0.0) return;
     thread_ = std::thread([this, &engine, every] {
       uint64_t last_completed = 0;
-      std::unique_lock<std::mutex> lock(mu_);
-      while (!cv_.wait_for(lock, std::chrono::duration<double>(every),
-                           [this] { return stop_; })) {
+      const auto interval = std::chrono::duration<double>(every);
+      MutexLock lock(mu_);
+      while (!stop_) {
+        // One reporting interval: sleep until the deadline passes or Stop()
+        // latches; spurious wakeups re-wait against the same deadline.
+        const auto deadline = std::chrono::steady_clock::now() + interval;
+        bool timed_out = false;
+        while (!stop_ && !timed_out) timed_out = cv_.WaitUntil(mu_, deadline);
+        if (stop_) break;
         ServingStats s = engine.Stats();
         const double qps = (s.completed - last_completed) / every;
         last_completed = s.completed;
@@ -448,19 +454,19 @@ class StatsReporter {
     });
   }
   ~StatsReporter() { Stop(); }
-  void Stop() {
+  void Stop() LACA_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stop_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     if (thread_.joinable()) thread_.join();
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  bool stop_ LACA_GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 
@@ -587,18 +593,18 @@ bool RunSession(ServingEngine& engine, SnapshotSource& source, std::FILE* in,
 // Open connection fds, so a `shutdown` session can EOF every other
 // session's reader (SHUT_RD only: their pending responses still flush).
 struct ConnRegistry {
-  std::mutex mu;
-  std::vector<int> fds;
-  void Add(int fd) {
-    std::lock_guard<std::mutex> lock(mu);
+  Mutex mu;
+  std::vector<int> fds LACA_GUARDED_BY(mu);
+  void Add(int fd) LACA_EXCLUDES(mu) {
+    MutexLock lock(mu);
     fds.push_back(fd);
   }
-  void Remove(int fd) {
-    std::lock_guard<std::mutex> lock(mu);
+  void Remove(int fd) LACA_EXCLUDES(mu) {
+    MutexLock lock(mu);
     fds.erase(std::remove(fds.begin(), fds.end(), fd), fds.end());
   }
-  void ShutdownReads() {
-    std::lock_guard<std::mutex> lock(mu);
+  void ShutdownReads() LACA_EXCLUDES(mu) {
+    MutexLock lock(mu);
     for (int fd : fds) ::shutdown(fd, SHUT_RD);
   }
 };
@@ -630,8 +636,8 @@ int RunTcpServer(ServingEngine& engine, SnapshotSource& source, int port) {
   // ever accept()s or close()s a reused descriptor.
   std::atomic<bool> stop{false};
   std::atomic<size_t> active{0};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  Mutex done_mu;
+  CondVar done_cv;
   ConnRegistry conns;
   for (;;) {
     const int fd = ::accept(listener, nullptr, nullptr);
@@ -681,9 +687,9 @@ int RunTcpServer(ServingEngine& engine, SnapshotSource& source, int port) {
         // Notify under the mutex: the accept thread destroys done_cv right
         // after its wait returns, so an unlocked notify could touch a dead
         // condition variable.
-        std::lock_guard<std::mutex> lock(done_mu);
+        MutexLock lock(done_mu);
         active.fetch_sub(1);
-        done_cv.notify_all();
+        done_cv.NotifyAll();
       }
     };
     try {
@@ -698,8 +704,8 @@ int RunTcpServer(ServingEngine& engine, SnapshotSource& source, int port) {
     }
   }
   {
-    std::unique_lock<std::mutex> lock(done_mu);
-    done_cv.wait(lock, [&active] { return active.load() == 0; });
+    MutexLock lock(done_mu);
+    while (active.load() != 0) done_cv.Wait(done_mu);
   }
   ::close(listener);
   return 0;

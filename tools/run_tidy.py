@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""run_tidy — the repo's clang-tidy gate (DESIGN.md §10).
+
+Runs clang-tidy (config: the repo's .clang-tidy) over every first-party
+translation unit in compile_commands.json and enforces a *tracked suppression
+budget*: tools/tidy_budget.json records, per file, how many findings are
+currently tolerated (0 for almost everything). The gate fails when
+
+  * any file exceeds its budgeted count (a regression), or
+  * the budget file lists a file that no longer exists or now has fewer
+    findings than budgeted (stale budget — ratchet it down so slack can't
+    accumulate and hide the next regression).
+
+so the overall finding count can only go down. New exceptions must be added
+to the budget explicitly, in the same review that introduces them.
+
+Results are cached per file, keyed on (file content, .clang-tidy content,
+clang-tidy version): a CI run over an unchanged tree replays from cache in
+seconds. The cache directory is safe to persist across runs (CI caches it on
+a hash of the sources).
+
+Usage: run_tidy.py [--build-dir build] [--cache-dir .tidy-cache]
+                   [--jobs N] [FILE...]
+Exits 1 on budget violations, 2 on setup errors (missing clang-tidy or
+compile_commands.json).
+"""
+
+import argparse
+import concurrent.futures
+import hashlib
+import json
+import os
+import re
+import subprocess
+import sys
+
+# clang-diagnostic-* lines are compile errors surfaced through tidy; they
+# count like any finding. NOLINT lines are already filtered by tidy itself.
+FINDING_RE = re.compile(r"^[^ \n]+:\d+:\d+: (?:warning|error): ")
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def load_compile_commands(build_dir):
+    path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(path):
+        print(f"run_tidy: {path} not found — configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON", file=sys.stderr)
+        sys.exit(2)
+    with open(path) as f:
+        return json.load(f)
+
+
+def first_party_sources(commands, root):
+    """The .cpp files under src/ and tools/ that the build compiles."""
+    out = []
+    for entry in commands:
+        src = os.path.abspath(os.path.join(entry["directory"], entry["file"]))
+        rel = os.path.relpath(src, root).replace(os.sep, "/")
+        if rel.startswith(("src/", "tools/")) and rel.endswith(".cpp"):
+            out.append(src)
+    return sorted(set(out))
+
+
+def tidy_version(tidy):
+    try:
+        return subprocess.run([tidy, "--version"], capture_output=True,
+                              text=True, check=True).stdout
+    except (OSError, subprocess.CalledProcessError):
+        print(f"run_tidy: cannot run '{tidy}' — install clang-tidy or pass "
+              "--clang-tidy", file=sys.stderr)
+        sys.exit(2)
+
+
+def cache_key(path, config_text, version_text):
+    h = hashlib.sha256()
+    for text in (version_text, config_text):
+        h.update(text.encode())
+        h.update(b"\0")
+    with open(path, "rb") as f:
+        h.update(f.read())
+    return h.hexdigest()
+
+
+def run_one(tidy, build_dir, path):
+    proc = subprocess.run(
+        [tidy, "-p", build_dir, "--quiet", path],
+        capture_output=True, text=True)
+    findings = [line for line in proc.stdout.splitlines()
+                if FINDING_RE.match(line)]
+    return findings, proc.stdout
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--cache-dir", default=".tidy-cache")
+    parser.add_argument("--clang-tidy", default=os.environ.get(
+        "CLANG_TIDY", "clang-tidy"))
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("files", nargs="*",
+                        help="restrict to these sources (default: all)")
+    args = parser.parse_args(argv)
+
+    root = repo_root()
+    build_dir = os.path.abspath(args.build_dir)
+    commands = load_compile_commands(build_dir)
+    sources = first_party_sources(commands, root)
+    if args.files:
+        wanted = {os.path.abspath(p) for p in args.files}
+        sources = [s for s in sources if s in wanted]
+
+    with open(os.path.join(root, ".clang-tidy")) as f:
+        config_text = f.read()
+    version_text = tidy_version(args.clang_tidy)
+
+    budget_path = os.path.join(root, "tools", "tidy_budget.json")
+    with open(budget_path) as f:
+        budget = json.load(f)["budgets"]
+
+    os.makedirs(args.cache_dir, exist_ok=True)
+
+    def process(path):
+        key = cache_key(path, config_text, version_text)
+        cache_file = os.path.join(args.cache_dir, key + ".json")
+        if os.path.exists(cache_file):
+            with open(cache_file) as f:
+                return path, json.load(f), True
+        findings, output = run_one(args.clang_tidy, build_dir, path)
+        result = {"findings": findings, "output": output}
+        tmp = cache_file + f".tmp.{os.getpid()}"
+        with open(tmp, "w") as f:
+            json.dump(result, f)
+        os.replace(tmp, cache_file)
+        return path, result, False
+
+    results = {}
+    cached_count = 0
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for path, result, was_cached in pool.map(process, sources):
+            rel = os.path.relpath(path, root).replace(os.sep, "/")
+            results[rel] = result
+            cached_count += was_cached
+
+    failures = []
+    total = 0
+    for rel in sorted(results):
+        findings = results[rel]["findings"]
+        total += len(findings)
+        allowed = budget.get(rel, 0)
+        if len(findings) > allowed:
+            failures.append(
+                f"{rel}: {len(findings)} finding(s), budget {allowed}")
+            sys.stderr.write(results[rel]["output"])
+        elif len(findings) < allowed:
+            failures.append(
+                f"{rel}: budget {allowed} but only {len(findings)} "
+                "finding(s) — ratchet tools/tidy_budget.json down")
+    for rel, allowed in sorted(budget.items()):
+        if allowed and rel not in results and not args.files:
+            failures.append(
+                f"{rel}: budgeted ({allowed}) but not in the build — remove "
+                "it from tools/tidy_budget.json")
+
+    print(f"run_tidy: {len(results)} file(s), {total} finding(s), "
+          f"{cached_count} from cache")
+    if failures:
+        for line in failures:
+            print(f"run_tidy: FAIL {line}")
+        return 1
+    print("run_tidy: gate clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
