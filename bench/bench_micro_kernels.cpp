@@ -239,6 +239,10 @@ void EmitDiffusionJson() {
     token.ArmDeadline(std::chrono::steady_clock::now() +
                       std::chrono::hours(24));
     const double plain_sec = time_adaptive(nullptr);
+    // The armed-token path must stay allocation-flat too (the CI smoke
+    // asserts every record's counter; this one was emitted without it and
+    // tripped the gate).
+    const uint64_t allocs_before = engine.workspace().alloc_events();
     const double polled_sec = time_adaptive(&token);
     json.BeginRecord()
         .Str("kernel", "adaptive_cancelpoll")
@@ -248,7 +252,10 @@ void EmitDiffusionJson() {
         .Num("baseline_seconds", plain_sec)
         .Num("poll_overhead_pct",
              plain_sec > 0.0 ? (polled_sec / plain_sec - 1.0) * 100.0 : 0.0)
-        .Int("edge_work", stats.push_work);
+        .Int("edge_work", stats.push_work)
+        .Int("steady_state_allocs",
+             static_cast<int64_t>(engine.workspace().alloc_events() -
+                                  allocs_before));
   }
 
   DiffusionWorkspace workspace(g);

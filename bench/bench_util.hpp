@@ -17,7 +17,13 @@
 #include <string>
 #include <vector>
 
+#include "common/backoff.hpp"
+
 namespace laca::bench {
+
+/// Promoted to common/backoff.hpp (the reload retry loop shares it); the
+/// bench retry studies keep using it under the old name.
+using laca::DecorrelatedJitterBackoff;
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n==============================================================\n");
@@ -50,34 +56,6 @@ inline std::string FmtSeconds(double v) {
   }
   return buf;
 }
-
-/// Decorrelated-jitter retry backoff for kOverloaded responses: each delay
-/// is drawn uniformly from [base, 3 * previous], capped. Unlike plain
-/// exponential backoff, concurrent clients decorrelate instead of
-/// re-colliding in synchronized waves. Seeded, so bench runs reproduce.
-class DecorrelatedJitterBackoff {
- public:
-  DecorrelatedJitterBackoff(double base_seconds, double cap_seconds,
-                            uint64_t seed)
-      : base_(base_seconds), cap_(cap_seconds), prev_(base_seconds),
-        rng_(seed) {}
-
-  /// The next sleep duration; grows stochastically toward the cap.
-  double NextSeconds() {
-    std::uniform_real_distribution<double> dist(base_, prev_ * 3.0);
-    prev_ = std::min(cap_, dist(rng_));
-    return prev_;
-  }
-
-  /// Back to the base delay (call after a successful attempt).
-  void Reset() { prev_ = base_; }
-
- private:
-  double base_;
-  double cap_;
-  double prev_;
-  std::mt19937_64 rng_;
-};
 
 /// Minimal JSON writer for flat benchmark records:
 ///   {"experiment": "...", "records": [{...}, {...}]}

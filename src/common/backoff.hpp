@@ -1,0 +1,55 @@
+// Decorrelated-jitter retry backoff (DESIGN.md §11).
+//
+// Promoted out of the bench harness (PR 6 used it for client-side
+// kOverloaded retries) so the server's reload retry loop and every future
+// client share one implementation. Each delay is drawn uniformly from
+// [base, 3 * previous] and capped, after AWS's "decorrelated jitter"
+// schedule: unlike plain exponential backoff, concurrent retriers
+// decorrelate instead of re-colliding in synchronized waves. Seeded and
+// deterministic for a fixed seed, so tests and the chaos harness reproduce.
+#ifndef LACA_COMMON_BACKOFF_HPP_
+#define LACA_COMMON_BACKOFF_HPP_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+
+#include "common/error.hpp"
+
+namespace laca {
+
+class DecorrelatedJitterBackoff {
+ public:
+  /// Delays start at `base_seconds` and never exceed `cap_seconds`.
+  DecorrelatedJitterBackoff(double base_seconds, double cap_seconds,
+                            uint64_t seed)
+      : base_(base_seconds), cap_(cap_seconds), prev_(base_seconds),
+        rng_(seed) {
+    LACA_CHECK(base_seconds > 0.0, "backoff base must be > 0");
+    LACA_CHECK(cap_seconds >= base_seconds, "backoff cap must be >= base");
+  }
+
+  /// The next sleep duration; grows stochastically toward the cap and stays
+  /// within [base, cap] on every draw.
+  double NextSeconds() {
+    std::uniform_real_distribution<double> dist(base_, prev_ * 3.0);
+    prev_ = std::min(cap_, dist(rng_));
+    return prev_;
+  }
+
+  /// Back to the base delay (call after a successful attempt).
+  void Reset() { prev_ = base_; }
+
+  double base_seconds() const { return base_; }
+  double cap_seconds() const { return cap_; }
+
+ private:
+  double base_;
+  double cap_;
+  double prev_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace laca
+
+#endif  // LACA_COMMON_BACKOFF_HPP_

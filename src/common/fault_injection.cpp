@@ -14,8 +14,9 @@ namespace {
 constexpr size_t kNumSites = static_cast<size_t>(FaultSite::kNumSites);
 
 const char* kSiteNames[kNumSites] = {
-    "worker_stall", "compute_throw", "promise_path",
-    "snapshot_read", "tnam_load",    "save_kill",
+    "worker_stall", "compute_throw", "promise_path", "snapshot_read",
+    "tnam_load",    "save_kill",     "accept_fail",  "send_stall",
+    "session_kill",
 };
 
 // The global injector, consulted by layers without injector plumbing

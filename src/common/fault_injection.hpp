@@ -20,7 +20,7 @@
 //   seed=S            RNG seed for probabilistic sites (default 1)
 //   stall_ms=M        worker_stall sleep duration (default 100)
 // Sites: worker_stall, compute_throw, promise_path, snapshot_read,
-//        tnam_load, save_kill.
+//        tnam_load, save_kill, accept_fail, send_stall, session_kill.
 #ifndef LACA_COMMON_FAULT_INJECTION_HPP_
 #define LACA_COMMON_FAULT_INJECTION_HPP_
 
@@ -49,6 +49,15 @@ enum class FaultSite : uint8_t {
   /// Throws inside SaveSnapshot before the staged directory is committed
   /// (the crash-safety kill point).
   kSaveKill,
+  /// laca_serve's accept loop drops the freshly accepted connection (close
+  /// without a session), as if the handshake died.
+  kAcceptFail,
+  /// The session's line writer sleeps stall_ms before each send, so tests
+  /// and the chaos harness can provoke write-path slowness deterministically.
+  kSendStall,
+  /// The session aborts as if the peer vanished mid-stream: reading stops,
+  /// already-admitted futures are still drained before the close.
+  kSessionKill,
   kNumSites,
 };
 

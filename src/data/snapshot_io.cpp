@@ -215,4 +215,19 @@ std::shared_ptr<const DatasetSnapshot> LoadSnapshot(const std::string& dir) {
                                  std::move(contents.meta));
 }
 
+std::string QuarantineSnapshotDir(const std::string& dir) {
+  std::error_code ec;
+  if (!std::filesystem::exists(dir, ec) || ec) return "";
+  // First free numbered slot: repeated corruption at the same path keeps
+  // every generation of bad bytes around for inspection instead of
+  // clobbering the previous capture.
+  for (uint64_t k = 0;; ++k) {
+    const std::string target = dir + ".quarantined." + std::to_string(k);
+    if (std::filesystem::exists(target, ec)) continue;
+    std::filesystem::rename(dir, target, ec);
+    LACA_CHECK(!ec, "cannot quarantine snapshot " + dir + ": " + ec.message());
+    return target;
+  }
+}
+
 }  // namespace laca

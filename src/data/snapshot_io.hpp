@@ -64,6 +64,15 @@ SnapshotContents ReadSnapshotDir(const std::string& dir);
 /// manifest verbatim.
 std::shared_ptr<const DatasetSnapshot> LoadSnapshot(const std::string& dir);
 
+/// Renames a snapshot directory that failed validation aside to
+/// `<dir>.quarantined.<k>` (first free k), so operators can inspect the
+/// corrupt bytes while reload retries stop hammering a directory that can
+/// never load. Returns the quarantine path, or "" when `dir` does not exist
+/// (already quarantined, or never written) — quarantine must be idempotent
+/// under the reload manager's retry loop. Throws std::invalid_argument only
+/// when the rename itself fails on an existing directory.
+std::string QuarantineSnapshotDir(const std::string& dir);
+
 }  // namespace laca
 
 #endif  // LACA_DATA_SNAPSHOT_IO_HPP_

@@ -128,6 +128,11 @@ std::string FormatResponse(uint64_t id, const ServeResponse& response) {
                 ToString(response.status));
   std::string out = head;
   out += response.error.empty() ? ToString(response.status) : response.error;
+  if (response.retry_after_ms > 0.0) {
+    std::snprintf(head, sizeof(head), " retry_after_ms=%.0f",
+                  response.retry_after_ms);
+    out += head;
+  }
   return out;
 }
 
@@ -146,23 +151,43 @@ std::string FormatStatsLine(const ServingStats& stats, double qps) {
       "admitted=%" PRIu64 " completed=%" PRIu64 " rejected=%" PRIu64
       " alloc_events=%" PRIu64 " version=%" PRIu64 " retired=%zu"
       " reloads=%" PRIu64 " deadline=%" PRIu64 " shed=%" PRIu64
-      " cancelled=%" PRIu64 " internal=%" PRIu64,
+      " cancelled=%" PRIu64 " internal=%" PRIu64 " brownout=%" PRIu64,
       qps, stats.p50_seconds * 1e6, stats.p99_seconds * 1e6, stats.queue_depth,
       stats.in_flight, stats.admitted, stats.completed,
       stats.rejected_overload + stats.rejected_shutdown +
-          stats.rejected_invalid,
+          stats.rejected_invalid + stats.rejected_brownout,
       stats.alloc_events, stats.active_version, stats.retired_live,
       stats.reloads, stats.deadline_exceeded, stats.shed_in_queue,
-      stats.cancelled, stats.internal);
+      stats.cancelled, stats.internal, stats.rejected_brownout);
   return buf;
 }
 
 std::string FormatHealthLine(const ServingStats& stats) {
-  // Degraded = the queue is at its admission bound right now: the next
-  // Submit would bounce kOverloaded. Everything below that is "ok" — shed
-  // and deadline counters are reported for trend-watching, not judged here.
-  const bool degraded = stats.max_queue_depth > 0 &&
-                        stats.queue_depth >= stats.max_queue_depth;
+  return FormatHealthLine(stats, HealthExtra{});
+}
+
+std::string FormatHealthLine(const ServingStats& stats,
+                             const HealthExtra& extra) {
+  // Degraded = the next Submit would be turned away right now (queue at its
+  // admission bound, or brownout shedding active), or the binary reports an
+  // operational fault. Shed and deadline counters are reported for
+  // trend-watching, not judged here. Every active cause lands in reasons=
+  // so a load balancer can act on the specific failure, not just the bit.
+  std::string reasons;
+  auto add_reason = [&reasons](std::string_view r) {
+    if (!reasons.empty()) reasons += ',';
+    reasons += r;
+  };
+  if (stats.max_queue_depth > 0 &&
+      stats.queue_depth >= stats.max_queue_depth) {
+    add_reason("queue_full");
+  }
+  if (stats.brownout_active) add_reason("brownout");
+  if (extra.reload_failing) add_reason("reload_failing");
+  if (!extra.quarantined_dir.empty()) {
+    add_reason(std::string("quarantined=") + extra.quarantined_dir);
+  }
+  const bool degraded = !reasons.empty();
   char buf[400];
   std::snprintf(
       buf, sizeof(buf),
@@ -172,7 +197,17 @@ std::string FormatHealthLine(const ServingStats& stats) {
       degraded ? "degraded" : "ok", stats.active_version, stats.workers,
       stats.queue_depth, stats.max_queue_depth, stats.shed_in_queue,
       stats.deadline_exceeded, stats.cancelled, stats.internal, stats.reloads);
-  return buf;
+  std::string out = buf;
+  if (degraded) {
+    out += " reasons=";
+    out += reasons;
+  }
+  if (extra.max_connections > 0) {
+    std::snprintf(buf, sizeof(buf), " conns=%zu/%zu",
+                  extra.active_connections, extra.max_connections);
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace laca

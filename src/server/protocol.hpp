@@ -21,20 +21,28 @@
 //   OK id=<id> us=<total> queue_us=<queued> n=<count> nodes=v1,v2,...
 //   OK id=<id> reload version=<v>
 //   ERR id=<id> code=<invalid|overloaded|shutting_down|deadline_exceeded|
-//                     internal> msg=<reason>
+//                     internal|brownout> msg=<reason> [retry_after_ms=<hint>]
+//
+// (One idless line exists: a connection turned away at accept because the
+// server is at --max-connections receives `ERR busy retry_after_ms=<hint>`
+// and is closed before any request is read.)
 //   STATS qps=... p50_us=... p99_us=... queue=... in_flight=...
 //         admitted=... completed=... rejected=... alloc_events=...
 //         version=... retired=... reloads=... deadline=... shed=...
-//         cancelled=... internal=...
+//         cancelled=... internal=... brownout=...
 //   HEALTH status=<ok|degraded> version=... workers=... queue=<depth>/<max>
 //          shed_in_queue=... deadline_exceeded=... cancelled=... internal=...
-//          reloads=...
+//          reloads=... [reasons=<r1,r2,...>] [conns=<active>/<max>]
 //
-// HEALTH reports degraded when the admission queue is at its bound (a Submit
-// at this instant would be rejected kOverloaded) — the signal a load
-// balancer wants before latency collapses. The served-only p50/p99 in STATS
+// HEALTH reports degraded when the next Submit would be turned away —
+// the admission queue is at its bound or brownout shedding is active — or
+// when the serving binary reports an operational fault (background reloads
+// failing, a snapshot directory quarantined). When degraded, the machine-
+// readable reasons= token names every active cause: queue_full, brownout,
+// reload_failing, quarantined=<dir>. The served-only p50/p99 in STATS
 // cover successful responses; shed and cancelled requests are counted, not
-// averaged in.
+// averaged in. Overload/brownout/busy ERR lines append a retry_after_ms=
+// backoff hint for well-behaved clients.
 //
 // A reload runs in the background (requests keep being served on the old
 // snapshot version) and its response line is emitted once the new version
@@ -84,8 +92,20 @@ std::string FormatReloadResponse(uint64_t id, uint64_t version);
 /// interval (the stats struct itself only has lifetime totals).
 std::string FormatStatsLine(const ServingStats& stats, double qps);
 
-/// Renders a HEALTH line (see the header comment for the degraded rule).
+/// Serving-binary state the engine cannot see, folded into the HEALTH line:
+/// connection occupancy and the reload manager's failure/quarantine state.
+struct HealthExtra {
+  size_t active_connections = 0;
+  size_t max_connections = 0;   ///< 0 = no cap (stdio session); conns= omitted
+  bool reload_failing = false;  ///< a background reload is in retry/backoff
+  std::string quarantined_dir;  ///< last quarantined snapshot dir ("" = none)
+};
+
+/// Renders a HEALTH line (see the header comment for the degraded rule and
+/// the reasons= grammar).
 std::string FormatHealthLine(const ServingStats& stats);
+std::string FormatHealthLine(const ServingStats& stats,
+                             const HealthExtra& extra);
 
 }  // namespace laca
 

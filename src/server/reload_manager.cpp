@@ -1,0 +1,168 @@
+#include "server/reload_manager.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "common/backoff.hpp"
+#include "common/error.hpp"
+
+namespace laca {
+
+ReloadManager::ReloadManager(ReloadManagerOptions options, RebuildFn rebuild,
+                             QuarantineFn quarantine)
+    : options_(options),
+      rebuild_(std::move(rebuild)),
+      quarantine_(std::move(quarantine)) {
+  LACA_CHECK(rebuild_ != nullptr, "ReloadManager needs a rebuild callback");
+  LACA_CHECK(options_.max_attempts >= 1,
+             "ReloadManager max_attempts must be >= 1");
+  LACA_CHECK(options_.backoff_base_seconds > 0.0 &&
+                 options_.backoff_cap_seconds >= options_.backoff_base_seconds,
+             "ReloadManager backoff bounds must satisfy 0 < base <= cap");
+  worker_ = std::thread([this] { Worker(); });
+}
+
+ReloadManager::~ReloadManager() { Shutdown(); }
+
+std::future<ReloadOutcome> ReloadManager::Request() {
+  Ticket ticket;
+  std::future<ReloadOutcome> future = ticket.promise.get_future();
+  bool rejected = false;
+  {
+    MutexLock lock(mu_);
+    if (stop_) {
+      rejected = true;
+    } else {
+      tickets_.push_back(std::move(ticket));
+    }
+  }
+  if (rejected) {
+    ReloadOutcome out;
+    out.error = "reload manager is shut down";
+    ticket.promise.set_value(std::move(out));
+  } else {
+    cv_.NotifyAll();
+  }
+  return future;
+}
+
+void ReloadManager::Shutdown() {
+  {
+    MutexLock lock(mu_);
+    if (stop_) {
+      // Second caller: the worker is already stopping; just make sure it
+      // was joined (the first caller does that below, so nothing to do).
+    }
+    stop_ = true;
+  }
+  cv_.NotifyAll();
+  if (worker_.joinable()) worker_.join();
+}
+
+bool ReloadManager::failing() const {
+  MutexLock lock(mu_);
+  return failing_;
+}
+
+std::string ReloadManager::last_quarantined() const {
+  MutexLock lock(mu_);
+  return last_quarantined_;
+}
+
+uint64_t ReloadManager::tickets_succeeded() const {
+  MutexLock lock(mu_);
+  return succeeded_;
+}
+
+uint64_t ReloadManager::tickets_failed() const {
+  MutexLock lock(mu_);
+  return failed_;
+}
+
+void ReloadManager::Worker() {
+  for (;;) {
+    Ticket ticket;
+    {
+      MutexLock lock(mu_);
+      while (!stop_ && tickets_.empty()) cv_.Wait(mu_);
+      if (stop_) break;
+      ticket = std::move(tickets_.front());
+      tickets_.pop_front();
+    }
+    ReloadOutcome out = RunTicket();
+    {
+      MutexLock lock(mu_);
+      failing_ = !out.ok;
+      if (out.ok) {
+        ++succeeded_;
+      } else {
+        ++failed_;
+      }
+      if (!out.quarantined.empty()) last_quarantined_ = out.quarantined;
+    }
+    ticket.promise.set_value(std::move(out));
+  }
+  // Drain: every queued ticket resolves failed, so no session ever blocks
+  // on a future that will never be fulfilled.
+  std::deque<Ticket> rest;
+  {
+    MutexLock lock(mu_);
+    rest.swap(tickets_);
+  }
+  for (Ticket& t : rest) {
+    ReloadOutcome out;
+    out.error = "reload manager is shut down";
+    t.promise.set_value(std::move(out));
+  }
+}
+
+ReloadOutcome ReloadManager::RunTicket() {
+  ReloadOutcome out;
+  DecorrelatedJitterBackoff backoff(options_.backoff_base_seconds,
+                                    options_.backoff_cap_seconds,
+                                    options_.backoff_seed);
+  for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    out.attempts = attempt;
+    try {
+      out.version = rebuild_();
+      out.ok = true;
+      out.error.clear();
+      return out;
+    } catch (const std::invalid_argument& e) {
+      // The loader's validation verdict: these bytes can never load. Move
+      // them aside so retries poll the (now empty) original path for a
+      // valid replacement instead of re-reading the corruption forever.
+      out.error = e.what();
+      if (quarantine_) {
+        try {
+          const std::string q = quarantine_();
+          if (!q.empty()) out.quarantined = q;
+        } catch (const std::exception& qe) {
+          out.error += std::string("; quarantine failed: ") + qe.what();
+        }
+      }
+    } catch (const std::exception& e) {
+      out.error = e.what();  // transient: retry the same bytes
+    }
+    {
+      MutexLock lock(mu_);
+      failing_ = true;
+      if (!out.quarantined.empty()) last_quarantined_ = out.quarantined;
+    }
+    if (attempt == options_.max_attempts) break;
+    const auto wait = std::chrono::duration<double>(backoff.NextSeconds());
+    const auto deadline = std::chrono::steady_clock::now() + wait;
+    MutexLock lock(mu_);
+    while (!stop_) {
+      if (cv_.WaitUntil(mu_, deadline)) break;  // backoff elapsed
+    }
+    if (stop_) {
+      out.error += " (shutting down, retries abandoned)";
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace laca

@@ -1,0 +1,128 @@
+// Background reload with retry, backoff, and snapshot quarantine
+// (DESIGN.md §11).
+//
+// A reload request used to be one shot: the rebuild ran once and a failure
+// reported ERR while the old snapshot kept serving. Operationally that is
+// the wrong shape twice over — a transient failure (NFS blip, a reader
+// racing a writer mid-publish) deserves a retry, and a deterministic
+// validation failure (corrupt bytes on disk) deserves the opposite: stop
+// re-reading bytes that can never load, move them aside for inspection,
+// and wait for a valid directory to replace them.
+//
+// ReloadManager owns one worker thread and processes reload tickets FIFO.
+// Each ticket runs the rebuild callback up to max_attempts times with
+// decorrelated-jitter backoff (common/backoff.hpp) between attempts:
+//
+//   * std::invalid_argument — the loader's validation verdict, deterministic
+//     for given bytes — triggers the quarantine callback (which renames the
+//     offending directory aside and reports its new name) before the retry
+//     wait. Retries then poll the ORIGINAL path, so the ticket succeeds as
+//     soon as an operator or pipeline drops a valid directory in place; the
+//     quarantined bytes themselves are never re-read.
+//   * any other exception is treated as transient and simply retried.
+//
+// The ticket's future resolves with the final outcome, so a session can
+// keep its one-response-per-request contract while the retries happen off
+// its thread. failing() and last_quarantined() feed the HEALTH line's
+// reasons= token (reload_failing, quarantined=<dir>) for the whole window
+// where reloads are not succeeding.
+#ifndef LACA_SERVER_RELOAD_MANAGER_HPP_
+#define LACA_SERVER_RELOAD_MANAGER_HPP_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <string>
+#include <thread>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
+
+namespace laca {
+
+/// Final result of one reload ticket (after all retries).
+struct ReloadOutcome {
+  bool ok = false;
+  uint64_t version = 0;    ///< the published snapshot version when ok
+  std::string error;       ///< last attempt's failure when !ok
+  int attempts = 0;        ///< rebuild invocations this ticket consumed
+  std::string quarantined; ///< dir moved aside during this ticket ("" = none)
+};
+
+struct ReloadManagerOptions {
+  /// Decorrelated-jitter wait bounds between attempts.
+  double backoff_base_seconds = 0.2;
+  double backoff_cap_seconds = 5.0;
+  /// Rebuild invocations per ticket before the future resolves failed.
+  /// 1 = the pre-retry behavior (single shot). Must be >= 1.
+  int max_attempts = 8;
+  /// Seed for the backoff jitter (deterministic retry schedules in tests).
+  uint64_t backoff_seed = 1;
+};
+
+class ReloadManager {
+ public:
+  /// Runs one rebuild attempt; returns the newly published snapshot
+  /// version. Throws std::invalid_argument on validation failure (triggers
+  /// quarantine), anything else for transient failures (retried as-is).
+  using RebuildFn = std::function<uint64_t()>;
+  /// Moves the failing source directory aside; returns its quarantine path,
+  /// or "" when there is nothing to move (already quarantined — the
+  /// manager's retry loop makes repeat calls, so this must be idempotent).
+  /// Null when the source has no quarantinable directory (--gen, --edges).
+  using QuarantineFn = std::function<std::string()>;
+
+  ReloadManager(ReloadManagerOptions options, RebuildFn rebuild,
+                QuarantineFn quarantine);
+  ~ReloadManager();
+
+  ReloadManager(const ReloadManager&) = delete;
+  ReloadManager& operator=(const ReloadManager&) = delete;
+
+  /// Enqueues one reload ticket; the future resolves after the final
+  /// attempt. Tickets enqueued after Shutdown resolve failed immediately.
+  std::future<ReloadOutcome> Request() LACA_EXCLUDES(mu_);
+
+  /// Stops the worker: the in-flight ticket's backoff wait is cut short
+  /// (it resolves failed without further attempts) and queued tickets
+  /// resolve failed. Idempotent; the destructor calls it.
+  void Shutdown() LACA_EXCLUDES(mu_);
+
+  /// True from a ticket's first failed attempt until a ticket succeeds —
+  /// the HEALTH reload_failing window.
+  bool failing() const LACA_EXCLUDES(mu_);
+
+  /// Most recent quarantine path ("" if none yet). Sticky across tickets:
+  /// the evidence stays named in HEALTH until the process restarts.
+  std::string last_quarantined() const LACA_EXCLUDES(mu_);
+
+  uint64_t tickets_succeeded() const LACA_EXCLUDES(mu_);
+  uint64_t tickets_failed() const LACA_EXCLUDES(mu_);
+
+ private:
+  struct Ticket {
+    std::promise<ReloadOutcome> promise;
+  };
+
+  void Worker();
+  ReloadOutcome RunTicket() LACA_EXCLUDES(mu_);
+
+  const ReloadManagerOptions options_;
+  const RebuildFn rebuild_;
+  const QuarantineFn quarantine_;
+
+  mutable Mutex mu_;
+  CondVar cv_;
+  bool stop_ LACA_GUARDED_BY(mu_) = false;
+  std::deque<Ticket> tickets_ LACA_GUARDED_BY(mu_);
+  bool failing_ LACA_GUARDED_BY(mu_) = false;
+  std::string last_quarantined_ LACA_GUARDED_BY(mu_);
+  uint64_t succeeded_ LACA_GUARDED_BY(mu_) = 0;
+  uint64_t failed_ LACA_GUARDED_BY(mu_) = 0;
+  std::thread worker_;
+};
+
+}  // namespace laca
+
+#endif  // LACA_SERVER_RELOAD_MANAGER_HPP_

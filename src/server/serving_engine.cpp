@@ -19,6 +19,19 @@ namespace {
 // allocates nothing per request once the ring is full.
 constexpr size_t kLatencyWindow = 4096;
 
+// Brownout control window: small enough that its p99 tracks the last few
+// seconds of service under load (and that the periodic refresh sort is
+// negligible), reset on brownout exit so a past storm cannot re-trip the
+// latch without fresh evidence.
+constexpr size_t kBrownoutWindow = 64;
+// Served completions between p99 refreshes of the control window.
+constexpr size_t kBrownoutRefreshEvery = 16;
+// EWMA weight for the per-request service-time estimate.
+constexpr double kServiceEwmaAlpha = 0.2;
+// retry_after_ms hints stay within [1ms, 60s] no matter the signals.
+constexpr double kMinRetryMs = 1.0;
+constexpr double kMaxRetryMs = 60000.0;
+
 double Seconds(std::chrono::steady_clock::duration d) {
   return std::chrono::duration<double>(d).count();
 }
@@ -31,6 +44,8 @@ const char* ToString(ServeStatus status) {
       return "ok";
     case ServeStatus::kOverloaded:
       return "overloaded";
+    case ServeStatus::kBrownout:
+      return "brownout";
     case ServeStatus::kShuttingDown:
       return "shutting_down";
     case ServeStatus::kInvalid:
@@ -52,7 +67,21 @@ ServingEngine::ServingEngine(std::shared_ptr<const DatasetSnapshot> snapshot,
   LACA_CHECK(std::isfinite(opts.default_timeout_ms) &&
                  opts.default_timeout_ms >= 0.0,
              "default_timeout_ms must be finite and >= 0");
+  LACA_CHECK(std::isfinite(opts.brownout_enter_fraction) &&
+                 opts.brownout_enter_fraction >= 0.0,
+             "brownout_enter_fraction must be finite and >= 0");
+  if (opts.brownout_enter_fraction > 0.0) {
+    // Brownout thresholds are fractions of the deadline budget; without a
+    // budget there is nothing to be a fraction of.
+    LACA_CHECK(opts.default_timeout_ms > 0.0,
+               "brownout requires a nonzero default_timeout_ms budget");
+    LACA_CHECK(std::isfinite(opts.brownout_exit_fraction) &&
+                   opts.brownout_exit_fraction >= 0.0 &&
+                   opts.brownout_exit_fraction < opts.brownout_enter_fraction,
+               "brownout_exit_fraction must be in [0, enter_fraction)");
+  }
   latency_ring_.resize(kLatencyWindow, 0.0);
+  ctrl_ring_.resize(kBrownoutWindow, 0.0);
 
   const TwoLevelBudget budget = SplitThreadBudget(
       opts.num_workers, opts.num_threads, opts.intra_query_threads);
@@ -163,6 +192,19 @@ Admission ServingEngine::Submit(const ServeRequest& request) {
       // performs no promise/shared-state allocation.
       ++rejected_overload_;
       admission.status = ServeStatus::kOverloaded;
+      admission.retry_after_ms = SuggestRetryMsLocked();
+      return admission;
+    }
+    // Brownout check AFTER the hard bound (a full queue is kOverloaded, the
+    // stronger signal) but before any admission work. Evaluated here too so
+    // the latch can release on an idle engine without waiting for a
+    // completion that will never come.
+    UpdateBrownoutLocked();
+    if (brownout_) {
+      ++rejected_brownout_;
+      admission.status = ServeStatus::kBrownout;
+      admission.error = "brownout: shedding ahead of deadline budget";
+      admission.retry_after_ms = SuggestRetryMsLocked();
       return admission;
     }
     Job job;
@@ -308,14 +350,19 @@ void ServingEngine::WorkerLoop(size_t w, size_t thread_budget) {
       continue;
     }
     if (opts_.worker_hook) opts_.worker_hook();
+
+    // Service time is anchored here: after the parking hook (test
+    // scaffolding that models queue pressure) but before the injected
+    // stall — a stalled worker IS slow service, and the brownout EWMA
+    // must see it that way or chaos-induced slowness never projects into
+    // the queue-wait estimate.
+    ServeResponse resp;
+    const Clock::time_point claimed = Clock::now();
+    resp.queue_seconds = Seconds(claimed - job.admitted_at);
     if (opts_.fault_injector &&
         opts_.fault_injector->ShouldFire(FaultSite::kWorkerStall)) {
       std::this_thread::sleep_for(opts_.fault_injector->stall_duration());
     }
-
-    ServeResponse resp;
-    const Clock::time_point claimed = Clock::now();
-    resp.queue_seconds = Seconds(claimed - job.admitted_at);
     // The job computes on its pinned snapshot, never on a newer one. This
     // rebind is the slow path — it only runs when a reload landed while
     // this worker was busy (idle workers rebound in the prewarm branch).
@@ -398,6 +445,28 @@ void ServingEngine::RecordOutcomeLocked(const ServeResponse& resp,
       latency_ring_[latency_cursor_] = resp.total_seconds;
       latency_cursor_ = (latency_cursor_ + 1) % latency_ring_.size();
       latency_count_ = std::min(latency_count_ + 1, latency_ring_.size());
+      // Brownout signals: the service-time EWMA feeds the projected queue
+      // wait; the control ring feeds the recent-p99 entry signal. The
+      // compute time (total minus queue) is the right EWMA input — queue
+      // wait is what the projection derives, not what it consumes.
+      {
+        const double service_s =
+            std::max(resp.total_seconds - resp.queue_seconds, 0.0);
+        ewma_service_s_ = ewma_service_s_ == 0.0
+                              ? service_s
+                              : (1.0 - kServiceEwmaAlpha) * ewma_service_s_ +
+                                    kServiceEwmaAlpha * service_s;
+        ctrl_ring_[ctrl_cursor_] = resp.total_seconds;
+        ctrl_cursor_ = (ctrl_cursor_ + 1) % ctrl_ring_.size();
+        ctrl_count_ = std::min(ctrl_count_ + 1, ctrl_ring_.size());
+        if (++served_since_refresh_ >= kBrownoutRefreshEvery) {
+          served_since_refresh_ = 0;
+          std::vector<double> window(ctrl_ring_.begin(),
+                                     ctrl_ring_.begin() + ctrl_count_);
+          std::sort(window.begin(), window.end());
+          ctrl_p99_s_ = window[(window.size() - 1) * 99 / 100];
+        }
+      }
       break;
     case ServeStatus::kDeadlineExceeded:
       if (shed_in_queue) {
@@ -410,6 +479,49 @@ void ServingEngine::RecordOutcomeLocked(const ServeResponse& resp,
       ++internal_;
       break;
   }
+  UpdateBrownoutLocked();
+}
+
+double ServingEngine::EstQueueWaitMsLocked() const {
+  const size_t workers = workers_.empty() ? 1 : workers_.size();
+  return static_cast<double>(queue_.size()) * ewma_service_s_ * 1e3 /
+         static_cast<double>(workers);
+}
+
+void ServingEngine::UpdateBrownoutLocked() {
+  const double budget_ms = opts_.default_timeout_ms;
+  if (opts_.brownout_enter_fraction <= 0.0 || budget_ms <= 0.0) return;
+  const double est_ms = EstQueueWaitMsLocked();
+  if (!brownout_) {
+    const double enter_ms = opts_.brownout_enter_fraction * budget_ms;
+    if (est_ms >= enter_ms || ctrl_p99_s_ * 1e3 >= enter_ms) {
+      brownout_ = true;
+      ++brownout_entries_;
+    }
+    return;
+  }
+  // Hysteretic exit: the projected wait must be back under the exit
+  // threshold AND the queue must have actually drained (at most one entry
+  // per worker). The p99 signal is entry-only — it evidences the storm that
+  // happened, not the capacity available now — and the control ring resets
+  // here so the next entry needs fresh evidence.
+  const double exit_ms = opts_.brownout_exit_fraction * budget_ms;
+  if (est_ms <= exit_ms && queue_.size() <= workers_.size()) {
+    brownout_ = false;
+    ctrl_count_ = 0;
+    ctrl_cursor_ = 0;
+    ctrl_p99_s_ = 0.0;
+    served_since_refresh_ = 0;
+  }
+}
+
+double ServingEngine::SuggestRetryMsLocked() const {
+  // Roughly the time for the backlog to drain to the healthy regime: the
+  // projected wait for a new admission, floored by one service time (an
+  // instant retry against a full queue is never useful). Advisory, clamped.
+  const double est_ms = EstQueueWaitMsLocked();
+  const double hint = std::max(est_ms * 0.5, ewma_service_s_ * 1e3);
+  return std::clamp(hint, kMinRetryMs, kMaxRetryMs);
 }
 
 void ServingEngine::Shutdown() {
@@ -437,6 +549,10 @@ ServingStats ServingEngine::Stats() const {
     stats.rejected_overload = rejected_overload_;
     stats.rejected_shutdown = rejected_shutdown_;
     stats.rejected_invalid = rejected_invalid_;
+    stats.rejected_brownout = rejected_brownout_;
+    stats.brownout_active = brownout_;
+    stats.brownout_entries = brownout_entries_;
+    stats.est_queue_wait_ms = EstQueueWaitMsLocked();
     stats.shed_in_queue = shed_in_queue_;
     stats.cancelled = cancelled_;
     stats.internal = internal_;

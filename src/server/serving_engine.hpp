@@ -22,6 +22,12 @@
 //   * a bounded admission queue with explicit backpressure: Submit() beyond
 //     max_queue_depth returns kOverloaded immediately — it never blocks and
 //     never grows the queue without bound;
+//   * brownout shedding ahead of that hard bound (DESIGN.md §11): when the
+//     recent served p99 or the projected queue wait crosses a configured
+//     fraction of the deadline budget, Submit() sheds with kBrownout and a
+//     retry_after_ms hint, and recovers with hysteresis once the queue
+//     drains — so sustained overload degrades into fast, honest rejections
+//     instead of a queue full of requests that will die of deadline;
 //   * deadline-aware service: a request's budget (per-request timeout_ms or
 //     the engine default) is anchored at ADMISSION, so queue wait counts
 //     against it. Workers shed already-expired jobs at claim time without
@@ -64,6 +70,11 @@ enum class ServeStatus : uint8_t {
   kOk = 0,
   /// Admission queue at max_queue_depth; retry later (backpressure).
   kOverloaded,
+  /// Proactive brownout shed: served latency or projected queue wait crossed
+  /// the configured fraction of the deadline budget, so admission sheds
+  /// BEFORE the queue fills and deadlines start burning compute. Carries a
+  /// retry_after_ms hint; recovery is hysteretic (DESIGN.md §11).
+  kBrownout,
   /// The engine is draining; no new requests are admitted.
   kShuttingDown,
   /// The request failed validation.
@@ -107,6 +118,9 @@ struct ServeResponse {
   std::string error;
   double queue_seconds = 0.0;  ///< admission -> worker claim
   double total_seconds = 0.0;  ///< admission -> completion
+  /// Advisory client backoff hint, > 0 on kOverloaded/kBrownout rejections:
+  /// roughly how long until admission is likely to succeed again.
+  double retry_after_ms = 0.0;
 };
 
 struct ServingOptions {
@@ -125,6 +139,20 @@ struct ServingOptions {
   /// Engine-wide request budget in milliseconds; 0 = no deadline unless the
   /// request carries its own timeout_ms. Must be finite and >= 0.
   double default_timeout_ms = 0.0;
+  /// Brownout entry threshold as a fraction of default_timeout_ms: when the
+  /// recent served p99 OR the projected queue wait for a new admission
+  /// (queue_depth * EWMA service time / workers) reaches
+  /// brownout_enter_fraction * default_timeout_ms, Submit() sheds with
+  /// kBrownout + a retry_after_ms hint instead of queueing work that will
+  /// burn its budget waiting. 0 disables brownout (the default). Requires a
+  /// nonzero default_timeout_ms — the thresholds are fractions of it.
+  double brownout_enter_fraction = 0.0;
+  /// Brownout exit threshold (hysteresis), also a fraction of
+  /// default_timeout_ms: admission resumes once the projected queue wait is
+  /// back under brownout_exit_fraction * default_timeout_ms and the queue
+  /// has drained to at most one entry per worker. Must be < the enter
+  /// fraction when brownout is enabled.
+  double brownout_exit_fraction = 0.25;
   /// Optional fault injector consulted by the workers (worker_stall,
   /// compute_throw, promise_path sites). Null = no faults. Shared so tests
   /// and laca_serve can keep a handle for assertions.
@@ -144,6 +172,15 @@ struct ServingStats {
   uint64_t rejected_overload = 0;
   uint64_t rejected_shutdown = 0;
   uint64_t rejected_invalid = 0;
+  /// Shed proactively while the engine was in brownout.
+  uint64_t rejected_brownout = 0;
+  /// Whether admission is currently shedding on the brownout signal.
+  bool brownout_active = false;
+  /// Times the brownout latch has been entered since construction.
+  uint64_t brownout_entries = 0;
+  /// The projected queue wait for a new admission right now, in ms
+  /// (queue_depth * EWMA service seconds / workers) — the brownout signal.
+  double est_queue_wait_ms = 0.0;
   /// Admitted requests whose budget ran out: shed_in_queue + cancelled.
   uint64_t deadline_exceeded = 0;
   /// Expired before a worker claimed them; no compute was spent.
@@ -181,6 +218,8 @@ struct Admission {
   ServeStatus status = ServeStatus::kInvalid;
   std::string error;  ///< set for kInvalid rejections
   std::future<ServeResponse> response;
+  /// Advisory backoff hint (> 0 on kOverloaded/kBrownout rejections).
+  double retry_after_ms = 0.0;
   bool ok() const { return status == ServeStatus::kOk; }
 };
 
@@ -267,6 +306,14 @@ class ServingEngine {
   /// explicit and compiler-checked.
   void RecordOutcomeLocked(const ServeResponse& resp, bool shed_in_queue)
       LACA_REQUIRES(mu_);
+  /// The projected queue wait for a request admitted right now, in ms.
+  double EstQueueWaitMsLocked() const LACA_REQUIRES(mu_);
+  /// Re-evaluates the brownout latch from the current signals (called on
+  /// every admission attempt and every completion, so recovery needs no
+  /// traffic to be observed).
+  void UpdateBrownoutLocked() LACA_REQUIRES(mu_);
+  /// The advisory retry_after_ms hint for a rejection issued right now.
+  double SuggestRetryMsLocked() const LACA_REQUIRES(mu_);
 
   SnapshotStore store_;
   ServingOptions opts_;
@@ -292,6 +339,18 @@ class ServingEngine {
   std::vector<double> latency_ring_ LACA_GUARDED_BY(mu_);
   size_t latency_cursor_ LACA_GUARDED_BY(mu_) = 0;
   size_t latency_count_ LACA_GUARDED_BY(mu_) = 0;
+  // Brownout state (DESIGN.md §11): a latch over two signals — the recent
+  // served p99 (small control ring, refreshed every few completions) and the
+  // projected queue wait (instantaneous, so recovery works with no traffic).
+  bool brownout_ LACA_GUARDED_BY(mu_) = false;
+  uint64_t rejected_brownout_ LACA_GUARDED_BY(mu_) = 0;
+  uint64_t brownout_entries_ LACA_GUARDED_BY(mu_) = 0;
+  double ewma_service_s_ LACA_GUARDED_BY(mu_) = 0.0;
+  std::vector<double> ctrl_ring_ LACA_GUARDED_BY(mu_);
+  size_t ctrl_cursor_ LACA_GUARDED_BY(mu_) = 0;
+  size_t ctrl_count_ LACA_GUARDED_BY(mu_) = 0;
+  double ctrl_p99_s_ LACA_GUARDED_BY(mu_) = 0.0;
+  size_t served_since_refresh_ LACA_GUARDED_BY(mu_) = 0;
 
   // Serializes Shutdown() joiners; never taken while holding mu_ (Shutdown
   // releases mu_ before joining — a worker draining the queue needs it).

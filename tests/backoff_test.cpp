@@ -1,0 +1,66 @@
+// DecorrelatedJitterBackoff semantics: the reload retry loop (and the bench
+// retry study) rely on its delays being bounded, cap-monotone, and
+// reproducible for a fixed seed.
+#include "common/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace laca {
+namespace {
+
+TEST(BackoffTest, EveryDrawStaysWithinBaseAndCap) {
+  DecorrelatedJitterBackoff backoff(0.05, 1.0, /*seed=*/7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = backoff.NextSeconds();
+    EXPECT_GE(d, 0.05);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST(BackoffTest, CapIsAMonotoneCeiling) {
+  // Once a draw saturates at the cap, later draws can never exceed it —
+  // [base, 3*cap] clamps back to cap, so the sequence is bounded forever,
+  // not just on average.
+  DecorrelatedJitterBackoff backoff(0.1, 0.3, /*seed=*/3);
+  bool saturated = false;
+  for (int i = 0; i < 200; ++i) {
+    const double d = backoff.NextSeconds();
+    EXPECT_LE(d, 0.3);
+    if (d == 0.3) saturated = true;
+  }
+  EXPECT_TRUE(saturated);  // with cap at 3x base, saturation is certain-ish
+}
+
+TEST(BackoffTest, FixedSeedReproducesTheExactSequence) {
+  auto draw = [](uint64_t seed) {
+    DecorrelatedJitterBackoff backoff(0.01, 5.0, seed);
+    std::vector<double> out;
+    for (int i = 0; i < 64; ++i) out.push_back(backoff.NextSeconds());
+    return out;
+  };
+  EXPECT_EQ(draw(42), draw(42));
+  EXPECT_NE(draw(42), draw(43));
+}
+
+TEST(BackoffTest, ResetReturnsToTheBaseDelayRegime) {
+  DecorrelatedJitterBackoff backoff(0.1, 10.0, /*seed=*/1);
+  for (int i = 0; i < 50; ++i) backoff.NextSeconds();  // grow toward cap
+  backoff.Reset();
+  // The first post-reset draw is from [base, 3*base], not from the grown
+  // window.
+  const double d = backoff.NextSeconds();
+  EXPECT_GE(d, 0.1);
+  EXPECT_LE(d, 0.3);
+}
+
+TEST(BackoffTest, RejectsDegenerateBounds) {
+  EXPECT_THROW(DecorrelatedJitterBackoff(0.0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(DecorrelatedJitterBackoff(-0.1, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(DecorrelatedJitterBackoff(1.0, 0.5, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace laca

@@ -135,6 +135,30 @@ TEST(FaultInjectorTest, SiteNamesRoundTripThroughToString) {
   EXPECT_STREQ(ToString(FaultSite::kSnapshotRead), "snapshot_read");
   EXPECT_STREQ(ToString(FaultSite::kTnamLoad), "tnam_load");
   EXPECT_STREQ(ToString(FaultSite::kSaveKill), "save_kill");
+  EXPECT_STREQ(ToString(FaultSite::kAcceptFail), "accept_fail");
+  EXPECT_STREQ(ToString(FaultSite::kSendStall), "send_stall");
+  EXPECT_STREQ(ToString(FaultSite::kSessionKill), "session_kill");
+}
+
+TEST(FaultInjectorTest, NetworkSitesArmFireAndCountIndependently) {
+  // The chaos harness arms the accept/send/session sites together; each
+  // keeps its own hit/fired books, so a firing on one never consumes
+  // another's trigger.
+  auto fi = FaultInjector::FromSpec("accept_fail=2,send_stall,session_kill=3");
+  EXPECT_FALSE(fi->ShouldFire(FaultSite::kAcceptFail));  // hit 1 of 2
+  EXPECT_TRUE(fi->ShouldFire(FaultSite::kSendStall));
+  EXPECT_TRUE(fi->ShouldFire(FaultSite::kAcceptFail));   // the 2nd hit
+  EXPECT_FALSE(fi->ShouldFire(FaultSite::kAcceptFail));  // one-shot
+  EXPECT_FALSE(fi->ShouldFire(FaultSite::kSessionKill));
+  EXPECT_FALSE(fi->ShouldFire(FaultSite::kSessionKill));
+  EXPECT_TRUE(fi->ShouldFire(FaultSite::kSessionKill));  // the 3rd hit
+  EXPECT_EQ(fi->hits(FaultSite::kAcceptFail), 3u);
+  EXPECT_EQ(fi->fired(FaultSite::kAcceptFail), 1u);
+  EXPECT_EQ(fi->hits(FaultSite::kSendStall), 1u);
+  EXPECT_EQ(fi->fired(FaultSite::kSendStall), 1u);
+  EXPECT_EQ(fi->hits(FaultSite::kSessionKill), 3u);
+  EXPECT_EQ(fi->fired(FaultSite::kSessionKill), 1u);
+  EXPECT_EQ(fi->hits(FaultSite::kWorkerStall), 0u);  // untouched neighbors
 }
 
 }  // namespace

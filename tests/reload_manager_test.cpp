@@ -1,0 +1,208 @@
+// ReloadManager: retry with backoff, quarantine on validation failure,
+// bounded attempts, and shutdown cutting retries short (DESIGN.md §11).
+#include "server/reload_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <string>
+
+namespace laca {
+namespace {
+
+ReloadManagerOptions FastRetries(int max_attempts) {
+  ReloadManagerOptions options;
+  options.backoff_base_seconds = 0.001;
+  options.backoff_cap_seconds = 0.005;
+  options.max_attempts = max_attempts;
+  options.backoff_seed = 7;
+  return options;
+}
+
+TEST(ReloadManagerTest, FirstAttemptSuccessResolvesWithVersion) {
+  std::atomic<int> calls{0};
+  ReloadManager manager(
+      FastRetries(8),
+      [&] {
+        ++calls;
+        return uint64_t{42};
+      },
+      nullptr);
+  ReloadOutcome out = manager.Request().get();
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.version, 42u);
+  EXPECT_EQ(out.attempts, 1);
+  EXPECT_TRUE(out.quarantined.empty());
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_FALSE(manager.failing());
+  EXPECT_EQ(manager.tickets_succeeded(), 1u);
+  EXPECT_EQ(manager.tickets_failed(), 0u);
+}
+
+TEST(ReloadManagerTest, TransientFailuresRetryUntilSuccess) {
+  // An NFS-blip-shaped failure: the same bytes load fine on attempt 3.
+  std::atomic<int> calls{0};
+  std::atomic<int> quarantine_calls{0};
+  ReloadManager manager(
+      FastRetries(8),
+      [&]() -> uint64_t {
+        if (++calls < 3) throw std::runtime_error("read interrupted");
+        return 7;
+      },
+      [&] {
+        ++quarantine_calls;
+        return std::string("should-not-happen");
+      });
+  ReloadOutcome out = manager.Request().get();
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.version, 7u);
+  EXPECT_EQ(out.attempts, 3);
+  // Transient failures never quarantine: the bytes were not condemned.
+  EXPECT_EQ(quarantine_calls.load(), 0);
+  EXPECT_TRUE(out.quarantined.empty());
+  EXPECT_FALSE(manager.failing());
+  EXPECT_TRUE(manager.last_quarantined().empty());
+}
+
+TEST(ReloadManagerTest, ValidationFailureQuarantinesThenRecovers) {
+  // Corrupt bytes on disk (std::invalid_argument) get moved aside on the
+  // first attempt; once "a valid replacement lands" (call 3), the same
+  // ticket succeeds. Quarantine must tolerate the repeat calls in between.
+  std::atomic<int> calls{0};
+  std::atomic<int> quarantine_calls{0};
+  ReloadManager manager(
+      FastRetries(8),
+      [&]() -> uint64_t {
+        if (++calls < 3) throw std::invalid_argument("checksum mismatch");
+        return 9;
+      },
+      [&]() -> std::string {
+        // Idempotent like QuarantineSnapshotDir: only the first call finds
+        // a directory to rename.
+        return ++quarantine_calls == 1 ? "snap.quarantined.0" : "";
+      });
+  ReloadOutcome out = manager.Request().get();
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.version, 9u);
+  EXPECT_EQ(out.attempts, 3);
+  EXPECT_EQ(out.quarantined, "snap.quarantined.0");
+  EXPECT_EQ(quarantine_calls.load(), 2);  // once per condemned attempt
+  // Sticky evidence: HEALTH keeps naming the directory after recovery.
+  EXPECT_EQ(manager.last_quarantined(), "snap.quarantined.0");
+  EXPECT_FALSE(manager.failing());
+}
+
+TEST(ReloadManagerTest, AttemptsAreBoundedAndOutcomeCarriesLastError) {
+  std::atomic<int> calls{0};
+  ReloadManager manager(
+      FastRetries(3),
+      [&]() -> uint64_t {
+        ++calls;
+        throw std::runtime_error("disk on fire");
+      },
+      nullptr);
+  ReloadOutcome out = manager.Request().get();
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.attempts, 3);
+  EXPECT_EQ(calls.load(), 3);
+  EXPECT_NE(out.error.find("disk on fire"), std::string::npos) << out.error;
+  EXPECT_TRUE(manager.failing());
+  EXPECT_EQ(manager.tickets_failed(), 1u);
+}
+
+TEST(ReloadManagerTest, FailingWindowEndsWhenALaterTicketSucceeds) {
+  std::atomic<bool> broken{true};
+  ReloadManager manager(
+      FastRetries(2),
+      [&]() -> uint64_t {
+        if (broken.load()) throw std::runtime_error("still broken");
+        return 5;
+      },
+      nullptr);
+  EXPECT_FALSE(manager.Request().get().ok);
+  EXPECT_TRUE(manager.failing());
+  broken.store(false);
+  EXPECT_TRUE(manager.Request().get().ok);
+  EXPECT_FALSE(manager.failing());
+  EXPECT_EQ(manager.tickets_failed(), 1u);
+  EXPECT_EQ(manager.tickets_succeeded(), 1u);
+}
+
+TEST(ReloadManagerTest, ShutdownCutsBackoffShort) {
+  // With a 5-second backoff floor and 100 attempts, the only way this test
+  // finishes quickly is Shutdown() interrupting the wait.
+  ReloadManagerOptions options;
+  options.backoff_base_seconds = 5.0;
+  options.backoff_cap_seconds = 5.0;
+  options.max_attempts = 100;
+  std::atomic<int> calls{0};
+  ReloadManager manager(
+      options,
+      [&]() -> uint64_t {
+        ++calls;
+        throw std::runtime_error("transient");
+      },
+      nullptr);
+  std::future<ReloadOutcome> future = manager.Request();
+  while (calls.load() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto start = std::chrono::steady_clock::now();
+  manager.Shutdown();
+  ReloadOutcome out = future.get();
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_FALSE(out.ok);
+  EXPECT_NE(out.error.find("retries abandoned"), std::string::npos)
+      << out.error;
+  EXPECT_LT(waited, 4.0) << "Shutdown did not interrupt the backoff wait";
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ReloadManagerTest, TicketsAfterShutdownResolveFailedImmediately) {
+  ReloadManager manager(
+      FastRetries(1), [] { return uint64_t{1}; }, nullptr);
+  manager.Shutdown();
+  ReloadOutcome out = manager.Request().get();
+  EXPECT_FALSE(out.ok);
+  EXPECT_NE(out.error.find("shut down"), std::string::npos) << out.error;
+  EXPECT_EQ(out.attempts, 0);
+}
+
+TEST(ReloadManagerTest, TicketsRunInOrderAndEachGetsItsOwnOutcome) {
+  std::atomic<int> calls{0};
+  ReloadManager manager(
+      FastRetries(1),
+      [&]() -> uint64_t { return static_cast<uint64_t>(++calls); },
+      nullptr);
+  std::future<ReloadOutcome> a = manager.Request();
+  std::future<ReloadOutcome> b = manager.Request();
+  std::future<ReloadOutcome> c = manager.Request();
+  EXPECT_EQ(a.get().version, 1u);
+  EXPECT_EQ(b.get().version, 2u);
+  EXPECT_EQ(c.get().version, 3u);
+  EXPECT_EQ(manager.tickets_succeeded(), 3u);
+}
+
+TEST(ReloadManagerTest, ConstructionValidatesOptions) {
+  ReloadManagerOptions bad_attempts = FastRetries(0);
+  EXPECT_THROW(
+      ReloadManager(bad_attempts, [] { return uint64_t{1}; }, nullptr),
+      std::invalid_argument);
+
+  ReloadManagerOptions bad_backoff = FastRetries(1);
+  bad_backoff.backoff_base_seconds = 0.0;
+  EXPECT_THROW(
+      ReloadManager(bad_backoff, [] { return uint64_t{1}; }, nullptr),
+      std::invalid_argument);
+
+  EXPECT_THROW(ReloadManager(FastRetries(1), nullptr, nullptr),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace laca

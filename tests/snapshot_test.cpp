@@ -425,6 +425,36 @@ TEST_F(SnapshotIoTest, InjectedReadFaultsSurfaceAndClearWithTheInjector) {
   EXPECT_EQ(LoadSnapshot(snap_dir_)->version(), 3u);
 }
 
+TEST_F(SnapshotIoTest, QuarantineMovesTheDirectoryAsideIntactly) {
+  SaveSnapshot(*MakeSnapshot(5), snap_dir_);
+  const std::string moved = QuarantineSnapshotDir(snap_dir_);
+  EXPECT_EQ(moved, snap_dir_ + ".quarantined.0");
+  EXPECT_FALSE(std::filesystem::exists(snap_dir_));
+  // The evidence is preserved byte for byte: it still loads from its new
+  // home (quarantine is for operator inspection, not destruction).
+  EXPECT_EQ(LoadSnapshot(moved)->version(), 5u);
+}
+
+TEST_F(SnapshotIoTest, QuarantineNumbersRepeatOffendersSeparately) {
+  // Corruption can land at the same path more than once; each capture gets
+  // its own numbered slot and never clobbers earlier evidence.
+  SaveSnapshot(*MakeSnapshot(1), snap_dir_);
+  EXPECT_EQ(QuarantineSnapshotDir(snap_dir_), snap_dir_ + ".quarantined.0");
+  SaveSnapshot(*MakeSnapshot(2), snap_dir_);
+  EXPECT_EQ(QuarantineSnapshotDir(snap_dir_), snap_dir_ + ".quarantined.1");
+  EXPECT_EQ(LoadSnapshot(snap_dir_ + ".quarantined.0")->version(), 1u);
+  EXPECT_EQ(LoadSnapshot(snap_dir_ + ".quarantined.1")->version(), 2u);
+}
+
+TEST_F(SnapshotIoTest, QuarantineOfAMissingDirectoryIsANoOp) {
+  // The ReloadManager retries after quarantining; the repeat call must
+  // find nothing to move and say so with an empty result, not throw.
+  EXPECT_EQ(QuarantineSnapshotDir(snap_dir_), "");
+  SaveSnapshot(*MakeSnapshot(1), snap_dir_);
+  EXPECT_NE(QuarantineSnapshotDir(snap_dir_), "");
+  EXPECT_EQ(QuarantineSnapshotDir(snap_dir_), "");
+}
+
 TEST_F(SnapshotIoTest, LoadTnamBinaryRejectsRowCountMismatch) {
   const std::string path = (dir_ / "z.laca").string();
   SaveTnamBinary(MakeTnam(8, 4), path);

@@ -1,4 +1,4 @@
-// laca_serve — long-lived LACA clustering server (DESIGN.md §7, §8).
+// laca_serve — long-lived LACA clustering server (DESIGN.md §7, §8, §11).
 //
 // Assembles one immutable DatasetSnapshot (graph + attributes + prepared
 // TNAMs, data/dataset_snapshot.hpp) at startup and serves line-delimited
@@ -7,13 +7,23 @@
 // fleet with bounded-queue admission control. A `reload` request rebuilds
 // the snapshot in the background — re-reading the snapshot directory or
 // re-running the TNAM preprocessing — and swaps it in atomically while old
-// requests finish on the version they were admitted under; a failed rebuild
-// reports ERR and leaves the old version serving. Requests carry optional
-// deadlines (timeout_ms=, or the server-wide --default-timeout) anchored at
-// admission: expired queued requests are shed without compute, and a request
-// caught mid-compute is cooperatively cancelled within one poll interval. A
-// `health` line reports ok/degraded with the active version and the
-// shed/deadline counters.
+// requests finish on the version they were admitted under; failed rebuilds
+// retry with decorrelated-jitter backoff, and a snapshot directory that
+// fails validation is quarantined aside (server/reload_manager.hpp).
+// Requests carry optional deadlines (timeout_ms=, or the server-wide
+// --default-timeout) anchored at admission: expired queued requests are
+// shed without compute, and a request caught mid-compute is cooperatively
+// cancelled within one poll interval. A `health` line reports ok/degraded
+// with machine-readable reasons (queue_full, brownout, reload_failing,
+// quarantined=<dir>).
+//
+// Hostile-client hardening (src/server/session.hpp): request lines are
+// byte-bounded, a line must arrive within --read-timeout of its first byte
+// (slow-loris), responses must drain within --write-timeout (stalled
+// reader), and connections beyond --max-connections are turned away at
+// accept with `ERR busy retry_after_ms=<hint>`. SIGTERM/SIGINT drain
+// gracefully: stop accepting, finish in-flight requests, emit final stats,
+// exit 0.
 //
 // Usage:
 //   laca_serve --gen=<dataset-name>            serve a registry stand-in
@@ -41,11 +51,34 @@
 //                    anchored at admission (0 = none, the default); a
 //                    request's timeout_ms= overrides it, timeout_ms=0
 //                    opts out entirely
+//   --brownout=ENTER[,EXIT]  proactive shedding: when served p99 or the
+//                    projected queue wait crosses ENTER x the default
+//                    timeout budget, admissions are shed with a
+//                    retry_after_ms hint until load falls below EXIT x the
+//                    budget (default EXIT = ENTER/4; requires
+//                    --default-timeout > 0; 0 = off, the default)
+//   --reload-retry=BASE,CAP[,N]  retry failed reloads up to N times
+//                    (default 8) with decorrelated-jitter backoff between
+//                    BASE and CAP milliseconds (default 200,5000);
+//                    --reload-retry=0 disables retries (single attempt)
+//   --max-connections=N  concurrent TCP sessions; beyond it connections
+//                    get `ERR busy retry_after_ms=<hint>` and are closed
+//                    at accept (default 1024; 0 = unlimited)
+//   --max-line=B     request-line byte bound; an overlong line gets a
+//                    tagged ERR and the session closes (default 1048576)
+//   --read-timeout=MS   full budget for one request line from its first
+//                    byte; expiry closes the session (default 10000; 0=off)
+//   --idle-timeout=MS   budget for the next request's first byte
+//                    (default 0 = wait forever)
+//   --write-timeout=MS  per-response budget for the peer to drain its
+//                    buffer; expiry closes the session (default 10000;
+//                    0 = wait forever)
 //   --fault-inject=SPEC   arm the deterministic fault injector (testing/CI;
 //                    see src/common/fault_injection.hpp for the grammar,
 //                    e.g. snapshot_read=2 fails the first reload's read,
 //                    worker_stall,stall_ms=200 stalls every claim)
-//   --port=P         serve on 127.0.0.1:P instead of stdin/stdout
+//   --port=P         serve on 127.0.0.1:P instead of stdin/stdout; P=0
+//                    binds an ephemeral port (announced on stderr)
 //   --stats-every=S  periodic STATS line to stderr every S seconds (0 = off,
 //                    the default; `stats` on any session works regardless)
 //
@@ -60,9 +93,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <deque>
 #include <functional>
-#include <future>
 #include <memory>
 #include <optional>
 #include <string>
@@ -72,6 +103,7 @@
 #ifdef __unix__
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 #endif
@@ -88,11 +120,20 @@
 #include "eval/datasets.hpp"
 #include "graph/io.hpp"
 #include "server/protocol.hpp"
+#include "server/reload_manager.hpp"
 #include "server/serving_engine.hpp"
+#include "server/session.hpp"
 
 namespace {
 
 using namespace laca;
+
+// Latched by SIGTERM/SIGINT (installed without SA_RESTART, so blocked
+// accepts and reads wake with EINTR); every poll loop checks it within one
+// tick. The graceful-drain entry point.
+std::atomic<bool> g_stop{false};
+
+extern "C" void HandleStopSignal(int) { g_stop.store(true); }
 
 struct ServeCliOptions {
   std::string gen_name;
@@ -102,7 +143,13 @@ struct ServeCliOptions {
   std::vector<int> ks = {32};
   std::vector<std::string> tnam_paths;
   ServingOptions serving;
+  ReloadManagerOptions reload;
   std::string fault_spec;
+  size_t max_connections = 1024;
+  size_t max_line_bytes = 1 << 20;
+  double read_timeout_ms = 10000.0;
+  double idle_timeout_ms = 0.0;
+  double write_timeout_ms = 10000.0;
   int port = -1;
   double stats_every = 0.0;
 };
@@ -127,6 +174,7 @@ std::vector<std::string> SplitCommas(const std::string& value) {
 }
 
 bool ParseArgs(int argc, char** argv, ServeCliOptions& opts) {
+  bool brownout_exit_given = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const size_t eq = arg.find('=');
@@ -140,6 +188,12 @@ bool ParseArgs(int argc, char** argv, ServeCliOptions& opts) {
       std::optional<uint64_t> v = ParseU64(value);
       if (!v) return false;
       *out = static_cast<size_t>(*v);
+      return true;
+    };
+    auto ms = [&](double* out) {
+      std::optional<double> v = ParseF64(value);
+      if (!v || *v < 0.0) return false;
+      *out = *v;
       return true;
     };
     if (key == "--gen") {
@@ -184,15 +238,60 @@ bool ParseArgs(int argc, char** argv, ServeCliOptions& opts) {
       if (!v || *v <= 0.0) return FailFlag(arg, "eps > 0");
       opts.serving.defaults.epsilon = *v;
     } else if (key == "--default-timeout") {
-      std::optional<double> v = ParseF64(value);
-      if (!v || *v < 0.0) return FailFlag(arg, "milliseconds >= 0");
-      opts.serving.default_timeout_ms = *v;
+      if (!ms(&opts.serving.default_timeout_ms)) {
+        return FailFlag(arg, "milliseconds >= 0");
+      }
+    } else if (key == "--brownout") {
+      const std::vector<std::string> fields = SplitCommas(value);
+      if (fields.size() > 2) return FailFlag(arg, "want ENTER[,EXIT]");
+      std::optional<double> enter = ParseF64(fields[0]);
+      if (!enter || *enter < 0.0) return FailFlag(arg, "bad ENTER fraction");
+      opts.serving.brownout_enter_fraction = *enter;
+      if (fields.size() == 2) {
+        std::optional<double> exit_f = ParseF64(fields[1]);
+        if (!exit_f || *exit_f < 0.0) return FailFlag(arg, "bad EXIT fraction");
+        opts.serving.brownout_exit_fraction = *exit_f;
+        brownout_exit_given = true;
+      }
+    } else if (key == "--reload-retry") {
+      if (value == "0") {
+        opts.reload.max_attempts = 1;  // single shot, no backoff waits
+        continue;
+      }
+      const std::vector<std::string> fields = SplitCommas(value);
+      if (fields.size() < 2 || fields.size() > 3) {
+        return FailFlag(arg, "want BASE,CAP[,N] in ms, or 0");
+      }
+      std::optional<double> base = ParseF64(fields[0]);
+      std::optional<double> cap = ParseF64(fields[1]);
+      if (!base || !cap || *base <= 0.0 || *cap < *base) {
+        return FailFlag(arg, "want 0 < BASE <= CAP");
+      }
+      opts.reload.backoff_base_seconds = *base / 1e3;
+      opts.reload.backoff_cap_seconds = *cap / 1e3;
+      if (fields.size() == 3) {
+        std::optional<uint64_t> n = ParseU64(fields[2]);
+        if (!n || *n == 0 || *n > 1000) return FailFlag(arg, "bad N");
+        opts.reload.max_attempts = static_cast<int>(*n);
+      }
+    } else if (key == "--max-connections") {
+      if (!u64(&opts.max_connections)) return FailFlag(arg, "bad count");
+    } else if (key == "--max-line") {
+      if (!u64(&opts.max_line_bytes) || opts.max_line_bytes < 16) {
+        return FailFlag(arg, "bad byte bound (min 16)");
+      }
+    } else if (key == "--read-timeout") {
+      if (!ms(&opts.read_timeout_ms)) return FailFlag(arg, "bad milliseconds");
+    } else if (key == "--idle-timeout") {
+      if (!ms(&opts.idle_timeout_ms)) return FailFlag(arg, "bad milliseconds");
+    } else if (key == "--write-timeout") {
+      if (!ms(&opts.write_timeout_ms)) return FailFlag(arg, "bad milliseconds");
     } else if (key == "--fault-inject") {
       opts.fault_spec = value;  // parsed in main so errors name the token
     } else if (key == "--port") {
       std::optional<uint64_t> v = ParseU64(value);
-      if (!v || *v == 0 || *v > 65535) return FailFlag(arg, "bad port");
-      opts.port = static_cast<int>(*v);
+      if (!v || *v > 65535) return FailFlag(arg, "bad port");
+      opts.port = static_cast<int>(*v);  // 0 = ephemeral, announced
     } else if (key == "--stats-every") {
       std::optional<double> v = ParseF64(value);
       if (!v || *v < 0.0) return FailFlag(arg, "bad interval");
@@ -200,6 +299,12 @@ bool ParseArgs(int argc, char** argv, ServeCliOptions& opts) {
     } else {
       return FailFlag(arg, "unknown flag");
     }
+  }
+  if (opts.serving.brownout_enter_fraction > 0.0 && !brownout_exit_given) {
+    // A usable hysteresis gap by default: recover well below the entry
+    // threshold so the shed/recover boundary cannot flap.
+    opts.serving.brownout_exit_fraction =
+        opts.serving.brownout_enter_fraction * 0.25;
   }
   const int sources = (!opts.gen_name.empty() ? 1 : 0) +
                       (!opts.edges_path.empty() ? 1 : 0) +
@@ -264,13 +369,13 @@ class SnapshotSource {
         ds.snapshot->version());
   }
 
-  /// One `reload`: builds the next version by re-running the whole load
-  /// path — re-reading the snapshot directory or the --edges/--attrs/--tnam
-  /// files (so data edited on disk is actually picked up), or re-running
-  /// the TNAM preprocessing for the in-memory --gen data — and swaps it
-  /// into the engine. Returns the new version. Throws on any
-  /// load/validation failure, in which case the engine keeps serving the
-  /// old version.
+  /// One rebuild attempt: builds the next version by re-running the whole
+  /// load path — re-reading the snapshot directory or the
+  /// --edges/--attrs/--tnam files (so data edited on disk is actually
+  /// picked up), or re-running the TNAM preprocessing for the in-memory
+  /// --gen data — and swaps it into the engine. Returns the new version.
+  /// Throws on any load/validation failure, in which case the engine keeps
+  /// serving the old version (the ReloadManager decides retry/quarantine).
   uint64_t Rebuild(ServingEngine& engine) LACA_EXCLUDES(rebuild_mu_) {
     MutexLock lock(rebuild_mu_);
     const std::shared_ptr<const DatasetSnapshot> current = engine.snapshot();
@@ -337,89 +442,6 @@ class SnapshotSource {
   Mutex rebuild_mu_;
 };
 
-// Reads one '\n'-terminated line into *line (portable fgets loop — POSIX
-// getline does not exist everywhere this file must at least compile).
-// Returns false on EOF with nothing read; a final unterminated line is
-// still delivered. A read interrupted by a signal is retried — without
-// this, any stray signal would silently end a TCP session mid-stream.
-bool ReadLine(std::FILE* in, std::string* line) {
-  line->clear();
-  char buf[4096];
-  for (;;) {
-    if (std::fgets(buf, sizeof(buf), in) == nullptr) {
-      if (std::ferror(in) && errno == EINTR) {
-        std::clearerr(in);
-        continue;
-      }
-      return !line->empty();
-    }
-    line->append(buf);
-    if (!line->empty() && line->back() == '\n') return true;
-  }
-}
-
-// Sink for response lines. Write() appends the newline and reports false
-// once the peer is unreachable; the session then drains its in-flight work
-// without emitting (futures are still consumed) and closes cleanly.
-class LineWriter {
- public:
-  virtual ~LineWriter() = default;
-  virtual bool Write(const std::string& line) = 0;
-  bool ok() const { return !failed_; }
-
- protected:
-  bool failed_ = false;
-};
-
-// stdio-backed writer (stdin/stdout mode).
-class StdioLineWriter : public LineWriter {
- public:
-  explicit StdioLineWriter(std::FILE* out) : out_(out) {}
-  bool Write(const std::string& line) override {
-    if (failed_) return false;
-    std::fprintf(out_, "%s\n", line.c_str());
-    std::fflush(out_);
-    if (std::ferror(out_)) failed_ = true;
-    return !failed_;
-  }
-
- private:
-  std::FILE* out_;
-};
-
-#ifdef __unix__
-// write(2)-backed writer for TCP sessions: retries EINTR and short writes
-// (a full socket buffer delivers partial counts), and turns EPIPE/ECONNRESET
-// — the peer hung up mid-response — into a clean `false` instead of a
-// killed process (SIGPIPE is ignored in main).
-class FdLineWriter : public LineWriter {
- public:
-  explicit FdLineWriter(int fd) : fd_(fd) {}
-  bool Write(const std::string& line) override {
-    if (failed_) return false;
-    buf_.assign(line);
-    buf_.push_back('\n');
-    const char* data = buf_.data();
-    size_t len = buf_.size();
-    while (len > 0) {
-      const ssize_t n = ::write(fd_, data, len);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        failed_ = true;  // EPIPE, ECONNRESET, ...: peer is gone
-        return false;
-      }
-      data += n;
-      len -= static_cast<size_t>(n);
-    }
-    return true;
-  }
-
- private:
-  int fd_;
-  std::string buf_;
-};
-#endif
-
 std::string StatsLineNow(ServingEngine& engine) {
   ServingStats s = engine.Stats();
   const double qps =
@@ -470,123 +492,24 @@ class StatsReporter {
   std::thread thread_;
 };
 
-// One request/response session. Responses are emitted strictly in request
-// order (a bounded pending window keeps reading ahead of the slowest
-// in-flight request). `stats`, `health`, and `reload` responses are rendered
-// at emission time, so a stats line that follows a reload in the stream
-// reports the post-reload state. A client disconnect mid-response (write
-// failure) stops reading and emitting, but every already-admitted future is
-// still consumed before the session closes. Returns true if the peer asked
-// for a server shutdown.
-bool RunSession(ServingEngine& engine, SnapshotSource& source, std::FILE* in,
-                LineWriter& out) {
-  struct Pending {
-    uint64_t id;
-    std::optional<std::string> ready;    // immediate response (errors)
-    std::function<std::string()> lazy;   // rendered at emission (stats)
-    std::future<std::string> deferred;   // background work (reload)
-    std::future<ServeResponse> response;
+// Builds the session hooks shared by every session: stats/health rendering
+// and the reload entry point. `active`/`max_connections` feed the conns=
+// token (null active = stdio mode, token omitted via max_connections 0).
+SessionHooks MakeHooks(ServingEngine& engine, ReloadManager& reloads,
+                       const std::atomic<size_t>* active,
+                       size_t max_connections) {
+  SessionHooks hooks;
+  hooks.stats_line = [&engine] { return StatsLineNow(engine); };
+  hooks.health_line = [&engine, &reloads, active, max_connections] {
+    HealthExtra extra;
+    extra.active_connections = active != nullptr ? active->load() : 0;
+    extra.max_connections = active != nullptr ? max_connections : 0;
+    extra.reload_failing = reloads.failing();
+    extra.quarantined_dir = reloads.last_quarantined();
+    return FormatHealthLine(engine.Stats(), extra);
   };
-  std::deque<Pending> pending;
-  const size_t max_pending = engine.num_workers() * 4 + 256;
-  uint64_t next_id = 0;
-  bool shutdown_requested = false;
-
-  auto emit_front = [&] {
-    Pending p = std::move(pending.front());
-    pending.pop_front();
-    std::string line;
-    if (p.ready) {
-      line = std::move(*p.ready);
-    } else if (p.lazy) {
-      line = p.lazy();
-    } else if (p.deferred.valid()) {
-      line = p.deferred.get();
-    } else {
-      line = FormatResponse(p.id, p.response.get());
-    }
-    out.Write(line);  // no-op once the peer is gone; futures still resolved
-  };
-  auto front_ready = [&]() -> bool {
-    const Pending& p = pending.front();
-    if (p.ready || p.lazy) return true;
-    if (p.deferred.valid()) {
-      return p.deferred.wait_for(std::chrono::seconds(0)) ==
-             std::future_status::ready;
-    }
-    return p.response.wait_for(std::chrono::seconds(0)) ==
-           std::future_status::ready;
-  };
-  auto flush_ready = [&](bool all) {
-    while (!pending.empty()) {
-      if (!all && !front_ready()) break;
-      emit_front();
-    }
-  };
-
-  std::string line;
-  while (!shutdown_requested && ReadLine(in, &line)) {
-    std::string_view sv(line);
-    while (!sv.empty() && (sv.back() == '\n' || sv.back() == '\r')) {
-      sv.remove_suffix(1);
-    }
-    if (sv.empty() || sv.front() == '#') continue;
-    const uint64_t id = ++next_id;
-    ParsedLine parsed = ParseRequestLine(sv);
-    Pending p;
-    p.id = id;
-    switch (parsed.kind) {
-      case ParsedLine::Kind::kStats:
-        p.lazy = [&engine] { return StatsLineNow(engine); };
-        break;
-      case ParsedLine::Kind::kHealth:
-        p.lazy = [&engine] { return FormatHealthLine(engine.Stats()); };
-        break;
-      case ParsedLine::Kind::kReload:
-        // The rebuild runs off this thread; requests keep flowing on the
-        // old snapshot and this slot resolves once the swap is live.
-        p.deferred = std::async(std::launch::async, [&engine, &source, id] {
-          try {
-            return FormatReloadResponse(id, source.Rebuild(engine));
-          } catch (const std::exception& e) {
-            ServeResponse resp;
-            resp.status = ServeStatus::kInvalid;
-            resp.error = std::string("reload failed: ") + e.what();
-            return FormatResponse(id, resp);
-          }
-        });
-        break;
-      case ParsedLine::Kind::kShutdown:
-        shutdown_requested = true;
-        p.ready = "OK id=" + std::to_string(id) + " shutdown";
-        break;
-      case ParsedLine::Kind::kError: {
-        ServeResponse resp;
-        resp.status = ServeStatus::kInvalid;
-        resp.error = parsed.error;
-        p.ready = FormatResponse(id, resp);
-        break;
-      }
-      case ParsedLine::Kind::kRequest: {
-        Admission admission = engine.Submit(parsed.request);
-        if (admission.ok()) {
-          p.response = std::move(admission.response);
-        } else {
-          ServeResponse resp;
-          resp.status = admission.status;
-          resp.error = std::move(admission.error);
-          p.ready = FormatResponse(id, resp);
-        }
-        break;
-      }
-    }
-    pending.push_back(std::move(p));
-    flush_ready(/*all=*/false);
-    if (pending.size() >= max_pending) emit_front();  // blocks on the oldest
-    if (!out.ok()) break;  // peer disconnected; drain below, then close
-  }
-  flush_ready(/*all=*/true);
-  return shutdown_requested;
+  hooks.request_reload = [&reloads] { return reloads.Request(); };
+  return hooks;
 }
 
 #ifdef __unix__
@@ -609,7 +532,29 @@ struct ConnRegistry {
   }
 };
 
-int RunTcpServer(ServingEngine& engine, SnapshotSource& source, int port) {
+// Accept-time shed: the connection never gets a session thread; it gets one
+// polite line with a backoff hint and a close. Best-effort blocking write —
+// the fd is fresh from accept, its send buffer is empty.
+void ShedConnection(int fd, ServingEngine& engine) {
+  const double est = engine.Stats().est_queue_wait_ms;
+  char line[64];
+  const int len =
+      std::snprintf(line, sizeof(line), "ERR busy retry_after_ms=%.0f\n",
+                    std::min(std::max(est, 100.0), 60000.0));
+  const char* data = line;
+  size_t remaining = static_cast<size_t>(len);
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd, data, remaining);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    data += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  ::close(fd);
+}
+
+int RunTcpServer(ServingEngine& engine, ReloadManager& reloads,
+                 const ServeCliOptions& cli) {
   const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listener < 0) {
     std::perror("laca_serve: socket");
@@ -619,7 +564,7 @@ int RunTcpServer(ServingEngine& engine, SnapshotSource& source, int port) {
   ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_port = htons(static_cast<uint16_t>(cli.port));
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, by design
   if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
       ::listen(listener, 16) < 0) {
@@ -627,26 +572,51 @@ int RunTcpServer(ServingEngine& engine, SnapshotSource& source, int port) {
     ::close(listener);
     return 1;
   }
+  // --port=0 binds an ephemeral port; announce whatever the kernel picked
+  // so harnesses (and humans) can connect without a port-collision dance.
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  int port = cli.port;
+  if (::getsockname(listener, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port = ntohs(bound.sin_port);
+  }
+  SetNonBlocking(listener);
   std::fprintf(stderr, "laca_serve: listening on 127.0.0.1:%d\n", port);
 
   // Session threads are detached and counted, not collected: a long-lived
   // server must not retain a thread handle per connection ever served. The
-  // accept loop only ::shutdown()s the listener from session threads and
-  // closes it HERE after the loop and the last session exit, so no thread
-  // ever accept()s or close()s a reused descriptor.
+  // accept loop is a poll tick, so both stop paths — a protocol `shutdown`
+  // and SIGTERM/SIGINT — are noticed within one tick even if the signal
+  // lands between poll and accept.
   std::atomic<bool> stop{false};
   std::atomic<size_t> active{0};
   Mutex done_mu;
   CondVar done_cv;
   ConnRegistry conns;
+  const SessionHooks hooks =
+      MakeHooks(engine, reloads, &active, cli.max_connections);
+  const ReadDeadlines deadlines{cli.read_timeout_ms, cli.idle_timeout_ms};
   for (;;) {
+    if (stop.load() || g_stop.load()) break;
+    pollfd pfd{};
+    pfd.fd = listener;
+    pfd.events = POLLIN;
+    const int pr = ::poll(&pfd, 1, 100);
+    if (pr < 0 && errno != EINTR) {
+      std::perror("laca_serve: poll");
+      break;
+    }
+    if (pr <= 0) continue;  // tick (or EINTR): re-check the stop flags
     const int fd = ::accept(listener, nullptr, nullptr);
     if (fd < 0) {
-      if (stop.load()) break;
       // A long-lived server must survive transient accept failures: aborted
-      // handshakes and fd exhaustion pass (the latter with a breather so the
-      // loop does not spin while sessions close), signals retry.
-      if (errno == EINTR || errno == ECONNABORTED) continue;
+      // handshakes, raced wakeups, and fd exhaustion pass (the latter with
+      // a breather so the loop does not spin while sessions close).
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK) {
+        continue;
+      }
       if (errno == EMFILE || errno == ENFILE) {
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
         continue;
@@ -654,33 +624,34 @@ int RunTcpServer(ServingEngine& engine, SnapshotSource& source, int port) {
       std::perror("laca_serve: accept");
       break;
     }
+    if (std::shared_ptr<FaultInjector> fi = GlobalFaultInjector();
+        fi != nullptr && fi->ShouldFire(FaultSite::kAcceptFail)) {
+      ::close(fd);  // as if the handshake died under us
+      continue;
+    }
+    if (cli.max_connections > 0 && active.load() >= cli.max_connections) {
+      ShedConnection(fd, engine);  // polite ERR busy + close, no thread
+      continue;
+    }
     conns.Add(fd);
     // A shutdown that raced this accept already ran ShutdownReads; make
     // sure this connection does not outlive it either way.
     if (stop.load()) ::shutdown(fd, SHUT_RD);
     active.fetch_add(1);
-    auto session = [&engine, &source, &stop, &conns, &active, &done_mu,
-                    &done_cv, fd, listener] {
-      bool wants_shutdown = false;
-      std::FILE* in = ::fdopen(fd, "r");
-      if (in == nullptr) {
-        conns.Remove(fd);
-        ::close(fd);
-      } else {
-        // Reads go through stdio buffering; writes go straight to the fd
-        // (EINTR/short-write-safe, disconnect-tolerant) — no dup(), so the
-        // session owns exactly one descriptor.
-        FdLineWriter out(fd);
-        wants_shutdown = RunSession(engine, source, in, out);
-        // Deregister BEFORE the close releases the descriptor number: a new
-        // connection could otherwise reuse it between close and Remove, and
-        // Remove would deregister the new session's live socket.
-        conns.Remove(fd);
-        std::fclose(in);  // closes fd
-      }
-      if (wants_shutdown && !stop.exchange(true)) {
-        engine.Shutdown();  // drain admitted requests, reject new ones
-        ::shutdown(listener, SHUT_RDWR);  // unblock accept(); closed there
+    auto session = [&engine, &hooks, &cli, &deadlines, &stop, &conns, &active,
+                    &done_mu, &done_cv, fd] {
+      SetNonBlocking(fd);
+      FdLineReader in(fd, cli.max_line_bytes, deadlines, &g_stop);
+      FdLineWriter out(fd, cli.write_timeout_ms);
+      const SessionResult result = RunSession(engine, hooks, in, out);
+      // Deregister BEFORE the close releases the descriptor number: a new
+      // connection could otherwise reuse it between close and Remove, and
+      // Remove would deregister the new session's live socket.
+      conns.Remove(fd);
+      ::close(fd);
+      if (result.end == SessionResult::End::kShutdown &&
+          !stop.exchange(true)) {
+        engine.Shutdown();      // drain admitted requests, reject new ones
         conns.ShutdownReads();  // EOF the other sessions' readers
       }
       {
@@ -703,7 +674,12 @@ int RunTcpServer(ServingEngine& engine, SnapshotSource& source, int port) {
       active.fetch_sub(1);
     }
   }
+  if (g_stop.load()) {
+    std::fprintf(stderr, "laca_serve: stop signal — draining sessions\n");
+  }
   {
+    // Sessions notice g_stop within one reader tick; a protocol shutdown
+    // already EOF'd them via ShutdownReads. Either way, wait them out.
     MutexLock lock(done_mu);
     while (active.load() != 0) done_cv.Wait(done_mu);
   }
@@ -719,6 +695,15 @@ int main(int argc, char** argv) {
   // A peer that disconnects mid-response must surface as a write error in
   // the session, never as a process-killing signal.
   std::signal(SIGPIPE, SIG_IGN);
+  // Graceful drain on SIGTERM/SIGINT. Deliberately no SA_RESTART: a signal
+  // must interrupt blocked reads and polls so the drain starts within one
+  // tick, not after the next client byte.
+  struct sigaction sa {};
+  sa.sa_handler = HandleStopSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
 #endif
   ServeCliOptions cli;
   if (!ParseArgs(argc, argv, cli)) {
@@ -726,21 +711,22 @@ int main(int argc, char** argv) {
                  "usage: %s (--gen=<name> | --edges=<path> [--attrs=<path>] "
                  "| --snapshot-dir=<dir>) [--workers=] [--threads=] "
                  "[--intra=] [--queue=] [--k=] [--tnam=] [--alpha=] [--eps=] "
-                 "[--default-timeout=] [--fault-inject=] [--port=] "
-                 "[--stats-every=]\n",
+                 "[--default-timeout=] [--brownout=] [--reload-retry=] "
+                 "[--max-connections=] [--max-line=] [--read-timeout=] "
+                 "[--idle-timeout=] [--write-timeout=] [--fault-inject=] "
+                 "[--port=] [--stats-every=]\n",
                  argv[0]);
     return 2;
   }
+  // Validate the fault spec up front (a typo should fail fast), but arm
+  // the injector only after the initial snapshot is loaded: injected
+  // faults model serving-time adversity (reload storms, stalled workers,
+  // dying sessions), and a probabilistic snapshot_read fault must not be
+  // able to kill a clean boot.
+  std::shared_ptr<FaultInjector> injector;
   if (!cli.fault_spec.empty()) {
     try {
-      std::shared_ptr<FaultInjector> injector =
-          FaultInjector::FromSpec(cli.fault_spec);
-      // Same injector on both delivery paths: the engine's workers and the
-      // process-global hook snapshot I/O consults during load/reload/save.
-      cli.serving.fault_injector = injector;
-      SetGlobalFaultInjector(std::move(injector));
-      std::fprintf(stderr, "laca_serve: fault injection armed: %s\n",
-                   cli.fault_spec.c_str());
+      injector = FaultInjector::FromSpec(cli.fault_spec);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "laca_serve: %s\n", e.what());
       return 2;
@@ -754,6 +740,15 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "laca_serve: load error: %s\n", e.what());
     return 1;
+  }
+  if (injector) {
+    // Same injector on both delivery paths: the engine's workers and the
+    // process-global hook that snapshot I/O and the session/accept loops
+    // consult.
+    cli.serving.fault_injector = injector;
+    SetGlobalFaultInjector(std::move(injector));
+    std::fprintf(stderr, "laca_serve: fault injection armed: %s\n",
+                 cli.fault_spec.c_str());
   }
   std::fprintf(stderr,
                "laca_serve: snapshot '%s' v%llu — n=%u m=%llu%s, %zu TNAM(s)\n",
@@ -770,23 +765,36 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "laca_serve: %zu workers, queue depth %zu\n",
                  engine.num_workers(), cli.serving.max_queue_depth);
 
-    // Declared after the engine: destroyed (stopped and joined) first, so
-    // it never reads a dead engine and never unwinds while joinable.
+    // Reload tickets rebuild through the one SnapshotSource path; a
+    // directory-backed source gets the quarantine hook (validation
+    // failures move the corrupt directory aside; see reload_manager.hpp).
+    ReloadManager reloads(
+        cli.reload, [&source, &engine] { return source.Rebuild(engine); },
+        cli.snapshot_dir.empty()
+            ? ReloadManager::QuarantineFn()
+            : [dir = cli.snapshot_dir] { return QuarantineSnapshotDir(dir); });
+
+    // Declared after the engine and reload manager: destroyed (stopped and
+    // joined) first, so it never reads a dead engine and never unwinds
+    // while joinable.
     StatsReporter reporter(engine, cli.stats_every);
 
     int rc = 0;
-    if (cli.port > 0) {
+    if (cli.port >= 0) {
 #ifdef __unix__
-      rc = RunTcpServer(engine, source, cli.port);
+      rc = RunTcpServer(engine, reloads, cli);
 #else
       std::fprintf(stderr, "laca_serve: --port requires a POSIX platform\n");
       rc = 2;
 #endif
     } else {
+      const SessionHooks hooks = MakeHooks(engine, reloads, nullptr, 0);
+      StdioLineReader in(stdin, cli.max_line_bytes, &g_stop);
       StdioLineWriter out(stdout);
-      RunSession(engine, source, stdin, out);
+      RunSession(engine, hooks, in, out);
     }
 
+    reloads.Shutdown();  // before the engine: tickets publish through it
     engine.Shutdown();
     reporter.Stop();
     std::fprintf(stderr, "laca_serve: done — %s\n",
