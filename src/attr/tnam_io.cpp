@@ -20,6 +20,12 @@ Tnam LoadTnamBinary(const std::string& path) {
   BinaryReader reader(path, BinaryKind::kTnam);
   const uint64_t rows = reader.ReadU64();
   const uint64_t cols = reader.ReadU64();
+  // num_rows() narrows to NodeId, so a u64 row count past NodeId range
+  // would truncate silently (2^32 + k reads back as k); reject it here
+  // where the full-width value is still visible.
+  LACA_CHECK(rows <= std::numeric_limits<NodeId>::max(),
+             "TNAM row count " + std::to_string(rows) +
+                 " exceeds the node-id range in " + path);
   LACA_CHECK(rows == 0 ||
                  cols <= std::numeric_limits<uint64_t>::max() / rows,
              "TNAM dimensions overflow in " + path);

@@ -1,0 +1,170 @@
+#include "common/fuzz_replay.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace laca {
+namespace fuzz {
+namespace {
+
+// Values that length/count fields love to be: zero, small counts, type
+// boundaries, and the over-committed giants that turn a reserve() into an
+// allocation bomb when a decoder trusts them.
+constexpr uint64_t kInteresting[] = {
+    0ull,
+    1ull,
+    2ull,
+    7ull,
+    0x7Full,
+    0xFFull,
+    0x7FFFull,
+    0xFFFFull,
+    0x7FFFFFFFull,
+    0x80000000ull,
+    0xFFFFFFFFull,
+    0x100000000ull,
+    0x0000100000000000ull,
+    0x1000000000000000ull,
+    0x7FFFFFFFFFFFFFFFull,
+    0x8000000000000000ull,
+    0xFFFFFFFFFFFFFFFFull,
+};
+
+// Grown inputs are capped so a duplication chain cannot balloon the replay
+// into multi-megabyte writes per iteration.
+constexpr size_t kMaxMutatedSize = 1 << 16;
+
+void ApplyOneMutation(Rng& rng, std::vector<uint8_t>& data,
+                      const std::vector<std::vector<uint8_t>>& seeds) {
+  switch (rng.UniformInt(7)) {
+    case 0: {  // bit flip
+      if (data.empty()) break;
+      const size_t pos = rng.UniformInt(data.size());
+      data[pos] ^= static_cast<uint8_t>(1u << rng.UniformInt(8));
+      break;
+    }
+    case 1: {  // byte set
+      if (data.empty()) break;
+      data[rng.UniformInt(data.size())] = static_cast<uint8_t>(
+          rng.UniformInt(256));
+      break;
+    }
+    case 2: {  // interesting 32-bit little-endian overwrite
+      if (data.size() < 4) break;
+      const uint32_t v = static_cast<uint32_t>(
+          kInteresting[rng.UniformInt(std::size(kInteresting))]);
+      const size_t pos = rng.UniformInt(data.size() - 3);
+      for (int b = 0; b < 4; ++b) {
+        data[pos + b] = static_cast<uint8_t>(v >> (8 * b));
+      }
+      break;
+    }
+    case 3: {  // interesting 64-bit little-endian overwrite
+      if (data.size() < 8) break;
+      const uint64_t v = kInteresting[rng.UniformInt(std::size(kInteresting))];
+      const size_t pos = rng.UniformInt(data.size() - 7);
+      for (int b = 0; b < 8; ++b) {
+        data[pos + b] = static_cast<uint8_t>(v >> (8 * b));
+      }
+      break;
+    }
+    case 4: {  // truncate
+      if (data.empty()) break;
+      data.resize(rng.UniformInt(data.size()));
+      break;
+    }
+    case 5: {  // duplicate a run (insertion, capped)
+      if (data.empty() || data.size() >= kMaxMutatedSize) break;
+      const size_t start = rng.UniformInt(data.size());
+      const size_t len = std::min(
+          {static_cast<size_t>(1 + rng.UniformInt(64)), data.size() - start,
+           kMaxMutatedSize - data.size()});
+      std::vector<uint8_t> run(data.begin() + static_cast<ptrdiff_t>(start),
+                               data.begin() +
+                                   static_cast<ptrdiff_t>(start + len));
+      const size_t at = rng.UniformInt(data.size() + 1);
+      data.insert(data.begin() + static_cast<ptrdiff_t>(at), run.begin(),
+                  run.end());
+      break;
+    }
+    default: {  // splice with a prefix of another seed
+      if (seeds.empty()) break;
+      const std::vector<uint8_t>& other = seeds[rng.UniformInt(seeds.size())];
+      if (other.empty()) break;
+      const size_t keep = data.empty() ? 0 : rng.UniformInt(data.size() + 1);
+      const size_t take = 1 + rng.UniformInt(other.size());
+      data.resize(keep);
+      const size_t room = kMaxMutatedSize > data.size()
+                              ? kMaxMutatedSize - data.size()
+                              : 0;
+      data.insert(data.end(), other.begin(),
+                  other.begin() + static_cast<ptrdiff_t>(std::min(take, room)));
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  LACA_CHECK(in.good(), "cannot open corpus file: " + path);
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+size_t ReplayCorpusDir(const std::string& dir, const InputFn& fn) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec) || ec) return 0;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::filesystem::path& path : files) {
+    const std::vector<uint8_t> bytes = ReadFileBytes(path.string());
+    fn(bytes, "corpus:" + path.filename().string());
+  }
+  return files.size();
+}
+
+void ExhaustiveByteSweep(std::span<const uint8_t> base, const InputFn& fn) {
+  std::vector<uint8_t> mutated(base.begin(), base.end());
+  for (size_t pos = 0; pos < base.size(); ++pos) {
+    mutated[pos] = static_cast<uint8_t>(base[pos] ^ 0x5A);
+    fn(mutated, "flip@" + std::to_string(pos));
+    mutated[pos] = base[pos];
+  }
+  for (size_t keep = 0; keep < base.size(); ++keep) {
+    fn(base.subspan(0, keep), "truncate@" + std::to_string(keep));
+  }
+  for (size_t extra : {size_t{1}, size_t{7}, size_t{64}}) {
+    std::vector<uint8_t> extended(base.begin(), base.end());
+    extended.insert(extended.end(), extra, uint8_t{0x77});
+    fn(extended, "extend+" + std::to_string(extra));
+  }
+}
+
+void MutationBudget(const std::vector<std::vector<uint8_t>>& seeds,
+                    uint64_t seed, size_t budget, const InputFn& fn) {
+  Rng rng(seed);
+  std::vector<uint8_t> data;
+  for (size_t i = 0; i < budget; ++i) {
+    if (seeds.empty()) {
+      data.clear();
+    } else {
+      data = seeds[i % seeds.size()];
+    }
+    const uint64_t stack = 1 + rng.UniformInt(4);
+    for (uint64_t m = 0; m < stack; ++m) ApplyOneMutation(rng, data, seeds);
+    fn(data, "mut#" + std::to_string(i));
+  }
+}
+
+}  // namespace fuzz
+}  // namespace laca

@@ -1,0 +1,59 @@
+// Deterministic corpus replay and mutation engine (DESIGN.md §12).
+//
+// The untrusted decoders (request lines, snapshot manifests, TNAM binaries,
+// checksummed containers, numeric tokens) are fuzzed two ways from the same
+// harness source: coverage-guided libFuzzer exploration under clang, and a
+// plain deterministic replayer built by any compiler. This header is the
+// shared engine behind the replayer side: it walks a checked-in corpus
+// directory (fuzz-found regressions frozen as files), runs an exhaustive
+// single-byte-flip/truncation sweep, and spends a seeded in-process mutation
+// budget — all bit-reproducible at a fixed seed, so a CI failure replays
+// locally with the same input sequence.
+//
+// Used by the tools/fuzz/*_replay binaries (tier-1 ctest entries) and by
+// snapshot_test / serialize_fuzz_test, so hand-written robustness sweeps and
+// fuzz-found regressions run through one code path.
+#ifndef LACA_COMMON_FUZZ_REPLAY_HPP_
+#define LACA_COMMON_FUZZ_REPLAY_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace laca {
+namespace fuzz {
+
+/// Callback receiving one candidate input plus a human-readable description
+/// used in failure messages ("corpus:crash-foo.bin", "flip@17", "mut#42").
+using InputFn =
+    std::function<void(std::span<const uint8_t> data, const std::string& what)>;
+
+/// Reads a whole file as bytes. Throws std::invalid_argument on I/O failure.
+std::vector<uint8_t> ReadFileBytes(const std::string& path);
+
+/// Replays every regular file in `dir` in sorted filename order. Returns the
+/// number of files replayed (0 when the directory is missing or empty — the
+/// caller decides whether that is an error).
+size_t ReplayCorpusDir(const std::string& dir, const InputFn& fn);
+
+/// Exhaustive deterministic sweep over `base`: every single-byte XOR 0x5A
+/// flip, every truncation length (0..size-1), and a few fixed trailing
+/// extensions. This is the PR 5-era hand-written manifest/container sweep,
+/// promoted so tests and fuzz replayers share it.
+void ExhaustiveByteSweep(std::span<const uint8_t> base, const InputFn& fn);
+
+/// Spends `budget` iterations of a seeded mutator over `seeds` (round-robin
+/// base selection; empty seeds list mutates from an empty input). Each
+/// iteration applies 1-4 stacked mutations: bit flips, byte sets, interesting
+/// 32/64-bit little-endian overwrites (the length-field attack), truncation,
+/// duplication, and cross-seed splices. Identical (seeds, seed, budget)
+/// produce the identical input sequence on every platform.
+void MutationBudget(const std::vector<std::vector<uint8_t>>& seeds,
+                    uint64_t seed, size_t budget, const InputFn& fn);
+
+}  // namespace fuzz
+}  // namespace laca
+
+#endif  // LACA_COMMON_FUZZ_REPLAY_HPP_

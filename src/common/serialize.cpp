@@ -169,8 +169,13 @@ double BinaryReader::ReadDouble() {
   return v;
 }
 
+// The count == 0 guards below are load-bearing: an empty vector's data()
+// may be null, and memcpy is declared nonnull even for size 0
+// (undefined-strict catches this on legitimate empty-array payloads).
+
 std::string BinaryReader::ReadString() {
   uint64_t size = ReadU64();
+  if (size == 0) return std::string();
   const uint8_t* p = Take(size);
   return std::string(reinterpret_cast<const char*>(p), size);
 }
@@ -179,8 +184,10 @@ std::vector<uint32_t> BinaryReader::ReadU32Array(size_t count) {
   LACA_CHECK(count <= payload_.size() / sizeof(uint32_t),
              "array count exceeds payload in " + path_);
   std::vector<uint32_t> out(count);
-  std::memcpy(out.data(), Take(count * sizeof(uint32_t)),
-              count * sizeof(uint32_t));
+  if (count != 0) {
+    std::memcpy(out.data(), Take(count * sizeof(uint32_t)),
+                count * sizeof(uint32_t));
+  }
   return out;
 }
 
@@ -188,8 +195,10 @@ std::vector<uint64_t> BinaryReader::ReadU64Array(size_t count) {
   LACA_CHECK(count <= payload_.size() / sizeof(uint64_t),
              "array count exceeds payload in " + path_);
   std::vector<uint64_t> out(count);
-  std::memcpy(out.data(), Take(count * sizeof(uint64_t)),
-              count * sizeof(uint64_t));
+  if (count != 0) {
+    std::memcpy(out.data(), Take(count * sizeof(uint64_t)),
+                count * sizeof(uint64_t));
+  }
   return out;
 }
 
@@ -197,8 +206,10 @@ std::vector<double> BinaryReader::ReadDoubleArray(size_t count) {
   LACA_CHECK(count <= payload_.size() / sizeof(double),
              "array count exceeds payload in " + path_);
   std::vector<double> out(count);
-  std::memcpy(out.data(), Take(count * sizeof(double)),
-              count * sizeof(double));
+  if (count != 0) {
+    std::memcpy(out.data(), Take(count * sizeof(double)),
+                count * sizeof(double));
+  }
   return out;
 }
 

@@ -86,6 +86,13 @@ class BinaryReader {
   /// True once the full payload has been consumed.
   bool AtEnd() const { return pos_ == payload_.size(); }
 
+  /// Unconsumed payload bytes. Decoders use this to bound header-declared
+  /// counts BEFORE allocating: a count of N elements that each occupy at
+  /// least B payload bytes can never legitimately exceed Remaining() / B, so
+  /// checking that first turns an attacker-controlled length field into an
+  /// ordinary invalid_argument instead of an allocation bomb.
+  size_t Remaining() const { return payload_.size() - pos_; }
+
   /// Throws unless the payload was consumed exactly (call after the last
   /// field to catch format drift).
   void ExpectEnd() const;

@@ -126,6 +126,13 @@ SnapshotContents ReadSnapshotDir(const std::string& dir) {
   const bool has_comms = manifest.ReadU8() != 0;
   const uint64_t num_comms = manifest.ReadU64();
   const uint64_t num_tnams = manifest.ReadU64();
+  // Each spec occupies u32 k + u64 dim = 12 payload bytes; bound the count
+  // before it drives the reserve (fuzz-found: num_tnams = 2^60 raised
+  // std::length_error straight out of the manifest header).
+  LACA_CHECK(num_tnams <= manifest.Remaining() / 12,
+             manifest_path + " declares " + std::to_string(num_tnams) +
+                 " TNAM specs but only " + std::to_string(manifest.Remaining()) +
+                 " payload bytes remain");
   std::vector<std::pair<int, uint64_t>> tnam_specs;
   tnam_specs.reserve(num_tnams);
   for (uint64_t t = 0; t < num_tnams; ++t) {
@@ -155,11 +162,9 @@ SnapshotContents ReadSnapshotDir(const std::string& dir) {
                  " edges but the manifest declares " + std::to_string(m));
   if (has_attrs) {
     const std::string attrs_path = AttributesPath(dir);
-    data.attributes = LoadAttributesBinary(attrs_path);
-    LACA_CHECK(data.attributes.num_rows() == n,
-               attrs_path + " has " +
-                   std::to_string(data.attributes.num_rows()) +
-                   " rows but the graph has " + std::to_string(n) + " nodes");
+    // The expected-rows overload rejects a row-count mismatch BEFORE the
+    // matrix is allocated, so a hostile header cannot size the allocation.
+    data.attributes = LoadAttributesBinary(attrs_path, n);
     LACA_CHECK(data.attributes.num_cols() == attr_cols,
                attrs_path + " has " +
                    std::to_string(data.attributes.num_cols()) +
@@ -173,11 +178,9 @@ SnapshotContents ReadSnapshotDir(const std::string& dir) {
   }
   if (has_comms) {
     const std::string comms_path = CommunitiesPath(dir);
-    data.communities = LoadCommunitiesBinary(comms_path);
-    LACA_CHECK(data.communities.node_comms.size() == n,
-               comms_path + " covers " +
-                   std::to_string(data.communities.node_comms.size()) +
-                   " nodes but the graph has " + std::to_string(n));
+    // Same pre-allocation discipline: the per-node membership table is only
+    // sized after the file's node count matches the graph.
+    data.communities = LoadCommunitiesBinary(comms_path, n);
     LACA_CHECK(data.communities.members.size() == num_comms,
                comms_path + " has " +
                    std::to_string(data.communities.members.size()) +

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -12,6 +13,7 @@
 #include "common/annotations.hpp"
 #include "common/error.hpp"
 #include "common/mutex.hpp"
+#include "common/parse.hpp"
 #include "common/rng.hpp"
 #include "data/snapshot_io.hpp"
 
@@ -260,8 +262,8 @@ std::vector<NodeId> SampleSeeds(const Dataset& dataset, size_t count,
 size_t BenchSeedCount(size_t default_count) {
   const char* env = std::getenv("LACA_BENCH_SEEDS");
   if (env == nullptr) return default_count;
-  long v = std::atol(env);
-  return v > 0 ? static_cast<size_t>(v) : default_count;
+  const std::optional<uint64_t> v = ParseU64(env);
+  return (v && *v > 0) ? static_cast<size_t>(*v) : default_count;
 }
 
 }  // namespace laca

@@ -54,12 +54,40 @@ void WriteAttributesPayload(const AttributeMatrix& attrs,
   }
 }
 
-AttributeMatrix ReadAttributesPayload(BinaryReader* reader) {
+// `expected_rows` < 0 skips the row-count cross-check (trusted-cache loads
+// that have no graph to check against). When given, it is enforced BEFORE
+// any row storage is allocated so a hostile header cannot size the matrix;
+// `allow_empty` additionally accepts a 0-row section (datasets without an
+// attribute matrix embed one with zero rows).
+AttributeMatrix ReadAttributesPayload(BinaryReader* reader,
+                                      int64_t expected_rows, bool allow_empty,
+                                      const std::string& path) {
   const uint32_t n = reader->ReadU32();
   const uint32_t d = reader->ReadU32();
+  LACA_CHECK(expected_rows < 0 || n == static_cast<uint64_t>(expected_rows) ||
+                 (allow_empty && n == 0),
+             path + " has " + std::to_string(n) +
+                 " attribute rows but the graph has " +
+                 std::to_string(expected_rows) + " nodes");
+  // Every row occupies at least its u64 nnz field, so the row count can
+  // never legitimately exceed Remaining()/8 — checked before the count
+  // sizes the matrix (fuzz-found: u32-max rows in a 10-byte payload
+  // allocated ~100 GiB of empty row vectors).
+  LACA_CHECK(n <= reader->Remaining() / 8,
+             path + " declares " + std::to_string(n) +
+                 " attribute rows but only " +
+                 std::to_string(reader->Remaining()) + " payload bytes remain");
   AttributeMatrix attrs(n, d);
   for (NodeId i = 0; i < n; ++i) {
     const uint64_t nnz = reader->ReadU64();
+    // Each entry is u32 col + double val = 12 payload bytes; bound before
+    // reserve (fuzz-found: nnz = 2^60 raised std::length_error — and
+    // smaller still-huge values are allocation bombs).
+    LACA_CHECK(nnz <= reader->Remaining() / 12,
+               path + " row " + std::to_string(i) + " declares " +
+                   std::to_string(nnz) + " entries but only " +
+                   std::to_string(reader->Remaining()) +
+                   " payload bytes remain");
     std::vector<AttributeMatrix::Entry> row;
     row.reserve(nnz);
     for (uint64_t e = 0; e < nnz; ++e) {
@@ -82,9 +110,27 @@ void WriteCommunitiesPayload(const Communities& comms, NodeId num_nodes,
   }
 }
 
-Communities ReadCommunitiesPayload(BinaryReader* reader) {
+// `expected_nodes` < 0 skips the node-count cross-check. When given, it is
+// enforced BEFORE the per-node membership table is allocated — the declared
+// node count drives that allocation with no payload bytes to back it, so it
+// must never be trusted on an untrusted path.
+Communities ReadCommunitiesPayload(BinaryReader* reader,
+                                   int64_t expected_nodes,
+                                   const std::string& path) {
   const uint32_t num_nodes = reader->ReadU32();
+  LACA_CHECK(expected_nodes < 0 ||
+                 num_nodes == static_cast<uint64_t>(expected_nodes),
+             path + " covers " + std::to_string(num_nodes) +
+                 " nodes but the graph has " + std::to_string(expected_nodes));
   const uint64_t num_comms = reader->ReadU64();
+  // Every community occupies at least its u64 size field, so the community
+  // count can never legitimately exceed Remaining()/8 — checked before it
+  // drives the reserve (fuzz-found: num_comms = 2^60 raised
+  // std::length_error).
+  LACA_CHECK(num_comms <= reader->Remaining() / 8,
+             path + " declares " + std::to_string(num_comms) +
+                 " communities but only " + std::to_string(reader->Remaining()) +
+                 " payload bytes remain");
   Communities comms;
   comms.node_comms.assign(num_nodes, {});
   comms.members.reserve(num_comms);
@@ -124,7 +170,16 @@ void SaveAttributesBinary(const AttributeMatrix& attrs,
 
 AttributeMatrix LoadAttributesBinary(const std::string& path) {
   BinaryReader reader(path, BinaryKind::kAttributes);
-  AttributeMatrix attrs = ReadAttributesPayload(&reader);
+  AttributeMatrix attrs = ReadAttributesPayload(&reader, -1, false, path);
+  reader.ExpectEnd();
+  return attrs;
+}
+
+AttributeMatrix LoadAttributesBinary(const std::string& path,
+                                     NodeId expected_rows) {
+  BinaryReader reader(path, BinaryKind::kAttributes);
+  AttributeMatrix attrs =
+      ReadAttributesPayload(&reader, expected_rows, false, path);
   reader.ExpectEnd();
   return attrs;
 }
@@ -138,7 +193,15 @@ void SaveCommunitiesBinary(const Communities& comms, NodeId num_nodes,
 
 Communities LoadCommunitiesBinary(const std::string& path) {
   BinaryReader reader(path, BinaryKind::kCommunities);
-  Communities comms = ReadCommunitiesPayload(&reader);
+  Communities comms = ReadCommunitiesPayload(&reader, -1, path);
+  reader.ExpectEnd();
+  return comms;
+}
+
+Communities LoadCommunitiesBinary(const std::string& path,
+                                  NodeId expected_nodes) {
+  BinaryReader reader(path, BinaryKind::kCommunities);
+  Communities comms = ReadCommunitiesPayload(&reader, expected_nodes, path);
   reader.ExpectEnd();
   return comms;
 }
@@ -154,15 +217,14 @@ void SaveDatasetBinary(const AttributedGraph& data, const std::string& path) {
 AttributedGraph LoadDatasetBinary(const std::string& path) {
   BinaryReader reader(path, BinaryKind::kDataset);
   AttributedGraph data;
+  // The graph's node count (itself bounded by the payload via the offsets
+  // array) anchors the attribute and community sections, so their headers
+  // are cross-checked before either section allocates.
   data.graph = ReadGraphPayload(&reader);
-  data.attributes = ReadAttributesPayload(&reader);
-  data.communities = ReadCommunitiesPayload(&reader);
+  const int64_t n = data.graph.num_nodes();
+  data.attributes = ReadAttributesPayload(&reader, n, true, path);
+  data.communities = ReadCommunitiesPayload(&reader, n, path);
   reader.ExpectEnd();
-  LACA_CHECK(data.attributes.num_rows() == 0 ||
-                 data.attributes.num_rows() == data.graph.num_nodes(),
-             "attribute row count disagrees with graph in " + path);
-  LACA_CHECK(data.communities.node_comms.size() == data.graph.num_nodes(),
-             "community node count disagrees with graph in " + path);
   return data;
 }
 

@@ -31,12 +31,32 @@ void SaveAttributesBinary(const AttributeMatrix& attrs,
 /// Reads an attribute matrix written by SaveAttributesBinary.
 AttributeMatrix LoadAttributesBinary(const std::string& path);
 
+/// As above, additionally requiring exactly `expected_rows` rows — checked
+/// against the header BEFORE any row storage is allocated, so a mismatched
+/// (or hostile) file is rejected without trusting its row count. Every load
+/// path that knows its graph must use this overload.
+AttributeMatrix LoadAttributesBinary(const std::string& path,
+                                     NodeId expected_rows);
+
 /// Writes ground-truth communities (possibly overlapping) to `path`.
 void SaveCommunitiesBinary(const Communities& comms, NodeId num_nodes,
                            const std::string& path);
 
 /// Reads communities written by SaveCommunitiesBinary.
+///
+/// NOTE: the declared node count drives an allocation proportional to it
+/// (one membership list per node, including isolated nodes that occupy no
+/// payload bytes), so this unchecked overload is for TRUSTED cache files
+/// only. Untrusted paths (snapshot directories, anything reachable from the
+/// serving edge) must use the expected-nodes overload below, which validates
+/// the count before allocating. See DESIGN.md §12.
 Communities LoadCommunitiesBinary(const std::string& path);
+
+/// As above, additionally requiring the file to cover exactly
+/// `expected_nodes` nodes — checked against the header BEFORE the per-node
+/// membership table is allocated.
+Communities LoadCommunitiesBinary(const std::string& path,
+                                  NodeId expected_nodes);
 
 /// Writes a whole dataset (graph + attributes + communities) as one file.
 void SaveDatasetBinary(const AttributedGraph& data, const std::string& path);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <unordered_map>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/parse.hpp"
 #include "graph/builder.hpp"
 #include "graph/io_internal.hpp"
 
@@ -43,20 +45,21 @@ std::vector<std::string> SplitFields(const std::string& line, char sep) {
   return fields;
 }
 
+// Both go through the strict whole-token boundary (common/parse.hpp), which
+// is slightly stricter than the strtod/strtoull they replace: leading
+// whitespace, "+5", and "inf"/"nan" spellings are now rejected — none of
+// which a well-formed matrix-market or edge-list file contains.
 double ParseDouble(const std::string& tok, const std::string& where) {
-  char* end = nullptr;
-  double v = std::strtod(tok.c_str(), &end);
-  LACA_CHECK(end != tok.c_str() && *end == '\0',
-             "expected a number, got '" + tok + "' at " + where);
-  return v;
+  const std::optional<double> v = ParseF64(tok);
+  LACA_CHECK(v.has_value(), "expected a number, got '" + tok + "' at " + where);
+  return *v;
 }
 
 uint64_t ParseUint(const std::string& tok, const std::string& where) {
-  char* end = nullptr;
-  unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
-  LACA_CHECK(end != tok.c_str() && *end == '\0' && tok[0] != '-',
+  const std::optional<uint64_t> v = ParseU64(tok);
+  LACA_CHECK(v.has_value(),
              "expected a non-negative integer, got '" + tok + "' at " + where);
-  return v;
+  return *v;
 }
 
 }  // namespace

@@ -26,8 +26,15 @@ Graph::Graph(std::vector<EdgeIndex> offsets, std::vector<NodeId> adjacency,
   LACA_CHECK(weights_.empty() || weights_.size() == adjacency_.size(),
              "weights must be empty or parallel to adjacency");
   const size_t n = offsets_.size() - 1;
+  // The full offsets array must be validated before ANY adjacency indexing:
+  // with front==0 and back==size checked above, monotonicity bounds every
+  // middle offset. Fuzz-found: interleaving the two scans let offsets
+  // [0, 2, 0] over an empty adjacency read out of bounds at v=0 before the
+  // v=1 monotonicity check could reject the payload.
   for (size_t v = 0; v < n; ++v) {
     LACA_CHECK(offsets_[v] <= offsets_[v + 1], "offsets must be non-decreasing");
+  }
+  for (size_t v = 0; v < n; ++v) {
     for (EdgeIndex e = offsets_[v]; e + 1 < offsets_[v + 1]; ++e) {
       LACA_CHECK(adjacency_[e] < adjacency_[e + 1],
                  "adjacency lists must be sorted and duplicate-free");

@@ -1,5 +1,6 @@
 #include "server/protocol.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <limits>
@@ -28,10 +29,39 @@ std::vector<std::string_view> SplitTokens(std::string_view line) {
   return tokens;
 }
 
+// Echoing the offending token back is the only way a client learns WHICH
+// byte sequence the server rejected, but the token is attacker-controlled:
+// raw control bytes would reach the single-line wire response and operator
+// logs (fuzz-found: 0x01 and even '\n' pass SplitTokens, which only strips
+// space/tab/CR). Escape everything outside printable ASCII as \xNN and cap
+// the echo so a 16 KiB garbage line cannot reflect as a 16 KiB error.
+std::string SanitizeToken(std::string_view tok) {
+  // Cap is on OUTPUT bytes (escapes are 4 wide), so an all-control token
+  // cannot quadruple its way past the response-size roof.
+  constexpr size_t kMaxEcho = 48;
+  std::string out;
+  out.reserve(std::min(tok.size(), kMaxEcho) + 8);
+  for (const char c : tok) {
+    if (out.size() >= kMaxEcho) {
+      out += "...";
+      break;
+    }
+    const auto b = static_cast<unsigned char>(c);
+    if (b >= 0x20 && b < 0x7f && c != '\'') {
+      out.push_back(c);
+    } else {
+      char esc[8];
+      std::snprintf(esc, sizeof(esc), "\\x%02x", b);
+      out += esc;
+    }
+  }
+  return out;
+}
+
 ParsedLine Malformed(std::string_view tok, const char* what) {
   ParsedLine out;
   out.kind = ParsedLine::Kind::kError;
-  out.error = std::string("bad ") + what + " '" + std::string(tok) + "'";
+  out.error = std::string("bad ") + what + " '" + SanitizeToken(tok) + "'";
   return out;
 }
 

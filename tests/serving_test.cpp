@@ -1002,6 +1002,26 @@ TEST(ServingProtocolTest, RejectsMalformedLines) {
   }
 }
 
+TEST(ServingProtocolTest, MalformedDiagnosticsAreSanitizedAndBounded) {
+  // Fuzz-found (tests/fuzz_corpora/fuzz_protocol/regression-ctrl-echo.bin):
+  // a rejected token's raw bytes were echoed verbatim into the ERR line, so
+  // control bytes reached the single-line wire protocol and operator logs.
+  ParsedLine ctrl = ParseRequestLine(std::string("0\x01 5"));
+  ASSERT_EQ(ctrl.kind, ParsedLine::Kind::kError);
+  for (unsigned char c : ctrl.error) {
+    EXPECT_TRUE(c >= 0x20 && c < 0x7f) << "raw byte " << int(c) << " escaped";
+  }
+  EXPECT_NE(ctrl.error.find("\\x01"), std::string::npos) << ctrl.error;
+
+  // Fuzz-found (regression-unbounded-echo.bin): a garbage line below two
+  // tokens echoed the WHOLE line, making the ERR response size track the
+  // request size.
+  ParsedLine huge = ParseRequestLine(std::string(5000, 'A'));
+  ASSERT_EQ(huge.kind, ParsedLine::Kind::kError);
+  EXPECT_LE(huge.error.size(), 128u);
+  EXPECT_NE(huge.error.find("..."), std::string::npos) << huge.error;
+}
+
 TEST(ServingProtocolTest, ParsesTimeoutField) {
   ParsedLine p = ParseRequestLine("3 10 timeout_ms=250");
   ASSERT_EQ(p.kind, ParsedLine::Kind::kRequest) << p.error;

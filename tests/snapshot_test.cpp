@@ -13,7 +13,9 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <span>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -21,8 +23,10 @@
 
 #include "attr/tnam_io.hpp"
 #include "common/fault_injection.hpp"
+#include "common/fuzz_replay.hpp"
 #include "data/dataset_snapshot.hpp"
 #include "data/snapshot_io.hpp"
+#include "fuzz_common.hpp"
 #include "graph/builder.hpp"
 
 namespace laca {
@@ -265,46 +269,40 @@ TEST_F(SnapshotIoTest, RoundTripsTopologyOnlySnapshot) {
   EXPECT_EQ(loaded->graph().num_nodes(), 6u);
 }
 
-TEST_F(SnapshotIoTest, EveryManifestByteFlipIsRejected) {
+TEST_F(SnapshotIoTest, EveryManifestCorruptionIsRejected) {
+  // The shared deterministic sweep (common/fuzz_replay): every single-byte
+  // flip, every truncation, and trailing extensions of a valid manifest.
+  // The CRC covers flips, the declared-size check covers truncation AND
+  // oversize, so no mutation may load — and none may escape as anything
+  // other than the documented invalid_argument.
   SaveSnapshot(*MakeSnapshot(1), snap_dir_);
   const std::string manifest = snap_dir_ + "/manifest.laca";
-  std::vector<char> original;
-  {
-    std::ifstream in(manifest, std::ios::binary);
-    original.assign((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  }
+  const std::vector<uint8_t> original = fuzz::ReadFileBytes(manifest);
   ASSERT_FALSE(original.empty());
-  for (size_t pos = 0; pos < original.size(); ++pos) {
-    std::vector<char> mutated = original;
-    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x5A);
-    {
-      std::ofstream out(manifest, std::ios::binary | std::ios::trunc);
-      out.write(mutated.data(),
-                static_cast<std::streamsize>(mutated.size()));
-    }
-    EXPECT_THROW(LoadSnapshot(snap_dir_), std::invalid_argument)
-        << "manifest flip at byte " << pos << " was accepted";
-  }
+  fuzz::ExhaustiveByteSweep(
+      original, [&](std::span<const uint8_t> data, const std::string& what) {
+        {
+          std::ofstream out(manifest, std::ios::binary | std::ios::trunc);
+          out.write(reinterpret_cast<const char*>(data.data()),
+                    static_cast<std::streamsize>(data.size()));
+        }
+        EXPECT_THROW(LoadSnapshot(snap_dir_), std::invalid_argument)
+            << "mutated manifest (" << what << ") was accepted";
+      });
 }
 
-TEST_F(SnapshotIoTest, EveryManifestTruncationIsRejected) {
-  SaveSnapshot(*MakeSnapshot(1), snap_dir_);
-  const std::string manifest = snap_dir_ + "/manifest.laca";
-  std::vector<char> original;
-  {
-    std::ifstream in(manifest, std::ios::binary);
-    original.assign((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  }
-  for (size_t keep = 0; keep < original.size(); ++keep) {
-    {
-      std::ofstream out(manifest, std::ios::binary | std::ios::trunc);
-      out.write(original.data(), static_cast<std::streamsize>(keep));
-    }
-    EXPECT_THROW(LoadSnapshot(snap_dir_), std::invalid_argument)
-        << "manifest truncated to " << keep << " bytes was accepted";
-  }
+TEST_F(SnapshotIoTest, ManifestFuzzCorpusReplays) {
+  // Drives the checked-in fuzz_manifest corpus (valid seeds AND frozen
+  // fuzz-found regressions) through the actual fuzz harness entry point, so
+  // tier-1 re-litigates every manifest bug the fuzzers ever found even when
+  // no libFuzzer toolchain is present. The harness aborts on a violation.
+  const size_t replayed = fuzz::ReplayCorpusDir(
+      LACA_FUZZ_CORPORA_DIR "/fuzz_manifest",
+      [](std::span<const uint8_t> data, const std::string& what) {
+        laca::fuzz_harness::g_current_input = what;
+        LLVMFuzzerTestOneInput(data.data(), data.size());
+      });
+  EXPECT_GE(replayed, 6u) << "fuzz_manifest corpus missing or empty";
 }
 
 TEST_F(SnapshotIoTest, MissingComponentsAreRejectedWithTheirPath) {

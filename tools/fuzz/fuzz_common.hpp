@@ -1,0 +1,121 @@
+// Shared glue for the libFuzzer harnesses (DESIGN.md §12).
+//
+// Every target in this directory is ONE LLVMFuzzerTestOneInput definition,
+// built two ways: a clang `-fsanitize=fuzzer,address,undefined` binary for
+// coverage-guided exploration, and a plain deterministic replayer (any
+// compiler, replay_main.cpp) that drives the checked-in corpus in
+// tests/fuzz_corpora/<target>/ plus a seeded mutation budget from tier-1
+// ctest. Targets report violations through Die(), which persists the exact
+// offending input as a reproducer file before aborting — the file drops
+// straight into the corpus directory once minimized.
+#ifndef LACA_TOOLS_FUZZ_FUZZ_COMMON_HPP_
+#define LACA_TOOLS_FUZZ_FUZZ_COMMON_HPP_
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hpp"
+
+// The single fuzz entry point each target defines (libFuzzer ABI).
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace laca {
+namespace fuzz_harness {
+
+/// Description of the input currently in flight ("corpus:foo.bin", "mut#42").
+/// Set by replay_main before each LLVMFuzzerTestOneInput call so Die() can
+/// say which replay step produced the violation; empty under libFuzzer.
+inline std::string g_current_input;  // NOLINT(misc-definitions-in-headers)
+
+/// FNV-1a, used only to give reproducer files stable, collision-unlikely
+/// names.
+inline uint64_t Fingerprint(std::span<const uint8_t> data) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Reports a harness-invariant violation: writes the offending input to
+/// `repro-<target>-<hash>.bin` in the working directory, explains how to
+/// replay it, and aborts (which both libFuzzer and ctest treat as a crash).
+[[noreturn]] inline void Die(const char* target,
+                             std::span<const uint8_t> input,
+                             const std::string& why) {
+  char name[128];
+  std::snprintf(name, sizeof(name), "repro-%s-%016llx.bin", target,
+                static_cast<unsigned long long>(Fingerprint(input)));
+  std::ofstream out(name, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(input.data()),
+            static_cast<std::streamsize>(input.size()));
+  out.close();
+  std::fprintf(stderr,
+               "%s: INVARIANT VIOLATION%s%s: %s\n"
+               "%s: reproducer written to %s (replay: %s_replay "
+               "--corpus=<dir containing it> --mutations=0; keep it in "
+               "tests/fuzz_corpora/%s/ once minimized)\n",
+               target, g_current_input.empty() ? "" : " at ",
+               g_current_input.c_str(), why.c_str(), target, name, target,
+               target);
+  std::abort();
+}
+
+/// Per-process scratch directory for targets that must round-trip through
+/// the filesystem (manifest/tnam/container decoding). Created on first use,
+/// removed at exit.
+inline const std::string& ScratchDir(const char* target) {
+  static const std::string dir = [target] {
+    std::string d = (std::filesystem::temp_directory_path() /
+                     ("laca_" + std::string(target) + "_" +
+                      std::to_string(::getpid())))
+                        .string();
+    std::filesystem::create_directories(d);
+    std::atexit([] {});  // keep static destruction order trivial
+    return d;
+  }();
+  return dir;
+}
+
+/// Writes `bytes` to `path`, truncating.
+inline void WriteFile(const std::string& path,
+                      std::span<const uint8_t> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Wraps `payload` in a valid checksummed container (magic, version, kind,
+/// size, CRC all correct) so mutated payloads reach the payload-schema code
+/// instead of dying at the checksum — the structure-aware half of every
+/// container-format target. Corpus entries choose raw or wrapped mode via
+/// their first byte.
+inline std::vector<uint8_t> WrapContainer(BinaryKind kind,
+                                          std::span<const uint8_t> payload) {
+  std::vector<uint8_t> file = {'L', 'A', 'C', 'A', 'B', 'I', 'N', '\0'};
+  auto append_le = [&file](uint64_t v, int bytes) {
+    for (int b = 0; b < bytes; ++b) {
+      file.push_back(static_cast<uint8_t>(v >> (8 * b)));
+    }
+  };
+  append_le(1, 4);  // container version
+  file.push_back(static_cast<uint8_t>(kind));
+  append_le(payload.size(), 8);
+  file.insert(file.end(), payload.begin(), payload.end());
+  append_le(Crc32(file), 4);
+  return file;
+}
+
+}  // namespace fuzz_harness
+}  // namespace laca
+
+#endif  // LACA_TOOLS_FUZZ_FUZZ_COMMON_HPP_

@@ -1,0 +1,131 @@
+// Fuzz target: the snapshot manifest loader (data/snapshot_io.cpp), against
+// a staged directory of VALID component files.
+//
+// The harness stages a fixed tiny snapshot's components once per process
+// (ring graph n=8, 8x4 attributes, 2 communities, one k=3 TNAM — the same
+// shape make_seed_corpora.py freezes as the valid-manifest seed), then each
+// input becomes the manifest: byte 0 is a mode byte (bit 0 wraps the body in
+// a valid kManifest container so mutations reach the payload schema), the
+// rest is written to <dir>/manifest.laca and ReadSnapshotDir is invoked.
+//
+// Invariants:
+//   - The loader is total over arbitrary manifest bytes: only
+//     std::invalid_argument escapes. Anything else (length_error from an
+//     unbounded reserve of a u64 count field, bad_alloc) is the
+//     allocation-bomb class this target exists to catch.
+//   - An accepted snapshot is internally consistent: component shapes match
+//     the staged fixture (the cross-checks actually ran).
+#include <algorithm>
+#include <cstdint>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <typeinfo>
+#include <vector>
+
+#include "attr/tnam_io.hpp"
+#include "data/snapshot_io.hpp"
+#include "fuzz_common.hpp"
+#include "graph/binary_io.hpp"
+
+namespace {
+
+constexpr size_t kMaxBody = 1 << 15;
+constexpr laca::NodeId kNodes = 8;
+
+// Stages the component files (everything except the manifest) into a scratch
+// snapshot directory, once per process. Returns the directory.
+const std::string& StagedDir() {
+  static const std::string dir = [] {
+    using laca::NodeId;
+    const std::string d = laca::fuzz_harness::ScratchDir("fuzz_manifest");
+
+    std::vector<laca::EdgeIndex> offsets(kNodes + 1);
+    std::vector<NodeId> adjacency;
+    for (NodeId v = 0; v < kNodes; ++v) {
+      offsets[v] = adjacency.size();
+      const NodeId prev = (v + kNodes - 1) % kNodes;
+      const NodeId next = (v + 1) % kNodes;
+      adjacency.push_back(std::min(prev, next));
+      adjacency.push_back(std::max(prev, next));
+    }
+    offsets[kNodes] = adjacency.size();
+    laca::Graph graph(std::move(offsets), std::move(adjacency), {});
+    laca::SaveGraphBinary(graph, d + "/graph.laca");
+
+    laca::AttributeMatrix attrs(kNodes, 4);
+    for (NodeId i = 0; i < kNodes; ++i) {
+      attrs.SetRow(i, {{i % 4u, 1.0 + 0.25 * i}});
+    }
+    laca::SaveAttributesBinary(attrs, d + "/attributes.laca");
+
+    laca::Communities comms;
+    comms.members = {{0, 1, 2, 3}, {4, 5, 6, 7}};
+    comms.node_comms.resize(kNodes);
+    for (NodeId v = 0; v < kNodes; ++v) comms.node_comms[v] = {v / 4u};
+    laca::SaveCommunitiesBinary(comms, kNodes, d + "/communities.laca");
+
+    laca::DenseMatrix z(kNodes, 3);
+    for (size_t i = 0; i < z.rows(); ++i) {
+      for (size_t j = 0; j < z.cols(); ++j) {
+        z.Row(i)[j] = 0.1 * static_cast<double>(i + 1) +
+                      0.01 * static_cast<double>(j);
+      }
+    }
+    laca::SaveTnamBinary(laca::Tnam::FromMatrix(std::move(z)),
+                         d + "/tnam_k3.laca");
+    return d;
+  }();
+  return dir;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using laca::fuzz_harness::Die;
+  using laca::fuzz_harness::WrapContainer;
+  using laca::fuzz_harness::WriteFile;
+  if (size == 0) return 0;
+  if (size > kMaxBody) size = kMaxBody;
+  const std::span<const uint8_t> input(data, size);
+  const uint8_t mode = data[0];
+  const std::span<const uint8_t> body = input.subspan(1);
+
+  const std::string& dir = StagedDir();
+  if (mode & 1) {
+    WriteFile(dir + "/manifest.laca",
+              WrapContainer(laca::BinaryKind::kManifest, body));
+  } else {
+    WriteFile(dir + "/manifest.laca", body);
+  }
+
+  try {
+    const laca::SnapshotContents contents = laca::ReadSnapshotDir(dir);
+    // Acceptance means every cross-check passed against the staged fixture.
+    // A manifest may legitimately declare attrs/comms/TNAMs absent (the
+    // loader then skips them), but whatever it DID load must be the
+    // fixture's shape — mismatched shapes mean a cross-check didn't run.
+    if (contents.data->graph.num_nodes() != kNodes ||
+        contents.data->graph.num_edges() != kNodes) {
+      Die("fuzz_manifest", input, "accepted manifest loaded a wrong graph");
+    }
+    if (contents.data->attributes.num_rows() != 0 &&
+        contents.data->attributes.num_rows() != kNodes) {
+      Die("fuzz_manifest", input,
+          "accepted manifest loaded mismatched attributes");
+    }
+    for (const laca::PreparedTnam& pt : contents.tnams) {
+      if (pt.k != 3 || pt.tnam.num_rows() != kNodes) {
+        Die("fuzz_manifest", input,
+            "accepted manifest loaded a mismatched TNAM");
+      }
+    }
+  } catch (const std::invalid_argument&) {
+    // The documented rejection path — fine.
+  } catch (const std::exception& e) {
+    Die("fuzz_manifest", input,
+        std::string("loader escaped the invalid_argument contract with ") +
+            typeid(e).name() + ": " + e.what());
+  }
+  return 0;
+}

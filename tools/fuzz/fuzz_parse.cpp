@@ -1,0 +1,96 @@
+// Fuzz target: the strict whole-token numeric parsers (common/parse.hpp),
+// cross-checked against the C library's strtoull/strtod semantics.
+//
+// The input is treated as one token. Invariants:
+//   - ParseU64/ParseF64 never throw (they are the no-throw boundary the
+//     request protocol and dataset loaders depend on).
+//   - When ParseU64 accepts, the token is pure ASCII digits and strtoull
+//     agrees on the value — the parsers are strictly *stricter* than libc,
+//     never differently-valued.
+//   - Completeness: a pure-digit token in uint64_t range MUST be accepted
+//     (rejecting valid input is as much a bug as accepting garbage).
+//   - When ParseF64 accepts, the value is finite and bitwise-identical to
+//     glibc's correctly-rounded strtod of the same token, which must consume
+//     the whole token. errno is deliberately not compared: glibc raises
+//     ERANGE for subnormal results that from_chars delivers silently.
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "common/parse.hpp"
+#include "fuzz_common.hpp"
+
+namespace {
+
+constexpr size_t kMaxToken = 1 << 16;
+
+bool AllDigits(const std::string& tok) {
+  if (tok.empty()) return false;
+  for (unsigned char c : tok) {
+    if (!std::isdigit(c)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using laca::fuzz_harness::Die;
+  if (size > kMaxToken) size = kMaxToken;
+  const std::span<const uint8_t> input(data, size);
+  // NUL-terminated copy for the libc reference parsers. A token with an
+  // embedded NUL can never be accepted by the whole-token parsers (from_chars
+  // stops at the NUL), so truncated libc parsing of such tokens is moot.
+  const std::string tok(reinterpret_cast<const char*>(data), size);
+
+  const std::optional<uint64_t> u = laca::ParseU64(tok);
+  if (u) {
+    if (!AllDigits(tok)) {
+      Die("fuzz_parse", input, "ParseU64 accepted a non-digit token");
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long ref =
+        std::strtoull(tok.c_str(), &end, 10);  // laca-lint: allow(raw-parse)
+    if (errno == ERANGE || end != tok.c_str() + tok.size() || ref != *u) {
+      Die("fuzz_parse", input,
+          "ParseU64 accepted '" + tok + "' as " + std::to_string(*u) +
+              " but strtoull disagrees");
+    }
+  } else if (AllDigits(tok)) {
+    // Completeness: only out-of-range pure-digit tokens may be rejected.
+    errno = 0;
+    char* end = nullptr;
+    std::strtoull(tok.c_str(), &end, 10);  // laca-lint: allow(raw-parse)
+    if (errno != ERANGE) {
+      Die("fuzz_parse", input,
+          "ParseU64 rejected the in-range digit token '" + tok + "'");
+    }
+  }
+
+  const std::optional<double> f = laca::ParseF64(tok);
+  if (f) {
+    if (!std::isfinite(*f)) {
+      Die("fuzz_parse", input, "ParseF64 returned a non-finite value");
+    }
+    if (tok.find('\0') != std::string::npos) {
+      Die("fuzz_parse", input, "ParseF64 accepted an embedded NUL");
+    }
+    char* end = nullptr;
+    const double ref =
+        std::strtod(tok.c_str(), &end);  // laca-lint: allow(raw-parse)
+    if (end != tok.c_str() + tok.size()) {
+      Die("fuzz_parse", input,
+          "ParseF64 accepted '" + tok + "' but strtod stops early");
+    }
+    if (std::memcmp(&ref, &*f, sizeof(double)) != 0) {
+      Die("fuzz_parse", input,
+          "ParseF64 and strtod disagree on '" + tok + "'");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Fuzz target: the laca_serve request-line parser and response renderers.
+//
+// The input is one wire line (truncated at the first '\n', exactly as the
+// serving loop's line reader frames it). Invariants:
+//   - ParseRequestLine never throws: every malformed line must come back as
+//     Kind::kError with a diagnostic, because an exception on the request
+//     path would tear down the whole connection loop.
+//   - Render/reparse stability: a successfully parsed request, re-rendered
+//     canonically, parses back to bitwise-identical fields — the wire form
+//     is a fixed point, so proxies may re-emit what they parsed.
+//   - Response hygiene: the ERR line built from a malformed request is a
+//     single line of printable ASCII with a bounded length, no matter what
+//     bytes the client sent. The diagnostic echoes the offending token, so
+//     an unsanitized echo would let a client inject newlines (protocol
+//     framing breaks) or terminal escapes into operator logs.
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "fuzz_common.hpp"
+#include "server/protocol.hpp"
+
+namespace {
+
+constexpr size_t kMaxLine = 1 << 14;
+
+// Renders the canonical wire form of a parsed request: overrides appear only
+// when set (sentinels are not representable on the wire), doubles at %.17g so
+// reparsing restores the exact bits.
+std::string RenderRequest(const laca::ServeRequest& r) {
+  char buf[64];
+  std::string out = std::to_string(r.seed);
+  out += ' ';
+  out += std::to_string(r.size);
+  const auto add = [&out, &buf](const char* key, double v) {
+    std::snprintf(buf, sizeof(buf), " %s=%.17g", key, v);
+    out += buf;
+  };
+  if (r.alpha >= 0.0) add("alpha", r.alpha);
+  if (r.epsilon >= 0.0) add("eps", r.epsilon);
+  if (r.sigma >= 0.0) add("sigma", r.sigma);
+  if (r.k >= 0) {
+    out += " k=";
+    out += std::to_string(r.k);
+  }
+  if (r.timeout_ms >= 0.0) add("timeout_ms", r.timeout_ms);
+  return out;
+}
+
+bool BitEq(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using laca::fuzz_harness::Die;
+  if (size > kMaxLine) size = kMaxLine;
+  const std::span<const uint8_t> input(data, size);
+  std::string_view line(reinterpret_cast<const char*>(data), size);
+  line = line.substr(0, line.find('\n'));
+
+  laca::ParsedLine parsed;
+  try {
+    parsed = laca::ParseRequestLine(line);
+  } catch (const std::exception& e) {
+    Die("fuzz_protocol", input,
+        std::string("ParseRequestLine threw: ") + e.what());
+  }
+
+  if (parsed.kind == laca::ParsedLine::Kind::kRequest) {
+    const std::string wire = RenderRequest(parsed.request);
+    const laca::ParsedLine again = laca::ParseRequestLine(wire);
+    if (again.kind != laca::ParsedLine::Kind::kRequest) {
+      Die("fuzz_protocol", input,
+          "re-rendered request '" + wire + "' failed to reparse: " +
+              again.error);
+    }
+    const laca::ServeRequest& a = parsed.request;
+    const laca::ServeRequest& b = again.request;
+    if (a.seed != b.seed || a.size != b.size || !BitEq(a.alpha, b.alpha) ||
+        !BitEq(a.epsilon, b.epsilon) || !BitEq(a.sigma, b.sigma) ||
+        a.k != b.k || !BitEq(a.timeout_ms, b.timeout_ms)) {
+      Die("fuzz_protocol", input,
+          "render/reparse of '" + wire + "' changed a field");
+    }
+  } else if (parsed.kind == laca::ParsedLine::Kind::kError) {
+    laca::ServeResponse response;
+    response.status = laca::ServeStatus::kInvalid;
+    response.error = parsed.error;
+    const std::string err_line = laca::FormatResponse(7, response);
+    for (unsigned char c : err_line) {
+      if (c < 0x20 || c >= 0x7f) {
+        char why[96];
+        std::snprintf(why, sizeof(why),
+                      "ERR line echoes unsanitized byte 0x%02x "
+                      "(newline/escape injection)",
+                      c);
+        Die("fuzz_protocol", input, why);
+      }
+    }
+    // "ERR id=7 code=invalid msg=" + a bounded diagnostic. The parser caps
+    // the echoed token, so the whole line must stay under this roof even for
+    // a kMaxLine-sized garbage request.
+    if (err_line.size() > 256) {
+      Die("fuzz_protocol", input,
+          "ERR diagnostic is unbounded (" + std::to_string(err_line.size()) +
+              " bytes)");
+    }
+  }
+  return 0;
+}

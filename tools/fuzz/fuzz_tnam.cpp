@@ -1,0 +1,78 @@
+// Fuzz target: the TNAM binary loader, with and without the expected-rows
+// cross-check that every graph-aware load path relies on.
+//
+// Input framing: byte 0 is a mode byte, the rest is the file body. Bit 0
+// wraps the body in a valid kTnam container (see fuzz_serialize.cpp for the
+// rationale); bit 1 selects the LoadTnamBinary(path, expected_rows) overload
+// with expected_rows = 8.
+//
+// Invariants:
+//   - The loader is total: only std::invalid_argument escapes.
+//   - An accepted TNAM is self-consistent: num_rows() equals the Z matrix's
+//     actual row count (a u64 header field that truncates into the NodeId
+//     accessor would pass every downstream == check while the matrix is a
+//     different size), rows * dim equals the stored element count, and the
+//     expected-rows overload returned exactly expected_rows.
+#include <cstdint>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <typeinfo>
+
+#include "attr/tnam_io.hpp"
+#include "fuzz_common.hpp"
+
+namespace {
+
+constexpr size_t kMaxBody = 1 << 15;
+constexpr laca::NodeId kExpectedRows = 8;
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using laca::fuzz_harness::Die;
+  using laca::fuzz_harness::ScratchDir;
+  using laca::fuzz_harness::WrapContainer;
+  using laca::fuzz_harness::WriteFile;
+  if (size == 0) return 0;
+  if (size > kMaxBody) size = kMaxBody;
+  const std::span<const uint8_t> input(data, size);
+  const uint8_t mode = data[0];
+  const std::span<const uint8_t> body = input.subspan(1);
+
+  const std::string path = ScratchDir("fuzz_tnam") + "/input.laca";
+  if (mode & 1) {
+    WriteFile(path, WrapContainer(laca::BinaryKind::kTnam, body));
+  } else {
+    WriteFile(path, body);
+  }
+  const bool checked = (mode & 2) != 0;
+
+  try {
+    laca::Tnam tnam = checked ? laca::LoadTnamBinary(path, kExpectedRows)
+                              : laca::LoadTnamBinary(path);
+    if (static_cast<uint64_t>(tnam.num_rows()) != tnam.z().rows()) {
+      Die("fuzz_tnam", input,
+          "num_rows() (" + std::to_string(tnam.num_rows()) +
+              ") disagrees with the Z matrix (" +
+              std::to_string(tnam.z().rows()) +
+              " rows) — a row count wider than NodeId was accepted");
+    }
+    if (tnam.z().rows() * tnam.z().cols() != tnam.z().data().size()) {
+      Die("fuzz_tnam", input, "accepted TNAM has a torn Z matrix");
+    }
+    if (checked && tnam.num_rows() != kExpectedRows) {
+      Die("fuzz_tnam", input,
+          "expected-rows overload returned " +
+              std::to_string(tnam.num_rows()) + " rows, wanted " +
+              std::to_string(kExpectedRows));
+    }
+  } catch (const std::invalid_argument&) {
+    // The documented rejection path — fine.
+  } catch (const std::exception& e) {
+    Die("fuzz_tnam", input,
+        std::string("loader escaped the invalid_argument contract with ") +
+            typeid(e).name() + ": " + e.what());
+  }
+  return 0;
+}

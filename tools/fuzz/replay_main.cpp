@@ -1,0 +1,78 @@
+// Deterministic replayer main shared by every fuzz target (DESIGN.md §12).
+//
+// Linked against one fuzz_*.cpp TU to produce <target>_replay: runs every
+// file in --corpus= through LLVMFuzzerTestOneInput, then spends a seeded
+// in-process mutation budget using the corpus files as seeds. Compiles under
+// any C++20 compiler — no libFuzzer runtime required — so tier-1 ctest
+// exercises the corpora and mutator on g++ alone.
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/fuzz_replay.hpp"
+#include "common/parse.hpp"
+#include "fuzz_common.hpp"
+
+namespace {
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --corpus=DIR [--mutations=N] [--seed=S]\n"
+               "Replays every file in DIR through the fuzz target, then runs\n"
+               "N deterministic mutations (default 0) seeded from S "
+               "(default 1).\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string corpus_dir;
+  uint64_t mutations = 0;
+  uint64_t seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--corpus=", 0) == 0) {
+      corpus_dir = arg.substr(9);
+    } else if (arg.rfind("--mutations=", 0) == 0) {
+      const auto v = laca::ParseU64(arg.substr(12));
+      if (!v) Usage(argv[0]);
+      mutations = *v;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      const auto v = laca::ParseU64(arg.substr(7));
+      if (!v) Usage(argv[0]);
+      seed = *v;
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  if (corpus_dir.empty()) Usage(argv[0]);
+
+  std::vector<std::vector<uint8_t>> seeds;
+  const auto run_one = [](std::span<const uint8_t> data,
+                          const std::string& what) {
+    laca::fuzz_harness::g_current_input = what;
+    LLVMFuzzerTestOneInput(data.data(), data.size());
+  };
+
+  const size_t replayed = laca::fuzz::ReplayCorpusDir(
+      corpus_dir, [&](std::span<const uint8_t> data, const std::string& what) {
+        run_one(data, what);
+        seeds.emplace_back(data.begin(), data.end());
+      });
+  if (replayed == 0) {
+    std::fprintf(stderr,
+                 "%s: corpus directory '%s' is missing or empty — each target "
+                 "must ship seed inputs in tests/fuzz_corpora/\n",
+                 argv[0], corpus_dir.c_str());
+    return 1;
+  }
+  laca::fuzz::MutationBudget(seeds, seed, mutations, run_one);
+  std::printf("%s: OK (%zu corpus files, %llu mutations, seed %llu)\n",
+              argv[0], replayed, static_cast<unsigned long long>(mutations),
+              static_cast<unsigned long long>(seed));
+  return 0;
+}

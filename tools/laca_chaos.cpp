@@ -60,10 +60,12 @@
 #include <optional>
 #include <random>
 #include <sstream>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "attr/tnam.hpp"
+#include "common/parse.hpp"
 #include "data/dataset_snapshot.hpp"
 #include "data/snapshot_io.hpp"
 #include "eval/datasets.hpp"
@@ -78,6 +80,17 @@ using laca::SaveSnapshot;
 using laca::Tnam;
 using laca::TnamOptions;
 using SteadyClock = std::chrono::steady_clock;
+
+// Strict prefix parse: the leading digit run of `s` (after optional blanks)
+// through laca::ParseU64. Returns 0 when no digits lead — every caller
+// treats 0 as "absent/unparsed", matching the old strtoul behavior here.
+uint64_t LeadingU64(const char* s) {
+  size_t i = 0;
+  while (s[i] == ' ' || s[i] == '\t') ++i;
+  const size_t begin = i;
+  while (s[i] >= '0' && s[i] <= '9') ++i;
+  return laca::ParseU64(std::string_view(s + begin, i - begin)).value_or(0);
+}
 
 struct ChaosOptions {
   uint64_t seed = 1;
@@ -270,7 +283,7 @@ class ServerProcess {
           const size_t pos = line.find(needle);
           if (pos != std::string::npos) {
             return static_cast<int>(
-                std::strtol(line.c_str() + pos + needle.size(), nullptr, 10));
+                LeadingU64(line.c_str() + pos + needle.size()));
           }
         }
       }
@@ -319,7 +332,7 @@ class ServerProcess {
     std::string line;
     while (std::getline(in, line)) {
       if (line.rfind("Threads:", 0) == 0) {
-        return std::strtoll(line.c_str() + 8, nullptr, 10);
+        return static_cast<long long>(LeadingU64(line.c_str() + 8));
       }
     }
     return 0;
@@ -368,7 +381,7 @@ std::optional<uint64_t> TokenU64(const std::string& line,
   const std::string needle = " " + key;
   const size_t pos = line.find(needle);
   if (pos == std::string::npos) return std::nullopt;
-  return std::strtoull(line.c_str() + pos + needle.size(), nullptr, 10);
+  return LeadingU64(line.c_str() + pos + needle.size());
 }
 
 std::string JsonEscape(const std::string& s) {
@@ -451,9 +464,10 @@ bool ParseArgs(int argc, char** argv, ChaosOptions& opts) {
     const std::string key = arg.substr(0, eq);
     const std::string value = eq == std::string::npos ? "" : arg.substr(eq + 1);
     if (key == "--seed") {
-      opts.seed = std::strtoull(value.c_str(), nullptr, 10);
+      opts.seed = laca::ParseU64(value).value_or(opts.seed);
     } else if (key == "--storm-ms") {
-      opts.storm_ms = static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+      const uint64_t ms = laca::ParseU64(value).value_or(0);
+      opts.storm_ms = ms > 600000 ? 600000 : static_cast<int>(ms);
       if (opts.storm_ms < 500) opts.storm_ms = 500;
     } else if (key == "--serve") {
       opts.serve_bin = value;

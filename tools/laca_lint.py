@@ -27,6 +27,12 @@ encodes the contracts as source rules (DESIGN.md §10):
   iostream       src/: no std::cout — library code must not write to stdout
                  (the serving protocol owns it); diagnostics go to stderr via
                  std::fprintf at the tool layer.
+  raw-parse      src/ and tools/: no std::stoi/stoul/stod family, no atoi/
+                 strtol family — they accept leading whitespace and trailing
+                 garbage, wrap negatives into huge unsigned values, and throw
+                 context-free exceptions. All numeric text crosses the strict
+                 whole-token boundary in common/parse.hpp (itself exempt),
+                 which is also what the fuzz_parse harness differential-tests.
 
 Escapes: a line ending in `// laca-lint: allow(<rule>)` is exempt from
 <rule> on that line. Escapes are counted and reported so the gate shows how
@@ -37,8 +43,8 @@ are blanked (newlines preserved) before rules run, so `// calls rand()` and
 `"rand()"` never fire. No AST, no compiler — fast enough for a pre-commit.
 
 Usage: laca_lint.py [--root DIR] [FILE...]
-  With no FILEs, lints every .cpp/.hpp under DIR/src (default: the repo this
-  script lives in). Exits 1 on violations, 0 otherwise.
+  With no FILEs, lints every .cpp/.hpp under DIR/src and DIR/tools (default:
+  the repo this script lives in). Exits 1 on violations, 0 otherwise.
 """
 
 import argparse
@@ -49,6 +55,8 @@ import sys
 KERNEL_DIRS = ("src/diffusion", "src/la", "src/attr")
 ALLOC_EXEMPT = ("src/common/diffusion_workspace.cpp",
                 "src/common/diffusion_workspace.hpp")
+# The one place raw parsing is allowed: the strict wrappers themselves.
+PARSE_EXEMPT = ("src/common/parse.hpp",)
 
 ALLOW_RE = re.compile(r"//\s*laca-lint:\s*allow\(([a-z-]+)\)")
 
@@ -95,6 +103,19 @@ RULES = [
         re.compile(r"\bstd::cout\b"),
         "stdout write in library code; the serving protocol owns stdout — "
         "diagnostics go to stderr at the tool layer",
+    ),
+    (
+        "raw-parse",
+        ("src", "tools"),
+        re.compile(
+            r"\bstd::sto(?:i|l|ll|ul|ull|f|d|ld)\b"
+            r"|(?<![.\w>])(?:std::)?"
+            r"(?:atoi|atol|atoll|atof|strto(?:l|ll|ul|ull|f|d|ld|imax|umax))"
+            r"\s*\("
+        ),
+        "raw numeric parsing outside common/parse.hpp; use laca::ParseU64/"
+        "ParseF64 — whole-token, no sign wrap, no leading whitespace, no "
+        "exceptions",
     ),
 ]
 
@@ -176,6 +197,8 @@ def lint_file(path, relpath):
             continue
         if name == "naked-alloc" and relpath in ALLOC_EXEMPT:
             continue
+        if name == "raw-parse" and relpath in PARSE_EXEMPT:
+            continue
         for lineno, line in enumerate(stripped_lines, start=1):
             if not pattern.search(line):
                 continue
@@ -191,10 +214,13 @@ def lint_file(path, relpath):
 
 def collect_files(root):
     files = []
-    for dirpath, _, names in os.walk(os.path.join(root, "src")):
-        for fname in sorted(names):
-            if fname.endswith((".cpp", ".hpp")):
-                files.append(os.path.join(dirpath, fname))
+    # tools/ is walked alongside src/ for the rules scoped to it (raw-parse);
+    # src-only rules ignore tools files via applicable().
+    for top in ("src", "tools"):
+        for dirpath, _, names in os.walk(os.path.join(root, top)):
+            for fname in sorted(names):
+                if fname.endswith((".cpp", ".hpp")):
+                    files.append(os.path.join(dirpath, fname))
     return sorted(files)
 
 

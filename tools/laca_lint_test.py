@@ -133,6 +133,49 @@ class IostreamRule(LintFixture):
                           'std::fprintf(stderr, "done\\n");\n')
 
 
+class RawParseRule(LintFixture):
+    def test_stoul_fires_in_src(self):
+        self.assert_fires("raw-parse", "src/server/protocol.cpp",
+                          "auto v = std::stoul(tok);\n")
+
+    def test_stod_fires_in_src(self):
+        self.assert_fires("raw-parse", "src/graph/formats.cpp",
+                          "double d = std::stod(field);\n")
+
+    def test_strtoull_fires_in_tools(self):
+        self.assert_fires("raw-parse", "tools/laca_chaos.cpp",
+                          "seed = strtoull(value, nullptr, 10);\n")
+
+    def test_atoi_fires(self):
+        self.assert_fires("raw-parse", "src/eval/datasets.cpp",
+                          "int n = atoi(env);\n")
+
+    def test_std_qualified_strtod_fires(self):
+        self.assert_fires("raw-parse", "tools/laca_bench.cpp",
+                          "double d = std::strtod(s, &end);\n")
+
+    def test_parse_hpp_is_exempt(self):
+        self.assert_clean("src/common/parse.hpp",
+                          "auto v = std::strtod(s, &end);\n")
+
+    def test_strict_wrappers_are_fine(self):
+        self.assert_clean("src/server/protocol.cpp",
+                          "auto v = laca::ParseU64(tok);\n"
+                          "auto d = ParseF64(value);\n")
+
+    def test_identifier_suffix_does_not_fire(self):
+        self.assert_clean("src/server/protocol.cpp",
+                          "int x = my_atoi(s);\nauto y = obj.atof(s);\n")
+
+    def test_allow_escape_is_counted(self):
+        violations, escapes = self.run_lint(
+            "tools/fuzz/fuzz_parse.cpp",
+            "auto r = strtoull(s, &end, 10);"
+            "  // laca-lint: allow(raw-parse)\n")
+        self.assertEqual(violations, [])
+        self.assertEqual(escapes, [("raw-parse", 1)])
+
+
 class StrippingAndEscapes(LintFixture):
     def test_comment_mention_does_not_fire(self):
         self.assert_clean("src/diffusion/push.cpp",
