@@ -57,6 +57,15 @@ class SparseVector {
   const std::vector<Entry>& entries() const { return entries_; }
   std::vector<Entry>& mutable_entries() { return entries_; }
 
+  /// Heap bytes behind this vector (capacity-based) — the charge a cache
+  /// levies for retaining it. Call ShrinkToFit() first when the vector will
+  /// be retained long-term, so the charge matches the retained footprint.
+  size_t HeapBytes() const { return entries_.capacity() * sizeof(Entry); }
+
+  /// Releases excess capacity (push-growth slack) before long-term
+  /// retention.
+  void ShrinkToFit() { entries_.shrink_to_fit(); }
+
   /// Returns the value at `index` (linear scan; for tests and small vectors).
   double ValueAt(NodeId index) const;
 

@@ -27,6 +27,11 @@ Laca::Laca(const Graph& graph, const Tnam* tnam, DiffusionWorkspace* workspace)
 }
 
 LacaResult Laca::ComputeBdd(NodeId seed, const LacaOptions& opts) {
+  return ComputeBdd(seed, opts, nullptr);
+}
+
+LacaResult Laca::ComputeBdd(NodeId seed, const LacaOptions& opts,
+                            SparseVector* rwr_out) {
   LACA_CHECK(seed < graph_.num_nodes(), "seed out of range");
   LacaResult result;
 
@@ -39,6 +44,25 @@ LacaResult Laca::ComputeBdd(NodeId seed, const LacaOptions& opts) {
                                          &result.rwr_stats);
   result.rwr_support = pi.Size();
 
+  FinishBddFromRwr(pi, opts, &result);
+  // Extract pi' only after Steps 2-3 consumed it, preserving its exact
+  // entry order: replaying it through ComputeBddFromRwr reproduces this
+  // result bit for bit (the diffusion-tier cache contract).
+  if (rwr_out != nullptr) *rwr_out = std::move(pi);
+  return result;
+}
+
+LacaResult Laca::ComputeBddFromRwr(NodeId seed, const SparseVector& rwr,
+                                   const LacaOptions& opts) {
+  LACA_CHECK(seed < graph_.num_nodes(), "seed out of range");
+  LacaResult result;
+  result.rwr_support = rwr.Size();
+  FinishBddFromRwr(rwr, opts, &result);
+  return result;
+}
+
+void Laca::FinishBddFromRwr(const SparseVector& pi, const LacaOptions& opts,
+                            LacaResult* result) {
   // Step 2: aggregate TNAM rows into psi (Eq. 12), then build the RWR-SNAS
   // vector phi'_i = (psi . z(i)) d(i) over supp(pi') (Eq. 13) — the fused
   // two-pass kernel over contiguous TNAM storage. Without a TNAM the SNAS
@@ -51,34 +75,33 @@ LacaResult Laca::ComputeBdd(NodeId seed, const LacaOptions& opts) {
       phi.Add(e.index, e.value * graph_.Degree(e.index));
     }
   }
-  result.phi_l1 = phi.L1Norm();
+  result->phi_l1 = phi.L1Norm();
   if (phi.Empty()) {
     // Degenerate attributes (e.g. all-zero rows near the seed): fall back to
     // the topology-only BDD so a cluster is still produced.
     for (const auto& e : pi.entries()) {
       phi.Add(e.index, e.value * graph_.Degree(e.index));
     }
-    result.phi_l1 = phi.L1Norm();
+    result->phi_l1 = phi.L1Norm();
   }
   if (phi.Empty()) {
     // pi' itself is empty: with a huge eps the all-zero vector already
     // satisfies Eq. 14 (pi(t) <= eps d(t) everywhere), so the approximate
     // BDD is legitimately zero. Cluster() pads from the seed by BFS.
-    return result;
+    return;
   }
 
   // Step 3: diffuse phi' with threshold eps * ||phi'||_1 (Line 5), then
   // normalize each entry by its degree (Line 6).
-  DiffusionOptions bdd_opts = dopts;
-  bdd_opts.epsilon = opts.epsilon * result.phi_l1;
+  DiffusionOptions bdd_opts = opts.ToDiffusionOptions();
+  bdd_opts.epsilon = opts.epsilon * result->phi_l1;
   SparseVector rho = opts.use_adaptive
-                         ? engine_.Adaptive(phi, bdd_opts, &result.bdd_stats)
-                         : engine_.Greedy(phi, bdd_opts, &result.bdd_stats);
+                         ? engine_.Adaptive(phi, bdd_opts, &result->bdd_stats)
+                         : engine_.Greedy(phi, bdd_opts, &result->bdd_stats);
   for (auto& e : rho.mutable_entries()) {
     e.value /= graph_.Degree(e.index);
   }
-  result.bdd = std::move(rho);
-  return result;
+  result->bdd = std::move(rho);
 }
 
 SparseVector Laca::FusedSnasStep(const Tnam& tnam, const SparseVector& pi,
@@ -160,7 +183,24 @@ LacaResult Laca::ComputeBddWithProvider(NodeId seed, const SnasProvider& snas,
 
 std::vector<NodeId> Laca::Cluster(NodeId seed, size_t size,
                                   const LacaOptions& opts) {
-  LacaResult r = ComputeBdd(seed, opts);
+  return Cluster(seed, size, opts, nullptr);
+}
+
+std::vector<NodeId> Laca::Cluster(NodeId seed, size_t size,
+                                  const LacaOptions& opts,
+                                  SparseVector* rwr_out) {
+  LacaResult r = ComputeBdd(seed, opts, rwr_out);
+  std::vector<NodeId> cluster = TopKCluster(r.bdd, seed, size);
+  if (cluster.size() < size) {
+    cluster = PadWithBfs(graph_, std::move(cluster), size, seed);
+  }
+  return cluster;
+}
+
+std::vector<NodeId> Laca::ClusterFromRwr(NodeId seed, size_t size,
+                                         const SparseVector& rwr,
+                                         const LacaOptions& opts) {
+  LacaResult r = ComputeBddFromRwr(seed, rwr, opts);
   std::vector<NodeId> cluster = TopKCluster(r.bdd, seed, size);
   if (cluster.size() < size) {
     cluster = PadWithBfs(graph_, std::move(cluster), size, seed);

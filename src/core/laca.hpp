@@ -71,9 +71,35 @@ class Laca {
   /// Runs Algo. 4 and returns the approximate BDD vector.
   LacaResult ComputeBdd(NodeId seed, const LacaOptions& opts);
 
+  /// As ComputeBdd; additionally moves the Step-1 RWR vector pi' into
+  /// `*rwr_out` (when non-null) after Steps 2-3 consumed it. The extracted
+  /// vector preserves its exact entry order — the Step-2/3 sweeps iterate
+  /// it in order, so replaying it through ComputeBddFromRwr under the same
+  /// (alpha, eps, sigma) reproduces this call's result bit for bit. This is
+  /// the serving layer's diffusion-tier cache seam (DESIGN.md §13).
+  LacaResult ComputeBdd(NodeId seed, const LacaOptions& opts,
+                        SparseVector* rwr_out);
+
+  /// Steps 2-3 of Algo. 4 over a precomputed Step-1 vector `rwr` (as
+  /// extracted by the rwr_out overload under the SAME alpha/eps/sigma —
+  /// sigma parameterizes Step 1, so a pi' from a different sigma is a
+  /// different vector, not a reusable one). rwr_stats stays zero: no
+  /// Step-1 diffusion ran.
+  LacaResult ComputeBddFromRwr(NodeId seed, const SparseVector& rwr,
+                               const LacaOptions& opts);
+
   /// Runs Algo. 4 and extracts the `size` nodes with the largest BDD values
   /// (seed included, BFS-padded if the explored region is too small).
   std::vector<NodeId> Cluster(NodeId seed, size_t size, const LacaOptions& opts);
+
+  /// As Cluster, extracting pi' like the ComputeBdd overload.
+  std::vector<NodeId> Cluster(NodeId seed, size_t size, const LacaOptions& opts,
+                              SparseVector* rwr_out);
+
+  /// Cluster over a precomputed Step-1 vector (ComputeBddFromRwr contract).
+  std::vector<NodeId> ClusterFromRwr(NodeId seed, size_t size,
+                                     const SparseVector& rwr,
+                                     const LacaOptions& opts);
 
   /// Algo. 4 with an arbitrary SNAS provider. When `snas` is actually a
   /// `Tnam` covering the graph, Step 2 routes through the fused batched
@@ -105,6 +131,12 @@ class Laca {
   // (may be null) is polled during the phi assembly sweep.
   SparseVector FusedSnasStep(const Tnam& tnam, const SparseVector& pi,
                              const CancelToken* cancel);
+
+  // Steps 2-3 over a Step-1 vector `pi`: the single code path behind both
+  // the cold ComputeBdd and the cached ComputeBddFromRwr, so the two cannot
+  // drift apart numerically. Fills result's bdd/bdd_stats/phi_l1.
+  void FinishBddFromRwr(const SparseVector& pi, const LacaOptions& opts,
+                        LacaResult* result);
 
   const Graph& graph_;
   const Tnam* tnam_;

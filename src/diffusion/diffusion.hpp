@@ -71,6 +71,16 @@ struct DiffusionStats {
 /// heap allocations after warm-up. Weighted graphs are supported: pushes
 /// distribute proportionally to edge weights and thresholds use weighted
 /// degrees. Not thread-safe; not copyable (the workspace is call state).
+///
+/// Extraction contract (the workspace-to-cacheable-vector seam): each call
+/// returns a plain SparseVector detached from the workspace — it owns its
+/// entries, pins nothing, and is safe to retain, share across threads, and
+/// replay long after this engine (or the graph snapshot it ran on) is gone.
+/// Its entry ORDER is deterministic for fixed (graph, f, opts): downstream
+/// consumers iterate it in order, so order is part of the bit-identity
+/// contract the serving layer's diffusion-vector cache relies on
+/// (DESIGN.md §13). Anything reordering an extracted vector must reorder
+/// deterministically or not at all.
 class DiffusionEngine {
  public:
   /// Owns a private workspace bound to `graph`.

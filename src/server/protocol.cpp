@@ -174,21 +174,30 @@ std::string FormatReloadResponse(uint64_t id, uint64_t version) {
 }
 
 std::string FormatStatsLine(const ServingStats& stats, double qps) {
-  char buf[400];
+  // Cache tokens append at the END: clients key on token names, but the
+  // smoke tests (and any grep-based tooling) match substrings of the
+  // established prefix, so the existing token order is part of the format.
+  char buf[704];
   std::snprintf(
       buf, sizeof(buf),
       "STATS qps=%.1f p50_us=%.0f p99_us=%.0f queue=%zu in_flight=%zu "
       "admitted=%" PRIu64 " completed=%" PRIu64 " rejected=%" PRIu64
       " alloc_events=%" PRIu64 " version=%" PRIu64 " retired=%zu"
       " reloads=%" PRIu64 " deadline=%" PRIu64 " shed=%" PRIu64
-      " cancelled=%" PRIu64 " internal=%" PRIu64 " brownout=%" PRIu64,
+      " cancelled=%" PRIu64 " internal=%" PRIu64 " brownout=%" PRIu64
+      " coalesced=%" PRIu64 " cache_hits=%" PRIu64 " cache_misses=%" PRIu64
+      " cache_pi_hits=%" PRIu64 " cache_pi_misses=%" PRIu64
+      " cache_evictions=%" PRIu64 " cache_bytes=%" PRIu64,
       qps, stats.p50_seconds * 1e6, stats.p99_seconds * 1e6, stats.queue_depth,
       stats.in_flight, stats.admitted, stats.completed,
       stats.rejected_overload + stats.rejected_shutdown +
           stats.rejected_invalid + stats.rejected_brownout,
       stats.alloc_events, stats.active_version, stats.retired_live,
       stats.reloads, stats.deadline_exceeded, stats.shed_in_queue,
-      stats.cancelled, stats.internal, stats.rejected_brownout);
+      stats.cancelled, stats.internal, stats.rejected_brownout,
+      stats.coalesced, stats.cache_hits, stats.cache_misses,
+      stats.cache_pi_hits, stats.cache_pi_misses, stats.cache_evictions,
+      stats.cache_bytes);
   return buf;
 }
 
@@ -218,15 +227,17 @@ std::string FormatHealthLine(const ServingStats& stats,
     add_reason(std::string("quarantined=") + extra.quarantined_dir);
   }
   const bool degraded = !reasons.empty();
-  char buf[400];
+  char buf[448];
   std::snprintf(
       buf, sizeof(buf),
       "HEALTH status=%s version=%" PRIu64 " workers=%zu queue=%zu/%zu"
       " shed_in_queue=%" PRIu64 " deadline_exceeded=%" PRIu64
-      " cancelled=%" PRIu64 " internal=%" PRIu64 " reloads=%" PRIu64,
+      " cancelled=%" PRIu64 " internal=%" PRIu64 " reloads=%" PRIu64
+      " cache_hits=%" PRIu64 " coalesced=%" PRIu64,
       degraded ? "degraded" : "ok", stats.active_version, stats.workers,
       stats.queue_depth, stats.max_queue_depth, stats.shed_in_queue,
-      stats.deadline_exceeded, stats.cancelled, stats.internal, stats.reloads);
+      stats.deadline_exceeded, stats.cancelled, stats.internal, stats.reloads,
+      stats.cache_hits, stats.coalesced);
   std::string out = buf;
   if (degraded) {
     out += " reasons=";

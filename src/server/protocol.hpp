@@ -29,10 +29,18 @@
 //   STATS qps=... p50_us=... p99_us=... queue=... in_flight=...
 //         admitted=... completed=... rejected=... alloc_events=...
 //         version=... retired=... reloads=... deadline=... shed=...
-//         cancelled=... internal=... brownout=...
+//         cancelled=... internal=... brownout=... coalesced=...
+//         cache_hits=... cache_misses=... cache_pi_hits=...
+//         cache_pi_misses=... cache_evictions=... cache_bytes=...
 //   HEALTH status=<ok|degraded> version=... workers=... queue=<depth>/<max>
 //          shed_in_queue=... deadline_exceeded=... cancelled=... internal=...
-//          reloads=... [reasons=<r1,r2,...>] [conns=<active>/<max>]
+//          reloads=... cache_hits=... coalesced=...
+//          [reasons=<r1,r2,...>] [conns=<active>/<max>]
+//
+// The cache_* / coalesced tokens count the result cache (DESIGN.md §13):
+// full-tier hits/misses, diffusion-tier (pi') hits/misses, evictions and
+// resident bytes across both tiers, and requests coalesced onto an
+// in-flight identical computation. All zero when --cache=off.
 //
 // HEALTH reports degraded when the next Submit would be turned away —
 // the admission queue is at its bound or brownout shedding is active — or

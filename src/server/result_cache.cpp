@@ -1,0 +1,164 @@
+#include "server/result_cache.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace laca {
+namespace {
+
+// Charged per cache entry on top of the payload: list node, index slot,
+// control block. An estimate — the budget bounds growth, it is not an
+// allocator ledger.
+constexpr size_t kEntryOverheadBytes = 96;
+
+size_t ClusterBytes(const std::vector<NodeId>& cluster) {
+  return kEntryOverheadBytes + cluster.capacity() * sizeof(NodeId);
+}
+
+size_t RwrBytes(const SparseVector& rwr) {
+  return kEntryOverheadBytes + rwr.HeapBytes();
+}
+
+size_t FullBudget(const ResultCacheOptions& opts) {
+  return opts.mode == CacheMode::kTwoTier ? opts.max_bytes / 2
+                                          : opts.max_bytes;
+}
+
+size_t RwrBudget(const ResultCacheOptions& opts) {
+  return opts.mode == CacheMode::kTwoTier ? opts.max_bytes - opts.max_bytes / 2
+                                          : 0;
+}
+
+void PutU64(uint64_t v, uint8_t* out) {
+  for (int b = 0; b < 8; ++b) out[b] = static_cast<uint8_t>(v >> (8 * b));
+}
+
+}  // namespace
+
+const char* ToString(CacheMode mode) {
+  switch (mode) {
+    case CacheMode::kOff:
+      return "off";
+    case CacheMode::kFull:
+      return "full";
+    case CacheMode::kTwoTier:
+      return "two-tier";
+  }
+  return "unknown";
+}
+
+bool ParseCacheMode(std::string_view text, CacheMode* out) {
+  if (text == "off") {
+    *out = CacheMode::kOff;
+  } else if (text == "full") {
+    *out = CacheMode::kFull;
+  } else if (text == "two-tier") {
+    *out = CacheMode::kTwoTier;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+uint64_t CanonicalBits(double v) {
+  if (v == 0.0) v = 0.0;  // -0.0 == 0.0 compares true; assigning +0.0 collapses
+  if (std::isnan(v)) v = std::numeric_limits<double>::quiet_NaN();
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+CacheKey CanonicalCacheKey(uint64_t version, uint64_t seed, uint64_t size,
+                           double alpha, double epsilon, double sigma,
+                           int64_t resolved_k, const LacaOptions& defaults) {
+  // Negative override = omitted (the ServeRequest contract): resolve to the
+  // engine default BEFORE taking bits, so an omitted parameter and its
+  // explicitly-spelled default are one identity. This is also where the
+  // -0.0 spelling of sigma (accepted by the wire parser: -0.0 < 0.0 is
+  // false) folds into +0.0 instead of becoming a bit-distinct request.
+  CacheKey key;
+  key.version = version;
+  key.seed = seed;
+  key.size = size;
+  key.alpha_bits = CanonicalBits(alpha >= 0.0 ? alpha : defaults.alpha);
+  key.epsilon_bits =
+      CanonicalBits(epsilon >= 0.0 ? epsilon : defaults.epsilon);
+  key.sigma_bits = CanonicalBits(sigma >= 0.0 ? sigma : defaults.sigma);
+  key.k = resolved_k;
+  return key;
+}
+
+CacheKey DiffusionKey(const CacheKey& full) {
+  CacheKey key = full;
+  key.size = 0;
+  key.k = -1;
+  return key;
+}
+
+std::array<uint8_t, 56> CacheKey::Encoded() const {
+  std::array<uint8_t, 56> out;
+  PutU64(version, out.data());
+  PutU64(seed, out.data() + 8);
+  PutU64(size, out.data() + 16);
+  PutU64(alpha_bits, out.data() + 24);
+  PutU64(epsilon_bits, out.data() + 32);
+  PutU64(sigma_bits, out.data() + 40);
+  PutU64(static_cast<uint64_t>(k), out.data() + 48);
+  return out;
+}
+
+uint64_t CacheKey::Hash() const {
+  const std::array<uint8_t, 56> bytes = Encoded();
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a 64
+  for (uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+ResultCache::ResultCache(const ResultCacheOptions& opts)
+    : opts_(opts),
+      full_(FullBudget(opts), opts.shards),
+      rwr_(RwrBudget(opts), opts.shards) {}
+
+std::shared_ptr<const std::vector<NodeId>> ResultCache::GetFull(
+    const CacheKey& key) {
+  if (opts_.mode == CacheMode::kOff) return nullptr;
+  return full_.Get(key);
+}
+
+void ResultCache::PutFull(const CacheKey& key,
+                          std::shared_ptr<const std::vector<NodeId>> cluster) {
+  if (opts_.mode == CacheMode::kOff || cluster == nullptr) return;
+  const size_t bytes = ClusterBytes(*cluster);
+  full_.Put(key, std::move(cluster), bytes);
+}
+
+std::shared_ptr<const SparseVector> ResultCache::GetRwr(const CacheKey& key) {
+  if (opts_.mode != CacheMode::kTwoTier) return nullptr;
+  return rwr_.Get(DiffusionKey(key));
+}
+
+void ResultCache::PutRwr(const CacheKey& key,
+                         std::shared_ptr<const SparseVector> rwr) {
+  if (opts_.mode != CacheMode::kTwoTier || rwr == nullptr) return;
+  const size_t bytes = RwrBytes(*rwr);
+  rwr_.Put(DiffusionKey(key), std::move(rwr), bytes);
+}
+
+void ResultCache::RetainVersion(uint64_t version) {
+  if (opts_.mode == CacheMode::kOff) return;
+  full_.RetainVersion(version);
+  rwr_.RetainVersion(version);
+}
+
+ResultCacheStats ResultCache::Stats() const {
+  ResultCacheStats out;
+  out.full = full_.Stats();
+  out.rwr = rwr_.Stats();
+  return out;
+}
+
+}  // namespace laca

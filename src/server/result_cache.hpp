@@ -1,0 +1,288 @@
+// Versioned result cache + canonical request keys for the serving layer
+// (DESIGN.md §13).
+//
+// Real clustering traffic is heavily Zipfian — the same hub seeds recur
+// constantly — yet every request used to burn a full diffusion+sweep on a
+// warm worker. This header is the cache in front of the worker fleet:
+//
+//   * CacheKey — the canonical identity of a request against one snapshot
+//     version: (version, seed, size, alpha, eps, sigma, resolved k). Floats
+//     enter the key by BIT PATTERN (CanonicalBits), never by text, with
+//     -0.0 collapsed to +0.0 and every NaN collapsed to one quiet NaN;
+//     omitted per-request overrides are resolved to the engine defaults
+//     FIRST, so `alpha=0.2`, `alpha=0.20`, and an omitted alpha under
+//     default 0.2 are one cache line. timeout_ms is deliberately absent:
+//     it changes when an answer is worth computing, never the answer.
+//   * ShardedLruCache — a byte-budgeted, sharded LRU keyed on CacheKey,
+//     each shard under its own annotated Mutex. Values are immutable
+//     shared_ptrs, so a hit is a refcount bump and readers never block
+//     writers of other shards.
+//   * ResultCache — two tiers over that template: the FULL tier maps a key
+//     to the final cluster (bit-identical replay of a kOk response), and
+//     the RWR tier (two-tier mode) maps the Step-1 diffusion identity —
+//     DiffusionKey strips size/k from the full key — to the cached pi'
+//     vector, so requests that vary only the cluster size / TNAM k re-run
+//     just the cheap Step-2/3 sweep. sigma stays in the diffusion key: it
+//     parameterizes AdaptiveDiffuse itself (DiffusionOptions), so a pi'
+//     computed under a different sigma would not be bit-identical.
+//
+// Entries hold plain value vectors — never DatasetSnapshot references — so
+// a retired snapshot drains on its last in-flight reader exactly as before
+// caching existed; RetainVersion() additionally sweeps dead-version entries
+// eagerly after a reload (the version in the key already makes them
+// unreachable).
+#ifndef LACA_SERVER_RESULT_CACHE_HPP_
+#define LACA_SERVER_RESULT_CACHE_HPP_
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
+#include "common/sparse_vector.hpp"
+#include "common/types.hpp"
+#include "core/laca.hpp"
+
+namespace laca {
+
+enum class CacheMode : uint8_t {
+  kOff = 0,   ///< no cache, no single-flight coalescing
+  kFull,      ///< full-result tier only
+  kTwoTier,   ///< full-result tier + Step-1 diffusion-vector tier
+};
+
+const char* ToString(CacheMode mode);
+/// Parses "off" / "full" / "two-tier". Returns false (out untouched) on
+/// anything else.
+bool ParseCacheMode(std::string_view text, CacheMode* out);
+
+struct ResultCacheOptions {
+  /// Engine-embedded default is off: the cache changes completion
+  /// accounting (hits and coalesced followers never claim a worker), so
+  /// turning it on is an explicit deployment decision (laca_serve defaults
+  /// to two-tier).
+  CacheMode mode = CacheMode::kOff;
+  /// Total byte budget across both tiers (split evenly in two-tier mode).
+  size_t max_bytes = 64ull << 20;
+  /// Lock shards per tier (clamped to >= 1).
+  size_t shards = 8;
+};
+
+/// Canonical request identity. Equality is field-wise; the float fields are
+/// already-canonicalized bit patterns, so operator== IS the canonical
+/// equivalence relation.
+struct CacheKey {
+  uint64_t version = 0;      ///< snapshot version (reload invalidates free)
+  uint64_t seed = 0;
+  uint64_t size = 0;
+  uint64_t alpha_bits = 0;   ///< CanonicalBits of the resolved alpha
+  uint64_t epsilon_bits = 0;
+  uint64_t sigma_bits = 0;
+  /// The RESOLVED TNAM k actually served (snapshot default substituted for
+  /// an omitted override), -1 for a topology-only snapshot.
+  int64_t k = -1;
+
+  bool operator==(const CacheKey&) const = default;
+
+  /// Fixed-width little-endian field concatenation. Injective by
+  /// construction — distinct keys never collide in the encoding (the
+  /// fuzz_cache_key differential property).
+  std::array<uint8_t, 56> Encoded() const;
+
+  /// FNV-1a over Encoded(); equal keys hash equal on every platform.
+  uint64_t Hash() const;
+};
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& key) const {
+    return static_cast<size_t>(key.Hash());
+  }
+};
+
+/// The bit pattern of `v` with -0.0 collapsed to +0.0 and every NaN
+/// collapsed to the canonical quiet NaN — the only double equivalences the
+/// key must not distinguish.
+uint64_t CanonicalBits(double v);
+
+/// Builds the canonical key for one admitted request. Negative
+/// alpha/epsilon/sigma mean "omitted" (the ServeRequest contract) and
+/// resolve to `defaults`; `resolved_k` is the k of the TNAM the request
+/// actually selected (-1 when the snapshot carries none) — resolution
+/// happens at admission so `k=32` and an omitted k against a k=32 default
+/// TNAM are one identity.
+CacheKey CanonicalCacheKey(uint64_t version, uint64_t seed, uint64_t size,
+                           double alpha, double epsilon, double sigma,
+                           int64_t resolved_k, const LacaOptions& defaults);
+
+/// The Step-1 diffusion identity of a full key: size and k do not affect
+/// pi', so they are zeroed out (sigma stays — it steers AdaptiveDiffuse).
+CacheKey DiffusionKey(const CacheKey& full);
+
+struct CacheTierStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;  ///< byte-budget evictions (not version sweeps)
+  uint64_t entries = 0;
+  uint64_t bytes = 0;
+};
+
+/// Sharded byte-budgeted LRU over CacheKey -> shared_ptr<const Value>.
+/// Each shard owns an annotated Mutex; cross-shard operations take the
+/// locks one at a time (never nested).
+template <typename Value>
+class ShardedLruCache {
+ public:
+  ShardedLruCache(size_t max_bytes, size_t num_shards) {
+    if (num_shards < 1) num_shards = 1;
+    shard_budget_ = max_bytes / num_shards;
+    shards_.reserve(num_shards);
+    for (size_t i = 0; i < num_shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+  }
+
+  /// Returns the cached value (bumping it to most-recent) or null.
+  std::shared_ptr<const Value> Get(const CacheKey& key) {
+    Shard& s = ShardFor(key);
+    MutexLock lock(s.mu);
+    auto it = s.index.find(key);
+    if (it == s.index.end()) {
+      ++s.misses;
+      return nullptr;
+    }
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    ++s.hits;
+    return it->second->second.value;
+  }
+
+  /// Inserts `value` charged at `bytes`, evicting from the cold end until
+  /// it fits. An entry bigger than a whole shard budget is dropped (never
+  /// admitted just to evict everything else). First writer wins on a key
+  /// race: entries are immutable and a racing second computation produced
+  /// the identical value, so the duplicate only refreshes recency.
+  void Put(const CacheKey& key, std::shared_ptr<const Value> value,
+           size_t bytes) {
+    if (bytes > shard_budget_) return;
+    Shard& s = ShardFor(key);
+    MutexLock lock(s.mu);
+    auto it = s.index.find(key);
+    if (it != s.index.end()) {
+      s.lru.splice(s.lru.begin(), s.lru, it->second);
+      return;
+    }
+    while (s.bytes + bytes > shard_budget_ && !s.lru.empty()) {
+      s.bytes -= s.lru.back().second.bytes;
+      s.index.erase(s.lru.back().first);
+      s.lru.pop_back();
+      ++s.evictions;
+    }
+    s.lru.emplace_front(key, Holder{std::move(value), bytes});
+    s.index.emplace(key, s.lru.begin());
+    s.bytes += bytes;
+  }
+
+  /// Drops every entry whose key.version differs from `version`. Dead
+  /// versions are unreachable anyway (the version is in the key); this
+  /// reclaims their bytes eagerly after a reload.
+  void RetainVersion(uint64_t version) {
+    for (auto& shard : shards_) {
+      Shard& s = *shard;
+      MutexLock lock(s.mu);
+      for (auto it = s.lru.begin(); it != s.lru.end();) {
+        if (it->first.version != version) {
+          s.bytes -= it->second.bytes;
+          s.index.erase(it->first);
+          it = s.lru.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  CacheTierStats Stats() const {
+    CacheTierStats out;
+    for (const auto& shard : shards_) {
+      const Shard& s = *shard;
+      MutexLock lock(s.mu);
+      out.hits += s.hits;
+      out.misses += s.misses;
+      out.evictions += s.evictions;
+      out.entries += s.lru.size();
+      out.bytes += s.bytes;
+    }
+    return out;
+  }
+
+ private:
+  struct Holder {
+    std::shared_ptr<const Value> value;
+    size_t bytes = 0;
+  };
+  using List = std::list<std::pair<CacheKey, Holder>>;
+  struct Shard {
+    mutable Mutex mu;
+    List lru LACA_GUARDED_BY(mu);  ///< most-recent at the front
+    std::unordered_map<CacheKey, typename List::iterator, CacheKeyHash> index
+        LACA_GUARDED_BY(mu);
+    size_t bytes LACA_GUARDED_BY(mu) = 0;
+    uint64_t hits LACA_GUARDED_BY(mu) = 0;
+    uint64_t misses LACA_GUARDED_BY(mu) = 0;
+    uint64_t evictions LACA_GUARDED_BY(mu) = 0;
+  };
+
+  Shard& ShardFor(const CacheKey& key) {
+    const uint64_t h = key.Hash();
+    return *shards_[(h ^ (h >> 32)) % shards_.size()];
+  }
+
+  size_t shard_budget_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+struct ResultCacheStats {
+  CacheTierStats full;  ///< final-cluster tier
+  CacheTierStats rwr;   ///< Step-1 diffusion-vector tier (two-tier mode)
+};
+
+/// The two-tier cache the ServingEngine consults. Thread-safe; mode and
+/// budgets are fixed at construction.
+class ResultCache {
+ public:
+  explicit ResultCache(const ResultCacheOptions& opts);
+
+  CacheMode mode() const { return opts_.mode; }
+
+  /// Full tier: the final cluster for a kOk response, replayed
+  /// bit-identically. Null on miss (or mode off).
+  std::shared_ptr<const std::vector<NodeId>> GetFull(const CacheKey& key);
+  void PutFull(const CacheKey& key,
+               std::shared_ptr<const std::vector<NodeId>> cluster);
+
+  /// Diffusion tier (two-tier mode only; no-ops and uncounted otherwise):
+  /// the Step-1 pi' under DiffusionKey(key). The stored vector preserves
+  /// exact entry order — Steps 2-3 iterate it in order, so order is part of
+  /// the bit-identity contract.
+  std::shared_ptr<const SparseVector> GetRwr(const CacheKey& key);
+  void PutRwr(const CacheKey& key, std::shared_ptr<const SparseVector> rwr);
+
+  /// Sweeps both tiers down to `version` (called after a reload publishes).
+  void RetainVersion(uint64_t version);
+
+  ResultCacheStats Stats() const;
+
+ private:
+  ResultCacheOptions opts_;
+  ShardedLruCache<std::vector<NodeId>> full_;
+  ShardedLruCache<SparseVector> rwr_;
+};
+
+}  // namespace laca
+
+#endif  // LACA_SERVER_RESULT_CACHE_HPP_

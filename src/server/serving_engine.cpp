@@ -82,6 +82,9 @@ ServingEngine::ServingEngine(std::shared_ptr<const DatasetSnapshot> snapshot,
   }
   latency_ring_.resize(kLatencyWindow, 0.0);
   ctrl_ring_.resize(kBrownoutWindow, 0.0);
+  if (opts.cache.mode != CacheMode::kOff) {
+    cache_ = std::make_unique<ResultCache>(opts.cache);
+  }
 
   const TwoLevelBudget budget = SplitThreadBudget(
       opts.num_workers, opts.num_threads, opts.intra_query_threads);
@@ -164,6 +167,7 @@ ServeResponse ServingEngine::Validate(const ServeRequest& req,
 
 Admission ServingEngine::Submit(const ServeRequest& request) {
   Admission admission;
+  const Clock::time_point arrived_at = Clock::now();
   // Pin the active version for this request's whole lifetime: validation,
   // queueing, and computation all see this one snapshot even if a Reload()
   // publishes a newer version meanwhile.
@@ -178,6 +182,39 @@ Admission ServingEngine::Submit(const ServeRequest& request) {
     return admission;
   }
 
+  // Cache probe BEFORE queue admission (DESIGN.md §13): a full-tier hit is
+  // resolved right here — it never consumes queue depth, never claims a
+  // worker, and bypasses overload/brownout shedding entirely (serving a
+  // cached result costs less than rejecting the request). The key is the
+  // canonical request identity, so textually distinct spellings of one
+  // request share a line, and the snapshot version inside it guarantees a
+  // hit is always the pinned version's answer.
+  CacheKey key;
+  if (cache_ != nullptr) {
+    key = KeyFor(request, *snapshot, tnam_index);
+    if (std::shared_ptr<const std::vector<NodeId>> hit = cache_->GetFull(key)) {
+      ServeResponse resp;
+      resp.status = ServeStatus::kOk;
+      resp.cluster = *hit;
+      {
+        MutexLock lock(mu_);
+        if (draining_) {
+          ++rejected_shutdown_;
+          admission.status = ServeStatus::kShuttingDown;
+          return admission;
+        }
+        ++admitted_;
+        resp.total_seconds = Seconds(Clock::now() - arrived_at);
+        RecordPassiveCompletionLocked(resp);
+      }
+      std::promise<ServeResponse> ready;
+      admission.response = ready.get_future();
+      ready.set_value(std::move(resp));
+      admission.status = ServeStatus::kOk;
+      return admission;
+    }
+  }
+
   std::future<ServeResponse> future;
   {
     MutexLock lock(mu_);
@@ -185,6 +222,34 @@ Admission ServingEngine::Submit(const ServeRequest& request) {
       ++rejected_shutdown_;
       admission.status = ServeStatus::kShuttingDown;
       return admission;
+    }
+    // Single-flight attach, checked BEFORE the queue bound and brownout: a
+    // follower consumes no queue depth and no compute, so coalescing turns
+    // would-be rejections of the hottest keys into waits on work already
+    // under way.
+    if (cache_ != nullptr) {
+      auto flight = flights_.find(key);
+      if (flight != flights_.end()) {
+        Waiter waiter;
+        waiter.admitted_at = arrived_at;
+        const double budget_ms = request.timeout_ms >= 0.0
+                                     ? request.timeout_ms
+                                     : opts_.default_timeout_ms;
+        if (budget_ms > 0.0) {
+          waiter.has_deadline = true;
+          waiter.deadline =
+              arrived_at + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(
+                                   budget_ms));
+        }
+        future = waiter.promise.get_future();
+        flight->second.waiters.push_back(std::move(waiter));
+        ++admitted_;
+        ++coalesced_;
+        admission.status = ServeStatus::kOk;
+        admission.response = std::move(future);
+        return admission;
+      }
     }
     if (queue_.size() >= opts_.max_queue_depth) {
       // Backpressure: reject, never block, never grow past the bound. The
@@ -209,9 +274,22 @@ Admission ServingEngine::Submit(const ServeRequest& request) {
     }
     Job job;
     job.request = request;
-    job.snapshot = std::move(snapshot);
     job.tnam_index = tnam_index;
     job.admitted_at = Clock::now();
+    if (cache_ != nullptr) {
+      // This job leads a new single-flight group; identical requests
+      // admitted while it is queued or computing attach as waiters. The
+      // Flight keeps its own snapshot/request copy so a failed leader can
+      // be replaced by promoting a waiter.
+      job.key = key;
+      job.lead = true;
+      Flight flight;
+      flight.request = request;
+      flight.snapshot = snapshot;
+      flight.tnam_index = tnam_index;
+      flights_.emplace(key, std::move(flight));
+    }
+    job.snapshot = std::move(snapshot);
     // Resolve the budget now and anchor the deadline at admission: queue
     // wait spends it exactly like compute does. timeout_ms == 0 opts out of
     // the engine default.
@@ -246,6 +324,11 @@ void ServingEngine::Reload(std::shared_ptr<const DatasetSnapshot> next) {
   // Wake the whole fleet: idle workers rebind their warm state to the new
   // version now, off the request path, instead of on the next request.
   work_ready_.NotifyAll();
+  // The version in every key already makes stale entries unreachable;
+  // sweeping reclaims their bytes eagerly instead of waiting for LRU
+  // pressure. (In-flight groups keyed on retired versions still resolve —
+  // flights are registered by key, not swept.)
+  if (cache_ != nullptr) cache_->RetainVersion(store_.Acquire()->version());
 }
 
 void ServingEngine::WorkerLoop(size_t w, size_t thread_budget) {
@@ -346,6 +429,9 @@ void ServingEngine::WorkerLoop(size_t w, size_t thread_budget) {
       resp.total_seconds = waited;
       job.snapshot.reset();
       FinishJob(resp, /*shed_in_queue=*/true);
+      // A shed leader must not strand its followers: promotion turns the
+      // oldest live waiter into the new leader (ResolveFlight non-kOk path).
+      if (job.lead) ResolveFlight(job, resp);
       job.promise.set_value(std::move(resp));
       continue;
     }
@@ -385,8 +471,29 @@ void ServingEngine::WorkerLoop(size_t w, size_t thread_budget) {
           opts_.fault_injector->MaybeThrow(FaultSite::kComputeThrow,
                                            "compute_throw");
         }
-        resp.cluster =
-            lacas[job.tnam_index]->Cluster(req.seed, req.size, lopts);
+        // Two-tier fast path: reuse the cached Step-1 diffusion vector for
+        // this (version, seed, alpha, eps, sigma) and re-run only the cheap
+        // Step-2/3 sweep — bit-identical to the cold path because the
+        // cached pi' preserves exact entry order and both paths share
+        // FinishBddFromRwr. A miss computes cold and publishes the
+        // extracted pi' (shrunk: the cache charges by capacity).
+        std::shared_ptr<const SparseVector> rwr;
+        if (cache_ != nullptr) rwr = cache_->GetRwr(job.key);
+        if (rwr != nullptr) {
+          resp.cluster = lacas[job.tnam_index]->ClusterFromRwr(
+              req.seed, req.size, *rwr, lopts);
+        } else if (cache_ != nullptr &&
+                   cache_->mode() == CacheMode::kTwoTier) {
+          SparseVector rwr_out;
+          resp.cluster = lacas[job.tnam_index]->Cluster(req.seed, req.size,
+                                                        lopts, &rwr_out);
+          rwr_out.ShrinkToFit();
+          cache_->PutRwr(job.key, std::make_shared<const SparseVector>(
+                                      std::move(rwr_out)));
+        } else {
+          resp.cluster =
+              lacas[job.tnam_index]->Cluster(req.seed, req.size, lopts);
+        }
         resp.status = ServeStatus::kOk;
       } catch (const CancelledError&) {
         // The compute core restored the workspace invariants (AbortCall)
@@ -425,6 +532,11 @@ void ServingEngine::WorkerLoop(size_t w, size_t thread_budget) {
     // future must not race this worker's reference.
     job.snapshot.reset();
     FinishJob(resp, /*shed_in_queue=*/false);
+    // Resolve the single-flight group before the leader's own future: the
+    // flight's snapshot reference is dropped inside (same drain guarantee
+    // as the reset above), followers are released or one is promoted, and
+    // on kOk the full-tier entry is published for future admissions.
+    if (job.lead) ResolveFlight(job, resp);
     job.promise.set_value(std::move(resp));
   }
 }
@@ -482,6 +594,133 @@ void ServingEngine::RecordOutcomeLocked(const ServeResponse& resp,
   UpdateBrownoutLocked();
 }
 
+void ServingEngine::RecordPassiveCompletionLocked(const ServeResponse& resp) {
+  // A follower or cache hit completes without claiming a worker: count it
+  // completed (admitted==completed must hold across every path) and, on
+  // kOk, into the served latency window — but never into in_flight_ or the
+  // service-time EWMA, whose inputs are worker compute times.
+  ++completed_;
+  switch (resp.status) {
+    case ServeStatus::kOk:
+      latency_ring_[latency_cursor_] = resp.total_seconds;
+      latency_cursor_ = (latency_cursor_ + 1) % latency_ring_.size();
+      latency_count_ = std::min(latency_count_ + 1, latency_ring_.size());
+      break;
+    case ServeStatus::kDeadlineExceeded:
+      // Expired while waiting, no compute spent — the queue-shed class.
+      ++shed_in_queue_;
+      break;
+    default:
+      ++internal_;
+      break;
+  }
+  UpdateBrownoutLocked();
+}
+
+CacheKey ServingEngine::KeyFor(const ServeRequest& request,
+                               const DatasetSnapshot& snapshot,
+                               size_t tnam_index) const {
+  // Resolve the TNAM k actually served: an omitted override (-1) means the
+  // snapshot default, so `k=32` and no k against a k=32 default TNAM are
+  // one identity. -1 survives only for topology-only snapshots.
+  std::span<const PreparedTnam> tnams = snapshot.tnams();
+  const int64_t resolved_k =
+      tnams.empty() ? -1 : static_cast<int64_t>(tnams[tnam_index].k);
+  return CanonicalCacheKey(snapshot.version(), request.seed, request.size,
+                           request.alpha, request.epsilon, request.sigma,
+                           resolved_k, opts_.defaults);
+}
+
+void ServingEngine::ResolveFlight(Job& job, const ServeResponse& resp) {
+  // Publish before releasing waiters: a racing Submit either finds the
+  // flight (and coalesces) or finds the cache line (and hits) — never a
+  // gap where it recomputes work that just finished. Only kOk results are
+  // ever published.
+  if (resp.status == ServeStatus::kOk) {
+    cache_->PutFull(job.key,
+                    std::make_shared<const std::vector<NodeId>>(resp.cluster));
+  }
+  const Clock::time_point now = Clock::now();
+  std::vector<std::pair<std::promise<ServeResponse>, ServeResponse>> ready;
+  bool promoted = false;
+  {
+    MutexLock lock(mu_);
+    auto it = flights_.find(job.key);
+    if (it == flights_.end()) return;  // defensive: the leader owns the entry
+    Flight& flight = it->second;
+    if (resp.status == ServeStatus::kOk) {
+      for (Waiter& w : flight.waiters) {
+        ServeResponse follower;
+        const double waited = Seconds(now - w.admitted_at);
+        if (w.has_deadline && now >= w.deadline) {
+          // The follower's own budget bounds its wait, even on a group that
+          // ultimately succeeded.
+          follower.status = ServeStatus::kDeadlineExceeded;
+          follower.error = "deadline exceeded waiting for coalesced result";
+        } else {
+          follower.status = ServeStatus::kOk;
+          follower.cluster = resp.cluster;
+        }
+        follower.queue_seconds = waited;
+        follower.total_seconds = waited;
+        RecordPassiveCompletionLocked(follower);
+        ready.emplace_back(std::move(w.promise), std::move(follower));
+      }
+      // Erasing the flight drops its snapshot reference — same retired-
+      // version drain guarantee as the worker's own snapshot release.
+      flights_.erase(it);
+    } else {
+      // The leader shed, was cancelled, or failed. Its outcome is its own;
+      // the group is not failed with it: expired waiters resolve now, and
+      // the oldest live waiter is promoted into a new leader Job at the
+      // queue FRONT (it has waited longest; the push may transiently
+      // exceed max_queue_depth by one, which beats failing an admitted
+      // request). Remaining waiters keep waiting on the new leader.
+      std::vector<Waiter> live;
+      live.reserve(flight.waiters.size());
+      for (Waiter& w : flight.waiters) {
+        if (w.has_deadline && now >= w.deadline) {
+          ServeResponse follower;
+          follower.status = ServeStatus::kDeadlineExceeded;
+          follower.error = "deadline exceeded waiting for coalesced result";
+          const double waited = Seconds(now - w.admitted_at);
+          follower.queue_seconds = waited;
+          follower.total_seconds = waited;
+          RecordPassiveCompletionLocked(follower);
+          ready.emplace_back(std::move(w.promise), std::move(follower));
+        } else {
+          live.push_back(std::move(w));
+        }
+      }
+      if (live.empty()) {
+        flights_.erase(it);
+      } else {
+        Waiter& next = live.front();
+        Job successor;
+        successor.request = flight.request;
+        successor.snapshot = flight.snapshot;
+        successor.tnam_index = flight.tnam_index;
+        successor.promise = std::move(next.promise);
+        successor.admitted_at = next.admitted_at;
+        successor.deadline = next.deadline;
+        successor.has_deadline = next.has_deadline;
+        successor.key = job.key;
+        successor.lead = true;
+        flight.waiters.assign(std::make_move_iterator(live.begin() + 1),
+                              std::make_move_iterator(live.end()));
+        queue_.push_front(std::move(successor));
+        promoted = true;
+      }
+    }
+  }
+  if (promoted) work_ready_.NotifyOne();
+  // Promises are fulfilled outside mu_: a continuation blocking on a
+  // future must never run under the admission lock.
+  for (auto& [promise, response] : ready) {
+    promise.set_value(std::move(response));
+  }
+}
+
 double ServingEngine::EstQueueWaitMsLocked() const {
   const size_t workers = workers_.empty() ? 1 : workers_.size();
   return static_cast<double>(queue_.size()) * ewma_service_s_ * 1e3 /
@@ -537,6 +776,28 @@ void ServingEngine::Shutdown() {
   for (auto& worker : workers_) {
     if (worker->thread.joinable()) worker->thread.join();
   }
+  // Defensive sweep: with the fleet joined, every leader resolved its
+  // flight (or promoted a successor that was then drained and resolved), so
+  // this should find nothing. If an invariant ever breaks, admitted waiter
+  // futures must still be fulfilled — a stranded future is the one failure
+  // mode this layer promises away.
+  std::vector<std::pair<std::promise<ServeResponse>, ServeResponse>> stranded;
+  {
+    MutexLock lock(mu_);
+    for (auto& [key, flight] : flights_) {
+      for (Waiter& w : flight.waiters) {
+        ServeResponse resp;
+        resp.status = ServeStatus::kShuttingDown;
+        resp.error = "engine shut down before the coalesced result arrived";
+        RecordPassiveCompletionLocked(resp);
+        stranded.emplace_back(std::move(w.promise), std::move(resp));
+      }
+    }
+    flights_.clear();
+  }
+  for (auto& [promise, response] : stranded) {
+    promise.set_value(std::move(response));
+  }
 }
 
 ServingStats ServingEngine::Stats() const {
@@ -559,6 +820,7 @@ ServingStats ServingEngine::Stats() const {
     stats.deadline_exceeded = shed_in_queue_ + cancelled_;
     stats.queue_depth = queue_.size();
     stats.in_flight = in_flight_;
+    stats.coalesced = coalesced_;
     window.assign(latency_ring_.begin(),
                   latency_ring_.begin() + latency_count_);
   }
@@ -571,6 +833,16 @@ ServingStats ServingEngine::Stats() const {
   stats.retired_live = store_.retired_live();
   stats.reloads = store_.publish_count();
   stats.uptime_seconds = Seconds(Clock::now() - started_at_);
+  if (cache_ != nullptr) {
+    const ResultCacheStats cs = cache_->Stats();
+    stats.cache_hits = cs.full.hits;
+    stats.cache_misses = cs.full.misses;
+    stats.cache_pi_hits = cs.rwr.hits;
+    stats.cache_pi_misses = cs.rwr.misses;
+    stats.cache_evictions = cs.full.evictions + cs.rwr.evictions;
+    stats.cache_bytes = cs.full.bytes + cs.rwr.bytes;
+    stats.cache_entries = cs.full.entries + cs.rwr.entries;
+  }
   stats.latency_window = window.size();
   if (!window.empty()) {
     std::sort(window.begin(), window.end());

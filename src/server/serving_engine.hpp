@@ -35,6 +35,15 @@
 //     rest — a mid-compute trip unwinds within one poll interval, leaves the
 //     warm workspace reusable, and resolves the future with
 //     kDeadlineExceeded (cancelled counter);
+//   * an opt-in versioned result cache + single-flight coalescing
+//     (server/result_cache.hpp, DESIGN.md §13): full-tier hits resolve at
+//     admission without consuming queue depth; canonically identical
+//     concurrent requests coalesce onto one leader's computation (followers'
+//     deadlines bound their wait; a cancelled/failed leader promotes a live
+//     follower instead of failing the group); in two-tier mode workers
+//     reuse the cached Step-1 diffusion vector and re-run only the cheap
+//     sweep. The snapshot version lives in every key, so Reload()
+//     invalidates for free and coalesced groups never mix versions;
 //   * graceful drain: Shutdown() completes every admitted request, rejects
 //     new ones with kShuttingDown, and joins the fleet. Every admitted
 //     future is fulfilled — shed, cancelled, failed, or served.
@@ -55,6 +64,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/annotations.hpp"
@@ -62,6 +72,7 @@
 #include "common/mutex.hpp"
 #include "core/laca.hpp"
 #include "data/dataset_snapshot.hpp"
+#include "server/result_cache.hpp"
 
 namespace laca {
 
@@ -163,6 +174,11 @@ struct ServingOptions {
   /// hook firing, and a job parked in the hook past its deadline trips at
   /// the first cancellation poll, so both paths are deterministic to test.
   std::function<void()> worker_hook;
+  /// Versioned result cache + single-flight coalescing (DESIGN.md §13).
+  /// Default mode is kOff: hits and coalesced followers complete without
+  /// ever claiming a worker, which changes the accounting tests pin — so
+  /// caching is an explicit opt-in (laca_serve turns it on by default).
+  ResultCacheOptions cache;
 };
 
 /// Aggregate serving counters, readable at any time.
@@ -203,6 +219,22 @@ struct ServingStats {
   size_t retired_live = 0;
   /// Successful Reload() publications since construction.
   uint64_t reloads = 0;
+  // Result-cache counters (all zero with the cache off, DESIGN.md §13).
+  /// Full-tier probes served at admission without touching the queue.
+  uint64_t cache_hits = 0;
+  /// Full-tier probes that went on to admission (queue or coalesce).
+  uint64_t cache_misses = 0;
+  /// Requests that attached to an identical in-flight leader instead of
+  /// claiming queue depth (single-flight followers).
+  uint64_t coalesced = 0;
+  /// Diffusion-tier (Step-1 pi') probes, two-tier mode only.
+  uint64_t cache_pi_hits = 0;
+  uint64_t cache_pi_misses = 0;
+  /// Byte-budget evictions across both tiers.
+  uint64_t cache_evictions = 0;
+  /// Resident cache bytes / entries across both tiers.
+  uint64_t cache_bytes = 0;
+  uint64_t cache_entries = 0;
   double uptime_seconds = 0.0;
   /// Total-latency percentiles over the retained window (last
   /// `latency_window` SERVED completions — shed, cancelled, and failed
@@ -283,6 +315,33 @@ class ServingEngine {
     /// Absolute deadline (admitted_at + resolved budget) when has_deadline.
     Clock::time_point deadline;
     bool has_deadline = false;
+    /// Canonical cache identity (meaningful iff lead).
+    CacheKey key;
+    /// True when the cache is on: this job leads a single-flight group and
+    /// must resolve it (publish + release waiters, or promote) on completion.
+    bool lead = false;
+  };
+
+  /// One parked follower of a single-flight group: an admitted request whose
+  /// future resolves from the leader's computation. Keeps only its own
+  /// timing/deadline — the canonical inputs live in the Flight.
+  struct Waiter {
+    std::promise<ServeResponse> promise;
+    Clock::time_point admitted_at;
+    Clock::time_point deadline;
+    bool has_deadline = false;
+  };
+
+  /// A single-flight group: one leader Job (in the queue or claimed) plus
+  /// the followers coalesced onto it. request/snapshot/tnam_index are the
+  /// leader's canonical inputs, retained so a failed/cancelled leader can be
+  /// replaced by promoting a waiter into a new leader Job (every member is
+  /// canonically identical, so any member's inputs reproduce the result).
+  struct Flight {
+    ServeRequest request;
+    std::shared_ptr<const DatasetSnapshot> snapshot;
+    size_t tnam_index = 0;
+    std::vector<Waiter> waiters;
   };
 
   /// Per-worker warm state, constructed on the worker thread itself.
@@ -314,6 +373,24 @@ class ServingEngine {
   void UpdateBrownoutLocked() LACA_REQUIRES(mu_);
   /// The advisory retry_after_ms hint for a rejection issued right now.
   double SuggestRetryMsLocked() const LACA_REQUIRES(mu_);
+  /// The canonical cache key of a validated request against its pinned
+  /// snapshot (CanonicalCacheKey over the resolved parameters).
+  CacheKey KeyFor(const ServeRequest& request, const DatasetSnapshot& snapshot,
+                  size_t tnam_index) const;
+  /// Leader completion for a single-flight group: on kOk, publishes the
+  /// full-tier entry and releases every waiter (expired ones resolve
+  /// kDeadlineExceeded — their deadline bounds their wait); on any other
+  /// outcome, promotes the oldest live waiter into a new leader Job at the
+  /// queue front (leader cancellation must not fail the group) and resolves
+  /// only the expired waiters. Promises are fulfilled outside mu_.
+  void ResolveFlight(Job& job, const ServeResponse& resp) LACA_EXCLUDES(mu_);
+  /// Completion accounting for one follower/cache-hit response: counts it
+  /// completed (and into the served latency window on kOk) WITHOUT touching
+  /// in_flight_ or the service-time EWMA — no worker was claimed and no
+  /// compute was spent, so feeding 0 into the EWMA would wreck the brownout
+  /// projection.
+  void RecordPassiveCompletionLocked(const ServeResponse& resp)
+      LACA_REQUIRES(mu_);
 
   SnapshotStore store_;
   ServingOptions opts_;
@@ -336,6 +413,11 @@ class ServingEngine {
   uint64_t shed_in_queue_ LACA_GUARDED_BY(mu_) = 0;
   uint64_t cancelled_ LACA_GUARDED_BY(mu_) = 0;
   uint64_t internal_ LACA_GUARDED_BY(mu_) = 0;
+  uint64_t coalesced_ LACA_GUARDED_BY(mu_) = 0;
+  /// Single-flight registry: canonical key -> the group led by the one Job
+  /// carrying that key. Present only while the cache is on.
+  std::unordered_map<CacheKey, Flight, CacheKeyHash> flights_
+      LACA_GUARDED_BY(mu_);
   std::vector<double> latency_ring_ LACA_GUARDED_BY(mu_);
   size_t latency_cursor_ LACA_GUARDED_BY(mu_) = 0;
   size_t latency_count_ LACA_GUARDED_BY(mu_) = 0;
@@ -356,6 +438,10 @@ class ServingEngine {
   // releases mu_ before joining — a worker draining the queue needs it).
   Mutex join_mu_;
   std::vector<std::unique_ptr<Worker>> workers_;
+  /// Null when ServingOptions::cache.mode is kOff. Internally sharded and
+  /// thread-safe; never accessed under mu_ (probes and publishes stay off
+  /// the admission lock).
+  std::unique_ptr<ResultCache> cache_;
 };
 
 }  // namespace laca

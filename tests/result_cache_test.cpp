@@ -1,0 +1,291 @@
+// Result-cache unit tests (server/result_cache.hpp, DESIGN.md §13).
+//
+// Two layers: (1) the canonicalization contract — textually distinct but
+// semantically equal request spellings land on ONE cache key (the
+// regression suite for the admission-identity bugfix), and distinct
+// identities never merge; (2) the ShardedLruCache mechanics — recency
+// order, byte budgets, oversized-entry rejection, version sweeps — and the
+// ResultCache mode gating above it.
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/laca.hpp"
+#include "server/protocol.hpp"
+#include "server/result_cache.hpp"
+
+namespace laca {
+namespace {
+
+// Parses a protocol request line and builds its canonical key the way
+// admission does: same parser, same defaults resolution. Going through
+// ParseRequestLine is the point — the equivalence classes under test are
+// classes of WIRE spellings.
+CacheKey KeyOf(std::string_view line, const LacaOptions& defaults,
+               uint64_t version = 1, int64_t resolved_k = 32) {
+  ParsedLine p = ParseRequestLine(line);
+  EXPECT_EQ(p.kind, ParsedLine::Kind::kRequest) << "not a request: " << line;
+  const ServeRequest& r = p.request;
+  return CanonicalCacheKey(version, r.seed, r.size, r.alpha, r.epsilon,
+                           r.sigma, resolved_k, defaults);
+}
+
+TEST(CanonicalBits, CollapsesSignedZeroAndNans) {
+  EXPECT_EQ(CanonicalBits(-0.0), CanonicalBits(0.0));
+  EXPECT_EQ(CanonicalBits(std::nan("1")), CanonicalBits(std::nan("2")));
+  EXPECT_EQ(CanonicalBits(std::numeric_limits<double>::quiet_NaN()),
+            CanonicalBits(-std::numeric_limits<double>::quiet_NaN()));
+  // Everything else keys by exact bit pattern: nearby is not equal.
+  EXPECT_NE(CanonicalBits(0.2), CanonicalBits(std::nextafter(0.2, 1.0)));
+  EXPECT_NE(CanonicalBits(1.0), CanonicalBits(-1.0));
+}
+
+TEST(CanonicalCacheKey, EquivalentSpellingsShareOneKey) {
+  LacaOptions defaults;  // alpha 0.8, eps 1e-6, sigma 0.0
+  struct Class {
+    const char* a;
+    const char* b;
+  };
+  const Class classes[] = {
+      // Trailing-zero / leading-zero float spellings.
+      {"5 10 alpha=0.2", "5 10 alpha=0.20"},
+      {"5 10 alpha=0.2", "5 10 alpha=.2"},
+      {"5 10 eps=1e-4", "5 10 eps=0.0001"},
+      {"5 10 eps=1e-4", "5 10 epsilon=1e-4"},
+      // Omitted parameter vs the explicitly spelled engine default.
+      {"5 10", "5 10 alpha=0.8"},
+      {"5 10", "5 10 eps=1e-6"},
+      {"5 10", "5 10 sigma=0"},
+      {"5 10", "5 10 alpha=0.8 eps=1e-6 sigma=0.0"},
+      // sigma=-0 parses (IEEE -0.0 is not < 0) and must not be a distinct
+      // identity from sigma=0 — the latent wire-level bug this fixes.
+      {"5 10 sigma=-0", "5 10 sigma=0"},
+      {"5 10 sigma=-0.0", "5 10"},
+      // timeout_ms changes whether an answer is worth computing, never the
+      // answer: it is not part of the identity.
+      {"5 10 timeout_ms=50", "5 10"},
+      {"5 10 timeout_ms=0", "5 10 timeout_ms=2500"},
+  };
+  for (const Class& c : classes) {
+    EXPECT_EQ(KeyOf(c.a, defaults), KeyOf(c.b, defaults))
+        << "'" << c.a << "' vs '" << c.b << "'";
+    EXPECT_EQ(KeyOf(c.a, defaults).Encoded(), KeyOf(c.b, defaults).Encoded());
+  }
+}
+
+TEST(CanonicalCacheKey, DistinctIdentitiesNeverMerge) {
+  LacaOptions defaults;
+  const CacheKey base = KeyOf("5 10", defaults);
+  const char* distinct[] = {
+      "6 10",           // seed
+      "5 11",           // size
+      "5 10 alpha=0.5", // alpha off-default
+      "5 10 eps=1e-5",  // epsilon off-default
+      "5 10 sigma=0.3", // sigma off-default
+  };
+  for (const char* line : distinct) {
+    const CacheKey other = KeyOf(line, defaults);
+    EXPECT_NE(base, other) << line;
+    // Injective encoding: unequal keys never collide in the byte form.
+    EXPECT_NE(base.Encoded(), other.Encoded()) << line;
+  }
+  // Version and resolved-k are part of the identity too.
+  EXPECT_NE(base, KeyOf("5 10", defaults, /*version=*/2));
+  EXPECT_NE(base, KeyOf("5 10", defaults, /*version=*/1, /*resolved_k=*/16));
+  // The defaults themselves are part of the resolution: the same omitted
+  // spelling under different engine defaults is a different identity.
+  LacaOptions other_defaults;
+  other_defaults.alpha = 0.5;
+  EXPECT_NE(base, KeyOf("5 10", other_defaults));
+}
+
+TEST(CanonicalCacheKey, HashAgreesWithEquality) {
+  LacaOptions defaults;
+  const CacheKey a = KeyOf("5 10 alpha=0.2", defaults);
+  const CacheKey b = KeyOf("5 10 alpha=0.20", defaults);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(DiffusionKey, StripsSweepParamsKeepsDiffusionParams) {
+  LacaOptions defaults;
+  const CacheKey full_a = KeyOf("5 10", defaults, 1, 32);
+  const CacheKey full_b = KeyOf("5 99", defaults, 1, 16);  // size+k differ
+  // Same Step-1 identity: pi' does not depend on size or k.
+  EXPECT_EQ(DiffusionKey(full_a), DiffusionKey(full_b));
+  // sigma parameterizes AdaptiveDiffuse itself, so it MUST survive into the
+  // diffusion key (a pi' from another sigma is a different vector).
+  const CacheKey other_sigma = KeyOf("5 10 sigma=0.3", defaults, 1, 32);
+  EXPECT_NE(DiffusionKey(full_a), DiffusionKey(other_sigma));
+  // And so do version / seed / alpha / eps.
+  EXPECT_NE(DiffusionKey(full_a), DiffusionKey(KeyOf("5 10", defaults, 2)));
+  EXPECT_NE(DiffusionKey(full_a), DiffusionKey(KeyOf("6 10", defaults)));
+  EXPECT_NE(DiffusionKey(full_a),
+            DiffusionKey(KeyOf("5 10 alpha=0.5", defaults)));
+}
+
+TEST(ParseCacheModeTest, RoundTripsAndRejects) {
+  CacheMode mode = CacheMode::kOff;
+  EXPECT_TRUE(ParseCacheMode("full", &mode));
+  EXPECT_EQ(mode, CacheMode::kFull);
+  EXPECT_TRUE(ParseCacheMode("two-tier", &mode));
+  EXPECT_EQ(mode, CacheMode::kTwoTier);
+  EXPECT_TRUE(ParseCacheMode("off", &mode));
+  EXPECT_EQ(mode, CacheMode::kOff);
+  mode = CacheMode::kFull;
+  EXPECT_FALSE(ParseCacheMode("ON", &mode));
+  EXPECT_FALSE(ParseCacheMode("", &mode));
+  EXPECT_EQ(mode, CacheMode::kFull);  // untouched on failure
+  EXPECT_STREQ(ToString(CacheMode::kTwoTier), "two-tier");
+}
+
+// ---------------------------------------------------------------------------
+// ShardedLruCache mechanics. A single shard makes recency order observable.
+
+CacheKey Key(uint64_t seed, uint64_t version = 1) {
+  CacheKey k;
+  k.version = version;
+  k.seed = seed;
+  return k;
+}
+
+using IntCache = ShardedLruCache<int>;
+
+TEST(ShardedLruCache, EvictsColdEntriesToFitTheByteBudget) {
+  IntCache cache(/*max_bytes=*/100, /*num_shards=*/1);
+  cache.Put(Key(1), std::make_shared<const int>(1), 40);
+  cache.Put(Key(2), std::make_shared<const int>(2), 40);
+  EXPECT_NE(cache.Get(Key(1)), nullptr);  // 1 is now most-recent
+  cache.Put(Key(3), std::make_shared<const int>(3), 40);  // evicts cold 2
+  EXPECT_EQ(cache.Get(Key(2)), nullptr);
+  EXPECT_NE(cache.Get(Key(1)), nullptr);
+  EXPECT_NE(cache.Get(Key(3)), nullptr);
+  const CacheTierStats stats = cache.Stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.bytes, 80u);
+}
+
+TEST(ShardedLruCache, OversizedEntryIsDroppedNotAdmitted) {
+  IntCache cache(/*max_bytes=*/100, /*num_shards=*/1);
+  cache.Put(Key(1), std::make_shared<const int>(1), 40);
+  // Bigger than the whole shard budget: never admitted, never evicts the
+  // working set to make room for something that cannot fit anyway.
+  cache.Put(Key(2), std::make_shared<const int>(2), 200);
+  EXPECT_EQ(cache.Get(Key(2)), nullptr);
+  EXPECT_NE(cache.Get(Key(1)), nullptr);
+  EXPECT_EQ(cache.Stats().evictions, 0u);
+}
+
+TEST(ShardedLruCache, FirstWriterWinsOnAKeyRace) {
+  IntCache cache(/*max_bytes=*/100, /*num_shards=*/1);
+  auto first = std::make_shared<const int>(7);
+  cache.Put(Key(1), first, 10);
+  cache.Put(Key(1), std::make_shared<const int>(8), 10);  // duplicate insert
+  EXPECT_EQ(cache.Get(Key(1)).get(), first.get());
+  EXPECT_EQ(cache.Stats().entries, 1u);
+  EXPECT_EQ(cache.Stats().bytes, 10u);
+}
+
+TEST(ShardedLruCache, RetainVersionSweepsDeadVersionsWithoutCountingEvictions) {
+  IntCache cache(/*max_bytes=*/1000, /*num_shards=*/4);
+  for (uint64_t s = 0; s < 8; ++s) {
+    cache.Put(Key(s, /*version=*/1), std::make_shared<const int>(1), 10);
+    cache.Put(Key(s, /*version=*/2), std::make_shared<const int>(2), 10);
+  }
+  cache.RetainVersion(2);
+  for (uint64_t s = 0; s < 8; ++s) {
+    EXPECT_EQ(cache.Get(Key(s, 1)), nullptr);
+    EXPECT_NE(cache.Get(Key(s, 2)), nullptr);
+  }
+  const CacheTierStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 8u);
+  EXPECT_EQ(stats.bytes, 80u);
+  // Version sweeps are reclamation, not pressure: the evictions counter is
+  // reserved for byte-budget evictions.
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache mode gating.
+
+TEST(ResultCacheTest, OffModeNeverStoresAndNeverCounts) {
+  ResultCacheOptions opts;
+  opts.mode = CacheMode::kOff;
+  ResultCache cache(opts);
+  const CacheKey key = Key(1);
+  cache.PutFull(key, std::make_shared<const std::vector<NodeId>>(
+                         std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(cache.GetFull(key), nullptr);
+  const ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.full.misses, 0u);
+  EXPECT_EQ(stats.full.entries, 0u);
+}
+
+TEST(ResultCacheTest, FullModeCachesClustersButNoDiffusionTier) {
+  ResultCacheOptions opts;
+  opts.mode = CacheMode::kFull;
+  ResultCache cache(opts);
+  const CacheKey key = Key(1);
+  cache.PutFull(key, std::make_shared<const std::vector<NodeId>>(
+                         std::vector<NodeId>{1, 2, 3}));
+  auto hit = cache.GetFull(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, (std::vector<NodeId>{1, 2, 3}));
+  SparseVector pi;
+  pi.Add(1, 0.5);
+  cache.PutRwr(key, std::make_shared<const SparseVector>(std::move(pi)));
+  EXPECT_EQ(cache.GetRwr(key), nullptr);
+  EXPECT_EQ(cache.Stats().rwr.entries, 0u);
+  EXPECT_EQ(cache.Stats().rwr.misses, 0u);  // uncounted, not just empty
+}
+
+TEST(ResultCacheTest, TwoTierSharesOneDiffusionLineAcrossSizes) {
+  ResultCacheOptions opts;
+  opts.mode = CacheMode::kTwoTier;
+  ResultCache cache(opts);
+  CacheKey small = Key(1);
+  small.size = 10;
+  small.k = 32;
+  CacheKey large = Key(1);
+  large.size = 50;
+  large.k = 16;
+  SparseVector pi;
+  pi.Add(1, 0.5);
+  pi.Add(2, 0.25);
+  cache.PutRwr(small, std::make_shared<const SparseVector>(std::move(pi)));
+  // The diffusion line is keyed on DiffusionKey, so the size/k variant hits.
+  auto hit = cache.GetRwr(large);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->Size(), 2u);
+  // But the full tier keeps them separate.
+  cache.PutFull(small, std::make_shared<const std::vector<NodeId>>(
+                           std::vector<NodeId>{1}));
+  EXPECT_EQ(cache.GetFull(large), nullptr);
+}
+
+TEST(ResultCacheTest, RetainVersionSweepsBothTiers) {
+  ResultCacheOptions opts;
+  opts.mode = CacheMode::kTwoTier;
+  ResultCache cache(opts);
+  const CacheKey old_key = Key(1, /*version=*/1);
+  const CacheKey new_key = Key(1, /*version=*/2);
+  cache.PutFull(old_key, std::make_shared<const std::vector<NodeId>>(
+                             std::vector<NodeId>{1}));
+  cache.PutFull(new_key, std::make_shared<const std::vector<NodeId>>(
+                             std::vector<NodeId>{2}));
+  SparseVector pi;
+  pi.Add(1, 1.0);
+  cache.PutRwr(old_key, std::make_shared<const SparseVector>(std::move(pi)));
+  cache.RetainVersion(2);
+  EXPECT_EQ(cache.GetFull(old_key), nullptr);
+  EXPECT_NE(cache.GetFull(new_key), nullptr);
+  EXPECT_EQ(cache.GetRwr(old_key), nullptr);
+}
+
+}  // namespace
+}  // namespace laca

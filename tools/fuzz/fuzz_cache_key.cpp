@@ -1,0 +1,163 @@
+// Fuzz target: the canonical cache-key construction (server/result_cache).
+//
+// Differential harness over PAIRS of wire request lines (the input is split
+// at the first '\n'; each half is framed exactly as the serving loop frames
+// a line). Both lines are parsed with the real ParseRequestLine and keyed
+// with the real CanonicalCacheKey under an emulated admission (a fixed
+// snapshot carrying TNAMs k={32, 16}, 32 the default). Invariants:
+//   - Canonical equivalence: the two keys compare equal IFF the two
+//     requests' independently-resolved canonical tuples (defaults
+//     substituted for omitted overrides, -0.0 and NaN collapsed) are equal.
+//     Textually distinct spellings of one identity must merge; distinct
+//     identities must never.
+//   - Injective encoding: Encoded() compares equal IFF the keys do — the
+//     fixed-width field concatenation can never collide two distinct keys.
+//   - Hash consistency: equal keys hash equal.
+//   - timeout_ms independence: flipping a request's timeout never changes
+//     its key (the deadline changes whether an answer is worth computing,
+//     not the answer).
+//   - Version sensitivity: the same request against a different snapshot
+//     version is a different key (reload-freshness relies on this).
+//   - DiffusionKey strips exactly size/k and preserves everything else —
+//     sigma included, since it parameterizes the Step-1 diffusion itself.
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "core/laca.hpp"
+#include "fuzz_common.hpp"
+#include "server/protocol.hpp"
+#include "server/result_cache.hpp"
+
+namespace {
+
+constexpr size_t kMaxInput = 1 << 14;
+
+// Independent canonical resolution (the reference oracle): negative means
+// omitted (the ServeRequest contract), -0.0 collapses to +0.0, every NaN to
+// one quiet NaN.
+uint64_t RefBits(double v, double fallback) {
+  double r = v >= 0.0 ? v : fallback;
+  if (r == 0.0) r = 0.0;
+  if (std::isnan(r)) r = std::numeric_limits<double>::quiet_NaN();
+  uint64_t bits = 0;
+  std::memcpy(&bits, &r, sizeof(bits));
+  return bits;
+}
+
+struct RefTuple {
+  uint64_t version, seed, size, alpha, eps, sigma;
+  int64_t k;
+  bool operator==(const RefTuple&) const = default;
+};
+
+RefTuple Reference(const laca::ServeRequest& r, uint64_t version, int64_t rk,
+                   const laca::LacaOptions& defaults) {
+  return RefTuple{version,
+                  r.seed,
+                  r.size,
+                  RefBits(r.alpha, defaults.alpha),
+                  RefBits(r.epsilon, defaults.epsilon),
+                  RefBits(r.sigma, defaults.sigma),
+                  rk};
+}
+
+// Admission-time k resolution against the emulated snapshot: omitted picks
+// the default TNAM (k=32); an unknown k would be rejected at Validate, so
+// such a request never reaches KeyFor (-2 = skip).
+int64_t ResolveK(int k) {
+  if (k < 0) return 32;
+  if (k == 32 || k == 16) return k;
+  return -2;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using laca::fuzz_harness::Die;
+  if (size > kMaxInput) size = kMaxInput;
+  const std::span<const uint8_t> input(data, size);
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  const size_t nl = text.find('\n');
+  std::string_view line_a = text.substr(0, nl);
+  std::string_view line_b =
+      nl == std::string_view::npos ? std::string_view() : text.substr(nl + 1);
+  line_b = line_b.substr(0, line_b.find('\n'));
+
+  const laca::ParsedLine pa = laca::ParseRequestLine(line_a);
+  const laca::ParsedLine pb = laca::ParseRequestLine(line_b);
+  if (pa.kind != laca::ParsedLine::Kind::kRequest ||
+      pb.kind != laca::ParsedLine::Kind::kRequest) {
+    return 0;  // fuzz_protocol owns the malformed-line surface
+  }
+  const int64_t ka = ResolveK(pa.request.k);
+  const int64_t kb = ResolveK(pb.request.k);
+  if (ka == -2 || kb == -2) return 0;
+
+  const laca::LacaOptions defaults;
+  constexpr uint64_t kVersion = 7;
+  const auto key_of = [&](const laca::ServeRequest& r, int64_t rk,
+                          uint64_t version) {
+    return laca::CanonicalCacheKey(version, r.seed, r.size, r.alpha,
+                                   r.epsilon, r.sigma, rk, defaults);
+  };
+  laca::CacheKey key_a, key_b;
+  try {
+    key_a = key_of(pa.request, ka, kVersion);
+    key_b = key_of(pb.request, kb, kVersion);
+  } catch (const std::exception& e) {
+    Die("fuzz_cache_key", input,
+        std::string("CanonicalCacheKey threw: ") + e.what());
+  }
+
+  const RefTuple ref_a = Reference(pa.request, kVersion, ka, defaults);
+  const RefTuple ref_b = Reference(pb.request, kVersion, kb, defaults);
+  if ((key_a == key_b) != (ref_a == ref_b)) {
+    Die("fuzz_cache_key", input,
+        key_a == key_b
+            ? "distinct request identities collapsed onto one key"
+            : "canonically equal requests produced distinct keys");
+  }
+  if ((key_a.Encoded() == key_b.Encoded()) != (key_a == key_b)) {
+    Die("fuzz_cache_key", input,
+        "Encoded() equality disagrees with key equality (encoding collision "
+        "or instability)");
+  }
+  if (key_a == key_b && key_a.Hash() != key_b.Hash()) {
+    Die("fuzz_cache_key", input, "equal keys hashed differently");
+  }
+
+  // timeout_ms must never reach the identity: flip it between omitted and
+  // an arbitrary explicit budget and require the same key.
+  laca::ServeRequest flipped = pa.request;
+  flipped.timeout_ms = flipped.timeout_ms >= 0.0 ? -1.0 : 123.0;
+  if (!(key_of(flipped, ka, kVersion) == key_a)) {
+    Die("fuzz_cache_key", input, "timeout_ms leaked into the cache key");
+  }
+
+  // A new snapshot version is a new identity, in the key and its encoding.
+  const laca::CacheKey bumped = key_of(pa.request, ka, kVersion + 1);
+  if (bumped == key_a || bumped.Encoded() == key_a.Encoded()) {
+    Die("fuzz_cache_key", input, "snapshot version did not change the key");
+  }
+
+  // DiffusionKey: strips exactly the sweep parameters (size, k), preserves
+  // the diffusion parameters (version, seed, alpha, eps, sigma).
+  const laca::CacheKey da = laca::DiffusionKey(key_a);
+  if (da.size != 0 || da.k != -1 || da.version != key_a.version ||
+      da.seed != key_a.seed || da.alpha_bits != key_a.alpha_bits ||
+      da.epsilon_bits != key_a.epsilon_bits ||
+      da.sigma_bits != key_a.sigma_bits) {
+    Die("fuzz_cache_key", input,
+        "DiffusionKey altered a field other than size/k");
+  }
+  if (key_a == key_b && !(da == laca::DiffusionKey(key_b))) {
+    Die("fuzz_cache_key", input,
+        "equal full keys produced distinct diffusion keys");
+  }
+  return 0;
+}

@@ -161,6 +161,25 @@ def main():
     ]:
         write("fuzz_protocol", name + ".bin", line)
 
+    # -- fuzz_cache_key: PAIRS of wire request lines split at '\n' ----------
+    # The differential canonicalization harness: equal-identity pairs (the
+    # spellings an admission-time key must merge) and distinct-identity pairs
+    # (the ones it must never).
+    for name, pair in [
+        ("seed-identical", b"5 10\n5 10"),
+        ("seed-alpha-spelling", b"5 10 alpha=0.2\n5 10 alpha=0.20"),
+        ("seed-omitted-vs-default", b"5 10\n5 10 alpha=0.8 eps=1e-6 sigma=0"),
+        ("seed-sigma-negzero", b"5 10 sigma=-0\n5 10 sigma=0"),
+        ("seed-eps-exponent", b"5 10 eps=1e-4\n5 10 eps=0.0001"),
+        ("seed-timeout-differs", b"5 10 timeout_ms=50\n5 10"),
+        ("seed-k-omitted-vs-default", b"5 10 k=32\n5 10"),
+        ("seed-distinct-seed", b"5 10\n6 10"),
+        ("seed-distinct-sigma", b"5 10 sigma=0.3\n5 10"),
+        ("seed-distinct-k", b"5 10 k=16\n5 10 k=32"),
+        ("seed-one-malformed", b"5 10\nnot a request"),
+    ]:
+        write("fuzz_cache_key", name + ".bin", pair)
+
     # -- fuzz_serialize: mode byte + container/payload ----------------------
     # mode bits 0-1: decoder (0 graph, 1 attrs, 2 comms, 3 dataset);
     # bit 2: body is a payload to wrap in a valid container;

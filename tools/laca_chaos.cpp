@@ -19,8 +19,10 @@
 //                   succeed, health must shed its reload_failing reason
 //                   (the quarantined= evidence is sticky by design), the
 //                   baseline sweep must reproduce BIT-IDENTICAL canonical
-//                   responses, and the engine must report zero
-//                   admitted-but-lost requests (admitted == completed);
+//                   responses, a repeated request must land a result-cache
+//                   hit (cache_hits= in stats moves, response unchanged),
+//                   and the engine must report zero admitted-but-lost
+//                   requests (admitted == completed);
 //   4. sigterm    - SIGTERM lands mid-burst; the server must drain and
 //                   exit 0 with its final stats line on stderr.
 //
@@ -576,6 +578,19 @@ int RunChaos(const ChaosOptions& opts) {
     std::atomic<bool> storm_over{false};
     std::vector<std::thread> actors;
 
+    // A fixed seed-derived hot set: good clients revisit it with fixed
+    // sizes, so the result cache and single-flight coalescing paths (the
+    // server runs its two-tier default) are exercised under hostile
+    // traffic and across the reload storm's version sweeps — not just in
+    // the quiet recovery probe below.
+    std::vector<uint32_t> hot_nodes;
+    {
+      std::mt19937_64 rng(opts.seed * 5000);
+      for (int i = 0; i < 8; ++i) {
+        hot_nodes.push_back(static_cast<uint32_t>(rng() % num_nodes));
+      }
+    }
+
     // Good clients: lockstep request/response, reconnect on any drop.
     for (int c = 0; c < 3; ++c) {
       actors.emplace_back([&, c] {
@@ -586,9 +601,13 @@ int RunChaos(const ChaosOptions& opts) {
             std::this_thread::sleep_for(std::chrono::milliseconds(20));
             continue;
           }
-          const uint32_t node = static_cast<uint32_t>(rng() % num_nodes);
-          std::string req = std::to_string(node) + " " +
-                            std::to_string(4 + rng() % 28);
+          std::string req;
+          if (rng() % 4 == 0) {
+            req = std::to_string(hot_nodes[rng() % hot_nodes.size()]) + " 12";
+          } else {
+            req = std::to_string(rng() % num_nodes) + " " +
+                  std::to_string(4 + rng() % 28);
+          }
           if (rng() % 16 == 0) req = (rng() % 2 == 0) ? "stats" : "health";
           if (!client.Send(req + "\n")) continue;
           std::string line;
@@ -830,6 +849,71 @@ int RunChaos(const ChaosOptions& opts) {
                                 " never converged with completed=" +
                                 std::to_string(completed));
     verdict.Bump("admitted_total", static_cast<long long>(admitted));
+
+    // Result cache: one identity served twice back to back (the reload
+    // storm is over, so no version sweep can intervene) — the second
+    // serving must land from the cache, visible as a cache_hits increase
+    // in the stats line, and both responses must be bit-identical.
+    {
+      uint64_t hits_before = 0;
+      bool read_before = false;
+      for (int attempt = 0; attempt < 10 && !read_before; ++attempt) {
+        if (!control.connected() && !control.Connect(port)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          continue;
+        }
+        if (!control.Send("stats\n")) continue;
+        std::string line;
+        if (control.ReadLine(&line, 5000) == LineClient::Rx::kLine) {
+          const std::optional<uint64_t> hits = TokenU64(line, "cache_hits=");
+          if (hits) {
+            hits_before = *hits;
+            read_before = true;
+          }
+        } else {
+          control.Close();
+        }
+      }
+      verdict.Check(read_before,
+                    "recovery: stats line never carried cache_hits=");
+      const std::string probe =
+          std::to_string(static_cast<uint32_t>(opts.seed % num_nodes)) + " 12";
+      const std::map<std::string, std::string> first =
+          Sweep(port, {probe}, verdict, "cache-probe-cold");
+      const std::map<std::string, std::string> second =
+          Sweep(port, {probe}, verdict, "cache-probe-hit");
+      if (first.count(probe) != 0 && second.count(probe) != 0) {
+        verdict.Check(first.at(probe) == second.at(probe),
+                      "recovery: cached response drifted for '" + probe +
+                          "': '" + first.at(probe) + "' vs '" +
+                          second.at(probe) + "'");
+      }
+      uint64_t hits_after = hits_before;
+      bool read_after = false;
+      for (int attempt = 0; attempt < 10 && !read_after; ++attempt) {
+        if (!control.connected() && !control.Connect(port)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          continue;
+        }
+        if (!control.Send("stats\n")) continue;
+        std::string line;
+        if (control.ReadLine(&line, 5000) == LineClient::Rx::kLine) {
+          const std::optional<uint64_t> hits = TokenU64(line, "cache_hits=");
+          if (hits) {
+            hits_after = *hits;
+            read_after = true;
+          }
+        } else {
+          control.Close();
+        }
+      }
+      verdict.Check(read_after && hits_after > hits_before,
+                    "recovery: repeated request never landed a cache hit "
+                    "(hits " + std::to_string(hits_before) + " -> " +
+                        std::to_string(hits_after) + ")");
+      verdict.Bump("cache_hits_delta",
+                   static_cast<long long>(hits_after - hits_before));
+    }
 
     // Health: the failure window must be over; the quarantine evidence is
     // sticky by design and must still be named.

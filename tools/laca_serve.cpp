@@ -73,6 +73,16 @@
 //   --write-timeout=MS  per-response budget for the peer to drain its
 //                    buffer; expiry closes the session (default 10000;
 //                    0 = wait forever)
+//   --cache=MODE     versioned result cache + single-flight coalescing
+//                    (DESIGN.md §13): `off`, `full` (final clusters only),
+//                    or `two-tier` (clusters + reusable Step-1 diffusion
+//                    vectors; the default). Hits are bit-identical to cold
+//                    computation and keyed on the canonical request tuple
+//                    including the snapshot version, so a reload never
+//                    serves stale results
+//   --cache-bytes=B  resident byte budget across both tiers, LRU-evicted
+//                    (default 67108864 = 64 MiB)
+//   --cache-shards=N lock shards per tier (default 8)
 //   --fault-inject=SPEC   arm the deterministic fault injector (testing/CI;
 //                    see src/common/fault_injection.hpp for the grammar,
 //                    e.g. snapshot_read=2 fails the first reload's read,
@@ -144,6 +154,11 @@ struct ServeCliOptions {
   std::vector<std::string> tnam_paths;
   ServingOptions serving;
   ReloadManagerOptions reload;
+  ServeCliOptions() {
+    // The engine's own default is kOff (library callers opt in); the binary
+    // serves repeated interactive traffic, where the cache is the point.
+    serving.cache.mode = CacheMode::kTwoTier;
+  }
   std::string fault_spec;
   size_t max_connections = 1024;
   size_t max_line_bytes = 1 << 20;
@@ -286,6 +301,18 @@ bool ParseArgs(int argc, char** argv, ServeCliOptions& opts) {
       if (!ms(&opts.idle_timeout_ms)) return FailFlag(arg, "bad milliseconds");
     } else if (key == "--write-timeout") {
       if (!ms(&opts.write_timeout_ms)) return FailFlag(arg, "bad milliseconds");
+    } else if (key == "--cache") {
+      if (!ParseCacheMode(value, &opts.serving.cache.mode)) {
+        return FailFlag(arg, "want off|full|two-tier");
+      }
+    } else if (key == "--cache-bytes") {
+      std::optional<uint64_t> v = ParseU64(value);
+      if (!v) return FailFlag(arg, "bad byte budget");
+      opts.serving.cache.max_bytes = *v;
+    } else if (key == "--cache-shards") {
+      std::optional<uint64_t> v = ParseU64(value);
+      if (!v || *v == 0 || *v > 4096) return FailFlag(arg, "bad shard count");
+      opts.serving.cache.shards = static_cast<size_t>(*v);
     } else if (key == "--fault-inject") {
       opts.fault_spec = value;  // parsed in main so errors name the token
     } else if (key == "--port") {
@@ -712,6 +739,8 @@ int main(int argc, char** argv) {
                  "| --snapshot-dir=<dir>) [--workers=] [--threads=] "
                  "[--intra=] [--queue=] [--k=] [--tnam=] [--alpha=] [--eps=] "
                  "[--default-timeout=] [--brownout=] [--reload-retry=] "
+                 "[--cache=off|full|two-tier] [--cache-bytes=] "
+                 "[--cache-shards=] "
                  "[--max-connections=] [--max-line=] [--read-timeout=] "
                  "[--idle-timeout=] [--write-timeout=] [--fault-inject=] "
                  "[--port=] [--stats-every=]\n",
